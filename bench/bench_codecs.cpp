@@ -1,0 +1,109 @@
+// E1 — codec choice per content class (draft §4.2).
+//
+// Claim under test: "PNG is an open image format which uses a lossless
+// compression algorithm and more suitable for computer generated images.
+// JPEG is lossy, but more suitable for photographic images."
+//
+// Rows: {terminal, slideshow, document, paint = computer-generated} and
+// {video = photographic} frames, each encoded with raw / rle / png / dct.
+// Counters: encoded bytes per frame, compression ratio, and PSNR (inf for
+// lossless codecs, reported as 0 here).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include "bench_common.hpp"
+#include "codec/dct_codec.hpp"
+#include "codec/registry.hpp"
+#include "image/metrics.hpp"
+
+namespace {
+
+using namespace ads;
+using namespace ads::bench;
+
+constexpr std::int64_t kW = 320;
+constexpr std::int64_t kH = 240;
+
+const Image& frame_for(const std::string& workload) {
+  static std::map<std::string, Image> cache;
+  auto it = cache.find(workload);
+  if (it == cache.end()) {
+    it = cache.emplace(workload, workload_frame(workload, kW, kH)).first;
+  }
+  return it->second;
+}
+
+void run_codec(benchmark::State& state, const std::string& workload, ContentPt pt) {
+  const auto registry = CodecRegistry::with_defaults();
+  const ImageCodec* codec = registry.find(pt);
+  const Image& frame = frame_for(workload);
+
+  Bytes encoded;
+  for (auto _ : state) {
+    encoded = codec->encode(frame);
+    auto decoded = codec->decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+
+  auto decoded = codec->decode(encoded);
+  const double raw_bytes = static_cast<double>(kW * kH * 4);
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+  state.counters["ratio"] = raw_bytes / static_cast<double>(encoded.size());
+  const double quality = psnr(frame, *decoded);
+  state.counters["psnr_db"] = std::isinf(quality) ? 0.0 : quality;  // 0 = lossless
+  state.counters["lossless"] = codec->lossless() ? 1 : 0;
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kW * kH * 4);
+}
+
+void register_all() {
+  static const char* workloads[] = {"terminal", "slideshow", "document", "paint",
+                                    "video"};
+  static const std::pair<const char*, ContentPt> codecs[] = {
+      {"raw", ContentPt::kRaw},
+      {"rle", ContentPt::kRle},
+      {"png", ContentPt::kPng},
+      {"dct", ContentPt::kDct},
+  };
+  for (const char* workload : workloads) {
+    for (const auto& [cname, pt] : codecs) {
+      const std::string name = std::string("E1/") + workload + "/" + cname;
+      benchmark::RegisterBenchmark(name.c_str(),
+                                   [workload = std::string(workload), pt](
+                                       benchmark::State& s) { run_codec(s, workload, pt); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+// E1b — the DCT codec's rate-distortion curve on photographic content: the
+// quality knob a deployment would use to fit the §4.3 rate budget.
+void dct_rd_curve(benchmark::State& state) {
+  const int quality = static_cast<int>(state.range(0));
+  const Image& frame = frame_for("video");
+  const DctCodec codec({.quality = quality});
+  Bytes encoded;
+  for (auto _ : state) {
+    encoded = codec.encode(frame);
+    benchmark::DoNotOptimize(encoded);
+  }
+  auto decoded = codec.decode(encoded);
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+  state.counters["psnr_db"] = psnr(frame, *decoded);
+  state.counters["kbps_at_10fps"] =
+      static_cast<double>(encoded.size()) * 8 * 10 / 1000.0;
+}
+
+BENCHMARK(dct_rd_curve)
+    ->Name("E1b/dct_rate_distortion")
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(75)
+    ->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

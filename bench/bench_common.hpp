@@ -1,0 +1,48 @@
+// Shared helpers for the benchmark suite: canonical workload frames and
+// small statistics utilities. Every bench uses fixed seeds so results are
+// reproducible run to run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "capture/apps.hpp"
+#include "image/image.hpp"
+
+namespace ads::bench {
+
+/// A frame of the named workload after `warmup_ticks` ticks.
+inline Image workload_frame(std::string_view name, std::int64_t w, std::int64_t h,
+                            int warmup_ticks = 12, std::uint64_t seed = 99) {
+  auto app = make_app(name, w, h, seed);
+  for (int t = 0; t < warmup_ticks; ++t) app->tick(static_cast<std::uint64_t>(t));
+  return app->content();
+}
+
+/// Consecutive frames (before/after pairs) of a workload.
+inline std::vector<Image> workload_frames(std::string_view name, std::int64_t w,
+                                          std::int64_t h, int count,
+                                          std::uint64_t seed = 99) {
+  auto app = make_app(name, w, h, seed);
+  std::vector<Image> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    app->tick(static_cast<std::uint64_t>(t));
+    frames.push_back(app->content());
+  }
+  return frames;
+}
+
+inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace ads::bench

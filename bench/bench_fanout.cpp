@@ -1,0 +1,86 @@
+// E6 — multi-participant fan-out (draft §4.2).
+//
+// "The AH can share an application to TCP participants, UDP participants,
+// and several multicast addresses in the same sharing session."
+//
+// One AH serves 1..32 participants (alternating TCP/UDP). Measured: real
+// CPU time per simulated second of session (the benchmark's wall time),
+// aggregate AH bytes, and per-participant convergence. This exposes the
+// encode-once/send-many structure: bytes grow linearly with participants
+// while encode work stays constant.
+#include <benchmark/benchmark.h>
+
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+
+namespace {
+
+using namespace ads;
+
+void fanout(benchmark::State& state) {
+  const int participants = static_cast<int>(state.range(0));
+
+  std::uint64_t bytes = 0;
+  std::uint64_t updates = 0;
+  int converged = 0;
+  for (auto _ : state) {
+    AppHostOptions host_opts;
+    host_opts.screen_width = 320;
+    host_opts.screen_height = 240;
+    host_opts.frame_interval_us = sim_ms(100);
+    SharingSession session(host_opts);
+    AppHost& host = session.host();
+    const WindowId term = host.wm().create({8, 8, 288, 208}, 1);
+    host.capturer().attach(term, std::make_unique<TerminalApp>(288, 208, 5));
+
+    for (int i = 0; i < participants; ++i) {
+      if (i % 2 == 0) {
+        TcpLinkConfig link;
+        link.down.bandwidth_bps = 50'000'000;
+        link.down.send_buffer_bytes = 2 * 1024 * 1024;
+        session.add_tcp_participant({}, link);
+      } else {
+        UdpLinkConfig link;
+        link.down.bandwidth_bps = 50'000'000;
+        link.down.delay_us = 10'000;
+        auto& conn = session.add_udp_participant({}, link);
+        conn.participant->join();
+      }
+    }
+
+    host.start();
+    session.run_for(sim_sec(5));
+    host.stop();
+    session.run_for(sim_sec(1));
+
+    bytes = host.stats().bytes_sent;
+    updates = host.stats().region_updates_sent;
+    converged = 0;
+    const Image& truth = host.capturer().last_frame();
+    for (const auto& conn : session.connections()) {
+      const Image replica =
+          conn->participant->screen().crop({0, 0, truth.width(), truth.height()});
+      if (diff_pixel_count(truth, replica) == 0) ++converged;
+    }
+  }
+
+  state.counters["ah_bytes_total"] = static_cast<double>(bytes);
+  state.counters["ah_bytes_per_participant"] =
+      static_cast<double>(bytes) / static_cast<double>(participants);
+  state.counters["region_updates"] = static_cast<double>(updates);
+  state.counters["participants_converged"] = converged;
+  state.counters["participants"] = participants;
+}
+
+BENCHMARK(fanout)
+    ->Name("E6/fanout/mixed_transports")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace

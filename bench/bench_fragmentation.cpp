@@ -1,0 +1,61 @@
+// E7 — RegionUpdate fragmentation across the MTU sweep (draft §5.2.2,
+// Table 2).
+//
+// Content sizes from 1 KB to 4 MB are fragmented at MTUs 576 / 1200 / 1500 /
+// 9000 and reassembled. Measured: fragment+reassembly throughput, packet
+// count, and header overhead percentage (the cost of the repeated common
+// remoting/HIP header on every continuation packet).
+#include <benchmark/benchmark.h>
+
+#include "remoting/region_update.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace ads;
+
+RegionUpdate make_message(std::size_t content_size) {
+  RegionUpdate msg;
+  msg.window_id = 1;
+  msg.content_pt = 98;
+  msg.left = 100;
+  msg.top = 100;
+  msg.content.resize(content_size);
+  Prng rng(content_size);
+  for (auto& b : msg.content) b = static_cast<std::uint8_t>(rng.next_u32());
+  return msg;
+}
+
+void fragmentation(benchmark::State& state) {
+  const std::size_t content_size = static_cast<std::size_t>(state.range(0)) * 1024;
+  const std::size_t mtu = static_cast<std::size_t>(state.range(1));
+  const RegionUpdate msg = make_message(content_size);
+
+  std::size_t packets = 0;
+  std::size_t wire_bytes = 0;
+  for (auto _ : state) {
+    auto frags = fragment_region_update(msg, mtu);
+    packets = frags.size();
+    wire_bytes = 0;
+    RegionUpdateReassembler reasm;
+    for (const auto& f : frags) {
+      wire_bytes += f.payload.size() + 12;  // + RTP header per packet
+      auto result = reasm.feed(f.payload, f.marker);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+
+  state.counters["packets"] = static_cast<double>(packets);
+  state.counters["overhead_pct"] =
+      100.0 * (static_cast<double>(wire_bytes) - static_cast<double>(content_size)) /
+      static_cast<double>(content_size);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(content_size));
+}
+
+BENCHMARK(fragmentation)
+    ->Name("E7/fragmentation")
+    ->ArgsProduct({{1, 16, 64, 256, 1024, 4096}, {576, 1200, 1500, 9000}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

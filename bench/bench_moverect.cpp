@@ -1,0 +1,95 @@
+// E2 — MoveRectangle scroll savings (draft §5.2.3).
+//
+// Claim under test: "MoveRectangle instructs the participant to move a
+// region from one place to another, which is efficient for some drawing
+// operations like scrolls."
+//
+// A document window scrolls by {4..64} pixels per tick. We run the full AH
+// pipeline twice — MoveRectangle enabled vs disabled — and compare the
+// bytes the AH puts on the wire for the same content. The benchmark also
+// reports how many MoveRectangle messages were emitted.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+
+namespace {
+
+using namespace ads;
+
+struct RunStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t move_rects = 0;
+  std::uint64_t region_updates = 0;
+  std::int64_t final_diff = -1;
+};
+
+RunStats run_pipeline(std::int64_t scroll_px, bool use_move_rectangle) {
+  AppHostOptions host_opts;
+  host_opts.screen_width = 480;
+  host_opts.screen_height = 360;
+  host_opts.frame_interval_us = sim_ms(100);
+  host_opts.use_move_rectangle = use_move_rectangle;
+  SharingSession session(host_opts);
+  AppHost& host = session.host();
+
+  const WindowId doc = host.wm().create({40, 20, 360, 300}, 1);
+  host.capturer().attach(
+      doc, std::make_unique<DocumentApp>(360, 300, /*seed=*/3, scroll_px));
+
+  TcpLinkConfig link;
+  link.down.bandwidth_bps = 100'000'000;
+  link.down.send_buffer_bytes = 8 * 1024 * 1024;
+  auto& conn = session.add_tcp_participant({}, link);
+
+  host.start();
+  session.run_for(sim_sec(5));
+  host.stop();
+  session.run_for(sim_sec(1));
+
+  RunStats out;
+  out.bytes = host.stats().bytes_sent;
+  out.move_rects = host.stats().move_rectangles_sent;
+  out.region_updates = host.stats().region_updates_sent;
+  const Image& truth = host.capturer().last_frame();
+  const Image replica =
+      conn.participant->screen().crop({0, 0, truth.width(), truth.height()});
+  out.final_diff = diff_pixel_count(truth, replica);
+  return out;
+}
+
+void run_bench(benchmark::State& state, bool use_move_rectangle) {
+  const std::int64_t scroll_px = state.range(0);
+  RunStats stats;
+  for (auto _ : state) stats = run_pipeline(scroll_px, use_move_rectangle);
+  state.counters["wire_bytes"] = static_cast<double>(stats.bytes);
+  state.counters["move_rects"] = static_cast<double>(stats.move_rects);
+  state.counters["region_updates"] = static_cast<double>(stats.region_updates);
+  state.counters["converged"] = stats.final_diff == 0 ? 1 : 0;
+}
+
+void with_mr(benchmark::State& state) { run_bench(state, true); }
+void without_mr(benchmark::State& state) { run_bench(state, false); }
+
+BENCHMARK(with_mr)
+    ->Name("E2/scroll/move_rectangle")
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(without_mr)
+    ->Name("E2/scroll/reencode")
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,112 @@
+// E12 — multicast vs unicast fan-out (draft §4.2/§4.3).
+//
+// The same terminal session is delivered to N receivers two ways:
+//   * unicast — one UDP stream per participant (the E6 configuration);
+//   * multicast — one AH stream replicated by the network.
+// Counter `ah_sent_bytes` shows the AH-side transmission cost: constant for
+// multicast, linear in N for unicast. Convergence is verified in both.
+#include <benchmark/benchmark.h>
+
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+
+namespace {
+
+using namespace ads;
+
+AppHostOptions small_host() {
+  AppHostOptions opts;
+  opts.screen_width = 320;
+  opts.screen_height = 240;
+  opts.frame_interval_us = sim_ms(100);
+  return opts;
+}
+
+UdpChannelOptions member_link(std::uint64_t seed) {
+  UdpChannelOptions opts;
+  opts.delay_us = 10'000;
+  opts.bandwidth_bps = 50'000'000;
+  opts.seed = seed;
+  return opts;
+}
+
+void unicast(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  std::uint64_t ah_bytes = 0;
+  int converged = 0;
+  for (auto _ : state) {
+    SharingSession session(small_host());
+    AppHost& host = session.host();
+    const WindowId w = host.wm().create({8, 8, 240, 180}, 1);
+    host.capturer().attach(w, std::make_unique<TerminalApp>(240, 180, 5));
+    for (int i = 0; i < members; ++i) {
+      UdpLinkConfig link;
+      link.down = member_link(200 + static_cast<std::uint64_t>(i));
+      auto& conn = session.add_udp_participant({}, link);
+      conn.participant->join();
+    }
+    host.start();
+    session.run_for(sim_sec(4));
+    host.stop();
+    session.run_for(sim_sec(1));
+    ah_bytes = host.stats().bytes_sent;
+    converged = 0;
+    const Image& truth = host.capturer().last_frame();
+    for (const auto& conn : session.connections()) {
+      const Image replica =
+          conn->participant->screen().crop({0, 0, truth.width(), truth.height()});
+      if (diff_pixel_count(truth, replica) == 0) ++converged;
+    }
+  }
+  state.counters["ah_sent_bytes"] = static_cast<double>(ah_bytes);
+  state.counters["converged"] = converged;
+}
+
+void multicast(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  std::uint64_t ah_bytes = 0;
+  int converged = 0;
+  for (auto _ : state) {
+    SharingSession session(small_host());
+    AppHost& host = session.host();
+    const WindowId w = host.wm().create({8, 8, 240, 180}, 1);
+    host.capturer().attach(w, std::make_unique<TerminalApp>(240, 180, 5));
+    auto& mc = session.add_multicast_session();
+    for (int i = 0; i < members; ++i) {
+      session.add_multicast_member(mc, {},
+                                   member_link(300 + static_cast<std::uint64_t>(i)));
+    }
+    mc.members.front()->participant->join();
+    host.start();
+    session.run_for(sim_sec(4));
+    host.stop();
+    session.run_for(sim_sec(1));
+    ah_bytes = host.stats().bytes_sent;
+    converged = 0;
+    const Image& truth = host.capturer().last_frame();
+    for (const auto& m : mc.members) {
+      const Image replica =
+          m->participant->screen().crop({0, 0, truth.width(), truth.height()});
+      if (diff_pixel_count(truth, replica) == 0) ++converged;
+    }
+  }
+  state.counters["ah_sent_bytes"] = static_cast<double>(ah_bytes);
+  state.counters["converged"] = converged;
+}
+
+BENCHMARK(unicast)
+    ->Name("E12/fanout/unicast")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(multicast)
+    ->Name("E12/fanout/multicast")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace

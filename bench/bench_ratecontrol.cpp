@@ -1,0 +1,94 @@
+// E11 — §4.3 UDP rate control ablation.
+//
+// "The AH controls the transmission rate for participants using UDP,
+// because UDP itself does not provide flow and congestion control."
+//
+// A video window streams over a 2 Mbit/s UDP path with a 32 KB interface
+// queue. The AH's token-bucket target sweeps from far-below to far-above
+// the link rate; a 0-target row is the uncontrolled baseline. Counters:
+// offered rate, queue drops (what uncontrolled sending costs), recovery
+// traffic (PLIs), and the participant-side median update age (staleness).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+
+namespace {
+
+using namespace ads;
+
+struct RunStats {
+  double offered_bps = 0;
+  std::uint64_t queue_dropped = 0;
+  std::uint64_t frames_skipped = 0;
+  std::uint64_t plis = 0;
+  double median_age_ms = 0;
+};
+
+RunStats run_pipeline(std::uint64_t rate_bps) {
+  AppHostOptions host_opts;
+  host_opts.screen_width = 320;
+  host_opts.screen_height = 240;
+  host_opts.frame_interval_us = sim_ms(100);
+  host_opts.udp_rate_bps = rate_bps;
+  host_opts.udp_burst_bytes = 16 * 1024;
+  SharingSession session(host_opts);
+  AppHost& host = session.host();
+  const WindowId movie = host.wm().create({16, 16, 256, 192}, 1);
+  host.capturer().attach(movie, std::make_unique<VideoApp>(256, 192, 7));
+
+  UdpLinkConfig link;
+  link.down.delay_us = 10'000;
+  link.down.bandwidth_bps = 2'000'000;
+  link.down.queue_bytes = 32 * 1024;
+  link.up.delay_us = 10'000;
+  auto& conn = session.add_udp_participant({}, link);
+  conn.participant->join();
+  host.start();
+  session.run_for(sim_sec(8));
+
+  RunStats out;
+  out.offered_bps = static_cast<double>(host.stats().bytes_sent) * 8.0 / 8.0;
+  out.queue_dropped = conn.down_udp->stats().queue_dropped;
+  out.frames_skipped = host.stats().frames_skipped_rate;
+  out.plis = conn.participant->stats().plis_sent;
+
+  std::vector<double> ages_ms;
+  for (const auto& d : conn.participant->drain_deliveries()) {
+    const SimTime captured_us = host.remoting_timestamp_to_us(d.rtp_timestamp);
+    if (d.arrived_us >= captured_us) {
+      ages_ms.push_back(static_cast<double>(d.arrived_us - captured_us) / 1000.0);
+    }
+  }
+  out.median_age_ms = ads::bench::percentile(ages_ms, 0.5);
+  return out;
+}
+
+void rate_control(benchmark::State& state) {
+  const std::uint64_t rate_bps =
+      static_cast<std::uint64_t>(state.range(0)) * 100'000ull;
+  RunStats stats;
+  for (auto _ : state) stats = run_pipeline(rate_bps);
+  state.counters["target_kbps"] = static_cast<double>(rate_bps) / 1000.0;
+  state.counters["offered_kbps"] = stats.offered_bps / 1000.0;
+  state.counters["queue_dropped"] = static_cast<double>(stats.queue_dropped);
+  state.counters["frames_skipped"] = static_cast<double>(stats.frames_skipped);
+  state.counters["plis"] = static_cast<double>(stats.plis);
+  state.counters["update_age_median_ms"] = stats.median_age_ms;
+}
+
+// Arg = target rate in 100 kbit/s units; 0 = uncontrolled baseline.
+BENCHMARK(rate_control)
+    ->Name("E11/udp_rate_control")
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(15)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace

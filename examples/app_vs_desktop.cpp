@@ -1,0 +1,96 @@
+// Application sharing vs desktop sharing (draft §2).
+//
+// "In desktop sharing, a computer distributes all screen updates. In
+// application sharing, the AH distributes screen updates if and only if
+// they belong to the shared application's windows. ... A true application
+// sharing system must blank all the nonshared windows and must transfer
+// all the child windows of the shared application."
+//
+// The AH runs an editor (group 1, two windows — parent + child dialog) and
+// a private mail client (group 2). Phase 1 shares the whole desktop; phase
+// 2 switches to sharing only group 1. The participant's view is probed to
+// show the mail window blanking, including where it overlaps the editor.
+//
+// Build & run:  ./build/examples/app_vs_desktop
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+
+using namespace ads;
+
+namespace {
+
+const char* describe(const Image& view, Point p) {
+  return view.at(p.x, p.y) == kBlack ? "BLANK" : "visible";
+}
+
+void probe(const char* phase, const Image& view) {
+  std::printf("\n%s\n", phase);
+  std::printf("  editor parent (100,100):  %s\n", describe(view, {100, 100}));
+  std::printf("  editor child  (210,260):  %s\n", describe(view, {210, 260}));
+  std::printf("  mail window   (450,120):  %s\n", describe(view, {450, 120}));
+  std::printf("  mail-over-editor (300,150): %s\n", describe(view, {300, 150}));
+  std::printf("  desktop background (620,420): %s\n", describe(view, {620, 420}));
+}
+
+}  // namespace
+
+int main() {
+  AppHostOptions host_opts;
+  host_opts.screen_width = 640;
+  host_opts.screen_height = 480;
+  host_opts.frame_interval_us = sim_ms(100);
+  SharingSession session(host_opts);
+  AppHost& host = session.host();
+
+  // The "editor" process: a parent window and a child dialog, same group —
+  // "Applications often consist of a changing set of related windows ...
+  // usually associated with the same process."
+  const WindowId editor = host.wm().create({40, 60, 320, 280}, /*group=*/1);
+  const WindowId dialog = host.wm().create({180, 220, 160, 100}, /*group=*/1);
+  // The private mail client, overlapping the editor from above.
+  const WindowId mail = host.wm().create({260, 90, 300, 200}, /*group=*/2);
+  host.capturer().attach(editor, std::make_unique<DocumentApp>(320, 280, 1));
+  host.capturer().attach(dialog, std::make_unique<PaintApp>(160, 100, 2));
+  host.capturer().attach(mail, std::make_unique<TerminalApp>(300, 200, 3));
+
+  TcpLinkConfig link;
+  link.down.bandwidth_bps = 50'000'000;
+  link.down.send_buffer_bytes = 4 * 1024 * 1024;
+  auto& conn = session.add_tcp_participant({}, link);
+  host.start();
+
+  // Phase 1: desktop sharing (the default) — everything is visible.
+  session.run_for(sim_sec(2));
+  probe("phase 1: desktop sharing (all windows shared)",
+        conn.participant->screen());
+  std::printf("  participant window records: %zu\n",
+              conn.participant->windows().size());
+
+  // Phase 2: application sharing — only the editor's group is exported.
+  host.wm().share_group(1);
+  session.run_for(sim_sec(2));
+  probe("phase 2: application sharing (group 1 = editor + child dialog)",
+        conn.participant->screen());
+  std::printf("  participant window records: %zu (mail window closed per "
+              "WindowManagerInfo)\n",
+              conn.participant->windows().size());
+
+  // Phase 3: the mail client is raised above the editor on the AH. Its
+  // pixels must still never reach the participant; the covered part of the
+  // editor blanks instead.
+  host.wm().raise(mail);
+  host.wm().move(mail, {120, 120});
+  session.run_for(sim_sec(2));
+  probe("phase 3: private window raised over the shared editor",
+        conn.participant->screen());
+
+  host.stop();
+  session.run_for(sim_sec(1));
+
+  std::printf("\nAH sent %llu region updates, %llu window-info messages.\n",
+              static_cast<unsigned long long>(host.stats().region_updates_sent),
+              static_cast<unsigned long long>(host.stats().wmi_sent));
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Multiparty tutoring session: the draft's collaborative scenario.
+//
+// A tutor's AH shares a terminal ("the exercise") with three students over
+// mixed transports (two TCP, one UDP — §4.2 allows both in one session).
+// Students take turns driving via BFCP floor control (Appendix A): floor
+// requests queue FIFO, the AH forwards only the holder's input events, and
+// the §4.1 coordinate check drops clicks outside the shared window.
+//
+// Build & run:  ./build/examples/multiparty_tutoring
+#include <cstdio>
+#include <string>
+
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+
+using namespace ads;
+
+int main() {
+  AppHostOptions host_opts;
+  host_opts.screen_width = 800;
+  host_opts.screen_height = 600;
+  host_opts.frame_interval_us = sim_ms(100);
+  SharingSession session(host_opts);
+  AppHost& host = session.host();
+
+  const WindowId exercise = host.wm().create({100, 80, 480, 360}, 1);
+  host.capturer().attach(exercise, std::make_unique<TerminalApp>(480, 360, 7));
+
+  // Every accepted HIP event is "regenerated at the OS" — here we log it.
+  std::vector<std::string> injected;
+  host.set_input_sink([&](ParticipantId from, const HipMessage& msg) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "participant %u -> %s", from,
+                  to_string(hip_type(msg)));
+    injected.emplace_back(line);
+  });
+
+  TcpLinkConfig tcp;
+  tcp.down.bandwidth_bps = 20'000'000;
+  tcp.down.send_buffer_bytes = 1024 * 1024;
+  UdpLinkConfig udp;
+  udp.down.delay_us = 30'000;
+  udp.down.bandwidth_bps = 20'000'000;
+  udp.up.delay_us = 30'000;
+
+  auto& alice = session.add_tcp_participant({}, tcp);
+  auto& bob = session.add_tcp_participant({}, tcp);
+  auto& carol = session.add_udp_participant({}, udp);
+  carol.participant->join();  // UDP participants announce via PLI (§4.3)
+
+  host.start();
+  session.run_for(sim_ms(500));
+
+  std::puts("-- Alice requests the floor and types --");
+  alice.participant->request_floor();
+  session.run_for(sim_ms(200));
+  std::printf("alice has floor: %s (HID status %d)\n",
+              alice.participant->has_floor() ? "yes" : "no",
+              static_cast<int>(alice.participant->hid_status()));
+  alice.participant->mouse_move(200, 200);
+  alice.participant->mouse_press(200, 200, MouseButton::kLeft);
+  alice.participant->mouse_release(200, 200, MouseButton::kLeft);
+  alice.participant->key_type("print(\"hello\")");
+  alice.participant->key_press(vk::kEnter);
+  alice.participant->key_release(vk::kEnter);
+  session.run_for(sim_ms(300));
+
+  std::puts("-- Bob and Carol queue for the floor (FIFO) --");
+  bob.participant->request_floor();
+  carol.participant->request_floor();
+  session.run_for(sim_ms(300));
+  std::printf("bob pending: %s, carol pending: %s\n",
+              bob.participant->floor_pending() ? "yes" : "no",
+              carol.participant->floor_pending() ? "yes" : "no");
+
+  std::puts("-- Bob tries to type without the floor: rejected --");
+  bob.participant->key_type("rm -rf /");
+  session.run_for(sim_ms(300));
+
+  std::puts("-- Alice releases; Bob is granted; clicks outside are dropped --");
+  alice.participant->release_floor();
+  session.run_for(sim_ms(300));
+  std::printf("bob has floor: %s\n", bob.participant->has_floor() ? "yes" : "no");
+  bob.participant->mouse_move(10, 10);  // outside the shared window (§4.1)
+  bob.participant->mouse_move(300, 300);
+  session.run_for(sim_ms(300));
+
+  std::puts("-- Tutor blocks the mouse while a dialog covers the app --");
+  host.floor().set_hid_status(HidStatus::kKeyboardAllowed);
+  session.run_for(sim_ms(200));
+  bob.participant->mouse_move(300, 300);  // rejected
+  bob.participant->key_type("still typing is fine");
+  session.run_for(sim_ms(300));
+  host.floor().set_hid_status(HidStatus::kAllAllowed);
+
+  session.run_for(sim_sec(2));
+  host.stop();
+  session.run_for(sim_sec(1));
+
+  std::puts("\n-- injected events (in order) --");
+  for (const std::string& line : injected) std::printf("  %s\n", line.c_str());
+
+  std::puts("\n-- gate statistics --");
+  std::printf("accepted: %llu, rejected (no floor/HID): %llu, rejected (coords): %llu\n",
+              static_cast<unsigned long long>(host.stats().hip_events_accepted),
+              static_cast<unsigned long long>(host.stats().hip_events_rejected_floor),
+              static_cast<unsigned long long>(host.stats().hip_events_rejected_coords));
+
+  std::puts("\n-- convergence --");
+  const Image& truth = host.capturer().last_frame();
+  for (const auto& conn : session.connections()) {
+    const Image replica =
+        conn->participant->screen().crop({0, 0, truth.width(), truth.height()});
+    std::printf("participant %u: %lld differing pixels, %llu region updates\n",
+                conn->id, static_cast<long long>(diff_pixel_count(truth, replica)),
+                static_cast<unsigned long long>(conn->participant->stats().region_updates));
+  }
+  return 0;
+}

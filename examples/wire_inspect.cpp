@@ -1,0 +1,167 @@
+// Wire-format inspector: prints the hex bytes and decoded form of each
+// protocol message type — a debugging aid and a live illustration of the
+// draft's Figures 7-19. With arguments, decodes hex from the command line:
+//
+//   ./build/examples/wire_inspect                # tour of every message
+//   ./build/examples/wire_inspect 02 81 00 01 …  # decode your own bytes
+#include <cstdio>
+#include <string>
+
+#include "bfcp/bfcp_message.hpp"
+#include "hip/messages.hpp"
+#include "remoting/message.hpp"
+#include "rtp/rtcp.hpp"
+#include "util/bytes.hpp"
+
+using namespace ads;
+
+namespace {
+
+void dump(const char* title, BytesView data) {
+  std::printf("\n%s (%zu bytes)\n  %s\n", title, data.size(),
+              hex_dump(data).c_str());
+}
+
+void decode_remoting(BytesView data, bool marker) {
+  RemotingDemux demux;
+  auto msg = demux.feed(data, marker);
+  if (!msg.ok()) {
+    std::printf("  -> parse error: %s\n", to_string(msg.error()));
+    return;
+  }
+  if (!msg->has_value()) {
+    std::printf("  -> fragment accepted (message not complete yet)\n");
+    return;
+  }
+  std::visit(
+      [](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, WindowManagerInfo>) {
+          std::printf("  -> WindowManagerInfo, %zu records (bottom-first):\n",
+                      m.records.size());
+          for (const auto& r : m.records) {
+            std::printf("     window %u group %u at (%u,%u) %ux%u\n", r.window_id,
+                        r.group_id, r.left, r.top, r.width, r.height);
+          }
+        } else if constexpr (std::is_same_v<T, RegionUpdate>) {
+          std::printf("  -> RegionUpdate window %u pt %u at (%u,%u), %zu content "
+                      "bytes\n",
+                      m.window_id, m.content_pt, m.left, m.top, m.content.size());
+        } else if constexpr (std::is_same_v<T, MoveRectangle>) {
+          std::printf("  -> MoveRectangle window %u: (%u,%u) %ux%u -> (%u,%u)\n",
+                      m.window_id, m.source_left, m.source_top, m.width, m.height,
+                      m.dest_left, m.dest_top);
+        } else if constexpr (std::is_same_v<T, MousePointerInfo>) {
+          std::printf("  -> MousePointerInfo window %u at (%u,%u), icon: %zu bytes\n",
+                      m.window_id, m.left, m.top, m.icon.size());
+        }
+      },
+      **msg);
+}
+
+void decode_any(BytesView data) {
+  if (data.size() >= 1 && (data[0] >> 5) == 1) {
+    auto bfcp = BfcpMessage::parse(data);
+    if (bfcp.ok()) {
+      std::printf("  -> BFCP primitive %d user %u%s\n",
+                  static_cast<int>(bfcp->primitive), bfcp->user_id,
+                  bfcp->request_status
+                      ? (std::string(" status ") + to_string(*bfcp->request_status))
+                            .c_str()
+                      : "");
+      return;
+    }
+  }
+  if (data.size() >= 2 && data[1] >= 200 && data[1] <= 207) {
+    auto rtcp = parse_rtcp(data);
+    if (rtcp.ok()) {
+      std::printf("  -> RTCP packet (type index %zu)\n", rtcp->index());
+      return;
+    }
+  }
+  auto hip = parse_hip(data);
+  if (hip.ok()) {
+    std::printf("  -> HIP %s (window %u)\n", to_string(hip_type(*hip)),
+                hip_window_id(*hip));
+    return;
+  }
+  decode_remoting(data, /*marker=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    Bytes data;
+    for (int i = 1; i < argc; ++i) {
+      data.push_back(static_cast<std::uint8_t>(std::stoul(argv[i], nullptr, 16)));
+    }
+    dump("command-line bytes", data);
+    decode_any(data);
+    return 0;
+  }
+
+  // Figure 9's WindowManagerInfo.
+  WindowManagerInfo wmi;
+  wmi.records = {{1, 1, 220, 150, 350, 450},
+                 {2, 2, 850, 320, 160, 150},
+                 {3, 1, 450, 400, 350, 300}};
+  const Bytes wmi_bytes = wmi.serialize();
+  dump("WindowManagerInfo (draft Figure 9)", wmi_bytes);
+  decode_remoting(wmi_bytes, false);
+
+  // A small RegionUpdate (Figure 11 shape).
+  RegionUpdate ru;
+  ru.window_id = 1;
+  ru.content_pt = 98;
+  ru.left = 220;
+  ru.top = 150;
+  ru.content = {0xDE, 0xAD, 0xBE, 0xEF};
+  auto frags = fragment_region_update(ru, 1200);
+  dump("RegionUpdate (Figure 11, non-fragmented)", frags[0].payload);
+  decode_remoting(frags[0].payload, frags[0].marker);
+
+  // MoveRectangle (Figure 12).
+  MoveRectangle mr{3, 100, 200, 50, 60, 100, 150};
+  dump("MoveRectangle (Figure 12)", mr.serialize());
+  decode_remoting(mr.serialize(), false);
+
+  // Each HIP message (Figures 13-19).
+  const HipMessage hips[] = {
+      MousePressed{1, MouseButton::kLeft, 300, 400},
+      MouseReleased{1, MouseButton::kLeft, 300, 400},
+      MouseMoved{1, 310, 400},
+      MouseWheelMoved{1, 310, 400, -120},
+      KeyPressed{1, vk::kF1},
+      KeyReleased{1, vk::kF1},
+      KeyTyped{1, "hi"},
+  };
+  for (const HipMessage& msg : hips) {
+    const Bytes bytes = serialize_hip(msg);
+    char title[64];
+    std::snprintf(title, sizeof(title), "HIP %s", to_string(hip_type(msg)));
+    dump(title, bytes);
+    decode_any(bytes);
+  }
+
+  // RTCP feedback.
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0x1111;
+  pli.media_ssrc = 0x2222;
+  dump("RTCP PLI (RFC 4585 6.3.1)", pli.serialize());
+  decode_any(pli.serialize());
+  const auto nack = GenericNack::for_sequences(0x1111, 0x2222, {100, 101, 103});
+  dump("RTCP Generic NACK (RFC 4585 6.2.1)", nack.serialize());
+  decode_any(nack.serialize());
+
+  // BFCP floor request.
+  BfcpMessage req;
+  req.primitive = BfcpPrimitive::kFloorRequest;
+  req.conference_id = 1;
+  req.transaction_id = 7;
+  req.user_id = 42;
+  req.floor_id = 0;
+  dump("BFCP FloorRequest (RFC 4582 subset)", req.serialize());
+  decode_any(req.serialize());
+  return 0;
+}

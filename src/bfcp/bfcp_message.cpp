@@ -1,0 +1,135 @@
+#include "bfcp/bfcp_message.hpp"
+
+namespace ads {
+namespace {
+
+// RFC 4582 §5.2 attribute types used here.
+constexpr std::uint8_t kAttrFloorId = 2;
+constexpr std::uint8_t kAttrFloorRequestId = 3;
+constexpr std::uint8_t kAttrRequestStatus = 5;
+constexpr std::uint8_t kAttrStatusInfo = 9;
+
+/// Write one attribute TLV: Type(7)|M(1), Length (covers header+payload,
+/// before padding), payload, zero padding to a 32-bit boundary.
+void write_attr(ByteWriter& out, std::uint8_t type, BytesView payload) {
+  const std::size_t len = 2 + payload.size();
+  out.u8(static_cast<std::uint8_t>(type << 1));  // M bit 0
+  out.u8(static_cast<std::uint8_t>(len));
+  out.bytes(payload);
+  while ((out.size() & 3) != 0) out.u8(0);
+}
+
+}  // namespace
+
+Bytes BfcpMessage::serialize() const {
+  ByteWriter attrs;
+  if (floor_id) {
+    ByteWriter p;
+    p.u16(*floor_id);
+    write_attr(attrs, kAttrFloorId, p.view());
+  }
+  if (floor_request_id) {
+    ByteWriter p;
+    p.u16(*floor_request_id);
+    write_attr(attrs, kAttrFloorRequestId, p.view());
+  }
+  if (request_status) {
+    ByteWriter p;
+    p.u8(static_cast<std::uint8_t>(*request_status));
+    p.u8(queue_position);
+    write_attr(attrs, kAttrRequestStatus, p.view());
+  }
+  if (hid_status) {
+    // Appendix A: HID Status values are 16-bit unsigned, carried in
+    // STATUS-INFO.
+    ByteWriter p;
+    p.u16(static_cast<std::uint16_t>(*hid_status));
+    write_attr(attrs, kAttrStatusInfo, p.view());
+  }
+
+  ByteWriter out(12 + attrs.size());
+  out.u8(0x20);  // Ver=1 (3 bits), R=0, Res=0
+  out.u8(static_cast<std::uint8_t>(primitive));
+  // Payload Length: number of 32-bit words following the common header.
+  out.u16(static_cast<std::uint16_t>(attrs.size() / 4));
+  out.u32(conference_id);
+  out.u16(transaction_id);
+  out.u16(user_id);
+  out.bytes(attrs.view());
+  return out.take();
+}
+
+Result<BfcpMessage> BfcpMessage::parse(BytesView data) {
+  ByteReader in(data);
+  auto ver = in.u8();
+  auto prim = in.u8();
+  auto payload_len = in.u16();
+  auto conf = in.u32();
+  auto trans = in.u16();
+  auto user = in.u16();
+  if (!ver || !prim || !payload_len || !conf || !trans || !user)
+    return ParseError::kTruncated;
+  if ((*ver >> 5) != 1) return ParseError::kBadValue;
+  if (*prim != 1 && *prim != 2 && *prim != 4) return ParseError::kUnsupported;
+
+  BfcpMessage msg;
+  msg.primitive = static_cast<BfcpPrimitive>(*prim);
+  msg.conference_id = *conf;
+  msg.transaction_id = *trans;
+  msg.user_id = *user;
+
+  const std::size_t attr_bytes = static_cast<std::size_t>(*payload_len) * 4;
+  if (in.remaining() < attr_bytes) return ParseError::kTruncated;
+  auto body = in.bytes(attr_bytes);
+  ByteReader attrs(*body);
+  while (!attrs.at_end()) {
+    auto tm = attrs.u8();
+    auto len = attrs.u8();
+    if (!tm || !len) return ParseError::kTruncated;
+    if (*len < 2) return ParseError::kBadValue;
+    const std::uint8_t type = *tm >> 1;
+    const std::size_t payload_size = *len - 2;
+    auto payload = attrs.bytes(payload_size);
+    if (!payload) return payload.error();
+    // Consume padding to the 32-bit boundary.
+    const std::size_t padded = (static_cast<std::size_t>(*len) + 3) / 4 * 4;
+    if (auto s = attrs.skip(padded - *len); !s.ok()) return s.error();
+
+    ByteReader p(*payload);
+    switch (type) {
+      case kAttrFloorId: {
+        auto v = p.u16();
+        if (!v) return v.error();
+        msg.floor_id = *v;
+        break;
+      }
+      case kAttrFloorRequestId: {
+        auto v = p.u16();
+        if (!v) return v.error();
+        msg.floor_request_id = *v;
+        break;
+      }
+      case kAttrRequestStatus: {
+        auto status = p.u8();
+        auto queue = p.u8();
+        if (!status || !queue) return ParseError::kTruncated;
+        if (*status < 1 || *status > 7) return ParseError::kBadValue;
+        msg.request_status = static_cast<RequestStatus>(*status);
+        msg.queue_position = *queue;
+        break;
+      }
+      case kAttrStatusInfo: {
+        auto v = p.u16();
+        if (!v) return v.error();
+        if (*v > 3) return ParseError::kBadValue;
+        msg.hid_status = static_cast<HidStatus>(*v);
+        break;
+      }
+      default:
+        break;  // unknown attributes are skipped
+    }
+  }
+  return msg;
+}
+
+}  // namespace ads

@@ -1,0 +1,80 @@
+// BFCP (RFC 4582) wire subset required by draft Appendix A: "only five of
+// them is a MUST for Application and Desktop Sharing, namely 'Floor
+// Request', 'Floor Release', 'Floor Granted', 'Floor Released' and 'Floor
+// Request Queued'". In RFC 4582 terms the latter three are
+// FloorRequestStatus messages whose REQUEST-STATUS attribute carries
+// Granted / Released / Pending; the HID permission state rides in the
+// STATUS-INFO attribute (Appendix A, Figure 20).
+//
+// COMMON-HEADER (RFC 4582 §5.1):
+//  | Ver |R| Res   |  Primitive    |        Payload Length         |
+//  |                        Conference ID                          |
+//  |        Transaction ID         |            User ID            |
+// Attributes are TLVs padded to 32 bits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+enum class BfcpPrimitive : std::uint8_t {
+  kFloorRequest = 1,
+  kFloorRelease = 2,
+  kFloorRequestStatus = 4,
+};
+
+/// RFC 4582 §5.2.5 Request Status values.
+enum class RequestStatus : std::uint8_t {
+  kPending = 1,   ///< "Floor Request Queued" in the draft's terminology
+  kAccepted = 2,
+  kGranted = 3,   ///< "Floor Granted"
+  kDenied = 4,
+  kCancelled = 5,
+  kReleased = 6,  ///< "Floor Released"
+  kRevoked = 7,
+};
+
+constexpr const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kPending: return "Pending";
+    case RequestStatus::kAccepted: return "Accepted";
+    case RequestStatus::kGranted: return "Granted";
+    case RequestStatus::kDenied: return "Denied";
+    case RequestStatus::kCancelled: return "Cancelled";
+    case RequestStatus::kReleased: return "Released";
+    case RequestStatus::kRevoked: return "Revoked";
+  }
+  return "?";
+}
+
+/// HID Status values (draft Appendix A, Figure 20), carried in STATUS-INFO.
+enum class HidStatus : std::uint16_t {
+  kNotAllowed = 0,
+  kKeyboardAllowed = 1,
+  kMouseAllowed = 2,
+  kAllAllowed = 3,
+};
+
+struct BfcpMessage {
+  BfcpPrimitive primitive = BfcpPrimitive::kFloorRequest;
+  std::uint32_t conference_id = 0;
+  std::uint16_t transaction_id = 0;
+  std::uint16_t user_id = 0;
+
+  // Attributes (each optional on the wire).
+  std::optional<std::uint16_t> floor_id;
+  std::optional<std::uint16_t> floor_request_id;
+  std::optional<RequestStatus> request_status;
+  std::uint8_t queue_position = 0;  ///< meaningful with request_status
+  std::optional<HidStatus> hid_status;
+
+  Bytes serialize() const;
+  static Result<BfcpMessage> parse(BytesView data);
+
+  friend bool operator==(const BfcpMessage&, const BfcpMessage&) = default;
+};
+
+}  // namespace ads

@@ -1,0 +1,141 @@
+#include "bfcp/floor_control.hpp"
+
+#include <algorithm>
+
+namespace ads {
+
+BfcpMessage FloorControlServer::make_status(std::uint16_t user_id,
+                                            std::uint16_t transaction_id,
+                                            std::uint16_t floor_request_id,
+                                            RequestStatus status,
+                                            std::uint8_t queue_position) const {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequestStatus;
+  msg.conference_id = opts_.conference_id;
+  msg.transaction_id = transaction_id;
+  msg.user_id = user_id;
+  msg.floor_id = opts_.floor_id;
+  msg.floor_request_id = floor_request_id;
+  msg.request_status = status;
+  msg.queue_position = queue_position;
+  if (status == RequestStatus::kGranted) msg.hid_status = hid_status_;
+  return msg;
+}
+
+std::vector<BfcpMessage> FloorControlServer::grant_next(std::uint64_t now_us) {
+  std::vector<BfcpMessage> out;
+  if (holder_ || queue_.empty()) return out;
+  const PendingRequest next = queue_.front();
+  queue_.pop_front();
+  holder_ = next.user_id;
+  holder_request_id_ = next.floor_request_id;
+  grant_expires_us_ =
+      opts_.grant_duration_us ? now_us + opts_.grant_duration_us : 0;
+  out.push_back(make_status(next.user_id, next.transaction_id,
+                            next.floor_request_id, RequestStatus::kGranted, 0));
+  return out;
+}
+
+std::vector<BfcpMessage> FloorControlServer::on_message(const BfcpMessage& request,
+                                                        std::uint64_t now_us) {
+  std::vector<BfcpMessage> out;
+  if (request.conference_id != opts_.conference_id) return out;
+
+  switch (request.primitive) {
+    case BfcpPrimitive::kFloorRequest: {
+      // Duplicate request from the current holder or an already-queued user
+      // is answered with its current state rather than double-queued.
+      if (holder_ == request.user_id) {
+        out.push_back(make_status(request.user_id, request.transaction_id,
+                                  holder_request_id_, RequestStatus::kGranted, 0));
+        return out;
+      }
+      auto queued = std::find_if(queue_.begin(), queue_.end(),
+                                 [&](const PendingRequest& p) {
+                                   return p.user_id == request.user_id;
+                                 });
+      if (queued != queue_.end()) {
+        const auto pos = static_cast<std::uint8_t>(
+            std::distance(queue_.begin(), queued) + 1);
+        out.push_back(make_status(request.user_id, request.transaction_id,
+                                  queued->floor_request_id, RequestStatus::kPending,
+                                  pos));
+        return out;
+      }
+      const std::uint16_t request_id = next_floor_request_id_++;
+      queue_.push_back({request.user_id, request.transaction_id, request_id});
+      if (!holder_) {
+        auto granted = grant_next(now_us);
+        out.insert(out.end(), granted.begin(), granted.end());
+      } else {
+        // "Floor Request Queued"
+        out.push_back(make_status(request.user_id, request.transaction_id, request_id,
+                                  RequestStatus::kPending,
+                                  static_cast<std::uint8_t>(queue_.size())));
+      }
+      return out;
+    }
+    case BfcpPrimitive::kFloorRelease: {
+      if (holder_ == request.user_id) {
+        out.push_back(make_status(request.user_id, request.transaction_id,
+                                  holder_request_id_, RequestStatus::kReleased, 0));
+        holder_.reset();
+        auto granted = grant_next(now_us);
+        out.insert(out.end(), granted.begin(), granted.end());
+        return out;
+      }
+      // Releasing a queued (not yet granted) request cancels it.
+      auto queued = std::find_if(queue_.begin(), queue_.end(),
+                                 [&](const PendingRequest& p) {
+                                   return p.user_id == request.user_id;
+                                 });
+      if (queued != queue_.end()) {
+        out.push_back(make_status(request.user_id, request.transaction_id,
+                                  queued->floor_request_id, RequestStatus::kCancelled,
+                                  0));
+        queue_.erase(queued);
+      }
+      return out;
+    }
+    case BfcpPrimitive::kFloorRequestStatus:
+      return out;  // server-originated only
+  }
+  return out;
+}
+
+std::vector<BfcpMessage> FloorControlServer::tick(std::uint64_t now_us) {
+  std::vector<BfcpMessage> out;
+  if (holder_ && grant_expires_us_ != 0 && now_us >= grant_expires_us_) {
+    out.push_back(
+        make_status(*holder_, 0, holder_request_id_, RequestStatus::kRevoked, 0));
+    holder_.reset();
+    auto granted = grant_next(now_us);
+    out.insert(out.end(), granted.begin(), granted.end());
+  }
+  return out;
+}
+
+std::vector<BfcpMessage> FloorControlServer::set_hid_status(HidStatus status) {
+  hid_status_ = status;
+  std::vector<BfcpMessage> out;
+  if (holder_) {
+    // "The participant MAY receive several 'Floor Granted' messages with
+    // different 'HID Status' values." (Appendix A)
+    out.push_back(
+        make_status(*holder_, 0, holder_request_id_, RequestStatus::kGranted, 0));
+  }
+  return out;
+}
+
+bool FloorControlServer::may_send_mouse(std::uint16_t user_id) const {
+  if (holder_ != user_id) return false;
+  return hid_status_ == HidStatus::kMouseAllowed || hid_status_ == HidStatus::kAllAllowed;
+}
+
+bool FloorControlServer::may_send_keyboard(std::uint16_t user_id) const {
+  if (holder_ != user_id) return false;
+  return hid_status_ == HidStatus::kKeyboardAllowed ||
+         hid_status_ == HidStatus::kAllAllowed;
+}
+
+}  // namespace ads

@@ -1,0 +1,73 @@
+// Floor control state machine (draft §4.2 + Appendix A): "BFCP receives
+// floor request and floor release messages from participants; and then it
+// grants the floor to the appropriate participant for a period of time
+// while keeping the requests from other participants in a FIFO queue."
+//
+// The server also owns the HID permission state: "the AH MAY temporarily
+// block HID events without revoking the floor control", announced to the
+// current holder via Floor Granted messages with a new STATUS-INFO value.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "bfcp/bfcp_message.hpp"
+
+namespace ads {
+
+struct FloorControlOptions {
+  std::uint32_t conference_id = 1;
+  std::uint16_t floor_id = 0;
+  /// Microseconds a grant lasts before automatic revocation; 0 = unlimited.
+  std::uint64_t grant_duration_us = 0;
+};
+
+class FloorControlServer {
+ public:
+  explicit FloorControlServer(FloorControlOptions opts = {}) : opts_(opts) {}
+
+  /// Process one participant message; returns the responses/notifications
+  /// the AH must transmit (addressed via their user_id field).
+  std::vector<BfcpMessage> on_message(const BfcpMessage& request, std::uint64_t now_us);
+
+  /// Expire an overdue grant. Returns revocation + next-grant messages.
+  std::vector<BfcpMessage> tick(std::uint64_t now_us);
+
+  /// Change the HID permission of the current holder ("the AH MAY
+  /// temporarily block HID events"); emits a Floor Granted update carrying
+  /// the new STATUS-INFO. No-op (empty) without a holder.
+  std::vector<BfcpMessage> set_hid_status(HidStatus status);
+
+  std::optional<std::uint16_t> holder() const { return holder_; }
+  HidStatus hid_status() const { return hid_status_; }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// §4.1/§6: the AH accepts input events only from the floor holder with
+  /// a permission covering the event class.
+  bool may_send_mouse(std::uint16_t user_id) const;
+  bool may_send_keyboard(std::uint16_t user_id) const;
+
+ private:
+  struct PendingRequest {
+    std::uint16_t user_id;
+    std::uint16_t transaction_id;
+    std::uint16_t floor_request_id;
+  };
+
+  BfcpMessage make_status(std::uint16_t user_id, std::uint16_t transaction_id,
+                          std::uint16_t floor_request_id, RequestStatus status,
+                          std::uint8_t queue_position) const;
+  std::vector<BfcpMessage> grant_next(std::uint64_t now_us);
+
+  FloorControlOptions opts_;
+  std::deque<PendingRequest> queue_;
+  std::optional<std::uint16_t> holder_;
+  std::uint16_t holder_request_id_ = 0;
+  std::uint64_t grant_expires_us_ = 0;
+  HidStatus hid_status_ = HidStatus::kAllAllowed;
+  std::uint16_t next_floor_request_id_ = 1;
+};
+
+}  // namespace ads

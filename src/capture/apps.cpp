@@ -1,0 +1,251 @@
+#include "capture/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ads {
+namespace {
+
+constexpr Pixel kTerminalBg{12, 12, 16, 255};
+constexpr Pixel kTerminalFg{180, 220, 180, 255};
+constexpr Pixel kPageBg{250, 250, 248, 255};
+
+/// Deterministic "glyph": a 2-colour pattern keyed by character value,
+/// painted into a cell. Stands in for font rendering — what matters for the
+/// pipeline is that distinct characters produce distinct pixels.
+void draw_glyph(Image& img, const Rect& cell, std::uint8_t glyph, Pixel fg, Pixel bg) {
+  img.fill_rect(cell, bg);
+  // 5x7 pseudo-bitmap from the glyph bits.
+  std::uint64_t bits = 0x5DEECE66Dull * (glyph + 17) + 0xB;
+  for (int gy = 0; gy < 7; ++gy) {
+    for (int gx = 0; gx < 5; ++gx) {
+      bits = bits * 6364136223846793005ull + 1442695040888963407ull;
+      if ((bits >> 40) & 1) {
+        const Rect dot{cell.left + 1 + gx, cell.top + 2 + gy * 2, 1, 2};
+        img.fill_rect(intersect(dot, cell), fg);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void AppPainter::resize(std::int64_t width, std::int64_t height) {
+  Image next(width, height, kBlack);
+  next.blit(content_, content_.bounds(), {0, 0});
+  content_ = std::move(next);
+}
+
+// ---------------------------------------------------------------- Terminal
+
+TerminalApp::TerminalApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+                         int chars_per_tick)
+    : AppPainter(width, height, kTerminalBg),
+      rng_(seed),
+      chars_per_tick_(chars_per_tick) {}
+
+void TerminalApp::put_char(std::uint8_t glyph) {
+  const Rect cell{cursor_col_ * cell_w_, cursor_row_ * cell_h_, cell_w_, cell_h_};
+  draw_glyph(content_, cell, glyph, kTerminalFg, kTerminalBg);
+  if (++cursor_col_ >= content_.width() / cell_w_) newline();
+}
+
+void TerminalApp::newline() {
+  cursor_col_ = 0;
+  const std::int64_t rows = content_.height() / cell_h_;
+  if (cursor_row_ + 1 >= rows) {
+    // Scroll the terminal one line (content moves up).
+    content_.move_rect({0, cell_h_, content_.width(), (rows - 1) * cell_h_}, {0, 0});
+    content_.fill_rect({0, (rows - 1) * cell_h_, content_.width(), cell_h_},
+                       kTerminalBg);
+  } else {
+    ++cursor_row_;
+  }
+}
+
+void TerminalApp::backspace() {
+  if (cursor_col_ == 0) return;
+  --cursor_col_;
+  content_.fill_rect({cursor_col_ * cell_w_, cursor_row_ * cell_h_, cell_w_, cell_h_},
+                     kTerminalBg);
+}
+
+void TerminalApp::inject_utf8(std::string_view utf8) {
+  pending_input_.append(utf8);
+}
+
+void TerminalApp::inject_key(std::uint32_t java_keycode) {
+  switch (java_keycode) {
+    case 0x0A: pending_input_.push_back('\n'); break;  // VK_ENTER
+    case 0x08: pending_input_.push_back('\b'); break;  // VK_BACK_SPACE
+    default: break;  // other keys have no terminal-visible effect here
+  }
+}
+
+void TerminalApp::tick(std::uint64_t) {
+  // Injected input takes priority over the self-typing workload: a tick
+  // with pending participant input renders that instead.
+  if (!pending_input_.empty()) {
+    for (char c : pending_input_) {
+      ++injected_chars_;
+      const auto b = static_cast<std::uint8_t>(c);
+      if (c == '\n') {
+        newline();
+      } else if (c == '\b') {
+        backspace();
+      } else if (b >= 32 && b < 127) {
+        put_char(b);
+      } else {
+        put_char(0x7F);  // block glyph for non-ASCII bytes
+      }
+    }
+    pending_input_.clear();
+    return;
+  }
+  for (int i = 0; i < chars_per_tick_; ++i) {
+    if (rng_.chance(0.05)) {
+      newline();
+    } else {
+      put_char(static_cast<std::uint8_t>(32 + rng_.below(95)));
+    }
+  }
+}
+
+// --------------------------------------------------------------- Slideshow
+
+SlideshowApp::SlideshowApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+                           int ticks_per_slide)
+    : AppPainter(width, height, kWhite), rng_(seed), ticks_per_slide_(ticks_per_slide) {
+  paint_slide();
+}
+
+void SlideshowApp::paint_slide() {
+  const Pixel bg{static_cast<std::uint8_t>(200 + rng_.below(55)),
+                 static_cast<std::uint8_t>(200 + rng_.below(55)),
+                 static_cast<std::uint8_t>(200 + rng_.below(55)), 255};
+  content_.fill(bg);
+  // Title bar.
+  content_.fill_rect({0, 0, content_.width(), content_.height() / 8},
+                     Pixel{static_cast<std::uint8_t>(rng_.below(128)),
+                           static_cast<std::uint8_t>(rng_.below(128)),
+                           static_cast<std::uint8_t>(128 + rng_.below(127)), 255});
+  // A handful of content blocks ("bullet text", "figures").
+  const int blocks = static_cast<int>(3 + rng_.below(5));
+  for (int i = 0; i < blocks; ++i) {
+    const std::int64_t w = static_cast<std::int64_t>(rng_.range(40, content_.width() / 2));
+    const std::int64_t h = static_cast<std::int64_t>(rng_.range(10, content_.height() / 4));
+    const std::int64_t x = static_cast<std::int64_t>(
+        rng_.range(0, std::max<std::int64_t>(1, content_.width() - w)));
+    const std::int64_t y = static_cast<std::int64_t>(
+        rng_.range(content_.height() / 8,
+                   std::max<std::int64_t>(content_.height() / 8 + 1,
+                                          content_.height() - h)));
+    content_.fill_rect({x, y, w, h},
+                       Pixel{static_cast<std::uint8_t>(rng_.below(256)),
+                             static_cast<std::uint8_t>(rng_.below(256)),
+                             static_cast<std::uint8_t>(rng_.below(256)), 255});
+  }
+}
+
+void SlideshowApp::tick(std::uint64_t tick_index) {
+  if (ticks_per_slide_ > 0 &&
+      tick_index % static_cast<std::uint64_t>(ticks_per_slide_) == 0 &&
+      tick_index != 0) {
+    paint_slide();
+  }
+}
+
+// ---------------------------------------------------------------- Document
+
+DocumentApp::DocumentApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+                         std::int64_t pixels_per_tick)
+    : AppPainter(width, height, kPageBg),
+      rng_(seed),
+      pixels_per_tick_(pixels_per_tick),
+      page_(width, height * 8, kPageBg) {
+  // Typeset the synthetic page once: grey text lines with ragged right
+  // margins and paragraph gaps.
+  std::int64_t y = 8;
+  while (y < page_.height() - 4) {
+    if (rng_.chance(0.12)) {
+      y += 14;  // paragraph break
+      continue;
+    }
+    const std::int64_t line_w =
+        width * static_cast<std::int64_t>(rng_.range(55, 96)) / 100;
+    const auto shade = static_cast<std::uint8_t>(40 + rng_.below(60));
+    page_.fill_rect({8, y, line_w - 16, 3}, Pixel{shade, shade, shade, 255});
+    y += 7;
+  }
+  render_viewport();
+}
+
+void DocumentApp::render_viewport() {
+  content_.blit(page_, {0, scroll_offset_, content_.width(), content_.height()},
+                {0, 0});
+}
+
+void DocumentApp::tick(std::uint64_t) {
+  scroll_offset_ =
+      std::min(scroll_offset_ + pixels_per_tick_, page_.height() - content_.height());
+  if (scroll_offset_ >= page_.height() - content_.height()) scroll_offset_ = 0;
+  render_viewport();
+}
+
+// ------------------------------------------------------------------- Video
+
+VideoApp::VideoApp(std::int64_t width, std::int64_t height, std::uint64_t seed)
+    : AppPainter(width, height, kBlack), rng_(seed) {}
+
+void VideoApp::tick(std::uint64_t) {
+  phase_ += 0.15;
+  const double fx = 2.0 * M_PI / static_cast<double>(std::max<std::int64_t>(1, content_.width()));
+  const double fy = 2.0 * M_PI / static_cast<double>(std::max<std::int64_t>(1, content_.height()));
+  for (std::int64_t y = 0; y < content_.height(); ++y) {
+    for (std::int64_t x = 0; x < content_.width(); ++x) {
+      const double v =
+          128 + 70 * std::sin(fx * static_cast<double>(x) * 3 + phase_) *
+                    std::cos(fy * static_cast<double>(y) * 2 - phase_ * 0.7);
+      const int noise = static_cast<int>(rng_.range(-10, 10));
+      const auto lum = static_cast<std::uint8_t>(std::clamp(v + noise, 0.0, 255.0));
+      content_.set(x, y,
+                   Pixel{lum, static_cast<std::uint8_t>(255 - lum),
+                         static_cast<std::uint8_t>((lum * 2) & 0xFF), 255});
+    }
+  }
+}
+
+// ------------------------------------------------------------------- Paint
+
+PaintApp::PaintApp(std::int64_t width, std::int64_t height, std::uint64_t seed)
+    : AppPainter(width, height, kWhite), rng_(seed) {
+  brush_ = {width / 2, height / 2};
+  colour_ = Pixel{200, 30, 30, 255};
+}
+
+void PaintApp::tick(std::uint64_t) {
+  if (rng_.chance(0.05)) {
+    colour_ = Pixel{static_cast<std::uint8_t>(rng_.below(220)),
+                    static_cast<std::uint8_t>(rng_.below(220)),
+                    static_cast<std::uint8_t>(rng_.below(220)), 255};
+  }
+  for (int step = 0; step < 12; ++step) {
+    brush_.x = std::clamp<std::int64_t>(brush_.x + rng_.range(-6, 6), 0,
+                                        content_.width() - 4);
+    brush_.y = std::clamp<std::int64_t>(brush_.y + rng_.range(-6, 6), 0,
+                                        content_.height() - 4);
+    content_.fill_rect({brush_.x, brush_.y, 4, 4}, colour_);
+  }
+}
+
+std::unique_ptr<AppPainter> make_app(std::string_view name, std::int64_t width,
+                                     std::int64_t height, std::uint64_t seed) {
+  if (name == "terminal") return std::make_unique<TerminalApp>(width, height, seed);
+  if (name == "slideshow") return std::make_unique<SlideshowApp>(width, height, seed);
+  if (name == "document") return std::make_unique<DocumentApp>(width, height, seed);
+  if (name == "video") return std::make_unique<VideoApp>(width, height, seed);
+  if (name == "paint") return std::make_unique<PaintApp>(width, height, seed);
+  return nullptr;
+}
+
+}  // namespace ads

@@ -1,0 +1,147 @@
+// Scripted application painters — the workload generators that substitute
+// for real applications on the AH. Each one reproduces a content class the
+// draft's §4.2 discusses when motivating codec choice:
+//   * TerminalApp   — computer-generated text, small localised updates
+//   * SlideshowApp  — large flat areas, rare full-window transitions
+//   * DocumentApp   — text page that scrolls (MoveRectangle workload)
+//   * VideoApp      — photographic, every-pixel-changes content
+//   * PaintApp      — sparse interactive strokes
+// Painters are deterministic functions of (seed, tick).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "image/image.hpp"
+#include "util/prng.hpp"
+
+namespace ads {
+
+class AppPainter {
+ public:
+  AppPainter(std::int64_t width, std::int64_t height, Pixel background)
+      : content_(width, height, background) {}
+  virtual ~AppPainter() = default;
+
+  /// Advance the application by one frame tick, mutating content().
+  virtual void tick(std::uint64_t tick_index) = 0;
+
+  /// Identifier used in benchmark output rows.
+  virtual std::string_view name() const = 0;
+
+  const Image& content() const { return content_; }
+
+  /// React to a window resize: default reallocates and repaints nothing.
+  virtual void resize(std::int64_t width, std::int64_t height);
+
+ protected:
+  Image content_;
+};
+
+/// Terminal emulator: dark background, characters appear cell by cell;
+/// scrolls one line when the cursor passes the last row. Besides its
+/// self-typing workload mode, it accepts injected input — the AH-side
+/// "regenerate human interface events" hook (§1): wire AppHost's input
+/// sink to inject_utf8()/inject_key() and participants literally type into
+/// the shared terminal.
+class TerminalApp final : public AppPainter {
+ public:
+  TerminalApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+              int chars_per_tick = 8);
+  void tick(std::uint64_t tick_index) override;
+  std::string_view name() const override { return "terminal"; }
+
+  /// Queue text to be "typed" on upcoming ticks (ASCII subset rendered;
+  /// other code points show as a block glyph).
+  void inject_utf8(std::string_view utf8);
+  /// Queue a key event; Enter maps to newline, Backspace erases.
+  void inject_key(std::uint32_t java_keycode);
+
+  std::uint64_t injected_chars() const { return injected_chars_; }
+
+ private:
+  void put_char(std::uint8_t glyph);
+  void backspace();
+  void newline();
+
+  Prng rng_;
+  int chars_per_tick_;
+  std::int64_t cell_w_ = 8;
+  std::int64_t cell_h_ = 16;
+  std::int64_t cursor_col_ = 0;
+  std::int64_t cursor_row_ = 0;
+  std::string pending_input_;
+  std::uint64_t injected_chars_ = 0;
+};
+
+/// Slide deck: every `ticks_per_slide` ticks the whole window repaints with
+/// a new computer-generated layout; otherwise nothing changes.
+class SlideshowApp final : public AppPainter {
+ public:
+  SlideshowApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+               int ticks_per_slide = 30);
+  void tick(std::uint64_t tick_index) override;
+  std::string_view name() const override { return "slideshow"; }
+
+ private:
+  void paint_slide();
+
+  Prng rng_;
+  int ticks_per_slide_;
+};
+
+/// Document viewer: a long synthetic text page scrolled by `pixels_per_tick`
+/// each tick — the canonical MoveRectangle workload (§5.2.3).
+class DocumentApp final : public AppPainter {
+ public:
+  DocumentApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+              std::int64_t pixels_per_tick = 16);
+  void tick(std::uint64_t tick_index) override;
+  std::string_view name() const override { return "document"; }
+
+  std::int64_t scroll_per_tick() const { return pixels_per_tick_; }
+
+ private:
+  void render_viewport();
+
+  Prng rng_;
+  std::int64_t pixels_per_tick_;
+  std::int64_t scroll_offset_ = 0;
+  Image page_;  ///< the full document, taller than the window
+};
+
+/// Movie pane: smooth moving gradients plus per-pixel noise; every pixel
+/// changes every tick (the content class "rendering the output of a modern
+/// computer-generated animation application ... blurs the distinction").
+class VideoApp final : public AppPainter {
+ public:
+  VideoApp(std::int64_t width, std::int64_t height, std::uint64_t seed);
+  void tick(std::uint64_t tick_index) override;
+  std::string_view name() const override { return "video"; }
+
+ private:
+  Prng rng_;
+  double phase_ = 0.0;
+};
+
+/// Whiteboard: each tick draws a short stroke segment at a wandering
+/// position — small, scattered damage.
+class PaintApp final : public AppPainter {
+ public:
+  PaintApp(std::int64_t width, std::int64_t height, std::uint64_t seed);
+  void tick(std::uint64_t tick_index) override;
+  std::string_view name() const override { return "paint"; }
+
+ private:
+  Prng rng_;
+  Point brush_;
+  Pixel colour_;
+};
+
+/// Factory by workload name ("terminal", "slideshow", "document", "video",
+/// "paint"); nullptr for unknown names.
+std::unique_ptr<AppPainter> make_app(std::string_view name, std::int64_t width,
+                                     std::int64_t height, std::uint64_t seed);
+
+}  // namespace ads

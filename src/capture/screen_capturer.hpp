@@ -1,0 +1,58 @@
+// Screen capture substitute: composites the window manager's windows (each
+// backed by an AppPainter) into a desktop framebuffer, blanks everything
+// outside the visible shared region ("must blank all the nonshared
+// windows", §2), and extracts damage rectangles via tile hashing.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "capture/apps.hpp"
+#include "image/damage.hpp"
+#include "image/image.hpp"
+#include "wm/window_manager.hpp"
+
+namespace ads {
+
+struct CaptureResult {
+  /// The shared view: desktop-sized, non-shared areas blanked.
+  const Image* frame = nullptr;
+  /// Changed areas since the previous capture (desktop coordinates).
+  std::vector<Rect> damage;
+};
+
+class ScreenCapturer {
+ public:
+  ScreenCapturer(WindowManager& wm, std::int64_t width, std::int64_t height,
+                 std::int64_t damage_tile = 32);
+
+  /// Attach a content source to a window. The painter is resized to the
+  /// window's current frame.
+  void attach(WindowId id, std::unique_ptr<AppPainter> app);
+  AppPainter* app(WindowId id);
+
+  /// Advance all attached applications one tick and recomposite.
+  CaptureResult capture();
+
+  /// Force the next capture to report full damage (PLI refresh, §5.3.1).
+  void force_full_damage() { damage_.reset(); }
+
+  const Image& last_frame() const { return shared_view_; }
+  const Image& desktop() const { return desktop_; }
+  std::int64_t width() const { return desktop_.width(); }
+  std::int64_t height() const { return desktop_.height(); }
+  std::uint64_t ticks() const { return tick_; }
+
+ private:
+  void composite();
+
+  WindowManager& wm_;
+  std::map<WindowId, std::unique_ptr<AppPainter>> apps_;
+  Image desktop_;      ///< all windows, as the AH user sees them
+  Image shared_view_;  ///< blanked view exported to participants
+  DamageTracker damage_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace ads

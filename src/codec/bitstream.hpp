@@ -1,0 +1,74 @@
+// LSB-first bit I/O as required by DEFLATE (RFC 1951 §3.1.1): data elements
+// are packed starting at the least-significant bit of each byte. Huffman
+// codes are packed most-significant-bit first, which callers achieve by
+// reversing the code bits before writing (see Huffman code builder).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+class BitWriter {
+ public:
+  /// Append the low `count` bits of `bits`, LSB first. count <= 32.
+  void write(std::uint32_t bits, int count);
+
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Append a whole byte (must be byte-aligned).
+  void byte(std::uint8_t b);
+
+  std::size_t bit_count() const { return buf_.size() * 8 - (bit_pos_ ? 8 - bit_pos_ : 0); }
+  const Bytes& data() const { return buf_; }
+  Bytes take() {
+    align_to_byte();
+    return std::move(buf_);
+  }
+
+ private:
+  Bytes buf_;
+  int bit_pos_ = 0;  ///< bits already used in the last byte (0 = aligned)
+};
+
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  /// Read `count` bits, LSB first. Returns kTruncated past the end.
+  Result<std::uint32_t> read(int count);
+
+  /// Read a single bit.
+  Result<std::uint32_t> bit() { return read(1); }
+
+  /// Discard bits up to the next byte boundary.
+  void align_to_byte();
+
+  /// Bytes fully or partially consumed so far.
+  std::size_t byte_position() const { return byte_pos_ + (bit_pos_ ? 1 : 0); }
+  /// View of remaining whole bytes (call align_to_byte() first).
+  BytesView remaining_bytes() const { return data_.subspan(byte_pos_); }
+  std::size_t bits_remaining() const {
+    return (data_.size() - byte_pos_) * 8 - static_cast<std::size_t>(bit_pos_);
+  }
+
+ private:
+  BytesView data_;
+  std::size_t byte_pos_ = 0;
+  int bit_pos_ = 0;  ///< bits consumed in the current byte
+};
+
+/// Reverse the low `count` bits of `v` (used to emit Huffman codes MSB-first
+/// through the LSB-first writer).
+constexpr std::uint32_t reverse_bits(std::uint32_t v, int count) {
+  std::uint32_t r = 0;
+  for (int i = 0; i < count; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+}  // namespace ads

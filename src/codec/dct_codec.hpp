@@ -1,0 +1,35 @@
+// Lossy DCT codec — the "JPEG-like" alternative the draft names for
+// photographic content (§4.2). JPEG-style pipeline: RGB→YCbCr, 8×8 DCT-II
+// per channel, quality-scaled quantisation with the standard JPEG example
+// tables, zig-zag ordering, DC delta coding, then our DEFLATE as the entropy
+// stage (instead of JPEG's arithmetic/Huffman coder — the rate/distortion
+// behaviour relevant to experiment E1 is preserved).
+// Layout: u32 width | u32 height | u8 quality | zlib(coefficient stream).
+#pragma once
+
+#include "codec/video_codec.hpp"
+
+namespace ads {
+
+struct DctOptions {
+  int quality = 75;  ///< 1 (worst) .. 100 (near-lossless)
+};
+
+Bytes dct_encode(const Image& img, const DctOptions& opts = {});
+Result<Image> dct_decode(BytesView data);
+
+class DctCodec final : public ImageCodec {
+ public:
+  explicit DctCodec(DctOptions opts = {}) : opts_(opts) {}
+
+  ContentPt payload_type() const override { return ContentPt::kDct; }
+  std::string_view name() const override { return "dct"; }
+  bool lossless() const override { return false; }
+  Bytes encode(const Image& img) const override { return dct_encode(img, opts_); }
+  Result<Image> decode(BytesView data) const override { return dct_decode(data); }
+
+ private:
+  DctOptions opts_;
+};
+
+}  // namespace ads

@@ -1,0 +1,483 @@
+#include "codec/deflate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "codec/bitstream.hpp"
+#include "codec/huffman.hpp"
+
+namespace ads {
+
+namespace deflate_tables {
+
+int length_code(int length) {
+  assert(length >= 3 && length <= 258);
+  // Linear scan over 29 entries is branch-predictable and not on the hot
+  // path (called once per token after search).
+  for (int i = kNumLengthCodes - 1; i >= 0; --i) {
+    if (length >= kLengthBase[static_cast<std::size_t>(i)]) {
+      // Code 28 (base 258) carries no extra bits; lengths 227..257 belong
+      // to code 27 even though 258 >= 227.
+      if (i == 28 && length != 258) continue;
+      return i;
+    }
+  }
+  return 0;
+}
+
+int dist_code(int dist) {
+  assert(dist >= 1 && dist <= 32768);
+  for (int i = kNumDistCodes - 1; i >= 0; --i) {
+    if (dist >= kDistBase[static_cast<std::size_t>(i)]) return i;
+  }
+  return 0;
+}
+
+}  // namespace deflate_tables
+
+namespace {
+
+using namespace deflate_tables;
+
+constexpr int kWindowSize = 32768;
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kHashBits = 15;
+constexpr int kHashSize = 1 << kHashBits;
+constexpr int kEndOfBlock = 256;
+constexpr int kNumLitLen = 286;  // literal/length alphabet size
+
+/// One LZ77 token: a literal byte (dist == 0) or a (length, dist) match.
+struct Token {
+  std::uint16_t length_or_literal;
+  std::uint16_t dist;
+};
+
+std::uint32_t hash3(const std::uint8_t* p) {
+  // Multiplicative hash of 3 bytes into kHashBits.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          static_cast<std::uint32_t>(p[1]) << 8 |
+                          static_cast<std::uint32_t>(p[2]) << 16;
+  return (v * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+struct SearchParams {
+  int max_chain;
+  int nice_length;  ///< stop searching once a match this long is found
+  bool lazy;
+};
+
+SearchParams params_for_level(int level) {
+  switch (level) {
+    case 1: return {4, 16, false};
+    case 2: return {8, 32, false};
+    case 3: return {16, 64, false};
+    case 4: return {32, 64, true};
+    case 5: return {64, 128, true};
+    case 6: return {128, 192, true};
+    case 7: return {256, 258, true};
+    case 8: return {1024, 258, true};
+    default: return {4096, 258, true};  // 9+
+  }
+}
+
+int match_length(const std::uint8_t* a, const std::uint8_t* b, int limit) {
+  int n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+/// Hash-chain LZ77 tokeniser.
+class Lz77 {
+ public:
+  Lz77(BytesView input, SearchParams params) : in_(input), params_(params) {
+    head_.assign(kHashSize, -1);
+    prev_.assign(input.size(), -1);
+  }
+
+  std::vector<Token> tokenize() {
+    std::vector<Token> tokens;
+    tokens.reserve(in_.size() / 3 + 16);
+    const std::size_t n = in_.size();
+    std::size_t i = 0;
+    int pending_literal = -1;  // deferred byte during lazy evaluation
+    while (i < n) {
+      int best_len = 0;
+      int best_dist = 0;
+      find_match(i, best_len, best_dist);
+
+      if (params_.lazy && best_len >= kMinMatch && best_len < params_.nice_length &&
+          i + 1 < n) {
+        // Peek at i+1; if strictly better there, emit in_[i] as a literal.
+        int next_len = 0;
+        int next_dist = 0;
+        insert(i);
+        find_match(i + 1, next_len, next_dist);
+        if (next_len > best_len) {
+          tokens.push_back({in_[i], 0});
+          ++i;
+          // The match at i (now i_old+1) will be re-found next iteration;
+          // avoid reinserting i twice.
+          pending_literal = -1;
+          continue;
+        }
+        // Match at i wins; we already inserted i, so skip the first insert
+        // in the emit path below.
+        emit_match(tokens, i, best_len, best_dist, /*first_inserted=*/true);
+        i += static_cast<std::size_t>(best_len);
+        continue;
+      }
+
+      if (best_len >= kMinMatch) {
+        emit_match(tokens, i, best_len, best_dist, false);
+        i += static_cast<std::size_t>(best_len);
+      } else {
+        insert(i);
+        tokens.push_back({in_[i], 0});
+        ++i;
+      }
+    }
+    (void)pending_literal;
+    return tokens;
+  }
+
+ private:
+  void find_match(std::size_t pos, int& best_len, int& best_dist) const {
+    best_len = 0;
+    best_dist = 0;
+    const std::size_t n = in_.size();
+    if (pos + kMinMatch > n) return;
+    const int limit = static_cast<int>(std::min<std::size_t>(kMaxMatch, n - pos));
+    int candidate = head_[hash3(&in_[pos])];
+    int chain = params_.max_chain;
+    while (candidate >= 0 && chain-- > 0) {
+      const std::size_t cpos = static_cast<std::size_t>(candidate);
+      if (pos - cpos > kWindowSize) break;
+      const int len = match_length(&in_[cpos], &in_[pos], limit);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = static_cast<int>(pos - cpos);
+        if (len >= params_.nice_length) break;
+      }
+      candidate = prev_[cpos];
+    }
+  }
+
+  void insert(std::size_t pos) {
+    if (pos + kMinMatch > in_.size()) return;
+    const std::uint32_t h = hash3(&in_[pos]);
+    prev_[pos] = head_[h];
+    head_[h] = static_cast<int>(pos);
+  }
+
+  void emit_match(std::vector<Token>& tokens, std::size_t pos, int len, int dist,
+                  bool first_inserted) {
+    tokens.push_back(
+        {static_cast<std::uint16_t>(len), static_cast<std::uint16_t>(dist)});
+    const std::size_t start = first_inserted ? pos + 1 : pos;
+    for (std::size_t p = start; p < pos + static_cast<std::size_t>(len); ++p) insert(p);
+  }
+
+  BytesView in_;
+  SearchParams params_;
+  std::vector<int> head_;
+  std::vector<int> prev_;
+};
+
+/// Fixed literal/length code lengths (RFC 1951 §3.2.6).
+std::vector<std::uint8_t> fixed_litlen_lengths() {
+  std::vector<std::uint8_t> l(288);
+  for (int i = 0; i <= 143; ++i) l[static_cast<std::size_t>(i)] = 8;
+  for (int i = 144; i <= 255; ++i) l[static_cast<std::size_t>(i)] = 9;
+  for (int i = 256; i <= 279; ++i) l[static_cast<std::size_t>(i)] = 7;
+  for (int i = 280; i <= 287; ++i) l[static_cast<std::size_t>(i)] = 8;
+  return l;
+}
+
+std::vector<std::uint8_t> fixed_dist_lengths() {
+  return std::vector<std::uint8_t>(30, 5);
+}
+
+struct CodeSet {
+  std::vector<std::uint8_t> litlen_lengths;
+  std::vector<std::uint32_t> litlen_codes;
+  std::vector<std::uint8_t> dist_lengths;
+  std::vector<std::uint32_t> dist_codes;
+};
+
+void count_frequencies(const std::vector<Token>& tokens,
+                       std::vector<std::uint64_t>& lit_freq,
+                       std::vector<std::uint64_t>& dist_freq) {
+  lit_freq.assign(kNumLitLen, 0);
+  dist_freq.assign(kNumDistCodes, 0);
+  for (const Token& t : tokens) {
+    if (t.dist == 0) {
+      ++lit_freq[t.length_or_literal];
+    } else {
+      ++lit_freq[static_cast<std::size_t>(257 + length_code(t.length_or_literal))];
+      ++dist_freq[static_cast<std::size_t>(dist_code(t.dist))];
+    }
+  }
+  ++lit_freq[kEndOfBlock];
+}
+
+/// Cost in bits of coding `tokens` with the given code lengths (excluding
+/// any block header).
+std::uint64_t body_cost_bits(const std::vector<Token>& tokens,
+                             const std::vector<std::uint8_t>& litlen,
+                             const std::vector<std::uint8_t>& dist) {
+  std::uint64_t bits = 0;
+  for (const Token& t : tokens) {
+    if (t.dist == 0) {
+      bits += litlen[t.length_or_literal];
+    } else {
+      const int lc = length_code(t.length_or_literal);
+      const int dc = dist_code(t.dist);
+      bits += litlen[static_cast<std::size_t>(257 + lc)] +
+              kLengthExtra[static_cast<std::size_t>(lc)] +
+              dist[static_cast<std::size_t>(dc)] +
+              kDistExtra[static_cast<std::size_t>(dc)];
+    }
+  }
+  bits += litlen[kEndOfBlock];
+  return bits;
+}
+
+void write_tokens(BitWriter& out, const std::vector<Token>& tokens, const CodeSet& cs) {
+  for (const Token& t : tokens) {
+    if (t.dist == 0) {
+      out.write(cs.litlen_codes[t.length_or_literal],
+                cs.litlen_lengths[t.length_or_literal]);
+    } else {
+      const int lc = length_code(t.length_or_literal);
+      const std::size_t sym = static_cast<std::size_t>(257 + lc);
+      out.write(cs.litlen_codes[sym], cs.litlen_lengths[sym]);
+      const int le = kLengthExtra[static_cast<std::size_t>(lc)];
+      if (le) {
+        out.write(static_cast<std::uint32_t>(t.length_or_literal -
+                                             kLengthBase[static_cast<std::size_t>(lc)]),
+                  le);
+      }
+      const int dc = dist_code(t.dist);
+      out.write(cs.dist_codes[static_cast<std::size_t>(dc)],
+                cs.dist_lengths[static_cast<std::size_t>(dc)]);
+      const int de = kDistExtra[static_cast<std::size_t>(dc)];
+      if (de) {
+        out.write(
+            static_cast<std::uint32_t>(t.dist - kDistBase[static_cast<std::size_t>(dc)]),
+            de);
+      }
+    }
+  }
+  out.write(cs.litlen_codes[kEndOfBlock], cs.litlen_lengths[kEndOfBlock]);
+}
+
+/// Run-length encode the concatenated litlen+dist code lengths into
+/// code-length-code symbols (with 16/17/18 repeats), per §3.2.7.
+struct ClcSymbol {
+  std::uint8_t symbol;
+  std::uint8_t extra;       ///< repeat payload for 16/17/18
+};
+
+std::vector<ClcSymbol> rle_code_lengths(const std::vector<std::uint8_t>& lengths) {
+  std::vector<ClcSymbol> out;
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    const std::uint8_t v = lengths[i];
+    std::size_t run = 1;
+    while (i + run < lengths.size() && lengths[i + run] == v) ++run;
+    if (v == 0) {
+      std::size_t left = run;
+      while (left >= 11) {
+        const std::size_t take = std::min<std::size_t>(left, 138);
+        out.push_back({18, static_cast<std::uint8_t>(take - 11)});
+        left -= take;
+      }
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 10);
+        out.push_back({17, static_cast<std::uint8_t>(take - 3)});
+        left -= take;
+      }
+      for (std::size_t k = 0; k < left; ++k) out.push_back({0, 0});
+    } else {
+      out.push_back({v, 0});
+      std::size_t left = run - 1;
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 6);
+        out.push_back({16, static_cast<std::uint8_t>(take - 3)});
+        left -= take;
+      }
+      for (std::size_t k = 0; k < left; ++k) out.push_back({v, 0});
+    }
+    i += run;
+  }
+  return out;
+}
+
+void write_stored(BitWriter& out, BytesView input, bool final_block) {
+  // Stored blocks are limited to 65535 bytes each.
+  std::size_t pos = 0;
+  do {
+    const std::size_t chunk = std::min<std::size_t>(input.size() - pos, 65535);
+    const bool last = final_block && pos + chunk == input.size();
+    out.write(last ? 1 : 0, 1);
+    out.write(0, 2);  // BTYPE=00
+    out.align_to_byte();
+    const std::uint16_t len = static_cast<std::uint16_t>(chunk);
+    out.byte(static_cast<std::uint8_t>(len));
+    out.byte(static_cast<std::uint8_t>(len >> 8));
+    out.byte(static_cast<std::uint8_t>(~len));
+    out.byte(static_cast<std::uint8_t>(~len >> 8));
+    for (std::size_t k = 0; k < chunk; ++k) out.byte(input[pos + k]);
+    pos += chunk;
+  } while (pos < input.size());
+}
+
+struct DynamicHeader {
+  std::vector<ClcSymbol> rle;
+  std::vector<std::uint8_t> clc_lengths;   // 19 entries
+  std::vector<std::uint32_t> clc_codes;
+  int hlit;
+  int hdist;
+  int hclen;
+  std::uint64_t cost_bits;
+};
+
+DynamicHeader build_dynamic_header(const std::vector<std::uint8_t>& litlen,
+                                   const std::vector<std::uint8_t>& dist) {
+  DynamicHeader h;
+  // HLIT: number of litlen codes - 257 (at least 257 codes transmitted).
+  int nlit = kNumLitLen;
+  while (nlit > 257 && litlen[static_cast<std::size_t>(nlit - 1)] == 0) --nlit;
+  int ndist = kNumDistCodes;
+  while (ndist > 1 && dist[static_cast<std::size_t>(ndist - 1)] == 0) --ndist;
+  h.hlit = nlit - 257;
+  h.hdist = ndist - 1;
+
+  std::vector<std::uint8_t> all(litlen.begin(), litlen.begin() + nlit);
+  all.insert(all.end(), dist.begin(), dist.begin() + ndist);
+  h.rle = rle_code_lengths(all);
+
+  std::vector<std::uint64_t> clc_freq(19, 0);
+  for (const ClcSymbol& s : h.rle) ++clc_freq[s.symbol];
+  h.clc_lengths = build_code_lengths(clc_freq, 7);
+  h.clc_codes = canonical_codes(h.clc_lengths);
+
+  int nclc = 19;
+  while (nclc > 4 && h.clc_lengths[kClcOrder[static_cast<std::size_t>(nclc - 1)]] == 0)
+    --nclc;
+  h.hclen = nclc - 4;
+
+  h.cost_bits = 5 + 5 + 4 + static_cast<std::uint64_t>(nclc) * 3;
+  for (const ClcSymbol& s : h.rle) {
+    h.cost_bits += h.clc_lengths[s.symbol];
+    if (s.symbol == 16) h.cost_bits += 2;
+    if (s.symbol == 17) h.cost_bits += 3;
+    if (s.symbol == 18) h.cost_bits += 7;
+  }
+  return h;
+}
+
+void write_dynamic_header(BitWriter& out, const DynamicHeader& h) {
+  out.write(static_cast<std::uint32_t>(h.hlit), 5);
+  out.write(static_cast<std::uint32_t>(h.hdist), 5);
+  out.write(static_cast<std::uint32_t>(h.hclen), 4);
+  for (int i = 0; i < h.hclen + 4; ++i) {
+    out.write(h.clc_lengths[kClcOrder[static_cast<std::size_t>(i)]], 3);
+  }
+  for (const ClcSymbol& s : h.rle) {
+    out.write(h.clc_codes[s.symbol], h.clc_lengths[s.symbol]);
+    if (s.symbol == 16) out.write(s.extra, 2);
+    if (s.symbol == 17) out.write(s.extra, 3);
+    if (s.symbol == 18) out.write(s.extra, 7);
+  }
+}
+
+}  // namespace
+
+Bytes deflate_compress(BytesView input, const DeflateOptions& opts) {
+  BitWriter out;
+
+  if (opts.level <= 0 || opts.block == DeflateOptions::Block::kStored) {
+    if (input.empty()) {
+      // A zero-length stored block is still a valid final block.
+      out.write(1, 1);
+      out.write(0, 2);
+      out.align_to_byte();
+      out.byte(0);
+      out.byte(0);
+      out.byte(0xFF);
+      out.byte(0xFF);
+      return out.take();
+    }
+    write_stored(out, input, true);
+    return out.take();
+  }
+
+  const SearchParams params = params_for_level(opts.level);
+  std::vector<Token> tokens = Lz77(input, params).tokenize();
+
+  // Candidate 1: fixed Huffman.
+  CodeSet fixed;
+  fixed.litlen_lengths = fixed_litlen_lengths();
+  fixed.litlen_codes = canonical_codes(fixed.litlen_lengths);
+  fixed.dist_lengths = fixed_dist_lengths();
+  fixed.dist_codes = canonical_codes(fixed.dist_lengths);
+  const std::uint64_t fixed_bits =
+      3 + body_cost_bits(tokens, fixed.litlen_lengths, fixed.dist_lengths);
+
+  // Candidate 2: dynamic Huffman.
+  std::vector<std::uint64_t> lit_freq;
+  std::vector<std::uint64_t> dist_freq;
+  count_frequencies(tokens, lit_freq, dist_freq);
+  CodeSet dyn;
+  dyn.litlen_lengths = build_code_lengths(lit_freq, 15);
+  dyn.dist_lengths = build_code_lengths(dist_freq, 15);
+  // DEFLATE requires at least one distance code length slot even if unused.
+  if (std::all_of(dyn.dist_lengths.begin(), dyn.dist_lengths.end(),
+                  [](std::uint8_t l) { return l == 0; })) {
+    dyn.dist_lengths[0] = 1;
+  }
+  dyn.litlen_codes = canonical_codes(dyn.litlen_lengths);
+  dyn.dist_codes = canonical_codes(dyn.dist_lengths);
+  const DynamicHeader header = build_dynamic_header(dyn.litlen_lengths, dyn.dist_lengths);
+  const std::uint64_t dyn_bits =
+      3 + header.cost_bits +
+      body_cost_bits(tokens, dyn.litlen_lengths, dyn.dist_lengths);
+
+  const std::uint64_t stored_bits = (input.size() + 5 * (input.size() / 65535 + 1)) * 8;
+
+  auto choice = opts.block;
+  if (choice == DeflateOptions::Block::kAuto) {
+    if (stored_bits < fixed_bits && stored_bits < dyn_bits) {
+      choice = DeflateOptions::Block::kStored;
+    } else if (fixed_bits <= dyn_bits) {
+      choice = DeflateOptions::Block::kFixed;
+    } else {
+      choice = DeflateOptions::Block::kDynamic;
+    }
+  }
+
+  switch (choice) {
+    case DeflateOptions::Block::kStored:
+      write_stored(out, input, true);
+      break;
+    case DeflateOptions::Block::kFixed:
+      out.write(1, 1);  // BFINAL
+      out.write(1, 2);  // BTYPE=01
+      write_tokens(out, tokens, fixed);
+      break;
+    case DeflateOptions::Block::kDynamic:
+    case DeflateOptions::Block::kAuto:
+      out.write(1, 1);
+      out.write(2, 2);  // BTYPE=10
+      write_dynamic_header(out, header);
+      write_tokens(out, tokens, dyn);
+      break;
+  }
+  return out.take();
+}
+
+}  // namespace ads

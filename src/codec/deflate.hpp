@@ -1,0 +1,58 @@
+// DEFLATE compressor (RFC 1951), implemented from scratch.
+//
+// Pipeline: LZ77 tokenisation with hash-chain match search (optionally
+// lazy), then per-stream Huffman coding. The encoder emits whichever of
+// {stored, fixed-Huffman, dynamic-Huffman} blocks is smallest for the data.
+// Shared tables (length/distance code bases) live in this header so the
+// inflater uses the identical definitions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+struct DeflateOptions {
+  /// 0 = stored only; 1 = greedy match, fixed-block preferred; 2-9 = hash
+  /// chain search depth grows, lazy matching from level 4.
+  int level = 6;
+  /// Force block type for ablation benchmarks (E9); kAuto picks cheapest.
+  enum class Block { kAuto, kStored, kFixed, kDynamic } block = Block::kAuto;
+};
+
+/// Compress `input` into a raw DEFLATE stream (no zlib wrapper).
+Bytes deflate_compress(BytesView input, const DeflateOptions& opts = {});
+
+namespace deflate_tables {
+
+// RFC 1951 §3.2.5. Length codes 257..285: base length and extra bits.
+inline constexpr int kNumLengthCodes = 29;
+inline constexpr std::array<std::uint16_t, kNumLengthCodes> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+inline constexpr std::array<std::uint8_t, kNumLengthCodes> kLengthExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// Distance codes 0..29: base distance and extra bits.
+inline constexpr int kNumDistCodes = 30;
+inline constexpr std::array<std::uint16_t, kNumDistCodes> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+inline constexpr std::array<std::uint8_t, kNumDistCodes> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+// Order in which code-length-code lengths are transmitted (§3.2.7).
+inline constexpr std::array<std::uint8_t, 19> kClcOrder = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+/// Length value (3..258) -> length code index (0..28).
+int length_code(int length);
+/// Distance value (1..32768) -> distance code index (0..29).
+int dist_code(int dist);
+
+}  // namespace deflate_tables
+
+}  // namespace ads

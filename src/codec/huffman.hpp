@@ -1,0 +1,57 @@
+// Canonical Huffman code construction and decoding, shared by the DEFLATE
+// encoder/decoder and the DCT codec's entropy stage.
+//
+// Encoding side: build_code_lengths() produces length-limited code lengths
+// from symbol frequencies; canonical_codes() assigns the RFC 1951 §3.2.2
+// canonical bit patterns (returned already bit-reversed, ready for the
+// LSB-first BitWriter).
+//
+// Decoding side: HuffmanDecoder consumes a code-length vector and decodes
+// symbols from a BitReader via the canonical count/offset method.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/bitstream.hpp"
+#include "util/result.hpp"
+
+namespace ads {
+
+/// Compute code lengths (0 = symbol unused) for `freqs`, limited to
+/// `max_bits`. Uses Huffman construction with frequency-halving fallback
+/// when the natural tree exceeds the limit. If only one symbol has nonzero
+/// frequency it is assigned length 1 (DEFLATE requires a decodable code).
+std::vector<std::uint8_t> build_code_lengths(const std::vector<std::uint64_t>& freqs,
+                                             int max_bits);
+
+/// Canonical code values for `lengths` per RFC 1951, bit-reversed so they
+/// can be emitted through the LSB-first BitWriter directly.
+std::vector<std::uint32_t> canonical_codes(const std::vector<std::uint8_t>& lengths);
+
+class HuffmanDecoder {
+ public:
+  HuffmanDecoder() = default;
+
+  /// Build the decoding tables. Fails (kBadValue) on an over-subscribed
+  /// code; incomplete codes are accepted (required by DEFLATE's degenerate
+  /// single-symbol distance codes).
+  ParseStatus init(const std::vector<std::uint8_t>& lengths);
+
+  /// Decode one symbol.
+  Result<int> decode(BitReader& in) const;
+
+  bool initialised() const { return !sorted_symbols_.empty(); }
+
+ private:
+  static constexpr int kMaxBits = 15;
+  // counts_[l]   = number of codes of length l
+  // offsets_[l]  = index into sorted_symbols_ of the first code of length l
+  // first_code_[l] = canonical value of the first (non-reversed) code of length l
+  std::uint16_t counts_[kMaxBits + 1] = {};
+  std::uint16_t offsets_[kMaxBits + 1] = {};
+  std::uint32_t first_code_[kMaxBits + 1] = {};
+  std::vector<std::uint16_t> sorted_symbols_;
+};
+
+}  // namespace ads

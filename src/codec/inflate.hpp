@@ -1,0 +1,21 @@
+// DEFLATE decompressor (RFC 1951). Tolerant of any conformant stream, not
+// just our own encoder's output; all failures are reported as ParseError
+// (untrusted network data must never crash the participant).
+#pragma once
+
+#include <cstddef>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+struct InflateLimits {
+  /// Refuse to expand beyond this many bytes (zip-bomb guard for data
+  /// arriving from the network). 0 means unlimited.
+  std::size_t max_output = 0;
+};
+
+/// Decompress a raw DEFLATE stream.
+Result<Bytes> inflate(BytesView input, const InflateLimits& limits = {});
+
+}  // namespace ads

@@ -1,0 +1,236 @@
+#include "codec/png.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include "codec/zlib.hpp"
+#include "util/checksum.hpp"
+
+namespace ads {
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kSignature = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1A,
+                                                    '\n'};
+
+void write_chunk(ByteWriter& out, const char type[4], BytesView payload) {
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  const std::size_t crc_start = out.size();
+  out.bytes(type, 4);
+  out.bytes(payload);
+  Crc32 crc;
+  crc.update(BytesView(out.view().subspan(crc_start)));
+  out.u32(crc.value());
+}
+
+std::uint8_t paeth(std::uint8_t a, std::uint8_t b, std::uint8_t c) {
+  const int p = static_cast<int>(a) + b - c;
+  const int pa = std::abs(p - a);
+  const int pb = std::abs(p - b);
+  const int pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) return a;
+  if (pb <= pc) return b;
+  return c;
+}
+
+/// Apply filter `type` to `row` (length n, pixel stride bpp) given the
+/// previous scanline `prior` (may be null for the first row); writes into
+/// `out`.
+void filter_row(int type, const std::uint8_t* row, const std::uint8_t* prior,
+                std::size_t n, std::size_t bpp, std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t x = row[i];
+    const std::uint8_t a = i >= bpp ? row[i - bpp] : 0;
+    const std::uint8_t b = prior ? prior[i] : 0;
+    const std::uint8_t c = (prior && i >= bpp) ? prior[i - bpp] : 0;
+    std::uint8_t v = 0;
+    switch (type) {
+      case 0: v = x; break;
+      case 1: v = static_cast<std::uint8_t>(x - a); break;
+      case 2: v = static_cast<std::uint8_t>(x - b); break;
+      case 3: v = static_cast<std::uint8_t>(x - (a + b) / 2); break;
+      case 4: v = static_cast<std::uint8_t>(x - paeth(a, b, c)); break;
+    }
+    out[i] = v;
+  }
+}
+
+void unfilter_row(int type, std::uint8_t* row, const std::uint8_t* prior, std::size_t n,
+                  std::size_t bpp) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t a = i >= bpp ? row[i - bpp] : 0;
+    const std::uint8_t b = prior ? prior[i] : 0;
+    const std::uint8_t c = (prior && i >= bpp) ? prior[i - bpp] : 0;
+    switch (type) {
+      case 0: break;
+      case 1: row[i] = static_cast<std::uint8_t>(row[i] + a); break;
+      case 2: row[i] = static_cast<std::uint8_t>(row[i] + b); break;
+      case 3: row[i] = static_cast<std::uint8_t>(row[i] + (a + b) / 2); break;
+      case 4: row[i] = static_cast<std::uint8_t>(row[i] + paeth(a, b, c)); break;
+    }
+  }
+}
+
+std::uint64_t abs_sum(const std::uint8_t* data, std::size_t n) {
+  // Sum of |signed interpretation|: the standard PNG filter heuristic.
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::int8_t>(data[i]);
+    s += static_cast<std::uint64_t>(v < 0 ? -v : v);
+  }
+  return s;
+}
+
+}  // namespace
+
+Bytes png_encode(const Image& img, const PngOptions& opts) {
+  const std::size_t width = static_cast<std::size_t>(img.width());
+  const std::size_t height = static_cast<std::size_t>(img.height());
+  const std::size_t bpp = opts.rgba ? 4 : 3;
+  const std::size_t stride = width * bpp;
+
+  // Serialise pixel rows.
+  Bytes raster(height * stride);
+  for (std::size_t y = 0; y < height; ++y) {
+    const auto row = img.row(static_cast<std::int64_t>(y));
+    std::uint8_t* out = &raster[y * stride];
+    for (std::size_t x = 0; x < width; ++x) {
+      out[x * bpp + 0] = row[x].r;
+      out[x * bpp + 1] = row[x].g;
+      out[x * bpp + 2] = row[x].b;
+      if (opts.rgba) out[x * bpp + 3] = row[x].a;
+    }
+  }
+
+  // Filter: each scanline is prefixed with its filter type byte.
+  Bytes filtered((stride + 1) * height);
+  Bytes scratch(stride);
+  for (std::size_t y = 0; y < height; ++y) {
+    const std::uint8_t* row = &raster[y * stride];
+    const std::uint8_t* prior = y > 0 ? &raster[(y - 1) * stride] : nullptr;
+    std::uint8_t* dst = &filtered[y * (stride + 1)];
+    if (!opts.adaptive_filters || stride == 0) {
+      dst[0] = 0;
+      if (stride) std::memcpy(dst + 1, row, stride);
+      continue;
+    }
+    int best_type = 0;
+    std::uint64_t best_score = ~0ull;
+    for (int type = 0; type < 5; ++type) {
+      filter_row(type, row, prior, stride, bpp, scratch.data());
+      const std::uint64_t score = abs_sum(scratch.data(), stride);
+      if (score < best_score) {
+        best_score = score;
+        best_type = type;
+      }
+    }
+    dst[0] = static_cast<std::uint8_t>(best_type);
+    filter_row(best_type, row, prior, stride, bpp, dst + 1);
+  }
+
+  ByteWriter out(filtered.size() / 3 + 128);
+  out.bytes(kSignature.data(), kSignature.size());
+
+  ByteWriter ihdr(13);
+  ihdr.u32(static_cast<std::uint32_t>(width));
+  ihdr.u32(static_cast<std::uint32_t>(height));
+  ihdr.u8(8);                          // bit depth
+  ihdr.u8(opts.rgba ? 6 : 2);          // colour type: RGBA or RGB
+  ihdr.u8(0);                          // compression: deflate
+  ihdr.u8(0);                          // filter method 0
+  ihdr.u8(0);                          // no interlace
+  write_chunk(out, "IHDR", ihdr.view());
+
+  const Bytes idat = zlib_compress(filtered, opts.deflate);
+  write_chunk(out, "IDAT", idat);
+  write_chunk(out, "IEND", {});
+  return out.take();
+}
+
+Result<Image> png_decode(BytesView data) {
+  ByteReader in(data);
+  auto sig = in.bytes(kSignature.size());
+  if (!sig) return sig.error();
+  if (!std::equal(sig->begin(), sig->end(), kSignature.begin()))
+    return ParseError::kBadMagic;
+
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  int colour_type = -1;
+  Bytes idat;
+  bool seen_iend = false;
+
+  while (!in.at_end() && !seen_iend) {
+    auto len = in.u32();
+    if (!len) return len.error();
+    auto type_bytes = in.bytes(4);
+    if (!type_bytes) return type_bytes.error();
+    auto payload = in.bytes(*len);
+    if (!payload) return payload.error();
+    auto crc_field = in.u32();
+    if (!crc_field) return crc_field.error();
+
+    Crc32 crc;
+    crc.update(*type_bytes);
+    crc.update(*payload);
+    if (crc.value() != *crc_field) return ParseError::kBadChecksum;
+
+    const std::string_view type(reinterpret_cast<const char*>(type_bytes->data()), 4);
+    if (type == "IHDR") {
+      ByteReader h(*payload);
+      auto w = h.u32();
+      auto ht = h.u32();
+      auto depth = h.u8();
+      auto ct = h.u8();
+      auto comp = h.u8();
+      auto filt = h.u8();
+      auto inter = h.u8();
+      if (!w || !ht || !depth || !ct || !comp || !filt || !inter)
+        return ParseError::kTruncated;
+      if (*depth != 8 || (*ct != 2 && *ct != 6)) return ParseError::kUnsupported;
+      if (*comp != 0 || *filt != 0 || *inter != 0) return ParseError::kUnsupported;
+      width = *w;
+      height = *ht;
+      colour_type = *ct;
+      // 1 GiB raster guard against hostile dimensions.
+      const std::uint64_t raster_bytes =
+          static_cast<std::uint64_t>(width) * height * (*ct == 6 ? 4 : 3);
+      if (raster_bytes > (1ull << 30)) return ParseError::kOverflow;
+    } else if (type == "IDAT") {
+      idat.insert(idat.end(), payload->begin(), payload->end());
+    } else if (type == "IEND") {
+      seen_iend = true;
+    }
+    // Ancillary chunks are skipped.
+  }
+  if (colour_type < 0 || !seen_iend) return ParseError::kTruncated;
+
+  const std::size_t bpp = colour_type == 6 ? 4 : 3;
+  const std::size_t stride = static_cast<std::size_t>(width) * bpp;
+  const std::size_t expected = (stride + 1) * height;
+  auto raw = zlib_decompress(idat, {.max_output = expected});
+  if (!raw) return raw.error();
+  if (raw->size() != expected) return ParseError::kBadValue;
+
+  Image img(width, height);
+  std::uint8_t* prior = nullptr;
+  for (std::size_t y = 0; y < height; ++y) {
+    std::uint8_t* line = &(*raw)[y * (stride + 1)];
+    const int ftype = *line;
+    if (ftype > 4) return ParseError::kBadValue;
+    std::uint8_t* row = line + 1;
+    unfilter_row(ftype, row, prior, stride, bpp);
+    for (std::size_t x = 0; x < width; ++x) {
+      Pixel p;
+      p.r = row[x * bpp + 0];
+      p.g = row[x * bpp + 1];
+      p.b = row[x * bpp + 2];
+      p.a = bpp == 4 ? row[x * bpp + 3] : 255;
+      img.set(static_cast<std::int64_t>(x), static_cast<std::int64_t>(y), p);
+    }
+    prior = row;
+  }
+  return img;
+}
+
+}  // namespace ads

@@ -1,0 +1,35 @@
+#include "codec/raw_codec.hpp"
+
+namespace ads {
+
+Bytes raw_encode(const Image& img) {
+  ByteWriter out(static_cast<std::size_t>(img.width() * img.height()) * 4 + 8);
+  out.u32(static_cast<std::uint32_t>(img.width()));
+  out.u32(static_cast<std::uint32_t>(img.height()));
+  for (const Pixel& p : img.pixels()) {
+    out.u8(p.r);
+    out.u8(p.g);
+    out.u8(p.b);
+    out.u8(p.a);
+  }
+  return out.take();
+}
+
+Result<Image> raw_decode(BytesView data) {
+  ByteReader in(data);
+  auto w = in.u32();
+  auto h = in.u32();
+  if (!w || !h) return ParseError::kTruncated;
+  const std::uint64_t count = static_cast<std::uint64_t>(*w) * *h;
+  if (count * 4 > (1ull << 30)) return ParseError::kOverflow;
+  if (in.remaining() != count * 4) return ParseError::kBadValue;
+  Image img(*w, *h);
+  auto px = img.pixels();
+  const BytesView body = in.rest();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    px[i] = Pixel{body[i * 4], body[i * 4 + 1], body[i * 4 + 2], body[i * 4 + 3]};
+  }
+  return img;
+}
+
+}  // namespace ads

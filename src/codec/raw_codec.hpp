@@ -1,0 +1,22 @@
+// Uncompressed RGBA codec: the bandwidth baseline for the E1 benchmark and
+// the simplest possible RegionUpdate payload.
+// Layout: u32 width | u32 height | width*height*4 bytes RGBA.
+#pragma once
+
+#include "codec/video_codec.hpp"
+
+namespace ads {
+
+Bytes raw_encode(const Image& img);
+Result<Image> raw_decode(BytesView data);
+
+class RawCodec final : public ImageCodec {
+ public:
+  ContentPt payload_type() const override { return ContentPt::kRaw; }
+  std::string_view name() const override { return "raw"; }
+  bool lossless() const override { return true; }
+  Bytes encode(const Image& img) const override { return raw_encode(img); }
+  Result<Image> decode(BytesView data) const override { return raw_decode(data); }
+};
+
+}  // namespace ads

@@ -1,0 +1,23 @@
+// Run-length codec: cheap lossless compression exploiting the draft's
+// observation that screen content has "large areas ... that remain
+// unchanged" — flat colour runs dominate computer-generated imagery.
+// Layout: u32 width | u32 height | repeated (u16 run_length, 4-byte RGBA).
+#pragma once
+
+#include "codec/video_codec.hpp"
+
+namespace ads {
+
+Bytes rle_encode(const Image& img);
+Result<Image> rle_decode(BytesView data);
+
+class RleCodec final : public ImageCodec {
+ public:
+  ContentPt payload_type() const override { return ContentPt::kRle; }
+  std::string_view name() const override { return "rle"; }
+  bool lossless() const override { return true; }
+  Bytes encode(const Image& img) const override { return rle_encode(img); }
+  Result<Image> decode(BytesView data) const override { return rle_decode(data); }
+};
+
+}  // namespace ads

@@ -1,0 +1,48 @@
+// Content codec abstraction behind RegionUpdate's 7-bit PT field.
+//
+// Draft §5.2.2: "The 7 bit PT field carries the actual payload type of the
+// content which can be PNG, JPEG, Theora, or any other media type which has
+// an RTP payload specification. All AH and participant software
+// implementations MUST support PNG images."
+//
+// Each codec turns an Image into self-describing bytes (dimensions are
+// carried inside the payload, matching the draft's note that RegionUpdate
+// width/height "is not transmitted explicitly by this protocol") and back.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "image/image.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace ads {
+
+/// Dynamic RTP payload type numbers assigned to content codecs in this
+/// implementation's SDP (range 96-127).
+enum class ContentPt : std::uint8_t {
+  kRaw = 96,   ///< uncompressed RGBA, baseline for benchmarks
+  kRle = 97,   ///< run-length encoding, cheap lossless
+  kPng = 98,   ///< PNG (mandatory-to-implement per the draft)
+  kDct = 102,  ///< lossy 8x8 DCT codec (the "JPEG-like" alternative)
+};
+
+class ImageCodec {
+ public:
+  virtual ~ImageCodec() = default;
+
+  virtual ContentPt payload_type() const = 0;
+  virtual std::string_view name() const = 0;
+  virtual bool lossless() const = 0;
+
+  /// Serialise `img` (dimensions included in the payload).
+  virtual Bytes encode(const Image& img) const = 0;
+
+  /// Parse a payload previously produced by encode() (or, for PNG, any
+  /// conformant 8-bit RGB/RGBA PNG stream).
+  virtual Result<Image> decode(BytesView data) const = 0;
+};
+
+}  // namespace ads

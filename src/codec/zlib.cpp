@@ -1,0 +1,44 @@
+#include "codec/zlib.hpp"
+
+#include "util/checksum.hpp"
+
+namespace ads {
+
+Bytes zlib_compress(BytesView input, const DeflateOptions& opts) {
+  Bytes body = deflate_compress(input, opts);
+  ByteWriter out(body.size() + 6);
+  // CMF: CM=8 (deflate), CINFO=7 (32K window). FLG chosen so that
+  // (CMF*256 + FLG) % 31 == 0 with FDICT=0, FLEVEL=0.
+  const std::uint8_t cmf = 0x78;
+  std::uint8_t flg = 0;
+  const std::uint16_t check = static_cast<std::uint16_t>(cmf) << 8;
+  flg = static_cast<std::uint8_t>(31 - (check % 31)) % 31;
+  out.u8(cmf);
+  out.u8(flg);
+  out.bytes(body);
+  out.u32(adler32(input));
+  return out.take();
+}
+
+Result<Bytes> zlib_decompress(BytesView input, const InflateLimits& limits) {
+  ByteReader in(input);
+  auto cmf = in.u8();
+  auto flg = in.u8();
+  if (!cmf || !flg) return ParseError::kTruncated;
+  if ((*cmf & 0x0F) != 8) return ParseError::kUnsupported;       // CM must be deflate
+  if ((static_cast<unsigned>(*cmf) * 256 + *flg) % 31 != 0) return ParseError::kBadMagic;
+  if (*flg & 0x20) return ParseError::kUnsupported;              // FDICT not supported
+  if (in.remaining() < 4) return ParseError::kTruncated;
+
+  const BytesView body = input.subspan(2, input.size() - 6);
+  auto out = inflate(body, limits);
+  if (!out) return out.error();
+
+  ByteReader tail(input.subspan(input.size() - 4));
+  auto expected = tail.u32();
+  if (!expected) return expected.error();
+  if (adler32(*out) != *expected) return ParseError::kBadChecksum;
+  return out;
+}
+
+}  // namespace ads

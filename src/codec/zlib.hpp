@@ -1,0 +1,18 @@
+// zlib stream wrapper (RFC 1950): 2-byte CMF/FLG header around a DEFLATE
+// body, followed by the Adler-32 of the uncompressed data. This is the
+// container PNG's IDAT chunks require.
+#pragma once
+
+#include "codec/deflate.hpp"
+#include "codec/inflate.hpp"
+#include "util/bytes.hpp"
+
+namespace ads {
+
+/// Compress into a zlib stream.
+Bytes zlib_compress(BytesView input, const DeflateOptions& opts = {});
+
+/// Decompress a zlib stream, verifying header and Adler-32.
+Result<Bytes> zlib_decompress(BytesView input, const InflateLimits& limits = {});
+
+}  // namespace ads

@@ -1,0 +1,539 @@
+#include "core/app_host.hpp"
+
+#include <algorithm>
+
+#include "image/damage.hpp"
+#include "image/scroll_detect.hpp"
+#include "rtp/rtcp.hpp"
+#include "util/logging.hpp"
+
+namespace ads {
+namespace {
+
+std::int64_t area_of(const std::vector<Rect>& rects) {
+  std::int64_t total = 0;
+  for (const Rect& r : rects) total += r.area();
+  return total;
+}
+
+}  // namespace
+
+AppHost::AppHost(EventLoop& loop, AppHostOptions opts)
+    : loop_(loop),
+      opts_(opts),
+      capturer_(wm_, opts.screen_width, opts.screen_height, opts.damage_tile),
+      codecs_(CodecRegistry::with_defaults()),
+      floor_(FloorControlOptions{.conference_id = 1, .floor_id = 0}),
+      pointer_icon_(8, 12, Pixel{255, 255, 255, 255}) {
+  // All per-participant senders share one seed, hence one timestamp base —
+  // the AH is one media source fanned out to many sinks.
+  ts_base_ = RtpSender(kRemotingPayloadType, opts_.seed).timestamp_at(0);
+}
+
+ParticipantId AppHost::add_participant(HostEndpoint endpoint) {
+  const ParticipantId id = next_participant_id_++;
+  auto [it, inserted] = participants_.try_emplace(
+      id, kRemotingPayloadType, opts_.seed, opts_.retransmission_cache,
+      endpoint.kind == HostEndpoint::Kind::kUdp ? opts_.udp_rate_bps : 0,
+      opts_.udp_burst_bytes);
+  it->second.endpoint = std::move(endpoint);
+  if (it->second.endpoint.kind == HostEndpoint::Kind::kTcp) {
+    // §4.4: "The AH prepares and transmits the windows' state information
+    // and image of the whole shared region to the new participant, right
+    // after the TCP connection establishment."
+    it->second.needs_wmi = true;
+    it->second.needs_full_refresh = true;
+  }
+  return id;
+}
+
+void AppHost::remove_participant(ParticipantId id) { participants_.erase(id); }
+
+ParticipantId AppHost::add_member_alias(ParticipantId group) {
+  const ParticipantId member = next_participant_id_++;
+  member_alias_[member] = group;
+  return member;
+}
+
+const ReportBlock* AppHost::last_receiver_report(ParticipantId id) const {
+  auto alias = member_alias_.find(id);
+  const ParticipantId key = alias == member_alias_.end() ? id : alias->second;
+  auto it = participants_.find(key);
+  if (it == participants_.end() || !it->second.last_rr) return nullptr;
+  return &*it->second.last_rr;
+}
+
+void AppHost::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_tick();
+}
+
+void AppHost::schedule_tick() {
+  loop_.after(opts_.frame_interval_us, [this] {
+    if (!running_) return;
+    tick();
+    schedule_tick();
+  });
+}
+
+SimTime AppHost::remoting_timestamp_to_us(std::uint32_t rtp_ts) const {
+  const std::uint32_t ticks = rtp_ts - ts_base_;
+  return static_cast<SimTime>(ticks) * 1000 / 90;
+}
+
+SessionDescription AppHost::sdp_offer() const {
+  SharingOffer offer;
+  offer.remoting_pt = kRemotingPayloadType;
+  offer.hip_pt = kHipPayloadType;
+  offer.retransmissions = opts_.retransmissions;
+  return build_sharing_offer(offer);
+}
+
+void AppHost::set_pointer(Point p, const Image* icon) {
+  if (p != pointer_) {
+    pointer_ = p;
+    pointer_dirty_ = true;
+  }
+  if (icon != nullptr) {
+    pointer_icon_ = *icon;
+    pointer_icon_dirty_ = true;
+    pointer_dirty_ = true;
+  }
+}
+
+bool AppHost::set_participant_codec(ParticipantId id, ContentPt codec) {
+  auto it = participants_.find(id);
+  if (it == participants_.end()) return false;
+  if (codecs_.find(codec) == nullptr) return false;
+  it->second.codec = codec;
+  return true;
+}
+
+ContentPt AppHost::codec_for(const ParticipantState& p) const {
+  return p.codec.value_or(opts_.codec);
+}
+
+Bytes AppHost::encode_region(const Rect& r, ContentPt pt) const {
+  const ImageCodec* codec = codecs_.find(pt);
+  const Image crop = capturer_.last_frame().crop(r);
+  return codec->encode(crop);
+}
+
+void AppHost::send_payload(ParticipantState& p, Bytes payload, bool marker,
+                           SimTime now) {
+  RtpPacket pkt = p.sender.make_packet(std::move(payload), marker, now);
+  const Bytes wire = pkt.serialize();
+  ++stats_.rtp_packets_sent;
+  stats_.bytes_sent += wire.size();
+
+  if (p.endpoint.kind == HostEndpoint::Kind::kUdp) {
+    p.cache.put(pkt);
+    p.bucket.consume(wire.size(), now);
+    if (p.endpoint.send_datagram) p.endpoint.send_datagram(wire);
+    return;
+  }
+
+  // TCP: RFC 4571 framing; a partial write carries over so frames are never
+  // torn mid-stream.
+  auto framed = frame_packet(wire);
+  if (!framed.ok()) {
+    ADS_LOG(kWarn) << "RTP packet too large for RFC4571 framing: " << wire.size();
+    return;
+  }
+  p.stream_carry.insert(p.stream_carry.end(), framed->begin(), framed->end());
+  if (p.endpoint.write_stream) {
+    const std::size_t wrote = p.endpoint.write_stream(p.stream_carry);
+    p.stream_carry.erase(p.stream_carry.begin(),
+                         p.stream_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+  }
+}
+
+void AppHost::send_wmi(ParticipantState& p) {
+  const WindowManagerInfo msg = WindowManagerInfo::from(wm_);
+  send_payload(p, msg.serialize(), /*marker=*/false, loop_.now());
+  ++stats_.wmi_sent;
+  p.needs_wmi = false;
+}
+
+void AppHost::send_move_rectangle(ParticipantState& p, const MoveRectangle& mr) {
+  send_payload(p, mr.serialize(), /*marker=*/false, loop_.now());
+  ++stats_.move_rectangles_sent;
+}
+
+void AppHost::send_pointer(ParticipantState& p, bool include_icon) {
+  RegionUpdate carrier;
+  carrier.window_id =
+      wm_.shared_window_at(pointer_).value_or(0);
+  carrier.content_pt = static_cast<std::uint8_t>(codec_for(p));
+  carrier.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, pointer_.x));
+  carrier.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, pointer_.y));
+  if (include_icon) {
+    carrier.content = codecs_.find(codec_for(p))->encode(pointer_icon_);
+  }
+  auto frags = fragment_region_update(carrier, opts_.mtu_payload,
+                                      RemotingType::kMousePointerInfo);
+  for (auto& frag : frags) {
+    send_payload(p, std::move(frag.payload), frag.marker, loop_.now());
+  }
+  ++stats_.pointer_msgs_sent;
+}
+
+std::vector<Rect> AppHost::send_regions(ParticipantState& p,
+                                        const std::vector<Rect>& rects) {
+  const SimTime now = loop_.now();
+
+  // Band-split tall rectangles so each RegionUpdate stays modest; this lets
+  // rate control stop between bands instead of mid-message.
+  std::vector<Rect> queue;
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    if (opts_.region_band_rows <= 0 || r.height <= opts_.region_band_rows) {
+      queue.push_back(r);
+      continue;
+    }
+    for (std::int64_t top = r.top; top < r.bottom(); top += opts_.region_band_rows) {
+      queue.push_back(Rect{r.left, top, r.width,
+                           std::min(opts_.region_band_rows, r.bottom() - top)});
+    }
+  }
+
+  const bool rate_limited =
+      p.endpoint.kind == HostEndpoint::Kind::kUdp && !p.bucket.unlimited();
+  std::vector<Rect> leftover;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (rate_limited && p.bucket.available(now) <= 0) {
+      // Budget exhausted mid-frame: carry the rest into the next tick.
+      leftover.insert(leftover.end(), queue.begin() + static_cast<std::ptrdiff_t>(i),
+                      queue.end());
+      break;
+    }
+    const Rect& r = queue[i];
+    const ContentPt pt = codec_for(p);
+    RegionUpdate msg;
+    const Point centre{r.left + r.width / 2, r.top + r.height / 2};
+    msg.window_id = wm_.shared_window_at(centre).value_or(0);
+    msg.content_pt = static_cast<std::uint8_t>(pt);
+    msg.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.left));
+    msg.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.top));
+    msg.content = encode_region(r, pt);
+    auto frags = fragment_region_update(msg, opts_.mtu_payload);
+    for (auto& frag : frags) {
+      send_payload(p, std::move(frag.payload), frag.marker, now);
+    }
+    ++stats_.region_updates_sent;
+  }
+  return leftover;
+}
+
+void AppHost::send_full_refresh(ParticipantState& p) {
+  // "image of the whole shared region" (§4.3): RegionUpdates covering the
+  // desktop-sized shared view (band-split; any rate-limited remainder stays
+  // pending and completes over the following ticks).
+  p.pending.clear();
+  auto leftover = send_regions(p, {capturer_.last_frame().bounds()});
+  for (const Rect& r : leftover) p.pending.add(r);
+  p.needs_full_refresh = false;
+}
+
+void AppHost::tick() {
+  const CaptureResult capture = capturer_.capture();
+  const Image& frame = *capture.frame;
+  ++stats_.frames_captured;
+
+  // WindowManagerInfo trigger: any window-manager change (§5.2.1).
+  if (wm_.revision() != last_wmi_revision_) {
+    last_wmi_revision_ = wm_.revision();
+    for (auto& [id, p] : participants_) p.needs_wmi = true;
+  }
+
+  // Scroll pass (§5.2.3): find per-window vertical scrolls against the
+  // previously exported frame, verify the replay is pixel-exact, and apply
+  // the move to previous_frame_ so the residual diff below shrinks to the
+  // newly exposed strip.
+  std::vector<MoveRectangle> scrolls;
+  const bool have_previous = !previous_frame_.empty() &&
+                             previous_frame_.width() == frame.width() &&
+                             previous_frame_.height() == frame.height();
+  if (opts_.use_move_rectangle && have_previous) {
+    for (const Window& w : wm_.shared_windows()) {
+      const Rect area = intersect(w.frame, frame.bounds());
+      auto match = detect_scroll(previous_frame_, frame, area);
+      if (!match) continue;
+      const Rect dest = match->source.translated(0, match->dy);
+      Image replay = previous_frame_;
+      replay.move_rect(match->source, {dest.left, dest.top});
+      if (hash_rect(replay, dest) != hash_rect(frame, dest)) continue;
+
+      MoveRectangle mr;
+      mr.window_id = w.id;
+      mr.source_left = static_cast<std::uint32_t>(match->source.left);
+      mr.source_top = static_cast<std::uint32_t>(match->source.top);
+      mr.width = static_cast<std::uint32_t>(match->source.width);
+      mr.height = static_cast<std::uint32_t>(match->source.height);
+      mr.dest_left = static_cast<std::uint32_t>(dest.left);
+      mr.dest_top = static_cast<std::uint32_t>(dest.top);
+      scrolls.push_back(mr);
+      previous_frame_ = std::move(replay);
+    }
+  }
+
+  // Residual damage against (post-move) previous frame.
+  std::vector<Rect> damage;
+  if (have_previous) {
+    damage = diff_rects(previous_frame_, frame, opts_.damage_tile);
+  } else if (!frame.empty()) {
+    damage = {frame.bounds()};
+  }
+  previous_frame_ = frame;
+
+  // Distribute to participants.
+  for (auto& [id, p] : participants_) {
+    // Flush any carried-over TCP bytes first.
+    if (p.endpoint.kind == HostEndpoint::Kind::kTcp && !p.stream_carry.empty() &&
+        p.endpoint.write_stream) {
+      const std::size_t wrote = p.endpoint.write_stream(p.stream_carry);
+      p.stream_carry.erase(p.stream_carry.begin(),
+                           p.stream_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+    }
+
+    // Accumulate this tick's damage for everyone.
+    for (const Rect& r : damage) p.pending.add(r);
+
+    // §7 backlog policy: if this TCP participant still has unsent bytes,
+    // skip its frame — pending damage keeps accumulating and the latest
+    // state is sent when the pipe drains ("a viewer usually only needs to
+    // see the final state of the image"). The §4.3 UDP rate-control bucket
+    // applies the same policy to UDP participants.
+    bool skip = false;
+    if (p.endpoint.kind == HostEndpoint::Kind::kTcp &&
+        opts_.tcp_backlog_limit > 0) {
+      const std::size_t backlog =
+          (p.endpoint.backlog ? p.endpoint.backlog() : 0) + p.stream_carry.size();
+      if (backlog > opts_.tcp_backlog_limit) {
+        skip = true;
+        ++stats_.frames_skipped_backlog;
+      }
+    }
+    if (p.endpoint.kind == HostEndpoint::Kind::kUdp && !p.bucket.unlimited() &&
+        p.bucket.available(loop_.now()) <
+            static_cast<double>(opts_.mtu_payload)) {
+      skip = true;
+      ++stats_.frames_skipped_rate;
+    }
+    if (skip) {
+      // Scrolled areas cannot be replayed later (the participant missed
+      // the base); convert them to pending damage.
+      for (const MoveRectangle& mr : scrolls) {
+        p.pending.add(Rect{static_cast<std::int64_t>(mr.dest_left),
+                           static_cast<std::int64_t>(mr.dest_top),
+                           static_cast<std::int64_t>(mr.width),
+                           static_cast<std::int64_t>(mr.height)});
+      }
+      continue;
+    }
+
+    if (p.needs_wmi) send_wmi(p);
+    if (p.needs_full_refresh) {
+      send_full_refresh(p);
+      // §5.2.4: "If the AH uses MousePointerInfo messages, it MUST inform
+      // the late joiners about the current position and image of mouse
+      // pointer."
+      if (opts_.pointer_messages) send_pointer(p, /*include_icon=*/true);
+      ++p.frames_sent;
+      continue;
+    }
+
+    // MoveRectangle only helps a participant whose view was current before
+    // this tick (pending == this tick's damage); lagging participants get
+    // the moved area as ordinary damage.
+    const bool caught_up = p.frames_sent > 0 && p.pending.area() <= area_of(damage);
+    if (caught_up) {
+      for (const MoveRectangle& mr : scrolls) send_move_rectangle(p, mr);
+    } else {
+      for (const MoveRectangle& mr : scrolls) {
+        p.pending.add(Rect{static_cast<std::int64_t>(mr.dest_left),
+                           static_cast<std::int64_t>(mr.dest_top),
+                           static_cast<std::int64_t>(mr.width),
+                           static_cast<std::int64_t>(mr.height)});
+      }
+    }
+
+    p.pending.simplify();
+    auto leftover = send_regions(p, p.pending.rects());
+    p.pending.clear();
+    for (const Rect& r : leftover) p.pending.add(r);
+    if (pointer_dirty_ && opts_.pointer_messages) {
+      send_pointer(p, pointer_icon_dirty_);
+    }
+    ++p.frames_sent;
+  }
+
+  pointer_dirty_ = false;
+  pointer_icon_dirty_ = false;
+
+  // Periodic RTCP Sender Reports (RFC 3550 §6.4.1) so participants can
+  // compute RTT and map RTP timestamps to wallclock.
+  if (opts_.sr_interval_us != 0 &&
+      loop_.now() - last_sr_at_ >= opts_.sr_interval_us) {
+    last_sr_at_ = loop_.now();
+    for (auto& [id, p] : participants_) {
+      SenderReport sr;
+      sr.ssrc = p.sender.ssrc();
+      // "NTP" timestamp: simulated microseconds in the 32.32 fixed-point
+      // shape real stacks use.
+      sr.ntp_timestamp = (loop_.now() / 1'000'000) << 32 |
+                         ((loop_.now() % 1'000'000) << 32) / 1'000'000;
+      sr.rtp_timestamp = p.sender.timestamp_at(loop_.now());
+      sr.packet_count = static_cast<std::uint32_t>(p.sender.packets_sent());
+      sr.octet_count = static_cast<std::uint32_t>(p.sender.bytes_sent());
+      const Bytes wire = sr.serialize();
+      ++stats_.srs_sent;
+      if (p.endpoint.kind == HostEndpoint::Kind::kUdp) {
+        if (p.endpoint.send_datagram) p.endpoint.send_datagram(wire);
+      } else if (p.endpoint.write_stream) {
+        auto framed = frame_packet(wire);
+        if (framed.ok()) p.endpoint.write_stream(*framed);
+      }
+    }
+  }
+}
+
+void AppHost::on_uplink_stream(ParticipantId from, BytesView data) {
+  auto it = participants_.find(from);
+  if (it == participants_.end()) return;
+  it->second.uplink_deframer.feed(data);
+  while (auto packet = it->second.uplink_deframer.next()) {
+    on_uplink_packet(from, *packet);
+  }
+}
+
+void AppHost::on_uplink_packet(ParticipantId from, BytesView packet) {
+  switch (classify_packet(packet)) {
+    case PacketKind::kRtcp:
+      handle_rtcp(from, packet);
+      break;
+    case PacketKind::kRtp: {
+      auto pkt = RtpPacket::parse(packet);
+      if (!pkt.ok() || pkt->payload_type != kHipPayloadType) {
+        ++stats_.hip_parse_errors;
+        return;
+      }
+      handle_hip(from, pkt->payload);
+      break;
+    }
+    case PacketKind::kBfcp:
+      handle_bfcp(from, packet);
+      break;
+    case PacketKind::kUnknown:
+      break;
+  }
+}
+
+void AppHost::handle_rtcp(ParticipantId from, BytesView packet) {
+  // Multicast members alias to their group's stream state.
+  auto alias = member_alias_.find(from);
+  const ParticipantId stream_id = alias == member_alias_.end() ? from : alias->second;
+  auto it = participants_.find(stream_id);
+  if (it == participants_.end()) return;
+
+  auto msg = parse_rtcp(packet);
+  if (!msg.ok()) return;
+
+  if (std::holds_alternative<PictureLossIndication>(*msg)) {
+    // §5.3.1: full refresh preceded by WindowManagerInfo.
+    ++stats_.plis_received;
+    it->second.needs_wmi = true;
+    it->second.needs_full_refresh = true;
+    return;
+  }
+  if (std::holds_alternative<ReceiverReport>(*msg)) {
+    const auto& rr = std::get<ReceiverReport>(*msg);
+    ++stats_.rrs_received;
+    if (!rr.blocks.empty()) it->second.last_rr = rr.blocks.front();
+    return;
+  }
+  if (!std::holds_alternative<GenericNack>(*msg)) return;
+
+  ++stats_.nacks_received;
+  if (!opts_.retransmissions) return;
+  for (std::uint16_t seq : std::get<GenericNack>(*msg).requested_sequences()) {
+    // Retransmissions count against the §4.3 rate budget too; a depleted
+    // bucket defers the repair (the participant re-NACKs).
+    if (!it->second.bucket.unlimited() &&
+        it->second.bucket.available(loop_.now()) <= 0) {
+      break;
+    }
+    auto cached = it->second.cache.get(seq);
+    if (!cached) continue;
+    // For a multicast group the repair goes to the whole group, healing
+    // every member that lost the packet on its own last hop.
+    const Bytes wire = cached->serialize();
+    ++stats_.retransmissions_sent;
+    stats_.bytes_sent += wire.size();
+    it->second.bucket.consume(wire.size(), loop_.now());
+    if (it->second.endpoint.kind == HostEndpoint::Kind::kUdp) {
+      if (it->second.endpoint.send_datagram) it->second.endpoint.send_datagram(wire);
+    }
+  }
+}
+
+void AppHost::handle_hip(ParticipantId from, BytesView payload) {
+  auto msg = parse_hip(payload);
+  if (!msg.ok()) {
+    ++stats_.hip_parse_errors;
+    return;
+  }
+
+  std::uint32_t left = 0;
+  std::uint32_t top = 0;
+  const bool is_mouse = hip_coordinates(*msg, left, top);
+
+  // Floor-control gate (Appendix A).
+  const bool allowed = is_mouse ? floor_.may_send_mouse(from)
+                                : floor_.may_send_keyboard(from);
+  if (!allowed) {
+    ++stats_.hip_events_rejected_floor;
+    return;
+  }
+
+  // §4.1: "The AH MUST only accept legitimate HIP events by checking
+  // whether the requested coordinates are inside the shared windows."
+  if (is_mouse) {
+    const Point p{static_cast<std::int64_t>(left), static_cast<std::int64_t>(top)};
+    if (!wm_.point_in_shared_window(p)) {
+      ++stats_.hip_events_rejected_coords;
+      return;
+    }
+  }
+
+  ++stats_.hip_events_accepted;
+  if (input_sink_) input_sink_(from, *msg);
+}
+
+void AppHost::handle_bfcp(ParticipantId from, BytesView packet) {
+  auto msg = BfcpMessage::parse(packet);
+  if (!msg.ok()) return;
+  // The wire user_id is advisory; the transport identity wins.
+  BfcpMessage request = *msg;
+  request.user_id = from;
+  auto responses = floor_.on_message(request, loop_.now());
+  for (const BfcpMessage& response : responses) {
+    // Multicast members receive BFCP responses via their group stream and
+    // filter by the user_id field.
+    auto alias = member_alias_.find(response.user_id);
+    const ParticipantId target =
+        alias == member_alias_.end() ? response.user_id : alias->second;
+    auto it = participants_.find(target);
+    if (it == participants_.end()) continue;
+    const Bytes wire = response.serialize();
+    if (it->second.endpoint.kind == HostEndpoint::Kind::kUdp) {
+      if (it->second.endpoint.send_datagram) it->second.endpoint.send_datagram(wire);
+    } else if (it->second.endpoint.write_stream) {
+      auto framed = frame_packet(wire);
+      if (framed.ok()) it->second.endpoint.write_stream(*framed);
+    }
+  }
+}
+
+}  // namespace ads

@@ -1,0 +1,236 @@
+// Application Host (AH): "the computer which runs the shared application,
+// distributes the screen updates to the participants, and regenerates human
+// interface events received from participants" (§1).
+//
+// Pipeline per frame tick:
+//   capture → (scroll detection → MoveRectangle) → encode damage →
+//   RegionUpdate (fragmented to MTU) → per-participant transmission.
+// Plus: WindowManagerInfo whenever the window manager state changes
+// (§5.2.1), MousePointerInfo for the AH pointer (§5.2.4), PLI-triggered
+// full refreshes (§5.3.1), NACK-driven retransmissions (§5.3.2), §7
+// backlog-aware frame dropping for TCP participants, and BFCP-gated HIP
+// event injection (§4.1, Appendix A).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "bfcp/floor_control.hpp"
+#include "capture/screen_capturer.hpp"
+#include "codec/registry.hpp"
+#include "core/packet_classify.hpp"
+#include "hip/messages.hpp"
+#include "net/event_loop.hpp"
+#include "net/rate_limiter.hpp"
+#include "remoting/message.hpp"
+#include "rtp/framing.hpp"
+#include "rtp/retransmission_cache.hpp"
+#include "rtp/rtp_session.hpp"
+#include "sdp/sharing_session.hpp"
+#include "wm/window_manager.hpp"
+
+namespace ads {
+
+using ParticipantId = std::uint16_t;
+
+struct AppHostOptions {
+  std::int64_t screen_width = 1280;
+  std::int64_t screen_height = 1024;
+  std::int64_t damage_tile = 32;
+  /// Maximum RTP payload size (fragmentation threshold, Table 2).
+  std::size_t mtu_payload = 1200;
+  /// Content codec for RegionUpdate payloads.
+  ContentPt codec = ContentPt::kPng;
+  /// Emit MoveRectangle for detected scrolls (§5.2.3) instead of
+  /// re-encoding the scrolled area.
+  bool use_move_rectangle = true;
+  /// Transmit the pointer as explicit MousePointerInfo messages; when
+  /// false the pointer is assumed to be drawn into RegionUpdates (§4.2:
+  /// "The AH decides which mouse model to use").
+  bool pointer_messages = true;
+  /// Answer NACKs with retransmissions (SDP "retransmissions" parameter).
+  bool retransmissions = true;
+  /// §7 backlog policy for TCP participants: skip a participant's frame
+  /// while its send-buffer backlog exceeds this many bytes. 0 disables the
+  /// policy (naive send-everything — the behaviour §7 warns against).
+  std::size_t tcp_backlog_limit = 4096;
+  /// §4.3 rate control for UDP participants: per-participant token bucket
+  /// in bits/s (0 = unlimited). A frame is skipped (damage accumulates)
+  /// while the bucket cannot cover one MTU.
+  std::uint64_t udp_rate_bps = 0;
+  std::size_t udp_burst_bytes = 64 * 1024;
+  /// Tall damage rectangles are split into horizontal bands of at most this
+  /// many rows before encoding, bounding the size of a single RegionUpdate
+  /// so rate control and interface queues see smooth bursts. 0 disables.
+  std::int64_t region_band_rows = 128;
+  SimTime frame_interval_us = 100'000;  ///< 10 fps capture clock
+  /// RTCP Sender Report cadence (0 = no SRs).
+  SimTime sr_interval_us = 1'000'000;
+  std::size_t retransmission_cache = 2048;
+  std::uint64_t seed = 0xADA5;
+};
+
+/// AH-side transport handle for one participant. The callbacks abstract the
+/// simulated network (or any other transport).
+struct HostEndpoint {
+  enum class Kind { kUdp, kTcp };
+  Kind kind = Kind::kUdp;
+  /// UDP: transmit one datagram. Return false if dropped before the wire
+  /// (interface queue full).
+  std::function<bool(BytesView)> send_datagram;
+  /// TCP: non-blocking stream write; returns bytes accepted.
+  std::function<std::size_t(BytesView)> write_stream;
+  /// TCP: current send-buffer backlog in bytes (the §7 select() signal).
+  std::function<std::size_t()> backlog;
+};
+
+class AppHost {
+ public:
+  AppHost(EventLoop& loop, AppHostOptions opts = {});
+
+  WindowManager& wm() { return wm_; }
+  ScreenCapturer& capturer() { return capturer_; }
+  FloorControlServer& floor() { return floor_; }
+  const AppHostOptions& options() const { return opts_; }
+
+  /// Register a participant. For TCP endpoints the AH immediately queues
+  /// WindowManagerInfo + a full refresh (§4.4); UDP participants are
+  /// expected to send PLI (§4.3).
+  ParticipantId add_participant(HostEndpoint endpoint);
+  void remove_participant(ParticipantId id);
+  std::size_t participant_count() const { return participants_.size(); }
+
+  /// Register an uplink identity for a multicast group member: the member's
+  /// RTCP feedback (PLI/NACK) applies to the group stream `group`, while
+  /// HIP/BFCP keep the member's own identity. Returns the member id.
+  ParticipantId add_member_alias(ParticipantId group);
+
+  /// Most recent RTCP Receiver Report block from a participant (nullptr
+  /// before the first RR) — the AH-side link quality view.
+  const ReportBlock* last_receiver_report(ParticipantId id) const;
+
+  /// Per-participant codec override — the outcome of §5.2.2 media-type
+  /// negotiation ("they should negotiate supported media types during the
+  /// session establishment"). Returns false for unknown ids or payload
+  /// types absent from the AH's registry.
+  bool set_participant_codec(ParticipantId id, ContentPt codec);
+
+  /// Begin the periodic capture/transmit loop on the event loop.
+  void start();
+  void stop() { running_ = false; }
+
+  /// Run one capture+transmit cycle immediately (benchmarks drive this
+  /// directly instead of using start()).
+  void tick();
+
+  /// Inbound uplink traffic from a participant (RTP-HIP, RTCP, or BFCP —
+  /// classified internally).
+  void on_uplink_packet(ParticipantId from, BytesView packet);
+  /// TCP uplink variant: raw stream bytes (RFC 4571 framed packets).
+  void on_uplink_stream(ParticipantId from, BytesView data);
+
+  /// Sink for validated, floor-approved HIP events — the "regenerate at the
+  /// OS" hook. Receives the event and the originating participant.
+  using InputSink = std::function<void(ParticipantId, const HipMessage&)>;
+  void set_input_sink(InputSink sink) { input_sink_ = std::move(sink); }
+
+  /// Move the AH-user pointer (drives MousePointerInfo, §5.2.4).
+  void set_pointer(Point p, const Image* icon = nullptr);
+
+  /// The SDP offer describing this AH's session (§10.3 shape).
+  SessionDescription sdp_offer() const;
+
+  /// Map an RTP timestamp from the remoting stream back to the send-side
+  /// sim time (measurement hook for latency benchmarks).
+  SimTime remoting_timestamp_to_us(std::uint32_t rtp_ts) const;
+
+  struct Stats {
+    std::uint64_t frames_captured = 0;
+    std::uint64_t region_updates_sent = 0;
+    std::uint64_t move_rectangles_sent = 0;
+    std::uint64_t wmi_sent = 0;
+    std::uint64_t pointer_msgs_sent = 0;
+    std::uint64_t rtp_packets_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_skipped_backlog = 0;  ///< §7 policy skips
+    std::uint64_t frames_skipped_rate = 0;     ///< §4.3 rate-control skips
+    std::uint64_t srs_sent = 0;
+    std::uint64_t rrs_received = 0;
+    std::uint64_t retransmissions_sent = 0;
+    std::uint64_t nacks_received = 0;
+    std::uint64_t plis_received = 0;
+    std::uint64_t hip_events_accepted = 0;
+    std::uint64_t hip_events_rejected_coords = 0;  ///< §4.1 legitimacy check
+    std::uint64_t hip_events_rejected_floor = 0;   ///< BFCP gate
+    std::uint64_t hip_parse_errors = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ParticipantState {
+    HostEndpoint endpoint;
+    RtpSender sender;          ///< per-participant remoting RTP stream
+    RetransmissionCache cache;
+    TokenBucket bucket;        ///< §4.3 UDP rate control
+    bool needs_full_refresh = false;
+    bool needs_wmi = false;
+    Region pending;            ///< damage not yet delivered (backlog skips)
+    Bytes stream_carry;        ///< unwritten tail of a partial TCP write
+    std::uint64_t frames_sent = 0;
+    StreamDeframer uplink_deframer;  ///< TCP uplink reassembly
+    std::optional<ReportBlock> last_rr;
+    std::optional<ContentPt> codec;  ///< negotiated override (else AH default)
+
+    ParticipantState(std::uint8_t pt, std::uint64_t seed, std::size_t cache_size,
+                     std::uint64_t rate_bps, std::size_t burst)
+        : sender(pt, seed), cache(cache_size), bucket(rate_bps, burst) {}
+  };
+
+  void schedule_tick();
+  void send_payload(ParticipantState& p, Bytes payload, bool marker, SimTime now);
+  void send_wmi(ParticipantState& p);
+  void send_full_refresh(ParticipantState& p);
+  /// Sends as much as the participant's rate budget allows; returns the
+  /// rectangles that must stay pending for the next tick.
+  std::vector<Rect> send_regions(ParticipantState& p, const std::vector<Rect>& rects);
+  void send_move_rectangle(ParticipantState& p, const MoveRectangle& mr);
+  void send_pointer(ParticipantState& p, bool include_icon);
+  void handle_rtcp(ParticipantId from, BytesView packet);
+  void handle_hip(ParticipantId from, BytesView payload);
+  void handle_bfcp(ParticipantId from, BytesView packet);
+  ContentPt codec_for(const ParticipantState& p) const;
+  Bytes encode_region(const Rect& r, ContentPt codec) const;
+
+  EventLoop& loop_;
+  AppHostOptions opts_;
+  WindowManager wm_;
+  ScreenCapturer capturer_;
+  CodecRegistry codecs_;
+  FloorControlServer floor_;
+  std::map<ParticipantId, ParticipantState> participants_;
+  std::map<ParticipantId, ParticipantId> member_alias_;  ///< member -> group
+  ParticipantId next_participant_id_ = 1;
+  SimTime last_sr_at_ = 0;
+  InputSink input_sink_;
+  bool running_ = false;
+
+  // Pointer model state.
+  Point pointer_{0, 0};
+  Image pointer_icon_;
+  bool pointer_dirty_ = false;
+  bool pointer_icon_dirty_ = false;
+
+  // Scroll detection needs the previous exported frame.
+  Image previous_frame_;
+  std::uint64_t last_wmi_revision_ = ~0ull;
+
+  // One logical remoting timestamp base shared across participants for the
+  // latency measurement hook (participants' senders share the seed-derived
+  // initial timestamp).
+  std::uint32_t ts_base_;
+  Stats stats_;
+};
+
+}  // namespace ads

@@ -1,0 +1,17 @@
+#include "core/packet_classify.hpp"
+
+namespace ads {
+
+PacketKind classify_packet(BytesView data) {
+  if (data.size() < 2) return PacketKind::kUnknown;
+  const std::uint8_t b0 = data[0];
+  const std::uint8_t b1 = data[1];
+  if ((b0 >> 6) == 2) {
+    if (b1 >= 200 && b1 <= 207) return PacketKind::kRtcp;
+    return PacketKind::kRtp;
+  }
+  if ((b0 >> 5) == 1) return PacketKind::kBfcp;
+  return PacketKind::kUnknown;
+}
+
+}  // namespace ads

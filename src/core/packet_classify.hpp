@@ -1,0 +1,19 @@
+// First-byte demultiplexing of the three packet families that share a
+// participant's uplink: RTP (HIP events), RTCP feedback (PLI/NACK), and
+// BFCP floor-control messages.
+//  * RTP/RTCP start with version 2 in the top two bits (0x80); RTCP is
+//    distinguished by its packet type byte falling in 200..207 (RFC 5761
+//    demux rule) — our HIP payload type (100, or 228 with marker) never
+//    collides.
+//  * BFCP (RFC 4582) starts with version 1 in the top three bits (0x20).
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+enum class PacketKind { kRtp, kRtcp, kBfcp, kUnknown };
+
+PacketKind classify_packet(BytesView data);
+
+}  // namespace ads

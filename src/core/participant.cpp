@@ -1,0 +1,375 @@
+#include "core/participant.hpp"
+
+#include <algorithm>
+
+#include "hip/utf8.hpp"
+#include "util/logging.hpp"
+
+namespace ads {
+
+Participant::Participant(EventLoop& loop, ParticipantOptions opts)
+    : loop_(loop),
+      opts_(opts),
+      codecs_(CodecRegistry::with_defaults()),
+      hip_sender_(kHipPayloadType, opts.seed),
+      reorder_(opts.reorder_max_hold),
+      rng_(opts.seed ^ 0x5EEDu),
+      replica_(opts.screen_width, opts.screen_height, kBlack),
+      pointer_icon_(8, 12, kWhite) {}
+
+void Participant::send_packet(BytesView packet) {
+  if (uplink_) uplink_(packet);
+}
+
+void Participant::join() {
+  // §4.3 (UDP) — and harmless for TCP, where §5.3.1 allows PLI too.
+  request_refresh();
+}
+
+void Participant::request_refresh() {
+  PictureLossIndication pli;
+  pli.sender_ssrc = hip_sender_.ssrc();
+  pli.media_ssrc = remoting_ssrc_;
+  ++stats_.plis_sent;
+  send_packet(pli.serialize());
+}
+
+void Participant::request_floor() {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequest;
+  msg.conference_id = 1;
+  msg.transaction_id = next_transaction_++;
+  msg.user_id = opts_.user_id;
+  msg.floor_id = 0;
+  floor_pending_ = true;
+  send_packet(msg.serialize());
+}
+
+void Participant::release_floor() {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRelease;
+  msg.conference_id = 1;
+  msg.transaction_id = next_transaction_++;
+  msg.user_id = opts_.user_id;
+  msg.floor_id = 0;
+  send_packet(msg.serialize());
+}
+
+void Participant::send_hip(const HipMessage& msg) {
+  RtpPacket pkt =
+      hip_sender_.make_packet(serialize_hip(msg), /*marker=*/false, loop_.now());
+  ++stats_.hip_sent;
+  send_packet(pkt.serialize());
+}
+
+void Participant::mouse_move(std::uint32_t x, std::uint32_t y) {
+  last_mouse_ = {x, y};
+  focus_window_ = 0;
+  // Topmost record containing the point gives the HIP WindowID (§6.1.2).
+  for (const auto& [id, rec] : windows_) {
+    if (rec.rect().contains(last_mouse_)) focus_window_ = id;
+  }
+  send_hip(MouseMoved{focus_window_, x, y});
+}
+
+void Participant::mouse_press(std::uint32_t x, std::uint32_t y, MouseButton b) {
+  send_hip(MousePressed{focus_window_, b, x, y});
+}
+
+void Participant::mouse_release(std::uint32_t x, std::uint32_t y, MouseButton b) {
+  send_hip(MouseReleased{focus_window_, b, x, y});
+}
+
+void Participant::mouse_wheel(std::uint32_t x, std::uint32_t y,
+                              std::int32_t distance) {
+  send_hip(MouseWheelMoved{focus_window_, x, y, distance});
+}
+
+void Participant::key_press(vk::KeyCode code) {
+  send_hip(KeyPressed{focus_window_, code});
+}
+
+void Participant::key_release(vk::KeyCode code) {
+  send_hip(KeyReleased{focus_window_, code});
+}
+
+void Participant::key_type(const std::string& utf8) {
+  // "The participant MUST send more than one KeyTyped message if the
+  // string does not fit into a single KeyTyped packet." (§6.8)
+  constexpr std::size_t kMaxChunk = 1024;
+  for (const std::string& chunk : split_utf8(utf8, kMaxChunk)) {
+    send_hip(KeyTyped{focus_window_, chunk});
+  }
+}
+
+void Participant::on_datagram(BytesView data) { handle_packet(data); }
+
+void Participant::on_stream_bytes(BytesView data) {
+  deframer_.feed(data);
+  while (auto packet = deframer_.next()) handle_packet(*packet);
+}
+
+void Participant::handle_packet(BytesView packet) {
+  switch (classify_packet(packet)) {
+    case PacketKind::kRtp: {
+      auto pkt = RtpPacket::parse(packet);
+      if (!pkt.ok()) {
+        ++stats_.decode_errors;
+        return;
+      }
+      if (pkt->payload_type != kRemotingPayloadType) return;
+      handle_rtp(std::move(*pkt));
+      break;
+    }
+    case PacketKind::kBfcp:
+      handle_bfcp(packet);
+      break;
+    case PacketKind::kRtcp:
+      handle_rtcp_downlink(packet);
+      break;
+    case PacketKind::kUnknown:
+      break;
+  }
+}
+
+void Participant::handle_rtcp_downlink(BytesView packet) {
+  auto msg = parse_rtcp(packet);
+  if (!msg.ok()) return;
+  if (std::holds_alternative<SenderReport>(*msg)) {
+    const auto& sr = std::get<SenderReport>(*msg);
+    ++stats_.srs_received;
+    last_sr_mid_ntp_ = static_cast<std::uint32_t>(sr.ntp_timestamp >> 16);
+    last_sr_arrival_us_ = loop_.now();
+  }
+}
+
+void Participant::schedule_rr() {
+  if (rr_timer_armed_ || opts_.rr_interval_us == 0) return;
+  rr_timer_armed_ = true;
+  loop_.after(opts_.rr_interval_us, [this] {
+    rr_timer_armed_ = false;
+    if (!receiver_.started() &&
+        opts_.transport != ParticipantOptions::Transport::kTcp) {
+      return;
+    }
+    ReceiverReport rr;
+    rr.ssrc = hip_sender_.ssrc();
+    ReportBlock block = receiver_.snapshot(remoting_ssrc_);
+    block.last_sr = last_sr_mid_ntp_;
+    if (last_sr_arrival_us_ != 0) {
+      block.delay_since_last_sr = static_cast<std::uint32_t>(
+          (loop_.now() - last_sr_arrival_us_) * 65536 / 1'000'000);
+    }
+    rr.blocks.push_back(block);
+    ++stats_.rrs_sent;
+    send_packet(rr.serialize());
+    schedule_rr();
+  });
+}
+
+void Participant::handle_rtp(RtpPacket pkt) {
+  ++stats_.rtp_packets;
+  stats_.bytes_received += pkt.wire_size();
+  remoting_ssrc_ = pkt.ssrc;
+  schedule_rr();
+
+  if (opts_.transport == ParticipantOptions::Transport::kTcp) {
+    // TCP is reliable and ordered; bypass reorder/loss machinery.
+    deliver(pkt);
+    return;
+  }
+
+  if (!receiver_.on_packet(pkt, loop_.now())) return;  // duplicate
+
+  const std::uint64_t gaps_before = reorder_.gaps_skipped();
+  auto ready = reorder_.push(std::move(pkt));
+  if (reorder_.gaps_skipped() != gaps_before) {
+    // A gap was abandoned: fragments are gone for good. Reset reassembly
+    // and fall back to a full refresh (§5.3.1).
+    stats_.gaps_skipped += reorder_.gaps_skipped() - gaps_before;
+    demux_.reset();
+    request_refresh();
+  }
+  for (RtpPacket& p : ready) deliver(p);
+
+  if (!receiver_.missing(1).empty()) {
+    if (opts_.send_nacks) schedule_nack();
+    schedule_loss_recovery();
+  }
+}
+
+void Participant::schedule_loss_recovery() {
+  if (recovery_timer_armed_) return;
+  recovery_timer_armed_ = true;
+  loop_.after(opts_.loss_recovery_delay_us, [this] {
+    recovery_timer_armed_ = false;
+    if (receiver_.missing(1).empty()) return;
+    recover_from_loss();
+  });
+}
+
+void Participant::recover_from_loss() {
+  // Fragments behind the gap are unrecoverable: flush what is buffered,
+  // jump the delivery cursor past everything seen so far, drop partial
+  // reassembly state, and ask for a full refresh (§5.3.1).
+  auto flushed = reorder_.flush_all();
+  stats_.gaps_skipped += 1;
+  demux_.reset();
+  for (RtpPacket& p : flushed) deliver(p);
+  reorder_.reset_to(static_cast<std::uint16_t>(receiver_.highest_sequence() + 1));
+  receiver_.reset_losses();
+  nack_rounds_ = 0;
+  demux_.reset();
+  request_refresh();
+}
+
+void Participant::schedule_nack() {
+  if (nack_timer_armed_) return;
+  nack_timer_armed_ = true;
+  const SimTime jitter =
+      opts_.nack_jitter_us ? rng_.below(opts_.nack_jitter_us) : 0;
+  loop_.after(opts_.nack_delay_us + jitter, [this] {
+    nack_timer_armed_ = false;
+    const auto missing = receiver_.missing();
+    if (missing.empty()) {
+      nack_rounds_ = 0;
+      return;
+    }
+    if (++nack_rounds_ > opts_.max_nack_rounds) {
+      // The AH is evidently not retransmitting; stop asking and repair via
+      // a full refresh instead.
+      recover_from_loss();
+      return;
+    }
+    GenericNack nack = GenericNack::for_sequences(hip_sender_.ssrc(),
+                                                  remoting_ssrc_, missing);
+    ++stats_.nacks_sent;
+    send_packet(nack.serialize());
+    // Re-arm: if the retransmissions do not arrive, ask again.
+    schedule_nack();
+  });
+}
+
+void Participant::deliver(const RtpPacket& pkt) {
+  auto msg = demux_.feed(pkt.payload, pkt.marker);
+  if (!msg.ok()) {
+    ++stats_.decode_errors;
+    return;
+  }
+  if (msg->has_value()) apply(std::move(**msg), pkt);
+}
+
+void Participant::apply(RemotingMessage msg, const RtpPacket& pkt) {
+  std::visit(
+      [&](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, WindowManagerInfo>) {
+          apply_wmi(m);
+        } else if constexpr (std::is_same_v<T, RegionUpdate>) {
+          apply_region_update(m, pkt);
+        } else if constexpr (std::is_same_v<T, MoveRectangle>) {
+          apply_move_rectangle(m);
+        } else if constexpr (std::is_same_v<T, MousePointerInfo>) {
+          apply_pointer(m);
+        }
+      },
+      msg);
+}
+
+void Participant::apply_wmi(const WindowManagerInfo& msg) {
+  ++stats_.wmi_received;
+  // "The participant MUST create a window for each new WindowID and MUST
+  // close this window after receiving a WindowManagerInfo message which
+  // does not contain this WindowID." — the map mirrors exactly the message
+  // content; the replica pixels persist ("MUST keep the existing window
+  // image after a resize and relocation").
+  std::map<std::uint16_t, WindowRecord> next;
+  for (const WindowRecord& rec : msg.records) next[rec.window_id] = rec;
+  windows_ = std::move(next);
+}
+
+void Participant::apply_region_update(const RegionUpdate& msg, const RtpPacket& pkt) {
+  const ImageCodec* codec = codecs_.find(msg.content_pt);
+  if (codec == nullptr) {
+    ++stats_.decode_errors;
+    return;
+  }
+  auto img = codec->decode(msg.content);
+  if (!img.ok()) {
+    ++stats_.decode_errors;
+    return;
+  }
+  replica_.blit(*img, img->bounds(),
+                {static_cast<std::int64_t>(msg.left),
+                 static_cast<std::int64_t>(msg.top)});
+  ++stats_.region_updates;
+  deliveries_.push_back(DeliveryRecord{
+      loop_.now(), pkt.timestamp, msg.content.size(),
+      Rect{static_cast<std::int64_t>(msg.left), static_cast<std::int64_t>(msg.top),
+           img->width(), img->height()}});
+}
+
+void Participant::apply_move_rectangle(const MoveRectangle& msg) {
+  ++stats_.move_rectangles;
+  replica_.move_rect(
+      Rect{static_cast<std::int64_t>(msg.source_left),
+           static_cast<std::int64_t>(msg.source_top),
+           static_cast<std::int64_t>(msg.width), static_cast<std::int64_t>(msg.height)},
+      {static_cast<std::int64_t>(msg.dest_left),
+       static_cast<std::int64_t>(msg.dest_top)});
+}
+
+void Participant::apply_pointer(const MousePointerInfo& msg) {
+  ++stats_.pointer_updates;
+  pointer_ = {static_cast<std::int64_t>(msg.left), static_cast<std::int64_t>(msg.top)};
+  if (msg.has_icon()) {
+    const ImageCodec* codec = codecs_.find(msg.content_pt);
+    if (codec != nullptr) {
+      auto icon = codec->decode(msg.icon);
+      if (icon.ok()) {
+        // "The participant MUST store and use this image until a new image
+        // arrives from the AH."
+        pointer_icon_ = std::move(*icon);
+      } else {
+        ++stats_.decode_errors;
+      }
+    }
+  }
+}
+
+void Participant::handle_bfcp(BytesView packet) {
+  auto msg = BfcpMessage::parse(packet);
+  if (!msg.ok()) return;
+  if (msg->primitive != BfcpPrimitive::kFloorRequestStatus || !msg->request_status)
+    return;
+  // On a multicast downlink every member sees every status message; only
+  // the addressed user reacts.
+  if (msg->user_id != opts_.user_id) return;
+  switch (*msg->request_status) {
+    case RequestStatus::kGranted:
+      has_floor_ = true;
+      floor_pending_ = false;
+      hid_status_ = msg->hid_status.value_or(HidStatus::kAllAllowed);
+      break;
+    case RequestStatus::kPending:
+    case RequestStatus::kAccepted:
+      floor_pending_ = true;
+      break;
+    case RequestStatus::kReleased:
+    case RequestStatus::kRevoked:
+    case RequestStatus::kCancelled:
+    case RequestStatus::kDenied:
+      has_floor_ = false;
+      floor_pending_ = false;
+      hid_status_ = HidStatus::kNotAllowed;
+      break;
+  }
+}
+
+std::vector<Participant::DeliveryRecord> Participant::drain_deliveries() {
+  std::vector<DeliveryRecord> out;
+  out.swap(deliveries_);
+  return out;
+}
+
+}  // namespace ads

@@ -1,0 +1,92 @@
+#include "core/participant_layout.hpp"
+
+#include <algorithm>
+
+namespace ads {
+
+std::vector<PlacedWindow> layout_windows(const std::vector<WindowRecord>& records,
+                                         LayoutPolicy policy,
+                                         std::int64_t local_width,
+                                         std::int64_t local_height) {
+  std::vector<PlacedWindow> out;
+  out.reserve(records.size());
+  for (const WindowRecord& rec : records) {
+    PlacedWindow p;
+    p.window_id = rec.window_id;
+    p.group_id = rec.group_id;
+    p.source = rec.rect();
+    p.placed = p.source;
+    out.push_back(p);
+  }
+  if (out.empty() || policy == LayoutPolicy::kOriginal) return out;
+
+  // Bounding box of all windows.
+  Rect bound;
+  for (const PlacedWindow& p : out) bound = bounding_union(bound, p.source);
+
+  // kShift: move the ensemble to the origin (Figure 4 shifts by the
+  // bounding box corner: 220 left, 150 up in the draft's example).
+  for (PlacedWindow& p : out) p.placed = p.source.translated(-bound.left, -bound.top);
+  if (policy == LayoutPolicy::kShift) return out;
+
+  if (policy == LayoutPolicy::kScaleToFit) {
+    // Uniform scale of positions and sizes; content resampled by
+    // render_layout (§4.2 participant-side scaling).
+    const double s = std::min(
+        {1.0,
+         static_cast<double>(local_width) / static_cast<double>(bound.width),
+         static_cast<double>(local_height) / static_cast<double>(bound.height)});
+    for (PlacedWindow& p : out) {
+      p.placed.left = static_cast<std::int64_t>(static_cast<double>(p.placed.left) * s);
+      p.placed.top = static_cast<std::int64_t>(static_cast<double>(p.placed.top) * s);
+      p.placed.width = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(static_cast<double>(p.placed.width) * s));
+      p.placed.height = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(static_cast<double>(p.placed.height) * s));
+    }
+    return out;
+  }
+
+  // kRefit: compress positions (not sizes) so every window's origin maps
+  // into the smaller screen, then clamp so as much of each window as
+  // possible stays visible. Relative arrangement and z-order survive;
+  // overlaps increase — exactly participant 3's "combines all the windows
+  // in order to fit them to its small screen".
+  const double sx = bound.width > local_width
+                        ? static_cast<double>(local_width) / static_cast<double>(bound.width)
+                        : 1.0;
+  const double sy = bound.height > local_height
+                        ? static_cast<double>(local_height) /
+                              static_cast<double>(bound.height)
+                        : 1.0;
+  for (PlacedWindow& p : out) {
+    std::int64_t x = static_cast<std::int64_t>(
+        static_cast<double>(p.placed.left) * sx);
+    std::int64_t y = static_cast<std::int64_t>(
+        static_cast<double>(p.placed.top) * sy);
+    x = std::clamp<std::int64_t>(x, 0,
+                                 std::max<std::int64_t>(0, local_width - p.placed.width));
+    y = std::clamp<std::int64_t>(
+        y, 0, std::max<std::int64_t>(0, local_height - p.placed.height));
+    p.placed.left = x;
+    p.placed.top = y;
+  }
+  return out;
+}
+
+Image render_layout(const Image& screen, const std::vector<PlacedWindow>& placement,
+                    std::int64_t local_width, std::int64_t local_height) {
+  Image out(local_width, local_height, kBlack);
+  for (const PlacedWindow& p : placement) {
+    if (p.placed.width == p.source.width && p.placed.height == p.source.height) {
+      out.blit(screen, p.source, {p.placed.left, p.placed.top});
+    } else {
+      const Image scaled =
+          scale_image(screen.crop(p.source), p.placed.width, p.placed.height);
+      out.blit(scaled, scaled.bounds(), {p.placed.left, p.placed.top});
+    }
+  }
+  return out;
+}
+
+}  // namespace ads

@@ -1,0 +1,47 @@
+// Participant-side window layout (draft §4.1, Figures 2-5). All wire
+// coordinates are absolute AH pixels; "a participant can display the
+// windows in their original coordinates or it can display them in different
+// coordinates". Three policies reproduce the draft's example participants:
+//   kOriginal — Figure 3: identity placement
+//   kShift    — Figure 4: translate everything so the bounding box touches
+//               the origin, preserving inter-window relations
+//   kRefit    — Figure 5: additionally compress window positions so the
+//               ensemble fits a smaller local screen (z-order preserved)
+//   kScaleToFit — §4.2's optional "participant-side scaling": positions AND
+//               sizes scale uniformly so the whole ensemble fits; window
+//               content is resampled at render time
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "image/scale.hpp"
+#include "remoting/window_manager_info.hpp"
+
+namespace ads {
+
+enum class LayoutPolicy { kOriginal, kShift, kRefit, kScaleToFit };
+
+struct PlacedWindow {
+  std::uint16_t window_id = 0;
+  std::uint8_t group_id = 0;
+  Rect source;  ///< absolute AH-coordinate frame (replica coordinates)
+  Rect placed;  ///< local display frame
+
+  friend bool operator==(const PlacedWindow&, const PlacedWindow&) = default;
+};
+
+/// Compute local placements for the window records of the latest
+/// WindowManagerInfo (bottom-most first; order — and therefore z-order — is
+/// preserved in the result).
+std::vector<PlacedWindow> layout_windows(const std::vector<WindowRecord>& records,
+                                         LayoutPolicy policy,
+                                         std::int64_t local_width,
+                                         std::int64_t local_height);
+
+/// Render the local view: windows blitted from the AH-replica `screen` to
+/// their placed positions, bottom-most first.
+Image render_layout(const Image& screen, const std::vector<PlacedWindow>& placement,
+                    std::int64_t local_width, std::int64_t local_height);
+
+}  // namespace ads

@@ -1,0 +1,127 @@
+#include "core/session.hpp"
+
+namespace ads {
+
+SharingSession::SharingSession(AppHostOptions host_opts)
+    : host_(loop_, host_opts) {}
+
+SharingSession::Connection& SharingSession::add_udp_participant(
+    ParticipantOptions opts, UdpLinkConfig link) {
+  auto conn = std::make_unique<Connection>();
+  Connection* c = conn.get();
+
+  opts.transport = ParticipantOptions::Transport::kUdp;
+  if (link.down.seed == 1) link.down.seed = ++link_seed_;
+  if (link.up.seed == 1) link.up.seed = ++link_seed_;
+
+  c->down_udp = std::make_unique<UdpChannel>(loop_, link.down);
+  c->up_udp = std::make_unique<UdpChannel>(loop_, link.up);
+
+  HostEndpoint endpoint;
+  endpoint.kind = HostEndpoint::Kind::kUdp;
+  endpoint.send_datagram = [down = c->down_udp.get()](BytesView d) {
+    return down->send(d);
+  };
+  c->id = host_.add_participant(std::move(endpoint));
+  opts.user_id = c->id;
+
+  c->participant = std::make_unique<Participant>(loop_, opts);
+  c->down_udp->set_receiver(
+      [p = c->participant.get()](Bytes data) { p->on_datagram(data); });
+  c->up_udp->set_receiver([this, id = c->id](Bytes data) {
+    host_.on_uplink_packet(id, data);
+  });
+  c->participant->set_uplink(
+      [up = c->up_udp.get()](BytesView packet) { up->send(packet); });
+
+  connections_.push_back(std::move(conn));
+  return *connections_.back();
+}
+
+SharingSession::Connection& SharingSession::add_tcp_participant(
+    ParticipantOptions opts, TcpLinkConfig link) {
+  auto conn = std::make_unique<Connection>();
+  Connection* c = conn.get();
+
+  opts.transport = ParticipantOptions::Transport::kTcp;
+  opts.send_nacks = false;  // TCP repairs loss itself
+
+  c->down_tcp = std::make_unique<TcpChannel>(loop_, link.down);
+  c->up_tcp = std::make_unique<TcpChannel>(loop_, link.up);
+
+  HostEndpoint endpoint;
+  endpoint.kind = HostEndpoint::Kind::kTcp;
+  endpoint.write_stream = [down = c->down_tcp.get()](BytesView d) {
+    return down->send(d);
+  };
+  endpoint.backlog = [down = c->down_tcp.get()] { return down->backlog_bytes(); };
+  c->id = host_.add_participant(std::move(endpoint));
+  opts.user_id = c->id;
+
+  c->participant = std::make_unique<Participant>(loop_, opts);
+  c->down_tcp->set_receiver(
+      [p = c->participant.get()](Bytes data) { p->on_stream_bytes(data); });
+  c->up_tcp->set_receiver([this, id = c->id](Bytes data) {
+    host_.on_uplink_stream(id, data);
+  });
+  // Participant emits packets; the session adds RFC 4571 framing and
+  // carries over partial writes.
+  c->participant->set_uplink([this, c](BytesView packet) {
+    auto framed = frame_packet(packet);
+    if (!framed.ok()) return;
+    c->up_carry.insert(c->up_carry.end(), framed->begin(), framed->end());
+    const std::size_t wrote = c->up_tcp->send(c->up_carry);
+    c->up_carry.erase(c->up_carry.begin(),
+                      c->up_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+    (void)this;
+  });
+
+  connections_.push_back(std::move(conn));
+  return *connections_.back();
+}
+
+SharingSession::MulticastSession& SharingSession::add_multicast_session() {
+  auto mc = std::make_unique<MulticastSession>();
+  mc->group = std::make_unique<MulticastGroup>(loop_);
+
+  HostEndpoint endpoint;
+  endpoint.kind = HostEndpoint::Kind::kUdp;
+  endpoint.send_datagram = [group = mc->group.get()](BytesView d) {
+    return group->send(d);
+  };
+  mc->group_id = host_.add_participant(std::move(endpoint));
+
+  multicast_.push_back(std::move(mc));
+  return *multicast_.back();
+}
+
+SharingSession::MulticastMember& SharingSession::add_multicast_member(
+    MulticastSession& mc, ParticipantOptions opts, UdpChannelOptions down,
+    UdpChannelOptions up) {
+  auto member = std::make_unique<MulticastMember>();
+  opts.transport = ParticipantOptions::Transport::kUdp;
+  if (down.seed == 1) down.seed = ++link_seed_;
+  if (up.seed == 1) up.seed = ++link_seed_;
+
+  UdpChannel& down_channel = mc.group->add_member(down);
+  member->up = std::make_unique<UdpChannel>(loop_, up);
+  member->id = host_.add_member_alias(mc.group_id);
+  opts.user_id = member->id;
+  // Draw per-member NACK jitter unless the caller set one: this is the
+  // §5.3.2 storm-avoidance randomisation.
+  if (opts.nack_jitter_us == 0) opts.nack_jitter_us = 30'000;
+
+  member->participant = std::make_unique<Participant>(loop_, opts);
+  down_channel.set_receiver(
+      [p = member->participant.get()](Bytes data) { p->on_datagram(data); });
+  member->up->set_receiver([this, id = member->id](Bytes data) {
+    host_.on_uplink_packet(id, data);
+  });
+  member->participant->set_uplink(
+      [upc = member->up.get()](BytesView packet) { upc->send(packet); });
+
+  mc.members.push_back(std::move(member));
+  return *mc.members.back();
+}
+
+}  // namespace ads

@@ -1,0 +1,98 @@
+// Session wiring: constructs the AH, participants and the simulated
+// network channels between them, matching the draft's deployment shapes —
+// "The AH can share an application to TCP participants, UDP participants,
+// and several multicast addresses in the same sharing session" (§4.2).
+// Multicast is modelled as one encode pass fanned out over per-receiver
+// channels (the per-link loss/delay still differs per receiver).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/app_host.hpp"
+#include "core/participant.hpp"
+#include "net/multicast.hpp"
+#include "net/tcp_channel.hpp"
+#include "net/udp_channel.hpp"
+
+namespace ads {
+
+struct UdpLinkConfig {
+  UdpChannelOptions down;  ///< AH → participant (remoting)
+  UdpChannelOptions up;    ///< participant → AH (RTCP, HIP, BFCP)
+};
+
+struct TcpLinkConfig {
+  TcpChannelOptions down;
+  TcpChannelOptions up;
+};
+
+class SharingSession {
+ public:
+  explicit SharingSession(AppHostOptions host_opts = {});
+
+  EventLoop& loop() { return loop_; }
+  AppHost& host() { return host_; }
+
+  struct Connection {
+    ParticipantId id = 0;
+    std::unique_ptr<Participant> participant;
+    // Exactly one pair is non-null depending on the transport.
+    std::unique_ptr<UdpChannel> down_udp;
+    std::unique_ptr<UdpChannel> up_udp;
+    std::unique_ptr<TcpChannel> down_tcp;
+    std::unique_ptr<TcpChannel> up_tcp;
+    Bytes up_carry;  ///< partially-written uplink frame (TCP)
+  };
+
+  /// Create a UDP participant wired through lossy channels. The
+  /// participant has not joined yet — call join() on it (or use
+  /// add_udp_participant_joined).
+  Connection& add_udp_participant(ParticipantOptions opts = {},
+                                  UdpLinkConfig link = {});
+  Connection& add_tcp_participant(ParticipantOptions opts = {},
+                                  TcpLinkConfig link = {});
+
+  const std::vector<std::unique_ptr<Connection>>& connections() const {
+    return connections_;
+  }
+
+  /// One multicast session: the AH encodes and sends once; the group
+  /// replicates to every member over that member's own last hop.
+  struct MulticastMember {
+    ParticipantId id = 0;
+    std::unique_ptr<Participant> participant;
+    std::unique_ptr<UdpChannel> up;
+  };
+  struct MulticastSession {
+    ParticipantId group_id = 0;  ///< the AH-side stream identity
+    std::unique_ptr<MulticastGroup> group;
+    std::vector<std::unique_ptr<MulticastMember>> members;
+  };
+
+  /// Create an (initially empty) multicast session on the AH.
+  MulticastSession& add_multicast_session();
+
+  /// Join a member to a multicast session. `down` describes the member's
+  /// last-hop from the multicast tree; `up` its unicast feedback path.
+  MulticastMember& add_multicast_member(MulticastSession& mc,
+                                        ParticipantOptions opts = {},
+                                        UdpChannelOptions down = {},
+                                        UdpChannelOptions up = {});
+
+  const std::vector<std::unique_ptr<MulticastSession>>& multicast_sessions() const {
+    return multicast_;
+  }
+
+  /// Advance simulated time.
+  void run_for(SimTime duration) { loop_.run_until(loop_.now() + duration); }
+
+ private:
+  EventLoop loop_;
+  AppHost host_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<MulticastSession>> multicast_;
+  std::uint64_t link_seed_ = 0x11CE;
+};
+
+}  // namespace ads

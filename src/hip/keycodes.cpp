@@ -1,0 +1,93 @@
+#include "hip/keycodes.hpp"
+
+#include <array>
+#include <utility>
+
+namespace ads::vk {
+namespace {
+
+struct Named {
+  KeyCode code;
+  std::string_view name;
+};
+
+constexpr std::array kNames = {
+    Named{kEnter, "Enter"},        Named{kBackSpace, "BackSpace"},
+    Named{kTab, "Tab"},            Named{kCancel, "Cancel"},
+    Named{kClear, "Clear"},        Named{kShift, "Shift"},
+    Named{kControl, "Control"},    Named{kAlt, "Alt"},
+    Named{kPause, "Pause"},        Named{kCapsLock, "CapsLock"},
+    Named{kEscape, "Escape"},      Named{kSpace, "Space"},
+    Named{kPageUp, "PageUp"},      Named{kPageDown, "PageDown"},
+    Named{kEnd, "End"},            Named{kHome, "Home"},
+    Named{kLeft, "Left"},          Named{kUp, "Up"},
+    Named{kRight, "Right"},        Named{kDown, "Down"},
+    Named{kComma, "Comma"},        Named{kMinus, "Minus"},
+    Named{kPeriod, "Period"},      Named{kSlash, "Slash"},
+    Named{kSemicolon, "Semicolon"}, Named{kEquals, "Equals"},
+    Named{kOpenBracket, "OpenBracket"}, Named{kBackSlash, "BackSlash"},
+    Named{kCloseBracket, "CloseBracket"}, Named{kMultiply, "Multiply"},
+    Named{kAdd, "Add"},            Named{kSeparator, "Separator"},
+    Named{kSubtract, "Subtract"},  Named{kDecimal, "Decimal"},
+    Named{kDivide, "Divide"},      Named{kF1, "F1"},
+    Named{kF2, "F2"},              Named{kF3, "F3"},
+    Named{kF4, "F4"},              Named{kF5, "F5"},
+    Named{kF6, "F6"},              Named{kF7, "F7"},
+    Named{kF8, "F8"},              Named{kF9, "F9"},
+    Named{kF10, "F10"},            Named{kF11, "F11"},
+    Named{kF12, "F12"},            Named{kDelete, "Delete"},
+    Named{kNumLock, "NumLock"},    Named{kScrollLock, "ScrollLock"},
+    Named{kPrintScreen, "PrintScreen"}, Named{kInsert, "Insert"},
+    Named{kHelp, "Help"},          Named{kMeta, "Meta"},
+    Named{kQuote, "Quote"},        Named{kBackQuote, "BackQuote"},
+    Named{kAltGraph, "AltGraph"},  Named{kContextMenu, "ContextMenu"},
+    Named{kWindows, "Windows"},
+};
+
+}  // namespace
+
+KeyCode from_ascii(char c) {
+  if (c >= '0' && c <= '9') return static_cast<KeyCode>(c);
+  if (c >= 'A' && c <= 'Z') return static_cast<KeyCode>(c);
+  if (c >= 'a' && c <= 'z') return static_cast<KeyCode>(c - 'a' + 'A');
+  switch (c) {
+    case ' ': return kSpace;
+    case '\n': return kEnter;
+    case '\t': return kTab;
+    case ',': return kComma;
+    case '-': return kMinus;
+    case '.': return kPeriod;
+    case '/': return kSlash;
+    case ';': return kSemicolon;
+    case '=': return kEquals;
+    case '[': return kOpenBracket;
+    case '\\': return kBackSlash;
+    case ']': return kCloseBracket;
+    case '\'': return kQuote;
+    case '`': return kBackQuote;
+    default: return kUndefined;
+  }
+}
+
+std::string_view name_of(KeyCode code) {
+  if (code >= k0 && code <= k9) {
+    static constexpr std::string_view kDigits[] = {"0", "1", "2", "3", "4",
+                                                   "5", "6", "7", "8", "9"};
+    return kDigits[code - k0];
+  }
+  if (code >= kA && code <= kZ) {
+    static constexpr std::string_view kLetters[] = {
+        "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M",
+        "N", "O", "P", "Q", "R", "S", "T", "U", "V", "W", "X", "Y", "Z"};
+    return kLetters[code - kA];
+  }
+  if (code >= kNumpad0 && code <= kNumpad9) return "Numpad";
+  for (const Named& n : kNames) {
+    if (n.code == code) return n.name;
+  }
+  return {};
+}
+
+bool is_known(KeyCode code) { return !name_of(code).empty(); }
+
+}  // namespace ads::vk

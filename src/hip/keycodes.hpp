@@ -1,0 +1,104 @@
+// Java virtual key codes, as mandated by the draft (§4.2, §6.6): "For
+// keyboard events publicly available Java virtual key codes [keycodes] are
+// used. ... The actual values are inside the KeyEvent.java file."
+// The constants below are the openJDK java.awt.event.KeyEvent VK_* values.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ads::vk {
+
+using KeyCode = std::uint32_t;
+
+inline constexpr KeyCode kEnter = 0x0A;
+inline constexpr KeyCode kBackSpace = 0x08;
+inline constexpr KeyCode kTab = 0x09;
+inline constexpr KeyCode kCancel = 0x03;
+inline constexpr KeyCode kClear = 0x0C;
+inline constexpr KeyCode kShift = 0x10;
+inline constexpr KeyCode kControl = 0x11;
+inline constexpr KeyCode kAlt = 0x12;
+inline constexpr KeyCode kPause = 0x13;
+inline constexpr KeyCode kCapsLock = 0x14;
+inline constexpr KeyCode kEscape = 0x1B;
+inline constexpr KeyCode kSpace = 0x20;
+inline constexpr KeyCode kPageUp = 0x21;
+inline constexpr KeyCode kPageDown = 0x22;
+inline constexpr KeyCode kEnd = 0x23;
+inline constexpr KeyCode kHome = 0x24;
+inline constexpr KeyCode kLeft = 0x25;
+inline constexpr KeyCode kUp = 0x26;
+inline constexpr KeyCode kRight = 0x27;
+inline constexpr KeyCode kDown = 0x28;
+inline constexpr KeyCode kComma = 0x2C;
+inline constexpr KeyCode kMinus = 0x2D;
+inline constexpr KeyCode kPeriod = 0x2E;
+inline constexpr KeyCode kSlash = 0x2F;
+
+// VK_0..VK_9 equal '0'..'9' (0x30..0x39).
+inline constexpr KeyCode k0 = 0x30;
+inline constexpr KeyCode k9 = 0x39;
+// VK_A..VK_Z equal 'A'..'Z' (0x41..0x5A).
+inline constexpr KeyCode kA = 0x41;
+inline constexpr KeyCode kZ = 0x5A;
+
+inline constexpr KeyCode kSemicolon = 0x3B;
+inline constexpr KeyCode kEquals = 0x3D;
+inline constexpr KeyCode kOpenBracket = 0x5B;
+inline constexpr KeyCode kBackSlash = 0x5C;
+inline constexpr KeyCode kCloseBracket = 0x5D;
+
+inline constexpr KeyCode kNumpad0 = 0x60;
+inline constexpr KeyCode kNumpad9 = 0x69;
+inline constexpr KeyCode kMultiply = 0x6A;
+inline constexpr KeyCode kAdd = 0x6B;
+inline constexpr KeyCode kSeparator = 0x6C;
+inline constexpr KeyCode kSubtract = 0x6D;
+inline constexpr KeyCode kDecimal = 0x6E;
+inline constexpr KeyCode kDivide = 0x6F;
+
+// "For example, F1 key is defined as 'int VK_F1 = 0x70;'" (§6.6).
+inline constexpr KeyCode kF1 = 0x70;
+inline constexpr KeyCode kF2 = 0x71;
+inline constexpr KeyCode kF3 = 0x72;
+inline constexpr KeyCode kF4 = 0x73;
+inline constexpr KeyCode kF5 = 0x74;
+inline constexpr KeyCode kF6 = 0x75;
+inline constexpr KeyCode kF7 = 0x76;
+inline constexpr KeyCode kF8 = 0x77;
+inline constexpr KeyCode kF9 = 0x78;
+inline constexpr KeyCode kF10 = 0x79;
+inline constexpr KeyCode kF11 = 0x7A;
+inline constexpr KeyCode kF12 = 0x7B;
+
+inline constexpr KeyCode kDelete = 0x7F;
+inline constexpr KeyCode kNumLock = 0x90;
+inline constexpr KeyCode kScrollLock = 0x91;
+inline constexpr KeyCode kPrintScreen = 0x9A;
+inline constexpr KeyCode kInsert = 0x9B;
+inline constexpr KeyCode kHelp = 0x9C;
+inline constexpr KeyCode kMeta = 0x9D;
+inline constexpr KeyCode kQuote = 0xDE;
+inline constexpr KeyCode kBackQuote = 0xC0;
+inline constexpr KeyCode kAltGraph = 0xFF7E;
+inline constexpr KeyCode kContextMenu = 0x20D;
+inline constexpr KeyCode kWindows = 0x20C;
+inline constexpr KeyCode kUndefined = 0x0;
+
+/// Letter/digit convenience: key code for an ASCII character where the Java
+/// mapping is identity ('A'-'Z', '0'-'9'); lowercase letters map to their
+/// uppercase key. Returns kUndefined for characters without a direct VK.
+KeyCode from_ascii(char c);
+
+/// Human-readable name for diagnostics ("F1", "Enter", "A", ...).
+/// Unknown codes return "VK_<hex>"-style via the out-parameter-free
+/// std::string overload in keycodes.cpp; this returns a static name or
+/// empty view when unnamed.
+std::string_view name_of(KeyCode code);
+
+/// True if this implementation knows the code (useful for validation; the
+/// AH MAY still inject unknown codes as-is).
+bool is_known(KeyCode code);
+
+}  // namespace ads::vk

@@ -1,0 +1,164 @@
+#include "hip/messages.hpp"
+
+#include "hip/utf8.hpp"
+
+namespace ads {
+namespace {
+
+void write_header(ByteWriter& out, HipType type, std::uint8_t parameter,
+                  std::uint16_t window_id) {
+  CommonHeader header;
+  header.msg_type = static_cast<std::uint8_t>(type);
+  header.parameter = parameter;
+  header.window_id = window_id;
+  header.write(out);
+}
+
+Result<std::pair<std::uint32_t, std::uint32_t>> read_coords(ByteReader& in) {
+  auto left = in.u32();
+  auto top = in.u32();
+  if (!left || !top) return ParseError::kTruncated;
+  return std::make_pair(*left, *top);
+}
+
+}  // namespace
+
+Bytes serialize_hip(const HipMessage& msg) {
+  ByteWriter out(CommonHeader::kSize + 12);
+  std::visit(
+      [&out](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, MousePressed>) {
+          write_header(out, HipType::kMousePressed,
+                       static_cast<std::uint8_t>(m.button), m.window_id);
+          out.u32(m.left);
+          out.u32(m.top);
+        } else if constexpr (std::is_same_v<T, MouseReleased>) {
+          write_header(out, HipType::kMouseReleased,
+                       static_cast<std::uint8_t>(m.button), m.window_id);
+          out.u32(m.left);
+          out.u32(m.top);
+        } else if constexpr (std::is_same_v<T, MouseMoved>) {
+          write_header(out, HipType::kMouseMoved, 0, m.window_id);
+          out.u32(m.left);
+          out.u32(m.top);
+        } else if constexpr (std::is_same_v<T, MouseWheelMoved>) {
+          write_header(out, HipType::kMouseWheelMoved, 0, m.window_id);
+          out.u32(m.left);
+          out.u32(m.top);
+          out.i32(m.distance);
+        } else if constexpr (std::is_same_v<T, KeyPressed>) {
+          write_header(out, HipType::kKeyPressed, 0, m.window_id);
+          out.u32(m.key_code);
+        } else if constexpr (std::is_same_v<T, KeyReleased>) {
+          write_header(out, HipType::kKeyReleased, 0, m.window_id);
+          out.u32(m.key_code);
+        } else if constexpr (std::is_same_v<T, KeyTyped>) {
+          write_header(out, HipType::kKeyTyped, 0, m.window_id);
+          out.str(m.utf8);
+        }
+      },
+      msg);
+  return out.take();
+}
+
+Result<HipMessage> parse_hip(BytesView payload) {
+  ByteReader in(payload);
+  auto header = CommonHeader::read(in);
+  if (!header) return header.error();
+
+  switch (header->msg_type) {
+    case static_cast<std::uint8_t>(HipType::kMousePressed): {
+      auto coords = read_coords(in);
+      if (!coords) return coords.error();
+      if (!in.at_end()) return ParseError::kBadValue;
+      return HipMessage(MousePressed{header->window_id,
+                                     static_cast<MouseButton>(header->parameter),
+                                     coords->first, coords->second});
+    }
+    case static_cast<std::uint8_t>(HipType::kMouseReleased): {
+      auto coords = read_coords(in);
+      if (!coords) return coords.error();
+      if (!in.at_end()) return ParseError::kBadValue;
+      return HipMessage(MouseReleased{header->window_id,
+                                      static_cast<MouseButton>(header->parameter),
+                                      coords->first, coords->second});
+    }
+    case static_cast<std::uint8_t>(HipType::kMouseMoved): {
+      auto coords = read_coords(in);
+      if (!coords) return coords.error();
+      if (!in.at_end()) return ParseError::kBadValue;
+      return HipMessage(MouseMoved{header->window_id, coords->first, coords->second});
+    }
+    case static_cast<std::uint8_t>(HipType::kMouseWheelMoved): {
+      auto coords = read_coords(in);
+      if (!coords) return coords.error();
+      auto distance = in.i32();
+      if (!distance) return distance.error();
+      if (!in.at_end()) return ParseError::kBadValue;
+      return HipMessage(MouseWheelMoved{header->window_id, coords->first,
+                                        coords->second, *distance});
+    }
+    case static_cast<std::uint8_t>(HipType::kKeyPressed): {
+      auto code = in.u32();
+      if (!code) return code.error();
+      if (!in.at_end()) return ParseError::kBadValue;
+      return HipMessage(KeyPressed{header->window_id, *code});
+    }
+    case static_cast<std::uint8_t>(HipType::kKeyReleased): {
+      auto code = in.u32();
+      if (!code) return code.error();
+      if (!in.at_end()) return ParseError::kBadValue;
+      return HipMessage(KeyReleased{header->window_id, *code});
+    }
+    case static_cast<std::uint8_t>(HipType::kKeyTyped): {
+      const BytesView body = in.rest();
+      std::string s(body.begin(), body.end());
+      if (!is_valid_utf8(s)) return ParseError::kBadValue;
+      return HipMessage(KeyTyped{header->window_id, std::move(s)});
+    }
+    default:
+      return ParseError::kUnsupported;
+  }
+}
+
+HipType hip_type(const HipMessage& msg) {
+  return std::visit(
+      [](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, MousePressed>) return HipType::kMousePressed;
+        else if constexpr (std::is_same_v<T, MouseReleased>) return HipType::kMouseReleased;
+        else if constexpr (std::is_same_v<T, MouseMoved>) return HipType::kMouseMoved;
+        else if constexpr (std::is_same_v<T, MouseWheelMoved>) return HipType::kMouseWheelMoved;
+        else if constexpr (std::is_same_v<T, KeyPressed>) return HipType::kKeyPressed;
+        else if constexpr (std::is_same_v<T, KeyReleased>) return HipType::kKeyReleased;
+        else return HipType::kKeyTyped;
+      },
+      msg);
+}
+
+std::uint16_t hip_window_id(const HipMessage& msg) {
+  return std::visit([](const auto& m) { return m.window_id; }, msg);
+}
+
+bool hip_coordinates(const HipMessage& msg, std::uint32_t& left, std::uint32_t& top) {
+  return std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, MousePressed> ||
+                      std::is_same_v<T, MouseReleased> ||
+                      std::is_same_v<T, MouseMoved> ||
+                      std::is_same_v<T, MouseWheelMoved>) {
+          left = m.left;
+          top = m.top;
+          return true;
+        } else {
+          left = 0;
+          top = 0;
+          return false;
+        }
+      },
+      msg);
+}
+
+}  // namespace ads

@@ -1,0 +1,120 @@
+// Human Interface Protocol messages (draft §6, Table 3): the seven
+// participant→AH input events, all carried as RTP packets on the HIP
+// payload type with the common remoting/HIP header. The header's WindowID
+// names the window that had keyboard/mouse focus; for mouse messages the
+// Parameter byte carries the button (1=left, 2=right, 3=middle).
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "hip/keycodes.hpp"
+#include "remoting/header.hpp"
+#include "util/bytes.hpp"
+
+namespace ads {
+
+/// HIP message types (draft Table 3).
+enum class HipType : std::uint8_t {
+  kMousePressed = 121,
+  kMouseReleased = 122,
+  kMouseMoved = 123,
+  kMouseWheelMoved = 124,
+  kKeyPressed = 125,
+  kKeyReleased = 126,
+  kKeyTyped = 127,
+};
+
+constexpr bool is_known_hip_type(std::uint8_t value) {
+  return value >= 121 && value <= 127;
+}
+
+constexpr const char* to_string(HipType t) {
+  switch (t) {
+    case HipType::kMousePressed: return "MousePressed";
+    case HipType::kMouseReleased: return "MouseReleased";
+    case HipType::kMouseMoved: return "MouseMoved";
+    case HipType::kMouseWheelMoved: return "MouseWheelMoved";
+    case HipType::kKeyPressed: return "KeyPressed";
+    case HipType::kKeyReleased: return "KeyReleased";
+    case HipType::kKeyTyped: return "KeyTyped";
+  }
+  return "?";
+}
+
+/// Mouse button values defined by §6.2 (others may be negotiated; the AH
+/// MAY ignore unrecognised values).
+enum class MouseButton : std::uint8_t { kNone = 0, kLeft = 1, kRight = 2, kMiddle = 3 };
+
+struct MousePressed {
+  std::uint16_t window_id = 0;
+  MouseButton button = MouseButton::kLeft;
+  std::uint32_t left = 0;  ///< absolute screen coordinates (§4.1)
+  std::uint32_t top = 0;
+  friend bool operator==(const MousePressed&, const MousePressed&) = default;
+};
+
+struct MouseReleased {
+  std::uint16_t window_id = 0;
+  MouseButton button = MouseButton::kLeft;
+  std::uint32_t left = 0;
+  std::uint32_t top = 0;
+  friend bool operator==(const MouseReleased&, const MouseReleased&) = default;
+};
+
+struct MouseMoved {
+  std::uint16_t window_id = 0;
+  std::uint32_t left = 0;
+  std::uint32_t top = 0;
+  friend bool operator==(const MouseMoved&, const MouseMoved&) = default;
+};
+
+struct MouseWheelMoved {
+  std::uint16_t window_id = 0;
+  std::uint32_t left = 0;
+  std::uint32_t top = 0;
+  /// "120 * (number of notches)"; positive = away from the user; negative
+  /// values are transmitted in two's complement (§6.5).
+  std::int32_t distance = 0;
+  friend bool operator==(const MouseWheelMoved&, const MouseWheelMoved&) = default;
+};
+
+struct KeyPressed {
+  std::uint16_t window_id = 0;
+  vk::KeyCode key_code = 0;
+  friend bool operator==(const KeyPressed&, const KeyPressed&) = default;
+};
+
+struct KeyReleased {
+  std::uint16_t window_id = 0;
+  vk::KeyCode key_code = 0;
+  friend bool operator==(const KeyReleased&, const KeyReleased&) = default;
+};
+
+struct KeyTyped {
+  std::uint16_t window_id = 0;
+  std::string utf8;  ///< raw UTF-8, no padding (§6.8)
+  friend bool operator==(const KeyTyped&, const KeyTyped&) = default;
+};
+
+using HipMessage = std::variant<MousePressed, MouseReleased, MouseMoved,
+                                MouseWheelMoved, KeyPressed, KeyReleased, KeyTyped>;
+
+/// Serialise any HIP message to its RTP payload (common header included).
+Bytes serialize_hip(const HipMessage& msg);
+
+/// Parse one HIP RTP payload. KeyTyped payloads failing UTF-8 validation
+/// are rejected (the AH must not inject malformed strings). Unknown message
+/// types return kUnsupported so callers can count-and-ignore.
+Result<HipMessage> parse_hip(BytesView payload);
+
+/// Message type of a HipMessage value.
+HipType hip_type(const HipMessage& msg);
+
+/// WindowID field of any HIP message.
+std::uint16_t hip_window_id(const HipMessage& msg);
+
+/// Screen coordinates of a mouse event; (0,0) + false for key events.
+bool hip_coordinates(const HipMessage& msg, std::uint32_t& left, std::uint32_t& top);
+
+}  // namespace ads

@@ -1,0 +1,113 @@
+#include "hip/utf8.hpp"
+
+#include <cassert>
+
+namespace ads {
+namespace {
+
+/// Decode one code point starting at s[i]; returns its byte length or 0 on
+/// error. Writes the code point to `cp`.
+int decode_one(std::string_view s, std::size_t i, char32_t& cp) {
+  const auto b0 = static_cast<std::uint8_t>(s[i]);
+  if (b0 < 0x80) {
+    cp = b0;
+    return 1;
+  }
+  int len = 0;
+  char32_t value = 0;
+  char32_t min = 0;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    value = b0 & 0x1F;
+    min = 0x80;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    value = b0 & 0x0F;
+    min = 0x800;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    value = b0 & 0x07;
+    min = 0x10000;
+  } else {
+    return 0;  // stray continuation byte or 0xF8+ lead
+  }
+  if (i + static_cast<std::size_t>(len) > s.size()) return 0;
+  for (int k = 1; k < len; ++k) {
+    const auto b = static_cast<std::uint8_t>(s[i + static_cast<std::size_t>(k)]);
+    if ((b & 0xC0) != 0x80) return 0;
+    value = (value << 6) | (b & 0x3F);
+  }
+  if (value < min) return 0;                        // overlong
+  if (value >= 0xD800 && value <= 0xDFFF) return 0; // surrogate
+  if (value > 0x10FFFF) return 0;
+  cp = value;
+  return len;
+}
+
+}  // namespace
+
+bool is_valid_utf8(std::string_view s) {
+  std::size_t i = 0;
+  char32_t cp = 0;
+  while (i < s.size()) {
+    const int len = decode_one(s, i, cp);
+    if (len == 0) return false;
+    i += static_cast<std::size_t>(len);
+  }
+  return true;
+}
+
+bool decode_utf8(std::string_view s, std::vector<char32_t>& out) {
+  out.clear();
+  std::size_t i = 0;
+  while (i < s.size()) {
+    char32_t cp = 0;
+    const int len = decode_one(s, i, cp);
+    if (len == 0) return false;
+    out.push_back(cp);
+    i += static_cast<std::size_t>(len);
+  }
+  return true;
+}
+
+std::string encode_utf8(char32_t cp) {
+  assert(cp <= 0x10FFFF && !(cp >= 0xD800 && cp <= 0xDFFF));
+  std::string out;
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return out;
+}
+
+std::vector<std::string> split_utf8(std::string_view s, std::size_t max_bytes) {
+  assert(max_bytes >= 4);
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    std::size_t end = std::min(start + max_bytes, s.size());
+    // Back off to a sequence boundary: a continuation byte (10xxxxxx) at
+    // `end` means we are cutting mid-sequence.
+    while (end < s.size() && end > start &&
+           (static_cast<std::uint8_t>(s[end]) & 0xC0) == 0x80) {
+      --end;
+    }
+    assert(end > start);
+    out.emplace_back(s.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+}  // namespace ads

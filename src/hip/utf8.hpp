@@ -1,0 +1,31 @@
+// UTF-8 helpers for KeyTyped (§6.8): the payload is a raw UTF-8 string with
+// no padding, and the AH must validate before injecting the characters into
+// the OS input queue. The draft also requires participants to split long
+// strings across multiple KeyTyped messages; split points must not cut a
+// multi-byte sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ads {
+
+/// Strict UTF-8 validation: rejects overlong encodings, surrogates
+/// (U+D800..DFFF), and code points above U+10FFFF.
+bool is_valid_utf8(std::string_view s);
+
+/// Decoded code points, or empty optional-like failure via bool return.
+/// On invalid input returns false and leaves `out` unspecified.
+bool decode_utf8(std::string_view s, std::vector<char32_t>& out);
+
+/// Encode one code point (must be a valid scalar value).
+std::string encode_utf8(char32_t cp);
+
+/// Split `s` into chunks of at most `max_bytes` without breaking a
+/// multi-byte sequence. Precondition: `s` is valid UTF-8 and
+/// `max_bytes >= 4`.
+std::vector<std::string> split_utf8(std::string_view s, std::size_t max_bytes);
+
+}  // namespace ads

@@ -1,0 +1,97 @@
+#include "image/damage.hpp"
+
+namespace ads {
+
+std::uint64_t hash_rect(const Image& img, const Rect& r) {
+  const Rect c = intersect(r, img.bounds());
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::int64_t y = c.top; y < c.bottom(); ++y) {
+    auto row = img.row(y).subspan(static_cast<std::size_t>(c.left),
+                                  static_cast<std::size_t>(c.width));
+    for (const Pixel& p : row) {
+      const std::uint32_t v = static_cast<std::uint32_t>(p.r) << 24 |
+                              static_cast<std::uint32_t>(p.g) << 16 |
+                              static_cast<std::uint32_t>(p.b) << 8 | p.a;
+      h = (h ^ v) * 0x100000001B3ull;
+    }
+  }
+  return h;
+}
+
+std::vector<Rect> diff_rects(const Image& before, const Image& after,
+                             std::int64_t tile_size) {
+  if (before.width() != after.width() || before.height() != after.height()) {
+    const Rect full = bounding_union(before.bounds(), after.bounds());
+    return full.empty() ? std::vector<Rect>{} : std::vector<Rect>{full};
+  }
+  const std::int64_t cols = (after.width() + tile_size - 1) / tile_size;
+  const std::int64_t rows = (after.height() + tile_size - 1) / tile_size;
+  Region region;
+  for (std::int64_t ty = 0; ty < rows; ++ty) {
+    std::int64_t run_start = -1;
+    for (std::int64_t tx = 0; tx <= cols; ++tx) {
+      bool dirty = false;
+      if (tx < cols) {
+        const Rect tile = intersect(
+            Rect{tx * tile_size, ty * tile_size, tile_size, tile_size}, after.bounds());
+        dirty = hash_rect(before, tile) != hash_rect(after, tile);
+      }
+      if (dirty && run_start < 0) run_start = tx;
+      if (!dirty && run_start >= 0) {
+        const Rect band{run_start * tile_size, ty * tile_size,
+                        (tx - run_start) * tile_size, tile_size};
+        region.add(intersect(band, after.bounds()));
+        run_start = -1;
+      }
+    }
+  }
+  region.simplify();
+  return region.rects();
+}
+
+std::vector<Rect> DamageTracker::update(const Image& frame) {
+  const std::int64_t cols = (frame.width() + tile_ - 1) / tile_;
+  const std::int64_t rows = (frame.height() + tile_ - 1) / tile_;
+  const bool fresh =
+      hashes_.empty() || cols != cols_ || rows != rows_ || width_ != frame.width() ||
+      height_ != frame.height();
+  cols_ = cols;
+  rows_ = rows;
+  width_ = frame.width();
+  height_ = frame.height();
+
+  std::vector<std::uint64_t> now(static_cast<std::size_t>(cols * rows));
+  std::vector<bool> dirty(static_cast<std::size_t>(cols * rows), false);
+  for (std::int64_t ty = 0; ty < rows; ++ty) {
+    for (std::int64_t tx = 0; tx < cols; ++tx) {
+      const Rect tile{tx * tile_, ty * tile_, tile_, tile_};
+      const std::uint64_t h = hash_rect(frame, tile);
+      const std::size_t i = static_cast<std::size_t>(ty * cols + tx);
+      now[i] = h;
+      dirty[i] = fresh || h != hashes_[i];
+    }
+  }
+  hashes_ = std::move(now);
+
+  // Merge horizontal runs of dirty tiles, then let Region::simplify stitch
+  // vertically aligned bands.
+  Region region;
+  for (std::int64_t ty = 0; ty < rows; ++ty) {
+    std::int64_t run_start = -1;
+    for (std::int64_t tx = 0; tx <= cols; ++tx) {
+      const bool d = tx < cols && dirty[static_cast<std::size_t>(ty * cols + tx)];
+      if (d && run_start < 0) run_start = tx;
+      if (!d && run_start >= 0) {
+        Rect r{run_start * tile_, ty * tile_, (tx - run_start) * tile_, tile_};
+        region.add(intersect(r, frame.bounds()));
+        run_start = -1;
+      }
+    }
+  }
+  region.simplify();
+  return region.rects();
+}
+
+void DamageTracker::reset() { hashes_.clear(); }
+
+}  // namespace ads

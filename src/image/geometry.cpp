@@ -1,0 +1,126 @@
+#include "image/geometry.hpp"
+
+#include <sstream>
+
+namespace ads {
+
+Rect intersect(const Rect& a, const Rect& b) {
+  const std::int64_t l = std::max(a.left, b.left);
+  const std::int64_t t = std::max(a.top, b.top);
+  const std::int64_t r = std::min(a.right(), b.right());
+  const std::int64_t bo = std::min(a.bottom(), b.bottom());
+  if (r <= l || bo <= t) return {};
+  return {l, t, r - l, bo - t};
+}
+
+Rect bounding_union(const Rect& a, const Rect& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const std::int64_t l = std::min(a.left, b.left);
+  const std::int64_t t = std::min(a.top, b.top);
+  const std::int64_t r = std::max(a.right(), b.right());
+  const std::int64_t bo = std::max(a.bottom(), b.bottom());
+  return {l, t, r - l, bo - t};
+}
+
+bool overlaps(const Rect& a, const Rect& b) { return !intersect(a, b).empty(); }
+
+std::vector<Rect> subtract(const Rect& a, const Rect& b) {
+  std::vector<Rect> out;
+  const Rect inter = intersect(a, b);
+  if (inter.empty()) {
+    if (!a.empty()) out.push_back(a);
+    return out;
+  }
+  // Bands above and below the intersection span a's full width; the left and
+  // right slivers span only the intersection's vertical extent.
+  if (inter.top > a.top) out.push_back({a.left, a.top, a.width, inter.top - a.top});
+  if (inter.bottom() < a.bottom())
+    out.push_back({a.left, inter.bottom(), a.width, a.bottom() - inter.bottom()});
+  if (inter.left > a.left)
+    out.push_back({a.left, inter.top, inter.left - a.left, inter.height});
+  if (inter.right() < a.right())
+    out.push_back({inter.right(), inter.top, a.right() - inter.right(), inter.height});
+  return out;
+}
+
+void Region::add(const Rect& r) {
+  if (r.empty()) return;
+  // Keep the region disjoint: insert the parts of `r` not already covered.
+  std::vector<Rect> pending{r};
+  for (const Rect& existing : rects_) {
+    std::vector<Rect> next;
+    for (const Rect& p : pending) {
+      auto parts = subtract(p, existing);
+      next.insert(next.end(), parts.begin(), parts.end());
+    }
+    pending = std::move(next);
+    if (pending.empty()) return;
+  }
+  rects_.insert(rects_.end(), pending.begin(), pending.end());
+}
+
+void Region::subtract_rect(const Rect& r) {
+  if (r.empty() || rects_.empty()) return;
+  std::vector<Rect> next;
+  next.reserve(rects_.size());
+  for (const Rect& existing : rects_) {
+    auto parts = subtract(existing, r);
+    next.insert(next.end(), parts.begin(), parts.end());
+  }
+  rects_ = std::move(next);
+}
+
+std::int64_t Region::area() const {
+  std::int64_t total = 0;
+  for (const Rect& r : rects_) total += r.area();
+  return total;
+}
+
+Rect Region::bounds() const {
+  Rect b;
+  for (const Rect& r : rects_) b = bounding_union(b, r);
+  return b;
+}
+
+bool Region::contains(Point p) const {
+  for (const Rect& r : rects_) {
+    if (r.contains(p)) return true;
+  }
+  return false;
+}
+
+void Region::simplify() {
+  // Repeatedly merge pairs that together form an exact rectangle (same row
+  // band and adjacent horizontally, or same column band and adjacent
+  // vertically). O(n^2) per pass; regions here are small (tens of rects).
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t i = 0; i < rects_.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < rects_.size() && !merged; ++j) {
+        Rect& a = rects_[i];
+        Rect& b = rects_[j];
+        const bool same_row = a.top == b.top && a.height == b.height;
+        const bool same_col = a.left == b.left && a.width == b.width;
+        if (same_row && (a.right() == b.left || b.right() == a.left)) {
+          a = bounding_union(a, b);
+          rects_.erase(rects_.begin() + static_cast<std::ptrdiff_t>(j));
+          merged = true;
+        } else if (same_col && (a.bottom() == b.top || b.bottom() == a.top)) {
+          a = bounding_union(a, b);
+          rects_.erase(rects_.begin() + static_cast<std::ptrdiff_t>(j));
+          merged = true;
+        }
+      }
+    }
+  }
+}
+
+std::string to_string(const Rect& r) {
+  std::ostringstream os;
+  os << "[" << r.left << "," << r.top << " " << r.width << "x" << r.height << "]";
+  return os.str();
+}
+
+}  // namespace ads

@@ -1,0 +1,71 @@
+#include "image/image.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace ads {
+
+Image::Image(std::int64_t width, std::int64_t height, Pixel fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width * height), fill) {
+  assert(width >= 0 && height >= 0);
+}
+
+void Image::fill(Pixel p) { std::fill(pixels_.begin(), pixels_.end(), p); }
+
+void Image::fill_rect(const Rect& r, Pixel p) {
+  const Rect c = intersect(r, bounds());
+  for (std::int64_t y = c.top; y < c.bottom(); ++y) {
+    Pixel* row_ptr = &pixels_[index(c.left, y)];
+    std::fill(row_ptr, row_ptr + c.width, p);
+  }
+}
+
+void Image::blit(const Image& src, const Rect& src_rect, Point dst) {
+  Rect s = intersect(src_rect, src.bounds());
+  // Clip against destination bounds, shifting the source window to match.
+  Rect d{dst.x, dst.y, s.width, s.height};
+  const Rect dc = intersect(d, bounds());
+  if (dc.empty()) return;
+  s.left += dc.left - d.left;
+  s.top += dc.top - d.top;
+  for (std::int64_t y = 0; y < dc.height; ++y) {
+    const Pixel* from = &src.pixels_[src.index(s.left, s.top + y)];
+    Pixel* to = &pixels_[index(dc.left, dc.top + y)];
+    std::memcpy(to, from, static_cast<std::size_t>(dc.width) * sizeof(Pixel));
+  }
+}
+
+void Image::move_rect(const Rect& src_rect, Point dst) {
+  Rect s = intersect(src_rect, bounds());
+  Rect d{dst.x, dst.y, s.width, s.height};
+  const Rect dc = intersect(d, bounds());
+  if (dc.empty()) return;
+  s.left += dc.left - d.left;
+  s.top += dc.top - d.top;
+  const std::int64_t h = dc.height;
+  const std::int64_t w = dc.width;
+  // memmove handles horizontal overlap within a row; vertical overlap is
+  // handled by choosing the copy direction.
+  if (dc.top <= s.top) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      std::memmove(&pixels_[index(dc.left, dc.top + y)], &pixels_[index(s.left, s.top + y)],
+                   static_cast<std::size_t>(w) * sizeof(Pixel));
+    }
+  } else {
+    for (std::int64_t y = h - 1; y >= 0; --y) {
+      std::memmove(&pixels_[index(dc.left, dc.top + y)], &pixels_[index(s.left, s.top + y)],
+                   static_cast<std::size_t>(w) * sizeof(Pixel));
+    }
+  }
+}
+
+Image Image::crop(const Rect& r) const {
+  const Rect c = intersect(r, bounds());
+  Image out(c.width, c.height);
+  out.blit(*this, c, {0, 0});
+  return out;
+}
+
+}  // namespace ads

@@ -1,0 +1,75 @@
+// RGBA8 raster image. This is the single pixel representation used across
+// capture, codecs, and the participant-side screen reconstruction; codecs
+// convert to/from their wire formats at the edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "image/geometry.hpp"
+
+namespace ads {
+
+/// One pixel, 8 bits per channel.
+struct Pixel {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  std::uint8_t a = 255;
+
+  friend bool operator==(const Pixel&, const Pixel&) = default;
+};
+
+constexpr Pixel kBlack{0, 0, 0, 255};
+constexpr Pixel kWhite{255, 255, 255, 255};
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::int64_t width, std::int64_t height, Pixel fill = kBlack);
+
+  std::int64_t width() const { return width_; }
+  std::int64_t height() const { return height_; }
+  Rect bounds() const { return {0, 0, width_, height_}; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  Pixel at(std::int64_t x, std::int64_t y) const { return pixels_[index(x, y)]; }
+  void set(std::int64_t x, std::int64_t y, Pixel p) { pixels_[index(x, y)] = p; }
+
+  /// Row-major pixel storage (size = width * height).
+  std::span<const Pixel> pixels() const { return pixels_; }
+  std::span<Pixel> pixels() { return pixels_; }
+  std::span<const Pixel> row(std::int64_t y) const {
+    return std::span<const Pixel>(pixels_).subspan(static_cast<std::size_t>(y * width_),
+                                                   static_cast<std::size_t>(width_));
+  }
+
+  void fill(Pixel p);
+  void fill_rect(const Rect& r, Pixel p);
+
+  /// Copy `src_rect` from `src` to position `dst` in this image. Both source
+  /// and destination are clipped to their image bounds.
+  void blit(const Image& src, const Rect& src_rect, Point dst);
+
+  /// In-place copy of `src_rect` to `dst` within this image, handling
+  /// overlap correctly — the participant-side MoveRectangle primitive
+  /// (draft §5.2.3: "Source and destination rectangles may overlap").
+  void move_rect(const Rect& src_rect, Point dst);
+
+  /// Extract a sub-image (clipped to bounds).
+  Image crop(const Rect& r) const;
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  std::size_t index(std::int64_t x, std::int64_t y) const {
+    return static_cast<std::size_t>(y * width_ + x);
+  }
+
+  std::int64_t width_ = 0;
+  std::int64_t height_ = 0;
+  std::vector<Pixel> pixels_;
+};
+
+}  // namespace ads

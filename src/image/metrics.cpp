@@ -1,0 +1,40 @@
+#include "image/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ads {
+
+double mse(const Image& a, const Image& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double dr = static_cast<double>(pa[i].r) - pb[i].r;
+    const double dg = static_cast<double>(pa[i].g) - pb[i].g;
+    const double db = static_cast<double>(pa[i].b) - pb[i].b;
+    sum += dr * dr + dg * dg + db * db;
+  }
+  const double n = static_cast<double>(pa.size()) * 3.0;
+  return n > 0 ? sum / n : 0.0;
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double m = mse(a, b);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+std::int64_t diff_pixel_count(const Image& a, const Image& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i].r != pb[i].r || pa[i].g != pb[i].g || pa[i].b != pb[i].b) ++n;
+  }
+  return n;
+}
+
+}  // namespace ads

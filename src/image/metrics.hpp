@@ -1,0 +1,21 @@
+// Image fidelity metrics used by the codec benchmarks (E1): PSNR over RGB
+// channels, plus exact-match helpers for lossless codecs.
+#pragma once
+
+#include <limits>
+
+#include "image/image.hpp"
+
+namespace ads {
+
+/// Mean squared error over the R, G, B channels (alpha ignored).
+/// Images must have identical dimensions.
+double mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB; +inf for identical images.
+double psnr(const Image& a, const Image& b);
+
+/// Count of pixels whose RGB differs.
+std::int64_t diff_pixel_count(const Image& a, const Image& b);
+
+}  // namespace ads

@@ -1,0 +1,71 @@
+#include "image/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ads {
+namespace {
+
+Image scale_nearest(const Image& src, std::int64_t width, std::int64_t height) {
+  Image out(width, height);
+  for (std::int64_t y = 0; y < height; ++y) {
+    const std::int64_t sy = y * src.height() / height;
+    for (std::int64_t x = 0; x < width; ++x) {
+      const std::int64_t sx = x * src.width() / width;
+      out.set(x, y, src.at(sx, sy));
+    }
+  }
+  return out;
+}
+
+std::uint8_t lerp_channel(std::uint8_t a, std::uint8_t b, double t) {
+  return static_cast<std::uint8_t>(
+      std::lround(static_cast<double>(a) * (1.0 - t) + static_cast<double>(b) * t));
+}
+
+Pixel lerp_pixel(const Pixel& a, const Pixel& b, double t) {
+  return Pixel{lerp_channel(a.r, b.r, t), lerp_channel(a.g, b.g, t),
+               lerp_channel(a.b, b.b, t), lerp_channel(a.a, b.a, t)};
+}
+
+Image scale_bilinear(const Image& src, std::int64_t width, std::int64_t height) {
+  Image out(width, height);
+  const double sx_ratio =
+      width > 1 ? static_cast<double>(src.width() - 1) / static_cast<double>(width - 1)
+                : 0.0;
+  const double sy_ratio =
+      height > 1
+          ? static_cast<double>(src.height() - 1) / static_cast<double>(height - 1)
+          : 0.0;
+  for (std::int64_t y = 0; y < height; ++y) {
+    const double fy = static_cast<double>(y) * sy_ratio;
+    const std::int64_t y0 = static_cast<std::int64_t>(fy);
+    const std::int64_t y1 = std::min(y0 + 1, src.height() - 1);
+    const double ty = fy - static_cast<double>(y0);
+    for (std::int64_t x = 0; x < width; ++x) {
+      const double fx = static_cast<double>(x) * sx_ratio;
+      const std::int64_t x0 = static_cast<std::int64_t>(fx);
+      const std::int64_t x1 = std::min(x0 + 1, src.width() - 1);
+      const double tx = fx - static_cast<double>(x0);
+      const Pixel top = lerp_pixel(src.at(x0, y0), src.at(x1, y0), tx);
+      const Pixel bottom = lerp_pixel(src.at(x0, y1), src.at(x1, y1), tx);
+      out.set(x, y, lerp_pixel(top, bottom, ty));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image scale_image(const Image& src, std::int64_t width, std::int64_t height,
+                  ScaleFilter filter) {
+  if (width <= 0 || height <= 0 || src.empty()) return Image{};
+  if (width == src.width() && height == src.height()) return src;
+  switch (filter) {
+    case ScaleFilter::kNearest: return scale_nearest(src, width, height);
+    case ScaleFilter::kBilinear: return scale_bilinear(src, width, height);
+  }
+  return scale_nearest(src, width, height);
+}
+
+}  // namespace ads

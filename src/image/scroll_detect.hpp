@@ -1,0 +1,42 @@
+// Vertical-scroll detection. The draft's MoveRectangle message (§5.2.3) is
+// "efficient for some drawing operations like scrolls"; to emit it the AH
+// must *recognise* a scroll from two successive frames. We hash each row of
+// the candidate rectangle in both frames and search for the dominant
+// vertical displacement; if enough rows moved coherently, the scroll is
+// reported so the sender can ship a MoveRectangle plus a small delta update
+// instead of re-encoding the whole area (benchmark E2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "image/geometry.hpp"
+#include "image/image.hpp"
+
+namespace ads {
+
+struct ScrollMatch {
+  /// Vertical displacement in pixels: positive = content moved down
+  /// (i.e. the user scrolled up), negative = content moved up.
+  std::int64_t dy = 0;
+  /// Source rectangle in the *previous* frame whose pixels reappear
+  /// displaced by `dy` in the current frame.
+  Rect source;
+  /// Fraction of candidate rows that matched the dominant displacement.
+  double confidence = 0.0;
+};
+
+struct ScrollDetectorOptions {
+  std::int64_t max_displacement = 128;  ///< search window (pixels, both signs)
+  double min_confidence = 0.6;          ///< reject weaker matches
+  std::int64_t min_rows = 16;           ///< don't bother for tiny areas
+};
+
+/// Detect a vertical scroll of `area` between `before` and `after`.
+/// Returns nullopt when no displacement meets the confidence threshold
+/// (including the trivial dy == 0 case, which is "nothing moved").
+std::optional<ScrollMatch> detect_scroll(const Image& before, const Image& after,
+                                         const Rect& area,
+                                         const ScrollDetectorOptions& opts = {});
+
+}  // namespace ads

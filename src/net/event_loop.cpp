@@ -1,0 +1,32 @@
+#include "net/event_loop.hpp"
+
+namespace ads {
+
+void EventLoop::at(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_id_++, std::move(fn)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out before
+  // pop, so copy the small fields and move via const_cast-free re-push
+  // pattern: take a copy of the top wrapper.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace ads

@@ -1,0 +1,62 @@
+// Deterministic discrete-event simulation core. All network channels,
+// application hosts and participants share one EventLoop; time is virtual
+// microseconds, so every test and benchmark is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ads {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+constexpr SimTime sim_ms(std::uint64_t ms) { return ms * 1000; }
+constexpr SimTime sim_sec(std::uint64_t s) { return s * 1000000; }
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (clamped to now).
+  void at(SimTime when, Callback fn);
+
+  /// Schedule `fn` after `delay` microseconds.
+  void after(SimTime delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Run events until the queue is empty or `deadline` is passed; the clock
+  /// ends at `deadline` (or the last event if the queue empties first and
+  /// advance_to_deadline is true).
+  void run_until(SimTime deadline);
+
+  /// Run until no events remain.
+  void run();
+
+  /// Execute a single event; returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t id;  ///< insertion order breaks ties deterministically
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ads

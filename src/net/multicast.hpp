@@ -1,0 +1,49 @@
+// Multicast fan-out model (draft §4.2/§4.3: the AH can serve "several
+// multicast addresses in the same sharing session", each multicast session
+// potentially at a different transmission rate).
+//
+// The AH sends each datagram once per group; the group replicates it onto
+// per-member channels, so members experience independent loss, delay and
+// jitter — exactly the property that makes multicast NACK handling (and
+// NACK-storm avoidance) interesting.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/udp_channel.hpp"
+
+namespace ads {
+
+class MulticastGroup {
+ public:
+  explicit MulticastGroup(EventLoop& loop) : loop_(loop) {}
+
+  /// Add a member with its own last-hop characteristics; returns the
+  /// member's channel (attach the receiver to it).
+  UdpChannel& add_member(UdpChannelOptions opts) {
+    members_.push_back(std::make_unique<UdpChannel>(loop_, opts));
+    return *members_.back();
+  }
+
+  /// Replicate one datagram to every member. Returns true if at least one
+  /// member's queue accepted it.
+  bool send(BytesView datagram) {
+    ++datagrams_sent_;
+    bool any = false;
+    for (auto& member : members_) any |= member->send(datagram);
+    return any;
+  }
+
+  std::size_t member_count() const { return members_.size(); }
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+
+  UdpChannel& member(std::size_t i) { return *members_[i]; }
+
+ private:
+  EventLoop& loop_;
+  std::vector<std::unique_ptr<UdpChannel>> members_;
+  std::uint64_t datagrams_sent_ = 0;
+};
+
+}  // namespace ads

@@ -1,0 +1,66 @@
+// Token-bucket rate limiter. Draft §4.3: "The AH controls the transmission
+// rate for participants using UDP, because UDP itself does not provide flow
+// and congestion control." The AH holds one bucket per UDP participant (or
+// multicast group) and skips a frame when the bucket cannot cover it,
+// letting damage accumulate exactly like the §7 TCP backlog policy.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "net/event_loop.hpp"
+
+namespace ads {
+
+class TokenBucket {
+ public:
+  /// `rate_bps` refill rate; `burst_bytes` bucket capacity (also the
+  /// initial fill). rate_bps == 0 means unlimited.
+  TokenBucket(std::uint64_t rate_bps, std::uint64_t burst_bytes)
+      : rate_bps_(rate_bps),
+        burst_(static_cast<double>(burst_bytes)),
+        tokens_(static_cast<double>(burst_bytes)) {}
+
+  bool unlimited() const { return rate_bps_ == 0; }
+
+  /// Tokens (bytes) available at `now`.
+  double available(SimTime now) {
+    refill(now);
+    return tokens_;
+  }
+
+  /// Unconditionally spend `bytes` (may drive the bucket negative; the
+  /// frame-level gate in available() keeps long-run rate at the target
+  /// while never tearing a message mid-send).
+  void consume(std::size_t bytes, SimTime now) {
+    if (unlimited()) return;
+    refill(now);
+    tokens_ -= static_cast<double>(bytes);
+  }
+
+  /// Convenience: spend only if fully covered.
+  bool try_consume(std::size_t bytes, SimTime now) {
+    if (unlimited()) return true;
+    refill(now);
+    if (tokens_ < static_cast<double>(bytes)) return false;
+    tokens_ -= static_cast<double>(bytes);
+    return true;
+  }
+
+ private:
+  void refill(SimTime now) {
+    if (now > last_) {
+      tokens_ = std::min(
+          burst_, tokens_ + static_cast<double>(now - last_) *
+                                static_cast<double>(rate_bps_) / 8.0 / 1e6);
+      last_ = now;
+    }
+  }
+
+  std::uint64_t rate_bps_;
+  double burst_;
+  double tokens_;
+  SimTime last_ = 0;
+};
+
+}  // namespace ads

@@ -1,0 +1,60 @@
+#include "net/tcp_channel.hpp"
+
+#include <algorithm>
+
+namespace ads {
+
+TcpChannel::TcpChannel(EventLoop& loop, TcpChannelOptions opts)
+    : loop_(loop), opts_(opts) {}
+
+std::size_t TcpChannel::backlog_bytes() const {
+  // Sum of the not-yet-serialised suffix: a segment contributes while the
+  // link has not finished clocking it out.
+  const SimTime now = loop_.now();
+  std::size_t backlog = 0;
+  for (const Segment& s : in_flight_) {
+    if (s.fully_serialised_at > now) {
+      // Portion still unsent: proportional to remaining serialisation time.
+      const SimTime remaining = s.fully_serialised_at - now;
+      const std::uint64_t remaining_bytes =
+          std::min<std::uint64_t>(s.data.size(),
+                                  remaining * opts_.bandwidth_bps / 8 / 1000000 + 1);
+      backlog += remaining_bytes;
+    }
+  }
+  return std::min(backlog, opts_.send_buffer_bytes);
+}
+
+std::size_t TcpChannel::send(BytesView data) {
+  stats_.bytes_offered += data.size();
+
+  // Garbage-collect segments that have fully serialised.
+  const SimTime now = loop_.now();
+  while (!in_flight_.empty() && in_flight_.front().fully_serialised_at <= now) {
+    in_flight_.pop_front();
+  }
+
+  const std::size_t space = free_space();
+  const std::size_t take = std::min(space, data.size());
+  if (take < data.size()) ++stats_.partial_writes;
+  if (take == 0) return 0;
+
+  const SimTime serialize_us = take * 8ull * 1000000ull / opts_.bandwidth_bps;
+  const SimTime start = std::max(link_free_at_, now);
+  link_free_at_ = start + serialize_us;
+
+  Segment seg;
+  seg.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(take));
+  seg.fully_serialised_at = link_free_at_;
+  const SimTime arrive = link_free_at_ + opts_.delay_us;
+  in_flight_.push_back(seg);
+
+  stats_.bytes_accepted += take;
+  loop_.at(arrive, [this, d = std::move(seg.data)]() mutable {
+    stats_.bytes_delivered += d.size();
+    if (receiver_) receiver_(std::move(d));
+  });
+  return take;
+}
+
+}  // namespace ads

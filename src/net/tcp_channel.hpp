@@ -1,0 +1,70 @@
+// Unidirectional TCP-like byte stream: reliable, in-order, rate-limited,
+// with a finite send buffer. The buffer occupancy is the observable the
+// draft's §7 implementation note is about: "monitor the state of their TCP
+// transmission buffers (through mechanisms such as the select() command)
+// and only send the most recent screen data when there is no backlog."
+// `backlog_bytes()` is that select()-style signal.
+//
+// Loss and retransmission are below the abstraction: a fluid model drains
+// the buffer at the configured bandwidth and delivers each accepted write
+// intact after it fully serialises plus the propagation delay.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/event_loop.hpp"
+#include "util/bytes.hpp"
+
+namespace ads {
+
+struct TcpChannelOptions {
+  std::uint64_t bandwidth_bps = 10'000'000;
+  SimTime delay_us = 20000;            ///< one-way propagation delay
+  std::size_t send_buffer_bytes = 64 * 1024;
+};
+
+class TcpChannel {
+ public:
+  using Receiver = std::function<void(Bytes)>;
+
+  TcpChannel(EventLoop& loop, TcpChannelOptions opts);
+
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  /// Write bytes to the stream. Accepts up to the free send-buffer space
+  /// and returns how many bytes were taken (a partial write, exactly like a
+  /// non-blocking socket). Never blocks.
+  std::size_t send(BytesView data);
+
+  /// Bytes accepted but not yet serialised onto the wire — the §7 backlog
+  /// signal. Zero means a write of at least one byte would succeed
+  /// immediately.
+  std::size_t backlog_bytes() const;
+
+  std::size_t free_space() const { return opts_.send_buffer_bytes - backlog_bytes(); }
+
+  struct Stats {
+    std::uint64_t bytes_offered = 0;
+    std::uint64_t bytes_accepted = 0;
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t partial_writes = 0;  ///< sends that could not take all bytes
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Segment {
+    Bytes data;
+    SimTime fully_serialised_at;
+  };
+
+  EventLoop& loop_;
+  TcpChannelOptions opts_;
+  Receiver receiver_;
+  SimTime link_free_at_ = 0;
+  std::deque<Segment> in_flight_;  ///< serialised order, for backlog math
+  Stats stats_;
+};
+
+}  // namespace ads

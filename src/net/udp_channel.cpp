@@ -1,0 +1,56 @@
+#include "net/udp_channel.hpp"
+
+#include <algorithm>
+
+namespace ads {
+
+UdpChannel::UdpChannel(EventLoop& loop, UdpChannelOptions opts)
+    : loop_(loop), opts_(opts), rng_(opts.seed) {}
+
+bool UdpChannel::send(BytesView datagram) {
+  ++stats_.sent;
+
+  SimTime depart = loop_.now();
+  if (opts_.bandwidth_bps > 0) {
+    // Bytes already queued ahead of this datagram.
+    const SimTime backlog_us =
+        link_free_at_ > loop_.now() ? link_free_at_ - loop_.now() : 0;
+    const std::uint64_t backlog_bytes = backlog_us * opts_.bandwidth_bps / 8 / 1000000;
+    if (backlog_bytes + datagram.size() > opts_.queue_bytes) {
+      ++stats_.queue_dropped;
+      return false;
+    }
+    const SimTime serialize_us =
+        datagram.size() * 8ull * 1000000ull / opts_.bandwidth_bps;
+    const SimTime start = std::max(link_free_at_, loop_.now());
+    link_free_at_ = start + serialize_us;
+    depart = link_free_at_;
+  }
+
+  if (rng_.chance(opts_.loss)) {
+    ++stats_.lost;
+    return true;  // loss is silent; the queue accepted it
+  }
+
+  Bytes copy(datagram.begin(), datagram.end());
+  schedule_delivery(std::move(copy), depart);
+
+  if (rng_.chance(opts_.duplicate)) {
+    ++stats_.duplicated;
+    Bytes dup(datagram.begin(), datagram.end());
+    schedule_delivery(std::move(dup), depart);
+  }
+  return true;
+}
+
+void UdpChannel::schedule_delivery(Bytes datagram, SimTime depart) {
+  const SimTime jitter = opts_.jitter_us ? rng_.below(opts_.jitter_us) : 0;
+  const SimTime arrive = depart + opts_.delay_us + jitter;
+  loop_.at(arrive, [this, d = std::move(datagram)]() mutable {
+    ++stats_.delivered;
+    stats_.bytes_delivered += d.size();
+    if (receiver_) receiver_(std::move(d));
+  });
+}
+
+}  // namespace ads

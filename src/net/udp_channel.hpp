@@ -1,0 +1,65 @@
+// Unidirectional UDP-like datagram channel: unreliable, unordered, rate-
+// limited. Models the path an AH→participant remoting stream (or the
+// reverse HIP stream) takes when the session uses UDP (§4.3): datagrams can
+// be lost, duplicated and reordered (via jitter), and a finite interface
+// queue tail-drops when the sender exceeds the link rate — which is why the
+// AH "controls the transmission rate for participants using UDP".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/event_loop.hpp"
+#include "util/bytes.hpp"
+#include "util/prng.hpp"
+
+namespace ads {
+
+struct UdpChannelOptions {
+  double loss = 0.0;               ///< independent datagram loss probability
+  double duplicate = 0.0;          ///< duplication probability
+  SimTime delay_us = 20000;        ///< one-way propagation delay
+  SimTime jitter_us = 0;           ///< uniform extra delay (causes reordering)
+  std::uint64_t bandwidth_bps = 0; ///< 0 = unlimited
+  std::size_t queue_bytes = 256 * 1024;  ///< interface queue capacity
+  std::uint64_t seed = 1;          ///< drives loss/jitter draws
+};
+
+class UdpChannel {
+ public:
+  using Receiver = std::function<void(Bytes)>;
+
+  UdpChannel(EventLoop& loop, UdpChannelOptions opts);
+
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  /// Enqueue one datagram. Returns false if the interface queue tail-dropped
+  /// it (the datagram is gone; UDP gives no signal beyond this return).
+  bool send(BytesView datagram);
+
+  /// Adjust the loss probability mid-run (tests/benchmarks stage loss
+  /// episodes this way).
+  void set_loss(double loss) { opts_.loss = loss; }
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;          ///< random loss
+    std::uint64_t queue_dropped = 0; ///< tail drops
+    std::uint64_t duplicated = 0;
+    std::uint64_t bytes_delivered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void schedule_delivery(Bytes datagram, SimTime depart);
+
+  EventLoop& loop_;
+  UdpChannelOptions opts_;
+  Prng rng_;
+  Receiver receiver_;
+  SimTime link_free_at_ = 0;  ///< when the serialiser finishes current queue
+  Stats stats_;
+};
+
+}  // namespace ads

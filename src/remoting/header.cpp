@@ -1,0 +1,19 @@
+#include "remoting/header.hpp"
+
+namespace ads {
+
+void CommonHeader::write(ByteWriter& out) const {
+  out.u8(msg_type);
+  out.u8(parameter);
+  out.u16(window_id);
+}
+
+Result<CommonHeader> CommonHeader::read(ByteReader& in) {
+  auto type = in.u8();
+  auto param = in.u8();
+  auto wid = in.u16();
+  if (!type || !param || !wid) return ParseError::kTruncated;
+  return CommonHeader{*type, *param, *wid};
+}
+
+}  // namespace ads

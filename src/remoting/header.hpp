@@ -1,0 +1,78 @@
+// Common remoting/HIP header (draft §5.1.2, Figure 7):
+//
+//   0                   1                   2                   3
+//   0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//  +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//  |  Msg Type     |    Parameter  |          WindowID             |
+//  +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//
+// For RegionUpdate (and MousePointerInfo, which shares its format) the
+// Parameter byte is subdivided into the FirstPacket bit and a 7-bit
+// content payload type (Figure 10).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+/// Remoting message types (draft Table 1; IANA "Specification Required").
+enum class RemotingType : std::uint8_t {
+  kWindowManagerInfo = 1,
+  kRegionUpdate = 2,
+  kMoveRectangle = 3,
+  kMousePointerInfo = 4,
+};
+
+/// True for the four types of Table 1.
+constexpr bool is_known_remoting_type(std::uint8_t value) {
+  return value >= 1 && value <= 4;
+}
+
+constexpr const char* to_string(RemotingType t) {
+  switch (t) {
+    case RemotingType::kWindowManagerInfo: return "WindowManagerInfo";
+    case RemotingType::kRegionUpdate: return "RegionUpdate";
+    case RemotingType::kMoveRectangle: return "MoveRectangle";
+    case RemotingType::kMousePointerInfo: return "MousePointerInfo";
+  }
+  return "?";
+}
+
+struct CommonHeader {
+  std::uint8_t msg_type = 0;
+  std::uint8_t parameter = 0;
+  std::uint16_t window_id = 0;
+
+  static constexpr std::size_t kSize = 4;
+
+  void write(ByteWriter& out) const;
+  static Result<CommonHeader> read(ByteReader& in);
+
+  /// RegionUpdate Parameter-byte helpers (F bit is the MSB, Figure 10).
+  bool first_packet() const { return parameter & 0x80; }
+  std::uint8_t content_pt() const { return parameter & 0x7F; }
+  static std::uint8_t make_parameter(bool first, std::uint8_t pt) {
+    return static_cast<std::uint8_t>((first ? 0x80 : 0x00) | (pt & 0x7F));
+  }
+
+  friend bool operator==(const CommonHeader&, const CommonHeader&) = default;
+};
+
+/// Fragment classification per draft Table 2 (marker bit x FirstPacket bit).
+enum class FragmentType {
+  kNotFragmented,  ///< marker=1, first=1
+  kStart,          ///< marker=0, first=1
+  kContinuation,   ///< marker=0, first=0
+  kEnd,            ///< marker=1, first=0
+};
+
+constexpr FragmentType classify_fragment(bool marker, bool first_packet) {
+  if (marker && first_packet) return FragmentType::kNotFragmented;
+  if (!marker && first_packet) return FragmentType::kStart;
+  if (!marker && !first_packet) return FragmentType::kContinuation;
+  return FragmentType::kEnd;
+}
+
+}  // namespace ads

@@ -1,0 +1,61 @@
+#include "remoting/message.hpp"
+
+namespace ads {
+
+Result<std::optional<RemotingMessage>> RemotingDemux::feed(BytesView payload,
+                                                           bool marker) {
+  ByteReader peek(payload);
+  auto header = CommonHeader::read(peek);
+  if (!header) {
+    ++errors_;
+    return header.error();
+  }
+
+  switch (header->msg_type) {
+    case static_cast<std::uint8_t>(RemotingType::kWindowManagerInfo): {
+      auto msg = WindowManagerInfo::parse(payload);
+      if (!msg) {
+        ++errors_;
+        return msg.error();
+      }
+      return std::optional<RemotingMessage>(std::move(*msg));
+    }
+    case static_cast<std::uint8_t>(RemotingType::kRegionUpdate): {
+      auto msg = region_reasm_.feed(payload, marker);
+      if (!msg) {
+        ++errors_;
+        return msg.error();
+      }
+      if (!msg->has_value()) return std::optional<RemotingMessage>{};
+      return std::optional<RemotingMessage>(std::move(**msg));
+    }
+    case static_cast<std::uint8_t>(RemotingType::kMoveRectangle): {
+      auto msg = MoveRectangle::parse(payload);
+      if (!msg) {
+        ++errors_;
+        return msg.error();
+      }
+      return std::optional<RemotingMessage>(std::move(*msg));
+    }
+    case static_cast<std::uint8_t>(RemotingType::kMousePointerInfo): {
+      auto msg = pointer_reasm_.feed(payload, marker);
+      if (!msg) {
+        ++errors_;
+        return msg.error();
+      }
+      if (!msg->has_value()) return std::optional<RemotingMessage>{};
+      return std::optional<RemotingMessage>(
+          MousePointerInfo::from_region_update(**msg));
+    }
+    default:
+      ++ignored_;
+      return std::optional<RemotingMessage>{};
+  }
+}
+
+void RemotingDemux::reset() {
+  region_reasm_.reset();
+  pointer_reasm_.reset();
+}
+
+}  // namespace ads

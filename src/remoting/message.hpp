@@ -1,0 +1,43 @@
+// Participant-side demultiplexer for the remoting stream: takes each RTP
+// payload (in delivery order, after the reorder buffer) plus its marker bit
+// and yields complete remoting messages. RegionUpdate and MousePointerInfo
+// may span multiple packets; the other types are single-packet.
+// Unknown message types are counted and skipped ("Participants MAY ignore
+// such additional message types", §5.1.2).
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "remoting/header.hpp"
+#include "remoting/mouse_pointer_info.hpp"
+#include "remoting/move_rectangle.hpp"
+#include "remoting/region_update.hpp"
+#include "remoting/window_manager_info.hpp"
+
+namespace ads {
+
+using RemotingMessage =
+    std::variant<WindowManagerInfo, RegionUpdate, MoveRectangle, MousePointerInfo>;
+
+class RemotingDemux {
+ public:
+  /// Feed one in-order RTP payload. Returns a message when one completes,
+  /// nullopt while a fragmented message is pending or the type was
+  /// ignorable, and a ParseError on malformed input.
+  Result<std::optional<RemotingMessage>> feed(BytesView payload, bool marker);
+
+  /// Abandon any in-progress reassembly (after an unrepaired loss).
+  void reset();
+
+  std::uint64_t ignored_unknown_types() const { return ignored_; }
+  std::uint64_t parse_errors() const { return errors_; }
+
+ private:
+  RegionUpdateReassembler region_reasm_{RemotingType::kRegionUpdate};
+  RegionUpdateReassembler pointer_reasm_{RemotingType::kMousePointerInfo};
+  std::uint64_t ignored_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace ads

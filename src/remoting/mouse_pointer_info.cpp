@@ -1,0 +1,20 @@
+#include "remoting/mouse_pointer_info.hpp"
+
+namespace ads {
+
+Bytes MousePointerInfo::serialize() const {
+  auto frags = fragment_region_update(as_region_update(),
+                                      CommonHeader::kSize + 8 + icon.size() + 1,
+                                      RemotingType::kMousePointerInfo);
+  return std::move(frags.front().payload);
+}
+
+Result<MousePointerInfo> MousePointerInfo::parse(BytesView payload) {
+  RegionUpdateReassembler reasm(RemotingType::kMousePointerInfo);
+  auto result = reasm.feed(payload, /*marker=*/true);
+  if (!result) return result.error();
+  if (!result->has_value()) return ParseError::kBadState;
+  return from_region_update(**result);
+}
+
+}  // namespace ads

@@ -1,0 +1,40 @@
+// MousePointerInfo message (draft §5.2.4): same wire format as
+// RegionUpdate with message type 4. Two payload shapes:
+//   * position only — left/top fields, empty content: "the participant MUST
+//     move the existing pointer image to the given coordinates";
+//   * position + image — content carries the new pointer icon, which the
+//     participant "MUST store and use ... until a new image arrives".
+#pragma once
+
+#include <optional>
+
+#include "remoting/region_update.hpp"
+
+namespace ads {
+
+struct MousePointerInfo {
+  std::uint16_t window_id = 0;
+  std::uint8_t content_pt = 0;
+  std::uint32_t left = 0;
+  std::uint32_t top = 0;
+  Bytes icon;  ///< empty = position-only update
+
+  bool has_icon() const { return !icon.empty(); }
+
+  /// Convert to the shared RegionUpdate carrier (for fragmentation).
+  RegionUpdate as_region_update() const {
+    return RegionUpdate{window_id, content_pt, left, top, icon};
+  }
+  static MousePointerInfo from_region_update(const RegionUpdate& ru) {
+    return MousePointerInfo{ru.window_id, ru.content_pt, ru.left, ru.top, ru.content};
+  }
+
+  /// Single-packet serialisation (pointer icons are small; callers needing
+  /// fragmentation use fragment_region_update with kMousePointerInfo).
+  Bytes serialize() const;
+  static Result<MousePointerInfo> parse(BytesView payload);
+
+  friend bool operator==(const MousePointerInfo&, const MousePointerInfo&) = default;
+};
+
+}  // namespace ads

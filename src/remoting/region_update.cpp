@@ -1,0 +1,130 @@
+#include "remoting/region_update.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ads {
+namespace {
+
+constexpr std::size_t kFirstHeader = CommonHeader::kSize + 8;  // + left + top
+
+void write_common(ByteWriter& out, RemotingType type, const RegionUpdate& msg,
+                  bool first) {
+  CommonHeader header;
+  header.msg_type = static_cast<std::uint8_t>(type);
+  header.parameter = CommonHeader::make_parameter(first, msg.content_pt);
+  header.window_id = msg.window_id;
+  header.write(out);
+}
+
+}  // namespace
+
+FragmentType RegionUpdateFragment::type() const {
+  ByteReader in(payload);
+  auto header = CommonHeader::read(in);
+  const bool first = header.ok() && header->first_packet();
+  return classify_fragment(marker, first);
+}
+
+std::vector<RegionUpdateFragment> fragment_region_update(const RegionUpdate& msg,
+                                                         std::size_t max_payload,
+                                                         RemotingType type) {
+  assert(max_payload > kFirstHeader);
+  std::vector<RegionUpdateFragment> out;
+
+  const std::size_t first_room = max_payload - kFirstHeader;
+  const std::size_t cont_room = max_payload - CommonHeader::kSize;
+
+  std::size_t offset = std::min(msg.content.size(), first_room);
+  {
+    RegionUpdateFragment frag;
+    ByteWriter w(kFirstHeader + offset);
+    write_common(w, type, msg, /*first=*/true);
+    w.u32(msg.left);
+    w.u32(msg.top);
+    w.bytes(BytesView(msg.content).first(offset));
+    frag.payload = w.take();
+    frag.marker = offset == msg.content.size();
+    out.push_back(std::move(frag));
+  }
+  while (offset < msg.content.size()) {
+    const std::size_t take = std::min(cont_room, msg.content.size() - offset);
+    RegionUpdateFragment frag;
+    ByteWriter w(CommonHeader::kSize + take);
+    write_common(w, type, msg, /*first=*/false);
+    w.bytes(BytesView(msg.content).subspan(offset, take));
+    frag.payload = w.take();
+    offset += take;
+    frag.marker = offset == msg.content.size();
+    out.push_back(std::move(frag));
+  }
+  return out;
+}
+
+Result<std::optional<RegionUpdate>> RegionUpdateReassembler::feed(BytesView payload,
+                                                                  bool marker) {
+  ByteReader in(payload);
+  auto header = CommonHeader::read(in);
+  if (!header) {
+    reset();
+    return header.error();
+  }
+  if (header->msg_type != static_cast<std::uint8_t>(msg_type_)) {
+    reset();
+    return ParseError::kBadValue;
+  }
+
+  const bool first = header->first_packet();
+  if (first) {
+    if (in_progress_) {
+      // A new message started while another was open: the tail of the old
+      // one was lost. Abandon it and accept the new start.
+      ++aborted_;
+    }
+    auto left = in.u32();
+    auto top = in.u32();
+    if (!left || !top) {
+      reset();
+      return ParseError::kTruncated;
+    }
+    partial_ = RegionUpdate{};
+    partial_.window_id = header->window_id;
+    partial_.content_pt = header->content_pt();
+    partial_.left = *left;
+    partial_.top = *top;
+    in_progress_ = true;
+  } else {
+    if (!in_progress_) {
+      // Continuation without a start: the first packet was lost.
+      return ParseError::kBadState;
+    }
+    if (header->window_id != partial_.window_id ||
+        header->content_pt() != partial_.content_pt) {
+      reset();
+      return ParseError::kBadValue;
+    }
+  }
+
+  const BytesView chunk = in.rest();
+  if (partial_.content.size() + chunk.size() > max_bytes_) {
+    reset();
+    return ParseError::kOverflow;
+  }
+  partial_.content.insert(partial_.content.end(), chunk.begin(), chunk.end());
+
+  if (!marker) return std::optional<RegionUpdate>{};
+
+  ++completed_;
+  in_progress_ = false;
+  std::optional<RegionUpdate> done = std::move(partial_);
+  partial_ = RegionUpdate{};
+  return done;
+}
+
+void RegionUpdateReassembler::reset() {
+  if (in_progress_) ++aborted_;
+  in_progress_ = false;
+  partial_ = RegionUpdate{};
+}
+
+}  // namespace ads

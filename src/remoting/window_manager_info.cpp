@@ -1,0 +1,85 @@
+#include "remoting/window_manager_info.hpp"
+
+#include <algorithm>
+
+namespace ads {
+
+Bytes WindowManagerInfo::serialize() const {
+  ByteWriter out(CommonHeader::kSize + records.size() * WindowRecord::kSize);
+  CommonHeader header;
+  header.msg_type = static_cast<std::uint8_t>(RemotingType::kWindowManagerInfo);
+  header.parameter = 0;
+  header.window_id = 0;
+  header.write(out);
+  for (const WindowRecord& r : records) {
+    out.u16(r.window_id);
+    out.u8(r.group_id);
+    out.u8(0);  // reserved
+    out.u32(r.left);
+    out.u32(r.top);
+    out.u32(r.width);
+    out.u32(r.height);
+  }
+  return out.take();
+}
+
+Result<WindowManagerInfo> WindowManagerInfo::parse(BytesView payload) {
+  ByteReader in(payload);
+  auto header = CommonHeader::read(in);
+  if (!header) return header.error();
+  if (header->msg_type != static_cast<std::uint8_t>(RemotingType::kWindowManagerInfo))
+    return ParseError::kBadValue;
+  // Parameter and WindowID are deliberately ignored (§5.2.1).
+  return parse_body(in);
+}
+
+Result<WindowManagerInfo> WindowManagerInfo::parse_body(ByteReader& in) {
+  if (in.remaining() % WindowRecord::kSize != 0) return ParseError::kBadValue;
+  WindowManagerInfo msg;
+  while (!in.at_end()) {
+    WindowRecord r;
+    auto wid = in.u16();
+    auto gid = in.u8();
+    auto reserved = in.u8();
+    auto left = in.u32();
+    auto top = in.u32();
+    auto width = in.u32();
+    auto height = in.u32();
+    if (!wid || !gid || !reserved || !left || !top || !width || !height)
+      return ParseError::kTruncated;
+    r.window_id = *wid;
+    r.group_id = *gid;
+    r.left = *left;
+    r.top = *top;
+    r.width = *width;
+    r.height = *height;
+    msg.records.push_back(r);
+  }
+  // Duplicate WindowIDs in one message are malformed.
+  std::vector<std::uint16_t> ids;
+  ids.reserve(msg.records.size());
+  for (const auto& r : msg.records) ids.push_back(r.window_id);
+  std::sort(ids.begin(), ids.end());
+  if (std::adjacent_find(ids.begin(), ids.end()) != ids.end())
+    return ParseError::kBadValue;
+  return msg;
+}
+
+WindowManagerInfo WindowManagerInfo::from(const WindowManager& wm) {
+  WindowManagerInfo msg;
+  for (const Window& w : wm.shared_windows()) {
+    WindowRecord r;
+    r.window_id = w.id;
+    r.group_id = w.group;
+    // Wire fields are unsigned 32-bit pixels (§4.1); clamp negatives that
+    // can arise from off-screen window positions in the model.
+    r.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, w.frame.left));
+    r.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, w.frame.top));
+    r.width = static_cast<std::uint32_t>(std::max<std::int64_t>(0, w.frame.width));
+    r.height = static_cast<std::uint32_t>(std::max<std::int64_t>(0, w.frame.height));
+    msg.records.push_back(r);
+  }
+  return msg;
+}
+
+}  // namespace ads

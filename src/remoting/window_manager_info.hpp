@@ -1,0 +1,54 @@
+// WindowManagerInfo message (draft §5.2.1, Figures 8-9): transfers the
+// complete window-manager state. Records are 20 bytes each and transmitted
+// bottom-most window first — the z-order is implicit in record order.
+// Participants MUST close windows absent from the newest message and create
+// windows for new WindowIDs.
+#pragma once
+
+#include <vector>
+
+#include "remoting/header.hpp"
+#include "util/bytes.hpp"
+#include "wm/window_manager.hpp"
+
+namespace ads {
+
+struct WindowRecord {
+  std::uint16_t window_id = 0;
+  std::uint8_t group_id = 0;
+  // 8 reserved bits follow group_id on the wire (transmitted as 0).
+  std::uint32_t left = 0;
+  std::uint32_t top = 0;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+
+  static constexpr std::size_t kSize = 20;
+
+  Rect rect() const {
+    return {static_cast<std::int64_t>(left), static_cast<std::int64_t>(top),
+            static_cast<std::int64_t>(width), static_cast<std::int64_t>(height)};
+  }
+
+  friend bool operator==(const WindowRecord&, const WindowRecord&) = default;
+};
+
+struct WindowManagerInfo {
+  /// Bottom-most first (z-order implicit).
+  std::vector<WindowRecord> records;
+
+  /// Serialise including the common remoting/HIP header (Parameter and
+  /// WindowID fields are 0; receivers MUST ignore them).
+  Bytes serialize() const;
+
+  /// Parse from a payload that begins with the common header.
+  static Result<WindowManagerInfo> parse(BytesView payload);
+  /// Parse the record list, header already consumed.
+  static Result<WindowManagerInfo> parse_body(ByteReader& in);
+
+  /// Build the message from the shared windows of a WindowManager.
+  static WindowManagerInfo from(const WindowManager& wm);
+
+  friend bool operator==(const WindowManagerInfo&, const WindowManagerInfo&) = default;
+};
+
+}  // namespace ads

@@ -1,0 +1,37 @@
+#include "rtp/framing.hpp"
+
+namespace ads {
+
+Result<Bytes> frame_packet(BytesView packet) {
+  if (packet.size() > 0xFFFF) return ParseError::kOverflow;
+  ByteWriter out(packet.size() + 2);
+  out.u16(static_cast<std::uint16_t>(packet.size()));
+  out.bytes(packet);
+  return out.take();
+}
+
+void StreamDeframer::feed(BytesView data) {
+  // Compact lazily so long sessions don't grow the buffer unboundedly.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 65536) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<Bytes> StreamDeframer::next() {
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 2) return std::nullopt;
+  const std::uint16_t len = static_cast<std::uint16_t>(buffer_[consumed_] << 8 |
+                                                       buffer_[consumed_ + 1]);
+  if (avail < 2u + len) return std::nullopt;
+  Bytes out(buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 2),
+            buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 2 + len));
+  consumed_ += 2u + len;
+  return out;
+}
+
+}  // namespace ads

@@ -1,0 +1,37 @@
+// RFC 4571 framing: "Neither TCP nor RTP declares the length of an RTP
+// packet. Therefore, RTP framing [RFC4571] is used to split RTP packets
+// within the TCP byte stream" (draft §4.4). Each frame is a 16-bit
+// big-endian length followed by that many bytes of RTP/RTCP packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+/// Prefix `packet` with its RFC 4571 length header.
+/// Packets longer than 65535 bytes cannot be framed (kOverflow).
+Result<Bytes> frame_packet(BytesView packet);
+
+/// Incremental deframer for a TCP byte stream: feed arbitrary chunks,
+/// pop complete packets.
+class StreamDeframer {
+ public:
+  /// Append raw stream bytes.
+  void feed(BytesView data);
+
+  /// Next complete packet, or nullopt if more bytes are needed.
+  std::optional<Bytes> next();
+
+  /// Bytes buffered but not yet consumed as complete frames.
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Bytes buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace ads

@@ -1,0 +1,61 @@
+// In-order delivery of out-of-order RTP packets. The draft relies on RTP
+// to let participants "re-order the packets, recognize missing packets"
+// (§4.2); this buffer performs the reordering and exposes a bounded-wait
+// policy: if a gap persists while more than `max_hold` newer packets are
+// queued, the gap is abandoned and delivery resumes (the remoting layer
+// recovers via NACK retransmission or PLI refresh).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rtp/rtp_packet.hpp"
+
+namespace ads {
+
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(std::size_t max_hold = 256) : max_hold_(max_hold) {}
+
+  /// Insert an arriving packet; returns every packet now deliverable in
+  /// order (possibly none). Duplicates and packets older than the delivery
+  /// cursor are dropped.
+  std::vector<RtpPacket> push(RtpPacket pkt);
+
+  /// Abandon the current head gap: deliver buffered packets from the next
+  /// one actually present. Returns the flushed packets.
+  std::vector<RtpPacket> skip_gap();
+
+  /// Deliver everything held (in order, regardless of gaps) and return it.
+  std::vector<RtpPacket> flush_all();
+
+  /// Move the delivery cursor to `next` (buffer must be empty — flush
+  /// first). Used after a loss-recovery full refresh to jump past a gap
+  /// even when nothing newer is buffered.
+  void reset_to(std::uint16_t next);
+
+  std::size_t buffered() const { return held_.size(); }
+  std::uint64_t dropped_late() const { return dropped_late_; }
+  std::uint64_t gaps_skipped() const { return gaps_skipped_; }
+
+  /// Sequence number the buffer is waiting to deliver next.
+  std::optional<std::uint16_t> expected_sequence() const {
+    return started_ ? std::optional<std::uint16_t>(next_seq_) : std::nullopt;
+  }
+
+ private:
+  std::vector<RtpPacket> drain();
+
+  // Key is the modular distance from next_seq_ so iteration order matches
+  // delivery order even across the 16-bit wrap.
+  std::map<std::uint16_t, RtpPacket> held_;
+  std::size_t max_hold_;
+  bool started_ = false;
+  std::uint16_t next_seq_ = 0;
+  std::uint64_t dropped_late_ = 0;
+  std::uint64_t gaps_skipped_ = 0;
+};
+
+}  // namespace ads

@@ -1,0 +1,28 @@
+#include "rtp/retransmission_cache.hpp"
+
+namespace ads {
+
+void RetransmissionCache::put(const RtpPacket& pkt) {
+  if (capacity_ == 0) return;
+  auto [it, inserted] = by_seq_.insert_or_assign(pkt.sequence, pkt);
+  (void)it;
+  if (inserted) {
+    order_.push_back(pkt.sequence);
+    while (order_.size() > capacity_) {
+      by_seq_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+}
+
+std::optional<RtpPacket> RetransmissionCache::get(std::uint16_t sequence) const {
+  auto it = by_seq_.find(sequence);
+  if (it == by_seq_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+}  // namespace ads

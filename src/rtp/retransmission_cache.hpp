@@ -1,0 +1,38 @@
+// AH-side retransmission store. When the SDP advertises
+// "retransmissions=yes" (§9.3.1), the AH answers Generic NACKs by resending
+// cached packets. The cache holds the most recent `capacity` packets keyed
+// by sequence number.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "rtp/rtp_packet.hpp"
+
+namespace ads {
+
+class RetransmissionCache {
+ public:
+  explicit RetransmissionCache(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void put(const RtpPacket& pkt);
+
+  /// The cached packet for `sequence`, if still retained.
+  std::optional<RtpPacket> get(std::uint16_t sequence) const;
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::uint16_t> order_;
+  std::unordered_map<std::uint16_t, RtpPacket> by_seq_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace ads

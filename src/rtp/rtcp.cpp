@@ -1,0 +1,242 @@
+#include "rtp/rtcp.hpp"
+
+#include <algorithm>
+
+namespace ads {
+namespace {
+
+void write_fb_header(ByteWriter& out, std::uint8_t fmt, std::uint8_t pt,
+                     std::uint16_t length_words, std::uint32_t sender_ssrc,
+                     std::uint32_t media_ssrc) {
+  out.u8(static_cast<std::uint8_t>(0x80 | (fmt & 0x1F)));  // V=2, P=0, FMT
+  out.u8(pt);
+  out.u16(length_words);  // length in 32-bit words minus one
+  out.u32(sender_ssrc);
+  out.u32(media_ssrc);
+}
+
+}  // namespace
+
+Bytes PictureLossIndication::serialize() const {
+  ByteWriter out(12);
+  // PLI has no FCI: length = 2 (3 words total minus one).
+  write_fb_header(out, 1, kRtcpPtPsfb, 2, sender_ssrc, media_ssrc);
+  return out.take();
+}
+
+Bytes GenericNack::serialize() const {
+  ByteWriter out(12 + entries.size() * 4);
+  write_fb_header(out, 1, kRtcpPtRtpfb,
+                  static_cast<std::uint16_t>(2 + entries.size()), sender_ssrc,
+                  media_ssrc);
+  for (const NackEntry& e : entries) {
+    out.u16(e.pid);
+    out.u16(e.blp);
+  }
+  return out.take();
+}
+
+std::vector<std::uint16_t> GenericNack::requested_sequences() const {
+  std::vector<std::uint16_t> out;
+  for (const NackEntry& e : entries) {
+    out.push_back(e.pid);
+    for (int bit = 0; bit < 16; ++bit) {
+      if (e.blp & (1u << bit)) {
+        out.push_back(static_cast<std::uint16_t>(e.pid + 1 + bit));
+      }
+    }
+  }
+  return out;
+}
+
+GenericNack GenericNack::for_sequences(std::uint32_t sender_ssrc,
+                                       std::uint32_t media_ssrc,
+                                       std::vector<std::uint16_t> lost) {
+  GenericNack nack;
+  nack.sender_ssrc = sender_ssrc;
+  nack.media_ssrc = media_ssrc;
+  if (lost.empty()) return nack;
+  // Sort in modular order relative to the first element so wrap-around
+  // batches pack correctly.
+  const std::uint16_t base = *std::min_element(
+      lost.begin(), lost.end(), [&](std::uint16_t a, std::uint16_t b) {
+        return static_cast<std::uint16_t>(a - lost[0]) <
+               static_cast<std::uint16_t>(b - lost[0]);
+      });
+  std::sort(lost.begin(), lost.end(), [&](std::uint16_t a, std::uint16_t b) {
+    return static_cast<std::uint16_t>(a - base) < static_cast<std::uint16_t>(b - base);
+  });
+  lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+
+  std::size_t i = 0;
+  while (i < lost.size()) {
+    NackEntry entry;
+    entry.pid = lost[i];
+    ++i;
+    while (i < lost.size()) {
+      const std::uint16_t offset = static_cast<std::uint16_t>(lost[i] - entry.pid);
+      if (offset == 0 || offset > 16) break;
+      entry.blp |= static_cast<std::uint16_t>(1u << (offset - 1));
+      ++i;
+    }
+    nack.entries.push_back(entry);
+  }
+  return nack;
+}
+
+namespace {
+
+void write_report_block(ByteWriter& out, const ReportBlock& b) {
+  out.u32(b.ssrc);
+  out.u8(b.fraction_lost);
+  out.u24(b.cumulative_lost & 0xFFFFFF);
+  out.u32(b.ext_highest_seq);
+  out.u32(b.jitter);
+  out.u32(b.last_sr);
+  out.u32(b.delay_since_last_sr);
+}
+
+Result<ReportBlock> read_report_block(ByteReader& in) {
+  ReportBlock b;
+  auto ssrc = in.u32();
+  auto frac = in.u8();
+  auto lost = in.u24();
+  auto seq = in.u32();
+  auto jitter = in.u32();
+  auto lsr = in.u32();
+  auto dlsr = in.u32();
+  if (!ssrc || !frac || !lost || !seq || !jitter || !lsr || !dlsr)
+    return ParseError::kTruncated;
+  b.ssrc = *ssrc;
+  b.fraction_lost = *frac;
+  b.cumulative_lost = *lost;
+  b.ext_highest_seq = *seq;
+  b.jitter = *jitter;
+  b.last_sr = *lsr;
+  b.delay_since_last_sr = *dlsr;
+  return b;
+}
+
+}  // namespace
+
+Bytes SenderReport::serialize() const {
+  ByteWriter out(28 + blocks.size() * 24);
+  out.u8(static_cast<std::uint8_t>(0x80 | (blocks.size() & 0x1F)));  // RC
+  out.u8(kRtcpPtSr);
+  out.u16(static_cast<std::uint16_t>(6 + blocks.size() * 6));  // words - 1
+  out.u32(ssrc);
+  out.u64(ntp_timestamp);
+  out.u32(rtp_timestamp);
+  out.u32(packet_count);
+  out.u32(octet_count);
+  for (const ReportBlock& b : blocks) write_report_block(out, b);
+  return out.take();
+}
+
+Bytes ReceiverReport::serialize() const {
+  ByteWriter out(8 + blocks.size() * 24);
+  out.u8(static_cast<std::uint8_t>(0x80 | (blocks.size() & 0x1F)));
+  out.u8(kRtcpPtRr);
+  out.u16(static_cast<std::uint16_t>(1 + blocks.size() * 6));
+  out.u32(ssrc);
+  for (const ReportBlock& b : blocks) write_report_block(out, b);
+  return out.take();
+}
+
+Result<RtcpMessage> parse_rtcp(BytesView data) {
+  ByteReader in(data);
+  auto b0 = in.u8();
+  auto pt = in.u8();
+  auto length = in.u16();
+  if (!b0 || !pt || !length) return ParseError::kTruncated;
+  if ((*b0 >> 6) != 2) return ParseError::kBadValue;
+  const int count = *b0 & 0x1F;
+  const std::size_t declared_bytes = (static_cast<std::size_t>(*length) + 1) * 4;
+  if (declared_bytes > data.size()) return ParseError::kTruncated;
+
+  switch (*pt) {
+    case kRtcpPtSr: {
+      SenderReport sr;
+      auto ssrc = in.u32();
+      auto ntp = in.u64();
+      auto rtp_ts = in.u32();
+      auto packets = in.u32();
+      auto octets = in.u32();
+      if (!ssrc || !ntp || !rtp_ts || !packets || !octets)
+        return ParseError::kTruncated;
+      sr.ssrc = *ssrc;
+      sr.ntp_timestamp = *ntp;
+      sr.rtp_timestamp = *rtp_ts;
+      sr.packet_count = *packets;
+      sr.octet_count = *octets;
+      for (int i = 0; i < count; ++i) {
+        auto block = read_report_block(in);
+        if (!block) return block.error();
+        sr.blocks.push_back(*block);
+      }
+      return RtcpMessage(std::move(sr));
+    }
+    case kRtcpPtRr: {
+      ReceiverReport rr;
+      auto ssrc = in.u32();
+      if (!ssrc) return ssrc.error();
+      rr.ssrc = *ssrc;
+      for (int i = 0; i < count; ++i) {
+        auto block = read_report_block(in);
+        if (!block) return block.error();
+        rr.blocks.push_back(*block);
+      }
+      return RtcpMessage(std::move(rr));
+    }
+    case kRtcpPtPsfb:
+    case kRtcpPtRtpfb: {
+      auto fb = RtcpFeedback::parse(data);
+      if (!fb) return fb.error();
+      if (fb->type == RtcpFeedback::Type::kPli) return RtcpMessage(fb->pli);
+      return RtcpMessage(fb->nack);
+    }
+    default:
+      return ParseError::kUnsupported;
+  }
+}
+
+Result<RtcpFeedback> RtcpFeedback::parse(BytesView data) {
+  ByteReader in(data);
+  auto b0 = in.u8();
+  auto pt = in.u8();
+  auto length = in.u16();
+  auto sender = in.u32();
+  auto media = in.u32();
+  if (!b0 || !pt || !length || !sender || !media) return ParseError::kTruncated;
+  if ((*b0 >> 6) != 2) return ParseError::kBadValue;
+  const std::uint8_t fmt = *b0 & 0x1F;
+
+  // Validate the declared length against the actual buffer.
+  const std::size_t declared_bytes = (static_cast<std::size_t>(*length) + 1) * 4;
+  if (declared_bytes > data.size()) return ParseError::kTruncated;
+
+  RtcpFeedback fb;
+  if (*pt == kRtcpPtPsfb && fmt == 1) {
+    fb.type = Type::kPli;
+    fb.pli.sender_ssrc = *sender;
+    fb.pli.media_ssrc = *media;
+    return fb;
+  }
+  if (*pt == kRtcpPtRtpfb && fmt == 1) {
+    fb.type = Type::kNack;
+    fb.nack.sender_ssrc = *sender;
+    fb.nack.media_ssrc = *media;
+    const std::size_t fci_bytes = declared_bytes - 12;
+    if (fci_bytes % 4 != 0) return ParseError::kBadValue;
+    for (std::size_t k = 0; k < fci_bytes / 4; ++k) {
+      auto pid = in.u16();
+      auto blp = in.u16();
+      if (!pid || !blp) return ParseError::kTruncated;
+      fb.nack.entries.push_back({*pid, *blp});
+    }
+    return fb;
+  }
+  return ParseError::kUnsupported;
+}
+
+}  // namespace ads

@@ -1,0 +1,106 @@
+// RTCP feedback messages used by the draft (§5.3): Picture Loss Indication
+// per RFC 4585 §6.3.1 (payload-specific feedback, FMT=1, PT=206) and
+// Generic NACK per RFC 4585 §6.2.1 (transport-layer feedback, FMT=1,
+// PT=205). Each Generic NACK FCI entry is a (PID, BLP) pair naming the lost
+// packet and a bitmask of the 16 following sequence numbers.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+inline constexpr std::uint8_t kRtcpPtSr = 200;     ///< sender report
+inline constexpr std::uint8_t kRtcpPtRr = 201;     ///< receiver report
+inline constexpr std::uint8_t kRtcpPtRtpfb = 205;  ///< transport-layer FB
+inline constexpr std::uint8_t kRtcpPtPsfb = 206;   ///< payload-specific FB
+
+struct PictureLossIndication {
+  std::uint32_t sender_ssrc = 0;
+  std::uint32_t media_ssrc = 0;
+
+  Bytes serialize() const;
+};
+
+struct NackEntry {
+  std::uint16_t pid = 0;  ///< first lost sequence number
+  std::uint16_t blp = 0;  ///< bitmask: bit i => pid + 1 + i also lost
+
+  friend bool operator==(const NackEntry&, const NackEntry&) = default;
+};
+
+struct GenericNack {
+  std::uint32_t sender_ssrc = 0;
+  std::uint32_t media_ssrc = 0;
+  std::vector<NackEntry> entries;
+
+  Bytes serialize() const;
+
+  /// All sequence numbers this NACK requests (pid plus set BLP bits).
+  std::vector<std::uint16_t> requested_sequences() const;
+
+  /// Pack an arbitrary list of lost sequence numbers into minimal
+  /// (PID, BLP) entries. Input need not be sorted.
+  static GenericNack for_sequences(std::uint32_t sender_ssrc, std::uint32_t media_ssrc,
+                                   std::vector<std::uint16_t> lost);
+};
+
+/// A parsed RTCP feedback message (only the two types the draft uses).
+struct RtcpFeedback {
+  enum class Type { kPli, kNack };
+  Type type = Type::kPli;
+  PictureLossIndication pli;
+  GenericNack nack;
+
+  static Result<RtcpFeedback> parse(BytesView data);
+};
+
+/// Reception report block (RFC 3550 §6.4.1), carried in SR and RR packets.
+struct ReportBlock {
+  std::uint32_t ssrc = 0;              ///< source this block reports on
+  std::uint8_t fraction_lost = 0;      ///< fixed point, /256
+  std::uint32_t cumulative_lost = 0;   ///< 24-bit on the wire
+  std::uint32_t ext_highest_seq = 0;   ///< cycles<<16 | highest seq
+  std::uint32_t jitter = 0;            ///< interarrival jitter, RTP ticks
+  std::uint32_t last_sr = 0;           ///< LSR
+  std::uint32_t delay_since_last_sr = 0;  ///< DLSR, 1/65536 s
+
+  friend bool operator==(const ReportBlock&, const ReportBlock&) = default;
+};
+
+/// Sender Report (RFC 3550 §6.4.1). The AH emits these periodically so
+/// participants can map RTP timestamps to wallclock and compute RTT.
+struct SenderReport {
+  std::uint32_t ssrc = 0;
+  std::uint64_t ntp_timestamp = 0;
+  std::uint32_t rtp_timestamp = 0;
+  std::uint32_t packet_count = 0;
+  std::uint32_t octet_count = 0;
+  std::vector<ReportBlock> blocks;
+
+  Bytes serialize() const;
+
+  friend bool operator==(const SenderReport&, const SenderReport&) = default;
+};
+
+/// Receiver Report (RFC 3550 §6.4.2): the participant's periodic link
+/// quality feedback (loss fraction, jitter) about the remoting stream.
+struct ReceiverReport {
+  std::uint32_t ssrc = 0;  ///< reporter
+  std::vector<ReportBlock> blocks;
+
+  Bytes serialize() const;
+
+  friend bool operator==(const ReceiverReport&, const ReceiverReport&) = default;
+};
+
+/// Any RTCP packet this implementation understands.
+using RtcpMessage =
+    std::variant<SenderReport, ReceiverReport, PictureLossIndication, GenericNack>;
+
+Result<RtcpMessage> parse_rtcp(BytesView data);
+
+}  // namespace ads

@@ -1,0 +1,52 @@
+#include "rtp/rtp_packet.hpp"
+
+namespace ads {
+
+Bytes RtpPacket::serialize() const {
+  ByteWriter out(kHeaderSize + payload.size());
+  // V=2, P=0, X=0, CC=0.
+  out.u8(0x80);
+  out.u8(static_cast<std::uint8_t>((marker ? 0x80 : 0x00) | (payload_type & 0x7F)));
+  out.u16(sequence);
+  out.u32(timestamp);
+  out.u32(ssrc);
+  out.bytes(payload);
+  return out.take();
+}
+
+Result<RtpPacket> RtpPacket::parse(BytesView data) {
+  ByteReader in(data);
+  auto b0 = in.u8();
+  auto b1 = in.u8();
+  auto seq = in.u16();
+  auto ts = in.u32();
+  auto ssrc = in.u32();
+  if (!b0 || !b1 || !seq || !ts || !ssrc) return ParseError::kTruncated;
+
+  const int version = *b0 >> 6;
+  if (version != 2) return ParseError::kBadValue;
+  const bool padding = *b0 & 0x20;
+  const bool extension = *b0 & 0x10;
+  const int csrc_count = *b0 & 0x0F;
+  if (extension) return ParseError::kUnsupported;
+  if (auto s = in.skip(static_cast<std::size_t>(csrc_count) * 4); !s.ok())
+    return s.error();
+
+  RtpPacket pkt;
+  pkt.marker = *b1 & 0x80;
+  pkt.payload_type = *b1 & 0x7F;
+  pkt.sequence = *seq;
+  pkt.timestamp = *ts;
+  pkt.ssrc = *ssrc;
+  BytesView body = in.rest();
+  if (padding) {
+    if (body.empty()) return ParseError::kTruncated;
+    const std::uint8_t pad = body.back();
+    if (pad == 0 || pad > body.size()) return ParseError::kBadValue;
+    body = body.first(body.size() - pad);
+  }
+  pkt.payload.assign(body.begin(), body.end());
+  return pkt;
+}
+
+}  // namespace ads

@@ -1,0 +1,53 @@
+// RTP packet (RFC 3550 §5.1). The draft carries both sub-protocols over
+// RTP: remoting messages on one payload type, HIP messages on another
+// (§4.5: "The HIP messages have a different payload type than the remoting
+// messages"), with the marker bit signalling the last packet of a
+// multi-packet RegionUpdate (§5.1.1).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+/// Static payload type assignments used by this implementation's SDP
+/// (§10.3 example: "a=rtpmap:99 remoting/90000", "a=rtpmap:100 hip/90000"
+/// — dynamic range).
+inline constexpr std::uint8_t kRemotingPayloadType = 99;
+inline constexpr std::uint8_t kHipPayloadType = 100;
+
+/// RTP timestamps for both sub-protocols run on a 90 kHz clock (§5.1.1,
+/// §6.1.1).
+inline constexpr std::uint32_t kRtpClockHz = 90000;
+
+struct RtpPacket {
+  // Header fields (CSRC lists and header extensions are not used by this
+  // payload format and are rejected/ignored on the wire).
+  bool marker = false;
+  std::uint8_t payload_type = 0;  ///< 7 bits
+  std::uint16_t sequence = 0;
+  std::uint32_t timestamp = 0;
+  std::uint32_t ssrc = 0;
+  Bytes payload;
+
+  /// Serialised size in bytes.
+  std::size_t wire_size() const { return kHeaderSize + payload.size(); }
+
+  static constexpr std::size_t kHeaderSize = 12;
+
+  Bytes serialize() const;
+  static Result<RtpPacket> parse(BytesView data);
+};
+
+/// a <= b in RFC 1982 / RFC 3550 modular sequence arithmetic.
+constexpr bool seq_less(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b)) < 0;
+}
+
+/// b - a in modular arithmetic, as a signed distance.
+constexpr std::int32_t seq_diff(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(b - a));
+}
+
+}  // namespace ads

@@ -1,0 +1,119 @@
+#include "rtp/rtp_session.hpp"
+
+namespace ads {
+
+RtpSender::RtpSender(std::uint8_t payload_type, std::uint64_t seed)
+    : payload_type_(payload_type) {
+  Prng rng(seed);
+  ssrc_ = rng.next_u32();
+  next_seq_ = static_cast<std::uint16_t>(rng.next_u32());
+  initial_timestamp_ = rng.next_u32();
+}
+
+std::uint32_t RtpSender::timestamp_at(std::uint64_t now_us) const {
+  return initial_timestamp_ + us_to_rtp_ticks(now_us);
+}
+
+RtpPacket RtpSender::make_packet(Bytes payload, bool marker, std::uint64_t now_us) {
+  RtpPacket pkt;
+  pkt.marker = marker;
+  pkt.payload_type = payload_type_;
+  pkt.sequence = next_seq_++;
+  pkt.timestamp = timestamp_at(now_us);
+  pkt.ssrc = ssrc_;
+  pkt.payload = std::move(payload);
+  ++packets_sent_;
+  bytes_sent_ += pkt.wire_size();
+  return pkt;
+}
+
+bool RtpReceiver::on_packet(const RtpPacket& pkt, SimTimeUs arrival_us) {
+  // RFC 3550 A.8 interarrival jitter, in 90 kHz ticks.
+  const std::int64_t arrival_ticks =
+      static_cast<std::int64_t>(us_to_rtp_ticks(arrival_us));
+  const std::int64_t transit =
+      arrival_ticks - static_cast<std::int64_t>(pkt.timestamp);
+  if (have_transit_) {
+    std::int64_t d = transit - prev_transit_;
+    if (d < 0) d = -d;
+    jitter_ += (static_cast<double>(d) - jitter_) / 16.0;
+  }
+  prev_transit_ = transit;
+  have_transit_ = true;
+  return on_packet(pkt);
+}
+
+std::uint32_t RtpReceiver::cumulative_lost() const {
+  const std::uint32_t expected =
+      extended_highest_sequence() -
+      ((0u << 16) | base_seq_) + 1;  // cycles of base are 0 by construction
+  if (received_ >= expected) return 0;
+  return expected - static_cast<std::uint32_t>(received_);
+}
+
+ReportBlock RtpReceiver::snapshot(std::uint32_t media_ssrc) {
+  ReportBlock block;
+  block.ssrc = media_ssrc;
+  block.ext_highest_seq = extended_highest_sequence();
+  block.jitter = jitter();
+  block.cumulative_lost = cumulative_lost() & 0xFFFFFF;
+
+  // Fraction lost over the interval since the last snapshot (RFC 3550 A.3).
+  const std::uint32_t expected = extended_highest_sequence() - base_seq_ + 1;
+  const std::uint32_t expected_interval = expected - expected_prior_;
+  const std::uint64_t received_interval = received_ - received_prior_;
+  expected_prior_ = expected;
+  received_prior_ = received_;
+  if (expected_interval > 0 && received_interval < expected_interval) {
+    const std::uint32_t lost =
+        expected_interval - static_cast<std::uint32_t>(received_interval);
+    block.fraction_lost = static_cast<std::uint8_t>((lost << 8) / expected_interval);
+  }
+  return block;
+}
+
+bool RtpReceiver::on_packet(const RtpPacket& pkt) {
+  if (!started_) {
+    started_ = true;
+    highest_seq_ = pkt.sequence;
+    base_seq_ = pkt.sequence;
+    seen_window_.insert(pkt.sequence);
+    ++received_;
+    return true;
+  }
+
+  if (seen_window_.count(pkt.sequence)) {
+    ++duplicates_;
+    return false;
+  }
+
+  if (seq_less(highest_seq_, pkt.sequence)) {
+    // Every skipped number between highest+1 and the new packet is missing.
+    for (std::uint16_t s = static_cast<std::uint16_t>(highest_seq_ + 1);
+         s != pkt.sequence; ++s) {
+      missing_.insert(s);
+    }
+    if (pkt.sequence < highest_seq_) ++cycles_;  // 16-bit wrap
+    highest_seq_ = pkt.sequence;
+  } else {
+    // A late packet fills (or re-fills) a gap.
+    missing_.erase(pkt.sequence);
+  }
+
+  seen_window_.insert(pkt.sequence);
+  // Bound duplicate-detection memory: keep roughly one wrap of history.
+  while (seen_window_.size() > 4096) seen_window_.erase(seen_window_.begin());
+  ++received_;
+  return true;
+}
+
+std::vector<std::uint16_t> RtpReceiver::missing(std::size_t limit) const {
+  std::vector<std::uint16_t> out;
+  for (std::uint16_t s : missing_) {
+    if (out.size() >= limit) break;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ads

@@ -1,0 +1,116 @@
+// Sender- and receiver-side RTP session state (RFC 3550 subset sufficient
+// for the draft): sequence number assignment, 90 kHz timestamps with random
+// unpredictable initial values (§5.1.1/§6.1.1), and receiver-side loss
+// accounting that feeds Generic NACK generation.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "rtp/rtcp.hpp"
+#include "rtp/rtp_packet.hpp"
+#include "util/prng.hpp"
+
+namespace ads {
+
+/// Microseconds since an arbitrary epoch (the simulator's SimTime; any
+/// monotonic microsecond clock works).
+using SimTimeUs = std::uint64_t;
+
+/// Converts a microsecond duration to 90 kHz RTP ticks.
+constexpr std::uint32_t us_to_rtp_ticks(std::uint64_t microseconds) {
+  return static_cast<std::uint32_t>(microseconds * (kRtpClockHz / 1000) / 1000);
+}
+
+/// Outbound RTP stream: stamps packets with consecutive sequence numbers
+/// and clock-derived timestamps.
+class RtpSender {
+ public:
+  /// `seed` drives the randomised SSRC and initial sequence/timestamp.
+  RtpSender(std::uint8_t payload_type, std::uint64_t seed);
+
+  std::uint32_t ssrc() const { return ssrc_; }
+  std::uint16_t next_sequence() const { return next_seq_; }
+
+  /// Build (and account) the next packet. `now_us` is the sender clock;
+  /// the RTP timestamp is initial_ts + 90 kHz ticks since stream start.
+  RtpPacket make_packet(Bytes payload, bool marker, std::uint64_t now_us);
+
+  /// Timestamp that make_packet would use at `now_us` — needed because all
+  /// fragments of one RegionUpdate must share one timestamp (§5.1.1).
+  std::uint32_t timestamp_at(std::uint64_t now_us) const;
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  std::uint8_t payload_type_;
+  std::uint32_t ssrc_;
+  std::uint16_t next_seq_;
+  std::uint32_t initial_timestamp_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Inbound RTP stream bookkeeping: highest-seen sequence, duplicate
+/// detection, and the set of missing sequence numbers (for NACK).
+class RtpReceiver {
+ public:
+  /// Record an arriving packet. Returns false for duplicates (already seen
+  /// or already delivered). When `arrival_us` is supplied, interarrival
+  /// jitter is maintained per RFC 3550 §6.4.1/A.8.
+  bool on_packet(const RtpPacket& pkt);
+  bool on_packet(const RtpPacket& pkt, SimTimeUs arrival_us);
+
+  /// Sequence numbers currently believed lost (between the first packet
+  /// seen and the highest seen). Cleared entries reappear only if still
+  /// missing. Capped at `limit` entries.
+  std::vector<std::uint16_t> missing(std::size_t limit = 64) const;
+
+  /// Forget a missing entry (e.g. recovered via retransmission or given up).
+  void forget(std::uint16_t seq) { missing_.erase(seq); }
+  /// Drop all loss state (e.g. after requesting a PLI full refresh).
+  void reset_losses() { missing_.clear(); }
+
+  std::uint64_t received() const { return received_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  bool started() const { return started_; }
+  std::uint16_t highest_sequence() const { return highest_seq_; }
+
+  /// cycles<<16 | highest sequence — the RFC 3550 extended sequence number
+  /// carried in report blocks.
+  std::uint32_t extended_highest_sequence() const {
+    return (cycles_ << 16) | highest_seq_;
+  }
+
+  /// Interarrival jitter in RTP ticks (RFC 3550 A.8); only meaningful when
+  /// packets were fed through the timed on_packet overload.
+  std::uint32_t jitter() const { return static_cast<std::uint32_t>(jitter_); }
+
+  /// Packets lost so far: expected minus received (never negative).
+  std::uint32_t cumulative_lost() const;
+
+  /// Build the RFC 3550 report block for this stream, computing the
+  /// fraction lost over the interval since the previous snapshot() call.
+  ReportBlock snapshot(std::uint32_t media_ssrc);
+
+ private:
+  bool started_ = false;
+  std::uint16_t highest_seq_ = 0;
+  std::uint16_t base_seq_ = 0;
+  std::uint32_t cycles_ = 0;
+  std::set<std::uint16_t> missing_;
+  std::set<std::uint16_t> seen_window_;  ///< recent seqs for dup detection
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  // Jitter state (RFC 3550 A.8).
+  double jitter_ = 0.0;
+  std::int64_t prev_transit_ = 0;
+  bool have_transit_ = false;
+  // Interval state for fraction_lost.
+  std::uint32_t expected_prior_ = 0;
+  std::uint64_t received_prior_ = 0;
+};
+
+}  // namespace ads

@@ -1,0 +1,156 @@
+#include "sdp/sdp.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace ads {
+namespace {
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::optional<std::uint64_t> to_number(std::string_view s) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<std::string> MediaSection::attribute(const std::string& name) const {
+  for (const auto& [n, v] : attributes) {
+    if (n == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<RtpMap> MediaSection::rtpmaps() const {
+  std::vector<RtpMap> out;
+  for (const auto& [n, v] : attributes) {
+    if (n != "rtpmap") continue;
+    // "<pt> <encoding>/<rate>"
+    const auto space = v.find(' ');
+    if (space == std::string::npos) continue;
+    const auto slash = v.find('/', space);
+    if (slash == std::string::npos) continue;
+    const auto pt = to_number(std::string_view(v).substr(0, space));
+    const auto rate = to_number(std::string_view(v).substr(slash + 1));
+    if (!pt || *pt > 127 || !rate) continue;
+    RtpMap map;
+    map.payload_type = static_cast<std::uint8_t>(*pt);
+    map.encoding = v.substr(space + 1, slash - space - 1);
+    map.clock_rate = static_cast<std::uint32_t>(*rate);
+    out.push_back(std::move(map));
+  }
+  return out;
+}
+
+std::optional<std::string> MediaSection::fmtp(std::uint8_t pt) const {
+  for (const auto& [n, v] : attributes) {
+    if (n != "fmtp") continue;
+    const auto space = v.find(' ');
+    if (space == std::string::npos) {
+      // Tolerate the draft's "a=fmtp: retransmissions=yes" form (no pt).
+      if (v.find('=') != std::string::npos) return v;
+      continue;
+    }
+    const auto parsed = to_number(std::string_view(v).substr(0, space));
+    if (parsed && *parsed == pt) return v.substr(space + 1);
+    if (!parsed) return v;  // pt-less form with spaces in parameters
+  }
+  return std::nullopt;
+}
+
+std::string SessionDescription::to_string() const {
+  std::ostringstream os;
+  os << "v=0\r\n";
+  os << "o=" << origin << "\r\n";
+  os << "s=" << session_name << "\r\n";
+  if (!connection.empty()) os << "c=" << connection << "\r\n";
+  os << "t=0 0\r\n";
+  for (const MediaSection& m : media) {
+    os << "m=" << m.media << " " << m.port << " " << m.protocol;
+    for (const std::string& f : m.formats) os << " " << f;
+    os << "\r\n";
+    for (const auto& [n, v] : m.attributes) {
+      os << "a=" << n;
+      if (!v.empty()) os << ":" << v;
+      os << "\r\n";
+    }
+  }
+  return os.str();
+}
+
+Result<SessionDescription> SessionDescription::parse(const std::string& text) {
+  SessionDescription sd;
+  sd.origin.clear();
+  sd.session_name.clear();
+  MediaSection* current = nullptr;
+
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) line.pop_back();
+    if (line.empty()) continue;
+    if (line.size() < 2 || line[1] != '=') return ParseError::kBadValue;
+    const char kind = line[0];
+    const std::string value = line.substr(2);
+
+    switch (kind) {
+      case 'v':
+        if (value != "0") return ParseError::kUnsupported;
+        break;
+      case 'o': sd.origin = value; break;
+      case 's': sd.session_name = value; break;
+      case 'c':
+        if (current == nullptr) sd.connection = value;
+        break;
+      case 't': break;
+      case 'm': {
+        auto parts = split_ws(value);
+        if (parts.size() < 3) return ParseError::kBadValue;
+        MediaSection m;
+        m.media = parts[0];
+        const auto port = to_number(parts[1]);
+        if (!port || *port > 0xFFFF) return ParseError::kBadValue;
+        m.port = static_cast<std::uint16_t>(*port);
+        m.protocol = parts[2];
+        m.formats.assign(parts.begin() + 3, parts.end());
+        sd.media.push_back(std::move(m));
+        current = &sd.media.back();
+        break;
+      }
+      case 'a': {
+        const auto colon = value.find(':');
+        std::pair<std::string, std::string> attr;
+        if (colon == std::string::npos) {
+          attr.first = value;
+        } else {
+          attr.first = value.substr(0, colon);
+          attr.second = value.substr(colon + 1);
+          // The draft's "a=fmtp: retransmissions=yes" puts a space after
+          // the colon; normalise it away.
+          while (!attr.second.empty() && attr.second.front() == ' ') {
+            attr.second.erase(attr.second.begin());
+          }
+        }
+        if (current != nullptr) {
+          current->attributes.push_back(std::move(attr));
+        }
+        break;
+      }
+      default:
+        break;  // unknown session-level lines ignored
+    }
+  }
+  if (sd.media.empty()) return ParseError::kBadValue;
+  return sd;
+}
+
+}  // namespace ads

@@ -1,0 +1,52 @@
+// SDP (RFC 4566) subset used by draft §10: m= lines for BFCP and the
+// remoting/hip RTP streams, with a=rtpmap / a=fmtp / a=floorid / a=label
+// attributes. The parser is line-oriented and lenient about unknown
+// attributes (they are preserved verbatim).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ads {
+
+struct RtpMap {
+  std::uint8_t payload_type = 0;
+  std::string encoding;       ///< "remoting", "hip", ...
+  std::uint32_t clock_rate = 0;
+};
+
+struct MediaSection {
+  std::string media;          ///< "application"
+  std::uint16_t port = 0;
+  std::string protocol;       ///< "RTP/AVP", "TCP/RTP/AVP", "TCP/BFCP"
+  std::vector<std::string> formats;  ///< payload types or "*"
+  /// (name, value) attribute pairs; value empty for flag attributes.
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  std::optional<std::string> attribute(const std::string& name) const;
+  std::vector<RtpMap> rtpmaps() const;
+  /// fmtp parameter string for `pt`, e.g. "retransmissions=yes".
+  std::optional<std::string> fmtp(std::uint8_t pt) const;
+
+  friend bool operator==(const MediaSection&, const MediaSection&) = default;
+};
+
+struct SessionDescription {
+  // Minimal session-level fields (v= is implied as 0).
+  std::string origin = "- 0 0 IN IP4 127.0.0.1";  ///< o= line payload
+  std::string session_name = "-";                 ///< s= line payload
+  std::string connection;                         ///< c= line payload, optional
+  std::vector<MediaSection> media;
+
+  std::string to_string() const;
+  static Result<SessionDescription> parse(const std::string& text);
+
+  friend bool operator==(const SessionDescription&, const SessionDescription&) = default;
+};
+
+}  // namespace ads

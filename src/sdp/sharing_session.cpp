@@ -1,0 +1,149 @@
+#include "sdp/sharing_session.hpp"
+
+#include <charconv>
+#include <string>
+
+namespace ads {
+namespace {
+
+std::optional<std::uint64_t> to_number(std::string_view s) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+SessionDescription build_sharing_offer(const SharingOffer& offer) {
+  SessionDescription sd;
+  sd.session_name = "application sharing";
+  sd.connection = "IN IP4 0.0.0.0";
+
+  {
+    MediaSection bfcp;
+    bfcp.media = "application";
+    bfcp.port = offer.bfcp_port;
+    bfcp.protocol = "TCP/BFCP";
+    bfcp.formats = {"*"};
+    bfcp.attributes.emplace_back(
+        "floorid", std::to_string(offer.floor_id) + " m-stream:" +
+                       std::to_string(offer.label));
+    sd.media.push_back(std::move(bfcp));
+  }
+
+  const std::string remoting_map =
+      std::to_string(offer.remoting_pt) + " remoting/90000";
+  if (offer.offer_udp) {
+    MediaSection udp;
+    udp.media = "application";
+    udp.port = offer.remoting_port;
+    udp.protocol = "RTP/AVP";
+    udp.formats = {std::to_string(offer.remoting_pt)};
+    udp.attributes.emplace_back("rtpmap", remoting_map);
+    udp.attributes.emplace_back(
+        "fmtp", std::to_string(offer.remoting_pt) + " retransmissions=" +
+                    (offer.retransmissions ? "yes" : "no"));
+    sd.media.push_back(std::move(udp));
+  }
+  if (offer.offer_tcp) {
+    MediaSection tcp;
+    tcp.media = "application";
+    tcp.port = offer.remoting_port;  // "port numbers MUST be same" (§10.3)
+    tcp.protocol = "TCP/RTP/AVP";
+    tcp.formats = {std::to_string(offer.remoting_pt)};
+    tcp.attributes.emplace_back("rtpmap", remoting_map);
+    sd.media.push_back(std::move(tcp));
+  }
+
+  {
+    MediaSection hip;
+    hip.media = "application";
+    hip.port = offer.hip_port;
+    hip.protocol = "TCP/RTP/AVP";
+    hip.formats = {std::to_string(offer.hip_pt)};
+    hip.attributes.emplace_back("rtpmap",
+                                std::to_string(offer.hip_pt) + " hip/90000");
+    hip.attributes.emplace_back("label", std::to_string(offer.label));
+    sd.media.push_back(std::move(hip));
+  }
+  return sd;
+}
+
+Result<ParsedSharingOffer> parse_sharing_offer(const SessionDescription& sd) {
+  ParsedSharingOffer out;
+  for (const MediaSection& m : sd.media) {
+    if (m.protocol == "TCP/BFCP") {
+      out.bfcp_port = m.port;
+      if (auto floorid = m.attribute("floorid")) {
+        // "<floor> m-stream:<label>"
+        const auto space = floorid->find(' ');
+        const auto id = to_number(std::string_view(*floorid).substr(0, space));
+        if (id) out.floor_id = static_cast<std::uint16_t>(*id);
+      }
+      continue;
+    }
+    for (const RtpMap& map : m.rtpmaps()) {
+      if (map.clock_rate != 90000) continue;
+      if (map.encoding == "remoting") {
+        out.remoting_pt = map.payload_type;
+        if (m.protocol == "RTP/AVP") {
+          out.udp_remoting_port = m.port;
+          if (auto params = m.fmtp(map.payload_type)) {
+            out.retransmissions = params->find("retransmissions=yes") !=
+                                  std::string::npos;
+          }
+        } else if (m.protocol == "TCP/RTP/AVP") {
+          out.tcp_remoting_port = m.port;
+        }
+      } else if (map.encoding == "hip") {
+        out.hip_pt = map.payload_type;
+        out.hip_port = m.port;
+        if (auto label = m.attribute("label")) {
+          if (auto v = to_number(*label)) out.label = static_cast<std::uint16_t>(*v);
+        }
+      }
+    }
+  }
+  if (out.remoting_pt == 0 && out.hip_pt == 0) return ParseError::kBadValue;
+  return out;
+}
+
+Result<SessionDescription> build_sharing_answer(const SessionDescription& offer,
+                                                const AnswerChoice& choice) {
+  const bool want_udp = choice.transport == AnswerChoice::Transport::kUdp;
+  bool matched_transport = false;
+
+  SessionDescription answer;
+  answer.session_name = "application sharing answer";
+  answer.connection = "IN IP4 0.0.0.0";
+  std::uint16_t next_port = choice.local_port_base;
+
+  for (const MediaSection& offered : offer.media) {
+    MediaSection m = offered;  // mirror media/proto/formats/attributes
+    bool accept = false;
+    if (offered.protocol == "TCP/BFCP") {
+      accept = choice.accept_bfcp;
+    } else {
+      bool is_remoting = false;
+      bool is_hip = false;
+      for (const RtpMap& map : offered.rtpmaps()) {
+        is_remoting |= map.encoding == "remoting";
+        is_hip |= map.encoding == "hip";
+      }
+      if (is_remoting) {
+        accept = want_udp ? offered.protocol == "RTP/AVP"
+                          : offered.protocol == "TCP/RTP/AVP";
+        matched_transport |= accept;
+      } else if (is_hip) {
+        accept = true;
+      }
+    }
+    m.port = accept ? next_port++ : 0;
+    answer.media.push_back(std::move(m));
+  }
+  if (!matched_transport) return ParseError::kBadValue;
+  return answer;
+}
+
+}  // namespace ads

@@ -1,0 +1,60 @@
+// High-level mapping between sharing-session parameters and the SDP of
+// draft §10: the AH builds an offer advertising BFCP floor control, UDP and
+// TCP remoting (same port when carrying the same content, §10.3) and the
+// HIP stream; a participant extracts the parameters it needs from such an
+// offer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sdp/sdp.hpp"
+
+namespace ads {
+
+struct SharingOffer {
+  std::uint16_t bfcp_port = 50000;
+  std::uint16_t remoting_port = 6000;  ///< UDP and TCP (same content)
+  std::uint16_t hip_port = 6006;
+  std::uint8_t remoting_pt = 99;
+  std::uint8_t hip_pt = 100;
+  bool offer_udp = true;
+  bool offer_tcp = true;
+  bool retransmissions = true;  ///< mandated fmtp parameter (§9.3.1)
+  std::uint16_t floor_id = 0;
+  std::uint16_t label = 10;     ///< ties HIP m-line to the BFCP floor (§10.3)
+};
+
+/// Build the §10.3-shaped session description.
+SessionDescription build_sharing_offer(const SharingOffer& offer);
+
+/// Parameters a participant recovers from a sharing offer.
+struct ParsedSharingOffer {
+  std::optional<std::uint16_t> bfcp_port;
+  std::optional<std::uint16_t> udp_remoting_port;
+  std::optional<std::uint16_t> tcp_remoting_port;
+  std::optional<std::uint16_t> hip_port;
+  std::uint8_t remoting_pt = 0;
+  std::uint8_t hip_pt = 0;
+  bool retransmissions = false;
+  std::optional<std::uint16_t> floor_id;
+  std::optional<std::uint16_t> label;
+};
+
+Result<ParsedSharingOffer> parse_sharing_offer(const SessionDescription& sd);
+
+/// The participant's answer: which transport it accepted.
+struct AnswerChoice {
+  enum class Transport { kUdp, kTcp };
+  Transport transport = Transport::kTcp;
+  bool accept_bfcp = true;
+  std::uint16_t local_port_base = 7000;  ///< ports the answerer listens on
+};
+
+/// Build an RFC 3264-style answer mirroring the offer's m-line order:
+/// accepted streams carry the answerer's ports, rejected ones port 0.
+/// Fails (kBadValue) when the offer lacks the requested transport.
+Result<SessionDescription> build_sharing_answer(const SessionDescription& offer,
+                                                const AnswerChoice& choice);
+
+}  // namespace ads

@@ -1,0 +1,124 @@
+#include "util/bytes.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace ads {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u24(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::bytes(BytesView data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+
+void ByteWriter::bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+void ByteWriter::str(std::string_view s) { bytes(s.data(), s.size()); }
+
+void ByteWriter::patch_u32(std::size_t at, std::uint32_t v) {
+  assert(at + 4 <= buf_.size());
+  buf_[at] = static_cast<std::uint8_t>(v >> 24);
+  buf_[at + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf_[at + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf_[at + 3] = static_cast<std::uint8_t>(v);
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (remaining() < 1) return ParseError::kTruncated;
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  if (remaining() < 2) return ParseError::kTruncated;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u24() {
+  if (remaining() < 3) return ParseError::kTruncated;
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 16 |
+                    static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                    static_cast<std::uint32_t>(data_[pos_ + 2]);
+  pos_ += 3;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  if (remaining() < 4) return ParseError::kTruncated;
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+                    static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+                    static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  auto hi = u32();
+  if (!hi) return hi.error();
+  auto lo = u32();
+  if (!lo) return lo.error();
+  return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+}
+
+Result<std::int32_t> ByteReader::i32() {
+  auto v = u32();
+  if (!v) return v.error();
+  return static_cast<std::int32_t>(*v);
+}
+
+Result<BytesView> ByteReader::bytes(std::size_t len) {
+  if (remaining() < len) return ParseError::kTruncated;
+  BytesView out = data_.subspan(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+BytesView ByteReader::rest() {
+  BytesView out = data_.subspan(pos_);
+  pos_ = data_.size();
+  return out;
+}
+
+ParseStatus ByteReader::skip(std::size_t len) {
+  if (remaining() < len) return ParseError::kTruncated;
+  pos_ += len;
+  return {};
+}
+
+std::string hex_dump(BytesView data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 3);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace ads

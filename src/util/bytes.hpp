@@ -1,0 +1,84 @@
+// Big-endian (network byte order) wire I/O.
+//
+// ByteWriter appends to an internally owned buffer; ByteReader is a
+// non-owning cursor over a span. All protocol integers in the draft are
+// carried in network byte order, so these are the only serialisation
+// primitives the message codecs use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ads {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Appends big-endian integers and raw bytes to an owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u24(std::uint32_t v);  ///< low 24 bits, big-endian
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+  void bytes(BytesView data);
+  void bytes(const void* data, std::size_t len);
+  void str(std::string_view s);  ///< raw UTF-8, no length prefix, no padding
+
+  /// Overwrite a previously written big-endian u32 at byte offset `at`.
+  /// Used for chunk lengths/CRCs that are known only after the payload.
+  void patch_u32(std::size_t at, std::uint32_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  BytesView view() const { return buf_; }
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential big-endian reader over a non-owned buffer.
+/// Every accessor returns a Result and never reads past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u24();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int32_t> i32();
+
+  /// View of the next `len` bytes; advances the cursor.
+  Result<BytesView> bytes(std::size_t len);
+  /// All remaining bytes; advances the cursor to the end.
+  BytesView rest();
+
+  ParseStatus skip(std::size_t len);
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex dump ("de ad be ef") of a buffer, for diagnostics and golden tests.
+std::string hex_dump(BytesView data);
+
+}  // namespace ads

@@ -1,0 +1,46 @@
+// CRC-32 (ISO 3309, as used by PNG chunks) and Adler-32 (RFC 1950, as used
+// by the zlib wrapper). Both are implemented from scratch; the CRC table is
+// built at compile time.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+/// Incremental CRC-32. PNG convention: start(), update()..., value().
+class Crc32 {
+ public:
+  void update(BytesView data);
+  void update(std::uint8_t byte);
+  /// Finalised CRC (includes the ones-complement step).
+  std::uint32_t value() const { return crc_ ^ 0xFFFFFFFFu; }
+  void reset() { crc_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t crc_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(BytesView data);
+
+/// Incremental Adler-32 (initial value 1, per RFC 1950).
+class Adler32 {
+ public:
+  void update(BytesView data);
+  std::uint32_t value() const { return (s2_ << 16) | s1_; }
+  void reset() {
+    s1_ = 1;
+    s2_ = 0;
+  }
+
+ private:
+  std::uint32_t s1_ = 1;
+  std::uint32_t s2_ = 0;
+};
+
+/// One-shot Adler-32 of a buffer.
+std::uint32_t adler32(BytesView data);
+
+}  // namespace ads

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Disabled (kWarn) by default so tests and benches
+// stay quiet; examples raise the level to narrate protocol activity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ads {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Streaming log statement: ADS_LOG(kInfo) << "sent " << n << " bytes";
+#define ADS_LOG(level)                                      \
+  if (::ads::LogLevel::level < ::ads::log_level()) {        \
+  } else                                                    \
+    ::ads::detail::LogLine(::ads::LogLevel::level)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ads

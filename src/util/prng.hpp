@@ -1,0 +1,61 @@
+// Deterministic PRNG (xoshiro256** seeded via splitmix64).
+//
+// Every stochastic element of the system — packet loss, reordering jitter,
+// workload content, RTP initial sequence/timestamp randomisation — draws
+// from an explicitly seeded Prng so that tests and benchmarks are
+// bit-reproducible. std::mt19937 is avoided only because its 5 KB state is
+// wasteful for the many small per-channel generators the simulator creates.
+#pragma once
+
+#include <cstdint>
+
+namespace ads {
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into 4 non-zero words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) { return bound ? next_u64() % bound : 0; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace ads

@@ -1,0 +1,99 @@
+// Result<T, E>: a minimal expected-like type used for all parsing of
+// untrusted wire data. Parsers never throw on malformed input; they return
+// an error value instead (C++20 lacks std::expected).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ads {
+
+/// Error category for wire-format parsing failures.
+enum class ParseError {
+  kTruncated,        ///< buffer ended before a complete field
+  kBadMagic,         ///< signature / reserved value mismatch
+  kBadValue,         ///< field value outside its legal range
+  kBadChecksum,      ///< CRC/Adler mismatch
+  kUnsupported,      ///< legal but not implemented (e.g. unknown codec PT)
+  kOverflow,         ///< arithmetic on header fields would overflow
+  kBadState,         ///< message illegal in the current protocol state
+};
+
+/// Human-readable name for a ParseError (for logs and test failure output).
+constexpr const char* to_string(ParseError e) {
+  switch (e) {
+    case ParseError::kTruncated: return "truncated";
+    case ParseError::kBadMagic: return "bad-magic";
+    case ParseError::kBadValue: return "bad-value";
+    case ParseError::kBadChecksum: return "bad-checksum";
+    case ParseError::kUnsupported: return "unsupported";
+    case ParseError::kOverflow: return "overflow";
+    case ParseError::kBadState: return "bad-state";
+  }
+  return "unknown";
+}
+
+/// Value-or-error. `Result<T>` holds either a T or a ParseError.
+/// Use `ok()` / `error()` / `value()`; `value()` on an error asserts.
+template <typename T, typename E = ParseError>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(E error) : data_(error) {}             // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  E error() const {
+    assert(!ok());
+    return std::get<E>(data_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Result for operations that produce no value.
+template <typename E = ParseError>
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(E error) : error_(error), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  E error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool failed_ = false;
+};
+
+using ParseStatus = Status<ParseError>;
+
+}  // namespace ads

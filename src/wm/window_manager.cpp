@@ -1,0 +1,174 @@
+#include "wm/window_manager.hpp"
+
+#include <algorithm>
+
+namespace ads {
+
+WindowId WindowManager::create(const Rect& frame, GroupId group) {
+  Window w;
+  w.id = next_id_++;
+  w.group = group;
+  w.frame = frame;
+  windows_.push_back(w);
+  bump();
+  return w.id;
+}
+
+bool WindowManager::close(WindowId id) {
+  auto it = std::find_if(windows_.begin(), windows_.end(),
+                         [id](const Window& w) { return w.id == id; });
+  if (it == windows_.end()) return false;
+  windows_.erase(it);
+  bump();
+  return true;
+}
+
+Window* WindowManager::find_mutable(WindowId id) {
+  for (Window& w : windows_) {
+    if (w.id == id) return &w;
+  }
+  return nullptr;
+}
+
+const Window* WindowManager::find(WindowId id) const {
+  for (const Window& w : windows_) {
+    if (w.id == id) return &w;
+  }
+  return nullptr;
+}
+
+bool WindowManager::move(WindowId id, Point top_left) {
+  Window* w = find_mutable(id);
+  if (!w) return false;
+  if (w->frame.left != top_left.x || w->frame.top != top_left.y) {
+    w->frame.left = top_left.x;
+    w->frame.top = top_left.y;
+    bump();
+  }
+  return true;
+}
+
+bool WindowManager::resize(WindowId id, std::int64_t width, std::int64_t height) {
+  Window* w = find_mutable(id);
+  if (!w) return false;
+  if (w->frame.width != width || w->frame.height != height) {
+    w->frame.width = width;
+    w->frame.height = height;
+    bump();
+  }
+  return true;
+}
+
+bool WindowManager::set_frame(WindowId id, const Rect& frame) {
+  Window* w = find_mutable(id);
+  if (!w) return false;
+  if (w->frame != frame) {
+    w->frame = frame;
+    bump();
+  }
+  return true;
+}
+
+bool WindowManager::set_group(WindowId id, GroupId group) {
+  Window* w = find_mutable(id);
+  if (!w) return false;
+  if (w->group != group) {
+    w->group = group;
+    bump();
+  }
+  return true;
+}
+
+bool WindowManager::raise(WindowId id) {
+  auto it = std::find_if(windows_.begin(), windows_.end(),
+                         [id](const Window& w) { return w.id == id; });
+  if (it == windows_.end()) return false;
+  if (it + 1 != windows_.end()) {
+    std::rotate(it, it + 1, windows_.end());
+    bump();
+  }
+  return true;
+}
+
+bool WindowManager::lower(WindowId id) {
+  auto it = std::find_if(windows_.begin(), windows_.end(),
+                         [id](const Window& w) { return w.id == id; });
+  if (it == windows_.end()) return false;
+  if (it != windows_.begin()) {
+    std::rotate(windows_.begin(), it, it + 1);
+    bump();
+  }
+  return true;
+}
+
+void WindowManager::share_group(GroupId group) {
+  desktop_mode_ = false;
+  if (std::find(shared_groups_.begin(), shared_groups_.end(), group) ==
+      shared_groups_.end()) {
+    shared_groups_.push_back(group);
+  }
+  bump();
+}
+
+void WindowManager::unshare_group(GroupId group) {
+  auto it = std::find(shared_groups_.begin(), shared_groups_.end(), group);
+  if (it != shared_groups_.end()) {
+    shared_groups_.erase(it);
+    bump();
+  }
+}
+
+bool WindowManager::is_shared(const Window& w) const {
+  if (desktop_mode_) return true;
+  return std::find(shared_groups_.begin(), shared_groups_.end(), w.group) !=
+         shared_groups_.end();
+}
+
+std::vector<Window> WindowManager::shared_windows() const {
+  std::vector<Window> out;
+  for (const Window& w : windows_) {
+    if (is_shared(w)) out.push_back(w);
+  }
+  return out;
+}
+
+Region WindowManager::visible_region(WindowId id) const {
+  Region region;
+  auto it = std::find_if(windows_.begin(), windows_.end(),
+                         [id](const Window& w) { return w.id == id; });
+  if (it == windows_.end()) return region;
+  region.add(it->frame);
+  for (auto above = it + 1; above != windows_.end(); ++above) {
+    region.subtract_rect(above->frame);
+  }
+  return region;
+}
+
+Region WindowManager::visible_shared_region() const {
+  Region region;
+  for (const Window& w : windows_) {
+    if (!is_shared(w)) continue;
+    const Region visible = visible_region(w.id);
+    for (const Rect& r : visible.rects()) region.add(r);
+  }
+  region.simplify();
+  return region;
+}
+
+bool WindowManager::point_in_shared_window(Point p) const {
+  return shared_window_at(p).has_value();
+}
+
+std::optional<WindowId> WindowManager::shared_window_at(Point p) const {
+  // Scan top-down; a non-shared window covering the point blocks input to
+  // shared windows underneath it.
+  for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+    if (it->frame.contains(p)) {
+      if (is_shared(*it)) return it->id;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ads

@@ -1,0 +1,101 @@
+// Window manager model — the AH-side state that WindowManagerInfo messages
+// serialise (§5.2.1): per-window id, group, geometry, and an implicit
+// z-order (bottom-first, exactly the order window records are transmitted).
+//
+// Application sharing vs desktop sharing (§2): in application-sharing mode
+// only windows whose group is marked shared are exported, and "a true
+// application sharing system must blank all the nonshared windows"; the
+// capture layer uses visible_shared_region() for that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "image/geometry.hpp"
+
+namespace ads {
+
+using WindowId = std::uint16_t;
+using GroupId = std::uint8_t;
+
+/// GroupID 0 is reserved: "represents no grouping for given window".
+inline constexpr GroupId kNoGroup = 0;
+
+struct Window {
+  WindowId id = 0;
+  GroupId group = kNoGroup;
+  Rect frame;
+
+  friend bool operator==(const Window&, const Window&) = default;
+};
+
+class WindowManager {
+ public:
+  /// Create a window on top of the stack. Window ids are assigned
+  /// sequentially starting at 1 (the id is a 16-bit wire field).
+  WindowId create(const Rect& frame, GroupId group = kNoGroup);
+
+  /// Close (destroy) a window. Returns false if the id is unknown.
+  bool close(WindowId id);
+
+  bool move(WindowId id, Point top_left);
+  bool resize(WindowId id, std::int64_t width, std::int64_t height);
+  bool set_frame(WindowId id, const Rect& frame);
+  bool set_group(WindowId id, GroupId group);
+
+  /// Raise to top / lower to bottom of the stacking order.
+  bool raise(WindowId id);
+  bool lower(WindowId id);
+
+  const Window* find(WindowId id) const;
+  bool exists(WindowId id) const { return find(id) != nullptr; }
+
+  /// All windows, bottom-most first — the order Figure 8 records are sent.
+  const std::vector<Window>& stacking_order() const { return windows_; }
+  std::size_t count() const { return windows_.size(); }
+
+  /// Mark a group as shared (application-sharing mode) or share everything
+  /// (desktop mode, the default).
+  void set_desktop_mode() { shared_groups_.clear(); desktop_mode_ = true; bump(); }
+  void share_group(GroupId group);
+  void unshare_group(GroupId group);
+  bool is_shared(const Window& w) const;
+
+  /// Shared windows in stacking order — the record list for
+  /// WindowManagerInfo.
+  std::vector<Window> shared_windows() const;
+
+  /// Part of `id`'s frame not covered by shared-or-not windows above it.
+  /// (A non-shared window covering a shared one hides that area from
+  /// participants too — they see the blanked overlap.)
+  Region visible_region(WindowId id) const;
+
+  /// Union of the visible parts of all shared windows: everything the AH
+  /// may export. Pixels outside must be blanked.
+  Region visible_shared_region() const;
+
+  /// §4.1: "The AH MUST only accept legitimate HIP events by checking
+  /// whether the requested coordinates are inside the shared windows."
+  bool point_in_shared_window(Point p) const;
+
+  /// Topmost shared window containing `p`, if any.
+  std::optional<WindowId> shared_window_at(Point p) const;
+
+  /// Monotone revision counter: any change that would require a new
+  /// WindowManagerInfo message (create/close/move/resize/restack/regroup,
+  /// §5.2.1) increments it.
+  std::uint64_t revision() const { return revision_; }
+
+ private:
+  void bump() { ++revision_; }
+  Window* find_mutable(WindowId id);
+
+  std::vector<Window> windows_;  ///< bottom-most first
+  std::vector<GroupId> shared_groups_;
+  bool desktop_mode_ = true;
+  WindowId next_id_ = 1;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace ads

@@ -1,0 +1,136 @@
+#include "bfcp/bfcp_message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(BfcpMessage, CommonHeaderLayout) {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequest;
+  msg.conference_id = 0xAABBCCDD;
+  msg.transaction_id = 0x1122;
+  msg.user_id = 0x3344;
+  const Bytes wire = msg.serialize();
+  ASSERT_GE(wire.size(), 12u);
+  EXPECT_EQ(wire[0], 0x20);  // Ver=1
+  EXPECT_EQ(wire[1], 1);     // FloorRequest
+  EXPECT_EQ(wire[2], 0);     // payload length (no attributes)
+  EXPECT_EQ(wire[3], 0);
+  EXPECT_EQ(wire[4], 0xAA);
+  EXPECT_EQ(wire[8], 0x11);
+  EXPECT_EQ(wire[10], 0x33);
+}
+
+TEST(BfcpMessage, RoundTripBareRequest) {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRelease;
+  msg.conference_id = 1;
+  msg.transaction_id = 2;
+  msg.user_id = 3;
+  auto parsed = BfcpMessage::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, msg);
+}
+
+TEST(BfcpMessage, RoundTripFullStatus) {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequestStatus;
+  msg.conference_id = 7;
+  msg.transaction_id = 8;
+  msg.user_id = 9;
+  msg.floor_id = 0;
+  msg.floor_request_id = 42;
+  msg.request_status = RequestStatus::kGranted;
+  msg.queue_position = 0;
+  msg.hid_status = HidStatus::kAllAllowed;
+  auto parsed = BfcpMessage::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, msg);
+}
+
+TEST(BfcpMessage, AttributesArePaddedTo32Bits) {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequest;
+  msg.floor_id = 5;  // 2-byte payload -> 4-byte attribute after padding
+  const Bytes wire = msg.serialize();
+  EXPECT_EQ((wire.size() - 12) % 4, 0u);
+}
+
+TEST(BfcpMessage, HidStatusValuesOfFigure20) {
+  for (auto status : {HidStatus::kNotAllowed, HidStatus::kKeyboardAllowed,
+                      HidStatus::kMouseAllowed, HidStatus::kAllAllowed}) {
+    BfcpMessage msg;
+    msg.primitive = BfcpPrimitive::kFloorRequestStatus;
+    msg.request_status = RequestStatus::kGranted;
+    msg.hid_status = status;
+    auto parsed = BfcpMessage::parse(msg.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->hid_status, status);
+  }
+  EXPECT_EQ(static_cast<int>(HidStatus::kNotAllowed), 0);
+  EXPECT_EQ(static_cast<int>(HidStatus::kKeyboardAllowed), 1);
+  EXPECT_EQ(static_cast<int>(HidStatus::kMouseAllowed), 2);
+  EXPECT_EQ(static_cast<int>(HidStatus::kAllAllowed), 3);
+}
+
+TEST(BfcpMessage, OutOfRangeHidStatusRejected) {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequestStatus;
+  msg.hid_status = HidStatus::kAllAllowed;
+  Bytes wire = msg.serialize();
+  // STATUS-INFO payload is the last attribute: flip its value to 7.
+  wire[wire.size() - 1] = 7;
+  EXPECT_FALSE(BfcpMessage::parse(wire).ok());
+}
+
+TEST(BfcpMessage, RequestStatusNames) {
+  EXPECT_STREQ(to_string(RequestStatus::kGranted), "Granted");
+  EXPECT_STREQ(to_string(RequestStatus::kPending), "Pending");
+  EXPECT_STREQ(to_string(RequestStatus::kReleased), "Released");
+  EXPECT_STREQ(to_string(RequestStatus::kRevoked), "Revoked");
+}
+
+TEST(BfcpMessage, WrongVersionRejected) {
+  Bytes wire = BfcpMessage{}.serialize();
+  wire[0] = 0x40;  // version 2
+  EXPECT_FALSE(BfcpMessage::parse(wire).ok());
+}
+
+TEST(BfcpMessage, UnknownPrimitiveRejected) {
+  Bytes wire = BfcpMessage{}.serialize();
+  wire[1] = 9;
+  auto parsed = BfcpMessage::parse(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kUnsupported);
+}
+
+TEST(BfcpMessage, TruncatedRejected) {
+  BfcpMessage msg;
+  msg.floor_id = 1;
+  msg.request_status = RequestStatus::kGranted;
+  const Bytes wire = msg.serialize();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(BfcpMessage::parse(BytesView(wire).subspan(0, len)).ok()) << len;
+  }
+}
+
+TEST(BfcpMessage, UnknownAttributesSkipped) {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequest;
+  msg.floor_id = 3;
+  Bytes wire = msg.serialize();
+  // Append an unknown attribute type 13 (USER-URI), 2-byte payload + pad.
+  wire.push_back(13 << 1);
+  wire.push_back(4);
+  wire.push_back('x');
+  wire.push_back('y');
+  // Fix payload length: +1 word.
+  wire[3] = static_cast<std::uint8_t>(wire[3] + 1);
+  auto parsed = BfcpMessage::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->floor_id, 3);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,184 @@
+#include "bfcp/floor_control.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+BfcpMessage request(std::uint16_t user, std::uint16_t txn = 1) {
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequest;
+  msg.conference_id = 1;
+  msg.transaction_id = txn;
+  msg.user_id = user;
+  msg.floor_id = 0;
+  return msg;
+}
+
+BfcpMessage release(std::uint16_t user, std::uint16_t txn = 2) {
+  BfcpMessage msg = request(user, txn);
+  msg.primitive = BfcpPrimitive::kFloorRelease;
+  return msg;
+}
+
+TEST(FloorControl, FirstRequestGrantedImmediately) {
+  FloorControlServer server;
+  auto out = server.on_message(request(10), 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].user_id, 10);
+  EXPECT_EQ(out[0].request_status, RequestStatus::kGranted);
+  EXPECT_EQ(server.holder(), 10);
+}
+
+TEST(FloorControl, GrantedCarriesHidStatus) {
+  // Appendix A: the floor grant tells the holder the current HID state.
+  FloorControlServer server;
+  auto out = server.on_message(request(10), 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].hid_status, HidStatus::kAllAllowed);
+}
+
+TEST(FloorControl, SecondRequestQueuedFifo) {
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  auto out = server.on_message(request(20), 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].request_status, RequestStatus::kPending);  // "Queued"
+  EXPECT_EQ(out[0].queue_position, 1);
+  EXPECT_EQ(server.queue_length(), 1u);
+}
+
+TEST(FloorControl, ReleasePassesFloorToNextInQueue) {
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  server.on_message(request(20), 0);
+  server.on_message(request(30), 0);
+  auto out = server.on_message(release(10), 5);
+  // Released to 10, Granted to 20.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].user_id, 10);
+  EXPECT_EQ(out[0].request_status, RequestStatus::kReleased);
+  EXPECT_EQ(out[1].user_id, 20);
+  EXPECT_EQ(out[1].request_status, RequestStatus::kGranted);
+  EXPECT_EQ(server.holder(), 20);
+  EXPECT_EQ(server.queue_length(), 1u);
+}
+
+TEST(FloorControl, FifoOrderPreserved) {
+  FloorControlServer server;
+  server.on_message(request(1), 0);
+  server.on_message(request(2), 0);
+  server.on_message(request(3), 0);
+  server.on_message(release(1), 0);
+  EXPECT_EQ(server.holder(), 2);
+  server.on_message(release(2), 0);
+  EXPECT_EQ(server.holder(), 3);
+  server.on_message(release(3), 0);
+  EXPECT_FALSE(server.holder().has_value());
+}
+
+TEST(FloorControl, DuplicateRequestFromHolderRestatesGrant) {
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  auto out = server.on_message(request(10, 9), 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].request_status, RequestStatus::kGranted);
+  EXPECT_EQ(server.queue_length(), 0u);
+}
+
+TEST(FloorControl, DuplicateQueuedRequestRestatesPosition) {
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  server.on_message(request(20), 0);
+  auto out = server.on_message(request(20, 5), 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].request_status, RequestStatus::kPending);
+  EXPECT_EQ(server.queue_length(), 1u);
+}
+
+TEST(FloorControl, ReleaseFromQueueCancels) {
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  server.on_message(request(20), 0);
+  auto out = server.on_message(release(20), 0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].request_status, RequestStatus::kCancelled);
+  EXPECT_EQ(server.queue_length(), 0u);
+  EXPECT_EQ(server.holder(), 10);  // unchanged
+}
+
+TEST(FloorControl, ReleaseFromStrangerIgnored) {
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  auto out = server.on_message(release(99), 0);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(server.holder(), 10);
+}
+
+TEST(FloorControl, GrantExpiresAfterDuration) {
+  FloorControlServer server(
+      FloorControlOptions{.conference_id = 1, .floor_id = 0, .grant_duration_us = 1000});
+  server.on_message(request(10), 0);
+  server.on_message(request(20), 0);
+  EXPECT_TRUE(server.tick(500).empty());  // not yet
+  auto out = server.tick(1500);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].user_id, 10);
+  EXPECT_EQ(out[0].request_status, RequestStatus::kRevoked);
+  EXPECT_EQ(out[1].user_id, 20);
+  EXPECT_EQ(out[1].request_status, RequestStatus::kGranted);
+}
+
+TEST(FloorControl, UnlimitedGrantNeverExpires) {
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  EXPECT_TRUE(server.tick(1'000'000'000).empty());
+  EXPECT_EQ(server.holder(), 10);
+}
+
+TEST(FloorControl, HidStatusChangeNotifiesHolder) {
+  // "The AH MAY temporarily block HID events without revoking the floor."
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  auto out = server.set_hid_status(HidStatus::kMouseAllowed);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].user_id, 10);
+  EXPECT_EQ(out[0].request_status, RequestStatus::kGranted);
+  EXPECT_EQ(out[0].hid_status, HidStatus::kMouseAllowed);
+}
+
+TEST(FloorControl, HidStatusChangeWithoutHolderSilent) {
+  FloorControlServer server;
+  EXPECT_TRUE(server.set_hid_status(HidStatus::kNotAllowed).empty());
+}
+
+TEST(FloorControl, InputGatesFollowHidStatus) {
+  FloorControlServer server;
+  server.on_message(request(10), 0);
+  EXPECT_TRUE(server.may_send_mouse(10));
+  EXPECT_TRUE(server.may_send_keyboard(10));
+  EXPECT_FALSE(server.may_send_mouse(20));
+
+  server.set_hid_status(HidStatus::kKeyboardAllowed);
+  EXPECT_FALSE(server.may_send_mouse(10));
+  EXPECT_TRUE(server.may_send_keyboard(10));
+
+  server.set_hid_status(HidStatus::kMouseAllowed);
+  EXPECT_TRUE(server.may_send_mouse(10));
+  EXPECT_FALSE(server.may_send_keyboard(10));
+
+  server.set_hid_status(HidStatus::kNotAllowed);
+  EXPECT_FALSE(server.may_send_mouse(10));
+  EXPECT_FALSE(server.may_send_keyboard(10));
+}
+
+TEST(FloorControl, WrongConferenceIgnored) {
+  FloorControlServer server;
+  BfcpMessage msg = request(10);
+  msg.conference_id = 99;
+  EXPECT_TRUE(server.on_message(msg, 0).empty());
+  EXPECT_FALSE(server.holder().has_value());
+}
+
+}  // namespace
+}  // namespace ads

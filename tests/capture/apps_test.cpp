@@ -1,0 +1,106 @@
+#include "capture/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/damage.hpp"
+
+namespace ads {
+namespace {
+
+std::int64_t changed_area(const Image& a, const Image& b) {
+  std::int64_t total = 0;
+  for (const Rect& r : diff_rects(a, b, 8)) total += r.area();
+  return total;
+}
+
+TEST(Apps, FactoryKnowsAllWorkloads) {
+  for (const char* name : {"terminal", "slideshow", "document", "video", "paint"}) {
+    auto app = make_app(name, 64, 64, 1);
+    ASSERT_NE(app, nullptr) << name;
+    EXPECT_EQ(app->name(), name);
+    EXPECT_EQ(app->content().width(), 64);
+  }
+  EXPECT_EQ(make_app("nope", 64, 64, 1), nullptr);
+}
+
+TEST(Apps, DeterministicForSameSeed) {
+  for (const char* name : {"terminal", "slideshow", "document", "video", "paint"}) {
+    auto a = make_app(name, 96, 96, 42);
+    auto b = make_app(name, 96, 96, 42);
+    for (std::uint64_t t = 0; t < 10; ++t) {
+      a->tick(t);
+      b->tick(t);
+    }
+    EXPECT_EQ(a->content(), b->content()) << name;
+  }
+}
+
+TEST(Apps, TerminalProducesLocalisedUpdates) {
+  TerminalApp app(320, 240, 7);
+  Image before = app.content();
+  app.tick(0);
+  const std::int64_t area = changed_area(before, app.content());
+  EXPECT_GT(area, 0);
+  // A few characters, not the whole window.
+  EXPECT_LT(area, 320 * 240 / 4);
+}
+
+TEST(Apps, TerminalEventuallyScrolls) {
+  TerminalApp app(160, 64, 3, /*chars_per_tick=*/40);
+  Image before = app.content();
+  for (std::uint64_t t = 0; t < 50; ++t) app.tick(t);
+  // After many lines the bottom row is active and content scrolled.
+  EXPECT_NE(app.content(), before);
+}
+
+TEST(Apps, SlideshowStaticBetweenTransitions) {
+  SlideshowApp app(200, 150, 5, /*ticks_per_slide=*/10);
+  Image initial = app.content();
+  for (std::uint64_t t = 1; t < 10; ++t) {
+    app.tick(t);
+    EXPECT_EQ(app.content(), initial) << "changed at tick " << t;
+  }
+  app.tick(10);
+  EXPECT_NE(app.content(), initial);
+}
+
+TEST(Apps, DocumentScrollsByConfiguredAmount) {
+  DocumentApp app(128, 256, 9, /*pixels_per_tick=*/16);
+  const Image before = app.content();
+  app.tick(0);
+  const Image after = app.content();
+  // Rows 16.. of `before` should reappear at rows 0.. of `after`.
+  EXPECT_EQ(before.crop({0, 16, 128, 240}), after.crop({0, 0, 128, 240}));
+  EXPECT_EQ(app.scroll_per_tick(), 16);
+}
+
+TEST(Apps, VideoChangesEverywhereEveryTick) {
+  VideoApp app(64, 48, 11);
+  app.tick(0);
+  Image before = app.content();
+  app.tick(1);
+  const std::int64_t area = changed_area(before, app.content());
+  EXPECT_GT(area, 64 * 48 * 8 / 10);  // nearly all pixels
+}
+
+TEST(Apps, PaintDrawsSparseStrokes) {
+  PaintApp app(200, 200, 13);
+  Image before = app.content();
+  app.tick(0);
+  const std::int64_t area = changed_area(before, app.content());
+  EXPECT_GT(area, 0);
+  EXPECT_LT(area, 200 * 200 / 8);
+}
+
+TEST(Apps, ResizePreservesExistingContent) {
+  PaintApp app(100, 100, 17);
+  app.tick(0);
+  const Image before = app.content();
+  app.resize(150, 120);
+  EXPECT_EQ(app.content().width(), 150);
+  EXPECT_EQ(app.content().height(), 120);
+  EXPECT_EQ(app.content().crop({0, 0, 100, 100}), before);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,94 @@
+#include "codec/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace ads {
+namespace {
+
+TEST(BitWriter, LsbFirstPacking) {
+  BitWriter w;
+  w.write(0b1, 1);
+  w.write(0b01, 2);  // bits 1,2 = 1,0
+  w.write(0b10110, 5);
+  const Bytes out = w.take();
+  ASSERT_EQ(out.size(), 1u);
+  // bit0=1, bit1=1, bit2=0, bits3..7 = 0,1,1,0,1
+  EXPECT_EQ(out[0], 0b10110011);
+}
+
+TEST(BitWriter, AlignAndByte) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.align_to_byte();
+  w.byte(0xAB);
+  const Bytes out = w.take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0b00000101);
+  EXPECT_EQ(out[1], 0xAB);
+}
+
+TEST(BitReader, ReadsBackWhatWriterWrote) {
+  BitWriter w;
+  w.write(0x3, 2);
+  w.write(0x1F, 5);
+  w.write(0x155, 9);
+  w.write(0xFFFFF, 20);
+  const Bytes data = w.take();
+
+  BitReader r(data);
+  EXPECT_EQ(r.read(2).value(), 0x3u);
+  EXPECT_EQ(r.read(5).value(), 0x1Fu);
+  EXPECT_EQ(r.read(9).value(), 0x155u);
+  EXPECT_EQ(r.read(20).value(), 0xFFFFFu);
+}
+
+TEST(BitReader, TruncationDetected) {
+  const Bytes data = {0xFF};
+  BitReader r(data);
+  EXPECT_TRUE(r.read(8).ok());
+  auto v = r.read(1);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error(), ParseError::kTruncated);
+}
+
+TEST(BitReader, AlignToByteSkipsPartial) {
+  const Bytes data = {0b00000001, 0xCD};
+  BitReader r(data);
+  EXPECT_EQ(r.bit().value(), 1u);
+  r.align_to_byte();
+  EXPECT_EQ(r.read(8).value(), 0xCDu);
+}
+
+TEST(BitRoundTrip, RandomisedPropertySweep) {
+  Prng rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::pair<std::uint32_t, int>> items;
+    BitWriter w;
+    for (int i = 0; i < 200; ++i) {
+      const int bits = static_cast<int>(rng.range(1, 24));
+      const std::uint32_t value =
+          rng.next_u32() & ((bits == 32 ? 0 : (1u << bits)) - 1u);
+      items.emplace_back(value, bits);
+      w.write(value, bits);
+    }
+    const Bytes data = w.take();
+    BitReader r(data);
+    for (auto [value, bits] : items) {
+      auto v = r.read(bits);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, value);
+    }
+  }
+}
+
+TEST(ReverseBits, KnownValues) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101u);
+  EXPECT_EQ(reverse_bits(0x1, 1), 0x1u);
+  EXPECT_EQ(reverse_bits(0, 8), 0u);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,123 @@
+#include "codec/dct_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/png.hpp"
+#include "image/metrics.hpp"
+#include "util/prng.hpp"
+
+namespace ads {
+namespace {
+
+/// Smooth photographic-style content: low-frequency blobs plus mild noise.
+Image photographic(std::int64_t w, std::int64_t h, std::uint64_t seed) {
+  Image img(w, h);
+  Prng rng(seed);
+  const double fx = 2.0 * M_PI / static_cast<double>(w);
+  const double fy = 2.0 * M_PI / static_cast<double>(h);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const double base = 128 + 90 * std::sin(fx * static_cast<double>(x) * 2) *
+                                    std::cos(fy * static_cast<double>(y) * 3);
+      const int noise = static_cast<int>(rng.range(-6, 6));
+      const auto v = static_cast<std::uint8_t>(std::clamp(base + noise, 0.0, 255.0));
+      img.set(x, y, Pixel{v, static_cast<std::uint8_t>(255 - v),
+                          static_cast<std::uint8_t>((v * 3) & 0xFF), 255});
+    }
+  }
+  return img;
+}
+
+TEST(DctCodec, RoundTripShapePreserved) {
+  const Image img = photographic(64, 64, 1);
+  auto out = dct_decode(dct_encode(img, {.quality = 90}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->width(), 64);
+  EXPECT_EQ(out->height(), 64);
+  EXPECT_GT(psnr(img, *out), 30.0);
+}
+
+TEST(DctCodec, NonMultipleOf8Dimensions) {
+  const Image img = photographic(61, 45, 2);
+  auto out = dct_decode(dct_encode(img, {.quality = 85}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->width(), 61);
+  EXPECT_EQ(out->height(), 45);
+  EXPECT_GT(psnr(img, *out), 25.0);
+}
+
+TEST(DctCodec, QualityKnobTradesSizeForFidelity) {
+  const Image img = photographic(128, 128, 3);
+  const Bytes lo = dct_encode(img, {.quality = 10});
+  const Bytes hi = dct_encode(img, {.quality = 95});
+  EXPECT_LT(lo.size(), hi.size());
+  auto lo_img = dct_decode(lo);
+  auto hi_img = dct_decode(hi);
+  ASSERT_TRUE(lo_img.ok());
+  ASSERT_TRUE(hi_img.ok());
+  EXPECT_GT(psnr(img, *hi_img), psnr(img, *lo_img));
+}
+
+TEST(DctCodec, BeatsPngOnPhotographicContent) {
+  // The draft's §4.2 claim, in miniature: lossy DCT at moderate quality
+  // produces fewer bytes than lossless PNG on photographic input.
+  const Image img = photographic(128, 128, 4);
+  const std::size_t dct_size = dct_encode(img, {.quality = 60}).size();
+  const std::size_t png_size = png_encode(img).size();
+  EXPECT_LT(dct_size, png_size);
+}
+
+TEST(DctCodec, FlatColourNearExact) {
+  const Image img(64, 64, Pixel{120, 60, 200, 255});
+  auto out = dct_decode(dct_encode(img, {.quality = 90}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(psnr(img, *out), 40.0);
+}
+
+TEST(DctCodec, TruncatedRejected) {
+  Bytes data = dct_encode(photographic(32, 32, 5));
+  data.resize(data.size() / 2);
+  EXPECT_FALSE(dct_decode(data).ok());
+  EXPECT_FALSE(dct_decode(BytesView(data).subspan(0, 4)).ok());
+}
+
+TEST(DctCodec, HostileDimensionsRejected) {
+  ByteWriter w;
+  w.u32(0x7FFFFFFF);
+  w.u32(0x7FFFFFFF);
+  w.u8(50);
+  auto out = dct_decode(w.view());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), ParseError::kOverflow);
+}
+
+TEST(DctCodec, CoefficientCountMismatchRejected) {
+  // Valid header but a coefficient stream for the wrong block count.
+  const Image img = photographic(16, 16, 6);
+  Bytes small = dct_encode(img);
+  ByteWriter w;
+  w.u32(64);  // claims 8x8 blocks => more coeffs than present
+  w.u32(64);
+  ByteReader r(small);
+  (void)r.skip(9);
+  w.u8(75);
+  w.bytes(r.rest());
+  EXPECT_FALSE(dct_decode(w.view()).ok());
+}
+
+class DctQualities : public ::testing::TestWithParam<int> {};
+
+TEST_P(DctQualities, PsnrScalesWithQuality) {
+  const Image img = photographic(64, 64, 7);
+  auto out = dct_decode(dct_encode(img, {.quality = GetParam()}));
+  ASSERT_TRUE(out.ok());
+  // Even the worst quality should keep gross structure.
+  EXPECT_GT(psnr(img, *out), GetParam() >= 50 ? 18.0 : 11.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, DctQualities, ::testing::Values(1, 10, 25, 50, 75, 95, 100));
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,73 @@
+// Exhaustive verification of the DEFLATE length/distance code tables
+// against the RFC 1951 §3.2.5 definitions, for every legal value.
+#include <gtest/gtest.h>
+
+#include "codec/deflate.hpp"
+
+namespace ads {
+namespace {
+
+using namespace deflate_tables;
+
+TEST(DeflateTables, EveryLengthMapsToItsCodeRange) {
+  for (int length = 3; length <= 258; ++length) {
+    const int code = length_code(length);
+    ASSERT_GE(code, 0);
+    ASSERT_LT(code, kNumLengthCodes);
+    const int base = kLengthBase[static_cast<std::size_t>(code)];
+    const int extra = kLengthExtra[static_cast<std::size_t>(code)];
+    // The value must be representable as base + extra bits.
+    EXPECT_GE(length, base) << length;
+    EXPECT_LT(length - base, 1 << extra) << length;
+    // And must not belong to the next code's range (exclusive upper bound),
+    // except that 258 is its own dedicated code 28.
+    if (code + 1 < kNumLengthCodes) {
+      EXPECT_LT(length, kLengthBase[static_cast<std::size_t>(code) + 1]) << length;
+    }
+  }
+}
+
+TEST(DeflateTables, Length258IsCode28) {
+  EXPECT_EQ(length_code(258), 28);
+  EXPECT_EQ(kLengthExtra[28], 0);
+}
+
+TEST(DeflateTables, EveryDistanceMapsToItsCodeRange) {
+  for (int dist = 1; dist <= 32768; ++dist) {
+    const int code = dist_code(dist);
+    ASSERT_GE(code, 0);
+    ASSERT_LT(code, kNumDistCodes);
+    const int base = kDistBase[static_cast<std::size_t>(code)];
+    const int extra = kDistExtra[static_cast<std::size_t>(code)];
+    ASSERT_GE(dist, base) << dist;
+    ASSERT_LT(dist - base, 1 << extra) << dist;
+    if (code + 1 < kNumDistCodes) {
+      ASSERT_LT(dist, kDistBase[static_cast<std::size_t>(code) + 1]) << dist;
+    }
+  }
+}
+
+TEST(DeflateTables, TablesCoverContiguousRanges) {
+  // Each length code's range starts where the previous ends.
+  for (int code = 0; code + 1 < kNumLengthCodes - 1; ++code) {
+    const int end = kLengthBase[static_cast<std::size_t>(code)] +
+                    (1 << kLengthExtra[static_cast<std::size_t>(code)]);
+    EXPECT_EQ(end, kLengthBase[static_cast<std::size_t>(code) + 1]) << code;
+  }
+  for (int code = 0; code + 1 < kNumDistCodes; ++code) {
+    const int end = kDistBase[static_cast<std::size_t>(code)] +
+                    (1 << kDistExtra[static_cast<std::size_t>(code)]);
+    EXPECT_EQ(end, kDistBase[static_cast<std::size_t>(code) + 1]) << code;
+  }
+}
+
+TEST(DeflateTables, ClcOrderIsRfc1951Permutation) {
+  // §3.2.7: 16,17,18,0,8,7,9,6,10,5,11,4,12,3,13,2,14,1,15.
+  const std::uint8_t expected[] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                   11, 4,  12, 3, 13, 2, 14, 1, 15};
+  ASSERT_EQ(kClcOrder.size(), 19u);
+  for (std::size_t i = 0; i < 19; ++i) EXPECT_EQ(kClcOrder[i], expected[i]) << i;
+}
+
+}  // namespace
+}  // namespace ads

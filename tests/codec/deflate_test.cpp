@@ -1,0 +1,231 @@
+#include "codec/deflate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codec/bitstream.hpp"
+#include "codec/inflate.hpp"
+#include "util/prng.hpp"
+
+namespace ads {
+namespace {
+
+Bytes ascii(const char* s) {
+  Bytes out;
+  while (*s) out.push_back(static_cast<std::uint8_t>(*s++));
+  return out;
+}
+
+Bytes repetitive(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  const char* pattern = "the quick brown fox jumps over the lazy dog. ";
+  for (std::size_t i = 0; out.size() < n; ++i) out.push_back(static_cast<std::uint8_t>(pattern[i % 46]));
+  return out;
+}
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u32());
+  return out;
+}
+
+TEST(DeflateTables, LengthCodeBoundaries) {
+  using namespace deflate_tables;
+  EXPECT_EQ(length_code(3), 0);
+  EXPECT_EQ(length_code(10), 7);
+  EXPECT_EQ(length_code(11), 8);
+  EXPECT_EQ(length_code(12), 8);
+  EXPECT_EQ(length_code(257), 27);
+  EXPECT_EQ(length_code(258), 28);
+}
+
+TEST(DeflateTables, DistCodeBoundaries) {
+  using namespace deflate_tables;
+  EXPECT_EQ(dist_code(1), 0);
+  EXPECT_EQ(dist_code(4), 3);
+  EXPECT_EQ(dist_code(5), 4);
+  EXPECT_EQ(dist_code(24576), 28);
+  EXPECT_EQ(dist_code(24577), 29);
+  EXPECT_EQ(dist_code(32768), 29);
+}
+
+TEST(Deflate, EmptyInput) {
+  const Bytes compressed = deflate_compress({});
+  auto out = inflate(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Deflate, SingleByte) {
+  const Bytes input = {0x42};
+  auto out = inflate(deflate_compress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Deflate, TextRoundTrip) {
+  const Bytes input = ascii("hello hello hello hello world world world");
+  auto out = inflate(deflate_compress(input));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Deflate, CompressesRepetitiveData) {
+  const Bytes input = repetitive(100000);
+  const Bytes compressed = deflate_compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 20);
+  auto out = inflate(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Deflate, RandomDataFallsBackGracefully) {
+  // Incompressible data must not blow up beyond stored-block overhead.
+  const Bytes input = random_bytes(70000, 1);
+  const Bytes compressed = deflate_compress(input);
+  EXPECT_LT(compressed.size(), input.size() + 64);
+  auto out = inflate(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Deflate, StoredBlockRoundTrip) {
+  const Bytes input = repetitive(150000);  // > 2 stored blocks
+  const Bytes compressed = deflate_compress(input, {.level = 0});
+  auto out = inflate(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Deflate, ForcedFixedBlock) {
+  const Bytes input = repetitive(5000);
+  const Bytes compressed =
+      deflate_compress(input, {.level = 6, .block = DeflateOptions::Block::kFixed});
+  auto out = inflate(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Deflate, ForcedDynamicBlock) {
+  const Bytes input = repetitive(5000);
+  const Bytes compressed =
+      deflate_compress(input, {.level = 6, .block = DeflateOptions::Block::kDynamic});
+  auto out = inflate(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Deflate, DynamicBeatsFixedOnSkewedData) {
+  // Long runs of a single byte: dynamic Huffman should win clearly.
+  Bytes input(50000, 'a');
+  const Bytes fixed =
+      deflate_compress(input, {.level = 6, .block = DeflateOptions::Block::kFixed});
+  const Bytes dynamic =
+      deflate_compress(input, {.level = 6, .block = DeflateOptions::Block::kDynamic});
+  EXPECT_LT(dynamic.size(), fixed.size());
+}
+
+TEST(Deflate, LongRunUsesOverlappingMatches) {
+  // 100k identical bytes compress to a few hundred bytes only if the
+  // encoder emits distance-1 matches that overlap their own output.
+  Bytes input(100000, 'x');
+  const Bytes compressed = deflate_compress(input);
+  EXPECT_LT(compressed.size(), 600u);
+  auto out = inflate(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Inflate, RejectsTruncatedStream) {
+  const Bytes input = repetitive(10000);
+  Bytes compressed = deflate_compress(input);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_FALSE(inflate(compressed).ok());
+}
+
+TEST(Inflate, RejectsBadBlockType) {
+  // BTYPE=11 is reserved.
+  const Bytes bad = {0x07};  // BFINAL=1, BTYPE=11
+  auto out = inflate(bad);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), ParseError::kBadValue);
+}
+
+TEST(Inflate, RejectsStoredLengthMismatch) {
+  // Stored block whose NLEN is not ~LEN.
+  const Bytes bad = {0x01, 0x05, 0x00, 0x00, 0x00};
+  auto out = inflate(bad);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), ParseError::kBadValue);
+}
+
+TEST(Inflate, RejectsDistanceBeforeStart) {
+  // Hand-craft: fixed block, literal 'A', then a match with distance 4
+  // (only 1 byte of history). Encoder: lit 'A' = 0x41 -> code 8 bits;
+  // simpler to synthesise via our own encoder then corrupt — instead use
+  // stored+fixed trick: rely on decoder check with a crafted stream.
+  // 'A' fixed code: 0x41+0x30=0x71 -> 8 bits. length 3 = code 257 (7 bits,
+  // value 0000001). dist code 3 (5 bits) = distance 4.
+  BitWriter w;
+  w.write(1, 1);  // BFINAL
+  w.write(1, 2);  // fixed
+  w.write(reverse_bits(0x71, 8), 8);
+  w.write(reverse_bits(0x01, 7), 7);   // length code 257 -> length 3
+  w.write(reverse_bits(0x03, 5), 5);   // dist code 3 -> distance 4 > history
+  w.write(0, 7);                       // end of block (code 256 = 0000000)
+  auto out = inflate(w.take());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), ParseError::kBadValue);
+}
+
+TEST(Inflate, ZipBombGuard) {
+  Bytes input(1 << 20, 0);
+  const Bytes compressed = deflate_compress(input);
+  auto out = inflate(compressed, {.max_output = 1024});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), ParseError::kOverflow);
+}
+
+TEST(Inflate, InteropFixedHuffmanReferenceStream) {
+  // "hello" compressed by zlib (level 6) — raw deflate body of the widely
+  // documented stream 78 9c cb 48 cd c9 c9 07 00.
+  const Bytes body = {0xCB, 0x48, 0xCD, 0xC9, 0xC9, 0x07, 0x00};
+  auto out = inflate(body);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, ascii("hello"));
+}
+
+class DeflateLevels : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(DeflateLevels, RoundTripAcrossLevelsAndSizes) {
+  const auto [level, size] = GetParam();
+  // Mixed content: half repetitive, half random.
+  Bytes input = repetitive(size / 2);
+  const Bytes rnd = random_bytes(size - input.size(), 7);
+  input.insert(input.end(), rnd.begin(), rnd.end());
+
+  const Bytes compressed = deflate_compress(input, {.level = level});
+  auto out = inflate(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeflateLevels,
+    ::testing::Combine(::testing::Values(0, 1, 2, 4, 6, 9),
+                       ::testing::Values(std::size_t{1}, std::size_t{100},
+                                         std::size_t{4096}, std::size_t{65535},
+                                         std::size_t{65536}, std::size_t{300000})));
+
+TEST(Deflate, HigherLevelNeverMuchWorse) {
+  const Bytes input = repetitive(200000);
+  const std::size_t l1 = deflate_compress(input, {.level = 1}).size();
+  const std::size_t l9 = deflate_compress(input, {.level = 9}).size();
+  EXPECT_LE(l9, l1 + 64);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,74 @@
+#include "codec/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codec/png.hpp"
+#include "image/metrics.hpp"
+
+namespace ads {
+namespace {
+
+TEST(CodecRegistry, DefaultsContainAllBuiltins) {
+  const auto registry = CodecRegistry::with_defaults();
+  EXPECT_NE(registry.find(ContentPt::kRaw), nullptr);
+  EXPECT_NE(registry.find(ContentPt::kRle), nullptr);
+  EXPECT_NE(registry.find(ContentPt::kPng), nullptr);
+  EXPECT_NE(registry.find(ContentPt::kDct), nullptr);
+}
+
+TEST(CodecRegistry, PngIsMandatoryAndLossless) {
+  // Draft §5.2.2: "All AH and participant software implementations MUST
+  // support PNG images."
+  const auto registry = CodecRegistry::with_defaults();
+  const ImageCodec* png = registry.find(ContentPt::kPng);
+  ASSERT_NE(png, nullptr);
+  EXPECT_TRUE(png->lossless());
+  EXPECT_EQ(png->name(), "png");
+}
+
+TEST(CodecRegistry, UnknownPayloadTypeReturnsNull) {
+  const auto registry = CodecRegistry::with_defaults();
+  EXPECT_EQ(registry.find(std::uint8_t{0}), nullptr);
+  EXPECT_EQ(registry.find(std::uint8_t{127}), nullptr);
+}
+
+TEST(CodecRegistry, PayloadTypesEnumerated) {
+  const auto registry = CodecRegistry::with_defaults();
+  const auto pts = registry.payload_types();
+  EXPECT_EQ(pts.size(), 4u);
+}
+
+TEST(CodecRegistry, EveryDefaultCodecRoundTripsThroughItsInterface) {
+  const auto registry = CodecRegistry::with_defaults();
+  Image img(24, 16);
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 24; ++x) {
+      img.set(x, y,
+              Pixel{static_cast<std::uint8_t>(x * 10), static_cast<std::uint8_t>(y * 10),
+                    128, 255});
+    }
+  }
+  for (const ContentPt pt : registry.payload_types()) {
+    const ImageCodec* codec = registry.find(pt);
+    ASSERT_NE(codec, nullptr);
+    auto out = codec->decode(codec->encode(img));
+    ASSERT_TRUE(out.ok()) << codec->name();
+    EXPECT_EQ(out->width(), img.width()) << codec->name();
+    EXPECT_EQ(out->height(), img.height()) << codec->name();
+    if (codec->lossless()) {
+      EXPECT_EQ(diff_pixel_count(*out, img), 0) << codec->name();
+    } else {
+      EXPECT_GT(psnr(img, *out), 25.0) << codec->name();
+    }
+  }
+}
+
+TEST(CodecRegistry, AddOverridesExisting) {
+  CodecRegistry registry = CodecRegistry::with_defaults();
+  registry.add(std::make_unique<PngCodec>(PngOptions{.deflate = {.level = 1}}));
+  EXPECT_NE(registry.find(ContentPt::kPng), nullptr);
+  EXPECT_EQ(registry.payload_types().size(), 4u);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "codec/raw_codec.hpp"
+#include "codec/rle_codec.hpp"
+#include "util/prng.hpp"
+
+namespace ads {
+namespace {
+
+Image noisy(std::int64_t w, std::int64_t h, std::uint64_t seed) {
+  Image img(w, h);
+  Prng rng(seed);
+  for (auto& p : img.pixels()) {
+    p = Pixel{static_cast<std::uint8_t>(rng.next_u32()),
+              static_cast<std::uint8_t>(rng.next_u32()),
+              static_cast<std::uint8_t>(rng.next_u32()), 255};
+  }
+  return img;
+}
+
+TEST(RawCodec, RoundTrip) {
+  const Image img = noisy(17, 23, 1);
+  auto out = raw_decode(raw_encode(img));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, img);
+}
+
+TEST(RawCodec, SizeIsExactlyHeaderPlusPixels) {
+  const Image img(10, 20, kWhite);
+  EXPECT_EQ(raw_encode(img).size(), 8u + 10 * 20 * 4);
+}
+
+TEST(RawCodec, TruncatedPayloadRejected) {
+  Bytes data = raw_encode(noisy(8, 8, 2));
+  data.pop_back();
+  EXPECT_FALSE(raw_decode(data).ok());
+}
+
+TEST(RawCodec, TrailingGarbageRejected) {
+  Bytes data = raw_encode(noisy(8, 8, 2));
+  data.push_back(0);
+  EXPECT_FALSE(raw_decode(data).ok());
+}
+
+TEST(RawCodec, HostileDimensionsRejected) {
+  ByteWriter w;
+  w.u32(0xFFFFFFFF);
+  w.u32(0xFFFFFFFF);
+  auto out = raw_decode(w.view());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error(), ParseError::kOverflow);
+}
+
+TEST(RleCodec, RoundTripFlat) {
+  const Image img(100, 100, Pixel{5, 6, 7, 255});
+  auto out = rle_decode(rle_encode(img));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, img);
+}
+
+TEST(RleCodec, RoundTripNoise) {
+  const Image img = noisy(33, 41, 3);
+  auto out = rle_decode(rle_encode(img));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, img);
+}
+
+TEST(RleCodec, FlatImageCompressesToFewRuns) {
+  const Image img(256, 256, kWhite);  // 65536 pixels = one 65535 run + one 1 run
+  EXPECT_EQ(rle_encode(img).size(), 8u + 2 * 6);
+}
+
+TEST(RleCodec, RunNeverCrossesMaxU16) {
+  // 70000 identical pixels require a run split at 65535.
+  const Image img(700, 100, kBlack);
+  auto out = rle_decode(rle_encode(img));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, img);
+}
+
+TEST(RleCodec, OverflowingRunRejected) {
+  // Declare more pixels than the image holds.
+  ByteWriter w;
+  w.u32(2);
+  w.u32(2);
+  w.u16(5);  // 5 > 4 pixels
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u8(255);
+  EXPECT_FALSE(rle_decode(w.view()).ok());
+}
+
+TEST(RleCodec, ShortPayloadRejected) {
+  ByteWriter w;
+  w.u32(2);
+  w.u32(2);
+  w.u16(4);
+  w.u8(0);  // truncated pixel
+  EXPECT_FALSE(rle_decode(w.view()).ok());
+}
+
+TEST(RleCodec, EmptyImage) {
+  const Image img;
+  auto out = rle_decode(rle_encode(img));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->width(), 0);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,151 @@
+// HIP + BFCP integration: participants acquire the floor via BFCP, their
+// input events travel the uplink, and the AH enforces both the floor gate
+// (Appendix A) and the §4.1 coordinate legitimacy check.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+
+namespace ads {
+namespace {
+
+struct HipFlowTest : ::testing::Test {
+  AppHostOptions host_opts() {
+    AppHostOptions opts;
+    opts.screen_width = 320;
+    opts.screen_height = 240;
+    opts.frame_interval_us = sim_ms(100);
+    return opts;
+  }
+
+  void SetUp() override {
+    session = std::make_unique<SharingSession>(host_opts());
+    window = session->host().wm().create({50, 50, 100, 100}, 1);
+    session->host().capturer().attach(window,
+                                      std::make_unique<SlideshowApp>(100, 100, 3));
+    session->host().set_input_sink(
+        [this](ParticipantId from, const HipMessage& msg) {
+          received.emplace_back(from, msg);
+        });
+  }
+
+  SharingSession::Connection& connect() {
+    TcpLinkConfig link;
+    link.down.bandwidth_bps = 50'000'000;
+    link.down.send_buffer_bytes = 1024 * 1024;
+    auto& conn = session->add_tcp_participant({}, link);
+    session->host().start();
+    session->run_for(sim_ms(300));
+    return conn;
+  }
+
+  std::unique_ptr<SharingSession> session;
+  WindowId window = 0;
+  std::vector<std::pair<ParticipantId, HipMessage>> received;
+};
+
+TEST_F(HipFlowTest, FloorHolderEventsReachInputSink) {
+  auto& conn = connect();
+  conn.participant->request_floor();
+  session->run_for(sim_ms(200));
+  EXPECT_TRUE(conn.participant->has_floor());
+  EXPECT_EQ(conn.participant->hid_status(), HidStatus::kAllAllowed);
+
+  conn.participant->mouse_move(60, 60);
+  conn.participant->mouse_press(60, 60, MouseButton::kLeft);
+  conn.participant->key_press(vk::kA);
+  conn.participant->key_type("hi");
+  session->run_for(sim_ms(200));
+
+  ASSERT_EQ(received.size(), 4u);
+  EXPECT_EQ(received[0].first, conn.id);
+  EXPECT_TRUE(std::holds_alternative<MouseMoved>(received[0].second));
+  EXPECT_TRUE(std::holds_alternative<MousePressed>(received[1].second));
+  EXPECT_TRUE(std::holds_alternative<KeyPressed>(received[2].second));
+  EXPECT_EQ(std::get<KeyTyped>(received[3].second).utf8, "hi");
+  EXPECT_EQ(session->host().stats().hip_events_accepted, 4u);
+}
+
+TEST_F(HipFlowTest, EventsWithoutFloorRejected) {
+  auto& conn = connect();
+  conn.participant->mouse_move(60, 60);
+  conn.participant->key_press(vk::kA);
+  session->run_for(sim_ms(200));
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(session->host().stats().hip_events_rejected_floor, 2u);
+}
+
+TEST_F(HipFlowTest, CoordinatesOutsideSharedWindowsRejected) {
+  auto& conn = connect();
+  conn.participant->request_floor();
+  session->run_for(sim_ms(200));
+
+  conn.participant->mouse_move(10, 10);  // outside the 50,50..150,150 window
+  session->run_for(sim_ms(200));
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(session->host().stats().hip_events_rejected_coords, 1u);
+
+  conn.participant->mouse_move(100, 100);  // inside
+  session->run_for(sim_ms(200));
+  EXPECT_EQ(received.size(), 1u);
+}
+
+TEST_F(HipFlowTest, KeyboardEventsBypassCoordinateCheck) {
+  // Key events carry no coordinates; only the floor gate applies.
+  auto& conn = connect();
+  conn.participant->request_floor();
+  session->run_for(sim_ms(200));
+  conn.participant->key_press(vk::kF1);
+  session->run_for(sim_ms(200));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(std::get<KeyPressed>(received[0].second).key_code, vk::kF1);
+}
+
+TEST_F(HipFlowTest, SecondRequesterQueuedThenGranted) {
+  auto& first = connect();
+  TcpLinkConfig link;
+  link.down.bandwidth_bps = 50'000'000;
+  link.down.send_buffer_bytes = 1024 * 1024;
+  auto& second = session->add_tcp_participant({}, link);
+  session->run_for(sim_ms(300));
+
+  first.participant->request_floor();
+  session->run_for(sim_ms(200));
+  second.participant->request_floor();
+  session->run_for(sim_ms(200));
+  EXPECT_TRUE(first.participant->has_floor());
+  EXPECT_FALSE(second.participant->has_floor());
+  EXPECT_TRUE(second.participant->floor_pending());
+
+  first.participant->release_floor();
+  session->run_for(sim_ms(200));
+  EXPECT_FALSE(first.participant->has_floor());
+  EXPECT_TRUE(second.participant->has_floor());
+}
+
+TEST_F(HipFlowTest, HidStatusChangeGatesEventClasses) {
+  auto& conn = connect();
+  conn.participant->request_floor();
+  session->run_for(sim_ms(200));
+
+  // AH blocks the mouse (e.g. shared app lost focus) but allows keyboard.
+  session->host().floor().set_hid_status(HidStatus::kKeyboardAllowed);
+  conn.participant->mouse_move(60, 60);
+  conn.participant->key_press(vk::from_ascii('b'));
+  session->run_for(sim_ms(200));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<KeyPressed>(received[0].second));
+  EXPECT_EQ(session->host().stats().hip_events_rejected_floor, 1u);
+}
+
+TEST_F(HipFlowTest, HipWindowIdTracksFocusWindow) {
+  auto& conn = connect();
+  conn.participant->request_floor();
+  session->run_for(sim_ms(300));
+  conn.participant->mouse_move(60, 60);  // inside window
+  session->run_for(sim_ms(200));
+  ASSERT_FALSE(received.empty());
+  EXPECT_EQ(hip_window_id(received.back().second), window);
+}
+
+}  // namespace
+}  // namespace ads

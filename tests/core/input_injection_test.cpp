@@ -1,0 +1,97 @@
+// Closing the loop of Figure 1: a participant's typed input travels HIP →
+// AH validation → injection into the shared application → screen update →
+// RegionUpdate → back to the participant's replica. "Their mouse and
+// keyboard events are delivered and regenerated at the AH." (§2)
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+
+namespace ads {
+namespace {
+
+struct InputLoopTest : ::testing::Test {
+  void SetUp() override {
+    AppHostOptions opts;
+    opts.screen_width = 320;
+    opts.screen_height = 240;
+    opts.frame_interval_us = sim_ms(100);
+    session = std::make_unique<SharingSession>(opts);
+    AppHost& host = session->host();
+    window = host.wm().create({20, 20, 256, 192}, 1);
+    // chars_per_tick = 0: the terminal only shows injected input.
+    auto app = std::make_unique<TerminalApp>(256, 192, 1, /*chars_per_tick=*/0);
+    terminal = app.get();
+    host.capturer().attach(window, std::move(app));
+
+    // Route accepted HIP events into the terminal — the "regenerate at the
+    // OS" step.
+    host.set_input_sink([this](ParticipantId, const HipMessage& msg) {
+      if (const auto* typed = std::get_if<KeyTyped>(&msg)) {
+        terminal->inject_utf8(typed->utf8);
+      } else if (const auto* key = std::get_if<KeyPressed>(&msg)) {
+        terminal->inject_key(key->key_code);
+      }
+    });
+
+    TcpLinkConfig link;
+    link.down.bandwidth_bps = 50'000'000;
+    link.down.send_buffer_bytes = 2 * 1024 * 1024;
+    conn = &session->add_tcp_participant({}, link);
+    host.start();
+    session->run_for(sim_ms(300));
+    conn->participant->request_floor();
+    session->run_for(sim_ms(300));
+    ASSERT_TRUE(conn->participant->has_floor());
+  }
+
+  std::unique_ptr<SharingSession> session;
+  WindowId window = 0;
+  TerminalApp* terminal = nullptr;
+  SharingSession::Connection* conn = nullptr;
+};
+
+TEST_F(InputLoopTest, TypedTextAppearsOnParticipantScreen) {
+  const Image before = conn->participant->screen().crop({20, 20, 256, 192});
+
+  conn->participant->key_type("hello from the participant");
+  session->run_for(sim_sec(1));
+  session->host().stop();
+  session->run_for(sim_sec(1));
+
+  EXPECT_EQ(terminal->injected_chars(), 26u);
+  // The participant's own replica now shows what it typed.
+  const Image after = conn->participant->screen().crop({20, 20, 256, 192});
+  EXPECT_GT(diff_pixel_count(before, after), 0);
+  // And it matches the AH's exported view exactly.
+  const Image& truth = session->host().capturer().last_frame();
+  const Image replica =
+      conn->participant->screen().crop({0, 0, truth.width(), truth.height()});
+  EXPECT_EQ(diff_pixel_count(truth, replica), 0);
+}
+
+TEST_F(InputLoopTest, EnterAndBackspaceKeysHandled) {
+  conn->participant->key_type("abc");
+  conn->participant->key_press(vk::kBackSpace);
+  conn->participant->key_press(vk::kEnter);
+  conn->participant->key_type("x");
+  session->run_for(sim_sec(1));
+  // 3 typed + backspace + newline + 1 typed = 6 injected input units.
+  EXPECT_EQ(terminal->injected_chars(), 6u);
+}
+
+TEST_F(InputLoopTest, NonHolderInputNeverReachesTheApp) {
+  TcpLinkConfig link;
+  link.down.bandwidth_bps = 50'000'000;
+  link.down.send_buffer_bytes = 2 * 1024 * 1024;
+  auto& second = session->add_tcp_participant({}, link);
+  session->run_for(sim_ms(300));
+
+  const auto before = terminal->injected_chars();
+  second.participant->key_type("intruder");
+  session->run_for(sim_ms(500));
+  EXPECT_EQ(terminal->injected_chars(), before);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,46 @@
+#include "core/packet_classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfcp/bfcp_message.hpp"
+#include "hip/messages.hpp"
+#include "rtp/rtcp.hpp"
+#include "rtp/rtp_session.hpp"
+
+namespace ads {
+namespace {
+
+TEST(PacketClassify, RtpPacketsClassified) {
+  RtpSender sender(kHipPayloadType, 1);
+  const Bytes wire = sender.make_packet(serialize_hip(MouseMoved{1, 2, 3}), false, 0)
+                         .serialize();
+  EXPECT_EQ(classify_packet(wire), PacketKind::kRtp);
+}
+
+TEST(PacketClassify, RtpWithMarkerStillRtp) {
+  RtpSender sender(kRemotingPayloadType, 1);
+  const Bytes wire = sender.make_packet({1, 2}, true, 0).serialize();
+  // Second byte is 0x80|99 = 227, close to but outside the RTCP 200..207
+  // window.
+  EXPECT_EQ(classify_packet(wire), PacketKind::kRtp);
+}
+
+TEST(PacketClassify, RtcpPliAndNack) {
+  EXPECT_EQ(classify_packet(PictureLossIndication{}.serialize()), PacketKind::kRtcp);
+  EXPECT_EQ(classify_packet(GenericNack::for_sequences(1, 2, {7}).serialize()),
+            PacketKind::kRtcp);
+}
+
+TEST(PacketClassify, Bfcp) {
+  EXPECT_EQ(classify_packet(BfcpMessage{}.serialize()), PacketKind::kBfcp);
+}
+
+TEST(PacketClassify, GarbageUnknown) {
+  EXPECT_EQ(classify_packet(Bytes{}), PacketKind::kUnknown);
+  EXPECT_EQ(classify_packet(Bytes{0x00}), PacketKind::kUnknown);
+  EXPECT_EQ(classify_packet(Bytes{0x00, 0x01, 0x02}), PacketKind::kUnknown);
+  EXPECT_EQ(classify_packet(Bytes{0xFF, 0xFF}), PacketKind::kUnknown);
+}
+
+}  // namespace
+}  // namespace ads

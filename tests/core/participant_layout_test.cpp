@@ -1,0 +1,121 @@
+#include "core/participant_layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+/// The Figure 2 scenario (same records as the Figure 9 golden message):
+/// A bottom, C middle, B top.
+std::vector<WindowRecord> figure2_records() {
+  return {
+      {1, 1, 220, 150, 350, 450},  // A
+      {2, 2, 850, 320, 160, 150},  // C
+      {3, 1, 450, 400, 350, 300},  // B
+  };
+}
+
+TEST(Layout, OriginalIsIdentity) {
+  // Figure 3: participant 1 displays windows in their original coordinates.
+  const auto placed = layout_windows(figure2_records(), LayoutPolicy::kOriginal,
+                                     1024, 768);
+  ASSERT_EQ(placed.size(), 3u);
+  for (const auto& p : placed) EXPECT_EQ(p.placed, p.source);
+}
+
+TEST(Layout, ShiftMatchesFigure4) {
+  // Figure 4: "Participant 2 shifts all the windows 220 pixels left and 150
+  // pixels up" — i.e. the ensemble bounding box moves to the origin.
+  const auto placed = layout_windows(figure2_records(), LayoutPolicy::kShift,
+                                     1280, 1024);
+  ASSERT_EQ(placed.size(), 3u);
+  EXPECT_EQ(placed[0].placed, (Rect{0, 0, 350, 450}));       // A
+  EXPECT_EQ(placed[1].placed, (Rect{630, 170, 160, 150}));   // C
+  EXPECT_EQ(placed[2].placed, (Rect{230, 250, 350, 300}));   // B
+}
+
+TEST(Layout, ShiftPreservesRelativePositions) {
+  const auto placed = layout_windows(figure2_records(), LayoutPolicy::kShift,
+                                     1280, 1024);
+  // B - A offsets must match the original (450-220, 400-150).
+  EXPECT_EQ(placed[2].placed.left - placed[0].placed.left, 230);
+  EXPECT_EQ(placed[2].placed.top - placed[0].placed.top, 250);
+}
+
+TEST(Layout, RefitFitsSmallScreen) {
+  // Figure 5: participant 3 "combines all the windows in order to fit them
+  // to its small screen" (640x480).
+  const auto placed = layout_windows(figure2_records(), LayoutPolicy::kRefit,
+                                     640, 480);
+  ASSERT_EQ(placed.size(), 3u);
+  for (const auto& p : placed) {
+    EXPECT_GE(p.placed.left, 0);
+    EXPECT_GE(p.placed.top, 0);
+    // Each window's origin is on-screen and as much of the window as the
+    // screen allows stays visible.
+    EXPECT_LT(p.placed.left, 640);
+    EXPECT_LT(p.placed.top, 480);
+  }
+  // Window sizes are preserved (participants clip at render time).
+  EXPECT_EQ(placed[0].placed.width, 350);
+  EXPECT_EQ(placed[2].placed.height, 300);
+}
+
+TEST(Layout, RefitPreservesZOrder) {
+  // "In this example scenario, all participants preserve the z-order."
+  const auto placed = layout_windows(figure2_records(), LayoutPolicy::kRefit,
+                                     640, 480);
+  EXPECT_EQ(placed[0].window_id, 1);
+  EXPECT_EQ(placed[1].window_id, 2);
+  EXPECT_EQ(placed[2].window_id, 3);
+}
+
+TEST(Layout, RefitOnLargeScreenEqualsShift) {
+  const auto refit = layout_windows(figure2_records(), LayoutPolicy::kRefit,
+                                    1280, 1024);
+  const auto shift = layout_windows(figure2_records(), LayoutPolicy::kShift,
+                                    1280, 1024);
+  EXPECT_EQ(refit, shift);
+}
+
+TEST(Layout, EmptyRecordsYieldEmptyPlacement) {
+  EXPECT_TRUE(layout_windows({}, LayoutPolicy::kShift, 100, 100).empty());
+}
+
+TEST(Layout, GroupIdsCarriedThrough) {
+  const auto placed = layout_windows(figure2_records(), LayoutPolicy::kOriginal,
+                                     1024, 768);
+  EXPECT_EQ(placed[0].group_id, 1);
+  EXPECT_EQ(placed[1].group_id, 2);
+}
+
+TEST(RenderLayout, CopiesWindowPixelsToPlacedPositions) {
+  // Build a replica screen where window A's area is red and B's is green.
+  Image screen(1280, 1024, kBlack);
+  screen.fill_rect({220, 150, 350, 450}, Pixel{255, 0, 0, 255});
+  screen.fill_rect({450, 400, 350, 300}, Pixel{0, 255, 0, 255});
+
+  const auto placed = layout_windows(figure2_records(), LayoutPolicy::kShift,
+                                     1280, 1024);
+  const Image view = render_layout(screen, placed, 1024, 768);
+  // A now at origin: red.
+  EXPECT_EQ(view.at(10, 10), (Pixel{255, 0, 0, 255}));
+  // B at (230,250): green wins over A (drawn later = on top).
+  EXPECT_EQ(view.at(300, 300), (Pixel{0, 255, 0, 255}));
+  // Outside all windows: black.
+  EXPECT_EQ(view.at(1000, 700), kBlack);
+}
+
+TEST(RenderLayout, ZOrderTopWindowWins) {
+  Image screen(1280, 1024, kBlack);
+  screen.fill_rect({220, 150, 350, 450}, Pixel{255, 0, 0, 255});
+  screen.fill_rect({450, 400, 350, 300}, Pixel{0, 255, 0, 255});
+  const auto placed = layout_windows(figure2_records(), LayoutPolicy::kOriginal,
+                                     1280, 1024);
+  const Image view = render_layout(screen, placed, 1280, 1024);
+  // The A/B overlap (e.g. 500,450) shows B (top).
+  EXPECT_EQ(view.at(500, 450), (Pixel{0, 255, 0, 255}));
+}
+
+}  // namespace
+}  // namespace ads

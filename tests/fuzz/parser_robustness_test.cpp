@@ -1,0 +1,182 @@
+// Parser robustness sweep: every wire parser in the system is fed random
+// bytes and randomly mutated valid messages. The property under test is
+// uniform — parsers return a value or a ParseError; they never crash,
+// never read out of bounds (ASAN-visible), and never loop forever.
+#include <gtest/gtest.h>
+
+#include "bfcp/bfcp_message.hpp"
+#include "codec/dct_codec.hpp"
+#include "codec/png.hpp"
+#include "codec/raw_codec.hpp"
+#include "codec/rle_codec.hpp"
+#include "codec/zlib.hpp"
+#include "hip/messages.hpp"
+#include "remoting/message.hpp"
+#include "rtp/rtcp.hpp"
+#include "rtp/rtp_packet.hpp"
+#include "sdp/sdp.hpp"
+#include "util/prng.hpp"
+
+namespace ads {
+namespace {
+
+Bytes random_bytes(Prng& rng, std::size_t max_len) {
+  Bytes out(rng.below(max_len));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u32());
+  return out;
+}
+
+/// Flip a few random bytes/bits of a valid message.
+Bytes mutate(Prng& rng, Bytes data) {
+  if (data.empty()) return data;
+  const int edits = 1 + static_cast<int>(rng.below(5));
+  for (int i = 0; i < edits; ++i) {
+    const std::size_t pos = rng.below(data.size());
+    switch (rng.below(3)) {
+      case 0: data[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8)); break;
+      case 1: data[pos] = static_cast<std::uint8_t>(rng.next_u32()); break;
+      default:
+        data.resize(pos);  // truncate
+        if (data.empty()) return data;
+        break;
+    }
+  }
+  return data;
+}
+
+constexpr int kRandomIterations = 3000;
+constexpr int kMutationIterations = 1000;
+
+TEST(ParserRobustness, RtpPacketRandomBytes) {
+  Prng rng(1);
+  for (int i = 0; i < kRandomIterations; ++i) {
+    auto result = RtpPacket::parse(random_bytes(rng, 100));
+    (void)result;
+  }
+}
+
+TEST(ParserRobustness, RtcpRandomBytes) {
+  Prng rng(2);
+  for (int i = 0; i < kRandomIterations; ++i) {
+    (void)parse_rtcp(random_bytes(rng, 120));
+    (void)RtcpFeedback::parse(random_bytes(rng, 120));
+  }
+}
+
+TEST(ParserRobustness, RemotingDemuxRandomBytes) {
+  Prng rng(3);
+  RemotingDemux demux;
+  for (int i = 0; i < kRandomIterations; ++i) {
+    (void)demux.feed(random_bytes(rng, 200), rng.chance(0.5));
+  }
+}
+
+TEST(ParserRobustness, RemotingDemuxMutatedMessages) {
+  Prng rng(4);
+  WindowManagerInfo wmi;
+  wmi.records = {{1, 1, 10, 10, 100, 100}, {2, 0, 50, 50, 30, 30}};
+  RegionUpdate ru;
+  ru.window_id = 1;
+  ru.content_pt = 98;
+  ru.content = random_bytes(rng, 3000);
+  MoveRectangle mr{1, 0, 0, 10, 10, 5, 5};
+
+  std::vector<Bytes> corpus;
+  corpus.push_back(wmi.serialize());
+  for (const auto& frag : fragment_region_update(ru, 400)) {
+    corpus.push_back(frag.payload);
+  }
+  corpus.push_back(mr.serialize());
+
+  RemotingDemux demux;
+  for (int i = 0; i < kMutationIterations; ++i) {
+    const Bytes& base = corpus[rng.below(corpus.size())];
+    (void)demux.feed(mutate(rng, base), rng.chance(0.5));
+  }
+}
+
+TEST(ParserRobustness, HipRandomAndMutated) {
+  Prng rng(5);
+  for (int i = 0; i < kRandomIterations; ++i) {
+    (void)parse_hip(random_bytes(rng, 64));
+  }
+  const Bytes valid = serialize_hip(MouseWheelMoved{3, 100, 200, -360});
+  for (int i = 0; i < kMutationIterations; ++i) {
+    (void)parse_hip(mutate(rng, valid));
+  }
+}
+
+TEST(ParserRobustness, BfcpRandomAndMutated) {
+  Prng rng(6);
+  for (int i = 0; i < kRandomIterations; ++i) {
+    (void)BfcpMessage::parse(random_bytes(rng, 80));
+  }
+  BfcpMessage msg;
+  msg.primitive = BfcpPrimitive::kFloorRequestStatus;
+  msg.floor_id = 0;
+  msg.request_status = RequestStatus::kGranted;
+  msg.hid_status = HidStatus::kAllAllowed;
+  const Bytes valid = msg.serialize();
+  for (int i = 0; i < kMutationIterations; ++i) {
+    (void)BfcpMessage::parse(mutate(rng, valid));
+  }
+}
+
+TEST(ParserRobustness, CodecsRandomBytes) {
+  Prng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    (void)png_decode(random_bytes(rng, 300));
+    (void)rle_decode(random_bytes(rng, 300));
+    (void)raw_decode(random_bytes(rng, 300));
+    (void)dct_decode(random_bytes(rng, 300));
+    (void)zlib_decompress(random_bytes(rng, 300), {.max_output = 1 << 20});
+  }
+}
+
+TEST(ParserRobustness, CodecsMutatedStreams) {
+  Prng rng(8);
+  Image img(24, 18);
+  for (auto& p : img.pixels()) {
+    p = Pixel{static_cast<std::uint8_t>(rng.next_u32()),
+              static_cast<std::uint8_t>(rng.next_u32()),
+              static_cast<std::uint8_t>(rng.next_u32()), 255};
+  }
+  const Bytes png = png_encode(img);
+  const Bytes rle = rle_encode(img);
+  const Bytes dct = dct_encode(img);
+  for (int i = 0; i < kMutationIterations; ++i) {
+    (void)png_decode(mutate(rng, png));
+    (void)rle_decode(mutate(rng, rle));
+    (void)dct_decode(mutate(rng, dct));
+  }
+}
+
+TEST(ParserRobustness, SdpRandomText) {
+  Prng rng(9);
+  for (int i = 0; i < 800; ++i) {
+    const Bytes raw = random_bytes(rng, 300);
+    std::string text(raw.begin(), raw.end());
+    (void)SessionDescription::parse(text);
+  }
+}
+
+TEST(ParserRobustness, SdpMutatedOffer) {
+  Prng rng(10);
+  SessionDescription offer;
+  MediaSection m;
+  m.media = "application";
+  m.port = 6000;
+  m.protocol = "RTP/AVP";
+  m.formats = {"99"};
+  m.attributes = {{"rtpmap", "99 remoting/90000"}};
+  offer.media.push_back(m);
+  const std::string base = offer.to_string();
+  for (int i = 0; i < kMutationIterations; ++i) {
+    Bytes data(base.begin(), base.end());
+    data = mutate(rng, std::move(data));
+    (void)SessionDescription::parse(std::string(data.begin(), data.end()));
+  }
+}
+
+}  // namespace
+}  // namespace ads

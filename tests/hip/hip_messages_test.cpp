@@ -1,0 +1,162 @@
+#include "hip/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(HipTypes, Table3Registry) {
+  EXPECT_EQ(static_cast<int>(HipType::kMousePressed), 121);
+  EXPECT_EQ(static_cast<int>(HipType::kMouseReleased), 122);
+  EXPECT_EQ(static_cast<int>(HipType::kMouseMoved), 123);
+  EXPECT_EQ(static_cast<int>(HipType::kMouseWheelMoved), 124);
+  EXPECT_EQ(static_cast<int>(HipType::kKeyPressed), 125);
+  EXPECT_EQ(static_cast<int>(HipType::kKeyReleased), 126);
+  EXPECT_EQ(static_cast<int>(HipType::kKeyTyped), 127);
+  for (int v = 121; v <= 127; ++v) EXPECT_TRUE(is_known_hip_type(static_cast<std::uint8_t>(v)));
+  EXPECT_FALSE(is_known_hip_type(120));
+  EXPECT_FALSE(is_known_hip_type(128));
+  EXPECT_FALSE(is_known_hip_type(1));
+}
+
+TEST(HipMessages, MousePressedWireLayout) {
+  // Figure 13: common header (button in Parameter) + Left + Top.
+  const Bytes wire = serialize_hip(MousePressed{7, MouseButton::kRight, 300, 400});
+  ASSERT_EQ(wire.size(), 12u);
+  EXPECT_EQ(wire[0], 121);
+  EXPECT_EQ(wire[1], 2);  // right button
+  EXPECT_EQ(wire[2], 0);
+  EXPECT_EQ(wire[3], 7);
+  EXPECT_EQ(wire[7], 300 - 256);
+  EXPECT_EQ(wire[6], 1);
+  EXPECT_EQ(wire[11], 400 - 256);
+}
+
+TEST(HipMessages, AllSevenRoundTrip) {
+  const std::vector<HipMessage> msgs = {
+      MousePressed{1, MouseButton::kLeft, 10, 20},
+      MouseReleased{1, MouseButton::kMiddle, 10, 20},
+      MouseMoved{2, 500, 600},
+      MouseWheelMoved{2, 30, 40, -240},
+      KeyPressed{3, vk::kF1},
+      KeyReleased{3, vk::kF1},
+      KeyTyped{4, "hello"},
+  };
+  for (const HipMessage& msg : msgs) {
+    auto parsed = parse_hip(serialize_hip(msg));
+    ASSERT_TRUE(parsed.ok()) << static_cast<int>(hip_type(msg));
+    EXPECT_EQ(*parsed, msg);
+  }
+}
+
+TEST(HipMessages, WheelNegativeDistanceTwosComplement) {
+  // §6.5: "negative values are transmitted using 2's complement method".
+  const Bytes wire = serialize_hip(MouseWheelMoved{1, 0, 0, -120});
+  ASSERT_EQ(wire.size(), 16u);
+  EXPECT_EQ(wire[12], 0xFF);
+  EXPECT_EQ(wire[13], 0xFF);
+  EXPECT_EQ(wire[14], 0xFF);
+  EXPECT_EQ(wire[15], 0x88);
+  auto parsed = parse_hip(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<MouseWheelMoved>(*parsed).distance, -120);
+}
+
+TEST(HipMessages, WheelNotchConvention) {
+  // "120 * (number of notches)"; smooth wheels may send any value.
+  for (int notches : {-3, -1, 1, 2, 10}) {
+    const HipMessage msg = MouseWheelMoved{1, 5, 5, notches * 120};
+    auto parsed = parse_hip(serialize_hip(msg));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(std::get<MouseWheelMoved>(*parsed).distance, notches * 120);
+  }
+}
+
+TEST(HipMessages, KeyPressedCarriesJavaKeycode) {
+  // §6.6: "F1 key is defined as 'int VK_F1 = 0x70;'".
+  const Bytes wire = serialize_hip(KeyPressed{1, vk::kF1});
+  ASSERT_EQ(wire.size(), 8u);
+  EXPECT_EQ(wire[0], 125);
+  EXPECT_EQ(wire[7], 0x70);
+}
+
+TEST(HipMessages, KeyTypedCarriesRawUtf8NoPadding) {
+  // §6.8: "There is no padding for the UTF-8 string."
+  const Bytes wire = serialize_hip(KeyTyped{1, "abc"});
+  EXPECT_EQ(wire.size(), 4u + 3u);
+  EXPECT_EQ(wire[4], 'a');
+  EXPECT_EQ(wire[6], 'c');
+}
+
+TEST(HipMessages, KeyTypedMultibyteUtf8) {
+  const std::string text = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80";  // café € 😀
+  auto parsed = parse_hip(serialize_hip(KeyTyped{1, text}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<KeyTyped>(*parsed).utf8, text);
+}
+
+TEST(HipMessages, KeyTypedInvalidUtf8Rejected) {
+  Bytes wire = serialize_hip(KeyTyped{1, "ok"});
+  wire.push_back(0xFF);  // invalid lead byte
+  auto parsed = parse_hip(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kBadValue);
+}
+
+TEST(HipMessages, KeyTypedOverlongEncodingRejected) {
+  Bytes wire = serialize_hip(KeyTyped{1, ""});
+  wire.push_back(0xC0);  // overlong "\0"
+  wire.push_back(0x80);
+  EXPECT_FALSE(parse_hip(wire).ok());
+}
+
+TEST(HipMessages, EmptyKeyTypedAllowed) {
+  auto parsed = parse_hip(serialize_hip(KeyTyped{9, ""}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<KeyTyped>(*parsed).utf8, "");
+}
+
+TEST(HipMessages, UnknownTypeUnsupported) {
+  Bytes wire = serialize_hip(MouseMoved{1, 2, 3});
+  wire[0] = 99;
+  auto parsed = parse_hip(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kUnsupported);
+}
+
+TEST(HipMessages, TrailingBytesRejected) {
+  Bytes wire = serialize_hip(MouseMoved{1, 2, 3});
+  wire.push_back(0);
+  EXPECT_FALSE(parse_hip(wire).ok());
+}
+
+TEST(HipMessages, TruncationRejectedEverywhere) {
+  const Bytes wire = serialize_hip(MouseWheelMoved{1, 2, 3, 4});
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(parse_hip(BytesView(wire).subspan(0, len)).ok()) << len;
+  }
+}
+
+TEST(HipMessages, Helpers) {
+  const HipMessage mouse = MousePressed{5, MouseButton::kLeft, 9, 8};
+  const HipMessage key = KeyPressed{6, vk::kA};
+  EXPECT_EQ(hip_window_id(mouse), 5);
+  EXPECT_EQ(hip_window_id(key), 6);
+  std::uint32_t l = 0;
+  std::uint32_t t = 0;
+  EXPECT_TRUE(hip_coordinates(mouse, l, t));
+  EXPECT_EQ(l, 9u);
+  EXPECT_EQ(t, 8u);
+  EXPECT_FALSE(hip_coordinates(key, l, t));
+  EXPECT_EQ(hip_type(mouse), HipType::kMousePressed);
+  EXPECT_STREQ(to_string(HipType::kKeyTyped), "KeyTyped");
+}
+
+TEST(HipMessages, KeyReleasedWithoutPriorPressIsAcceptable) {
+  // §6.7 explicitly allows this; it is just an ordinary parseable message.
+  auto parsed = parse_hip(serialize_hip(KeyReleased{1, vk::kZ}));
+  EXPECT_TRUE(parsed.ok());
+}
+
+}  // namespace
+}  // namespace ads

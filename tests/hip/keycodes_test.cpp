@@ -1,0 +1,69 @@
+#include "hip/keycodes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(Keycodes, DraftCitedValue) {
+  // §6.6: "F1 key is defined as 'int VK_F1 = 0x70;' in KeyEvent.java."
+  EXPECT_EQ(vk::kF1, 0x70u);
+  EXPECT_EQ(vk::kF12, 0x7Bu);
+}
+
+TEST(Keycodes, JavaIdentityMappings) {
+  // VK_0..9 and VK_A..Z equal their ASCII characters in KeyEvent.java.
+  EXPECT_EQ(vk::k0, static_cast<vk::KeyCode>('0'));
+  EXPECT_EQ(vk::k9, static_cast<vk::KeyCode>('9'));
+  EXPECT_EQ(vk::kA, static_cast<vk::KeyCode>('A'));
+  EXPECT_EQ(vk::kZ, static_cast<vk::KeyCode>('Z'));
+}
+
+TEST(Keycodes, WellKnownControlValues) {
+  EXPECT_EQ(vk::kEnter, 0x0Au);
+  EXPECT_EQ(vk::kEscape, 0x1Bu);
+  EXPECT_EQ(vk::kSpace, 0x20u);
+  EXPECT_EQ(vk::kShift, 0x10u);
+  EXPECT_EQ(vk::kControl, 0x11u);
+  EXPECT_EQ(vk::kAlt, 0x12u);
+  EXPECT_EQ(vk::kDelete, 0x7Fu);
+  EXPECT_EQ(vk::kLeft, 0x25u);
+  EXPECT_EQ(vk::kDown, 0x28u);
+}
+
+TEST(Keycodes, FromAsciiLetters) {
+  EXPECT_EQ(vk::from_ascii('a'), vk::kA);
+  EXPECT_EQ(vk::from_ascii('A'), vk::kA);
+  EXPECT_EQ(vk::from_ascii('z'), vk::kZ);
+  EXPECT_EQ(vk::from_ascii('5'), static_cast<vk::KeyCode>('5'));
+}
+
+TEST(Keycodes, FromAsciiPunctuation) {
+  EXPECT_EQ(vk::from_ascii(' '), vk::kSpace);
+  EXPECT_EQ(vk::from_ascii('\n'), vk::kEnter);
+  EXPECT_EQ(vk::from_ascii('\t'), vk::kTab);
+  EXPECT_EQ(vk::from_ascii(','), vk::kComma);
+  EXPECT_EQ(vk::from_ascii('['), vk::kOpenBracket);
+}
+
+TEST(Keycodes, FromAsciiUnmappedIsUndefined) {
+  EXPECT_EQ(vk::from_ascii('!'), vk::kUndefined);
+  EXPECT_EQ(vk::from_ascii('\x01'), vk::kUndefined);
+}
+
+TEST(Keycodes, Names) {
+  EXPECT_EQ(vk::name_of(vk::kF1), "F1");
+  EXPECT_EQ(vk::name_of(vk::kEnter), "Enter");
+  EXPECT_EQ(vk::name_of(vk::kA), "A");
+  EXPECT_EQ(vk::name_of(vk::k9), "9");
+  EXPECT_TRUE(vk::name_of(0xBEEF).empty());
+}
+
+TEST(Keycodes, IsKnown) {
+  EXPECT_TRUE(vk::is_known(vk::kF5));
+  EXPECT_TRUE(vk::is_known(vk::kZ));
+  EXPECT_FALSE(vk::is_known(0xBEEF));
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,94 @@
+#include "hip/utf8.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(Utf8, ValidAscii) {
+  EXPECT_TRUE(is_valid_utf8(""));
+  EXPECT_TRUE(is_valid_utf8("hello world 123"));
+}
+
+TEST(Utf8, ValidMultibyte) {
+  EXPECT_TRUE(is_valid_utf8("caf\xC3\xA9"));                 // U+00E9
+  EXPECT_TRUE(is_valid_utf8("\xE2\x82\xAC"));                // U+20AC
+  EXPECT_TRUE(is_valid_utf8("\xF0\x9F\x98\x80"));            // U+1F600
+}
+
+TEST(Utf8, InvalidSequences) {
+  EXPECT_FALSE(is_valid_utf8("\x80"));          // stray continuation
+  EXPECT_FALSE(is_valid_utf8("\xC3"));          // truncated 2-byte
+  EXPECT_FALSE(is_valid_utf8("\xE2\x82"));      // truncated 3-byte
+  EXPECT_FALSE(is_valid_utf8("\xF8\x88\x80\x80\x80"));  // 5-byte form
+  EXPECT_FALSE(is_valid_utf8("\xC3\x28"));      // bad continuation
+}
+
+TEST(Utf8, OverlongRejected) {
+  EXPECT_FALSE(is_valid_utf8("\xC0\x80"));          // overlong NUL
+  EXPECT_FALSE(is_valid_utf8("\xE0\x80\xAF"));      // overlong '/'
+  EXPECT_FALSE(is_valid_utf8("\xF0\x80\x80\x80"));  // overlong
+}
+
+TEST(Utf8, SurrogatesRejected) {
+  EXPECT_FALSE(is_valid_utf8("\xED\xA0\x80"));  // U+D800
+  EXPECT_FALSE(is_valid_utf8("\xED\xBF\xBF"));  // U+DFFF
+}
+
+TEST(Utf8, AboveMaxRejected) {
+  EXPECT_FALSE(is_valid_utf8("\xF4\x90\x80\x80"));  // U+110000
+}
+
+TEST(Utf8, DecodeYieldsCodePoints) {
+  std::vector<char32_t> cps;
+  ASSERT_TRUE(decode_utf8("a\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80", cps));
+  ASSERT_EQ(cps.size(), 4u);
+  EXPECT_EQ(cps[0], U'a');
+  EXPECT_EQ(cps[1], char32_t{0xE9});
+  EXPECT_EQ(cps[2], char32_t{0x20AC});
+  EXPECT_EQ(cps[3], char32_t{0x1F600});
+}
+
+TEST(Utf8, EncodeRoundTrip) {
+  for (char32_t cp : {char32_t{'x'}, char32_t{0xE9}, char32_t{0x20AC},
+                      char32_t{0x1F600}, char32_t{0x10FFFF}}) {
+    const std::string s = encode_utf8(cp);
+    std::vector<char32_t> cps;
+    ASSERT_TRUE(decode_utf8(s, cps));
+    ASSERT_EQ(cps.size(), 1u);
+    EXPECT_EQ(cps[0], cp);
+  }
+}
+
+TEST(Utf8, SplitRespectsLimitAndBoundaries) {
+  // §6.8: long strings go in multiple KeyTyped messages; the split must not
+  // cut a multi-byte sequence.
+  std::string s;
+  for (int i = 0; i < 100; ++i) s += "\xE2\x82\xAC";  // 300 bytes of €
+  const auto chunks = split_utf8(s, 7);  // 7 is not a multiple of 3
+  std::string rejoined;
+  for (const auto& c : chunks) {
+    EXPECT_LE(c.size(), 7u);
+    EXPECT_TRUE(is_valid_utf8(c));
+    rejoined += c;
+  }
+  EXPECT_EQ(rejoined, s);
+}
+
+TEST(Utf8, SplitAsciiExact) {
+  const auto chunks = split_utf8("abcdefgh", 4);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], "abcd");
+  EXPECT_EQ(chunks[1], "efgh");
+}
+
+TEST(Utf8, SplitShortStringSingleChunk) {
+  const auto chunks = split_utf8("hi", 100);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], "hi");
+}
+
+TEST(Utf8, SplitEmpty) { EXPECT_TRUE(split_utf8("", 8).empty()); }
+
+}  // namespace
+}  // namespace ads

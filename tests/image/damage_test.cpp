@@ -1,0 +1,119 @@
+#include "image/damage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+std::int64_t total_area(const std::vector<Rect>& rects) {
+  std::int64_t a = 0;
+  for (const auto& r : rects) a += r.area();
+  return a;
+}
+
+bool covers(const std::vector<Rect>& rects, Point p) {
+  for (const auto& r : rects) {
+    if (r.contains(p)) return true;
+  }
+  return false;
+}
+
+TEST(DamageTracker, FirstFrameIsFullyDamaged) {
+  DamageTracker tracker(32);
+  Image frame(100, 80, kBlack);
+  auto damage = tracker.update(frame);
+  EXPECT_EQ(total_area(damage), 100 * 80);
+}
+
+TEST(DamageTracker, UnchangedFrameReportsNothing) {
+  DamageTracker tracker(32);
+  Image frame(100, 80, kBlack);
+  tracker.update(frame);
+  EXPECT_TRUE(tracker.update(frame).empty());
+}
+
+TEST(DamageTracker, SinglePixelChangeFoundWithinOneTile) {
+  DamageTracker tracker(32);
+  Image frame(128, 128, kBlack);
+  tracker.update(frame);
+  frame.set(70, 40, kWhite);
+  auto damage = tracker.update(frame);
+  ASSERT_FALSE(damage.empty());
+  EXPECT_TRUE(covers(damage, {70, 40}));
+  // Damage granularity is one tile.
+  EXPECT_LE(total_area(damage), 32 * 32);
+}
+
+TEST(DamageTracker, DamageCoversAllChanges) {
+  DamageTracker tracker(16);
+  Image frame(200, 200, kBlack);
+  tracker.update(frame);
+  frame.fill_rect({10, 10, 50, 5}, kWhite);
+  frame.fill_rect({150, 180, 30, 10}, kWhite);
+  auto damage = tracker.update(frame);
+  EXPECT_TRUE(covers(damage, {10, 10}));
+  EXPECT_TRUE(covers(damage, {59, 14}));
+  EXPECT_TRUE(covers(damage, {150, 180}));
+  EXPECT_TRUE(covers(damage, {179, 189}));
+}
+
+TEST(DamageTracker, ResizeTriggersFullDamage) {
+  DamageTracker tracker(32);
+  tracker.update(Image(100, 100, kBlack));
+  auto damage = tracker.update(Image(200, 100, kBlack));
+  EXPECT_EQ(total_area(damage), 200 * 100);
+}
+
+TEST(DamageTracker, ResetForcesFullDamage) {
+  DamageTracker tracker(32);
+  Image frame(64, 64, kBlack);
+  tracker.update(frame);
+  tracker.reset();
+  EXPECT_EQ(total_area(tracker.update(frame)), 64 * 64);
+}
+
+TEST(DamageTracker, EdgeTilesClippedToFrame) {
+  // 100 is not a multiple of 32; edge tiles must not extend past bounds.
+  DamageTracker tracker(32);
+  Image frame(100, 100, kBlack);
+  tracker.update(frame);
+  frame.set(99, 99, kWhite);
+  auto damage = tracker.update(frame);
+  ASSERT_FALSE(damage.empty());
+  for (const auto& r : damage) {
+    EXPECT_LE(r.right(), 100);
+    EXPECT_LE(r.bottom(), 100);
+  }
+}
+
+TEST(DamageTracker, AdjacentDirtyTilesMerge) {
+  DamageTracker tracker(32);
+  Image frame(128, 128, kBlack);
+  tracker.update(frame);
+  frame.fill_rect({0, 0, 128, 32}, kWhite);  // full top band: 4 tiles
+  auto damage = tracker.update(frame);
+  ASSERT_EQ(damage.size(), 1u);
+  EXPECT_EQ(damage[0], (Rect{0, 0, 128, 32}));
+}
+
+class DamageTileSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DamageTileSizes, DetectsChangeAtAnyGranularity) {
+  DamageTracker tracker(GetParam());
+  Image frame(130, 70, kBlack);
+  tracker.update(frame);
+  frame.fill_rect({40, 30, 20, 10}, kWhite);
+  auto damage = tracker.update(frame);
+  EXPECT_TRUE(covers(damage, {40, 30}));
+  EXPECT_TRUE(covers(damage, {59, 39}));
+  // Everything reported must lie within bounds.
+  for (const auto& r : damage) {
+    EXPECT_TRUE(frame.bounds().contains(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, DamageTileSizes,
+                         ::testing::Values(8, 16, 32, 33, 64, 128));
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,136 @@
+#include "image/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(Rect, BasicAccessors) {
+  const Rect r{10, 20, 30, 40};
+  EXPECT_EQ(r.right(), 40);
+  EXPECT_EQ(r.bottom(), 60);
+  EXPECT_EQ(r.area(), 1200);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(Rect{}.empty());
+  EXPECT_TRUE((Rect{0, 0, 10, 0}).empty());
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r{10, 10, 5, 5};
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_TRUE(r.contains(Point{14, 14}));
+  EXPECT_FALSE(r.contains(Point{15, 14}));  // right edge exclusive
+  EXPECT_FALSE(r.contains(Point{9, 10}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0, 0, 100, 100};
+  EXPECT_TRUE(outer.contains(Rect{10, 10, 20, 20}));
+  EXPECT_TRUE(outer.contains(Rect{0, 0, 100, 100}));
+  EXPECT_FALSE(outer.contains(Rect{90, 90, 20, 20}));
+  EXPECT_TRUE(outer.contains(Rect{}));  // empty is contained anywhere
+}
+
+TEST(Rect, Translated) {
+  EXPECT_EQ((Rect{10, 20, 5, 5}).translated(-10, 5), (Rect{0, 25, 5, 5}));
+}
+
+TEST(Intersect, OverlappingAndDisjoint) {
+  EXPECT_EQ(intersect({0, 0, 10, 10}, {5, 5, 10, 10}), (Rect{5, 5, 5, 5}));
+  EXPECT_TRUE(intersect({0, 0, 10, 10}, {10, 0, 5, 5}).empty());  // touching edges
+  EXPECT_TRUE(intersect({0, 0, 10, 10}, {20, 20, 5, 5}).empty());
+}
+
+TEST(BoundingUnion, CoversBoth) {
+  EXPECT_EQ(bounding_union({0, 0, 10, 10}, {20, 20, 5, 5}), (Rect{0, 0, 25, 25}));
+  EXPECT_EQ(bounding_union({}, {1, 2, 3, 4}), (Rect{1, 2, 3, 4}));
+  EXPECT_EQ(bounding_union({1, 2, 3, 4}, {}), (Rect{1, 2, 3, 4}));
+}
+
+TEST(Subtract, DisjointReturnsOriginal) {
+  auto parts = subtract({0, 0, 10, 10}, {20, 20, 5, 5});
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], (Rect{0, 0, 10, 10}));
+}
+
+TEST(Subtract, FullyCoveredReturnsNothing) {
+  EXPECT_TRUE(subtract({5, 5, 5, 5}, {0, 0, 100, 100}).empty());
+}
+
+TEST(Subtract, CenterHoleProducesFourParts) {
+  auto parts = subtract({0, 0, 30, 30}, {10, 10, 10, 10});
+  ASSERT_EQ(parts.size(), 4u);
+  std::int64_t area = 0;
+  for (const auto& p : parts) {
+    area += p.area();
+    EXPECT_TRUE(intersect(p, {10, 10, 10, 10}).empty());
+  }
+  EXPECT_EQ(area, 30 * 30 - 10 * 10);
+}
+
+TEST(Subtract, PartsAreDisjoint) {
+  auto parts = subtract({0, 0, 30, 30}, {15, -5, 10, 50});
+  std::int64_t area = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    area += parts[i].area();
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      EXPECT_TRUE(intersect(parts[i], parts[j]).empty());
+    }
+  }
+  EXPECT_EQ(area, 30 * 30 - 10 * 30);
+}
+
+TEST(Region, AddKeepsDisjointArea) {
+  Region region;
+  region.add({0, 0, 10, 10});
+  region.add({5, 5, 10, 10});  // overlaps by 5x5
+  EXPECT_EQ(region.area(), 100 + 100 - 25);
+}
+
+TEST(Region, AddDuplicateIsNoop) {
+  Region region;
+  region.add({0, 0, 10, 10});
+  region.add({0, 0, 10, 10});
+  EXPECT_EQ(region.area(), 100);
+}
+
+TEST(Region, SubtractRect) {
+  Region region(Rect{0, 0, 20, 10});
+  region.subtract_rect({0, 0, 10, 10});
+  EXPECT_EQ(region.area(), 100);
+  EXPECT_FALSE(region.contains(Point{5, 5}));
+  EXPECT_TRUE(region.contains(Point{15, 5}));
+}
+
+TEST(Region, BoundsAndContains) {
+  Region region;
+  region.add({0, 0, 5, 5});
+  region.add({50, 50, 5, 5});
+  EXPECT_EQ(region.bounds(), (Rect{0, 0, 55, 55}));
+  EXPECT_TRUE(region.contains(Point{2, 2}));
+  EXPECT_FALSE(region.contains(Point{20, 20}));
+}
+
+TEST(Region, SimplifyMergesAdjacentTiles) {
+  Region region;
+  // Four tiles forming one 64x32 band.
+  region.add({0, 0, 32, 32});
+  region.add({32, 0, 32, 32});
+  region.add({0, 32, 32, 32});
+  region.add({32, 32, 32, 32});
+  region.simplify();
+  ASSERT_EQ(region.rects().size(), 1u);
+  EXPECT_EQ(region.rects()[0], (Rect{0, 0, 64, 64}));
+}
+
+TEST(Region, EmptyRectIgnored) {
+  Region region;
+  region.add({});
+  EXPECT_TRUE(region.empty());
+  EXPECT_EQ(region.area(), 0);
+}
+
+TEST(ToString, Format) { EXPECT_EQ(to_string(Rect{1, 2, 3, 4}), "[1,2 3x4]"); }
+
+}  // namespace
+}  // namespace ads

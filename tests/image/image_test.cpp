@@ -1,0 +1,120 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image img(4, 3, kWhite);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.at(0, 0), kWhite);
+  img.fill(kBlack);
+  EXPECT_EQ(img.at(3, 2), kBlack);
+}
+
+TEST(Image, FillRectClipsToBounds) {
+  Image img(10, 10, kBlack);
+  img.fill_rect({8, 8, 10, 10}, kWhite);
+  EXPECT_EQ(img.at(9, 9), kWhite);
+  EXPECT_EQ(img.at(7, 7), kBlack);
+}
+
+TEST(Image, BlitCopiesSubRect) {
+  Image src(4, 4, kBlack);
+  src.set(1, 1, kWhite);
+  Image dst(10, 10, kBlack);
+  dst.blit(src, {0, 0, 4, 4}, {5, 5});
+  EXPECT_EQ(dst.at(6, 6), kWhite);
+  EXPECT_EQ(dst.at(5, 5), kBlack);
+}
+
+TEST(Image, BlitClipsAtDestinationEdge) {
+  Image src(4, 4, kWhite);
+  Image dst(10, 10, kBlack);
+  dst.blit(src, {0, 0, 4, 4}, {8, 8});
+  EXPECT_EQ(dst.at(9, 9), kWhite);
+  // No out-of-bounds write happened; interior untouched.
+  EXPECT_EQ(dst.at(7, 7), kBlack);
+}
+
+TEST(Image, MoveRectNonOverlapping) {
+  Image img(10, 10, kBlack);
+  img.fill_rect({0, 0, 2, 2}, kWhite);
+  img.move_rect({0, 0, 2, 2}, {5, 5});
+  EXPECT_EQ(img.at(5, 5), kWhite);
+  EXPECT_EQ(img.at(6, 6), kWhite);
+  // Source is not cleared by MoveRectangle semantics (a copy).
+  EXPECT_EQ(img.at(0, 0), kWhite);
+}
+
+TEST(Image, MoveRectOverlappingDownward) {
+  // Scroll-down by 1 row: rows must be copied bottom-up to survive overlap.
+  Image img(1, 5, kBlack);
+  for (int y = 0; y < 5; ++y) {
+    img.set(0, y, Pixel{static_cast<std::uint8_t>(y), 0, 0, 255});
+  }
+  img.move_rect({0, 0, 1, 4}, {0, 1});
+  for (int y = 1; y < 5; ++y) {
+    EXPECT_EQ(img.at(0, y).r, y - 1) << "row " << y;
+  }
+  EXPECT_EQ(img.at(0, 0).r, 0);  // original top row untouched
+}
+
+TEST(Image, MoveRectOverlappingUpward) {
+  // Scroll-up by 2: typical document scroll; copy must go top-down.
+  Image img(1, 6, kBlack);
+  for (int y = 0; y < 6; ++y) {
+    img.set(0, y, Pixel{static_cast<std::uint8_t>(10 * y), 0, 0, 255});
+  }
+  img.move_rect({0, 2, 1, 4}, {0, 0});
+  for (int y = 0; y < 4; ++y) {
+    EXPECT_EQ(img.at(0, y).r, 10 * (y + 2)) << "row " << y;
+  }
+}
+
+TEST(Image, MoveRectHorizontalOverlap) {
+  Image img(6, 1, kBlack);
+  for (int x = 0; x < 6; ++x) {
+    img.set(x, 0, Pixel{static_cast<std::uint8_t>(x + 1), 0, 0, 255});
+  }
+  img.move_rect({0, 0, 4, 1}, {2, 0});
+  EXPECT_EQ(img.at(2, 0).r, 1);
+  EXPECT_EQ(img.at(3, 0).r, 2);
+  EXPECT_EQ(img.at(4, 0).r, 3);
+  EXPECT_EQ(img.at(5, 0).r, 4);
+}
+
+TEST(Image, CropExtractsRegion) {
+  Image img(10, 10, kBlack);
+  img.fill_rect({2, 2, 3, 3}, kWhite);
+  Image sub = img.crop({2, 2, 3, 3});
+  EXPECT_EQ(sub.width(), 3);
+  EXPECT_EQ(sub.height(), 3);
+  EXPECT_EQ(sub.at(0, 0), kWhite);
+}
+
+TEST(Image, CropClipsToBounds) {
+  Image img(10, 10, kWhite);
+  Image sub = img.crop({8, 8, 10, 10});
+  EXPECT_EQ(sub.width(), 2);
+  EXPECT_EQ(sub.height(), 2);
+}
+
+TEST(Image, EqualityIsPixelwise) {
+  Image a(3, 3, kBlack);
+  Image b(3, 3, kBlack);
+  EXPECT_EQ(a, b);
+  b.set(1, 1, kWhite);
+  EXPECT_NE(a, b);
+}
+
+TEST(Image, EmptyImage) {
+  Image img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.bounds(), (Rect{0, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace ads

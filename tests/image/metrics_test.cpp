@@ -1,0 +1,49 @@
+#include "image/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ads {
+namespace {
+
+TEST(Metrics, IdenticalImagesInfinitePsnr) {
+  Image a(10, 10, kWhite);
+  EXPECT_EQ(mse(a, a), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+  EXPECT_EQ(diff_pixel_count(a, a), 0);
+}
+
+TEST(Metrics, MaximalDifference) {
+  Image a(10, 10, kBlack);
+  Image b(10, 10, kWhite);
+  EXPECT_DOUBLE_EQ(mse(a, b), 255.0 * 255.0);
+  EXPECT_NEAR(psnr(a, b), 0.0, 1e-9);
+  EXPECT_EQ(diff_pixel_count(a, b), 100);
+}
+
+TEST(Metrics, SinglePixelDelta) {
+  Image a(10, 10, kBlack);
+  Image b = a;
+  b.set(3, 3, Pixel{30, 0, 0, 255});
+  // One channel of one pixel differs by 30 over 100 pixels * 3 channels.
+  EXPECT_NEAR(mse(a, b), 30.0 * 30.0 / 300.0, 1e-9);
+  EXPECT_EQ(diff_pixel_count(a, b), 1);
+}
+
+TEST(Metrics, AlphaIsIgnored) {
+  Image a(4, 4, Pixel{10, 20, 30, 255});
+  Image b(4, 4, Pixel{10, 20, 30, 0});
+  EXPECT_EQ(mse(a, b), 0.0);
+  EXPECT_EQ(diff_pixel_count(a, b), 0);
+}
+
+TEST(Metrics, PsnrMonotoneInError) {
+  Image ref(8, 8, Pixel{100, 100, 100, 255});
+  Image small_err(8, 8, Pixel{102, 100, 100, 255});
+  Image big_err(8, 8, Pixel{130, 100, 100, 255});
+  EXPECT_GT(psnr(ref, small_err), psnr(ref, big_err));
+}
+
+}  // namespace
+}  // namespace ads

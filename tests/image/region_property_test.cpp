@@ -1,0 +1,117 @@
+// Property-based tests of the Region algebra, the foundation for damage
+// accumulation and window visibility. Verified against a brute-force
+// bitmap model over randomised operation sequences.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "image/geometry.hpp"
+#include "util/prng.hpp"
+
+namespace ads {
+namespace {
+
+constexpr std::int64_t kGrid = 64;
+
+/// Brute-force reference: a boolean grid.
+struct GridModel {
+  std::vector<bool> cells = std::vector<bool>(kGrid * kGrid, false);
+
+  void add(const Rect& r) { paint(r, true); }
+  void subtract(const Rect& r) { paint(r, false); }
+  void paint(const Rect& r, bool value) {
+    const Rect c = intersect(r, {0, 0, kGrid, kGrid});
+    for (std::int64_t y = c.top; y < c.bottom(); ++y) {
+      for (std::int64_t x = c.left; x < c.right(); ++x) {
+        cells[static_cast<std::size_t>(y * kGrid + x)] = value;
+      }
+    }
+  }
+  std::int64_t area() const {
+    std::int64_t n = 0;
+    for (bool b : cells) n += b ? 1 : 0;
+    return n;
+  }
+  bool at(std::int64_t x, std::int64_t y) const {
+    return cells[static_cast<std::size_t>(y * kGrid + x)];
+  }
+};
+
+Rect random_rect(Prng& rng) {
+  const std::int64_t w = rng.range(0, 20);
+  const std::int64_t h = rng.range(0, 20);
+  return Rect{rng.range(0, kGrid - 1), rng.range(0, kGrid - 1), w, h};
+}
+
+class RegionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegionProperty, MatchesBitmapModelUnderRandomOps) {
+  Prng rng(GetParam());
+  Region region;
+  GridModel model;
+  for (int op = 0; op < 60; ++op) {
+    const Rect r = intersect(random_rect(rng), {0, 0, kGrid, kGrid});
+    if (rng.chance(0.65)) {
+      region.add(r);
+      model.add(r);
+    } else {
+      region.subtract_rect(r);
+      model.subtract(r);
+    }
+    if (rng.chance(0.3)) region.simplify();
+
+    ASSERT_EQ(region.area(), model.area()) << "op " << op;
+    // Disjointness invariant.
+    const auto& rects = region.rects();
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      for (std::size_t j = i + 1; j < rects.size(); ++j) {
+        ASSERT_TRUE(intersect(rects[i], rects[j]).empty()) << "op " << op;
+      }
+    }
+  }
+  // Full membership check at the end.
+  for (std::int64_t y = 0; y < kGrid; ++y) {
+    for (std::int64_t x = 0; x < kGrid; ++x) {
+      ASSERT_EQ(region.contains(Point{x, y}), model.at(x, y)) << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(SubtractProperty, PartitionInvariant) {
+  // subtract(a,b) together with a∩b must exactly partition a.
+  Prng rng(4242);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect a = random_rect(rng);
+    const Rect b = random_rect(rng);
+    const Rect inter = intersect(a, b);
+    auto parts = subtract(a, b);
+    std::int64_t area = inter.area();
+    for (const Rect& p : parts) {
+      area += p.area();
+      ASSERT_TRUE(a.contains(p));
+      ASSERT_TRUE(intersect(p, b).empty());
+    }
+    ASSERT_EQ(area, std::max<std::int64_t>(0, a.area()));
+  }
+}
+
+TEST(BoundingUnionProperty, ContainsBothInputs) {
+  Prng rng(777);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect a = random_rect(rng);
+    const Rect b = random_rect(rng);
+    const Rect u = bounding_union(a, b);
+    if (!a.empty()) {
+      ASSERT_TRUE(u.contains(a));
+    }
+    if (!b.empty()) {
+      ASSERT_TRUE(u.contains(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,88 @@
+#include "image/scale.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+Image checker(std::int64_t w, std::int64_t h, std::int64_t cell) {
+  Image img(w, h);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const bool on = ((x / cell) + (y / cell)) % 2 == 0;
+      img.set(x, y, on ? kWhite : kBlack);
+    }
+  }
+  return img;
+}
+
+TEST(Scale, IdentityReturnsEqualImage) {
+  const Image img = checker(32, 24, 4);
+  EXPECT_EQ(scale_image(img, 32, 24), img);
+}
+
+TEST(Scale, DegenerateTargetsEmpty) {
+  const Image img = checker(8, 8, 2);
+  EXPECT_TRUE(scale_image(img, 0, 10).empty());
+  EXPECT_TRUE(scale_image(img, 10, 0).empty());
+  EXPECT_TRUE(scale_image(Image{}, 10, 10).empty());
+}
+
+TEST(Scale, DownscaleDimensions) {
+  const Image img = checker(100, 80, 10);
+  const Image half = scale_image(img, 50, 40);
+  EXPECT_EQ(half.width(), 50);
+  EXPECT_EQ(half.height(), 40);
+}
+
+TEST(Scale, FlatColourSurvivesAnyScale) {
+  const Image img(37, 23, Pixel{90, 40, 200, 255});
+  for (auto filter : {ScaleFilter::kNearest, ScaleFilter::kBilinear}) {
+    const Image scaled = scale_image(img, 91, 11, filter);
+    for (const Pixel& p : scaled.pixels()) {
+      EXPECT_EQ(p, (Pixel{90, 40, 200, 255}));
+    }
+  }
+}
+
+TEST(Scale, NearestPreservesExactPalette) {
+  const Image img = checker(64, 64, 8);
+  const Image scaled = scale_image(img, 17, 29, ScaleFilter::kNearest);
+  for (const Pixel& p : scaled.pixels()) {
+    EXPECT_TRUE(p == kBlack || p == kWhite);
+  }
+}
+
+TEST(Scale, BilinearInterpolatesBetweenNeighbours) {
+  // Two-pixel gradient: the midpoint of a 3-wide upscale must be between.
+  Image img(2, 1);
+  img.set(0, 0, Pixel{0, 0, 0, 255});
+  img.set(1, 0, Pixel{200, 200, 200, 255});
+  const Image scaled = scale_image(img, 3, 1, ScaleFilter::kBilinear);
+  EXPECT_EQ(scaled.at(0, 0).r, 0);
+  EXPECT_EQ(scaled.at(2, 0).r, 200);
+  EXPECT_NEAR(scaled.at(1, 0).r, 100, 2);
+}
+
+TEST(Scale, UpscaleCornersExact) {
+  Image img(2, 2);
+  img.set(0, 0, Pixel{10, 0, 0, 255});
+  img.set(1, 0, Pixel{20, 0, 0, 255});
+  img.set(0, 1, Pixel{30, 0, 0, 255});
+  img.set(1, 1, Pixel{40, 0, 0, 255});
+  const Image up = scale_image(img, 9, 9, ScaleFilter::kBilinear);
+  EXPECT_EQ(up.at(0, 0).r, 10);
+  EXPECT_EQ(up.at(8, 0).r, 20);
+  EXPECT_EQ(up.at(0, 8).r, 30);
+  EXPECT_EQ(up.at(8, 8).r, 40);
+}
+
+TEST(Scale, OnePixelTarget) {
+  const Image img = checker(16, 16, 4);
+  const Image dot = scale_image(img, 1, 1);
+  EXPECT_EQ(dot.width(), 1);
+  EXPECT_EQ(dot.height(), 1);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,121 @@
+#include "image/scroll_detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace ads {
+namespace {
+
+/// Paint distinctive horizontal stripes so every row hash is unique.
+Image striped(std::int64_t w, std::int64_t h, std::uint64_t seed) {
+  Image img(w, h);
+  Prng rng(seed);
+  for (std::int64_t y = 0; y < h; ++y) {
+    const Pixel p{static_cast<std::uint8_t>(rng.next_u32()),
+                  static_cast<std::uint8_t>(rng.next_u32()),
+                  static_cast<std::uint8_t>(rng.next_u32()), 255};
+    img.fill_rect({0, y, w, 1}, p);
+  }
+  return img;
+}
+
+TEST(ScrollDetect, FindsUpwardScroll) {
+  const Image before = striped(64, 100, 42);
+  Image after = before;
+  after.move_rect({0, 10, 64, 90}, {0, 0});  // content moves up 10
+  auto match = detect_scroll(before, after, {0, 0, 64, 100});
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->dy, -10);
+  EXPECT_GE(match->confidence, 0.6);
+}
+
+TEST(ScrollDetect, FindsDownwardScroll) {
+  const Image before = striped(64, 100, 7);
+  Image after = before;
+  after.move_rect({0, 0, 64, 90}, {0, 10});
+  auto match = detect_scroll(before, after, {0, 0, 64, 100});
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->dy, 10);
+}
+
+TEST(ScrollDetect, SourceRectMapsOldToNew) {
+  const Image before = striped(32, 80, 3);
+  Image after = before;
+  after.move_rect({0, 8, 32, 72}, {0, 0});
+  auto match = detect_scroll(before, after, {0, 0, 32, 80});
+  ASSERT_TRUE(match.has_value());
+  // Applying the move to `before` must reproduce the moved band of `after`.
+  Image replay = before;
+  replay.move_rect(match->source, {match->source.left, match->source.top + match->dy});
+  const Rect moved{match->source.left, match->source.top + match->dy,
+                   match->source.width, match->source.height};
+  EXPECT_EQ(replay.crop(moved), after.crop(moved));
+}
+
+TEST(ScrollDetect, NoMatchOnUnrelatedFrames) {
+  const Image before = striped(64, 100, 1);
+  const Image after = striped(64, 100, 2);
+  EXPECT_FALSE(detect_scroll(before, after, {0, 0, 64, 100}).has_value());
+}
+
+TEST(ScrollDetect, NoMatchOnIdenticalFrames) {
+  const Image img = striped(64, 100, 5);
+  EXPECT_FALSE(detect_scroll(img, img, {0, 0, 64, 100}).has_value());
+}
+
+TEST(ScrollDetect, RespectsMaxDisplacement) {
+  const Image before = striped(64, 300, 9);
+  Image after = before;
+  after.move_rect({0, 200, 64, 100}, {0, 0});  // dy = -200
+  ScrollDetectorOptions opts;
+  opts.max_displacement = 100;
+  EXPECT_FALSE(detect_scroll(before, after, {0, 0, 64, 300}, opts).has_value());
+  opts.max_displacement = 250;
+  auto match = detect_scroll(before, after, {0, 0, 64, 300}, opts);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->dy, -200);
+}
+
+TEST(ScrollDetect, TooSmallAreaRejected) {
+  const Image before = striped(64, 10, 11);
+  Image after = before;
+  after.move_rect({0, 2, 64, 8}, {0, 0});
+  ScrollDetectorOptions opts;
+  opts.min_rows = 16;
+  EXPECT_FALSE(detect_scroll(before, after, {0, 0, 64, 10}, opts).has_value());
+}
+
+TEST(ScrollDetect, SubRegionScrollDetectedWithinArea) {
+  // Only the middle band scrolls (e.g. a document window inside a desktop).
+  Image before(200, 200, kBlack);
+  const Image content = striped(100, 100, 21);
+  before.blit(content, {0, 0, 100, 100}, {50, 50});
+  Image after = before;
+  after.move_rect({50, 60, 100, 90}, {50, 50});
+  auto match = detect_scroll(before, after, {50, 50, 100, 100});
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->dy, -10);
+}
+
+class ScrollAmounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScrollAmounts, DetectsExactDisplacement) {
+  const int dy = GetParam();
+  const Image before = striped(48, 256, 33);
+  Image after = before;
+  if (dy > 0) {
+    after.move_rect({0, 0, 48, 256 - dy}, {0, dy});
+  } else {
+    after.move_rect({0, -dy, 48, 256 + dy}, {0, 0});
+  }
+  auto match = detect_scroll(before, after, {0, 0, 48, 256});
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->dy, dy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Displacements, ScrollAmounts,
+                         ::testing::Values(-64, -17, -3, -1, 1, 2, 5, 16, 50, 100));
+
+}  // namespace
+}  // namespace ads

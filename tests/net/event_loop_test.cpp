@@ -1,0 +1,91 @@
+#include "net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.at(300, [&] { order.push_back(3); });
+  loop.at(100, [&] { order.push_back(1); });
+  loop.at(200, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 300u);
+}
+
+TEST(EventLoop, TiesBreakByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.at(50, [&] { order.push_back(1); });
+  loop.at(50, [&] { order.push_back(2); });
+  loop.at(50, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, AfterSchedulesRelative) {
+  EventLoop loop;
+  SimTime fired_at = 0;
+  loop.at(100, [&] {
+    loop.after(50, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  SimTime fired_at = 0;
+  loop.at(100, [&] {
+    loop.at(10, [&] { fired_at = loop.now(); });  // in the past
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.at(100, [&] { ++fired; });
+  loop.at(200, [&] { ++fired; });
+  loop.run_until(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 150u);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_until(250);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, EventsScheduledDuringRunExecute) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) loop.after(10, chain);
+  };
+  loop.after(10, chain);
+  loop.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.now(), 100u);
+}
+
+TEST(EventLoop, StepExecutesOneEvent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.at(1, [&] { ++fired; });
+  loop.at(2, [&] { ++fired; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+}
+
+TEST(SimTimeHelpers, Conversions) {
+  EXPECT_EQ(sim_ms(5), 5000u);
+  EXPECT_EQ(sim_sec(2), 2'000'000u);
+}
+
+}  // namespace
+}  // namespace ads

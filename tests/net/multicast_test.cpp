@@ -1,0 +1,69 @@
+#include "net/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(MulticastGroup, ReplicatesToAllMembers) {
+  EventLoop loop;
+  MulticastGroup group(loop);
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  group.add_member({}).set_receiver([&](Bytes) { ++a; });
+  group.add_member({}).set_receiver([&](Bytes) { ++b; });
+  group.add_member({}).set_receiver([&](Bytes) { ++c; });
+
+  const Bytes datagram = {1, 2, 3};
+  for (int i = 0; i < 10; ++i) group.send(datagram);
+  loop.run();
+  EXPECT_EQ(a, 10);
+  EXPECT_EQ(b, 10);
+  EXPECT_EQ(c, 10);
+  EXPECT_EQ(group.datagrams_sent(), 10u);
+  EXPECT_EQ(group.member_count(), 3u);
+}
+
+TEST(MulticastGroup, MembersExperienceIndependentLoss) {
+  EventLoop loop;
+  MulticastGroup group(loop);
+  int clean = 0;
+  int lossy = 0;
+  group.add_member({}).set_receiver([&](Bytes) { ++clean; });
+  UdpChannelOptions bad;
+  bad.loss = 0.5;
+  bad.seed = 7;
+  group.add_member(bad).set_receiver([&](Bytes) { ++lossy; });
+
+  for (int i = 0; i < 500; ++i) group.send(Bytes{static_cast<std::uint8_t>(i)});
+  loop.run();
+  EXPECT_EQ(clean, 500);
+  EXPECT_NEAR(static_cast<double>(lossy) / 500.0, 0.5, 0.08);
+}
+
+TEST(MulticastGroup, MembersHaveIndependentDelays) {
+  EventLoop loop;
+  MulticastGroup group(loop);
+  SimTime fast_at = 0;
+  SimTime slow_at = 0;
+  UdpChannelOptions fast;
+  fast.delay_us = 1000;
+  UdpChannelOptions slow;
+  slow.delay_us = 90'000;
+  group.add_member(fast).set_receiver([&](Bytes) { fast_at = loop.now(); });
+  group.add_member(slow).set_receiver([&](Bytes) { slow_at = loop.now(); });
+  group.send(Bytes{1});
+  loop.run();
+  EXPECT_EQ(fast_at, 1000u);
+  EXPECT_EQ(slow_at, 90'000u);
+}
+
+TEST(MulticastGroup, EmptyGroupSendReturnsFalse) {
+  EventLoop loop;
+  MulticastGroup group(loop);
+  EXPECT_FALSE(group.send(Bytes{1}));
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,62 @@
+#include "net/rate_limiter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket bucket(8000, 1000);
+  EXPECT_DOUBLE_EQ(bucket.available(0), 1000.0);
+}
+
+TEST(TokenBucket, UnlimitedNeverBlocks) {
+  TokenBucket bucket(0, 0);
+  EXPECT_TRUE(bucket.unlimited());
+  EXPECT_TRUE(bucket.try_consume(1'000'000'000, 0));
+}
+
+TEST(TokenBucket, TryConsumeSpendsTokens) {
+  TokenBucket bucket(8000, 1000);
+  EXPECT_TRUE(bucket.try_consume(600, 0));
+  EXPECT_FALSE(bucket.try_consume(600, 0));  // only 400 left
+  EXPECT_TRUE(bucket.try_consume(400, 0));
+}
+
+TEST(TokenBucket, RefillsAtConfiguredRate) {
+  TokenBucket bucket(8000, 1000);  // 1000 bytes/s
+  ASSERT_TRUE(bucket.try_consume(1000, 0));
+  EXPECT_FALSE(bucket.try_consume(100, 0));
+  // After 100 ms: 100 bytes refilled.
+  EXPECT_NEAR(bucket.available(100'000), 100.0, 1.0);
+  EXPECT_TRUE(bucket.try_consume(100, 100'000));
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket bucket(8000, 1000);
+  EXPECT_NEAR(bucket.available(3'600'000'000ull), 1000.0, 1e-6);
+}
+
+TEST(TokenBucket, ConsumeMayGoNegative) {
+  TokenBucket bucket(8000, 1000);
+  bucket.consume(1500, 0);
+  EXPECT_LT(bucket.available(0), 0.0);
+  // Recovery takes the deficit plus the request into account.
+  EXPECT_FALSE(bucket.try_consume(1, 0));
+  EXPECT_TRUE(bucket.try_consume(1, 600'000));  // -500 + 600 refilled
+}
+
+TEST(TokenBucket, LongRunRateBounded) {
+  // Greedy sender: consume whenever possible; average rate must not exceed
+  // the configured rate by more than the burst.
+  TokenBucket bucket(80'000, 2000);  // 10 kB/s
+  std::uint64_t sent = 0;
+  for (SimTime t = 0; t < 10'000'000; t += 1000) {  // 10 s, 1 ms steps
+    if (bucket.try_consume(500, t)) sent += 500;
+  }
+  EXPECT_LE(sent, 10'000 * 10 + 2000);
+  EXPECT_GE(sent, 10'000 * 10 - 2000);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,106 @@
+#include "net/tcp_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ads {
+namespace {
+
+TEST(TcpChannel, DeliversInOrderAndIntact) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 1'000'000;
+  opts.delay_us = 1000;
+  TcpChannel ch(loop, opts);
+  Bytes received;
+  ch.set_receiver([&](Bytes d) { received.insert(received.end(), d.begin(), d.end()); });
+  ch.send(Bytes{1, 2, 3});
+  ch.send(Bytes{4, 5});
+  loop.run();
+  EXPECT_EQ(received, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(TcpChannel, SerialisationDelayMatchesBandwidth) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 8000;  // 1000 B/s
+  opts.delay_us = 10'000;
+  TcpChannel ch(loop, opts);
+  SimTime arrival = 0;
+  ch.set_receiver([&](Bytes) { arrival = loop.now(); });
+  ch.send(Bytes(1000, 0));  // 1 second to serialise
+  loop.run();
+  EXPECT_EQ(arrival, 1'000'000u + 10'000u);
+}
+
+TEST(TcpChannel, PartialWriteWhenBufferFull) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 8000;
+  opts.send_buffer_bytes = 1000;
+  TcpChannel ch(loop, opts);
+  ch.set_receiver([](Bytes) {});
+  const std::size_t first = ch.send(Bytes(800, 1));
+  EXPECT_EQ(first, 800u);
+  const std::size_t second = ch.send(Bytes(800, 2));
+  EXPECT_LT(second, 800u);
+  EXPECT_EQ(ch.stats().partial_writes, 1u);
+}
+
+TEST(TcpChannel, BacklogDrainsOverTime) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 8000;  // 1000 B/s
+  opts.send_buffer_bytes = 10'000;
+  TcpChannel ch(loop, opts);
+  ch.set_receiver([](Bytes) {});
+  ch.send(Bytes(1000, 0));
+  EXPECT_GT(ch.backlog_bytes(), 900u);
+  loop.run_until(500'000);  // half the serialisation time
+  EXPECT_NEAR(static_cast<double>(ch.backlog_bytes()), 500.0, 20.0);
+  loop.run_until(2'000'000);
+  EXPECT_EQ(ch.backlog_bytes(), 0u);
+}
+
+TEST(TcpChannel, ZeroBacklogMeansWritable) {
+  EventLoop loop;
+  TcpChannel ch(loop, {});
+  EXPECT_EQ(ch.backlog_bytes(), 0u);
+  EXPECT_EQ(ch.free_space(), TcpChannelOptions{}.send_buffer_bytes);
+}
+
+TEST(TcpChannel, ByteAccounting) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.send_buffer_bytes = 100;
+  TcpChannel ch(loop, opts);
+  std::size_t delivered = 0;
+  ch.set_receiver([&](Bytes d) { delivered += d.size(); });
+  ch.send(Bytes(60, 0));
+  ch.send(Bytes(60, 0));  // only 40 fit
+  loop.run();
+  EXPECT_EQ(ch.stats().bytes_offered, 120u);
+  EXPECT_EQ(ch.stats().bytes_accepted, 100u);
+  EXPECT_EQ(delivered, 100u);
+}
+
+TEST(TcpChannel, ManySmallWritesAllArrive) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 10'000'000;
+  TcpChannel ch(loop, opts);
+  std::size_t total = 0;
+  ch.set_receiver([&](Bytes d) { total += d.size(); });
+  std::size_t sent = 0;
+  for (int i = 0; i < 500; ++i) {
+    sent += ch.send(Bytes(37, static_cast<std::uint8_t>(i)));
+    loop.run_until(loop.now() + 1000);
+  }
+  loop.run();
+  EXPECT_EQ(total, sent);
+  EXPECT_EQ(sent, 500u * 37u);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,137 @@
+#include "net/udp_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ads {
+namespace {
+
+Bytes payload(std::size_t n, std::uint8_t fill = 0xAB) { return Bytes(n, fill); }
+
+TEST(UdpChannel, DeliversAfterPropagationDelay) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.delay_us = 5000;
+  UdpChannel ch(loop, opts);
+  SimTime arrived = 0;
+  ch.set_receiver([&](Bytes) { arrived = loop.now(); });
+  loop.at(1000, [&] { ch.send(payload(100)); });
+  loop.run();
+  EXPECT_EQ(arrived, 6000u);
+}
+
+TEST(UdpChannel, LosslessByDefault) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  UdpChannel ch(loop, opts);
+  int received = 0;
+  ch.set_receiver([&](Bytes) { ++received; });
+  for (int i = 0; i < 100; ++i) ch.send(payload(10));
+  loop.run();
+  EXPECT_EQ(received, 100);
+  EXPECT_EQ(ch.stats().lost, 0u);
+}
+
+TEST(UdpChannel, LossRateApproximatelyRespected) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.loss = 0.3;
+  opts.seed = 9;
+  UdpChannel ch(loop, opts);
+  int received = 0;
+  ch.set_receiver([&](Bytes) { ++received; });
+  for (int i = 0; i < 2000; ++i) ch.send(payload(10));
+  loop.run();
+  EXPECT_NEAR(static_cast<double>(received) / 2000.0, 0.7, 0.05);
+  EXPECT_EQ(ch.stats().lost + ch.stats().delivered, 2000u);
+}
+
+TEST(UdpChannel, DuplicationProducesExtraCopies) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.duplicate = 0.5;
+  opts.seed = 11;
+  UdpChannel ch(loop, opts);
+  int received = 0;
+  ch.set_receiver([&](Bytes) { ++received; });
+  for (int i = 0; i < 1000; ++i) ch.send(payload(10));
+  loop.run();
+  EXPECT_GT(received, 1300);
+  EXPECT_EQ(static_cast<std::uint64_t>(received),
+            1000 + ch.stats().duplicated);
+}
+
+TEST(UdpChannel, JitterReordersPackets) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.delay_us = 1000;
+  opts.jitter_us = 50000;
+  opts.seed = 13;
+  UdpChannel ch(loop, opts);
+  std::vector<std::uint8_t> order;
+  ch.set_receiver([&](Bytes d) { order.push_back(d[0]); });
+  for (std::uint8_t i = 0; i < 50; ++i) ch.send(Bytes{i});
+  loop.run();
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(UdpChannel, BandwidthSerialisesBackToBack) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.bandwidth_bps = 8000;  // 1000 bytes/sec
+  opts.delay_us = 0;
+  UdpChannel ch(loop, opts);
+  std::vector<SimTime> arrivals;
+  ch.set_receiver([&](Bytes) { arrivals.push_back(loop.now()); });
+  ch.send(payload(500));  // 0.5 s serialisation
+  ch.send(payload(500));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 500'000u);
+  EXPECT_EQ(arrivals[1], 1'000'000u);
+}
+
+TEST(UdpChannel, QueueTailDropsWhenFull) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.bandwidth_bps = 8000;  // 1000 B/s
+  opts.queue_bytes = 1500;
+  UdpChannel ch(loop, opts);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) accepted += ch.send(payload(500)) ? 1 : 0;
+  EXPECT_LT(accepted, 10);
+  EXPECT_GT(ch.stats().queue_dropped, 0u);
+  loop.run();
+  EXPECT_EQ(ch.stats().delivered, static_cast<std::uint64_t>(accepted));
+}
+
+TEST(UdpChannel, StatsCountBytes) {
+  EventLoop loop;
+  UdpChannel ch(loop, {});
+  ch.set_receiver([](Bytes) {});
+  ch.send(payload(123));
+  loop.run();
+  EXPECT_EQ(ch.stats().bytes_delivered, 123u);
+}
+
+TEST(UdpChannel, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    EventLoop loop;
+    UdpChannelOptions opts;
+    opts.loss = 0.5;
+    opts.seed = seed;
+    UdpChannel ch(loop, opts);
+    std::vector<std::uint8_t> got;
+    ch.set_receiver([&](Bytes d) { got.push_back(d[0]); });
+    for (std::uint8_t i = 0; i < 100; ++i) ch.send(Bytes{i});
+    loop.run();
+    return got;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace ads

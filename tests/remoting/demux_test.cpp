@@ -1,0 +1,113 @@
+#include "remoting/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(RemotingDemux, RoutesAllFourTypes) {
+  RemotingDemux demux;
+
+  WindowManagerInfo wmi;
+  wmi.records = {{1, 0, 0, 0, 100, 100}};
+  auto r1 = demux.feed(wmi.serialize(), false);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->has_value());
+  EXPECT_TRUE(std::holds_alternative<WindowManagerInfo>(**r1));
+
+  RegionUpdate ru;
+  ru.window_id = 1;
+  ru.content_pt = 98;
+  ru.content = {1, 2, 3};
+  auto frags = fragment_region_update(ru, 1200);
+  auto r2 = demux.feed(frags[0].payload, frags[0].marker);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->has_value());
+  EXPECT_TRUE(std::holds_alternative<RegionUpdate>(**r2));
+
+  MoveRectangle mr{1, 0, 0, 10, 10, 5, 5};
+  auto r3 = demux.feed(mr.serialize(), false);
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(r3->has_value());
+  EXPECT_TRUE(std::holds_alternative<MoveRectangle>(**r3));
+
+  MousePointerInfo mpi{1, 98, 4, 5, {}};
+  auto r4 = demux.feed(mpi.serialize(), true);
+  ASSERT_TRUE(r4.ok());
+  ASSERT_TRUE(r4->has_value());
+  EXPECT_TRUE(std::holds_alternative<MousePointerInfo>(**r4));
+}
+
+TEST(RemotingDemux, UnknownTypesIgnoredNotFatal) {
+  // §5.1.2: "Participants MAY ignore such additional message types."
+  RemotingDemux demux;
+  Bytes unknown = {200, 0, 0, 1, 0xDE, 0xAD};
+  auto result = demux.feed(unknown, true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_value());
+  EXPECT_EQ(demux.ignored_unknown_types(), 1u);
+}
+
+TEST(RemotingDemux, InterleavedPointerAndRegionReassembly) {
+  // A multi-fragment RegionUpdate with a fragmented MousePointerInfo
+  // interleaved: separate reassemblers must not interfere.
+  RemotingDemux demux;
+  RegionUpdate ru;
+  ru.window_id = 1;
+  ru.content_pt = 98;
+  ru.content.assign(3000, 0x11);
+  MousePointerInfo mpi;
+  mpi.window_id = 1;
+  mpi.content_pt = 98;
+  mpi.icon.assign(3000, 0x22);
+
+  auto ru_frags = fragment_region_update(ru, 1200);
+  auto mpi_frags = fragment_region_update(mpi.as_region_update(), 1200,
+                                          RemotingType::kMousePointerInfo);
+  ASSERT_GE(ru_frags.size(), 2u);
+  ASSERT_GE(mpi_frags.size(), 2u);
+
+  int region_done = 0;
+  int pointer_done = 0;
+  auto feed = [&](const RegionUpdateFragment& f) {
+    auto r = demux.feed(f.payload, f.marker);
+    ASSERT_TRUE(r.ok());
+    if (r->has_value()) {
+      if (std::holds_alternative<RegionUpdate>(**r)) ++region_done;
+      if (std::holds_alternative<MousePointerInfo>(**r)) ++pointer_done;
+    }
+  };
+  // Interleave.
+  feed(ru_frags[0]);
+  feed(mpi_frags[0]);
+  feed(ru_frags[1]);
+  feed(mpi_frags[1]);
+  for (std::size_t i = 2; i < ru_frags.size(); ++i) feed(ru_frags[i]);
+  for (std::size_t i = 2; i < mpi_frags.size(); ++i) feed(mpi_frags[i]);
+
+  EXPECT_EQ(region_done, 1);
+  EXPECT_EQ(pointer_done, 1);
+}
+
+TEST(RemotingDemux, ParseErrorsCounted) {
+  RemotingDemux demux;
+  const Bytes garbage = {2};  // truncated common header
+  EXPECT_FALSE(demux.feed(garbage, true).ok());
+  EXPECT_EQ(demux.parse_errors(), 1u);
+}
+
+TEST(RemotingDemux, ResetAbandonsPartialMessages) {
+  RemotingDemux demux;
+  RegionUpdate ru;
+  ru.content_pt = 98;
+  ru.content.assign(3000, 1);
+  auto frags = fragment_region_update(ru, 1200);
+  (void)demux.feed(frags[0].payload, frags[0].marker);
+  demux.reset();
+  // Continuation now has no start.
+  auto result = demux.feed(frags[1].payload, frags[1].marker);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace ads

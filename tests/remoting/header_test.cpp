@@ -1,0 +1,78 @@
+#include "remoting/header.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(CommonHeader, WireLayoutMatchesFigure7) {
+  // | Msg Type (8) | Parameter (8) | WindowID (16) |
+  CommonHeader h{2, 0xC5, 0x1234};
+  ByteWriter w;
+  h.write(w);
+  EXPECT_EQ(w.data(), (Bytes{0x02, 0xC5, 0x12, 0x34}));
+  EXPECT_EQ(CommonHeader::kSize, 4u);
+}
+
+TEST(CommonHeader, RoundTrip) {
+  CommonHeader h{4, 7, 65535};
+  ByteWriter w;
+  h.write(w);
+  ByteReader r(w.view());
+  auto parsed = CommonHeader::read(r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, h);
+}
+
+TEST(CommonHeader, TruncatedFails) {
+  const Bytes data = {1, 2, 3};
+  ByteReader r(data);
+  EXPECT_FALSE(CommonHeader::read(r).ok());
+}
+
+TEST(CommonHeader, ParameterSplitsIntoFirstPacketAndPt) {
+  // Figure 10: | RegionUpdate |F| PT |.
+  EXPECT_EQ(CommonHeader::make_parameter(true, 98), 0x80 | 98);
+  EXPECT_EQ(CommonHeader::make_parameter(false, 98), 98);
+  CommonHeader h;
+  h.parameter = CommonHeader::make_parameter(true, 0x7F);
+  EXPECT_TRUE(h.first_packet());
+  EXPECT_EQ(h.content_pt(), 0x7F);
+  h.parameter = CommonHeader::make_parameter(false, 5);
+  EXPECT_FALSE(h.first_packet());
+  EXPECT_EQ(h.content_pt(), 5);
+}
+
+TEST(CommonHeader, PtMaskedTo7Bits) {
+  EXPECT_EQ(CommonHeader::make_parameter(false, 0xFF), 0x7F);
+}
+
+TEST(RemotingTypes, Table1Registry) {
+  // Draft Table 1: the four remoting message types.
+  EXPECT_EQ(static_cast<int>(RemotingType::kWindowManagerInfo), 1);
+  EXPECT_EQ(static_cast<int>(RemotingType::kRegionUpdate), 2);
+  EXPECT_EQ(static_cast<int>(RemotingType::kMoveRectangle), 3);
+  EXPECT_EQ(static_cast<int>(RemotingType::kMousePointerInfo), 4);
+  for (int v = 1; v <= 4; ++v) EXPECT_TRUE(is_known_remoting_type(static_cast<std::uint8_t>(v)));
+  EXPECT_FALSE(is_known_remoting_type(0));
+  EXPECT_FALSE(is_known_remoting_type(5));
+  EXPECT_FALSE(is_known_remoting_type(121));
+}
+
+TEST(RemotingTypes, Names) {
+  EXPECT_STREQ(to_string(RemotingType::kWindowManagerInfo), "WindowManagerInfo");
+  EXPECT_STREQ(to_string(RemotingType::kRegionUpdate), "RegionUpdate");
+  EXPECT_STREQ(to_string(RemotingType::kMoveRectangle), "MoveRectangle");
+  EXPECT_STREQ(to_string(RemotingType::kMousePointerInfo), "MousePointerInfo");
+}
+
+TEST(FragmentTypes, Table2TruthTable) {
+  // Draft Table 2: marker bit x FirstPacket bit.
+  EXPECT_EQ(classify_fragment(true, true), FragmentType::kNotFragmented);
+  EXPECT_EQ(classify_fragment(false, true), FragmentType::kStart);
+  EXPECT_EQ(classify_fragment(false, false), FragmentType::kContinuation);
+  EXPECT_EQ(classify_fragment(true, false), FragmentType::kEnd);
+}
+
+}  // namespace
+}  // namespace ads

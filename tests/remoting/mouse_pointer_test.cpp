@@ -1,0 +1,89 @@
+#include "remoting/mouse_pointer_info.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(MousePointerInfo, PositionOnlyRoundTrip) {
+  // §5.2.4: "The payload of MousePointerInfo message can be only the left
+  // and top coordinates."
+  MousePointerInfo msg;
+  msg.window_id = 2;
+  msg.content_pt = 98;
+  msg.left = 640;
+  msg.top = 480;
+  EXPECT_FALSE(msg.has_icon());
+  auto parsed = MousePointerInfo::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, msg);
+}
+
+TEST(MousePointerInfo, WithIconRoundTrip) {
+  MousePointerInfo msg;
+  msg.window_id = 1;
+  msg.content_pt = 96;
+  msg.left = 10;
+  msg.top = 20;
+  msg.icon = {9, 8, 7, 6, 5};
+  EXPECT_TRUE(msg.has_icon());
+  auto parsed = MousePointerInfo::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, msg);
+}
+
+TEST(MousePointerInfo, UsesMessageType4) {
+  // "The format of this message is same as RegionUpdate message ... except
+  // they have different message types."
+  const Bytes wire = MousePointerInfo{1, 98, 0, 0, {}}.serialize();
+  EXPECT_EQ(wire[0], 4);
+}
+
+TEST(MousePointerInfo, SharesRegionUpdateFormat) {
+  MousePointerInfo msg{5, 97, 111, 222, {1, 2, 3}};
+  const RegionUpdate ru = msg.as_region_update();
+  EXPECT_EQ(ru.window_id, 5);
+  EXPECT_EQ(ru.content_pt, 97);
+  EXPECT_EQ(ru.left, 111u);
+  EXPECT_EQ(ru.top, 222u);
+  EXPECT_EQ(ru.content, (Bytes{1, 2, 3}));
+  EXPECT_EQ(MousePointerInfo::from_region_update(ru), msg);
+}
+
+TEST(MousePointerInfo, RegionUpdateTypeRejected) {
+  // A RegionUpdate (type 2) payload must not parse as MousePointerInfo.
+  Bytes wire = MousePointerInfo{1, 98, 0, 0, {}}.serialize();
+  wire[0] = 2;
+  EXPECT_FALSE(MousePointerInfo::parse(wire).ok());
+}
+
+TEST(MousePointerInfo, TruncatedRejected) {
+  const Bytes wire = MousePointerInfo{1, 98, 5, 6, {1, 2}}.serialize();
+  for (std::size_t len = 0; len < 12; ++len) {
+    EXPECT_FALSE(MousePointerInfo::parse(BytesView(wire).subspan(0, len)).ok()) << len;
+  }
+}
+
+TEST(MousePointerInfo, LargeIconFragmentsLikeRegionUpdate) {
+  MousePointerInfo msg;
+  msg.window_id = 1;
+  msg.content_pt = 98;
+  msg.icon.assign(5000, 0x5A);
+  auto frags = fragment_region_update(msg.as_region_update(), 1200,
+                                      RemotingType::kMousePointerInfo);
+  ASSERT_GT(frags.size(), 1u);
+  EXPECT_EQ(frags[0].payload[0], 4);  // type 4 on every fragment
+
+  RegionUpdateReassembler reasm(RemotingType::kMousePointerInfo);
+  std::optional<RegionUpdate> done;
+  for (const auto& f : frags) {
+    auto result = reasm.feed(f.payload, f.marker);
+    ASSERT_TRUE(result.ok());
+    if (result->has_value()) done = **result;
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(MousePointerInfo::from_region_update(*done), msg);
+}
+
+}  // namespace
+}  // namespace ads

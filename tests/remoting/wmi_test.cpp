@@ -1,0 +1,151 @@
+#include "remoting/window_manager_info.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+/// The exact WindowManagerInfo message of draft Figure 9 (three window
+/// records for the Figure 2 scenario), byte for byte.
+Bytes figure9_bytes() {
+  ByteWriter w;
+  // Common header: Msg Type = 1, Parameter = 0, WindowID = 0.
+  w.u8(1);
+  w.u8(0);
+  w.u16(0);
+  // Record 1: WindowID=1 GroupID=1 Reserved=0 L=220 T=150 W=350 H=450.
+  w.u16(1);
+  w.u8(1);
+  w.u8(0);
+  w.u32(220);
+  w.u32(150);
+  w.u32(350);
+  w.u32(450);
+  // Record 2: WindowID=2 GroupID=2 L=850 T=320 W=160 H=150.
+  w.u16(2);
+  w.u8(2);
+  w.u8(0);
+  w.u32(850);
+  w.u32(320);
+  w.u32(160);
+  w.u32(150);
+  // Record 3: WindowID=3 GroupID=1 L=450 T=400 W=350 H=300.
+  w.u16(3);
+  w.u8(1);
+  w.u8(0);
+  w.u32(450);
+  w.u32(400);
+  w.u32(350);
+  w.u32(300);
+  return w.take();
+}
+
+WindowManagerInfo figure9_message() {
+  WindowManagerInfo msg;
+  msg.records = {
+      {1, 1, 220, 150, 350, 450},
+      {2, 2, 850, 320, 160, 150},
+      {3, 1, 450, 400, 350, 300},
+  };
+  return msg;
+}
+
+TEST(Wmi, Figure9GoldenSerialization) {
+  EXPECT_EQ(figure9_message().serialize(), figure9_bytes());
+}
+
+TEST(Wmi, Figure9GoldenParse) {
+  auto parsed = WindowManagerInfo::parse(figure9_bytes());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, figure9_message());
+}
+
+TEST(Wmi, RecordSizeIs20Bytes) {
+  // "Each window record is 20-bytes."
+  EXPECT_EQ(WindowRecord::kSize, 20u);
+  EXPECT_EQ(figure9_bytes().size(), 4u + 3 * 20u);
+}
+
+TEST(Wmi, ZOrderIsRecordOrder) {
+  // "The first record describes the window at the bottom of the stacking
+  // order, the last record the one on top."
+  auto parsed = WindowManagerInfo::parse(figure9_bytes());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->records.front().window_id, 1);
+  EXPECT_EQ(parsed->records.back().window_id, 3);
+}
+
+TEST(Wmi, EmptyMessageIsLegal) {
+  // Zero records = all windows closed.
+  WindowManagerInfo msg;
+  auto parsed = WindowManagerInfo::parse(msg.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->records.empty());
+}
+
+TEST(Wmi, ParameterAndWindowIdIgnoredOnParse) {
+  // §5.2.1: "Parameter and WindowID fields of common remoting/HIP header
+  // MUST be ignored."
+  Bytes data = figure9_bytes();
+  data[1] = 0xFF;
+  data[2] = 0xAB;
+  data[3] = 0xCD;
+  auto parsed = WindowManagerInfo::parse(data);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, figure9_message());
+}
+
+TEST(Wmi, WrongMessageTypeRejected) {
+  Bytes data = figure9_bytes();
+  data[0] = 2;
+  EXPECT_FALSE(WindowManagerInfo::parse(data).ok());
+}
+
+TEST(Wmi, TruncatedRecordRejected) {
+  Bytes data = figure9_bytes();
+  data.pop_back();
+  auto parsed = WindowManagerInfo::parse(data);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kBadValue);  // not a record multiple
+}
+
+TEST(Wmi, DuplicateWindowIdsRejected) {
+  WindowManagerInfo msg;
+  msg.records = {{1, 0, 0, 0, 10, 10}, {1, 0, 5, 5, 10, 10}};
+  EXPECT_FALSE(WindowManagerInfo::parse(msg.serialize()).ok());
+}
+
+TEST(Wmi, FromWindowManagerMirrorsSharedState) {
+  WindowManager wm;
+  const WindowId a = wm.create({220, 150, 350, 450}, 1);
+  wm.create({850, 320, 160, 150}, 2);
+  const auto msg = WindowManagerInfo::from(wm);
+  ASSERT_EQ(msg.records.size(), 2u);
+  EXPECT_EQ(msg.records[0].window_id, a);
+  EXPECT_EQ(msg.records[0].left, 220u);
+  EXPECT_EQ(msg.records[0].group_id, 1);
+}
+
+TEST(Wmi, FromWindowManagerRespectsSharingFilter) {
+  WindowManager wm;
+  wm.create({0, 0, 10, 10}, 1);
+  wm.create({20, 20, 10, 10}, 2);
+  wm.share_group(2);
+  const auto msg = WindowManagerInfo::from(wm);
+  ASSERT_EQ(msg.records.size(), 1u);
+  EXPECT_EQ(msg.records[0].group_id, 2);
+}
+
+TEST(Wmi, NegativeCoordinatesClampToZeroOnWire) {
+  // Wire fields are unsigned (§4.1); a window dragged off-screen clamps.
+  WindowManager wm;
+  const WindowId a = wm.create({-50, -10, 100, 100}, 0);
+  const auto msg = WindowManagerInfo::from(wm);
+  ASSERT_EQ(msg.records.size(), 1u);
+  EXPECT_EQ(msg.records[0].window_id, a);
+  EXPECT_EQ(msg.records[0].left, 0u);
+  EXPECT_EQ(msg.records[0].top, 0u);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,118 @@
+#include "rtp/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace ads {
+namespace {
+
+TEST(Framing, PrefixesLength) {
+  const Bytes pkt = {0xAA, 0xBB, 0xCC};
+  auto framed = frame_packet(pkt);
+  ASSERT_TRUE(framed.ok());
+  EXPECT_EQ(*framed, (Bytes{0x00, 0x03, 0xAA, 0xBB, 0xCC}));
+}
+
+TEST(Framing, EmptyPacket) {
+  auto framed = frame_packet({});
+  ASSERT_TRUE(framed.ok());
+  EXPECT_EQ(*framed, (Bytes{0x00, 0x00}));
+}
+
+TEST(Framing, RejectsOversizedPacket) {
+  const Bytes big(70000, 0);
+  auto framed = frame_packet(big);
+  ASSERT_FALSE(framed.ok());
+  EXPECT_EQ(framed.error(), ParseError::kOverflow);
+}
+
+TEST(Deframer, SinglePacketWholeChunk) {
+  StreamDeframer d;
+  d.feed(frame_packet(Bytes{1, 2, 3}).value());
+  auto pkt = d.next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(*pkt, (Bytes{1, 2, 3}));
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(Deframer, ByteAtATime) {
+  StreamDeframer d;
+  const Bytes stream = frame_packet(Bytes{9, 8, 7, 6}).value();
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    d.feed(BytesView(&stream[i], 1));
+    EXPECT_FALSE(d.next().has_value()) << "byte " << i;
+  }
+  d.feed(BytesView(&stream.back(), 1));
+  auto pkt = d.next();
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_EQ(*pkt, (Bytes{9, 8, 7, 6}));
+}
+
+TEST(Deframer, MultiplePacketsOneChunk) {
+  StreamDeframer d;
+  Bytes stream = frame_packet(Bytes{1}).value();
+  const Bytes second = frame_packet(Bytes{2, 2}).value();
+  const Bytes third = frame_packet(Bytes{}).value();
+  stream.insert(stream.end(), second.begin(), second.end());
+  stream.insert(stream.end(), third.begin(), third.end());
+  d.feed(stream);
+  EXPECT_EQ(d.next().value(), (Bytes{1}));
+  EXPECT_EQ(d.next().value(), (Bytes{2, 2}));
+  EXPECT_EQ(d.next().value(), Bytes{});
+  EXPECT_FALSE(d.next().has_value());
+}
+
+TEST(Deframer, SplitAcrossLengthPrefix) {
+  StreamDeframer d;
+  const Bytes stream = frame_packet(Bytes{5, 5, 5}).value();
+  d.feed(BytesView(stream).subspan(0, 1));  // half the length field
+  EXPECT_FALSE(d.next().has_value());
+  d.feed(BytesView(stream).subspan(1));
+  EXPECT_EQ(d.next().value(), (Bytes{5, 5, 5}));
+}
+
+TEST(Deframer, LargeStreamRandomChunking) {
+  Prng rng(41);
+  std::vector<Bytes> packets;
+  Bytes stream;
+  for (int i = 0; i < 200; ++i) {
+    Bytes pkt(rng.below(400));
+    for (auto& b : pkt) b = static_cast<std::uint8_t>(rng.next_u32());
+    auto framed = frame_packet(pkt);
+    stream.insert(stream.end(), framed->begin(), framed->end());
+    packets.push_back(std::move(pkt));
+  }
+
+  StreamDeframer d;
+  std::size_t delivered = 0;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t chunk = std::min<std::size_t>(1 + rng.below(97),
+                                                    stream.size() - pos);
+    d.feed(BytesView(stream).subspan(pos, chunk));
+    pos += chunk;
+    while (auto pkt = d.next()) {
+      ASSERT_LT(delivered, packets.size());
+      EXPECT_EQ(*pkt, packets[delivered]);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, packets.size());
+  EXPECT_EQ(d.pending_bytes(), 0u);
+}
+
+TEST(Deframer, PendingBytesTracksBuffer) {
+  StreamDeframer d;
+  d.feed(Bytes{0x00});
+  EXPECT_EQ(d.pending_bytes(), 1u);
+  d.feed(Bytes{0x02, 0xAA});
+  EXPECT_EQ(d.pending_bytes(), 3u);
+  EXPECT_FALSE(d.next().has_value());
+  d.feed(Bytes{0xBB});
+  EXPECT_TRUE(d.next().has_value());
+  EXPECT_EQ(d.pending_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ads

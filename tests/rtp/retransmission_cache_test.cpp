@@ -1,0 +1,68 @@
+#include "rtp/retransmission_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+RtpPacket pkt(std::uint16_t seq) {
+  RtpPacket p;
+  p.sequence = seq;
+  p.payload = {static_cast<std::uint8_t>(seq)};
+  return p;
+}
+
+TEST(RetransmissionCache, StoresAndRetrieves) {
+  RetransmissionCache cache(10);
+  cache.put(pkt(1));
+  cache.put(pkt(2));
+  auto got = cache.get(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, (Bytes{1}));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(RetransmissionCache, MissReturnsNullopt) {
+  RetransmissionCache cache(10);
+  cache.put(pkt(1));
+  EXPECT_FALSE(cache.get(99).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RetransmissionCache, EvictsOldestBeyondCapacity) {
+  RetransmissionCache cache(3);
+  for (std::uint16_t s = 0; s < 5; ++s) cache.put(pkt(s));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.get(0).has_value());
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(4).has_value());
+}
+
+TEST(RetransmissionCache, ReinsertSameSequenceUpdates) {
+  RetransmissionCache cache(4);
+  cache.put(pkt(7));
+  RtpPacket updated = pkt(7);
+  updated.payload = {42};
+  cache.put(updated);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(7)->payload, (Bytes{42}));
+}
+
+TEST(RetransmissionCache, ZeroCapacityStoresNothing) {
+  RetransmissionCache cache(0);
+  cache.put(pkt(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(RetransmissionCache, SequenceWrapKeysDistinct) {
+  RetransmissionCache cache(10);
+  cache.put(pkt(65535));
+  cache.put(pkt(0));
+  EXPECT_TRUE(cache.get(65535).has_value());
+  EXPECT_TRUE(cache.get(0).has_value());
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,117 @@
+#include "rtp/rtp_packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+RtpPacket sample() {
+  RtpPacket pkt;
+  pkt.marker = true;
+  pkt.payload_type = kRemotingPayloadType;
+  pkt.sequence = 0xABCD;
+  pkt.timestamp = 0x01020304;
+  pkt.ssrc = 0xDEADBEEF;
+  pkt.payload = {1, 2, 3, 4, 5};
+  return pkt;
+}
+
+TEST(RtpPacket, SerializeLayout) {
+  const Bytes wire = sample().serialize();
+  ASSERT_EQ(wire.size(), 12u + 5u);
+  EXPECT_EQ(wire[0], 0x80);  // V=2, P=0, X=0, CC=0
+  EXPECT_EQ(wire[1], 0x80 | 99);  // M=1, PT=99
+  EXPECT_EQ(wire[2], 0xAB);
+  EXPECT_EQ(wire[3], 0xCD);
+  EXPECT_EQ(wire[4], 0x01);
+  EXPECT_EQ(wire[7], 0x04);
+  EXPECT_EQ(wire[8], 0xDE);
+  EXPECT_EQ(wire[11], 0xEF);
+  EXPECT_EQ(wire[12], 1);
+}
+
+TEST(RtpPacket, RoundTrip) {
+  const RtpPacket pkt = sample();
+  auto parsed = RtpPacket::parse(pkt.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->marker, pkt.marker);
+  EXPECT_EQ(parsed->payload_type, pkt.payload_type);
+  EXPECT_EQ(parsed->sequence, pkt.sequence);
+  EXPECT_EQ(parsed->timestamp, pkt.timestamp);
+  EXPECT_EQ(parsed->ssrc, pkt.ssrc);
+  EXPECT_EQ(parsed->payload, pkt.payload);
+}
+
+TEST(RtpPacket, EmptyPayloadAllowed) {
+  RtpPacket pkt = sample();
+  pkt.payload.clear();
+  auto parsed = RtpPacket::parse(pkt.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(RtpPacket, RejectsWrongVersion) {
+  Bytes wire = sample().serialize();
+  wire[0] = 0x40;  // version 1
+  auto parsed = RtpPacket::parse(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kBadValue);
+}
+
+TEST(RtpPacket, RejectsTruncatedHeader) {
+  const Bytes wire = sample().serialize();
+  for (std::size_t len = 0; len < 12; ++len) {
+    EXPECT_FALSE(RtpPacket::parse(BytesView(wire).subspan(0, len)).ok()) << len;
+  }
+}
+
+TEST(RtpPacket, SkipsCsrcList) {
+  Bytes wire = sample().serialize();
+  wire[0] = 0x82;  // CC=2
+  // Insert 8 CSRC bytes after the fixed header.
+  Bytes csrc(8, 0x11);
+  wire.insert(wire.begin() + 12, csrc.begin(), csrc.end());
+  auto parsed = RtpPacket::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->payload, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(RtpPacket, HandlesPadding) {
+  Bytes wire = sample().serialize();
+  wire[0] |= 0x20;  // P=1
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(3);  // 3 padding bytes (the two zeros + the count byte)
+  auto parsed = RtpPacket::parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->payload, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(RtpPacket, RejectsBadPadding) {
+  Bytes wire = sample().serialize();
+  wire[0] |= 0x20;
+  wire.back() = 200;  // padding count exceeds payload
+  EXPECT_FALSE(RtpPacket::parse(wire).ok());
+}
+
+TEST(RtpPacket, RejectsHeaderExtension) {
+  Bytes wire = sample().serialize();
+  wire[0] |= 0x10;  // X=1
+  auto parsed = RtpPacket::parse(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kUnsupported);
+}
+
+TEST(SeqArithmetic, ModularComparisons) {
+  EXPECT_TRUE(seq_less(1, 2));
+  EXPECT_FALSE(seq_less(2, 1));
+  EXPECT_TRUE(seq_less(65535, 0));   // wrap
+  EXPECT_TRUE(seq_less(65530, 5));
+  EXPECT_FALSE(seq_less(5, 65530));
+  EXPECT_EQ(seq_diff(10, 15), 5);
+  EXPECT_EQ(seq_diff(65535, 2), 3);
+  EXPECT_EQ(seq_diff(2, 65535), -3);
+}
+
+}  // namespace
+}  // namespace ads

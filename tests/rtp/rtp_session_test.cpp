@@ -1,0 +1,120 @@
+#include "rtp/rtp_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ads {
+namespace {
+
+TEST(RtpSender, AssignsConsecutiveSequences) {
+  RtpSender sender(99, 1);
+  const std::uint16_t first = sender.next_sequence();
+  auto p1 = sender.make_packet({1}, false, 0);
+  auto p2 = sender.make_packet({2}, false, 0);
+  EXPECT_EQ(p1.sequence, first);
+  EXPECT_EQ(p2.sequence, static_cast<std::uint16_t>(first + 1));
+}
+
+TEST(RtpSender, RandomisedInitialState) {
+  // §5.1.1: "the initial value of the timestamp MUST be random".
+  RtpSender a(99, 1);
+  RtpSender b(99, 2);
+  EXPECT_NE(a.timestamp_at(0), b.timestamp_at(0));
+  EXPECT_NE(a.ssrc(), b.ssrc());
+  // Same seed reproduces (determinism for tests).
+  RtpSender a2(99, 1);
+  EXPECT_EQ(a.timestamp_at(0), a2.timestamp_at(0));
+  EXPECT_EQ(a.ssrc(), a2.ssrc());
+}
+
+TEST(RtpSender, TimestampAdvancesAt90kHz) {
+  RtpSender sender(99, 3);
+  const std::uint32_t t0 = sender.timestamp_at(0);
+  // 1 second = 90000 ticks; 100 ms = 9000.
+  EXPECT_EQ(sender.timestamp_at(1'000'000) - t0, 90000u);
+  EXPECT_EQ(sender.timestamp_at(100'000) - t0, 9000u);
+}
+
+TEST(RtpSender, AccountsBytesAndPackets) {
+  RtpSender sender(99, 4);
+  sender.make_packet(Bytes(100, 0), false, 0);
+  sender.make_packet(Bytes(50, 0), true, 0);
+  EXPECT_EQ(sender.packets_sent(), 2u);
+  EXPECT_EQ(sender.bytes_sent(), 100u + 50u + 2 * RtpPacket::kHeaderSize);
+}
+
+TEST(UsToRtpTicks, Conversion) {
+  EXPECT_EQ(us_to_rtp_ticks(0), 0u);
+  EXPECT_EQ(us_to_rtp_ticks(1'000'000), 90000u);
+  EXPECT_EQ(us_to_rtp_ticks(11'111), 999u);  // floor semantics
+}
+
+RtpPacket packet_with_seq(std::uint16_t seq) {
+  RtpPacket pkt;
+  pkt.sequence = seq;
+  pkt.payload_type = 99;
+  return pkt;
+}
+
+TEST(RtpReceiver, InOrderStreamHasNoLosses) {
+  RtpReceiver rx;
+  for (std::uint16_t s = 100; s < 200; ++s) {
+    EXPECT_TRUE(rx.on_packet(packet_with_seq(s)));
+  }
+  EXPECT_TRUE(rx.missing().empty());
+  EXPECT_EQ(rx.received(), 100u);
+  EXPECT_EQ(rx.duplicates(), 0u);
+}
+
+TEST(RtpReceiver, GapIsReportedMissing) {
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(10));
+  rx.on_packet(packet_with_seq(14));
+  EXPECT_EQ(rx.missing(), (std::vector<std::uint16_t>{11, 12, 13}));
+}
+
+TEST(RtpReceiver, LatePacketFillsGap) {
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(10));
+  rx.on_packet(packet_with_seq(13));
+  EXPECT_TRUE(rx.on_packet(packet_with_seq(11)));
+  EXPECT_EQ(rx.missing(), (std::vector<std::uint16_t>{12}));
+}
+
+TEST(RtpReceiver, DuplicateDetected) {
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(5));
+  EXPECT_FALSE(rx.on_packet(packet_with_seq(5)));
+  EXPECT_EQ(rx.duplicates(), 1u);
+}
+
+TEST(RtpReceiver, ForgetRemovesMissingEntry) {
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(1));
+  rx.on_packet(packet_with_seq(4));
+  rx.forget(2);
+  EXPECT_EQ(rx.missing(), (std::vector<std::uint16_t>{3}));
+  rx.reset_losses();
+  EXPECT_TRUE(rx.missing().empty());
+}
+
+TEST(RtpReceiver, SequenceWrapAround) {
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(65534));
+  rx.on_packet(packet_with_seq(1));  // 65535 and 0 lost
+  auto missing = rx.missing();
+  std::sort(missing.begin(), missing.end());
+  EXPECT_EQ(missing, (std::vector<std::uint16_t>{0, 65535}));
+  EXPECT_EQ(rx.highest_sequence(), 1);
+}
+
+TEST(RtpReceiver, MissingListCapped) {
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(0));
+  rx.on_packet(packet_with_seq(1000));
+  EXPECT_EQ(rx.missing(10).size(), 10u);
+}
+
+}  // namespace
+}  // namespace ads

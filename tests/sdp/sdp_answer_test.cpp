@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "sdp/sharing_session.hpp"
+
+namespace ads {
+namespace {
+
+SessionDescription offer() { return build_sharing_offer(SharingOffer{}); }
+
+TEST(SdpAnswer, MirrorsMLineOrder) {
+  auto answer = build_sharing_answer(offer(), AnswerChoice{});
+  ASSERT_TRUE(answer.ok());
+  const auto off = offer();
+  ASSERT_EQ(answer->media.size(), off.media.size());
+  for (std::size_t i = 0; i < off.media.size(); ++i) {
+    EXPECT_EQ(answer->media[i].protocol, off.media[i].protocol);
+    EXPECT_EQ(answer->media[i].formats, off.media[i].formats);
+  }
+}
+
+TEST(SdpAnswer, TcpChoiceRejectsUdpRemoting) {
+  AnswerChoice choice;
+  choice.transport = AnswerChoice::Transport::kTcp;
+  auto answer = build_sharing_answer(offer(), choice);
+  ASSERT_TRUE(answer.ok());
+  // m-lines: [0]=BFCP, [1]=UDP remoting, [2]=TCP remoting, [3]=HIP.
+  EXPECT_NE(answer->media[0].port, 0);
+  EXPECT_EQ(answer->media[1].port, 0);  // rejected
+  EXPECT_NE(answer->media[2].port, 0);
+  EXPECT_NE(answer->media[3].port, 0);
+}
+
+TEST(SdpAnswer, UdpChoiceRejectsTcpRemoting) {
+  AnswerChoice choice;
+  choice.transport = AnswerChoice::Transport::kUdp;
+  auto answer = build_sharing_answer(offer(), choice);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NE(answer->media[1].port, 0);
+  EXPECT_EQ(answer->media[2].port, 0);
+}
+
+TEST(SdpAnswer, BfcpCanBeDeclined) {
+  AnswerChoice choice;
+  choice.accept_bfcp = false;
+  auto answer = build_sharing_answer(offer(), choice);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->media[0].port, 0);
+}
+
+TEST(SdpAnswer, FailsWhenTransportUnavailable) {
+  SharingOffer tcp_only;
+  tcp_only.offer_udp = false;
+  AnswerChoice choice;
+  choice.transport = AnswerChoice::Transport::kUdp;
+  auto answer = build_sharing_answer(build_sharing_offer(tcp_only), choice);
+  ASSERT_FALSE(answer.ok());
+}
+
+TEST(SdpAnswer, AnswerReparsesCleanly) {
+  auto answer = build_sharing_answer(offer(), AnswerChoice{});
+  ASSERT_TRUE(answer.ok());
+  auto reparsed = SessionDescription::parse(answer->to_string());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->media.size(), 4u);
+}
+
+TEST(SdpAnswer, AssignsSequentialLocalPorts) {
+  AnswerChoice choice;
+  choice.local_port_base = 9000;
+  auto answer = build_sharing_answer(offer(), choice);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->media[0].port, 9000);
+  EXPECT_EQ(answer->media[2].port, 9001);
+  EXPECT_EQ(answer->media[3].port, 9002);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,111 @@
+#include "sdp/sdp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(Sdp, ParsesSection103Example) {
+  // The draft's §10.3 SDP, verbatim (including its quirks: the pt-less
+  // fmtp line and the rtpmap:99 on the hip m-line's PT 100 entry).
+  const std::string text =
+      "v=0\r\n"
+      "o=- 0 0 IN IP4 127.0.0.1\r\n"
+      "s=-\r\n"
+      "t=0 0\r\n"
+      "m=application 50000 TCP/BFCP *\r\n"
+      "a=floorid:0 m-stream:10\r\n"
+      "m=application 6000 RTP/AVP 99\r\n"
+      "a=rtpmap:99 remoting/90000\r\n"
+      "a=fmtp: retransmissions=yes\r\n"
+      "m=application 6000 TCP/RTP/AVP 99\r\n"
+      "a=rtpmap:99 remoting/90000\r\n"
+      "m=application 6006 TCP/RTP/AVP 100\r\n"
+      "a=rtpmap:100 hip/90000\r\n"
+      "a=label:10\r\n";
+
+  auto sd = SessionDescription::parse(text);
+  ASSERT_TRUE(sd.ok());
+  ASSERT_EQ(sd->media.size(), 4u);
+
+  EXPECT_EQ(sd->media[0].protocol, "TCP/BFCP");
+  EXPECT_EQ(sd->media[0].port, 50000);
+  EXPECT_EQ(sd->media[0].formats, (std::vector<std::string>{"*"}));
+  EXPECT_EQ(sd->media[0].attribute("floorid"), "0 m-stream:10");
+
+  EXPECT_EQ(sd->media[1].protocol, "RTP/AVP");
+  auto maps = sd->media[1].rtpmaps();
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_EQ(maps[0].payload_type, 99);
+  EXPECT_EQ(maps[0].encoding, "remoting");
+  EXPECT_EQ(maps[0].clock_rate, 90000u);
+  EXPECT_EQ(sd->media[1].fmtp(99), "retransmissions=yes");
+
+  EXPECT_EQ(sd->media[2].protocol, "TCP/RTP/AVP");
+  EXPECT_EQ(sd->media[2].port, 6000);  // same port as UDP (§10.3 rule)
+
+  EXPECT_EQ(sd->media[3].port, 6006);
+  EXPECT_EQ(sd->media[3].attribute("label"), "10");
+}
+
+TEST(Sdp, RoundTripThroughToString) {
+  SessionDescription sd;
+  MediaSection m;
+  m.media = "application";
+  m.port = 6000;
+  m.protocol = "RTP/AVP";
+  m.formats = {"99"};
+  m.attributes = {{"rtpmap", "99 remoting/90000"},
+                  {"fmtp", "99 retransmissions=no"}};
+  sd.media.push_back(m);
+
+  auto reparsed = SessionDescription::parse(sd.to_string());
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->media.size(), 1u);
+  EXPECT_EQ(reparsed->media[0], m);
+}
+
+TEST(Sdp, FlagAttributesSupported) {
+  const std::string text =
+      "v=0\r\no=- 0 0 IN IP4 0.0.0.0\r\ns=x\r\n"
+      "m=application 1000 RTP/AVP 99\r\n"
+      "a=sendonly\r\n";
+  auto sd = SessionDescription::parse(text);
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->media[0].attribute("sendonly"), "");
+  EXPECT_FALSE(sd->media[0].attribute("recvonly").has_value());
+}
+
+TEST(Sdp, RejectsGarbageLines) {
+  EXPECT_FALSE(SessionDescription::parse("nonsense\r\n").ok());
+}
+
+TEST(Sdp, RejectsNoMedia) {
+  EXPECT_FALSE(SessionDescription::parse("v=0\r\ns=x\r\n").ok());
+}
+
+TEST(Sdp, RejectsWrongVersion) {
+  EXPECT_FALSE(SessionDescription::parse("v=1\r\nm=application 1 RTP/AVP 99\r\n").ok());
+}
+
+TEST(Sdp, RejectsBadPort) {
+  EXPECT_FALSE(
+      SessionDescription::parse("v=0\r\nm=application 99999 RTP/AVP 99\r\n").ok());
+}
+
+TEST(Sdp, ToleratesLfOnlyLineEndings) {
+  auto sd = SessionDescription::parse(
+      "v=0\ns=x\nm=application 1000 RTP/AVP 99\na=rtpmap:99 remoting/90000\n");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->media[0].rtpmaps().size(), 1u);
+}
+
+TEST(Sdp, MalformedRtpmapSkipped) {
+  auto sd = SessionDescription::parse(
+      "v=0\nm=application 1000 RTP/AVP 99\na=rtpmap:banana\n");
+  ASSERT_TRUE(sd.ok());
+  EXPECT_TRUE(sd->media[0].rtpmaps().empty());
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,103 @@
+#include "sdp/sharing_session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(SharingOffer, BuildsSection103Shape) {
+  const SessionDescription sd = build_sharing_offer(SharingOffer{});
+  ASSERT_EQ(sd.media.size(), 4u);
+  EXPECT_EQ(sd.media[0].protocol, "TCP/BFCP");
+  EXPECT_EQ(sd.media[1].protocol, "RTP/AVP");
+  EXPECT_EQ(sd.media[2].protocol, "TCP/RTP/AVP");
+  EXPECT_EQ(sd.media[3].protocol, "TCP/RTP/AVP");
+  // §10.3: "The port numbers MUST be same if AH is remoting the same
+  // content over both TCP and UDP."
+  EXPECT_EQ(sd.media[1].port, sd.media[2].port);
+}
+
+TEST(SharingOffer, RoundTripThroughParser) {
+  SharingOffer offer;
+  offer.remoting_port = 7000;
+  offer.hip_port = 7006;
+  offer.retransmissions = false;
+  const auto sd = build_sharing_offer(offer);
+  auto reparsed = SessionDescription::parse(sd.to_string());
+  ASSERT_TRUE(reparsed.ok());
+  auto parsed = parse_sharing_offer(*reparsed);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->udp_remoting_port, 7000);
+  EXPECT_EQ(parsed->tcp_remoting_port, 7000);
+  EXPECT_EQ(parsed->hip_port, 7006);
+  EXPECT_EQ(parsed->remoting_pt, 99);
+  EXPECT_EQ(parsed->hip_pt, 100);
+  EXPECT_FALSE(parsed->retransmissions);
+  EXPECT_EQ(parsed->bfcp_port, 50000);
+  EXPECT_EQ(parsed->floor_id, 0);
+  EXPECT_EQ(parsed->label, 10);
+}
+
+TEST(SharingOffer, RetransmissionsYesDetected) {
+  const auto sd = build_sharing_offer(SharingOffer{});
+  auto parsed = parse_sharing_offer(sd);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->retransmissions);
+}
+
+TEST(SharingOffer, UdpOnlyOffer) {
+  SharingOffer offer;
+  offer.offer_tcp = false;
+  auto parsed = parse_sharing_offer(build_sharing_offer(offer));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->udp_remoting_port.has_value());
+  EXPECT_FALSE(parsed->tcp_remoting_port.has_value());
+}
+
+TEST(SharingOffer, TcpOnlyOffer) {
+  SharingOffer offer;
+  offer.offer_udp = false;
+  auto parsed = parse_sharing_offer(build_sharing_offer(offer));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->udp_remoting_port.has_value());
+  EXPECT_TRUE(parsed->tcp_remoting_port.has_value());
+}
+
+TEST(SharingOffer, ParseDraftExampleVerbatim) {
+  // The §10.3 example straight from the document (with its fmtp quirk).
+  const std::string text =
+      "v=0\n"
+      "m=application 50000 TCP/BFCP *\n"
+      "a=floorid:0 m-stream:10\n"
+      "m=application 6000 RTP/AVP 99\n"
+      "a=rtpmap:99 remoting/90000\n"
+      "a=fmtp: retransmissions=yes\n"
+      "m=application 6000 TCP/RTP/AVP 99\n"
+      "a=rtpmap:99 remoting/90000\n"
+      "m=application 6006 TCP/RTP/AVP 100\n"
+      "a=rtpmap:100 hip/90000\n"
+      "a=label:10\n";
+  auto sd = SessionDescription::parse(text);
+  ASSERT_TRUE(sd.ok());
+  auto parsed = parse_sharing_offer(*sd);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->bfcp_port, 50000);
+  EXPECT_EQ(parsed->udp_remoting_port, 6000);
+  EXPECT_EQ(parsed->tcp_remoting_port, 6000);
+  EXPECT_EQ(parsed->hip_port, 6006);
+  EXPECT_TRUE(parsed->retransmissions);
+}
+
+TEST(SharingOffer, RejectsOfferWithoutSharingStreams) {
+  SessionDescription sd;
+  MediaSection m;
+  m.media = "audio";
+  m.port = 5000;
+  m.protocol = "RTP/AVP";
+  m.formats = {"0"};
+  sd.media.push_back(m);
+  EXPECT_FALSE(parse_sharing_offer(sd).ok());
+}
+
+}  // namespace
+}  // namespace ads

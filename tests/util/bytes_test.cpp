@@ -1,0 +1,109 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+TEST(ByteWriter, WritesBigEndianIntegers) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u24(0xABCDEF);
+  w.u32(0xDEADBEEF);
+  const Bytes expected = {0xAB, 0x12, 0x34, 0xAB, 0xCD, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriter, WritesU64) {
+  ByteWriter w;
+  w.u64(0x0102030405060708ull);
+  const Bytes expected = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriter, SignedI32UsesTwosComplement) {
+  // The draft's MouseWheelMoved distance: "negative values are transmitted
+  // using 2's complement method."
+  ByteWriter w;
+  w.i32(-120);
+  const Bytes expected = {0xFF, 0xFF, 0xFF, 0x88};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriter, PatchU32OverwritesInPlace) {
+  ByteWriter w;
+  w.u32(0);
+  w.u8(0x55);
+  w.patch_u32(0, 0xCAFEBABE);
+  const Bytes expected = {0xCA, 0xFE, 0xBA, 0xBE, 0x55};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriter, AppendsRawBytesAndStrings) {
+  ByteWriter w;
+  const Bytes chunk = {1, 2, 3};
+  w.bytes(chunk);
+  w.str("hi");
+  const Bytes expected = {1, 2, 3, 'h', 'i'};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteReader, RoundTripsAllWidths) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(0xBEEF);
+  w.u24(0x123456);
+  w.u32(0xCAFEBABE);
+  w.u64(0x1122334455667788ull);
+  w.i32(-42);
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16().value(), 0xBEEF);
+  EXPECT_EQ(r.u24().value(), 0x123456u);
+  EXPECT_EQ(r.u32().value(), 0xCAFEBABEu);
+  EXPECT_EQ(r.u64().value(), 0x1122334455667788ull);
+  EXPECT_EQ(r.i32().value(), -42);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, TruncationIsReportedNotRead) {
+  const Bytes data = {0x01, 0x02, 0x03};
+  ByteReader r(data);
+  EXPECT_TRUE(r.u16().ok());
+  auto v = r.u16();  // only one byte left
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error(), ParseError::kTruncated);
+  // A failed read must not consume the remaining byte.
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteReader, BytesViewAndRest) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  auto head = r.bytes(2);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ((*head)[0], 1);
+  auto tail = r.rest();
+  EXPECT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[2], 5);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, SkipPastEndFails) {
+  const Bytes data = {1, 2};
+  ByteReader r(data);
+  EXPECT_FALSE(r.skip(3).ok());
+  EXPECT_TRUE(r.skip(2).ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(HexDump, FormatsBytes) {
+  const Bytes data = {0xDE, 0xAD, 0x01};
+  EXPECT_EQ(hex_dump(data), "de ad 01");
+  EXPECT_EQ(hex_dump({}), "");
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,65 @@
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+Bytes ascii(const char* s) {
+  Bytes out;
+  while (*s) out.push_back(static_cast<std::uint8_t>(*s++));
+  return out;
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32 test vector.
+  EXPECT_EQ(crc32(ascii("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(ascii("The quick brown fox jumps over the lazy dog")), 0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const Bytes data = ascii("hello, world");
+  Crc32 inc;
+  inc.update(BytesView(data).subspan(0, 5));
+  inc.update(BytesView(data).subspan(5));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, PngIendChunkVector) {
+  // The IEND chunk CRC every PNG carries: CRC over the 4 type bytes.
+  EXPECT_EQ(crc32(ascii("IEND")), 0xAE426082u);
+}
+
+TEST(Adler32, KnownVectors) {
+  EXPECT_EQ(adler32({}), 1u);
+  // RFC 1950 example often quoted: "Wikipedia" -> 0x11E60398.
+  EXPECT_EQ(adler32(ascii("Wikipedia")), 0x11E60398u);
+}
+
+TEST(Adler32, LongInputModularReduction) {
+  // Exercise the NMAX chunked reduction path with > 5552 bytes.
+  Bytes data(100000, 0xFF);
+  Adler32 a;
+  a.update(data);
+  // Compute the reference with explicit 64-bit arithmetic.
+  std::uint64_t s1 = 1;
+  std::uint64_t s2 = 0;
+  for (std::uint8_t b : data) {
+    s1 = (s1 + b) % 65521;
+    s2 = (s2 + s1) % 65521;
+  }
+  EXPECT_EQ(a.value(), (s2 << 16 | s1));
+}
+
+TEST(Adler32, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 10000; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+  Adler32 inc;
+  inc.update(BytesView(data).subspan(0, 3000));
+  inc.update(BytesView(data).subspan(3000));
+  EXPECT_EQ(inc.value(), adler32(data));
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,59 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ads {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = ParseError::kTruncated;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), ParseError::kTruncated);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValueTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Status, DefaultIsOk) {
+  ParseStatus s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  ParseStatus s = ParseError::kBadChecksum;
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), ParseError::kBadChecksum);
+}
+
+TEST(ParseErrorNames, AllDistinct) {
+  EXPECT_STREQ(to_string(ParseError::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(ParseError::kBadMagic), "bad-magic");
+  EXPECT_STREQ(to_string(ParseError::kBadValue), "bad-value");
+  EXPECT_STREQ(to_string(ParseError::kBadChecksum), "bad-checksum");
+  EXPECT_STREQ(to_string(ParseError::kUnsupported), "unsupported");
+  EXPECT_STREQ(to_string(ParseError::kOverflow), "overflow");
+  EXPECT_STREQ(to_string(ParseError::kBadState), "bad-state");
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,171 @@
+#include "wm/window_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+/// The draft's Figure 2 scenario: windows A, B, C with A and B in one
+/// process group.
+struct Figure2 : ::testing::Test {
+  WindowManager wm;
+  WindowId a = 0;
+  WindowId b = 0;
+  WindowId c = 0;
+
+  void SetUp() override {
+    a = wm.create({220, 150, 350, 450}, 1);
+    c = wm.create({850, 320, 160, 150}, 2);
+    b = wm.create({450, 400, 350, 300}, 1);
+    // Stacking bottom→top is creation order: A, C, B (B overlaps A).
+  }
+};
+
+TEST_F(Figure2, IdsAreSequentialFromOne) {
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(b, 3);
+}
+
+TEST_F(Figure2, StackingOrderBottomFirst) {
+  const auto& order = wm.stacking_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].id, a);
+  EXPECT_EQ(order[1].id, c);
+  EXPECT_EQ(order[2].id, b);
+}
+
+TEST_F(Figure2, RaiseAndLowerRestack) {
+  wm.raise(a);
+  EXPECT_EQ(wm.stacking_order().back().id, a);
+  wm.lower(a);
+  EXPECT_EQ(wm.stacking_order().front().id, a);
+}
+
+TEST_F(Figure2, CloseRemoves) {
+  EXPECT_TRUE(wm.close(c));
+  EXPECT_FALSE(wm.exists(c));
+  EXPECT_FALSE(wm.close(c));
+  EXPECT_EQ(wm.count(), 2u);
+}
+
+TEST_F(Figure2, MoveAndResizeUpdateFrame) {
+  wm.move(a, {10, 20});
+  wm.resize(a, 100, 200);
+  const Window* w = wm.find(a);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->frame, (Rect{10, 20, 100, 200}));
+}
+
+TEST_F(Figure2, RevisionBumpsOnEveryStateChange) {
+  const auto r0 = wm.revision();
+  wm.move(a, {0, 0});
+  const auto r1 = wm.revision();
+  EXPECT_GT(r1, r0);
+  wm.move(a, {0, 0});  // no-op: same position
+  EXPECT_EQ(wm.revision(), r1);
+  wm.resize(a, 1, 1);
+  wm.raise(a);
+  wm.set_group(a, 7);
+  EXPECT_GT(wm.revision(), r1 + 2);
+}
+
+TEST_F(Figure2, DesktopModeSharesEverything) {
+  EXPECT_EQ(wm.shared_windows().size(), 3u);
+  for (const Window& w : wm.stacking_order()) EXPECT_TRUE(wm.is_shared(w));
+}
+
+TEST_F(Figure2, ApplicationSharingFiltersByGroup) {
+  wm.share_group(1);  // A and B only
+  const auto shared = wm.shared_windows();
+  ASSERT_EQ(shared.size(), 2u);
+  EXPECT_EQ(shared[0].id, a);
+  EXPECT_EQ(shared[1].id, b);
+}
+
+TEST_F(Figure2, UnshareGroupRemoves) {
+  wm.share_group(1);
+  wm.share_group(2);
+  EXPECT_EQ(wm.shared_windows().size(), 3u);
+  wm.unshare_group(2);
+  EXPECT_EQ(wm.shared_windows().size(), 2u);
+}
+
+TEST_F(Figure2, VisibleRegionSubtractsWindowsAbove) {
+  // B (450,400 350x300) overlaps A (220,150 350x450): A loses the overlap.
+  const Region vis = wm.visible_region(a);
+  EXPECT_EQ(vis.area(), 350 * 450 - 120 * 200);  // overlap = x:450-570, y:400-600
+  EXPECT_TRUE(vis.contains(Point{220, 150}));
+  EXPECT_FALSE(vis.contains(Point{500, 450}));  // covered by B
+}
+
+TEST_F(Figure2, TopWindowFullyVisible) {
+  EXPECT_EQ(wm.visible_region(b).area(), 350 * 300);
+}
+
+TEST_F(Figure2, VisibleSharedRegionCoversAllSharedPixels) {
+  const Region region = wm.visible_shared_region();
+  // Desktop mode: union of all three frames (B's overlap with A counted once).
+  EXPECT_EQ(region.area(), 350 * 450 + 160 * 150 + 350 * 300 - 120 * 200);
+}
+
+TEST_F(Figure2, NonSharedWindowBlanksOverlap) {
+  wm.share_group(1);  // C (group 2) not shared
+  wm.raise(c);        // C on top of everything
+  wm.move(c, {300, 200});
+  // A's visible region must exclude the part C covers.
+  const Region vis = wm.visible_region(a);
+  EXPECT_FALSE(vis.contains(Point{310, 210}));
+  // And the shared export region must not include any C pixels.
+  const Region shared = wm.visible_shared_region();
+  EXPECT_FALSE(shared.contains(Point{310, 210}));
+}
+
+TEST_F(Figure2, HipLegitimacyCheck) {
+  // §4.1: only coordinates inside shared windows are legitimate.
+  EXPECT_TRUE(wm.point_in_shared_window(Point{230, 160}));   // inside A
+  EXPECT_FALSE(wm.point_in_shared_window(Point{10, 10}));    // desktop
+  wm.share_group(1);
+  EXPECT_FALSE(wm.point_in_shared_window(Point{860, 330}));  // C not shared
+  EXPECT_TRUE(wm.point_in_shared_window(Point{500, 450}));   // B
+}
+
+TEST_F(Figure2, SharedWindowAtReturnsTopmost) {
+  // Point in the A/B overlap belongs to B (on top).
+  EXPECT_EQ(wm.shared_window_at(Point{500, 450}), b);
+  EXPECT_EQ(wm.shared_window_at(Point{230, 160}), a);
+  EXPECT_FALSE(wm.shared_window_at(Point{0, 0}).has_value());
+}
+
+TEST_F(Figure2, NonSharedWindowBlocksInputBeneath) {
+  wm.share_group(1);
+  wm.raise(c);
+  wm.move(c, {300, 200});  // C now covers part of A
+  // Input at a point covered by non-shared C is rejected even though A is
+  // shared underneath.
+  EXPECT_FALSE(wm.shared_window_at(Point{310, 210}).has_value());
+}
+
+TEST(WindowManagerEdge, OperationsOnUnknownIdFail) {
+  WindowManager wm;
+  EXPECT_FALSE(wm.move(99, {0, 0}));
+  EXPECT_FALSE(wm.resize(99, 1, 1));
+  EXPECT_FALSE(wm.raise(99));
+  EXPECT_FALSE(wm.lower(99));
+  EXPECT_FALSE(wm.set_group(99, 1));
+  EXPECT_EQ(wm.find(99), nullptr);
+}
+
+TEST(WindowManagerEdge, VisibleRegionOfUnknownWindowEmpty) {
+  WindowManager wm;
+  EXPECT_TRUE(wm.visible_region(1).empty());
+}
+
+TEST(WindowManagerEdge, GroupZeroMeansNoGrouping) {
+  WindowManager wm;
+  const WindowId w = wm.create({0, 0, 10, 10});
+  EXPECT_EQ(wm.find(w)->group, kNoGroup);
+}
+
+}  // namespace
+}  // namespace ads
