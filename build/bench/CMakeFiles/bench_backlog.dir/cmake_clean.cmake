@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backlog.dir/bench_backlog.cpp.o"
+  "CMakeFiles/bench_backlog.dir/bench_backlog.cpp.o.d"
+  "bench_backlog"
+  "bench_backlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

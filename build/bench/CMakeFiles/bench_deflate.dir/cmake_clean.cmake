@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deflate.dir/bench_deflate.cpp.o"
+  "CMakeFiles/bench_deflate.dir/bench_deflate.cpp.o.d"
+  "bench_deflate"
+  "bench_deflate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hip.dir/bench_hip.cpp.o"
+  "CMakeFiles/bench_hip.dir/bench_hip.cpp.o.d"
+  "bench_hip"
+  "bench_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latejoin.dir/bench_latejoin.cpp.o"
+  "CMakeFiles/bench_latejoin.dir/bench_latejoin.cpp.o.d"
+  "bench_latejoin"
+  "bench_latejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moverect.dir/bench_moverect.cpp.o"
+  "CMakeFiles/bench_moverect.dir/bench_moverect.cpp.o.d"
+  "bench_moverect"
+  "bench_moverect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moverect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nack.dir/bench_nack.cpp.o"
+  "CMakeFiles/bench_nack.dir/bench_nack.cpp.o.d"
+  "bench_nack"
+  "bench_nack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ratecontrol.dir/bench_ratecontrol.cpp.o"
+  "CMakeFiles/bench_ratecontrol.dir/bench_ratecontrol.cpp.o.d"
+  "bench_ratecontrol"
+  "bench_ratecontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratecontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

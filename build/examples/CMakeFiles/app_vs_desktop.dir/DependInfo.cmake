@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/app_vs_desktop.cpp" "examples/CMakeFiles/app_vs_desktop.dir/app_vs_desktop.cpp.o" "gcc" "examples/CMakeFiles/app_vs_desktop.dir/app_vs_desktop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ads_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ads_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ads_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/ads_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/hip/CMakeFiles/ads_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/remoting/CMakeFiles/ads_remoting.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/ads_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/ads_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ads_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfcp/CMakeFiles/ads_bfcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/ads_sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ads_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_vs_desktop.dir/app_vs_desktop.cpp.o"
+  "CMakeFiles/app_vs_desktop.dir/app_vs_desktop.cpp.o.d"
+  "app_vs_desktop"
+  "app_vs_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_vs_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_remap.dir/layout_remap.cpp.o"
+  "CMakeFiles/layout_remap.dir/layout_remap.cpp.o.d"
+  "layout_remap"
+  "layout_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

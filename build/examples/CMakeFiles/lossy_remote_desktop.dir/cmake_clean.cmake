@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_remote_desktop.dir/lossy_remote_desktop.cpp.o"
+  "CMakeFiles/lossy_remote_desktop.dir/lossy_remote_desktop.cpp.o.d"
+  "lossy_remote_desktop"
+  "lossy_remote_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_remote_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

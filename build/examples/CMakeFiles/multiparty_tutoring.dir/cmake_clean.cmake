@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiparty_tutoring.dir/multiparty_tutoring.cpp.o"
+  "CMakeFiles/multiparty_tutoring.dir/multiparty_tutoring.cpp.o.d"
+  "multiparty_tutoring"
+  "multiparty_tutoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiparty_tutoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_inspect.dir/wire_inspect.cpp.o"
+  "CMakeFiles/wire_inspect.dir/wire_inspect.cpp.o.d"
+  "wire_inspect"
+  "wire_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

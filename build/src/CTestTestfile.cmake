@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("image")
+subdirs("codec")
+subdirs("rtp")
+subdirs("net")
+subdirs("wm")
+subdirs("capture")
+subdirs("remoting")
+subdirs("hip")
+subdirs("bfcp")
+subdirs("sdp")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_bfcp.dir/bfcp_message.cpp.o"
+  "CMakeFiles/ads_bfcp.dir/bfcp_message.cpp.o.d"
+  "CMakeFiles/ads_bfcp.dir/floor_control.cpp.o"
+  "CMakeFiles/ads_bfcp.dir/floor_control.cpp.o.d"
+  "libads_bfcp.a"
+  "libads_bfcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_bfcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_capture.dir/apps.cpp.o"
+  "CMakeFiles/ads_capture.dir/apps.cpp.o.d"
+  "CMakeFiles/ads_capture.dir/screen_capturer.cpp.o"
+  "CMakeFiles/ads_capture.dir/screen_capturer.cpp.o.d"
+  "libads_capture.a"
+  "libads_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cpp" "src/codec/CMakeFiles/ads_codec.dir/bitstream.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/bitstream.cpp.o.d"
+  "/root/repo/src/codec/dct_codec.cpp" "src/codec/CMakeFiles/ads_codec.dir/dct_codec.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/dct_codec.cpp.o.d"
+  "/root/repo/src/codec/deflate.cpp" "src/codec/CMakeFiles/ads_codec.dir/deflate.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/deflate.cpp.o.d"
+  "/root/repo/src/codec/huffman.cpp" "src/codec/CMakeFiles/ads_codec.dir/huffman.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/huffman.cpp.o.d"
+  "/root/repo/src/codec/inflate.cpp" "src/codec/CMakeFiles/ads_codec.dir/inflate.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/inflate.cpp.o.d"
+  "/root/repo/src/codec/png.cpp" "src/codec/CMakeFiles/ads_codec.dir/png.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/png.cpp.o.d"
+  "/root/repo/src/codec/raw_codec.cpp" "src/codec/CMakeFiles/ads_codec.dir/raw_codec.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/raw_codec.cpp.o.d"
+  "/root/repo/src/codec/registry.cpp" "src/codec/CMakeFiles/ads_codec.dir/registry.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/registry.cpp.o.d"
+  "/root/repo/src/codec/rle_codec.cpp" "src/codec/CMakeFiles/ads_codec.dir/rle_codec.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/rle_codec.cpp.o.d"
+  "/root/repo/src/codec/zlib.cpp" "src/codec/CMakeFiles/ads_codec.dir/zlib.cpp.o" "gcc" "src/codec/CMakeFiles/ads_codec.dir/zlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ads_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ads_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

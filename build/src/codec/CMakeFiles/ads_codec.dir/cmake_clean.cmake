@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_codec.dir/bitstream.cpp.o"
+  "CMakeFiles/ads_codec.dir/bitstream.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/dct_codec.cpp.o"
+  "CMakeFiles/ads_codec.dir/dct_codec.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/deflate.cpp.o"
+  "CMakeFiles/ads_codec.dir/deflate.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/huffman.cpp.o"
+  "CMakeFiles/ads_codec.dir/huffman.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/inflate.cpp.o"
+  "CMakeFiles/ads_codec.dir/inflate.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/png.cpp.o"
+  "CMakeFiles/ads_codec.dir/png.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/raw_codec.cpp.o"
+  "CMakeFiles/ads_codec.dir/raw_codec.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/registry.cpp.o"
+  "CMakeFiles/ads_codec.dir/registry.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/rle_codec.cpp.o"
+  "CMakeFiles/ads_codec.dir/rle_codec.cpp.o.d"
+  "CMakeFiles/ads_codec.dir/zlib.cpp.o"
+  "CMakeFiles/ads_codec.dir/zlib.cpp.o.d"
+  "libads_codec.a"
+  "libads_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_core.dir/app_host.cpp.o"
+  "CMakeFiles/ads_core.dir/app_host.cpp.o.d"
+  "CMakeFiles/ads_core.dir/packet_classify.cpp.o"
+  "CMakeFiles/ads_core.dir/packet_classify.cpp.o.d"
+  "CMakeFiles/ads_core.dir/participant.cpp.o"
+  "CMakeFiles/ads_core.dir/participant.cpp.o.d"
+  "CMakeFiles/ads_core.dir/participant_layout.cpp.o"
+  "CMakeFiles/ads_core.dir/participant_layout.cpp.o.d"
+  "CMakeFiles/ads_core.dir/session.cpp.o"
+  "CMakeFiles/ads_core.dir/session.cpp.o.d"
+  "libads_core.a"
+  "libads_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

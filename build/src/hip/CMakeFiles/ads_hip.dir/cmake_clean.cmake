@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_hip.dir/keycodes.cpp.o"
+  "CMakeFiles/ads_hip.dir/keycodes.cpp.o.d"
+  "CMakeFiles/ads_hip.dir/messages.cpp.o"
+  "CMakeFiles/ads_hip.dir/messages.cpp.o.d"
+  "CMakeFiles/ads_hip.dir/utf8.cpp.o"
+  "CMakeFiles/ads_hip.dir/utf8.cpp.o.d"
+  "libads_hip.a"
+  "libads_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

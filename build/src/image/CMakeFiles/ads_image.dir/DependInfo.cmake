@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/damage.cpp" "src/image/CMakeFiles/ads_image.dir/damage.cpp.o" "gcc" "src/image/CMakeFiles/ads_image.dir/damage.cpp.o.d"
+  "/root/repo/src/image/geometry.cpp" "src/image/CMakeFiles/ads_image.dir/geometry.cpp.o" "gcc" "src/image/CMakeFiles/ads_image.dir/geometry.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/ads_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/ads_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/metrics.cpp" "src/image/CMakeFiles/ads_image.dir/metrics.cpp.o" "gcc" "src/image/CMakeFiles/ads_image.dir/metrics.cpp.o.d"
+  "/root/repo/src/image/scale.cpp" "src/image/CMakeFiles/ads_image.dir/scale.cpp.o" "gcc" "src/image/CMakeFiles/ads_image.dir/scale.cpp.o.d"
+  "/root/repo/src/image/scroll_detect.cpp" "src/image/CMakeFiles/ads_image.dir/scroll_detect.cpp.o" "gcc" "src/image/CMakeFiles/ads_image.dir/scroll_detect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ads_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_image.dir/damage.cpp.o"
+  "CMakeFiles/ads_image.dir/damage.cpp.o.d"
+  "CMakeFiles/ads_image.dir/geometry.cpp.o"
+  "CMakeFiles/ads_image.dir/geometry.cpp.o.d"
+  "CMakeFiles/ads_image.dir/image.cpp.o"
+  "CMakeFiles/ads_image.dir/image.cpp.o.d"
+  "CMakeFiles/ads_image.dir/metrics.cpp.o"
+  "CMakeFiles/ads_image.dir/metrics.cpp.o.d"
+  "CMakeFiles/ads_image.dir/scale.cpp.o"
+  "CMakeFiles/ads_image.dir/scale.cpp.o.d"
+  "CMakeFiles/ads_image.dir/scroll_detect.cpp.o"
+  "CMakeFiles/ads_image.dir/scroll_detect.cpp.o.d"
+  "libads_image.a"
+  "libads_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libads_image.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_net.dir/event_loop.cpp.o"
+  "CMakeFiles/ads_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/ads_net.dir/tcp_channel.cpp.o"
+  "CMakeFiles/ads_net.dir/tcp_channel.cpp.o.d"
+  "CMakeFiles/ads_net.dir/udp_channel.cpp.o"
+  "CMakeFiles/ads_net.dir/udp_channel.cpp.o.d"
+  "libads_net.a"
+  "libads_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

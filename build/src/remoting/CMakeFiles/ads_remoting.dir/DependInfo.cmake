@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remoting/header.cpp" "src/remoting/CMakeFiles/ads_remoting.dir/header.cpp.o" "gcc" "src/remoting/CMakeFiles/ads_remoting.dir/header.cpp.o.d"
+  "/root/repo/src/remoting/message.cpp" "src/remoting/CMakeFiles/ads_remoting.dir/message.cpp.o" "gcc" "src/remoting/CMakeFiles/ads_remoting.dir/message.cpp.o.d"
+  "/root/repo/src/remoting/mouse_pointer_info.cpp" "src/remoting/CMakeFiles/ads_remoting.dir/mouse_pointer_info.cpp.o" "gcc" "src/remoting/CMakeFiles/ads_remoting.dir/mouse_pointer_info.cpp.o.d"
+  "/root/repo/src/remoting/move_rectangle.cpp" "src/remoting/CMakeFiles/ads_remoting.dir/move_rectangle.cpp.o" "gcc" "src/remoting/CMakeFiles/ads_remoting.dir/move_rectangle.cpp.o.d"
+  "/root/repo/src/remoting/region_update.cpp" "src/remoting/CMakeFiles/ads_remoting.dir/region_update.cpp.o" "gcc" "src/remoting/CMakeFiles/ads_remoting.dir/region_update.cpp.o.d"
+  "/root/repo/src/remoting/window_manager_info.cpp" "src/remoting/CMakeFiles/ads_remoting.dir/window_manager_info.cpp.o" "gcc" "src/remoting/CMakeFiles/ads_remoting.dir/window_manager_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ads_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wm/CMakeFiles/ads_wm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/ads_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ads_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_remoting.dir/header.cpp.o"
+  "CMakeFiles/ads_remoting.dir/header.cpp.o.d"
+  "CMakeFiles/ads_remoting.dir/message.cpp.o"
+  "CMakeFiles/ads_remoting.dir/message.cpp.o.d"
+  "CMakeFiles/ads_remoting.dir/mouse_pointer_info.cpp.o"
+  "CMakeFiles/ads_remoting.dir/mouse_pointer_info.cpp.o.d"
+  "CMakeFiles/ads_remoting.dir/move_rectangle.cpp.o"
+  "CMakeFiles/ads_remoting.dir/move_rectangle.cpp.o.d"
+  "CMakeFiles/ads_remoting.dir/region_update.cpp.o"
+  "CMakeFiles/ads_remoting.dir/region_update.cpp.o.d"
+  "CMakeFiles/ads_remoting.dir/window_manager_info.cpp.o"
+  "CMakeFiles/ads_remoting.dir/window_manager_info.cpp.o.d"
+  "libads_remoting.a"
+  "libads_remoting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_remoting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtp/framing.cpp" "src/rtp/CMakeFiles/ads_rtp.dir/framing.cpp.o" "gcc" "src/rtp/CMakeFiles/ads_rtp.dir/framing.cpp.o.d"
+  "/root/repo/src/rtp/reorder_buffer.cpp" "src/rtp/CMakeFiles/ads_rtp.dir/reorder_buffer.cpp.o" "gcc" "src/rtp/CMakeFiles/ads_rtp.dir/reorder_buffer.cpp.o.d"
+  "/root/repo/src/rtp/retransmission_cache.cpp" "src/rtp/CMakeFiles/ads_rtp.dir/retransmission_cache.cpp.o" "gcc" "src/rtp/CMakeFiles/ads_rtp.dir/retransmission_cache.cpp.o.d"
+  "/root/repo/src/rtp/rtcp.cpp" "src/rtp/CMakeFiles/ads_rtp.dir/rtcp.cpp.o" "gcc" "src/rtp/CMakeFiles/ads_rtp.dir/rtcp.cpp.o.d"
+  "/root/repo/src/rtp/rtp_packet.cpp" "src/rtp/CMakeFiles/ads_rtp.dir/rtp_packet.cpp.o" "gcc" "src/rtp/CMakeFiles/ads_rtp.dir/rtp_packet.cpp.o.d"
+  "/root/repo/src/rtp/rtp_session.cpp" "src/rtp/CMakeFiles/ads_rtp.dir/rtp_session.cpp.o" "gcc" "src/rtp/CMakeFiles/ads_rtp.dir/rtp_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ads_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

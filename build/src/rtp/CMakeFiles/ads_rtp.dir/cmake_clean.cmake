@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_rtp.dir/framing.cpp.o"
+  "CMakeFiles/ads_rtp.dir/framing.cpp.o.d"
+  "CMakeFiles/ads_rtp.dir/reorder_buffer.cpp.o"
+  "CMakeFiles/ads_rtp.dir/reorder_buffer.cpp.o.d"
+  "CMakeFiles/ads_rtp.dir/retransmission_cache.cpp.o"
+  "CMakeFiles/ads_rtp.dir/retransmission_cache.cpp.o.d"
+  "CMakeFiles/ads_rtp.dir/rtcp.cpp.o"
+  "CMakeFiles/ads_rtp.dir/rtcp.cpp.o.d"
+  "CMakeFiles/ads_rtp.dir/rtp_packet.cpp.o"
+  "CMakeFiles/ads_rtp.dir/rtp_packet.cpp.o.d"
+  "CMakeFiles/ads_rtp.dir/rtp_session.cpp.o"
+  "CMakeFiles/ads_rtp.dir/rtp_session.cpp.o.d"
+  "libads_rtp.a"
+  "libads_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

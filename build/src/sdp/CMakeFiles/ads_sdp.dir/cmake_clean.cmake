@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_sdp.dir/sdp.cpp.o"
+  "CMakeFiles/ads_sdp.dir/sdp.cpp.o.d"
+  "CMakeFiles/ads_sdp.dir/sharing_session.cpp.o"
+  "CMakeFiles/ads_sdp.dir/sharing_session.cpp.o.d"
+  "libads_sdp.a"
+  "libads_sdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_util.dir/bytes.cpp.o"
+  "CMakeFiles/ads_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ads_util.dir/checksum.cpp.o"
+  "CMakeFiles/ads_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/ads_util.dir/logging.cpp.o"
+  "CMakeFiles/ads_util.dir/logging.cpp.o.d"
+  "libads_util.a"
+  "libads_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

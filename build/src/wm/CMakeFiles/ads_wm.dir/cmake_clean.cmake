@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_wm.dir/window_manager.cpp.o"
+  "CMakeFiles/ads_wm.dir/window_manager.cpp.o.d"
+  "libads_wm.a"
+  "libads_wm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_wm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfcp_message_test.dir/bfcp_message_test.cpp.o"
+  "CMakeFiles/bfcp_message_test.dir/bfcp_message_test.cpp.o.d"
+  "bfcp_message_test"
+  "bfcp_message_test.pdb"
+  "bfcp_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfcp_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floor_control_test.dir/floor_control_test.cpp.o"
+  "CMakeFiles/floor_control_test.dir/floor_control_test.cpp.o.d"
+  "floor_control_test"
+  "floor_control_test.pdb"
+  "floor_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floor_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

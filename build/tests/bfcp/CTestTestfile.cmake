@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/bfcp
+# Build directory: /root/repo/build/tests/bfcp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bfcp/bfcp_message_test[1]_include.cmake")
+include("/root/repo/build/tests/bfcp/floor_control_test[1]_include.cmake")

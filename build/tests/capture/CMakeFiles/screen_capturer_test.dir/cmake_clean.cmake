@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screen_capturer_test.dir/screen_capturer_test.cpp.o"
+  "CMakeFiles/screen_capturer_test.dir/screen_capturer_test.cpp.o.d"
+  "screen_capturer_test"
+  "screen_capturer_test.pdb"
+  "screen_capturer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screen_capturer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

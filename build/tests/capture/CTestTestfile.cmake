@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/capture
+# Build directory: /root/repo/build/tests/capture
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/capture/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/capture/screen_capturer_test[1]_include.cmake")

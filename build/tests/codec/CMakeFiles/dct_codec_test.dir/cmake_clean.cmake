@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_codec_test.dir/dct_codec_test.cpp.o"
+  "CMakeFiles/dct_codec_test.dir/dct_codec_test.cpp.o.d"
+  "dct_codec_test"
+  "dct_codec_test.pdb"
+  "dct_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

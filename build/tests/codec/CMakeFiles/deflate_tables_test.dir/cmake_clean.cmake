@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflate_tables_test.dir/deflate_tables_test.cpp.o"
+  "CMakeFiles/deflate_tables_test.dir/deflate_tables_test.cpp.o.d"
+  "deflate_tables_test"
+  "deflate_tables_test.pdb"
+  "deflate_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflate_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_codecs_test.dir/simple_codecs_test.cpp.o"
+  "CMakeFiles/simple_codecs_test.dir/simple_codecs_test.cpp.o.d"
+  "simple_codecs_test"
+  "simple_codecs_test.pdb"
+  "simple_codecs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_codecs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

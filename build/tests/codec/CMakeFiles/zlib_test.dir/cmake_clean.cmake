@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zlib_test.dir/zlib_test.cpp.o"
+  "CMakeFiles/zlib_test.dir/zlib_test.cpp.o.d"
+  "zlib_test"
+  "zlib_test.pdb"
+  "zlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

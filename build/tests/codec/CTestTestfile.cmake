@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/codec
+# Build directory: /root/repo/build/tests/codec
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codec/bitstream_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/huffman_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/deflate_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/zlib_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/png_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/simple_codecs_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/dct_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/interop_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/deflate_tables_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_flow_test.dir/hip_flow_test.cpp.o"
+  "CMakeFiles/hip_flow_test.dir/hip_flow_test.cpp.o.d"
+  "hip_flow_test"
+  "hip_flow_test.pdb"
+  "hip_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

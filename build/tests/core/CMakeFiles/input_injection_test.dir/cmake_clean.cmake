@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_injection_test.dir/input_injection_test.cpp.o"
+  "CMakeFiles/input_injection_test.dir/input_injection_test.cpp.o.d"
+  "input_injection_test"
+  "input_injection_test.pdb"
+  "input_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_session_test.dir/multicast_session_test.cpp.o"
+  "CMakeFiles/multicast_session_test.dir/multicast_session_test.cpp.o.d"
+  "multicast_session_test"
+  "multicast_session_test.pdb"
+  "multicast_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negotiation_test.dir/negotiation_test.cpp.o"
+  "CMakeFiles/negotiation_test.dir/negotiation_test.cpp.o.d"
+  "negotiation_test"
+  "negotiation_test.pdb"
+  "negotiation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negotiation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

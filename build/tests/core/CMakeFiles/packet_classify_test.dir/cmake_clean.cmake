@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_classify_test.dir/packet_classify_test.cpp.o"
+  "CMakeFiles/packet_classify_test.dir/packet_classify_test.cpp.o.d"
+  "packet_classify_test"
+  "packet_classify_test.pdb"
+  "packet_classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/participant_layout_test.dir/participant_layout_test.cpp.o"
+  "CMakeFiles/participant_layout_test.dir/participant_layout_test.cpp.o.d"
+  "participant_layout_test"
+  "participant_layout_test.pdb"
+  "participant_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/participant_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

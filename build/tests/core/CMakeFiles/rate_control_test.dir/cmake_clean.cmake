@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_control_test.dir/rate_control_test.cpp.o"
+  "CMakeFiles/rate_control_test.dir/rate_control_test.cpp.o.d"
+  "rate_control_test"
+  "rate_control_test.pdb"
+  "rate_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_edge_test.dir/session_edge_test.cpp.o"
+  "CMakeFiles/session_edge_test.dir/session_edge_test.cpp.o.d"
+  "session_edge_test"
+  "session_edge_test.pdb"
+  "session_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

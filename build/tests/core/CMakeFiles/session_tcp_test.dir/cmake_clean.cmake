@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_tcp_test.dir/session_tcp_test.cpp.o"
+  "CMakeFiles/session_tcp_test.dir/session_tcp_test.cpp.o.d"
+  "session_tcp_test"
+  "session_tcp_test.pdb"
+  "session_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

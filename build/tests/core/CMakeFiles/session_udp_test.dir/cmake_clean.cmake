@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_udp_test.dir/session_udp_test.cpp.o"
+  "CMakeFiles/session_udp_test.dir/session_udp_test.cpp.o.d"
+  "session_udp_test"
+  "session_udp_test.pdb"
+  "session_udp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_udp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

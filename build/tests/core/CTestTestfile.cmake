@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/packet_classify_test[1]_include.cmake")
+include("/root/repo/build/tests/core/participant_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/core/session_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/core/session_udp_test[1]_include.cmake")
+include("/root/repo/build/tests/core/hip_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/core/multicast_session_test[1]_include.cmake")
+include("/root/repo/build/tests/core/rate_control_test[1]_include.cmake")
+include("/root/repo/build/tests/core/pointer_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/core/negotiation_test[1]_include.cmake")
+include("/root/repo/build/tests/core/input_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/core/session_edge_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hip_messages_test.dir/hip_messages_test.cpp.o"
+  "CMakeFiles/hip_messages_test.dir/hip_messages_test.cpp.o.d"
+  "hip_messages_test"
+  "hip_messages_test.pdb"
+  "hip_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hip_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

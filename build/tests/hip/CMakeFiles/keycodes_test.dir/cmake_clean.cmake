@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keycodes_test.dir/keycodes_test.cpp.o"
+  "CMakeFiles/keycodes_test.dir/keycodes_test.cpp.o.d"
+  "keycodes_test"
+  "keycodes_test.pdb"
+  "keycodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keycodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

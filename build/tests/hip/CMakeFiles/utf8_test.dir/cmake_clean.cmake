@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utf8_test.dir/utf8_test.cpp.o"
+  "CMakeFiles/utf8_test.dir/utf8_test.cpp.o.d"
+  "utf8_test"
+  "utf8_test.pdb"
+  "utf8_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utf8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

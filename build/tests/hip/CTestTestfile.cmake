@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hip
+# Build directory: /root/repo/build/tests/hip
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hip/hip_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/keycodes_test[1]_include.cmake")
+include("/root/repo/build/tests/hip/utf8_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scroll_detect_test.dir/scroll_detect_test.cpp.o"
+  "CMakeFiles/scroll_detect_test.dir/scroll_detect_test.cpp.o.d"
+  "scroll_detect_test"
+  "scroll_detect_test.pdb"
+  "scroll_detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scroll_detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_channel_test.dir/tcp_channel_test.cpp.o"
+  "CMakeFiles/tcp_channel_test.dir/tcp_channel_test.cpp.o.d"
+  "tcp_channel_test"
+  "tcp_channel_test.pdb"
+  "tcp_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

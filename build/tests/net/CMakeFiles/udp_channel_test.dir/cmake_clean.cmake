@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_channel_test.dir/udp_channel_test.cpp.o"
+  "CMakeFiles/udp_channel_test.dir/udp_channel_test.cpp.o.d"
+  "udp_channel_test"
+  "udp_channel_test.pdb"
+  "udp_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/net
+# Build directory: /root/repo/build/tests/net
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/net/event_loop_test[1]_include.cmake")
+include("/root/repo/build/tests/net/udp_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/net/tcp_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/net/rate_limiter_test[1]_include.cmake")
+include("/root/repo/build/tests/net/multicast_test[1]_include.cmake")

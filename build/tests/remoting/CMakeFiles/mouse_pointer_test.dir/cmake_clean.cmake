@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_pointer_test.dir/mouse_pointer_test.cpp.o"
+  "CMakeFiles/mouse_pointer_test.dir/mouse_pointer_test.cpp.o.d"
+  "mouse_pointer_test"
+  "mouse_pointer_test.pdb"
+  "mouse_pointer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_pointer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

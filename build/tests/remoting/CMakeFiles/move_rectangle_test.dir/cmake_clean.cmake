@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_rectangle_test.dir/move_rectangle_test.cpp.o"
+  "CMakeFiles/move_rectangle_test.dir/move_rectangle_test.cpp.o.d"
+  "move_rectangle_test"
+  "move_rectangle_test.pdb"
+  "move_rectangle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_rectangle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

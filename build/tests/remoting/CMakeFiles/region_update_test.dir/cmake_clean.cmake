@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_update_test.dir/region_update_test.cpp.o"
+  "CMakeFiles/region_update_test.dir/region_update_test.cpp.o.d"
+  "region_update_test"
+  "region_update_test.pdb"
+  "region_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

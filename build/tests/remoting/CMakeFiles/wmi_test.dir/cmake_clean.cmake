@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmi_test.dir/wmi_test.cpp.o"
+  "CMakeFiles/wmi_test.dir/wmi_test.cpp.o.d"
+  "wmi_test"
+  "wmi_test.pdb"
+  "wmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/remoting
+# Build directory: /root/repo/build/tests/remoting
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/remoting/header_test[1]_include.cmake")
+include("/root/repo/build/tests/remoting/wmi_test[1]_include.cmake")
+include("/root/repo/build/tests/remoting/region_update_test[1]_include.cmake")
+include("/root/repo/build/tests/remoting/move_rectangle_test[1]_include.cmake")
+include("/root/repo/build/tests/remoting/mouse_pointer_test[1]_include.cmake")
+include("/root/repo/build/tests/remoting/demux_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retransmission_cache_test.dir/retransmission_cache_test.cpp.o"
+  "CMakeFiles/retransmission_cache_test.dir/retransmission_cache_test.cpp.o.d"
+  "retransmission_cache_test"
+  "retransmission_cache_test.pdb"
+  "retransmission_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retransmission_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtcp_reports_test.dir/rtcp_reports_test.cpp.o"
+  "CMakeFiles/rtcp_reports_test.dir/rtcp_reports_test.cpp.o.d"
+  "rtcp_reports_test"
+  "rtcp_reports_test.pdb"
+  "rtcp_reports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtcp_reports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtp_session_test.dir/rtp_session_test.cpp.o"
+  "CMakeFiles/rtp_session_test.dir/rtp_session_test.cpp.o.d"
+  "rtp_session_test"
+  "rtp_session_test.pdb"
+  "rtp_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtp_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rtp
+# Build directory: /root/repo/build/tests/rtp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rtp/rtp_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/rtp/rtcp_test[1]_include.cmake")
+include("/root/repo/build/tests/rtp/framing_test[1]_include.cmake")
+include("/root/repo/build/tests/rtp/rtp_session_test[1]_include.cmake")
+include("/root/repo/build/tests/rtp/reorder_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/rtp/retransmission_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/rtp/rtcp_reports_test[1]_include.cmake")

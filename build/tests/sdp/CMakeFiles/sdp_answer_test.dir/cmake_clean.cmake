@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdp_answer_test.dir/sdp_answer_test.cpp.o"
+  "CMakeFiles/sdp_answer_test.dir/sdp_answer_test.cpp.o.d"
+  "sdp_answer_test"
+  "sdp_answer_test.pdb"
+  "sdp_answer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdp_answer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

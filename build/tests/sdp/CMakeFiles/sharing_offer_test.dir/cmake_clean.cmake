@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_offer_test.dir/sharing_offer_test.cpp.o"
+  "CMakeFiles/sharing_offer_test.dir/sharing_offer_test.cpp.o.d"
+  "sharing_offer_test"
+  "sharing_offer_test.pdb"
+  "sharing_offer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_offer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sdp
+# Build directory: /root/repo/build/tests/sdp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sdp/sdp_test[1]_include.cmake")
+include("/root/repo/build/tests/sdp/sharing_offer_test[1]_include.cmake")
+include("/root/repo/build/tests/sdp/sdp_answer_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_manager_test.dir/window_manager_test.cpp.o"
+  "CMakeFiles/window_manager_test.dir/window_manager_test.cpp.o.d"
+  "window_manager_test"
+  "window_manager_test.pdb"
+  "window_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
