@@ -35,7 +35,8 @@ const Image& frame_for(const std::string& workload) {
   return it->second;
 }
 
-void run_codec(benchmark::State& state, const std::string& workload, ContentPt pt) {
+void run_codec(benchmark::State& state, const std::string& name,
+               const std::string& workload, ContentPt pt) {
   const auto registry = CodecRegistry::with_defaults();
   const ImageCodec* codec = registry.find(pt);
   const Image& frame = frame_for(workload);
@@ -55,6 +56,10 @@ void run_codec(benchmark::State& state, const std::string& workload, ContentPt p
   state.counters["psnr_db"] = std::isinf(quality) ? 0.0 : quality;  // 0 = lossless
   state.counters["lossless"] = codec->lossless() ? 1 : 0;
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kW * kH * 4);
+  json_report("codecs").record(name, {{"bytes", state.counters["bytes"]},
+                                      {"ratio", state.counters["ratio"]},
+                                      {"psnr_db", state.counters["psnr_db"]},
+                                      {"lossless", state.counters["lossless"]}});
 }
 
 void register_all() {
@@ -69,9 +74,9 @@ void register_all() {
   for (const char* workload : workloads) {
     for (const auto& [cname, pt] : codecs) {
       const std::string name = std::string("E1/") + workload + "/" + cname;
-      benchmark::RegisterBenchmark(name.c_str(),
-                                   [workload = std::string(workload), pt](
-                                       benchmark::State& s) { run_codec(s, workload, pt); })
+      benchmark::RegisterBenchmark(
+          name.c_str(), [name, workload = std::string(workload), pt](
+                            benchmark::State& s) { run_codec(s, name, workload, pt); })
           ->Unit(benchmark::kMillisecond);
     }
   }
@@ -95,6 +100,11 @@ void dct_rd_curve(benchmark::State& state) {
   state.counters["psnr_db"] = psnr(frame, *decoded);
   state.counters["kbps_at_10fps"] =
       static_cast<double>(encoded.size()) * 8 * 10 / 1000.0;
+  json_report("codecs").record(
+      "E1b/dct_rate_distortion/" + std::to_string(quality),
+      {{"bytes", state.counters["bytes"]},
+       {"psnr_db", state.counters["psnr_db"]},
+       {"kbps_at_10fps", state.counters["kbps_at_10fps"]}});
 }
 
 BENCHMARK(dct_rd_curve)

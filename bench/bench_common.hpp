@@ -4,14 +4,67 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "capture/apps.hpp"
 #include "image/image.hpp"
 
 namespace ads::bench {
+
+/// Accumulates named counter sets and writes them as `BENCH_<bench>.json` in
+/// the working directory when the process exits, so every bench binary emits
+/// machine-readable results with one schema:
+///   {"bench": "<bench>", "entries": [{"name": ..., "counters": {...}}]}
+/// Entries are deduplicated by name (last record wins — benchmarks may rerun
+/// a case for timing stability) and serialised in sorted order so diffs
+/// between runs are meaningful.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+  ~JsonReport() { write(); }
+
+  void record(const std::string& entry, std::map<std::string, double> counters) {
+    entries_[entry] = std::move(counters);
+  }
+
+ private:
+  void write() const {
+    std::ofstream out("BENCH_" + bench_ + ".json");
+    if (!out) return;
+    out << "{\"bench\": \"" << bench_ << "\", \"entries\": [";
+    bool first_entry = true;
+    for (const auto& [name, counters] : entries_) {
+      if (!first_entry) out << ", ";
+      first_entry = false;
+      out << "{\"name\": \"" << name << "\", \"counters\": {";
+      bool first_counter = true;
+      for (const auto& [key, value] : counters) {
+        if (!first_counter) out << ", ";
+        first_counter = false;
+        // JSON has no inf/nan literals; clamp to 0 (matches the "0 =
+        // lossless" PSNR convention used by the codec bench).
+        out << "\"" << key << "\": " << (std::isfinite(value) ? value : 0.0);
+      }
+      out << "}}";
+    }
+    out << "]}\n";
+  }
+
+  std::string bench_;
+  std::map<std::string, std::map<std::string, double>> entries_;
+};
+
+/// The process-wide report for this bench binary. First call fixes the name.
+inline JsonReport& json_report(const std::string& bench) {
+  static JsonReport report(bench);
+  return report;
+}
 
 /// A frame of the named workload after `warmup_ticks` ticks.
 inline Image workload_frame(std::string_view name, std::int64_t w, std::int64_t h,

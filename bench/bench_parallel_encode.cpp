@@ -1,0 +1,164 @@
+// E13 — the parallel band-encode stage (worker pool + encoded-region cache).
+//
+// Claims under test:
+//  * splitting a frame's damage into 128-row bands and encoding them on a
+//    worker pool scales encode throughput with core count while producing
+//    byte-identical wire output (the golden test asserts the identity; this
+//    bench measures the speedup, honestly reporting whatever the machine's
+//    core count allows);
+//  * the encoded-region cache turns a PLI full refresh of unchanged content
+//    into memory copies instead of codec runs.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/parallel_encoder.hpp"
+
+namespace {
+
+using namespace ads;
+using namespace ads::bench;
+
+constexpr std::int64_t kW = 1280;
+constexpr std::int64_t kH = 1024;
+constexpr std::int64_t kBandRows = 128;
+
+const Image& frame_for(const std::string& workload) {
+  static std::map<std::string, Image> cache;
+  auto it = cache.find(workload);
+  if (it == cache.end()) {
+    it = cache.emplace(workload, workload_frame(workload, kW, kH)).first;
+  }
+  return it->second;
+}
+
+std::vector<Rect> bands_for(const Image& frame) {
+  std::vector<Rect> bands;
+  for (std::int64_t top = 0; top < frame.height(); top += kBandRows) {
+    bands.push_back(
+        Rect{0, top, frame.width(), std::min(kBandRows, frame.height() - top)});
+  }
+  return bands;
+}
+
+double measure_encode_ns(ParallelEncoder& enc, const Image& frame,
+                         const std::vector<Rect>& bands, int reps) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    auto payloads = enc.encode_regions(frame, bands, ContentPt::kPng);
+    benchmark::DoNotOptimize(payloads);
+  }
+  return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() -
+                                                  start)
+             .count() /
+         reps;
+}
+
+/// Serial (threads=0, cache off) cost of one full-frame encode, measured
+/// once per workload — the baseline every thread count is compared against.
+double serial_ns(const std::string& workload) {
+  static std::map<std::string, double> cache;
+  auto it = cache.find(workload);
+  if (it == cache.end()) {
+    const Image& frame = frame_for(workload);
+    const auto bands = bands_for(frame);
+    const auto registry = CodecRegistry::with_defaults();
+    ParallelEncoder enc(registry, {.threads = 0, .cache_bytes = 0});
+    measure_encode_ns(enc, frame, bands, 1);  // warm the scratch arenas
+    it = cache.emplace(workload, measure_encode_ns(enc, frame, bands, 3)).first;
+  }
+  return it->second;
+}
+
+void run_threads(benchmark::State& state, const std::string& name,
+                 const std::string& workload, std::size_t threads) {
+  const Image& frame = frame_for(workload);
+  const auto bands = bands_for(frame);
+  const auto registry = CodecRegistry::with_defaults();
+  ParallelEncoder enc(registry, {.threads = threads, .cache_bytes = 0});
+
+  double total_ns = 0;
+  std::int64_t iters = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto payloads = enc.encode_regions(frame, bands, ContentPt::kPng);
+    total_ns += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    ++iters;
+    benchmark::DoNotOptimize(payloads);
+  }
+
+  const double ns_per_frame = total_ns / static_cast<double>(iters);
+  state.counters["bands"] = static_cast<double>(bands.size());
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["ns_per_band"] = ns_per_frame / static_cast<double>(bands.size());
+  state.counters["speedup_vs_serial"] = serial_ns(workload) / ns_per_frame;
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  json_report("parallel_encode")
+      .record(name, {{"bands", state.counters["bands"]},
+                     {"threads", state.counters["threads"]},
+                     {"ns_per_band", state.counters["ns_per_band"]},
+                     {"speedup_vs_serial", state.counters["speedup_vs_serial"]},
+                     {"hw_threads", state.counters["hw_threads"]}});
+}
+
+// The PLI-refresh scenario the cache exists for: a participant joins (or
+// reports loss) and the AH must resend the whole — unchanged — screen. With
+// the cache every band is a lookup; without it every band re-runs PNG.
+void run_cache(benchmark::State& state, const std::string& name,
+               std::size_t cache_bytes) {
+  const Image& frame = frame_for("slideshow");
+  const auto bands = bands_for(frame);
+  const auto registry = CodecRegistry::with_defaults();
+  ParallelEncoder enc(registry, {.threads = 0, .cache_bytes = cache_bytes});
+  auto cold = enc.encode_regions(frame, bands, ContentPt::kPng);  // populate
+  benchmark::DoNotOptimize(cold);
+
+  for (auto _ : state) {
+    auto refresh = enc.encode_regions(frame, bands, ContentPt::kPng);
+    benchmark::DoNotOptimize(refresh);
+  }
+
+  const auto& stats = enc.stats();
+  const double lookups = static_cast<double>(stats.cache_hits + stats.cache_misses);
+  state.counters["hit_rate"] =
+      lookups > 0 ? static_cast<double>(stats.cache_hits) / lookups : 0.0;
+  state.counters["cache_bytes"] = static_cast<double>(enc.cache().bytes());
+  json_report("parallel_encode")
+      .record(name, {{"hit_rate", state.counters["hit_rate"]},
+                     {"cache_bytes", state.counters["cache_bytes"]}});
+}
+
+void register_all() {
+  static const char* workloads[] = {"terminal", "slideshow", "video"};
+  static const std::size_t thread_counts[] = {0, 1, 2, 4, 8};
+  for (const char* workload : workloads) {
+    for (const std::size_t threads : thread_counts) {
+      const std::string name = std::string("E13/") + workload + "/threads:" +
+                               std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [name, workload = std::string(workload), threads](benchmark::State& s) {
+            run_threads(s, name, workload, threads);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (const std::size_t cache_bytes : {std::size_t{0}, std::size_t{16} << 20}) {
+    const std::string name = std::string("E13b/pli_refresh/cache:") +
+                             (cache_bytes ? "on" : "off");
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [name, cache_bytes](benchmark::State& s) {
+                                   run_cache(s, name, cache_bytes);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace

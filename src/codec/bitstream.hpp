@@ -12,6 +12,11 @@ namespace ads {
 
 class BitWriter {
  public:
+  BitWriter() = default;
+  /// Adopt `buf` as the output buffer (cleared, capacity kept) so callers on
+  /// a hot path can reuse one allocation across invocations via take().
+  explicit BitWriter(Bytes buf) : buf_(std::move(buf)) { buf_.clear(); }
+
   /// Append the low `count` bits of `bits`, LSB first. count <= 32.
   void write(std::uint32_t bits, int count);
 

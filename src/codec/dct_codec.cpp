@@ -134,6 +134,14 @@ int read_i16(BytesView data, std::size_t index) {
 }  // namespace
 
 Bytes dct_encode(const Image& img, const DctOptions& opts) {
+  EncodeScratch scratch;
+  Bytes out;
+  dct_encode_into(img, opts, out, scratch);
+  return out;
+}
+
+void dct_encode_into(const Image& img, const DctOptions& opts, Bytes& dest,
+                     EncodeScratch& scratch) {
   const std::int64_t w = img.width();
   const std::int64_t h = img.height();
   const std::int64_t bw = (w + 7) / 8;
@@ -145,7 +153,7 @@ Bytes dct_encode(const Image& img, const DctOptions& opts) {
   // Channel planes, edge-replicated to block multiples.
   const std::int64_t pw = bw * 8;
   const std::int64_t ph = bh * 8;
-  std::vector<double> planes[3];
+  std::vector<double>(&planes)[3] = scratch.planes;
   for (auto& pl : planes) pl.resize(static_cast<std::size_t>(pw * ph));
   for (std::int64_t y = 0; y < ph; ++y) {
     const std::int64_t sy = std::min(y, h > 0 ? h - 1 : 0);
@@ -162,7 +170,8 @@ Bytes dct_encode(const Image& img, const DctOptions& opts) {
     }
   }
 
-  Bytes coeffs;
+  Bytes& coeffs = scratch.staging;
+  coeffs.clear();
   coeffs.reserve(static_cast<std::size_t>(bw * bh) * 3 * 32);
   for (int ch = 0; ch < 3; ++ch) {
     const auto& q = ch == 0 ? luma_q : chroma_q;
@@ -194,12 +203,13 @@ Bytes dct_encode(const Image& img, const DctOptions& opts) {
     }
   }
 
-  ByteWriter out;
+  zlib_compress_into(coeffs, {.level = 6}, scratch.compressed, scratch.deflate);
+  ByteWriter out(std::move(dest));
   out.u32(static_cast<std::uint32_t>(w));
   out.u32(static_cast<std::uint32_t>(h));
   out.u8(static_cast<std::uint8_t>(std::clamp(opts.quality, 1, 100)));
-  out.bytes(zlib_compress(coeffs, {.level = 6}));
-  return out.take();
+  out.bytes(scratch.compressed);
+  dest = out.take();
 }
 
 Result<Image> dct_decode(BytesView data) {

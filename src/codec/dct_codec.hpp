@@ -16,6 +16,11 @@ struct DctOptions {
 };
 
 Bytes dct_encode(const Image& img, const DctOptions& opts = {});
+/// As dct_encode, but writes into `out` (cleared first, capacity kept) and
+/// reuses `scratch` for the channel planes, coefficient stream, and entropy
+/// stage. Output bytes are identical to dct_encode.
+void dct_encode_into(const Image& img, const DctOptions& opts, Bytes& out,
+                     EncodeScratch& scratch);
 Result<Image> dct_decode(BytesView data);
 
 class DctCodec final : public ImageCodec {
@@ -26,6 +31,9 @@ class DctCodec final : public ImageCodec {
   std::string_view name() const override { return "dct"; }
   bool lossless() const override { return false; }
   Bytes encode(const Image& img) const override { return dct_encode(img, opts_); }
+  void encode_into(const Image& img, Bytes& out, EncodeScratch& scratch) const override {
+    dct_encode_into(img, opts_, out, scratch);
+  }
   Result<Image> decode(BytesView data) const override { return dct_decode(data); }
 
  private:

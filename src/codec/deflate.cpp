@@ -89,16 +89,19 @@ int match_length(const std::uint8_t* a, const std::uint8_t* b, int limit) {
   return n;
 }
 
-/// Hash-chain LZ77 tokeniser.
+/// Hash-chain LZ77 tokeniser. The chain tables and token list are borrowed
+/// from the caller's scratch so repeated invocations reuse their capacity.
 class Lz77 {
  public:
-  Lz77(BytesView input, SearchParams params) : in_(input), params_(params) {
+  Lz77(BytesView input, SearchParams params, std::vector<int>& head,
+       std::vector<int>& prev)
+      : in_(input), params_(params), head_(head), prev_(prev) {
     head_.assign(kHashSize, -1);
     prev_.assign(input.size(), -1);
   }
 
-  std::vector<Token> tokenize() {
-    std::vector<Token> tokens;
+  void tokenize(std::vector<Token>& tokens) {
+    tokens.clear();
     tokens.reserve(in_.size() / 3 + 16);
     const std::size_t n = in_.size();
     std::size_t i = 0;
@@ -140,7 +143,6 @@ class Lz77 {
       }
     }
     (void)pending_literal;
-    return tokens;
   }
 
  private:
@@ -182,8 +184,8 @@ class Lz77 {
 
   BytesView in_;
   SearchParams params_;
-  std::vector<int> head_;
-  std::vector<int> prev_;
+  std::vector<int>& head_;
+  std::vector<int>& prev_;
 };
 
 /// Fixed literal/length code lengths (RFC 1951 §3.2.6).
@@ -395,42 +397,78 @@ void write_dynamic_header(BitWriter& out, const DynamicHeader& h) {
   }
 }
 
+/// The fixed-Huffman code set is constant; build it once.
+const CodeSet& fixed_codes() {
+  static const CodeSet cs = [] {
+    CodeSet fixed;
+    fixed.litlen_lengths = fixed_litlen_lengths();
+    fixed.litlen_codes = canonical_codes(fixed.litlen_lengths);
+    fixed.dist_lengths = fixed_dist_lengths();
+    fixed.dist_codes = canonical_codes(fixed.dist_lengths);
+    return fixed;
+  }();
+  return cs;
+}
+
 }  // namespace
 
-Bytes deflate_compress(BytesView input, const DeflateOptions& opts) {
-  BitWriter out;
+struct DeflateScratch::Impl {
+  std::vector<int> head;
+  std::vector<int> prev;
+  std::vector<Token> tokens;
+  std::vector<std::uint64_t> lit_freq;
+  std::vector<std::uint64_t> dist_freq;
+};
 
-  if (opts.level <= 0 || opts.block == DeflateOptions::Block::kStored) {
+DeflateScratch::DeflateScratch() : impl(std::make_unique<Impl>()) {}
+DeflateScratch::~DeflateScratch() = default;
+DeflateScratch::DeflateScratch(DeflateScratch&&) noexcept = default;
+DeflateScratch& DeflateScratch::operator=(DeflateScratch&&) noexcept = default;
+
+int deflate_clamp_level(int level) { return std::clamp(level, 0, 9); }
+
+Bytes deflate_compress(BytesView input, const DeflateOptions& opts) {
+  DeflateScratch scratch;
+  Bytes out;
+  deflate_compress_into(input, opts, out, scratch);
+  return out;
+}
+
+void deflate_compress_into(BytesView input, const DeflateOptions& opts, Bytes& out,
+                           DeflateScratch& scratch) {
+  const int level = deflate_clamp_level(opts.level);
+  BitWriter bits(std::move(out));
+
+  if (level <= 0 || opts.block == DeflateOptions::Block::kStored) {
     if (input.empty()) {
       // A zero-length stored block is still a valid final block.
-      out.write(1, 1);
-      out.write(0, 2);
-      out.align_to_byte();
-      out.byte(0);
-      out.byte(0);
-      out.byte(0xFF);
-      out.byte(0xFF);
-      return out.take();
+      bits.write(1, 1);
+      bits.write(0, 2);
+      bits.align_to_byte();
+      bits.byte(0);
+      bits.byte(0);
+      bits.byte(0xFF);
+      bits.byte(0xFF);
+      out = bits.take();
+      return;
     }
-    write_stored(out, input, true);
-    return out.take();
+    write_stored(bits, input, true);
+    out = bits.take();
+    return;
   }
 
-  const SearchParams params = params_for_level(opts.level);
-  std::vector<Token> tokens = Lz77(input, params).tokenize();
+  const SearchParams params = params_for_level(level);
+  std::vector<Token>& tokens = scratch.impl->tokens;
+  Lz77(input, params, scratch.impl->head, scratch.impl->prev).tokenize(tokens);
 
   // Candidate 1: fixed Huffman.
-  CodeSet fixed;
-  fixed.litlen_lengths = fixed_litlen_lengths();
-  fixed.litlen_codes = canonical_codes(fixed.litlen_lengths);
-  fixed.dist_lengths = fixed_dist_lengths();
-  fixed.dist_codes = canonical_codes(fixed.dist_lengths);
+  const CodeSet& fixed = fixed_codes();
   const std::uint64_t fixed_bits =
       3 + body_cost_bits(tokens, fixed.litlen_lengths, fixed.dist_lengths);
 
   // Candidate 2: dynamic Huffman.
-  std::vector<std::uint64_t> lit_freq;
-  std::vector<std::uint64_t> dist_freq;
+  std::vector<std::uint64_t>& lit_freq = scratch.impl->lit_freq;
+  std::vector<std::uint64_t>& dist_freq = scratch.impl->dist_freq;
   count_frequencies(tokens, lit_freq, dist_freq);
   CodeSet dyn;
   dyn.litlen_lengths = build_code_lengths(lit_freq, 15);
@@ -462,22 +500,22 @@ Bytes deflate_compress(BytesView input, const DeflateOptions& opts) {
 
   switch (choice) {
     case DeflateOptions::Block::kStored:
-      write_stored(out, input, true);
+      write_stored(bits, input, true);
       break;
     case DeflateOptions::Block::kFixed:
-      out.write(1, 1);  // BFINAL
-      out.write(1, 2);  // BTYPE=01
-      write_tokens(out, tokens, fixed);
+      bits.write(1, 1);  // BFINAL
+      bits.write(1, 2);  // BTYPE=01
+      write_tokens(bits, tokens, fixed);
       break;
     case DeflateOptions::Block::kDynamic:
     case DeflateOptions::Block::kAuto:
-      out.write(1, 1);
-      out.write(2, 2);  // BTYPE=10
-      write_dynamic_header(out, header);
-      write_tokens(out, tokens, dyn);
+      bits.write(1, 1);
+      bits.write(2, 2);  // BTYPE=10
+      write_dynamic_header(bits, header);
+      write_tokens(bits, tokens, dyn);
       break;
   }
-  return out.take();
+  out = bits.take();
 }
 
 }  // namespace ads

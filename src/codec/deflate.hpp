@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "util/bytes.hpp"
 
@@ -16,14 +17,41 @@ namespace ads {
 
 struct DeflateOptions {
   /// 0 = stored only; 1 = greedy match, fixed-block preferred; 2-9 = hash
-  /// chain search depth grows, lazy matching from level 4.
+  /// chain search depth grows, lazy matching from level 4. Out-of-range
+  /// values are clamped to [0, 9].
   int level = 6;
   /// Force block type for ablation benchmarks (E9); kAuto picks cheapest.
   enum class Block { kAuto, kStored, kFixed, kDynamic } block = Block::kAuto;
 };
 
+/// `level` folded into the supported range: negatives behave as 0 (stored
+/// only), anything above 9 as 9.
+int deflate_clamp_level(int level);
+
+/// Reusable compressor state (hash chains, token list, frequency tables,
+/// staging buffers). One scratch per thread: reusing it across calls makes
+/// the steady-state encode path allocation-free for same-or-smaller inputs.
+struct DeflateScratch {
+  DeflateScratch();
+  ~DeflateScratch();
+  DeflateScratch(DeflateScratch&&) noexcept;
+  DeflateScratch& operator=(DeflateScratch&&) noexcept;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl;
+  /// Staging for wrapper formats (zlib stream body); lives here so zlib/png
+  /// can reuse it without seeing Impl.
+  Bytes stream;
+};
+
 /// Compress `input` into a raw DEFLATE stream (no zlib wrapper).
 Bytes deflate_compress(BytesView input, const DeflateOptions& opts = {});
+
+/// As deflate_compress, but writes into `out` (cleared first, capacity kept)
+/// and reuses `scratch` instead of allocating working state. Output bytes are
+/// identical to deflate_compress for the same input and options.
+void deflate_compress_into(BytesView input, const DeflateOptions& opts, Bytes& out,
+                           DeflateScratch& scratch);
 
 namespace deflate_tables {
 

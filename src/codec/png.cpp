@@ -84,13 +84,22 @@ std::uint64_t abs_sum(const std::uint8_t* data, std::size_t n) {
 }  // namespace
 
 Bytes png_encode(const Image& img, const PngOptions& opts) {
+  EncodeScratch scratch;
+  Bytes out;
+  png_encode_into(img, opts, out, scratch);
+  return out;
+}
+
+void png_encode_into(const Image& img, const PngOptions& opts, Bytes& dest,
+                     EncodeScratch& scratch) {
   const std::size_t width = static_cast<std::size_t>(img.width());
   const std::size_t height = static_cast<std::size_t>(img.height());
   const std::size_t bpp = opts.rgba ? 4 : 3;
   const std::size_t stride = width * bpp;
 
   // Serialise pixel rows.
-  Bytes raster(height * stride);
+  Bytes& raster = scratch.staging;
+  raster.resize(height * stride);
   for (std::size_t y = 0; y < height; ++y) {
     const auto row = img.row(static_cast<std::int64_t>(y));
     std::uint8_t* out = &raster[y * stride];
@@ -103,8 +112,10 @@ Bytes png_encode(const Image& img, const PngOptions& opts) {
   }
 
   // Filter: each scanline is prefixed with its filter type byte.
-  Bytes filtered((stride + 1) * height);
-  Bytes scratch(stride);
+  Bytes& filtered = scratch.filtered;
+  filtered.resize((stride + 1) * height);
+  Bytes& trial = scratch.row;
+  trial.resize(stride);
   for (std::size_t y = 0; y < height; ++y) {
     const std::uint8_t* row = &raster[y * stride];
     const std::uint8_t* prior = y > 0 ? &raster[(y - 1) * stride] : nullptr;
@@ -117,8 +128,8 @@ Bytes png_encode(const Image& img, const PngOptions& opts) {
     int best_type = 0;
     std::uint64_t best_score = ~0ull;
     for (int type = 0; type < 5; ++type) {
-      filter_row(type, row, prior, stride, bpp, scratch.data());
-      const std::uint64_t score = abs_sum(scratch.data(), stride);
+      filter_row(type, row, prior, stride, bpp, trial.data());
+      const std::uint64_t score = abs_sum(trial.data(), stride);
       if (score < best_score) {
         best_score = score;
         best_type = type;
@@ -128,7 +139,7 @@ Bytes png_encode(const Image& img, const PngOptions& opts) {
     filter_row(best_type, row, prior, stride, bpp, dst + 1);
   }
 
-  ByteWriter out(filtered.size() / 3 + 128);
+  ByteWriter out(std::move(dest));
   out.bytes(kSignature.data(), kSignature.size());
 
   ByteWriter ihdr(13);
@@ -141,10 +152,10 @@ Bytes png_encode(const Image& img, const PngOptions& opts) {
   ihdr.u8(0);                          // no interlace
   write_chunk(out, "IHDR", ihdr.view());
 
-  const Bytes idat = zlib_compress(filtered, opts.deflate);
-  write_chunk(out, "IDAT", idat);
+  zlib_compress_into(filtered, opts.deflate, scratch.compressed, scratch.deflate);
+  write_chunk(out, "IDAT", scratch.compressed);
   write_chunk(out, "IEND", {});
-  return out.take();
+  dest = out.take();
 }
 
 Result<Image> png_decode(BytesView data) {

@@ -18,6 +18,11 @@ struct PngOptions {
 };
 
 Bytes png_encode(const Image& img, const PngOptions& opts = {});
+/// As png_encode, but writes into `out` (cleared first, capacity kept) and
+/// reuses `scratch` for the raster/filter/deflate working buffers. Output
+/// bytes are identical to png_encode.
+void png_encode_into(const Image& img, const PngOptions& opts, Bytes& out,
+                     EncodeScratch& scratch);
 Result<Image> png_decode(BytesView data);
 
 class PngCodec final : public ImageCodec {
@@ -28,6 +33,9 @@ class PngCodec final : public ImageCodec {
   std::string_view name() const override { return "png"; }
   bool lossless() const override { return true; }
   Bytes encode(const Image& img) const override { return png_encode(img, opts_); }
+  void encode_into(const Image& img, Bytes& out, EncodeScratch& scratch) const override {
+    png_encode_into(img, opts_, out, scratch);
+  }
   Result<Image> decode(BytesView data) const override { return png_decode(data); }
 
  private:

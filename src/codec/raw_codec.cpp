@@ -3,7 +3,14 @@
 namespace ads {
 
 Bytes raw_encode(const Image& img) {
-  ByteWriter out(static_cast<std::size_t>(img.width() * img.height()) * 4 + 8);
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(img.width() * img.height()) * 4 + 8);
+  raw_encode_into(img, out);
+  return out;
+}
+
+void raw_encode_into(const Image& img, Bytes& dest) {
+  ByteWriter out(std::move(dest));
   out.u32(static_cast<std::uint32_t>(img.width()));
   out.u32(static_cast<std::uint32_t>(img.height()));
   for (const Pixel& p : img.pixels()) {
@@ -12,7 +19,7 @@ Bytes raw_encode(const Image& img) {
     out.u8(p.b);
     out.u8(p.a);
   }
-  return out.take();
+  dest = out.take();
 }
 
 Result<Image> raw_decode(BytesView data) {

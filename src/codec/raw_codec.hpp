@@ -8,6 +8,8 @@
 namespace ads {
 
 Bytes raw_encode(const Image& img);
+/// As raw_encode into `out` (cleared first, capacity kept).
+void raw_encode_into(const Image& img, Bytes& out);
 Result<Image> raw_decode(BytesView data);
 
 class RawCodec final : public ImageCodec {
@@ -16,6 +18,9 @@ class RawCodec final : public ImageCodec {
   std::string_view name() const override { return "raw"; }
   bool lossless() const override { return true; }
   Bytes encode(const Image& img) const override { return raw_encode(img); }
+  void encode_into(const Image& img, Bytes& out, EncodeScratch&) const override {
+    raw_encode_into(img, out);
+  }
   Result<Image> decode(BytesView data) const override { return raw_decode(data); }
 };
 

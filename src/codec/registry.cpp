@@ -30,6 +30,14 @@ const ImageCodec* CodecRegistry::find(std::uint8_t pt) const {
   return it == codecs_.end() ? nullptr : it->second.get();
 }
 
+bool CodecRegistry::encode_into(ContentPt pt, const Image& img, Bytes& out,
+                                EncodeScratch& scratch) const {
+  const ImageCodec* codec = find(pt);
+  if (codec == nullptr) return false;
+  codec->encode_into(img, out, scratch);
+  return true;
+}
+
 std::vector<ContentPt> CodecRegistry::payload_types() const {
   std::vector<ContentPt> out;
   out.reserve(codecs_.size());

@@ -23,6 +23,12 @@ class CodecRegistry {
   const ImageCodec* find(ContentPt pt) const;
   const ImageCodec* find(std::uint8_t pt) const;
 
+  /// Encode `img` with the codec for `pt` into `out` (cleared first),
+  /// reusing `scratch`. Returns false (out untouched) for unknown payload
+  /// types. This is the scratch-threaded entry the AH encode workers use.
+  bool encode_into(ContentPt pt, const Image& img, Bytes& out,
+                   EncodeScratch& scratch) const;
+
   std::vector<ContentPt> payload_types() const;
 
  private:

@@ -3,7 +3,13 @@
 namespace ads {
 
 Bytes rle_encode(const Image& img) {
-  ByteWriter out;
+  Bytes out;
+  rle_encode_into(img, out);
+  return out;
+}
+
+void rle_encode_into(const Image& img, Bytes& dest) {
+  ByteWriter out(std::move(dest));
   out.u32(static_cast<std::uint32_t>(img.width()));
   out.u32(static_cast<std::uint32_t>(img.height()));
   const auto px = img.pixels();
@@ -18,7 +24,7 @@ Bytes rle_encode(const Image& img) {
     out.u8(px[i].a);
     i += run;
   }
-  return out.take();
+  dest = out.take();
 }
 
 Result<Image> rle_decode(BytesView data) {

@@ -9,6 +9,9 @@
 namespace ads {
 
 Bytes rle_encode(const Image& img);
+/// As rle_encode into `out` (cleared first, capacity kept) — the run-length
+/// pass needs no working state beyond the output buffer itself.
+void rle_encode_into(const Image& img, Bytes& out);
 Result<Image> rle_decode(BytesView data);
 
 class RleCodec final : public ImageCodec {
@@ -17,6 +20,9 @@ class RleCodec final : public ImageCodec {
   std::string_view name() const override { return "rle"; }
   bool lossless() const override { return true; }
   Bytes encode(const Image& img) const override { return rle_encode(img); }
+  void encode_into(const Image& img, Bytes& out, EncodeScratch&) const override {
+    rle_encode_into(img, out);
+  }
   Result<Image> decode(BytesView data) const override { return rle_decode(data); }
 };
 

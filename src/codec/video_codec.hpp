@@ -13,12 +13,27 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <vector>
 
+#include "codec/deflate.hpp"
 #include "image/image.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
 
 namespace ads {
+
+/// Reusable per-thread working buffers for the encode hot path. One scratch
+/// per encoding thread (never shared concurrently): after warm-up, encoding
+/// a band reuses these arenas instead of allocating, which is what lets the
+/// AH's parallel band pipeline run allocation-free in steady state.
+struct EncodeScratch {
+  DeflateScratch deflate;
+  Bytes staging;     ///< raw raster rows (PNG) / coefficient stream (DCT)
+  Bytes filtered;    ///< PNG filtered scanlines
+  Bytes row;         ///< PNG per-row filter trial buffer
+  Bytes compressed;  ///< zlib/deflate output staging
+  std::vector<double> planes[3];  ///< DCT channel planes
+};
 
 /// Dynamic RTP payload type numbers assigned to content codecs in this
 /// implementation's SDP (range 96-127).
@@ -39,6 +54,14 @@ class ImageCodec {
 
   /// Serialise `img` (dimensions included in the payload).
   virtual Bytes encode(const Image& img) const = 0;
+
+  /// Serialise `img` into `out` (cleared first, capacity kept), reusing
+  /// `scratch` for working state. Output is byte-identical to encode().
+  /// Codecs without a scratch-aware path fall back to encode().
+  virtual void encode_into(const Image& img, Bytes& out, EncodeScratch& scratch) const {
+    (void)scratch;
+    out = encode(img);
+  }
 
   /// Parse a payload previously produced by encode() (or, for PNG, any
   /// conformant 8-bit RGB/RGBA PNG stream).

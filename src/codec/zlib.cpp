@@ -5,19 +5,27 @@
 namespace ads {
 
 Bytes zlib_compress(BytesView input, const DeflateOptions& opts) {
-  Bytes body = deflate_compress(input, opts);
-  ByteWriter out(body.size() + 6);
+  DeflateScratch scratch;
+  Bytes out;
+  zlib_compress_into(input, opts, out, scratch);
+  return out;
+}
+
+void zlib_compress_into(BytesView input, const DeflateOptions& opts, Bytes& out,
+                        DeflateScratch& scratch) {
+  deflate_compress_into(input, opts, scratch.stream, scratch);
+  ByteWriter w(std::move(out));
   // CMF: CM=8 (deflate), CINFO=7 (32K window). FLG chosen so that
   // (CMF*256 + FLG) % 31 == 0 with FDICT=0, FLEVEL=0.
   const std::uint8_t cmf = 0x78;
   std::uint8_t flg = 0;
   const std::uint16_t check = static_cast<std::uint16_t>(cmf) << 8;
   flg = static_cast<std::uint8_t>(31 - (check % 31)) % 31;
-  out.u8(cmf);
-  out.u8(flg);
-  out.bytes(body);
-  out.u32(adler32(input));
-  return out.take();
+  w.u8(cmf);
+  w.u8(flg);
+  w.bytes(scratch.stream);
+  w.u32(adler32(input));
+  out = w.take();
 }
 
 Result<Bytes> zlib_decompress(BytesView input, const InflateLimits& limits) {

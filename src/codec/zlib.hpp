@@ -12,6 +12,11 @@ namespace ads {
 /// Compress into a zlib stream.
 Bytes zlib_compress(BytesView input, const DeflateOptions& opts = {});
 
+/// As zlib_compress, but writes into `out` (cleared first, capacity kept)
+/// and reuses `scratch`. Output bytes are identical to zlib_compress.
+void zlib_compress_into(BytesView input, const DeflateOptions& opts, Bytes& out,
+                        DeflateScratch& scratch);
+
 /// Decompress a zlib stream, verifying header and Adler-32.
 Result<Bytes> zlib_decompress(BytesView input, const InflateLimits& limits = {});
 

@@ -23,6 +23,8 @@ AppHost::AppHost(EventLoop& loop, AppHostOptions opts)
       opts_(opts),
       capturer_(wm_, opts.screen_width, opts.screen_height, opts.damage_tile),
       codecs_(CodecRegistry::with_defaults()),
+      encoder_(codecs_, {.threads = opts.encode_threads,
+                         .cache_bytes = opts.encoded_cache_bytes}),
       floor_(FloorControlOptions{.conference_id = 1, .floor_id = 0}),
       pointer_icon_(8, 12, Pixel{255, 255, 255, 255}) {
   // All per-participant senders share one seed, hence one timestamp base —
@@ -114,12 +116,6 @@ ContentPt AppHost::codec_for(const ParticipantState& p) const {
   return p.codec.value_or(opts_.codec);
 }
 
-Bytes AppHost::encode_region(const Rect& r, ContentPt pt) const {
-  const ImageCodec* codec = codecs_.find(pt);
-  const Image crop = capturer_.last_frame().crop(r);
-  return codec->encode(crop);
-}
-
 void AppHost::send_payload(ParticipantState& p, Bytes payload, bool marker,
                            SimTime now) {
   RtpPacket pkt = p.sender.make_packet(std::move(payload), marker, now);
@@ -198,6 +194,13 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
     }
   }
 
+  // Encode every band up front — cache lookups first, then misses fanned
+  // out across the worker pool (drained in sequence order, so the payloads
+  // below are byte-identical to encoding serially in the send loop).
+  const ContentPt pt = codec_for(p);
+  std::vector<Bytes> payloads =
+      encoder_.encode_regions(capturer_.last_frame(), queue, pt);
+
   const bool rate_limited =
       p.endpoint.kind == HostEndpoint::Kind::kUdp && !p.bucket.unlimited();
   std::vector<Rect> leftover;
@@ -209,14 +212,13 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
       break;
     }
     const Rect& r = queue[i];
-    const ContentPt pt = codec_for(p);
     RegionUpdate msg;
     const Point centre{r.left + r.width / 2, r.top + r.height / 2};
     msg.window_id = wm_.shared_window_at(centre).value_or(0);
     msg.content_pt = static_cast<std::uint8_t>(pt);
     msg.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.left));
     msg.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.top));
-    msg.content = encode_region(r, pt);
+    msg.content = std::move(payloads[i]);
     auto frags = fragment_region_update(msg, opts_.mtu_payload);
     for (auto& frag : frags) {
       send_payload(p, std::move(frag.payload), frag.marker, now);

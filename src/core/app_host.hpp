@@ -16,11 +16,13 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <thread>
 
 #include "bfcp/floor_control.hpp"
 #include "capture/screen_capturer.hpp"
 #include "codec/registry.hpp"
 #include "core/packet_classify.hpp"
+#include "core/parallel_encoder.hpp"
 #include "hip/messages.hpp"
 #include "net/event_loop.hpp"
 #include "net/rate_limiter.hpp"
@@ -65,6 +67,14 @@ struct AppHostOptions {
   /// many rows before encoding, bounding the size of a single RegionUpdate
   /// so rate control and interface queues see smooth bursts. 0 disables.
   std::int64_t region_band_rows = 128;
+  /// Worker threads for the parallel band-encode stage. 0 = encode serially
+  /// on the tick thread; the default sizes the pool to the machine. Wire
+  /// bytes are identical at every setting (bands are sequence-ordered).
+  std::size_t encode_threads = std::thread::hardware_concurrency();
+  /// Byte budget for the encoded-region cache consulted before compressing
+  /// a band (serves PLI full refreshes, late joiners, and repeating content
+  /// from memory). 0 disables the cache.
+  std::size_t encoded_cache_bytes = 8 * 1024 * 1024;
   SimTime frame_interval_us = 100'000;  ///< 10 fps capture clock
   /// RTCP Sender Report cadence (0 = no SRs).
   SimTime sr_interval_us = 1'000'000;
@@ -168,6 +178,10 @@ class AppHost {
   };
   const Stats& stats() const { return stats_; }
 
+  /// The band-encode stage (pool size, cache hit/miss counters) — the perf
+  /// observability hook for benches and tests.
+  const ParallelEncoder& encoder() const { return encoder_; }
+
  private:
   struct ParticipantState {
     HostEndpoint endpoint;
@@ -201,13 +215,13 @@ class AppHost {
   void handle_hip(ParticipantId from, BytesView payload);
   void handle_bfcp(ParticipantId from, BytesView packet);
   ContentPt codec_for(const ParticipantState& p) const;
-  Bytes encode_region(const Rect& r, ContentPt codec) const;
 
   EventLoop& loop_;
   AppHostOptions opts_;
   WindowManager wm_;
   ScreenCapturer capturer_;
   CodecRegistry codecs_;
+  ParallelEncoder encoder_;
   FloorControlServer floor_;
   std::map<ParticipantId, ParticipantState> participants_;
   std::map<ParticipantId, ParticipantId> member_alias_;  ///< member -> group

@@ -1,0 +1,44 @@
+#include "core/encoded_region_cache.hpp"
+
+namespace ads {
+
+const Bytes* EncodedRegionCache::find(const EncodedRegionKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->payload;
+}
+
+void EncodedRegionCache::insert(const EncodedRegionKey& key, Bytes payload) {
+  if (payload.size() > max_bytes_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->payload.size();
+    bytes_ += payload.size();
+    it->second->payload = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    bytes_ += payload.size();
+    lru_.push_front(Entry{key, std::move(payload)});
+    index_[key] = lru_.begin();
+  }
+  evict_to_budget();
+}
+
+void EncodedRegionCache::evict_to_budget() {
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.payload.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void EncodedRegionCache::clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace ads

@@ -1,0 +1,67 @@
+// Content-addressed cache of encoded RegionUpdate payloads (the WebNC
+// tile-hash idea applied at band granularity): before compressing a damage
+// band the AH looks its pixel hash up here, so PLI full refreshes, late
+// joiners, and periodically repeating content (blinking cursors, slideshow
+// loops) are served from memory instead of re-running the codec.
+//
+// Keys combine the 64-bit pixel hash with the band geometry and the codec
+// payload type, so two codecs never alias and a hash collision additionally
+// requires identical dimensions. Entries are LRU-evicted to honour a byte
+// budget (payload bytes, not entry count).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "util/bytes.hpp"
+
+namespace ads {
+
+struct EncodedRegionKey {
+  std::uint64_t content_hash = 0;  ///< hash_rect() of the band's pixels
+  std::uint8_t content_pt = 0;     ///< codec payload type
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+
+  friend auto operator<=>(const EncodedRegionKey&, const EncodedRegionKey&) = default;
+};
+
+class EncodedRegionCache {
+ public:
+  /// `max_bytes` bounds the sum of cached payload sizes; 0 disables caching
+  /// entirely (find always misses, insert is a no-op).
+  explicit EncodedRegionCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Cached payload for `key`, or nullptr. A hit promotes the entry to
+  /// most-recently-used. The pointer is invalidated by the next insert().
+  const Bytes* find(const EncodedRegionKey& key);
+
+  /// Store `payload` under `key` (replacing any previous entry), then evict
+  /// least-recently-used entries until the byte budget holds. Payloads
+  /// larger than the whole budget are not cached.
+  void insert(const EncodedRegionKey& key, Bytes payload);
+
+  void clear();
+
+  std::size_t bytes() const { return bytes_; }
+  std::size_t entries() const { return index_.size(); }
+  std::size_t max_bytes() const { return max_bytes_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    EncodedRegionKey key;
+    Bytes payload;
+  };
+
+  void evict_to_budget();
+
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<EncodedRegionKey, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace ads

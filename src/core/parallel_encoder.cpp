@@ -1,0 +1,72 @@
+#include "core/parallel_encoder.hpp"
+
+#include "image/damage.hpp"
+
+namespace ads {
+
+ParallelEncoder::ParallelEncoder(const CodecRegistry& registry,
+                                 ParallelEncoderOptions opts)
+    : registry_(registry), cache_(opts.cache_bytes) {
+  if (opts.threads > 0) pool_ = std::make_unique<ThreadPool>(opts.threads);
+  // One scratch per worker plus one for the submitting thread (serial mode
+  // and cache-miss bookkeeping both run there).
+  scratch_.resize((pool_ ? pool_->size() : 0) + 1);
+  crop_.resize(scratch_.size());
+}
+
+std::vector<Bytes> ParallelEncoder::encode_regions(const Image& frame,
+                                                   const std::vector<Rect>& rects,
+                                                   ContentPt pt) {
+  std::vector<Bytes> results(rects.size());
+  const bool use_cache = cache_.max_bytes() > 0;
+
+  // Pass 1 (submitting thread, deterministic order): cache lookups. Misses
+  // are queued for encoding; their keys are kept so pass 3 can fill the
+  // cache in submission order, keeping LRU state independent of thread
+  // interleaving.
+  std::vector<std::size_t> pending;
+  std::vector<EncodedRegionKey> keys(rects.size());
+  pending.reserve(rects.size());
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    if (use_cache) {
+      keys[i] = EncodedRegionKey{hash_rect(frame, rects[i]),
+                                 static_cast<std::uint8_t>(pt),
+                                 static_cast<std::uint32_t>(rects[i].width),
+                                 static_cast<std::uint32_t>(rects[i].height)};
+      if (const Bytes* hit = cache_.find(keys[i])) {
+        results[i] = *hit;
+        ++stats_.cache_hits;
+        continue;
+      }
+      ++stats_.cache_misses;
+    }
+    pending.push_back(i);
+  }
+
+  // Pass 2: encode the misses — fanned out when a pool exists, inline
+  // otherwise. Workers only touch their own scratch and their own result
+  // slots; wait_idle() publishes the writes back to this thread.
+  if (pool_ && pending.size() > 1) {
+    for (const std::size_t i : pending) {
+      pool_->submit([this, &frame, &rects, &results, pt, i](std::size_t worker) {
+        frame.crop_into(rects[i], crop_[worker]);
+        registry_.encode_into(pt, crop_[worker], results[i], scratch_[worker]);
+      });
+    }
+    pool_->wait_idle();
+  } else {
+    for (const std::size_t i : pending) {
+      frame.crop_into(rects[i], crop_.back());
+      registry_.encode_into(pt, crop_.back(), results[i], scratch_.back());
+    }
+  }
+  stats_.bands_encoded += pending.size();
+
+  // Pass 3 (submitting thread): populate the cache in submission order.
+  if (use_cache) {
+    for (const std::size_t i : pending) cache_.insert(keys[i], results[i]);
+  }
+  return results;
+}
+
+}  // namespace ads

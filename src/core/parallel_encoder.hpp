@@ -1,0 +1,70 @@
+// Parallel band-encoding stage of the AH frame pipeline.
+//
+// The AH splits each frame's damage into horizontal bands; this component
+// encodes those bands concurrently on a fixed worker pool while preserving
+// the serial path's exact wire bytes:
+//   * every band is submitted with its sequence index and the results are
+//     drained in index order, so downstream framing sees the same payloads
+//     in the same order regardless of thread count;
+//   * each worker owns a private EncodeScratch arena, so steady-state
+//     encoding performs no per-band heap allocations and no locking;
+//   * an EncodedRegionCache is consulted (keyed by pixel hash + geometry +
+//     codec) before any band is compressed, and populated afterwards — the
+//     cache lookup happens on the submitting thread, deterministically.
+//
+// With threads == 0 everything runs inline on the caller's thread through
+// the identical cache/scratch code path, which is what makes the
+// serial-vs-parallel golden test meaningful.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codec/registry.hpp"
+#include "core/encoded_region_cache.hpp"
+#include "image/geometry.hpp"
+#include "image/image.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ads {
+
+struct ParallelEncoderOptions {
+  /// Worker threads for band encoding; 0 = encode inline on the caller.
+  std::size_t threads = 0;
+  /// Byte budget for the encoded-region cache; 0 disables it.
+  std::size_t cache_bytes = 0;
+};
+
+class ParallelEncoder {
+ public:
+  /// `registry` must outlive the encoder; its codecs are shared by all
+  /// workers (they are stateless — per-call state lives in the scratches).
+  ParallelEncoder(const CodecRegistry& registry, ParallelEncoderOptions opts);
+
+  /// Encode frame.crop(r) for every rect with codec `pt`. Results are in
+  /// input order and byte-identical to encoding each band serially.
+  /// Unknown payload types yield empty payloads.
+  std::vector<Bytes> encode_regions(const Image& frame, const std::vector<Rect>& rects,
+                                    ContentPt pt);
+
+  std::size_t threads() const { return pool_ ? pool_->size() : 0; }
+  EncodedRegionCache& cache() { return cache_; }
+
+  struct Stats {
+    std::uint64_t bands_encoded = 0;  ///< bands that ran a codec
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;   ///< lookups that fell through (cache on)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const CodecRegistry& registry_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null in serial mode
+  std::vector<EncodeScratch> scratch_;  ///< one per worker; [pool size] = caller's
+  std::vector<Image> crop_;             ///< per-worker band staging, same layout
+  EncodedRegionCache cache_;
+  Stats stats_;
+};
+
+}  // namespace ads

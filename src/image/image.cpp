@@ -62,10 +62,21 @@ void Image::move_rect(const Rect& src_rect, Point dst) {
 }
 
 Image Image::crop(const Rect& r) const {
-  const Rect c = intersect(r, bounds());
-  Image out(c.width, c.height);
-  out.blit(*this, c, {0, 0});
+  Image out;
+  crop_into(r, out);
   return out;
+}
+
+void Image::crop_into(const Rect& r, Image& out) const {
+  const Rect c = intersect(r, bounds());
+  out.width_ = c.width;
+  out.height_ = c.height;
+  out.pixels_.resize(static_cast<std::size_t>(c.width * c.height));
+  for (std::int64_t y = 0; y < c.height; ++y) {
+    const Pixel* from = &pixels_[index(c.left, c.top + y)];
+    std::memcpy(&out.pixels_[static_cast<std::size_t>(y * c.width)], from,
+                static_cast<std::size_t>(c.width) * sizeof(Pixel));
+  }
 }
 
 }  // namespace ads

@@ -60,6 +60,10 @@ class Image {
   /// Extract a sub-image (clipped to bounds).
   Image crop(const Rect& r) const;
 
+  /// As crop, but reuses `out`'s pixel storage when the capacity fits — the
+  /// per-band staging path of the encode pipeline calls this once per band.
+  void crop_into(const Rect& r, Image& out) const;
+
   friend bool operator==(const Image&, const Image&) = default;
 
  private:

@@ -25,6 +25,9 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopt `buf` as the output buffer (cleared, capacity kept) so callers on
+  /// a hot path can reuse one allocation across invocations via take().
+  explicit ByteWriter(Bytes buf) : buf_(std::move(buf)) { buf_.clear(); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);

@@ -1,0 +1,50 @@
+// Fixed-size worker thread pool for CPU-bound fan-out (band encoding).
+//
+// Tasks receive the index of the worker executing them (0..size-1), which
+// lets callers maintain per-worker scratch arenas without locking: a worker
+// only ever touches its own slot. wait_idle() is the drain barrier — after
+// it returns, every previously submitted task has finished and its writes
+// are visible to the caller (the mutex hand-off provides the ordering).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ads {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; runs on some worker as `task(worker_index)`.
+  void submit(std::function<void(std::size_t)> task);
+
+  /// Block until the queue is empty and no worker is running a task.
+  void wait_idle();
+
+ private:
+  void worker_main(std::size_t index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< task enqueued or shutdown
+  std::condition_variable idle_cv_;  ///< a task finished
+  std::deque<std::function<void(std::size_t)>> queue_;
+  std::size_t active_ = 0;  ///< tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ads

@@ -227,5 +227,37 @@ TEST(Deflate, HigherLevelNeverMuchWorse) {
   EXPECT_LE(l9, l1 + 64);
 }
 
+TEST(Deflate, BoundaryLevelsRoundTrip) {
+  const Bytes input = repetitive(50000);
+  for (const int level : {0, 1, 9}) {
+    auto out = inflate(deflate_compress(input, {.level = level}));
+    ASSERT_TRUE(out.ok()) << "level " << level;
+    EXPECT_EQ(*out, input) << "level " << level;
+  }
+}
+
+TEST(Deflate, OutOfRangeLevelsClampToValidRange) {
+  EXPECT_EQ(deflate_clamp_level(-1), 0);
+  EXPECT_EQ(deflate_clamp_level(12), 9);
+  EXPECT_EQ(deflate_clamp_level(0), 0);
+  EXPECT_EQ(deflate_clamp_level(9), 9);
+  EXPECT_EQ(deflate_clamp_level(5), 5);
+
+  // Out-of-range levels behave exactly like the nearest valid level instead
+  // of feeding bogus values into the match-search parameter tables.
+  const Bytes input = repetitive(30000);
+  EXPECT_EQ(deflate_compress(input, {.level = -1}),
+            deflate_compress(input, {.level = 0}));
+  EXPECT_EQ(deflate_compress(input, {.level = 12}),
+            deflate_compress(input, {.level = 9}));
+
+  auto low = inflate(deflate_compress(input, {.level = -1}));
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(*low, input);
+  auto high = inflate(deflate_compress(input, {.level = 12}));
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(*high, input);
+}
+
 }  // namespace
 }  // namespace ads

@@ -2,6 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// TU-wide allocation counter so tests can assert the steady-state
+// DamageTracker path is allocation-free (the tracker runs every frame tick;
+// a per-tick allocation would be a regression the compiler can't catch).
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
 namespace ads {
 namespace {
 
@@ -94,6 +114,54 @@ TEST(DamageTracker, AdjacentDirtyTilesMerge) {
   auto damage = tracker.update(frame);
   ASSERT_EQ(damage.size(), 1u);
   EXPECT_EQ(damage[0], (Rect{0, 0, 128, 32}));
+}
+
+TEST(DamageTracker, UnchangedFrameAllocatesNothing) {
+  DamageTracker tracker(32);
+  Image frame(256, 192, kBlack);
+  tracker.update(frame);
+  tracker.update(frame);  // warm: return-value vector machinery settled
+
+  const std::uint64_t before = g_allocations.load();
+  const auto damage = tracker.update(frame);
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_TRUE(damage.empty());
+  EXPECT_EQ(after - before, 0u) << "steady-state no-change update allocated";
+}
+
+TEST(DamageTracker, ShrinkingResizeReusesHashStorage) {
+  DamageTracker tracker(32);
+  tracker.update(Image(256, 256, kBlack));  // 8x8 hash grid
+
+  // Shrinking fits in the existing grid allocation: the resize fast path
+  // must rebuild hashes in place (assign) rather than reallocate.
+  Image smaller(128, 128, kWhite);
+  const std::uint64_t before = g_allocations.load();
+  const auto damage = tracker.update(smaller);
+  const std::uint64_t after = g_allocations.load();
+  ASSERT_EQ(damage.size(), 1u);
+  EXPECT_EQ(damage[0], smaller.bounds());
+  // Only the returned one-rect vector may allocate.
+  EXPECT_LE(after - before, 1u);
+
+  // And the rebuilt grid is immediately consistent: no phantom damage.
+  EXPECT_TRUE(tracker.update(smaller).empty());
+}
+
+TEST(DamageTracker, ResizeReportsFullDamageNotDiff) {
+  DamageTracker tracker(16);
+  Image a(100, 100, kBlack);
+  tracker.update(a);
+  // Same pixel content, different geometry: still full damage.
+  Image b(100, 120, kBlack);
+  auto damage = tracker.update(b);
+  ASSERT_EQ(damage.size(), 1u);
+  EXPECT_EQ(damage[0], b.bounds());
+}
+
+TEST(DamageTracker, EmptyFrameReportsNoDamage) {
+  DamageTracker tracker(32);
+  EXPECT_TRUE(tracker.update(Image()).empty());
 }
 
 class DamageTileSizes : public ::testing::TestWithParam<std::int64_t> {};

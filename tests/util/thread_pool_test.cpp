@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace ads {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count](std::size_t) { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WorkerIndicesAreInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> out_of_range{false};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&](std::size_t worker) {
+      if (worker >= 3) out_of_range = true;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPool, EachResultSlotWrittenExactlyOnce) {
+  // The ParallelEncoder pattern: N tasks, each owning one slot of a
+  // preallocated vector; wait_idle() publishes the writes.
+  ThreadPool pool(4);
+  std::vector<int> results(200, 0);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    pool.submit([&results, i](std::size_t) { results[i] = static_cast<int>(i) + 1; });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&](std::size_t) { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&](std::size_t) { count.fetch_add(1); });
+    // No wait_idle: the destructor must still run every submitted task.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsStillGetsOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&](std::size_t) { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace ads
