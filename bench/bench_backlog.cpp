@@ -80,6 +80,12 @@ void run_bench(benchmark::State& state, std::size_t backlog_limit) {
   state.counters["age_max_ms"] = stats.max_ms;
   state.counters["frames_skipped"] = static_cast<double>(stats.skipped);
   state.counters["updates_delivered"] = static_cast<double>(stats.delivered);
+  record_counters("backlog",
+                  std::string("E3/backlog/") +
+                      (backlog_limit == 0 ? "naive_send_all"
+                                          : "skip_when_backlogged") +
+                      "/" + std::to_string(state.range(0)) + "mbps",
+                  state.counters);
 }
 
 void naive(benchmark::State& state) { run_bench(state, 0); }

@@ -33,6 +33,12 @@ class JsonReport {
     entries_[entry] = std::move(counters);
   }
 
+  /// Attach a telemetry snapshot (ads::telemetry::to_json output, or any
+  /// pre-serialised JSON value) to the report; it lands verbatim as a final
+  /// "metrics" member, so one BENCH_*.json carries both the bench's own
+  /// counters and the session-wide metrics behind them.
+  void set_metrics_json(std::string json) { metrics_json_ = std::move(json); }
+
  private:
   void write() const {
     std::ofstream out("BENCH_" + bench_ + ".json");
@@ -53,17 +59,33 @@ class JsonReport {
       }
       out << "}}";
     }
-    out << "]}\n";
+    out << "]";
+    if (!metrics_json_.empty()) out << ", \"metrics\": " << metrics_json_;
+    out << "}\n";
   }
 
   std::string bench_;
   std::map<std::string, std::map<std::string, double>> entries_;
+  std::string metrics_json_;
 };
 
 /// The process-wide report for this bench binary. First call fixes the name.
 inline JsonReport& json_report(const std::string& bench) {
   static JsonReport report(bench);
   return report;
+}
+
+/// Mirror a bench case's google-benchmark user counters into the report
+/// under `entry`. Works with benchmark::UserCounters (whose Counter values
+/// convert to double) without this header depending on benchmark.h.
+template <typename CounterMap>
+void record_counters(const std::string& bench, const std::string& entry,
+                     const CounterMap& counters) {
+  std::map<std::string, double> out;
+  for (const auto& [key, value] : counters) {
+    out[key] = static_cast<double>(value);
+  }
+  json_report(bench).record(entry, std::move(out));
 }
 
 /// A frame of the named workload after `warmup_ticks` ticks.

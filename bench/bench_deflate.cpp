@@ -51,6 +51,8 @@ void deflate_levels(benchmark::State& state) {
   state.counters["bytes"] = static_cast<double>(compressed.size());
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(input.size()));
+  record_counters("deflate", "E9/deflate/level/" + std::to_string(level),
+                  state.counters);
 }
 
 void deflate_block_types(benchmark::State& state) {
@@ -65,6 +67,9 @@ void deflate_block_types(benchmark::State& state) {
       static_cast<double>(input.size()) / static_cast<double>(compressed.size());
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(input.size()));
+  record_counters("deflate",
+                  "E9/deflate/block_type/" + std::to_string(state.range(0)),
+                  state.counters);
 }
 
 void inflate_speed(benchmark::State& state) {
@@ -91,6 +96,10 @@ void png_filters(benchmark::State& state) {
   state.counters["bytes"] = static_cast<double>(encoded.size());
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 512 * 384 *
                           4);
+  record_counters("deflate",
+                  std::string("E9/png/adaptive_filters/") +
+                      (adaptive ? "on" : "off"),
+                  state.counters);
 }
 
 BENCHMARK(deflate_levels)

@@ -10,6 +10,9 @@
 // while encode work stays constant.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_common.hpp"
 #include "core/session.hpp"
 #include "image/metrics.hpp"
 
@@ -70,6 +73,10 @@ void fanout(benchmark::State& state) {
   state.counters["region_updates"] = static_cast<double>(updates);
   state.counters["participants_converged"] = converged;
   state.counters["participants"] = participants;
+  bench::record_counters("fanout",
+                         "E6/fanout/mixed_transports/" +
+                             std::to_string(participants),
+                         state.counters);
 }
 
 BENCHMARK(fanout)

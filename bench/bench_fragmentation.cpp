@@ -7,6 +7,9 @@
 // remoting/HIP header on every continuation packet).
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_common.hpp"
 #include "remoting/region_update.hpp"
 #include "util/prng.hpp"
 
@@ -51,6 +54,10 @@ void fragmentation(benchmark::State& state) {
       static_cast<double>(content_size);
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(content_size));
+  bench::record_counters("fragmentation",
+                         "E7/fragmentation/" + std::to_string(state.range(0)) +
+                             "kb/mtu:" + std::to_string(mtu),
+                         state.counters);
 }
 
 BENCHMARK(fragmentation)

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "bench_common.hpp"
 #include "bfcp/floor_control.hpp"
 #include "hip/messages.hpp"
 #include "util/prng.hpp"
@@ -18,7 +19,8 @@ namespace {
 
 using namespace ads;
 
-void roundtrip(benchmark::State& state, const HipMessage& msg) {
+void roundtrip(benchmark::State& state, const std::string& name,
+               const HipMessage& msg) {
   const Bytes wire = serialize_hip(msg);
   for (auto _ : state) {
     Bytes encoded = serialize_hip(msg);
@@ -27,6 +29,7 @@ void roundtrip(benchmark::State& state, const HipMessage& msg) {
   }
   state.counters["wire_bytes"] = static_cast<double>(wire.size());
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  bench::record_counters("hip", "E10/roundtrip/" + name, state.counters);
 }
 
 void validation_pipeline(benchmark::State& state) {
@@ -83,6 +86,10 @@ void validation_pipeline(benchmark::State& state) {
   state.counters["accept_pct"] =
       100.0 * static_cast<double>(accepted) / static_cast<double>(accepted + rejected);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  bench::record_counters("hip",
+                         "E10/validation/outside_pct/" +
+                             std::to_string(outside_pct),
+                         state.counters);
 }
 
 void register_roundtrips() {
@@ -98,7 +105,9 @@ void register_roundtrips() {
   for (const auto& [name, msg] : cases) {
     benchmark::RegisterBenchmark(
         (std::string("E10/roundtrip/") + name).c_str(),
-        [msg = msg](benchmark::State& s) { roundtrip(s, msg); });
+        [name = std::string(name), msg = msg](benchmark::State& s) {
+          roundtrip(s, name, msg);
+        });
   }
 }
 

@@ -10,6 +10,9 @@
 // two lossless codecs. The refresh payload size is also reported.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_common.hpp"
 #include "core/session.hpp"
 
 namespace {
@@ -82,6 +85,11 @@ void run_bench(benchmark::State& state, ContentPt codec) {
   state.counters["time_to_full_frame_ms"] = stats.full_frame_ms;
   state.counters["refresh_payload_bytes"] = stats.refresh_bytes;
   state.counters["joined_ok"] = stats.full_frame_ms >= 0 ? 1 : 0;
+  bench::record_counters("latejoin",
+                         std::string("E5/latejoin/") +
+                             (codec == ContentPt::kPng ? "png" : "rle") + "/" +
+                             std::to_string(width),
+                         state.counters);
 }
 
 void png_codec(benchmark::State& state) { run_bench(state, ContentPt::kPng); }

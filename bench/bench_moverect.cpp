@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "bench_common.hpp"
 #include "core/session.hpp"
 #include "image/metrics.hpp"
 
@@ -68,6 +69,11 @@ void run_bench(benchmark::State& state, bool use_move_rectangle) {
   state.counters["move_rects"] = static_cast<double>(stats.move_rects);
   state.counters["region_updates"] = static_cast<double>(stats.region_updates);
   state.counters["converged"] = stats.final_diff == 0 ? 1 : 0;
+  bench::record_counters("moverect",
+                         std::string("E2/scroll/") +
+                             (use_move_rectangle ? "move_rectangle" : "reencode") +
+                             "/" + std::to_string(scroll_px),
+                         state.counters);
 }
 
 void with_mr(benchmark::State& state) { run_bench(state, true); }

@@ -7,6 +7,9 @@
 // multicast, linear in N for unicast. Convergence is verified in both.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_common.hpp"
 #include "core/session.hpp"
 #include "image/metrics.hpp"
 
@@ -60,6 +63,9 @@ void unicast(benchmark::State& state) {
   }
   state.counters["ah_sent_bytes"] = static_cast<double>(ah_bytes);
   state.counters["converged"] = converged;
+  bench::record_counters("multicast",
+                         "E12/fanout/unicast/" + std::to_string(members),
+                         state.counters);
 }
 
 void multicast(benchmark::State& state) {
@@ -92,6 +98,9 @@ void multicast(benchmark::State& state) {
   }
   state.counters["ah_sent_bytes"] = static_cast<double>(ah_bytes);
   state.counters["converged"] = converged;
+  bench::record_counters("multicast",
+                         "E12/fanout/multicast/" + std::to_string(members),
+                         state.counters);
 }
 
 BENCHMARK(unicast)

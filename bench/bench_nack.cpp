@@ -8,8 +8,12 @@
 // retransmissions, and total AH bytes (repair overhead).
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "bench_common.hpp"
 #include "core/session.hpp"
 #include "image/metrics.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -71,6 +75,10 @@ RepairStats run_pipeline(double loss, bool retransmissions) {
   const Image replica =
       conn.participant->screen().crop({0, 0, truth.width(), truth.height()});
   out.final_diff = diff_pixel_count(truth, replica);
+  // Embed the full cross-layer metrics snapshot of the last case run, so
+  // BENCH_nack.json carries the session internals behind the counters.
+  bench::json_report("nack").set_metrics_json(
+      telemetry::to_json(session.telemetry().snapshot()));
   return out;
 }
 
@@ -84,6 +92,11 @@ void run_bench(benchmark::State& state, bool retransmissions) {
   state.counters["ah_bytes"] = static_cast<double>(stats.bytes);
   state.counters["residual_diff_px"] = static_cast<double>(stats.residual_diff);
   state.counters["converged_after_heal"] = stats.final_diff == 0 ? 1 : 0;
+  bench::record_counters("nack",
+                         std::string("E4/loss/retransmissions_") +
+                             (retransmissions ? "yes" : "no") + "/" +
+                             std::to_string(state.range(0)),
+                         state.counters);
 }
 
 void with_retransmissions(benchmark::State& state) { run_bench(state, true); }

@@ -78,6 +78,10 @@ void rate_control(benchmark::State& state) {
   state.counters["frames_skipped"] = static_cast<double>(stats.frames_skipped);
   state.counters["plis"] = static_cast<double>(stats.plis);
   state.counters["update_age_median_ms"] = stats.median_age_ms;
+  ads::bench::record_counters(
+      "ratecontrol",
+      "E11/udp_rate_control/" + std::to_string(state.range(0) * 100) + "kbps",
+      state.counters);
 }
 
 // Arg = target rate in 100 kbit/s units; 0 = uncontrolled baseline.

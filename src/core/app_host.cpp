@@ -1,6 +1,7 @@
 #include "core/app_host.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "image/damage.hpp"
 #include "image/scroll_detect.hpp"
@@ -21,6 +22,10 @@ std::int64_t area_of(const std::vector<Rect>& rects) {
 AppHost::AppHost(EventLoop& loop, AppHostOptions opts)
     : loop_(loop),
       opts_(opts),
+      owned_tel_(opts.telemetry != nullptr
+                     ? nullptr
+                     : std::make_unique<telemetry::Telemetry>()),
+      tel_(opts.telemetry != nullptr ? opts.telemetry : owned_tel_.get()),
       capturer_(wm_, opts.screen_width, opts.screen_height, opts.damage_tile),
       codecs_(CodecRegistry::with_defaults()),
       encoder_(codecs_, {.threads = opts.encode_threads,
@@ -30,6 +35,68 @@ AppHost::AppHost(EventLoop& loop, AppHostOptions opts)
   // All per-participant senders share one seed, hence one timestamp base —
   // the AH is one media source fanned out to many sinks.
   ts_base_ = RtpSender(kRemotingPayloadType, opts_.seed).timestamp_at(0);
+
+  // Trace spans run on the event loop's virtual clock, so traces are
+  // deterministic: same session, same spans, any machine.
+  if (opts_.trace_capacity > 0 && !tel_->trace.enabled()) {
+    tel_->trace.enable(opts_.trace_capacity, [lp = &loop_] { return lp->now(); });
+  }
+  tel_->metrics.add_collector(this, [this] { publish_metrics(); });
+}
+
+AppHost::~AppHost() { tel_->metrics.remove_collectors(this); }
+
+void AppHost::publish_metrics() {
+  auto& m = tel_->metrics;
+  m.counter("ah.frames_captured").set(stats_.frames_captured);
+  m.counter("ah.region_updates_sent").set(stats_.region_updates_sent);
+  m.counter("ah.move_rectangles_sent").set(stats_.move_rectangles_sent);
+  m.counter("ah.wmi_sent").set(stats_.wmi_sent);
+  m.counter("ah.pointer_msgs_sent").set(stats_.pointer_msgs_sent);
+  m.counter("ah.rtp_packets_sent").set(stats_.rtp_packets_sent);
+  m.counter("ah.bytes_sent").set(stats_.bytes_sent);
+  m.counter("ah.frames_skipped_backlog").set(stats_.frames_skipped_backlog);
+  m.counter("ah.frames_skipped_rate").set(stats_.frames_skipped_rate);
+  m.counter("ah.srs_sent").set(stats_.srs_sent);
+  m.counter("ah.rrs_received").set(stats_.rrs_received);
+  m.counter("ah.retransmissions_sent").set(stats_.retransmissions_sent);
+  m.counter("ah.nacks_received").set(stats_.nacks_received);
+  m.counter("ah.plis_received").set(stats_.plis_received);
+  m.counter("ah.hip_events_accepted").set(stats_.hip_events_accepted);
+  m.counter("ah.hip_events_rejected_coords").set(stats_.hip_events_rejected_coords);
+  m.counter("ah.hip_events_rejected_floor").set(stats_.hip_events_rejected_floor);
+  m.counter("ah.hip_parse_errors").set(stats_.hip_parse_errors);
+  m.gauge("ah.participants").set(static_cast<std::int64_t>(participants_.size()));
+
+  const ParallelEncoder::Stats& es = encoder_.stats();
+  m.counter("encoder.bands_requested").set(es.bands_requested);
+  m.counter("encoder.bands_encoded").set(es.bands_encoded);
+  m.counter("encoder.encode_calls").set(es.encode_calls);
+  m.gauge("encoder.queue_depth_peak")
+      .set(static_cast<std::int64_t>(es.peak_queue_depth));
+  m.gauge("encoder.threads").set(static_cast<std::int64_t>(encoder_.threads()));
+  m.counter("cache.hits").set(es.cache_hits);
+  m.counter("cache.misses").set(es.cache_misses);
+  m.counter("cache.bytes_saved").set(es.cache_hit_bytes);
+  EncodedRegionCache& cache = encoder_.cache();
+  m.gauge("cache.bytes").set(static_cast<std::int64_t>(cache.bytes()));
+  m.gauge("cache.entries").set(static_cast<std::int64_t>(cache.entries()));
+  m.counter("cache.evictions").set(cache.evictions());
+
+  std::uint64_t rtx_hits = 0;
+  std::uint64_t rtx_misses = 0;
+  std::uint64_t rtx_evictions = 0;
+  std::uint64_t rtx_cached = 0;
+  for (const auto& [id, p] : participants_) {
+    rtx_hits += p.cache.hits();
+    rtx_misses += p.cache.misses();
+    rtx_evictions += p.cache.evictions();
+    rtx_cached += p.cache.size();
+  }
+  m.counter("rtx.hits").set(rtx_hits);
+  m.counter("rtx.misses").set(rtx_misses);
+  m.counter("rtx.evictions").set(rtx_evictions);
+  m.gauge("rtx.cached_packets").set(static_cast<std::int64_t>(rtx_cached));
 }
 
 ParticipantId AppHost::add_participant(HostEndpoint endpoint) {
@@ -198,9 +265,12 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
   // out across the worker pool (drained in sequence order, so the payloads
   // below are byte-identical to encoding serially in the send loop).
   const ContentPt pt = codec_for(p);
-  std::vector<Bytes> payloads =
-      encoder_.encode_regions(capturer_.last_frame(), queue, pt);
+  std::vector<Bytes> payloads = [&] {
+    telemetry::ScopedSpan span(tel_->trace, "ah.encode");
+    return encoder_.encode_regions(capturer_.last_frame(), queue, pt);
+  }();
 
+  telemetry::ScopedSpan packetise_span(tel_->trace, "ah.packetise");
   const bool rate_limited =
       p.endpoint.kind == HostEndpoint::Kind::kUdp && !p.bucket.unlimited();
   std::vector<Rect> leftover;
@@ -239,7 +309,11 @@ void AppHost::send_full_refresh(ParticipantState& p) {
 }
 
 void AppHost::tick() {
-  const CaptureResult capture = capturer_.capture();
+  telemetry::ScopedSpan tick_span(tel_->trace, "ah.tick");
+  const CaptureResult capture = [this] {
+    telemetry::ScopedSpan span(tel_->trace, "ah.capture");
+    return capturer_.capture();
+  }();
   const Image& frame = *capture.frame;
   ++stats_.frames_captured;
 
@@ -258,6 +332,7 @@ void AppHost::tick() {
                              previous_frame_.width() == frame.width() &&
                              previous_frame_.height() == frame.height();
   if (opts_.use_move_rectangle && have_previous) {
+    telemetry::ScopedSpan span(tel_->trace, "ah.scroll_detect");
     for (const Window& w : wm_.shared_windows()) {
       const Rect area = intersect(w.frame, frame.bounds());
       auto match = detect_scroll(previous_frame_, frame, area);
@@ -282,14 +357,20 @@ void AppHost::tick() {
 
   // Residual damage against (post-move) previous frame.
   std::vector<Rect> damage;
-  if (have_previous) {
-    damage = diff_rects(previous_frame_, frame, opts_.damage_tile);
-  } else if (!frame.empty()) {
-    damage = {frame.bounds()};
+  {
+    telemetry::ScopedSpan span(tel_->trace, "ah.damage");
+    if (have_previous) {
+      damage = diff_rects(previous_frame_, frame, opts_.damage_tile);
+    } else if (!frame.empty()) {
+      damage = {frame.bounds()};
+    }
+    previous_frame_ = frame;
   }
-  previous_frame_ = frame;
 
-  // Distribute to participants.
+  // Distribute to participants. (optional<> so the span can close before
+  // the RTCP block below rather than at end of scope.)
+  std::optional<telemetry::ScopedSpan> distribute_span;
+  distribute_span.emplace(tel_->trace, "ah.distribute");
   for (auto& [id, p] : participants_) {
     // Flush any carried-over TCP bytes first.
     if (p.endpoint.kind == HostEndpoint::Kind::kTcp && !p.stream_carry.empty() &&
@@ -371,6 +452,8 @@ void AppHost::tick() {
     ++p.frames_sent;
   }
 
+  distribute_span.reset();
+
   pointer_dirty_ = false;
   pointer_icon_dirty_ = false;
 
@@ -378,6 +461,7 @@ void AppHost::tick() {
   // compute RTT and map RTP timestamps to wallclock.
   if (opts_.sr_interval_us != 0 &&
       loop_.now() - last_sr_at_ >= opts_.sr_interval_us) {
+    telemetry::ScopedSpan span(tel_->trace, "ah.rtcp");
     last_sr_at_ = loop_.now();
     for (auto& [id, p] : participants_) {
       SenderReport sr;

@@ -31,6 +31,7 @@
 #include "rtp/retransmission_cache.hpp"
 #include "rtp/rtp_session.hpp"
 #include "sdp/sharing_session.hpp"
+#include "telemetry/telemetry.hpp"
 #include "wm/window_manager.hpp"
 
 namespace ads {
@@ -79,6 +80,15 @@ struct AppHostOptions {
   /// RTCP Sender Report cadence (0 = no SRs).
   SimTime sr_interval_us = 1'000'000;
   std::size_t retransmission_cache = 2048;
+  /// Session-wide telemetry sink. Null = the AH owns a private Telemetry
+  /// (always available via telemetry()); non-null injects a shared instance
+  /// that must outlive the AH.
+  telemetry::Telemetry* telemetry = nullptr;
+  /// Trace-span ring capacity for the tick-pipeline spans (ah.tick,
+  /// ah.capture, ah.damage, ah.encode, ah.packetise, ...). 0 disables
+  /// tracing; spans then cost one branch each. Ignored when an injected
+  /// telemetry instance already has its trace ring enabled.
+  std::size_t trace_capacity = 512;
   std::uint64_t seed = 0xADA5;
 };
 
@@ -99,6 +109,7 @@ struct HostEndpoint {
 class AppHost {
  public:
   AppHost(EventLoop& loop, AppHostOptions opts = {});
+  ~AppHost();
 
   WindowManager& wm() { return wm_; }
   ScreenCapturer& capturer() { return capturer_; }
@@ -182,6 +193,13 @@ class AppHost {
   /// observability hook for benches and tests.
   const ParallelEncoder& encoder() const { return encoder_; }
 
+  /// The session-wide observability sink (owned or injected — see
+  /// AppHostOptions::telemetry). telemetry().snapshot() yields one
+  /// cross-layer view: ah.* counters, encoder.*/cache.* stage stats,
+  /// rtx.* retransmission-store stats, plus whatever the net layer and the
+  /// session wiring publish into the same registry.
+  telemetry::Telemetry& telemetry() { return *tel_; }
+
  private:
   struct ParticipantState {
     HostEndpoint endpoint;
@@ -215,9 +233,14 @@ class AppHost {
   void handle_hip(ParticipantId from, BytesView payload);
   void handle_bfcp(ParticipantId from, BytesView packet);
   ContentPt codec_for(const ParticipantState& p) const;
+  /// Snapshot-time collector: publishes Stats, encoder/cache stage stats
+  /// and the aggregated retransmission-store stats into the registry.
+  void publish_metrics();
 
   EventLoop& loop_;
   AppHostOptions opts_;
+  std::unique_ptr<telemetry::Telemetry> owned_tel_;  ///< null when injected
+  telemetry::Telemetry* tel_;
   WindowManager wm_;
   ScreenCapturer capturer_;
   CodecRegistry codecs_;

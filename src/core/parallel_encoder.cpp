@@ -1,5 +1,7 @@
 #include "core/parallel_encoder.hpp"
 
+#include <algorithm>
+
 #include "image/damage.hpp"
 
 namespace ads {
@@ -19,6 +21,8 @@ std::vector<Bytes> ParallelEncoder::encode_regions(const Image& frame,
                                                    ContentPt pt) {
   std::vector<Bytes> results(rects.size());
   const bool use_cache = cache_.max_bytes() > 0;
+  ++stats_.encode_calls;
+  stats_.bands_requested += rects.size();
 
   // Pass 1 (submitting thread, deterministic order): cache lookups. Misses
   // are queued for encoding; their keys are kept so pass 3 can fill the
@@ -36,6 +40,7 @@ std::vector<Bytes> ParallelEncoder::encode_regions(const Image& frame,
       if (const Bytes* hit = cache_.find(keys[i])) {
         results[i] = *hit;
         ++stats_.cache_hits;
+        stats_.cache_hit_bytes += hit->size();
         continue;
       }
       ++stats_.cache_misses;
@@ -61,6 +66,8 @@ std::vector<Bytes> ParallelEncoder::encode_regions(const Image& frame,
     }
   }
   stats_.bands_encoded += pending.size();
+  stats_.peak_queue_depth = std::max<std::uint64_t>(stats_.peak_queue_depth,
+                                                    pending.size());
 
   // Pass 3 (submitting thread): populate the cache in submission order.
   if (use_cache) {

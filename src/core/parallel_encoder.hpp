@@ -52,9 +52,13 @@ class ParallelEncoder {
   EncodedRegionCache& cache() { return cache_; }
 
   struct Stats {
-    std::uint64_t bands_encoded = 0;  ///< bands that ran a codec
+    std::uint64_t bands_requested = 0;  ///< bands passed to encode_regions
+    std::uint64_t bands_encoded = 0;    ///< bands that ran a codec
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;   ///< lookups that fell through (cache on)
+    std::uint64_t cache_hit_bytes = 0;  ///< payload bytes served from cache
+    std::uint64_t encode_calls = 0;     ///< encode_regions invocations
+    std::uint64_t peak_queue_depth = 0; ///< most bands queued in one call
   };
   const Stats& stats() const { return stats_; }
 

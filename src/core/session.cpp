@@ -3,7 +3,97 @@
 namespace ads {
 
 SharingSession::SharingSession(AppHostOptions host_opts)
-    : host_(loop_, host_opts) {}
+    : host_(loop_, host_opts) {
+  host_.telemetry().metrics.add_collector(this, [this] { publish_net_metrics(); });
+}
+
+SharingSession::~SharingSession() {
+  // Before members die: the collector walks connections_ and multicast_.
+  host_.telemetry().metrics.remove_collectors(this);
+}
+
+void SharingSession::publish_net_metrics() {
+  UdpChannel::Stats udp;
+  TcpChannel::Stats tcp;
+  Participant::Stats part;
+  const auto add_udp = [&udp](const UdpChannel* ch) {
+    if (ch == nullptr) return;
+    const UdpChannel::Stats& s = ch->stats();
+    udp.sent += s.sent;
+    udp.delivered += s.delivered;
+    udp.lost += s.lost;
+    udp.queue_dropped += s.queue_dropped;
+    udp.duplicated += s.duplicated;
+    udp.bytes_delivered += s.bytes_delivered;
+  };
+  const auto add_tcp = [&tcp](const TcpChannel* ch) {
+    if (ch == nullptr) return;
+    const TcpChannel::Stats& s = ch->stats();
+    tcp.bytes_offered += s.bytes_offered;
+    tcp.bytes_accepted += s.bytes_accepted;
+    tcp.bytes_delivered += s.bytes_delivered;
+    tcp.partial_writes += s.partial_writes;
+  };
+  const auto add_part = [&part](const Participant* p) {
+    if (p == nullptr) return;
+    const Participant::Stats& s = p->stats();
+    part.rtp_packets += s.rtp_packets;
+    part.bytes_received += s.bytes_received;
+    part.region_updates += s.region_updates;
+    part.move_rectangles += s.move_rectangles;
+    part.wmi_received += s.wmi_received;
+    part.pointer_updates += s.pointer_updates;
+    part.decode_errors += s.decode_errors;
+    part.nacks_sent += s.nacks_sent;
+    part.plis_sent += s.plis_sent;
+    part.gaps_skipped += s.gaps_skipped;
+    part.hip_sent += s.hip_sent;
+    part.rrs_sent += s.rrs_sent;
+    part.srs_received += s.srs_received;
+  };
+
+  for (const auto& c : connections_) {
+    add_udp(c->down_udp.get());
+    add_udp(c->up_udp.get());
+    add_tcp(c->down_tcp.get());
+    add_tcp(c->up_tcp.get());
+    add_part(c->participant.get());
+  }
+  for (const auto& mc : multicast_) {
+    for (std::size_t i = 0; i < mc->group->member_count(); ++i) {
+      add_udp(&mc->group->member(i));
+    }
+    for (const auto& m : mc->members) {
+      add_udp(m->up.get());
+      add_part(m->participant.get());
+    }
+  }
+
+  auto& met = host_.telemetry().metrics;
+  met.counter("net.udp.sent").set(udp.sent);
+  met.counter("net.udp.delivered").set(udp.delivered);
+  met.counter("net.udp.lost").set(udp.lost);
+  met.counter("net.udp.queue_dropped").set(udp.queue_dropped);
+  met.counter("net.udp.duplicated").set(udp.duplicated);
+  met.counter("net.udp.bytes_delivered").set(udp.bytes_delivered);
+  met.counter("net.tcp.bytes_offered").set(tcp.bytes_offered);
+  met.counter("net.tcp.bytes_accepted").set(tcp.bytes_accepted);
+  met.counter("net.tcp.bytes_delivered").set(tcp.bytes_delivered);
+  met.counter("net.tcp.partial_writes").set(tcp.partial_writes);
+  met.counter("participant.rtp_packets").set(part.rtp_packets);
+  met.counter("participant.bytes_received").set(part.bytes_received);
+  met.counter("participant.region_updates").set(part.region_updates);
+  met.counter("participant.move_rectangles").set(part.move_rectangles);
+  met.counter("participant.wmi_received").set(part.wmi_received);
+  met.counter("participant.pointer_updates").set(part.pointer_updates);
+  met.counter("participant.decode_errors").set(part.decode_errors);
+  met.counter("participant.nacks_sent").set(part.nacks_sent);
+  met.counter("participant.plis_sent").set(part.plis_sent);
+  met.counter("participant.gaps_skipped").set(part.gaps_skipped);
+  met.counter("participant.hip_sent").set(part.hip_sent);
+  met.counter("participant.rrs_sent").set(part.rrs_sent);
+  met.counter("participant.srs_received").set(part.srs_received);
+}
 
 SharingSession::Connection& SharingSession::add_udp_participant(
     ParticipantOptions opts, UdpLinkConfig link) {
@@ -13,6 +103,8 @@ SharingSession::Connection& SharingSession::add_udp_participant(
   opts.transport = ParticipantOptions::Transport::kUdp;
   if (link.down.seed == 1) link.down.seed = ++link_seed_;
   if (link.up.seed == 1) link.up.seed = ++link_seed_;
+  link.down.telemetry = &host_.telemetry();
+  link.up.telemetry = &host_.telemetry();
 
   c->down_udp = std::make_unique<UdpChannel>(loop_, link.down);
   c->up_udp = std::make_unique<UdpChannel>(loop_, link.up);
@@ -45,6 +137,8 @@ SharingSession::Connection& SharingSession::add_tcp_participant(
 
   opts.transport = ParticipantOptions::Transport::kTcp;
   opts.send_nacks = false;  // TCP repairs loss itself
+  link.down.telemetry = &host_.telemetry();
+  link.up.telemetry = &host_.telemetry();
 
   c->down_tcp = std::make_unique<TcpChannel>(loop_, link.down);
   c->up_tcp = std::make_unique<TcpChannel>(loop_, link.up);
@@ -102,6 +196,8 @@ SharingSession::MulticastMember& SharingSession::add_multicast_member(
   opts.transport = ParticipantOptions::Transport::kUdp;
   if (down.seed == 1) down.seed = ++link_seed_;
   if (up.seed == 1) up.seed = ++link_seed_;
+  down.telemetry = &host_.telemetry();
+  up.telemetry = &host_.telemetry();
 
   UdpChannel& down_channel = mc.group->add_member(down);
   member->up = std::make_unique<UdpChannel>(loop_, up);

@@ -30,9 +30,14 @@ struct TcpLinkConfig {
 class SharingSession {
  public:
   explicit SharingSession(AppHostOptions host_opts = {});
+  ~SharingSession();
 
   EventLoop& loop() { return loop_; }
   AppHost& host() { return host_; }
+  /// The session-wide telemetry sink (the AH's, shared by every channel the
+  /// session creates). `telemetry().snapshot()` sees metrics from all
+  /// layers: ah.*, encoder.*, cache.*, rtx.*, net.*, participant.*.
+  telemetry::Telemetry& telemetry() { return host_.telemetry(); }
 
   struct Connection {
     ParticipantId id = 0;
@@ -88,6 +93,10 @@ class SharingSession {
   void run_for(SimTime duration) { loop_.run_until(loop_.now() + duration); }
 
  private:
+  /// Collector: sums every channel's / participant's ad-hoc Stats structs
+  /// into net.udp.*, net.tcp.* and participant.* counters at snapshot time.
+  void publish_net_metrics();
+
   EventLoop loop_;
   AppHost host_;
   std::vector<std::unique_ptr<Connection>> connections_;

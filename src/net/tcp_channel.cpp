@@ -5,7 +5,13 @@
 namespace ads {
 
 TcpChannel::TcpChannel(EventLoop& loop, TcpChannelOptions opts)
-    : loop_(loop), opts_(opts) {}
+    : loop_(loop), opts_(opts) {
+  if (opts_.telemetry != nullptr) {
+    backlog_hist_ = &opts_.telemetry->metrics.histogram(
+        "net.tcp.backlog_bytes",
+        {0, 1024, 4096, 16384, 65536, 262144, 1048576});
+  }
+}
 
 std::size_t TcpChannel::backlog_bytes() const {
   // Sum of the not-yet-serialised suffix: a segment contributes while the
@@ -27,6 +33,7 @@ std::size_t TcpChannel::backlog_bytes() const {
 
 std::size_t TcpChannel::send(BytesView data) {
   stats_.bytes_offered += data.size();
+  if (backlog_hist_ != nullptr) backlog_hist_->observe(backlog_bytes());
 
   // Garbage-collect segments that have fully serialised.
   const SimTime now = loop_.now();

@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "net/event_loop.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
 
 namespace ads {
@@ -23,6 +24,10 @@ struct TcpChannelOptions {
   std::uint64_t bandwidth_bps = 10'000'000;
   SimTime delay_us = 20000;            ///< one-way propagation delay
   std::size_t send_buffer_bytes = 64 * 1024;
+  /// Optional session-wide telemetry sink. When set, every send() pushes
+  /// the pre-write backlog into the shared `net.tcp.backlog_bytes`
+  /// histogram — the distribution the §7 skip policy reacts to.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class TcpChannel {
@@ -64,6 +69,7 @@ class TcpChannel {
   Receiver receiver_;
   SimTime link_free_at_ = 0;
   std::deque<Segment> in_flight_;  ///< serialised order, for backlog math
+  telemetry::Histogram* backlog_hist_ = nullptr;
   Stats stats_;
 };
 

@@ -5,7 +5,21 @@
 namespace ads {
 
 UdpChannel::UdpChannel(EventLoop& loop, UdpChannelOptions opts)
-    : loop_(loop), opts_(opts), rng_(opts.seed) {}
+    : loop_(loop), opts_(opts), rng_(opts.seed) {
+  if (opts_.telemetry != nullptr) {
+    queue_delay_us_ = &opts_.telemetry->metrics.histogram(
+        "net.udp.queue_delay_us",
+        {0, 1'000, 5'000, 10'000, 20'000, 50'000, 100'000, 250'000, 1'000'000});
+  }
+}
+
+void UdpChannel::set_loss(double loss) {
+  opts_.loss = loss;
+  // Derive the episode seed with a splitmix64-style mix so consecutive
+  // episodes of the same channel don't share correlated streams.
+  ++loss_episode_;
+  rng_ = Prng(opts_.seed + 0x9E3779B97F4A7C15ull * loss_episode_);
+}
 
 bool UdpChannel::send(BytesView datagram) {
   ++stats_.sent;
@@ -26,6 +40,7 @@ bool UdpChannel::send(BytesView datagram) {
     link_free_at_ = start + serialize_us;
     depart = link_free_at_;
   }
+  if (queue_delay_us_ != nullptr) queue_delay_us_->observe(depart - loop_.now());
 
   if (rng_.chance(opts_.loss)) {
     ++stats_.lost;

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "net/event_loop.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
 #include "util/prng.hpp"
 
@@ -23,6 +24,10 @@ struct UdpChannelOptions {
   std::uint64_t bandwidth_bps = 0; ///< 0 = unlimited
   std::size_t queue_bytes = 256 * 1024;  ///< interface queue capacity
   std::uint64_t seed = 1;          ///< drives loss/jitter draws
+  /// Optional session-wide telemetry sink. When set, the channel pushes the
+  /// per-datagram interface-queue delay into the shared
+  /// `net.udp.queue_delay_us` histogram (the §7 "backlog" signal for UDP).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class UdpChannel {
@@ -37,9 +42,18 @@ class UdpChannel {
   /// it (the datagram is gone; UDP gives no signal beyond this return).
   bool send(BytesView datagram);
 
-  /// Adjust the loss probability mid-run (tests/benchmarks stage loss
-  /// episodes this way).
-  void set_loss(double loss) { opts_.loss = loss; }
+  /// Adjust the loss probability mid-run, beginning a new deterministic
+  /// loss *episode*.
+  ///
+  /// Seeding contract: the channel's PRNG is re-seeded from
+  /// (opts.seed, episode index) on every call, so the loss/jitter/duplicate
+  /// draws of episode N are a pure function of the configured seed and N —
+  /// independent of how many datagrams earlier episodes happened to carry.
+  /// Episode 0 is the construction-time stream; the first set_loss() call
+  /// starts episode 1, the second episode 2, and so on. Staged multi-phase
+  /// tests and benchmarks therefore reproduce bit-identically even when an
+  /// earlier phase's traffic volume changes.
+  void set_loss(double loss);
 
   struct Stats {
     std::uint64_t sent = 0;
@@ -50,6 +64,9 @@ class UdpChannel {
     std::uint64_t bytes_delivered = 0;
   };
   const Stats& stats() const { return stats_; }
+  /// Zero the stats — multi-phase benchmarks measure each loss episode
+  /// separately. Does not touch the PRNG or the link state.
+  void reset_stats() { stats_ = {}; }
 
  private:
   void schedule_delivery(Bytes datagram, SimTime depart);
@@ -59,6 +76,8 @@ class UdpChannel {
   Prng rng_;
   Receiver receiver_;
   SimTime link_free_at_ = 0;  ///< when the serialiser finishes current queue
+  std::uint64_t loss_episode_ = 0;  ///< set_loss() calls so far
+  telemetry::Histogram* queue_delay_us_ = nullptr;
   Stats stats_;
 };
 

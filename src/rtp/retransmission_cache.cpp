@@ -11,6 +11,7 @@ void RetransmissionCache::put(const RtpPacket& pkt) {
     while (order_.size() > capacity_) {
       by_seq_.erase(order_.front());
       order_.pop_front();
+      ++evictions_;
     }
   }
 }

@@ -26,9 +26,12 @@ class RetransmissionCache {
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Packets aged out to keep the cache at `capacity` (telemetry feed).
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
   std::deque<std::uint16_t> order_;
   std::unordered_map<std::uint16_t, RtpPacket> by_seq_;
   mutable std::uint64_t hits_ = 0;

@@ -1,0 +1,157 @@
+#include "telemetry/export.hpp"
+
+#include <sstream>
+
+namespace ads::telemetry {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(v[i]);
+  }
+  out += ']';
+}
+
+void append_span(std::string& out, const SpanRecord& s) {
+  out += "{\"name\": \"";
+  append_escaped(out, s.name);
+  out += "\", \"begin_us\": " + std::to_string(s.begin_us) +
+         ", \"end_us\": " + std::to_string(s.end_us) +
+         ", \"seq\": " + std::to_string(s.seq) + "}";
+}
+
+void append_histogram(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"bounds\": ";
+  append_u64_array(out, h.bounds);
+  out += ", \"counts\": ";
+  append_u64_array(out, h.counts);
+  out += ", \"count\": " + std::to_string(h.count) +
+         ", \"sum\": " + std::to_string(h.sum) + "}";
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\": " + std::to_string(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\": ";
+    append_histogram(out, h);
+  }
+  out += "}, \"spans\": [";
+  first = true;
+  for (const auto& s : snap.spans) {
+    if (!first) out += ", ";
+    first = false;
+    append_span(out, s);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_json_lines(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += "{\"type\": \"counter\", \"name\": \"";
+    append_escaped(out, name);
+    out += "\", \"value\": " + std::to_string(value) + "}\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "{\"type\": \"gauge\", \"name\": \"";
+    append_escaped(out, name);
+    out += "\", \"value\": " + std::to_string(value) + "}\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += "{\"type\": \"histogram\", \"name\": \"";
+    append_escaped(out, name);
+    out += "\", \"value\": ";
+    append_histogram(out, h);
+    out += "}\n";
+  }
+  for (const auto& s : snap.spans) {
+    out += "{\"type\": \"span\", \"value\": ";
+    append_span(out, s);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prometheus_name(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prometheus_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += n + "_bucket{le=\"" + std::to_string(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ads::telemetry

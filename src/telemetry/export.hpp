@@ -1,0 +1,36 @@
+// Snapshot serialisers. Two wire formats:
+//   * JSON — one object (to_json) for embedding in BENCH_*.json or test
+//     fixtures, and one-metric-per-line JSON lines (to_json_lines) for
+//     streaming/appending to a log;
+//   * Prometheus text exposition format (to_prometheus) — counters end in
+//     `_total`, histograms expand to `_bucket{le=...}` / `_sum` / `_count`,
+//     and metric names are sanitised to [a-zA-Z0-9_:] (dots become
+//     underscores), so the output scrapes cleanly.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace ads::telemetry {
+
+/// One JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {"bounds": [...], "counts": [...], "count": n,
+/// "sum": n}}, "spans": [{"name": ..., "begin_us": ..., "end_us": ...,
+/// "seq": ...}]}. Keys are sorted (std::map order) so equal snapshots
+/// serialise to equal strings — tests diff them directly.
+std::string to_json(const Snapshot& snap);
+
+/// One metric per line: {"type": "counter", "name": ..., "value": ...}\n ...
+/// Spans follow as {"type": "span", ...} lines.
+std::string to_json_lines(const Snapshot& snap);
+
+/// Prometheus text format (spans are not exported — Prometheus has no span
+/// type; scrape the histograms instead).
+std::string to_prometheus(const Snapshot& snap);
+
+/// `name` with every character outside [a-zA-Z0-9_:] replaced by '_', and a
+/// leading digit prefixed with '_' (the Prometheus metric-name charset).
+std::string prometheus_name(std::string_view name);
+
+}  // namespace ads::telemetry

@@ -1,0 +1,121 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+namespace ads::telemetry {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Snapshot::counter(std::string_view name, std::uint64_t fallback) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? fallback : it->second;
+}
+
+std::int64_t Snapshot::gauge(std::string_view name, std::int64_t fallback) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? fallback : it->second;
+}
+
+bool Snapshot::has_counter(std::string_view name) const {
+  return counters.find(std::string(name)) != counters.end();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::add_collector(const void* owner, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.emplace_back(owner, std::move(fn));
+}
+
+void MetricsRegistry::remove_collectors(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(collectors_, [owner](const auto& c) { return c.first == owner; });
+}
+
+Snapshot MetricsRegistry::snapshot() {
+  // Collectors may call back into counter()/gauge() (which lock), so run
+  // them on a copy outside the mutex.
+  std::vector<std::function<void()>> to_run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_run.reserve(collectors_.size());
+    for (const auto& [owner, fn] : collectors_) to_run.push_back(fn);
+  }
+  for (const auto& fn : to_run) fn();
+
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = HistogramSnapshot{h->bounds(), h->counts(), h->count(),
+                                              h->sum()};
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace ads::telemetry

@@ -1,0 +1,146 @@
+// Session-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms cheap enough for per-packet / per-band hot paths.
+//
+// Design rules (the ROADMAP's "one way to observe a session"):
+//   * the increment path is a single relaxed atomic RMW — no locks, no
+//     allocation, no branches beyond the caller's own null check;
+//   * registration (name → metric) takes a mutex once; callers cache the
+//     returned reference, which stays valid for the registry's lifetime
+//     (metrics are never removed);
+//   * components that already keep a plain ad-hoc Stats struct publish it
+//     through a *collector* — a callback run at snapshot() time that set()s
+//     the struct's totals into registry metrics. Hot paths stay exactly as
+//     cheap as before, yet every layer lands in one Snapshot;
+//   * snapshot() produces a plain-data Snapshot that the exporter layer
+//     (telemetry/export.hpp) serialises to JSON lines or Prometheus text.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ads::telemetry {
+
+/// Monotonic event count. add() is the hot-path operation: one relaxed
+/// fetch_add. set() exists for collectors that mirror an externally-kept
+/// total into the registry at snapshot time.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  void set(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time level (queue depth, cache bytes). Signed so deltas can go
+/// both ways.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+/// order; an implicit +inf bucket catches the rest. observe() is a binary
+/// search over ≤ a few dozen bounds plus three relaxed adds — no locks.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t value) noexcept;
+
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Plain-data view of a histogram at one instant.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+/// Plain-data view of one trace span (see telemetry/trace.hpp).
+struct SpanRecord {
+  const char* name = "";        ///< string literal supplied at span creation
+  std::uint64_t begin_us = 0;   ///< virtual (event-loop) microseconds
+  std::uint64_t end_us = 0;
+  std::uint64_t seq = 0;        ///< global completion order, 0-based
+};
+
+/// Everything the registry knew at snapshot time, as plain data. The
+/// exporters in telemetry/export.hpp serialise this; tests index into it.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::vector<SpanRecord> spans;  ///< filled by Telemetry::snapshot()
+
+  /// Counter value, or `fallback` when the name was never registered.
+  std::uint64_t counter(std::string_view name, std::uint64_t fallback = 0) const;
+  std::int64_t gauge(std::string_view name, std::int64_t fallback = 0) const;
+  bool has_counter(std::string_view name) const;
+};
+
+/// Name → metric table. Lookups lock; the returned references never move or
+/// die, so hot paths resolve once and increment lock-free thereafter.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The metric named `name`, creating it on first use. A histogram's
+  /// bucket bounds are fixed by the first caller; later callers share it.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds);
+
+  /// Register a callback run at the start of every snapshot(). Collectors
+  /// bridge ad-hoc Stats structs into the registry: they set() totals that
+  /// the component keeps outside the registry. `owner` keys removal —
+  /// call remove_collectors(owner) before the captured state dies.
+  void add_collector(const void* owner, std::function<void()> fn);
+  void remove_collectors(const void* owner);
+
+  /// Run collectors, then copy every metric. Not cheap; not for hot paths.
+  Snapshot snapshot();
+
+  /// Zero every counter, gauge and histogram (multi-phase benchmarks
+  /// measure per phase). Registrations and collectors survive.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<std::pair<const void*, std::function<void()>>> collectors_;
+};
+
+}  // namespace ads::telemetry

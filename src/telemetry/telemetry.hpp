@@ -1,0 +1,24 @@
+// The session-wide observability bundle: one MetricsRegistry plus one
+// TraceRing. The AppHost owns a Telemetry by default (so every session is
+// observable with zero configuration); tests and multi-host setups can
+// inject a shared instance through AppHostOptions/channel options instead.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ads::telemetry {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  TraceRing trace;
+
+  /// Metrics snapshot with the trace ring's spans attached.
+  Snapshot snapshot() {
+    Snapshot snap = metrics.snapshot();
+    snap.spans = trace.spans();
+    return snap;
+  }
+};
+
+}  // namespace ads::telemetry

@@ -1,0 +1,52 @@
+#include "telemetry/trace.hpp"
+
+namespace ads::telemetry {
+
+void TraceRing::enable(std::size_t capacity, Clock clock) {
+  if (capacity == 0) {
+    disable();
+    return;
+  }
+  ring_.assign(capacity, SpanRecord{});
+  clock_ = std::move(clock);
+  next_ = 0;
+  total_ = 0;
+  enabled_ = true;
+}
+
+void TraceRing::disable() {
+  enabled_ = false;
+  clock_ = nullptr;
+  ring_.clear();
+  next_ = 0;
+}
+
+void TraceRing::record(const char* name, std::uint64_t begin_us,
+                       std::uint64_t end_us) {
+  if (!enabled_ || ring_.empty()) return;
+  ring_[next_] = SpanRecord{name, begin_us, end_us, total_};
+  ++total_;
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::vector<SpanRecord> TraceRing::spans() const {
+  std::vector<SpanRecord> out;
+  if (ring_.empty() || total_ == 0) return out;
+  const std::size_t held = total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                                 : ring_.size();
+  out.reserve(held);
+  // Oldest-first: when the ring wrapped, the oldest entry sits at next_.
+  const std::size_t start = total_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < held; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::clear() {
+  next_ = 0;
+  total_ = 0;
+  for (auto& s : ring_) s = SpanRecord{};
+}
+
+}  // namespace ads::telemetry

@@ -1,0 +1,75 @@
+// Trace spans over the simulator's virtual clock.
+//
+// A ScopedSpan records a {name, begin, end} triple into a bounded ring
+// buffer when it goes out of scope. Timestamps come from a caller-supplied
+// clock — in this codebase always EventLoop::now(), i.e. virtual
+// microseconds — so a traced run is bit-reproducible: the same session
+// produces the same spans at the same times on any machine.
+//
+// A disabled ring (the default) costs one predictable branch per span: the
+// ScopedSpan constructor reads a bool and skips the clock entirely, which
+// is what lets spans sit permanently in the AppHost tick pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace ads::telemetry {
+
+/// Bounded ring of completed spans, oldest overwritten first. Not thread
+/// safe: spans are recorded from the event-loop thread only (the tick
+/// pipeline), which is also what keeps span order deterministic.
+class TraceRing {
+ public:
+  using Clock = std::function<std::uint64_t()>;
+
+  /// Start recording: keep the last `capacity` spans, timestamped by
+  /// `clock`. capacity == 0 disables again.
+  void enable(std::size_t capacity, Clock clock);
+  void disable();
+  bool enabled() const { return enabled_; }
+
+  std::uint64_t now() const { return clock_ ? clock_() : 0; }
+
+  void record(const char* name, std::uint64_t begin_us, std::uint64_t end_us);
+
+  /// Completed spans, oldest first. `seq` preserves the global completion
+  /// index even after the ring wrapped.
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t total_recorded() const { return total_; }
+  std::size_t capacity() const { return ring_.size(); }
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  Clock clock_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;    ///< ring slot the next record lands in
+  std::uint64_t total_ = 0; ///< spans ever recorded (drives seq)
+};
+
+/// RAII span: stamps begin at construction, records on destruction. `name`
+/// must outlive the ring (use string literals).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRing& ring, const char* name)
+      : ring_(ring), name_(name), armed_(ring.enabled()) {
+    if (armed_) begin_ = ring_.now();
+  }
+  ~ScopedSpan() {
+    if (armed_) ring_.record(name_, begin_, ring_.now());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRing& ring_;
+  const char* name_;
+  std::uint64_t begin_ = 0;
+  bool armed_;
+};
+
+}  // namespace ads::telemetry

@@ -116,6 +116,80 @@ TEST(UdpChannel, StatsCountBytes) {
   EXPECT_EQ(ch.stats().bytes_delivered, 123u);
 }
 
+TEST(UdpChannel, SetLossStartsDeterministicEpisode) {
+  // The seeding contract: episode N's draws depend only on (seed, N), not
+  // on how much traffic earlier episodes carried. Two channels with the
+  // same seed but different episode-0 volumes must agree byte-for-byte
+  // once set_loss() starts episode 1.
+  auto run = [](int warmup_sends) {
+    EventLoop loop;
+    UdpChannelOptions opts;
+    opts.loss = 0.5;
+    opts.seed = 21;
+    opts.delay_us = 0;
+    UdpChannel ch(loop, opts);
+    std::vector<std::uint8_t> got;
+    ch.set_receiver([&](Bytes d) { got.push_back(d[0]); });
+    for (int i = 0; i < warmup_sends; ++i) ch.send(payload(10));
+    loop.run();
+    got.clear();
+
+    ch.set_loss(0.3);  // episode 1
+    for (std::uint8_t i = 0; i < 100; ++i) ch.send(Bytes{i});
+    loop.run();
+    return got;
+  };
+  const auto a = run(3);
+  const auto b = run(250);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(UdpChannel, SetLossEpisodesDrawDistinctStreams) {
+  // Same loss rate, consecutive episodes: the mixed per-episode seeds must
+  // not replay the same loss pattern.
+  auto episode = [](int calls) {
+    EventLoop loop;
+    UdpChannelOptions opts;
+    opts.seed = 33;
+    opts.delay_us = 0;
+    UdpChannel ch(loop, opts);
+    std::vector<std::uint8_t> got;
+    ch.set_receiver([&](Bytes d) { got.push_back(d[0]); });
+    for (int c = 0; c < calls; ++c) ch.set_loss(0.5);
+    for (std::uint8_t i = 0; i < 100; ++i) ch.send(Bytes{i});
+    loop.run();
+    return got;
+  };
+  EXPECT_NE(episode(1), episode(2));
+  EXPECT_EQ(episode(2), episode(2));
+}
+
+TEST(UdpChannel, ResetStatsZeroesWithoutTouchingLink) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.loss = 0.5;
+  opts.seed = 9;
+  UdpChannel ch(loop, opts);
+  ch.set_receiver([](Bytes) {});
+  for (int i = 0; i < 50; ++i) ch.send(payload(10));
+  loop.run();
+  EXPECT_GT(ch.stats().lost, 0u);
+
+  ch.reset_stats();
+  EXPECT_EQ(ch.stats().sent, 0u);
+  EXPECT_EQ(ch.stats().delivered, 0u);
+  EXPECT_EQ(ch.stats().lost, 0u);
+  EXPECT_EQ(ch.stats().bytes_delivered, 0u);
+
+  // The PRNG stream continues where it left off — resetting stats does not
+  // replay or skip loss draws.
+  ch.send(payload(10));
+  loop.run();
+  EXPECT_EQ(ch.stats().sent, 1u);
+  EXPECT_EQ(ch.stats().delivered + ch.stats().lost, 1u);
+}
+
 TEST(UdpChannel, DeterministicForSameSeed) {
   auto run = [](std::uint64_t seed) {
     EventLoop loop;

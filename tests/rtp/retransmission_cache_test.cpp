@@ -64,5 +64,49 @@ TEST(RetransmissionCache, SequenceWrapKeysDistinct) {
   EXPECT_TRUE(cache.get(0).has_value());
 }
 
+TEST(RetransmissionCache, CountsEvictions) {
+  RetransmissionCache cache(3);
+  for (std::uint16_t s = 0; s < 5; ++s) cache.put(pkt(s));
+  EXPECT_EQ(cache.evictions(), 2u);
+  // Re-inserting an existing sequence replaces in place — no eviction.
+  cache.put(pkt(4));
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(RetransmissionCache, EvictionOrderSurvivesSequenceWrap) {
+  // Insertion order, not numeric order, drives eviction: streaming across
+  // the 16-bit wrap must evict 65534, 65535 (the oldest), never the
+  // numerically-small post-wrap sequences.
+  RetransmissionCache cache(8);
+  std::uint16_t seq = 65534;
+  for (int i = 0; i < 10; ++i) cache.put(pkt(seq++));  // 65534..65535,0..7
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_FALSE(cache.get(65534).has_value());
+  EXPECT_FALSE(cache.get(65535).has_value());
+  for (std::uint16_t s = 0; s < 8; ++s) {
+    EXPECT_TRUE(cache.get(s).has_value()) << "seq " << s;
+  }
+}
+
+TEST(RetransmissionCache, LongWrappingStreamRetainsExactlyNewest) {
+  // 70'000 packets walk the full sequence space and wrap: the cache must
+  // end up holding exactly the last `capacity` sequences sent.
+  constexpr std::size_t kCapacity = 64;
+  RetransmissionCache cache(kCapacity);
+  std::uint16_t seq = 0;
+  for (int i = 0; i < 70'000; ++i) cache.put(pkt(seq++));
+  EXPECT_EQ(cache.size(), kCapacity);
+  EXPECT_EQ(cache.evictions(), 70'000u - kCapacity);
+  const std::uint16_t last = static_cast<std::uint16_t>(69'999);
+  for (std::size_t back = 0; back < kCapacity; ++back) {
+    const std::uint16_t s = static_cast<std::uint16_t>(last - back);
+    EXPECT_TRUE(cache.get(s).has_value()) << "seq " << s;
+  }
+  // The one evicted just before the retained window is gone.
+  EXPECT_FALSE(
+      cache.get(static_cast<std::uint16_t>(last - kCapacity)).has_value());
+}
+
 }  // namespace
 }  // namespace ads

@@ -1,0 +1,106 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ads::telemetry {
+namespace {
+
+Snapshot sample_snapshot() {
+  MetricsRegistry reg;
+  reg.counter("ah.frames").add(3);
+  reg.counter("net.udp.sent").add(10);
+  reg.gauge("cache.bytes").set(-1);
+  reg.histogram("lat_us", {10, 100}).observe(5);
+  reg.histogram("lat_us", {}).observe(50);
+  reg.histogram("lat_us", {}).observe(5000);
+  Snapshot snap = reg.snapshot();
+  snap.spans.push_back(SpanRecord{"ah.tick", 100, 250, 0});
+  return snap;
+}
+
+TEST(ExportJson, FullObjectShape) {
+  const std::string json = to_json(sample_snapshot());
+  EXPECT_EQ(json,
+            "{\"counters\": {\"ah.frames\": 3, \"net.udp.sent\": 10}, "
+            "\"gauges\": {\"cache.bytes\": -1}, "
+            "\"histograms\": {\"lat_us\": {\"bounds\": [10, 100], "
+            "\"counts\": [1, 1, 1], \"count\": 3, \"sum\": 5055}}, "
+            "\"spans\": [{\"name\": \"ah.tick\", \"begin_us\": 100, "
+            "\"end_us\": 250, \"seq\": 0}]}");
+}
+
+TEST(ExportJson, EmptySnapshot) {
+  EXPECT_EQ(to_json(Snapshot{}),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}, "
+            "\"spans\": []}");
+}
+
+TEST(ExportJson, EscapesNames) {
+  Snapshot snap;
+  snap.counters["he\"llo\\x"] = 1;
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"he\\\"llo\\\\x\": 1"), std::string::npos);
+}
+
+TEST(ExportJson, EqualSnapshotsSerialiseIdentically) {
+  // Keys come out of std::map sorted, so two snapshots with the same data
+  // — however it was inserted — produce byte-identical JSON. This is what
+  // the determinism tests diff.
+  Snapshot a, b;
+  a.counters["x"] = 1;
+  a.counters["a"] = 2;
+  b.counters["a"] = 2;
+  b.counters["x"] = 1;
+  EXPECT_EQ(to_json(a), to_json(b));
+}
+
+TEST(ExportJsonLines, OneMetricPerLine) {
+  const std::string lines = to_json_lines(sample_snapshot());
+  EXPECT_NE(lines.find("{\"type\": \"counter\", \"name\": \"ah.frames\", "
+                       "\"value\": 3}\n"),
+            std::string::npos);
+  EXPECT_NE(lines.find("{\"type\": \"gauge\", \"name\": \"cache.bytes\", "
+                       "\"value\": -1}\n"),
+            std::string::npos);
+  EXPECT_NE(lines.find("{\"type\": \"histogram\", \"name\": \"lat_us\""),
+            std::string::npos);
+  EXPECT_NE(lines.find("{\"type\": \"span\""), std::string::npos);
+  // Every line is terminated; count matches 2 counters + 1 gauge + 1
+  // histogram + 1 span.
+  std::size_t newlines = 0;
+  for (const char c : lines) newlines += c == '\n';
+  EXPECT_EQ(newlines, 5u);
+  EXPECT_EQ(lines.back(), '\n');
+}
+
+TEST(ExportPrometheus, NameSanitisation) {
+  EXPECT_EQ(prometheus_name("net.udp.sent"), "net_udp_sent");
+  EXPECT_EQ(prometheus_name("ok_name:sub"), "ok_name:sub");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name("sp ace-dash"), "sp_ace_dash");
+}
+
+TEST(ExportPrometheus, CountersGetTotalSuffix) {
+  const std::string text = to_prometheus(sample_snapshot());
+  EXPECT_NE(text.find("# TYPE ah_frames_total counter\nah_frames_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cache_bytes gauge\ncache_bytes -1\n"),
+            std::string::npos);
+}
+
+TEST(ExportPrometheus, HistogramBucketsAreCumulative) {
+  const std::string text = to_prometheus(sample_snapshot());
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 5055\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 3\n"), std::string::npos);
+  // Spans are not exported to Prometheus.
+  EXPECT_EQ(text.find("ah.tick"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ads::telemetry

@@ -1,0 +1,168 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ads::telemetry {
+namespace {
+
+TEST(Counter, AddSetResetValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SignedLevels) {
+  Gauge g;
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+  g.add(15);
+  EXPECT_EQ(g.value(), 10);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketsAreInclusiveUpperBounds) {
+  Histogram h({10, 100, 1000});
+  h.observe(0);     // <= 10
+  h.observe(10);    // <= 10 (inclusive)
+  h.observe(11);    // <= 100
+  h.observe(1000);  // <= 1000
+  h.observe(1001);  // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 1000 + 1001);
+}
+
+TEST(Histogram, SortsAndDedupsBounds) {
+  Histogram h({100, 10, 100, 10});
+  ASSERT_EQ(h.bounds().size(), 2u);
+  EXPECT_EQ(h.bounds()[0], 10u);
+  EXPECT_EQ(h.bounds()[1], 100u);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h({10});
+  h.observe(5);
+  h.observe(500);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  for (std::uint64_t c : h.counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(MetricsRegistry, ReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(reg.counter("x").value(), 3u);
+
+  Histogram& h1 = reg.histogram("h", {1, 2, 3});
+  // Later callers share the first registration; their bounds are ignored.
+  Histogram& h2 = reg.histogram("h", {99});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotCopiesEverything) {
+  MetricsRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(-2);
+  reg.histogram("h", {10}).observe(4);
+
+  Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 5u);
+  EXPECT_EQ(snap.gauge("g"), -2);
+  ASSERT_EQ(snap.histograms.count("h"), 1u);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_EQ(snap.histograms.at("h").sum, 4u);
+
+  // The snapshot is a copy: later increments don't affect it.
+  reg.counter("c").add(100);
+  EXPECT_EQ(snap.counter("c"), 5u);
+  EXPECT_EQ(snap.counter("missing", 77), 77u);
+  EXPECT_FALSE(snap.has_counter("missing"));
+}
+
+TEST(MetricsRegistry, CollectorsRunAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::uint64_t external_total = 0;
+  int owner = 0;
+  reg.add_collector(&owner,
+                    [&] { reg.counter("ext").set(external_total); });
+
+  external_total = 9;
+  EXPECT_EQ(reg.snapshot().counter("ext"), 9u);
+  external_total = 12;
+  EXPECT_EQ(reg.snapshot().counter("ext"), 12u);
+
+  // Removed collectors stop publishing; the metric keeps its last value.
+  reg.remove_collectors(&owner);
+  external_total = 99;
+  EXPECT_EQ(reg.snapshot().counter("ext"), 12u);
+}
+
+TEST(MetricsRegistry, RemoveCollectorsIsKeyedByOwner) {
+  MetricsRegistry reg;
+  int a = 0, b = 0;
+  reg.add_collector(&a, [&reg] { reg.counter("a").add(); });
+  reg.add_collector(&b, [&reg] { reg.counter("b").add(); });
+  reg.remove_collectors(&a);
+  Snapshot snap = reg.snapshot();
+  EXPECT_FALSE(snap.has_counter("a"));
+  EXPECT_EQ(snap.counter("b"), 1u);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(5);
+  reg.gauge("g").set(3);
+  reg.histogram("h", {10}).observe(1);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(&reg.counter("c"), &c);  // same object, still registered
+  EXPECT_EQ(reg.gauge("g").value(), 0);
+  EXPECT_EQ(reg.histogram("h", {}).count(), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreNotLost) {
+  // Relaxed atomics still guarantee no lost updates — the property the
+  // worker-pool encode path relies on.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hot");
+  Histogram& h = reg.histogram("lat", {10, 100});
+  constexpr int kThreads = 4;
+  constexpr int kPer = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPer; ++i) {
+        c.add();
+        h.observe(static_cast<std::uint64_t>(i % 200));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPer);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+}  // namespace
+}  // namespace ads::telemetry

@@ -1,0 +1,121 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads::telemetry {
+namespace {
+
+TEST(TraceRing, DisabledByDefault) {
+  TraceRing ring;
+  EXPECT_FALSE(ring.enabled());
+  {
+    ScopedSpan span(ring, "noop");  // must be a no-op, not a crash
+  }
+  EXPECT_TRUE(ring.spans().empty());
+  EXPECT_EQ(ring.total_recorded(), 0u);
+}
+
+TEST(TraceRing, RecordsInCompletionOrder) {
+  TraceRing ring;
+  std::uint64_t clock = 0;
+  ring.enable(8, [&clock] { return clock; });
+
+  {
+    clock = 10;
+    ScopedSpan outer(ring, "outer");
+    {
+      clock = 20;
+      ScopedSpan inner(ring, "inner");
+      clock = 30;
+    }  // inner records [20, 30]
+    clock = 40;
+  }  // outer records [10, 40]
+
+  const auto spans = ring.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].begin_us, 20u);
+  EXPECT_EQ(spans[0].end_us, 30u);
+  EXPECT_EQ(spans[0].seq, 0u);
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].begin_us, 10u);
+  EXPECT_EQ(spans[1].end_us, 40u);
+  EXPECT_EQ(spans[1].seq, 1u);
+}
+
+TEST(TraceRing, WrapKeepsNewestAndGlobalSeq) {
+  TraceRing ring;
+  std::uint64_t clock = 0;
+  ring.enable(3, [&clock] { return clock; });
+  for (int i = 0; i < 5; ++i) {
+    clock = static_cast<std::uint64_t>(i);
+    ring.record("s", clock, clock);
+  }
+  const auto spans = ring.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Oldest-first: spans 2, 3, 4 survive with their original seq numbers.
+  EXPECT_EQ(spans[0].seq, 2u);
+  EXPECT_EQ(spans[1].seq, 3u);
+  EXPECT_EQ(spans[2].seq, 4u);
+  EXPECT_EQ(spans[0].begin_us, 2u);
+  EXPECT_EQ(ring.total_recorded(), 5u);
+}
+
+TEST(TraceRing, DisableStopsRecordingAndDropsSpans) {
+  TraceRing ring;
+  ring.enable(4, [] { return std::uint64_t{1}; });
+  ring.record("a", 0, 1);
+  ring.disable();
+  EXPECT_FALSE(ring.enabled());
+  EXPECT_TRUE(ring.spans().empty());  // disable releases the ring
+  ring.record("b", 2, 3);             // dropped
+  // A span constructed while disabled stays disarmed even if the ring is
+  // re-enabled before it dies.
+  {
+    ScopedSpan span(ring, "late");
+    ring.enable(4, [] { return std::uint64_t{9}; });
+  }
+  EXPECT_TRUE(ring.spans().empty());
+  ring.record("c", 4, 5);
+  ASSERT_EQ(ring.spans().size(), 1u);
+  EXPECT_STREQ(ring.spans()[0].name, "c");
+}
+
+TEST(TraceRing, ClearEmptiesButStaysEnabled) {
+  TraceRing ring;
+  ring.enable(4, [] { return std::uint64_t{0}; });
+  ring.record("a", 0, 1);
+  ring.clear();
+  EXPECT_TRUE(ring.enabled());
+  EXPECT_TRUE(ring.spans().empty());
+  ring.record("b", 1, 2);
+  ASSERT_EQ(ring.spans().size(), 1u);
+  EXPECT_STREQ(ring.spans()[0].name, "b");
+}
+
+TEST(TraceRing, DeterministicUnderVirtualClock) {
+  // Two identical runs over a virtual clock produce identical spans — the
+  // property AppHost traces inherit from EventLoop::now().
+  auto run = [] {
+    TraceRing ring;
+    std::uint64_t clock = 0;
+    ring.enable(16, [&clock] { return clock; });
+    for (int i = 0; i < 10; ++i) {
+      clock += 7;
+      ScopedSpan span(ring, "tick");
+      clock += 3;
+    }
+    return ring.spans();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin_us, b[i].begin_us);
+    EXPECT_EQ(a[i].end_us, b[i].end_us);
+    EXPECT_EQ(a[i].seq, b[i].seq);
+  }
+}
+
+}  // namespace
+}  // namespace ads::telemetry
