@@ -1,0 +1,161 @@
+// E15 — recovery latency per fault class under the ads::chaos harness.
+//
+// One participant streams a terminal workload while a single scripted fault
+// episode hits its link (blackout, Gilbert–Elliott burst, bandwidth
+// collapse, TCP stall, or a hard drop + reconnect). From the instant the
+// fault clears, the replica is polled once per capture tick; recovery
+// latency is the time until the first pixel-exact match with the AH frame.
+// Counters expose the repair mechanics behind each class: NACKs, PLIs,
+// watchdog refreshes, escalations, retransmissions.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "chaos/fault_schedule.hpp"
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+#include "telemetry/export.hpp"
+
+namespace {
+
+using namespace ads;
+using chaos::FaultSchedule;
+
+constexpr SimTime kTick = sim_ms(100);
+constexpr SimTime kFaultStart = sim_sec(1);
+constexpr SimTime kRecoveryTimeout = sim_sec(12);
+
+struct RecoveryResult {
+  SimTime recovery_us = 0;  ///< fault-clear -> first pixel-exact replica
+  bool converged = false;
+  Participant::Stats participant;
+  std::uint64_t retransmissions = 0;
+};
+
+/// Poll the replica against the AH frame every tick from `from_us` until it
+/// matches; report the latency relative to `from_us`.
+RecoveryResult run_case(const char* fault_class, std::uint64_t seed) {
+  AppHostOptions host_opts;
+  host_opts.screen_width = 320;
+  host_opts.screen_height = 240;
+  host_opts.frame_interval_us = kTick;
+  SharingSession session(host_opts);
+  AppHost& host = session.host();
+  const WindowId term = host.wm().create({16, 16, 256, 192}, 1);
+  host.capturer().attach(term, std::make_unique<TerminalApp>(256, 192, 5));
+
+  const bool tcp = std::string(fault_class) == "stall" ||
+                   std::string(fault_class) == "drop";
+  ParticipantOptions popts;
+  popts.starvation_timeout_us = sim_ms(800);
+  SharingSession::Connection* conn = nullptr;
+  if (tcp) {
+    TcpLinkConfig link;
+    link.down.bandwidth_bps = 20'000'000;
+    link.down.send_buffer_bytes = 256 * 1024;
+    conn = &session.add_tcp_participant(popts, link);
+  } else {
+    UdpLinkConfig link;
+    link.down.delay_us = 2000;
+    link.down.bandwidth_bps = 50'000'000;
+    link.up.delay_us = 2000;
+    conn = &session.add_udp_participant(popts, link);
+    conn->participant->join();
+  }
+
+  FaultSchedule faults(session.loop(), seed, &session.telemetry());
+  const std::string cls = fault_class;
+  SimTime clear_at = 0;
+  if (cls == "blackout") {
+    faults.blackout(*conn->down_udp, kFaultStart, sim_ms(900));
+    clear_at = faults.all_clear_at();
+  } else if (cls == "burst") {
+    faults.burst_loss(*conn->down_udp, kFaultStart, sim_ms(1500));
+    clear_at = faults.all_clear_at();
+  } else if (cls == "collapse") {
+    faults.bandwidth_collapse(*conn->down_udp, kFaultStart, sim_ms(1500),
+                              /*collapsed=*/300'000, /*restore=*/50'000'000);
+    clear_at = faults.all_clear_at();
+  } else if (cls == "stall") {
+    faults.stall(*conn->down_tcp, kFaultStart, sim_ms(1500));
+    clear_at = faults.all_clear_at();
+  } else {  // drop: cleared out of band by the session-level reconnect
+    faults.drop(*conn->down_tcp, kFaultStart);
+    clear_at = kFaultStart + sim_ms(500);
+    session.loop().at(clear_at, [&session, conn] {
+      session.drop_tcp(*conn);  // take the uplink down with it
+      TcpLinkConfig fresh;
+      fresh.down.bandwidth_bps = 20'000'000;
+      fresh.down.send_buffer_bytes = 256 * 1024;
+      session.reconnect_tcp(*conn, fresh);
+    });
+  }
+
+  // Recovery probe: once per tick (just after the tick's updates land),
+  // record the first pixel-exact match after the fault cleared.
+  RecoveryResult out;
+  for (SimTime t = clear_at + kTick; t <= clear_at + kRecoveryTimeout; t += kTick) {
+    const SimTime probe = ((t / kTick) * kTick) + kTick / 2;
+    session.loop().at(probe, [&, probe] {
+      if (out.converged) return;
+      const Image& truth = host.capturer().last_frame();
+      const Image replica = conn->participant->screen().crop(
+          {0, 0, truth.width(), truth.height()});
+      if (diff_pixel_count(truth, replica) == 0) {
+        out.converged = true;
+        out.recovery_us = probe - clear_at;
+      }
+    });
+  }
+
+  host.start();
+  session.loop().run_until(clear_at + kRecoveryTimeout + kTick);
+  host.stop();
+  session.run_for(sim_sec(1));
+
+  out.participant = conn->participant->stats();
+  out.retransmissions = host.stats().retransmissions_sent;
+  bench::json_report("chaos").set_metrics_json(
+      telemetry::to_json(session.telemetry().snapshot()));
+  return out;
+}
+
+void run_bench(benchmark::State& state, const char* fault_class) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(state.range(0));
+  RecoveryResult r;
+  for (auto _ : state) r = run_case(fault_class, seed);
+  state.counters["recovery_ms"] =
+      r.converged ? static_cast<double>(r.recovery_us) / 1000.0 : -1.0;
+  state.counters["converged"] = r.converged ? 1 : 0;
+  state.counters["nacks"] = static_cast<double>(r.participant.nacks_sent);
+  state.counters["plis"] = static_cast<double>(r.participant.plis_sent);
+  state.counters["starvation_plis"] =
+      static_cast<double>(r.participant.starvation_plis);
+  state.counters["nack_escalations"] =
+      static_cast<double>(r.participant.nack_escalations);
+  state.counters["retransmissions"] = static_cast<double>(r.retransmissions);
+  bench::record_counters("chaos",
+                         std::string("E15/recovery/") + fault_class + "/" +
+                             std::to_string(state.range(0)),
+                         state.counters);
+}
+
+void blackout(benchmark::State& state) { run_bench(state, "blackout"); }
+void burst(benchmark::State& state) { run_bench(state, "burst"); }
+void collapse(benchmark::State& state) { run_bench(state, "collapse"); }
+void stall(benchmark::State& state) { run_bench(state, "stall"); }
+void drop(benchmark::State& state) { run_bench(state, "drop"); }
+
+BENCHMARK(blackout)->Name("E15/recovery/blackout")->Arg(7)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(burst)->Name("E15/recovery/burst")->Arg(7)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(collapse)->Name("E15/recovery/collapse")->Arg(7)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(stall)->Name("E15/recovery/stall")->Arg(7)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(drop)->Name("E15/recovery/drop")->Arg(7)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace

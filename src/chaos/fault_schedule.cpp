@@ -1,0 +1,225 @@
+#include "chaos/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+namespace ads::chaos {
+namespace {
+
+// Per-episode sub-stream seed: splitmix64-style mix so episode N's dwell
+// draws are independent of every other episode and of call order.
+std::uint64_t episode_seed(std::uint64_t seed, std::size_t index) {
+  return seed ^ (0x9E3779B97F4A7C15ull * (index + 1));
+}
+
+// Exponential dwell with the given mean, clamped away from zero so the
+// burst chain always makes progress.
+SimTime exp_dwell(Prng& rng, SimTime mean_us) {
+  const double u = rng.next_double();
+  const double d = -static_cast<double>(mean_us) * std::log(1.0 - u);
+  return std::max<SimTime>(1'000, static_cast<SimTime>(d));
+}
+
+}  // namespace
+
+const char* fault_class_name(FaultClass c) {
+  switch (c) {
+    case FaultClass::kBlackout: return "blackout";
+    case FaultClass::kBurstLoss: return "burst_loss";
+    case FaultClass::kBandwidthCollapse: return "bandwidth_collapse";
+    case FaultClass::kStall: return "stall";
+    case FaultClass::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+FaultSchedule::FaultSchedule(EventLoop& loop, std::uint64_t seed,
+                             telemetry::Telemetry* tel)
+    : loop_(loop), seed_(seed), rng_(seed), tel_(tel) {}
+
+std::size_t FaultSchedule::add_episode(FaultClass kind, SimTime start,
+                                       SimTime end) {
+  episodes_.push_back(FaultEpisode{kind, start, end});
+  return episodes_.size() - 1;
+}
+
+void FaultSchedule::begin_episode(FaultClass kind) {
+  ++started_;
+  ++active_;
+  if (tel_ != nullptr) {
+    tel_->metrics.counter("chaos.episodes_started").add(1);
+    tel_->metrics
+        .counter(std::string("chaos.") + fault_class_name(kind) + "_episodes")
+        .add(1);
+    tel_->metrics.gauge("chaos.active_episodes")
+        .set(static_cast<std::int64_t>(active_));
+  }
+}
+
+void FaultSchedule::end_episode() {
+  ++cleared_;
+  if (active_ > 0) --active_;
+  if (tel_ != nullptr) {
+    tel_->metrics.counter("chaos.episodes_cleared").add(1);
+    tel_->metrics.gauge("chaos.active_episodes")
+        .set(static_cast<std::int64_t>(active_));
+  }
+}
+
+SimTime FaultSchedule::all_clear_at() const {
+  SimTime latest = 0;
+  for (const FaultEpisode& e : episodes_) {
+    if (e.kind == FaultClass::kDrop) continue;  // never clears by itself
+    latest = std::max(latest, e.end_us);
+  }
+  return latest;
+}
+
+void FaultSchedule::blackout(UdpChannel& link, SimTime start, SimTime duration,
+                             double restore_loss) {
+  add_episode(FaultClass::kBlackout, start, start + duration);
+  loop_.at(start, [this, &link] {
+    begin_episode(FaultClass::kBlackout);
+    link.set_loss(1.0);
+  });
+  loop_.at(start + duration, [this, &link, restore_loss] {
+    link.set_loss(restore_loss);
+    end_episode();
+  });
+}
+
+void FaultSchedule::burst_loss(UdpChannel& link, SimTime start, SimTime duration,
+                               GilbertElliott ge, double restore_loss) {
+  const std::size_t idx = add_episode(FaultClass::kBurstLoss, start, start + duration);
+  const SimTime end = start + duration;
+  auto chain_rng = std::make_shared<Prng>(episode_seed(seed_, idx));
+  loop_.at(start, [this, &link, chain_rng, end, ge] {
+    begin_episode(FaultClass::kBurstLoss);
+    burst_step(link, chain_rng, end, ge, /*bad=*/true);
+  });
+  loop_.at(end, [this, &link, restore_loss] {
+    link.set_loss(restore_loss);
+    end_episode();
+  });
+}
+
+void FaultSchedule::burst_step(UdpChannel& link, std::shared_ptr<Prng> rng,
+                               SimTime end, GilbertElliott ge, bool bad) {
+  // The end-of-episode restore was scheduled first, so at `end` it runs
+  // before this flip; `>=` then retires the chain.
+  if (loop_.now() >= end) return;
+  link.set_loss(bad ? ge.loss_bad : ge.loss_good);
+  const SimTime dwell =
+      exp_dwell(*rng, bad ? ge.mean_bad_us : ge.mean_good_us);
+  loop_.after(std::min(dwell, end - loop_.now()), [this, &link, rng, end, ge, bad] {
+    burst_step(link, rng, end, ge, !bad);
+  });
+}
+
+void FaultSchedule::bandwidth_collapse(UdpChannel& link, SimTime start,
+                                       SimTime duration,
+                                       std::uint64_t collapsed_bps,
+                                       std::uint64_t restore_bps) {
+  add_episode(FaultClass::kBandwidthCollapse, start, start + duration);
+  loop_.at(start, [this, &link, collapsed_bps] {
+    begin_episode(FaultClass::kBandwidthCollapse);
+    link.set_bandwidth(collapsed_bps);
+  });
+  loop_.at(start + duration, [this, &link, restore_bps] {
+    link.set_bandwidth(restore_bps);
+    end_episode();
+  });
+}
+
+void FaultSchedule::bandwidth_collapse(TcpChannel& link, SimTime start,
+                                       SimTime duration,
+                                       std::uint64_t collapsed_bps,
+                                       std::uint64_t restore_bps) {
+  add_episode(FaultClass::kBandwidthCollapse, start, start + duration);
+  loop_.at(start, [this, &link, collapsed_bps] {
+    begin_episode(FaultClass::kBandwidthCollapse);
+    link.set_bandwidth(collapsed_bps);
+  });
+  loop_.at(start + duration, [this, &link, restore_bps] {
+    link.set_bandwidth(restore_bps);
+    end_episode();
+  });
+}
+
+void FaultSchedule::stall(TcpChannel& link, SimTime start, SimTime duration) {
+  add_episode(FaultClass::kStall, start, start + duration);
+  loop_.at(start, [this, &link] {
+    begin_episode(FaultClass::kStall);
+    link.set_stalled(true);
+  });
+  loop_.at(start + duration, [this, &link] {
+    link.set_stalled(false);
+    end_episode();
+  });
+}
+
+void FaultSchedule::drop(TcpChannel& link, SimTime at) {
+  add_episode(FaultClass::kDrop, at, at);
+  loop_.at(at, [this, &link] {
+    begin_episode(FaultClass::kDrop);
+    link.drop();
+  });
+}
+
+void FaultSchedule::script_random(UdpChannel& link,
+                                  const RandomScheduleOptions& opts) {
+  const std::uint64_t base_bps = link.bandwidth_bps();
+  SimTime cursor = opts.start_us;
+  for (int i = 0; i < opts.max_episodes; ++i) {
+    const SimTime gap = opts.min_gap_us +
+                        rng_.below(opts.max_gap_us - opts.min_gap_us + 1);
+    const SimTime duration =
+        opts.min_duration_us +
+        rng_.below(opts.max_duration_us - opts.min_duration_us + 1);
+    if (cursor + gap + duration > opts.horizon_us) break;
+    cursor += gap;
+    switch (rng_.below(3)) {
+      case 0:
+        blackout(link, cursor, duration);
+        break;
+      case 1:
+        burst_loss(link, cursor, duration);
+        break;
+      default:
+        // A collapse on an unlimited link would be a no-op contract change;
+        // fall back to a blackout there.
+        if (base_bps > 0) {
+          bandwidth_collapse(link, cursor, duration, opts.collapsed_bps, base_bps);
+        } else {
+          blackout(link, cursor, duration);
+        }
+        break;
+    }
+    cursor += duration;
+  }
+}
+
+void FaultSchedule::script_random(TcpChannel& link,
+                                  const RandomScheduleOptions& opts) {
+  const std::uint64_t base_bps = link.bandwidth_bps();
+  SimTime cursor = opts.start_us;
+  for (int i = 0; i < opts.max_episodes; ++i) {
+    const SimTime gap = opts.min_gap_us +
+                        rng_.below(opts.max_gap_us - opts.min_gap_us + 1);
+    const SimTime duration =
+        opts.min_duration_us +
+        rng_.below(opts.max_duration_us - opts.min_duration_us + 1);
+    if (cursor + gap + duration > opts.horizon_us) break;
+    cursor += gap;
+    if (rng_.below(2) == 0) {
+      stall(link, cursor, duration);
+    } else {
+      bandwidth_collapse(link, cursor, duration, opts.collapsed_bps, base_bps);
+    }
+    cursor += duration;
+  }
+}
+
+}  // namespace ads::chaos

@@ -97,10 +97,21 @@ void AppHost::publish_metrics() {
   m.counter("rtx.misses").set(rtx_misses);
   m.counter("rtx.evictions").set(rtx_evictions);
   m.gauge("rtx.cached_packets").set(static_cast<std::int64_t>(rtx_cached));
+
+  std::int64_t stale_now = 0;
+  for (const auto& [id, p] : participants_) {
+    if (p.stale) ++stale_now;
+  }
+  m.gauge("liveness.stale").set(stale_now);
+  m.counter("liveness.stale_transitions").set(stats_.stale_transitions);
+  m.counter("liveness.evictions").set(stats_.participants_evicted);
 }
 
-ParticipantId AppHost::add_participant(HostEndpoint endpoint) {
-  const ParticipantId id = next_participant_id_++;
+ParticipantId AppHost::add_participant(HostEndpoint endpoint,
+                                       ParticipantId reuse_id) {
+  const bool reuse =
+      reuse_id != 0 && participants_.find(reuse_id) == participants_.end();
+  const ParticipantId id = reuse ? reuse_id : next_participant_id_++;
   auto [it, inserted] = participants_.try_emplace(
       id, kRemotingPayloadType, opts_.seed, opts_.retransmission_cache,
       endpoint.kind == HostEndpoint::Kind::kUdp ? opts_.udp_rate_bps : 0,
@@ -113,7 +124,46 @@ ParticipantId AppHost::add_participant(HostEndpoint endpoint) {
     it->second.needs_wmi = true;
     it->second.needs_full_refresh = true;
   }
+  it->second.last_uplink_us = loop_.now();
   return id;
+}
+
+bool AppHost::participant_stale(ParticipantId id) const {
+  auto it = participants_.find(id);
+  return it != participants_.end() && it->second.stale;
+}
+
+void AppHost::touch_liveness(ParticipantId from) {
+  auto alias = member_alias_.find(from);
+  const ParticipantId id = alias == member_alias_.end() ? from : alias->second;
+  auto it = participants_.find(id);
+  if (it == participants_.end()) return;
+  it->second.last_uplink_us = loop_.now();
+  it->second.stale = false;
+}
+
+void AppHost::sweep_liveness() {
+  if (opts_.stale_after_us == 0 && opts_.evict_after_us == 0) return;
+  const SimTime now = loop_.now();
+  std::vector<ParticipantId> evict;
+  for (auto& [id, p] : participants_) {
+    const SimTime silent = now - p.last_uplink_us;
+    if (opts_.stale_after_us > 0 && silent >= opts_.stale_after_us && !p.stale) {
+      p.stale = true;
+      ++stats_.stale_transitions;
+    }
+    if (opts_.evict_after_us > 0 && silent >= opts_.evict_after_us) {
+      evict.push_back(id);
+    }
+  }
+  for (ParticipantId id : evict) {
+    // Erasing the state reclaims the token bucket, retransmission cache,
+    // stream carry and uplink deframer; the rtx.* totals and
+    // ah.participants gauge follow automatically at the next snapshot.
+    participants_.erase(id);
+    ++stats_.participants_evicted;
+    if (eviction_handler_) eviction_handler_(id);
+  }
 }
 
 void AppHost::remove_participant(ParticipantId id) { participants_.erase(id); }
@@ -310,6 +360,7 @@ void AppHost::send_full_refresh(ParticipantState& p) {
 
 void AppHost::tick() {
   telemetry::ScopedSpan tick_span(tel_->trace, "ah.tick");
+  sweep_liveness();
   const CaptureResult capture = [this] {
     telemetry::ScopedSpan span(tel_->trace, "ah.capture");
     return capturer_.capture();
@@ -488,6 +539,7 @@ void AppHost::tick() {
 void AppHost::on_uplink_stream(ParticipantId from, BytesView data) {
   auto it = participants_.find(from);
   if (it == participants_.end()) return;
+  touch_liveness(from);  // even a partial frame proves the peer is alive
   it->second.uplink_deframer.feed(data);
   while (auto packet = it->second.uplink_deframer.next()) {
     on_uplink_packet(from, *packet);
@@ -495,6 +547,7 @@ void AppHost::on_uplink_stream(ParticipantId from, BytesView data) {
 }
 
 void AppHost::on_uplink_packet(ParticipantId from, BytesView packet) {
+  touch_liveness(from);
   switch (classify_packet(packet)) {
     case PacketKind::kRtcp:
       handle_rtcp(from, packet);

@@ -79,6 +79,13 @@ struct AppHostOptions {
   SimTime frame_interval_us = 100'000;  ///< 10 fps capture clock
   /// RTCP Sender Report cadence (0 = no SRs).
   SimTime sr_interval_us = 1'000'000;
+  /// Participant liveness (swept on the capture clock): a participant whose
+  /// uplink (RTP-HIP, RTCP, BFCP — anything) has been silent for
+  /// stale_after_us is marked stale (liveness.stale gauge); one silent for
+  /// evict_after_us is removed and its per-participant state (token bucket,
+  /// retransmission cache, stream carry) reclaimed. 0 disables each.
+  SimTime stale_after_us = 0;
+  SimTime evict_after_us = 0;
   std::size_t retransmission_cache = 2048;
   /// Session-wide telemetry sink. Null = the AH owns a private Telemetry
   /// (always available via telemetry()); non-null injects a shared instance
@@ -118,10 +125,26 @@ class AppHost {
 
   /// Register a participant. For TCP endpoints the AH immediately queues
   /// WindowManagerInfo + a full refresh (§4.4); UDP participants are
-  /// expected to send PLI (§4.3).
-  ParticipantId add_participant(HostEndpoint endpoint);
+  /// expected to send PLI (§4.3). A non-zero `reuse_id` re-registers a
+  /// returning participant (TCP reconnect) under its previous id — BFCP
+  /// floor state and HIP identity carry over — with fresh transport state
+  /// (RTP stream, caches, uplink deframer). Falls back to a new id if the
+  /// requested one is still occupied.
+  ParticipantId add_participant(HostEndpoint endpoint, ParticipantId reuse_id = 0);
   void remove_participant(ParticipantId id);
   std::size_t participant_count() const { return participants_.size(); }
+
+  /// Called with the id of every participant evicted by the liveness sweep,
+  /// after its state is gone — the session layer's hook to tear down the
+  /// matching channels.
+  using EvictionHandler = std::function<void(ParticipantId)>;
+  void set_eviction_handler(EvictionHandler handler) {
+    eviction_handler_ = std::move(handler);
+  }
+
+  /// Liveness introspection: true while the participant's uplink has been
+  /// silent longer than stale_after_us (false for unknown ids).
+  bool participant_stale(ParticipantId id) const;
 
   /// Register an uplink identity for a multicast group member: the member's
   /// RTCP feedback (PLI/NACK) applies to the group stream `group`, while
@@ -186,6 +209,8 @@ class AppHost {
     std::uint64_t hip_events_rejected_coords = 0;  ///< §4.1 legitimacy check
     std::uint64_t hip_events_rejected_floor = 0;   ///< BFCP gate
     std::uint64_t hip_parse_errors = 0;
+    std::uint64_t participants_evicted = 0;   ///< liveness-timeout removals
+    std::uint64_t stale_transitions = 0;      ///< fresh→stale edges observed
   };
   const Stats& stats() const { return stats_; }
 
@@ -214,6 +239,8 @@ class AppHost {
     StreamDeframer uplink_deframer;  ///< TCP uplink reassembly
     std::optional<ReportBlock> last_rr;
     std::optional<ContentPt> codec;  ///< negotiated override (else AH default)
+    SimTime last_uplink_us = 0;      ///< liveness: any uplink traffic
+    bool stale = false;              ///< silent past stale_after_us
 
     ParticipantState(std::uint8_t pt, std::uint64_t seed, std::size_t cache_size,
                      std::uint64_t rate_bps, std::size_t burst)
@@ -232,6 +259,10 @@ class AppHost {
   void handle_rtcp(ParticipantId from, BytesView packet);
   void handle_hip(ParticipantId from, BytesView payload);
   void handle_bfcp(ParticipantId from, BytesView packet);
+  /// Record uplink activity for liveness (aliases credit their group).
+  void touch_liveness(ParticipantId from);
+  /// Mark silent participants stale; evict those silent past the timeout.
+  void sweep_liveness();
   ContentPt codec_for(const ParticipantState& p) const;
   /// Snapshot-time collector: publishes Stats, encoder/cache stage stats
   /// and the aggregated retransmission-store stats into the registry.
@@ -251,6 +282,7 @@ class AppHost {
   ParticipantId next_participant_id_ = 1;
   SimTime last_sr_at_ = 0;
   InputSink input_sink_;
+  EvictionHandler eviction_handler_;
   bool running_ = false;
 
   // Pointer model state.

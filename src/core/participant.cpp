@@ -24,6 +24,12 @@ void Participant::send_packet(BytesView packet) {
 void Participant::join() {
   // §4.3 (UDP) — and harmless for TCP, where §5.3.1 allows PLI too.
   request_refresh();
+  // Arm the starvation watchdog: if the join PLI (or everything after it)
+  // is lost to a fault, the request is retried with backoff instead of
+  // waiting on a screen that never arrives.
+  last_media_us_ = loop_.now();
+  watchdog_delay_us_ = opts_.starvation_timeout_us;
+  arm_watchdog(watchdog_delay_us_);
 }
 
 void Participant::request_refresh() {
@@ -172,6 +178,7 @@ void Participant::handle_rtp(RtpPacket pkt) {
   stats_.bytes_received += pkt.wire_size();
   remoting_ssrc_ = pkt.ssrc;
   schedule_rr();
+  on_media_activity();
 
   if (opts_.transport == ParticipantOptions::Transport::kTcp) {
     // TCP is reliable and ordered; bypass reorder/loss machinery.
@@ -182,7 +189,17 @@ void Participant::handle_rtp(RtpPacket pkt) {
   if (!receiver_.on_packet(pkt, loop_.now())) return;  // duplicate
 
   const std::uint64_t gaps_before = reorder_.gaps_skipped();
-  auto ready = reorder_.push(std::move(pkt));
+  auto ready = reorder_.push(std::move(pkt), loop_.now());
+  if (opts_.reorder_max_age_us != 0 && loop_.now() > opts_.reorder_max_age_us) {
+    // Age bound: a head gap cannot hold delivery hostage forever just
+    // because too few newer packets arrived to trip the count bound (e.g.
+    // a low-rate stream, or a gap straddling the 16-bit sequence wrap).
+    auto expired =
+        reorder_.expire_older_than(loop_.now() - opts_.reorder_max_age_us);
+    stats_.reorder_expired += expired.size();
+    ready.insert(ready.end(), std::make_move_iterator(expired.begin()),
+                 std::make_move_iterator(expired.end()));
+  }
   if (reorder_.gaps_skipped() != gaps_before) {
     // A gap was abandoned: fragments are gone for good. Reset reassembly
     // and fall back to a full refresh (§5.3.1).
@@ -219,8 +236,69 @@ void Participant::recover_from_loss() {
   reorder_.reset_to(static_cast<std::uint16_t>(receiver_.highest_sequence() + 1));
   receiver_.reset_losses();
   nack_rounds_ = 0;
+  nack_attempts_.clear();
   demux_.reset();
   request_refresh();
+}
+
+void Participant::on_transport_reset() {
+  ++stats_.transport_resets;
+  // The byte stream was replaced: a frame torn mid-length-prefix must not
+  // prefix the new stream, and half-reassembled messages are unfinishable.
+  deframer_.reset();
+  demux_.reset();
+  // Loss bookkeeping referred to the dead transport.
+  reorder_.flush_all();  // discard — stale pre-reconnect packets
+  receiver_.reset_losses();
+  nack_rounds_ = 0;
+  nack_attempts_.clear();
+  // Replicated screen/window state is kept; the AH resyncs it through the
+  // late-join path (WMI + full refresh). Ask explicitly anyway so recovery
+  // does not depend on the AH remembering to refresh us.
+  request_refresh();
+  // Restart the starvation ladder from its base timeout.
+  last_media_us_ = loop_.now();
+  watchdog_delay_us_ = opts_.starvation_timeout_us;
+  arm_watchdog(watchdog_delay_us_);
+}
+
+void Participant::on_media_activity() {
+  last_media_us_ = loop_.now();
+  media_seen_ = true;
+  // Any media resets the escalation ladder to its base timeout.
+  watchdog_delay_us_ = opts_.starvation_timeout_us;
+  arm_watchdog(watchdog_delay_us_);
+}
+
+void Participant::arm_watchdog(SimTime delay) {
+  if (watchdog_armed_ || opts_.starvation_timeout_us == 0) return;
+  watchdog_armed_ = true;
+  loop_.after(delay, [this] {
+    watchdog_armed_ = false;
+    const SimTime idle = loop_.now() - last_media_us_;
+    if (idle < watchdog_delay_us_) {
+      // Media arrived since this timer was set: sleep out the remainder.
+      arm_watchdog(watchdog_delay_us_ - idle);
+      return;
+    }
+    // Starved: last rung of the escalation ladder — request a full
+    // refresh, then back off exponentially (capped) with jitter so a
+    // roomful of starved participants does not PLI in lockstep. The
+    // jitter draw happens only on escalation, keeping fault-free runs
+    // bit-identical.
+    ++stats_.starvation_plis;
+    request_refresh();
+    watchdog_delay_us_ =
+        std::min(watchdog_delay_us_ * 2, opts_.starvation_backoff_max_us);
+    SimTime jitter = 0;
+    if (opts_.starvation_jitter > 0.0) {
+      const auto span = static_cast<std::uint64_t>(
+          static_cast<double>(watchdog_delay_us_) * opts_.starvation_jitter);
+      if (span > 0) jitter = rng_.below(span);
+    }
+    last_media_us_ = loop_.now();
+    arm_watchdog(watchdog_delay_us_ + jitter);
+  });
 }
 
 void Participant::schedule_nack() {
@@ -233,11 +311,34 @@ void Participant::schedule_nack() {
     const auto missing = receiver_.missing();
     if (missing.empty()) {
       nack_rounds_ = 0;
+      nack_attempts_.clear();
       return;
     }
     if (++nack_rounds_ > opts_.max_nack_rounds) {
       // The AH is evidently not retransmitting; stop asking and repair via
       // a full refresh instead.
+      recover_from_loss();
+      return;
+    }
+    // Per-sequence retry budget: prune bookkeeping for repaired sequences,
+    // then check whether any still-missing one has exhausted its retries.
+    // Under a blackout every NACK (or its repair) is lost, so without this
+    // cap the timer would re-ask for the same sequences indefinitely.
+    for (auto it = nack_attempts_.begin(); it != nack_attempts_.end();) {
+      if (!std::binary_search(missing.begin(), missing.end(), it->first)) {
+        it = nack_attempts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    bool exhausted = false;
+    for (std::uint16_t seq : missing) {
+      if (++nack_attempts_[seq] > opts_.max_nack_per_seq) exhausted = true;
+    }
+    if (exhausted) {
+      // Retransmission is evidently not working for at least one sequence;
+      // climb the ladder: give up on NACKs and repair via full refresh.
+      ++stats_.nack_escalations;
       recover_from_loss();
       return;
     }

@@ -48,9 +48,28 @@ struct ParticipantOptions {
   SimTime loss_recovery_delay_us = 250'000;
   /// NACK rounds without progress before falling back to PLI.
   int max_nack_rounds = 8;
+  /// Per-sequence NACK retry cap: a sequence requested this many times
+  /// without a repair arriving is abandoned and escalated to a PLI full
+  /// refresh (bounded retries — a blackout must not generate NACKs
+  /// forever).
+  int max_nack_per_seq = 4;
   /// Give up on an unrepaired gap after this many newer packets and request
   /// a PLI full refresh instead.
   std::size_t reorder_max_hold = 128;
+  /// Age bound on reorder-buffer entries: packets held longer than this
+  /// behind an unrepaired gap are flushed past it (counted in
+  /// gaps_skipped), so a permanently lost packet cannot stall delivery —
+  /// even across a sequence wrap. 0 disables.
+  SimTime reorder_max_age_us = 500'000;
+  /// Starvation watchdog (escalation ladder, last rung): when no remoting
+  /// media has arrived for this long after the stream started (or after
+  /// join()), request a PLI full refresh. Repeated starvation doubles the
+  /// delay up to starvation_backoff_max_us, with uniform random jitter of
+  /// starvation_jitter × delay added to decorrelate refresh storms across
+  /// participants. Any arriving media resets the ladder. 0 disables.
+  SimTime starvation_timeout_us = 2'000'000;
+  SimTime starvation_backoff_max_us = 30'000'000;
+  double starvation_jitter = 0.25;
   std::uint16_t user_id = 0;  ///< BFCP identity (the AH-side ParticipantId)
   std::uint64_t seed = 7;
 };
@@ -71,8 +90,16 @@ class Participant {
   void set_uplink(std::function<void(BytesView)> send) { uplink_ = std::move(send); }
 
   /// §4.3: late joiners request the window state + full screen via PLI.
+  /// Also arms the starvation watchdog, so a join PLI lost to a blackout is
+  /// retried instead of waiting forever.
   void join();
   void request_refresh();  ///< send a PLI now
+
+  /// The transport below was torn down and replaced (TCP reconnect): drop
+  /// any partially received RFC 4571 frame and partial message reassembly,
+  /// and reset the loss/NACK machinery. Replicated state (screen, windows)
+  /// is kept — the AH resyncs it via the late-join WMI + full-refresh path.
+  void on_transport_reset();
 
   // ---- floor control ----
   void request_floor();
@@ -122,6 +149,10 @@ class Participant {
     std::uint64_t hip_sent = 0;
     std::uint64_t rrs_sent = 0;
     std::uint64_t srs_received = 0;
+    std::uint64_t nack_escalations = 0;   ///< per-seq retry cap hit → PLI
+    std::uint64_t starvation_plis = 0;    ///< watchdog-triggered refreshes
+    std::uint64_t reorder_expired = 0;    ///< packets flushed by the age bound
+    std::uint64_t transport_resets = 0;   ///< reconnects survived
   };
   const Stats& stats() const { return stats_; }
 
@@ -146,6 +177,8 @@ class Participant {
   void schedule_loss_recovery();
   void recover_from_loss();
   void schedule_rr();
+  void arm_watchdog(SimTime delay);
+  void on_media_activity();
 
   EventLoop& loop_;
   ParticipantOptions opts_;
@@ -162,6 +195,12 @@ class Participant {
   bool recovery_timer_armed_ = false;
   bool rr_timer_armed_ = false;
   int nack_rounds_ = 0;
+  std::map<std::uint16_t, int> nack_attempts_;  ///< per-seq retry counts
+  // Starvation watchdog state.
+  bool watchdog_armed_ = false;
+  SimTime watchdog_delay_us_ = 0;   ///< current (backed-off) timeout
+  SimTime last_media_us_ = 0;
+  bool media_seen_ = false;
   Prng rng_;
   // Last Sender Report, for the LSR/DLSR fields of our Receiver Reports.
   std::uint32_t last_sr_mid_ntp_ = 0;

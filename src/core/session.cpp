@@ -5,6 +5,16 @@ namespace ads {
 SharingSession::SharingSession(AppHostOptions host_opts)
     : host_(loop_, host_opts) {
   host_.telemetry().metrics.add_collector(this, [this] { publish_net_metrics(); });
+  // Liveness evictions reclaim the session-side transport too. The
+  // Participant object is kept: its replica and stats outlive the links,
+  // and reconnect_tcp() can revive the connection under the same id.
+  host_.set_eviction_handler([this](ParticipantId id) {
+    for (auto& conn : connections_) {
+      if (conn->id != id) continue;
+      teardown_links(*conn);
+      ++evicted_connections_;
+    }
+  });
 }
 
 SharingSession::~SharingSession() {
@@ -13,8 +23,8 @@ SharingSession::~SharingSession() {
 }
 
 void SharingSession::publish_net_metrics() {
-  UdpChannel::Stats udp;
-  TcpChannel::Stats tcp;
+  UdpChannel::Stats udp = retired_udp_;
+  TcpChannel::Stats tcp = retired_tcp_;
   Participant::Stats part;
   const auto add_udp = [&udp](const UdpChannel* ch) {
     if (ch == nullptr) return;
@@ -33,6 +43,7 @@ void SharingSession::publish_net_metrics() {
     tcp.bytes_accepted += s.bytes_accepted;
     tcp.bytes_delivered += s.bytes_delivered;
     tcp.partial_writes += s.partial_writes;
+    tcp.bytes_lost_on_drop += s.bytes_lost_on_drop;
   };
   const auto add_part = [&part](const Participant* p) {
     if (p == nullptr) return;
@@ -50,6 +61,10 @@ void SharingSession::publish_net_metrics() {
     part.hip_sent += s.hip_sent;
     part.rrs_sent += s.rrs_sent;
     part.srs_received += s.srs_received;
+    part.nack_escalations += s.nack_escalations;
+    part.starvation_plis += s.starvation_plis;
+    part.reorder_expired += s.reorder_expired;
+    part.transport_resets += s.transport_resets;
   };
 
   for (const auto& c : connections_) {
@@ -80,6 +95,7 @@ void SharingSession::publish_net_metrics() {
   met.counter("net.tcp.bytes_accepted").set(tcp.bytes_accepted);
   met.counter("net.tcp.bytes_delivered").set(tcp.bytes_delivered);
   met.counter("net.tcp.partial_writes").set(tcp.partial_writes);
+  met.counter("net.tcp.bytes_lost_on_drop").set(tcp.bytes_lost_on_drop);
   met.counter("participant.rtp_packets").set(part.rtp_packets);
   met.counter("participant.bytes_received").set(part.bytes_received);
   met.counter("participant.region_updates").set(part.region_updates);
@@ -93,6 +109,89 @@ void SharingSession::publish_net_metrics() {
   met.counter("participant.hip_sent").set(part.hip_sent);
   met.counter("participant.rrs_sent").set(part.rrs_sent);
   met.counter("participant.srs_received").set(part.srs_received);
+  met.counter("participant.nack_escalations").set(part.nack_escalations);
+  met.counter("participant.starvation_plis").set(part.starvation_plis);
+  met.counter("participant.reorder_expired").set(part.reorder_expired);
+  met.counter("participant.transport_resets").set(part.transport_resets);
+  met.counter("recovery.dropped_links").set(dropped_links_);
+  met.counter("recovery.reconnects").set(reconnects_);
+  met.counter("recovery.evicted_connections").set(evicted_connections_);
+}
+
+void SharingSession::retire_stats(Connection& c) {
+  const auto fold_udp = [this](const UdpChannel* ch) {
+    if (ch == nullptr) return;
+    const UdpChannel::Stats& s = ch->stats();
+    retired_udp_.sent += s.sent;
+    retired_udp_.delivered += s.delivered;
+    retired_udp_.lost += s.lost;
+    retired_udp_.queue_dropped += s.queue_dropped;
+    retired_udp_.duplicated += s.duplicated;
+    retired_udp_.bytes_delivered += s.bytes_delivered;
+  };
+  const auto fold_tcp = [this](const TcpChannel* ch) {
+    if (ch == nullptr) return;
+    const TcpChannel::Stats& s = ch->stats();
+    retired_tcp_.bytes_offered += s.bytes_offered;
+    retired_tcp_.bytes_accepted += s.bytes_accepted;
+    retired_tcp_.bytes_delivered += s.bytes_delivered;
+    retired_tcp_.partial_writes += s.partial_writes;
+    retired_tcp_.bytes_lost_on_drop += s.bytes_lost_on_drop;
+  };
+  fold_udp(c.down_udp.get());
+  fold_udp(c.up_udp.get());
+  fold_tcp(c.down_tcp.get());
+  fold_tcp(c.up_tcp.get());
+}
+
+void SharingSession::teardown_links(Connection& c) {
+  retire_stats(c);
+  // Channel destructors cancel in-flight deliveries (weak-ptr tokens) and
+  // withdraw their share of the net.tcp.backlog gauge.
+  c.down_udp.reset();
+  c.up_udp.reset();
+  c.down_tcp.reset();
+  c.up_tcp.reset();
+  c.up_carry.clear();
+}
+
+void SharingSession::drop_tcp(Connection& c) {
+  if (!c.down_tcp && !c.up_tcp) return;
+  if (c.down_tcp) c.down_tcp->drop();
+  if (c.up_tcp) c.up_tcp->drop();
+  ++dropped_links_;
+}
+
+void SharingSession::reconnect_tcp(Connection& c, TcpLinkConfig link) {
+  // The AH forgets the old transport first — its endpoint closures point at
+  // the channels about to die.
+  host_.remove_participant(c.id);
+  teardown_links(c);
+
+  link.down.telemetry = &host_.telemetry();
+  link.up.telemetry = &host_.telemetry();
+  c.down_tcp = std::make_unique<TcpChannel>(loop_, link.down);
+  c.up_tcp = std::make_unique<TcpChannel>(loop_, link.up);
+
+  HostEndpoint endpoint;
+  endpoint.kind = HostEndpoint::Kind::kTcp;
+  endpoint.write_stream = [down = c.down_tcp.get()](BytesView d) {
+    return down->send(d);
+  };
+  endpoint.backlog = [down = c.down_tcp.get()] { return down->backlog_bytes(); };
+  // Same id: BFCP floor state and HIP identity survive; re-registering as a
+  // TCP endpoint queues the §4.4 late-join resync (WMI + full refresh), and
+  // the fresh AH-side ParticipantState brings a fresh uplink deframer (no
+  // torn-frame prefix from the old stream).
+  c.id = host_.add_participant(std::move(endpoint), c.id);
+
+  c.down_tcp->set_receiver(
+      [p = c.participant.get()](Bytes data) { p->on_stream_bytes(data); });
+  c.up_tcp->set_receiver([this, id = c.id](Bytes data) {
+    host_.on_uplink_stream(id, data);
+  });
+  c.participant->on_transport_reset();
+  ++reconnects_;
 }
 
 SharingSession::Connection& SharingSession::add_udp_participant(
@@ -123,8 +222,11 @@ SharingSession::Connection& SharingSession::add_udp_participant(
   c->up_udp->set_receiver([this, id = c->id](Bytes data) {
     host_.on_uplink_packet(id, data);
   });
-  c->participant->set_uplink(
-      [up = c->up_udp.get()](BytesView packet) { up->send(packet); });
+  // Route through the Connection, not the channel: eviction can destroy the
+  // link while the participant (timers still pending) outlives it.
+  c->participant->set_uplink([c](BytesView packet) {
+    if (c->up_udp) c->up_udp->send(packet);
+  });
 
   connections_.push_back(std::move(conn));
   return *connections_.back();
@@ -159,15 +261,17 @@ SharingSession::Connection& SharingSession::add_tcp_participant(
     host_.on_uplink_stream(id, data);
   });
   // Participant emits packets; the session adds RFC 4571 framing and
-  // carries over partial writes.
-  c->participant->set_uplink([this, c](BytesView packet) {
+  // carries over partial writes. Routed through the Connection (not a raw
+  // channel pointer) so the closure survives eviction teardown and keeps
+  // working against the fresh channel after reconnect_tcp().
+  c->participant->set_uplink([c](BytesView packet) {
+    if (!c->up_tcp) return;
     auto framed = frame_packet(packet);
     if (!framed.ok()) return;
     c->up_carry.insert(c->up_carry.end(), framed->begin(), framed->end());
     const std::size_t wrote = c->up_tcp->send(c->up_carry);
     c->up_carry.erase(c->up_carry.begin(),
                       c->up_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
-    (void)this;
   });
 
   connections_.push_back(std::move(conn));

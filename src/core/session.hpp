@@ -58,6 +58,22 @@ class SharingSession {
   Connection& add_tcp_participant(ParticipantOptions opts = {},
                                   TcpLinkConfig link = {});
 
+  /// Sever a TCP participant's links (both directions) as a hard connection
+  /// drop: in-flight data is lost, later writes are refused. The connection
+  /// stays in the session for a later reconnect_tcp().
+  void drop_tcp(Connection& c);
+
+  /// Re-establish a dropped (or evicted) TCP participant: fresh channels,
+  /// the AH re-registers the peer under its old id (BFCP/HIP identity and
+  /// floor state survive) and resyncs it through the §4.4 late-join path
+  /// (WMI + full refresh); the participant resets its stream/loss state via
+  /// on_transport_reset(). Counted in recovery.reconnects.
+  void reconnect_tcp(Connection& c, TcpLinkConfig link = {});
+
+  std::uint64_t reconnects() const { return reconnects_; }
+  std::uint64_t dropped_links() const { return dropped_links_; }
+  std::uint64_t evicted_connections() const { return evicted_connections_; }
+
   const std::vector<std::unique_ptr<Connection>>& connections() const {
     return connections_;
   }
@@ -96,12 +112,24 @@ class SharingSession {
   /// Collector: sums every channel's / participant's ad-hoc Stats structs
   /// into net.udp.*, net.tcp.* and participant.* counters at snapshot time.
   void publish_net_metrics();
+  /// Fold a channel's cumulative stats into the retired totals before the
+  /// channel is destroyed (eviction/reconnect), so net.* counters never run
+  /// backwards when a link dies.
+  void retire_stats(Connection& c);
+  /// Tear down a connection's channels (both transports); the Participant
+  /// object survives with its replica and stats.
+  void teardown_links(Connection& c);
 
   EventLoop loop_;
   AppHost host_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<MulticastSession>> multicast_;
   std::uint64_t link_seed_ = 0x11CE;
+  UdpChannel::Stats retired_udp_;
+  TcpChannel::Stats retired_tcp_;
+  std::uint64_t dropped_links_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t evicted_connections_ = 0;
 };
 
 }  // namespace ads

@@ -10,10 +10,20 @@ TcpChannel::TcpChannel(EventLoop& loop, TcpChannelOptions opts)
     backlog_hist_ = &opts_.telemetry->metrics.histogram(
         "net.tcp.backlog_bytes",
         {0, 1024, 4096, 16384, 65536, 262144, 1048576});
+    backlog_gauge_ = &opts_.telemetry->metrics.gauge("net.tcp.backlog");
+  }
+}
+
+TcpChannel::~TcpChannel() {
+  // Withdraw this channel's share of the shared backlog gauge so snapshots
+  // taken after teardown don't carry a dead link's bytes.
+  if (backlog_gauge_ != nullptr && backlog_published_ != 0) {
+    backlog_gauge_->add(-backlog_published_);
   }
 }
 
 std::size_t TcpChannel::backlog_bytes() const {
+  if (down_) return 0;
   // Sum of the not-yet-serialised suffix: a segment contributes while the
   // link has not finished clocking it out.
   const SimTime now = loop_.now();
@@ -31,9 +41,35 @@ std::size_t TcpChannel::backlog_bytes() const {
   return std::min(backlog, opts_.send_buffer_bytes);
 }
 
+void TcpChannel::publish_backlog_gauge() {
+  if (backlog_gauge_ == nullptr) return;
+  const std::int64_t current = static_cast<std::int64_t>(backlog_bytes());
+  backlog_gauge_->add(current - backlog_published_);
+  backlog_published_ = current;
+}
+
+void TcpChannel::drop() {
+  if (down_) return;
+  down_ = true;
+  ++epoch_;  // scheduled deliveries check this and retire
+  // Everything accepted but not yet delivered dies with the connection —
+  // the unsent backlog and segments already propagating down the wire.
+  stats_.bytes_lost_on_drop += stats_.bytes_accepted - stats_.bytes_delivered;
+  in_flight_.clear();
+  link_free_at_ = 0;
+  publish_backlog_gauge();  // backlog_bytes() is 0 now: clears our share
+}
+
 std::size_t TcpChannel::send(BytesView data) {
   stats_.bytes_offered += data.size();
+  if (down_) return 0;
   if (backlog_hist_ != nullptr) backlog_hist_->observe(backlog_bytes());
+  if (stalled_) {
+    // Zero-window peer: nothing accepted, wire keeps draining.
+    if (!data.empty()) ++stats_.partial_writes;
+    publish_backlog_gauge();
+    return 0;
+  }
 
   // Garbage-collect segments that have fully serialised.
   const SimTime now = loop_.now();
@@ -44,7 +80,10 @@ std::size_t TcpChannel::send(BytesView data) {
   const std::size_t space = free_space();
   const std::size_t take = std::min(space, data.size());
   if (take < data.size()) ++stats_.partial_writes;
-  if (take == 0) return 0;
+  if (take == 0) {
+    publish_backlog_gauge();
+    return 0;
+  }
 
   const SimTime serialize_us = take * 8ull * 1000000ull / opts_.bandwidth_bps;
   const SimTime start = std::max(link_free_at_, now);
@@ -57,10 +96,14 @@ std::size_t TcpChannel::send(BytesView data) {
   in_flight_.push_back(seg);
 
   stats_.bytes_accepted += take;
-  loop_.at(arrive, [this, d = std::move(seg.data)]() mutable {
+  loop_.at(arrive, [this, alive = std::weak_ptr<int>(alive_), epoch = epoch_,
+                    d = std::move(seg.data)]() mutable {
+    if (alive.expired()) return;   // channel destroyed while in flight
+    if (epoch != epoch_) return;   // connection dropped: data lost
     stats_.bytes_delivered += d.size();
     if (receiver_) receiver_(std::move(d));
   });
+  publish_backlog_gauge();
   return take;
 }
 

@@ -61,7 +61,9 @@ bool UdpChannel::send(BytesView datagram) {
 void UdpChannel::schedule_delivery(Bytes datagram, SimTime depart) {
   const SimTime jitter = opts_.jitter_us ? rng_.below(opts_.jitter_us) : 0;
   const SimTime arrive = depart + opts_.delay_us + jitter;
-  loop_.at(arrive, [this, d = std::move(datagram)]() mutable {
+  loop_.at(arrive, [this, alive = std::weak_ptr<int>(alive_),
+                    d = std::move(datagram)]() mutable {
+    if (alive.expired()) return;  // channel torn down while in flight
     ++stats_.delivered;
     stats_.bytes_delivered += d.size();
     if (receiver_) receiver_(std::move(d));

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "net/event_loop.hpp"
 #include "telemetry/telemetry.hpp"
@@ -41,6 +42,14 @@ class UdpChannel {
   /// Enqueue one datagram. Returns false if the interface queue tail-dropped
   /// it (the datagram is gone; UDP gives no signal beyond this return).
   bool send(BytesView datagram);
+
+  double loss() const { return opts_.loss; }
+  std::uint64_t bandwidth_bps() const { return opts_.bandwidth_bps; }
+
+  /// Change the link rate mid-run (fault injection: bandwidth collapse and
+  /// recovery). Applies to subsequent sends; datagrams already queued keep
+  /// their departure times.
+  void set_bandwidth(std::uint64_t bps) { opts_.bandwidth_bps = bps; }
 
   /// Adjust the loss probability mid-run, beginning a new deterministic
   /// loss *episode*.
@@ -79,6 +88,11 @@ class UdpChannel {
   std::uint64_t loss_episode_ = 0;  ///< set_loss() calls so far
   telemetry::Histogram* queue_delay_us_ = nullptr;
   Stats stats_;
+  /// Deliveries already scheduled on the loop hold a weak reference to this
+  /// token, so tearing the channel down mid-flight (participant eviction,
+  /// reconnect) silently cancels them instead of dereferencing a dead
+  /// channel.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace ads

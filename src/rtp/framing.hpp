@@ -29,6 +29,14 @@ class StreamDeframer {
   /// Bytes buffered but not yet consumed as complete frames.
   std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
 
+  /// Drop any partially received frame. A reconnect replaces the byte
+  /// stream, so a frame torn by mid-frame disconnect must never prefix the
+  /// new stream (it would desynchronise every following length header).
+  void reset() {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+
  private:
   Bytes buffer_;
   std::size_t consumed_ = 0;

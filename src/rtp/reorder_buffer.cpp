@@ -2,7 +2,7 @@
 
 namespace ads {
 
-std::vector<RtpPacket> ReorderBuffer::push(RtpPacket pkt) {
+std::vector<RtpPacket> ReorderBuffer::push(RtpPacket pkt, std::uint64_t now_us) {
   if (!started_) {
     started_ = true;
     next_seq_ = pkt.sequence;
@@ -14,7 +14,7 @@ std::vector<RtpPacket> ReorderBuffer::push(RtpPacket pkt) {
     ++dropped_late_;
     return {};
   }
-  if (!held_.emplace(offset, std::move(pkt)).second) {
+  if (!held_.emplace(offset, Held{std::move(pkt), now_us}).second) {
     ++dropped_late_;  // duplicate of a held packet
     return {};
   }
@@ -36,17 +36,38 @@ std::vector<RtpPacket> ReorderBuffer::drain() {
   std::vector<RtpPacket> out;
   std::uint16_t expect = 0;
   while (!held_.empty() && held_.begin()->first == expect) {
-    out.push_back(std::move(held_.begin()->second));
+    out.push_back(std::move(held_.begin()->second.pkt));
     held_.erase(held_.begin());
     ++expect;
   }
   if (expect == 0) return out;
   next_seq_ = static_cast<std::uint16_t>(next_seq_ + expect);
-  std::map<std::uint16_t, RtpPacket> rekeyed;
-  for (auto& [off, p] : held_) {
-    rekeyed.emplace(static_cast<std::uint16_t>(off - expect), std::move(p));
+  std::map<std::uint16_t, Held> rekeyed;
+  for (auto& [off, h] : held_) {
+    rekeyed.emplace(static_cast<std::uint16_t>(off - expect), std::move(h));
   }
   held_ = std::move(rekeyed);
+  return out;
+}
+
+std::optional<std::uint64_t> ReorderBuffer::oldest_held_us() const {
+  std::optional<std::uint64_t> oldest;
+  for (const auto& [off, h] : held_) {
+    if (!oldest || h.arrived_us < *oldest) oldest = h.arrived_us;
+  }
+  return oldest;
+}
+
+std::vector<RtpPacket> ReorderBuffer::expire_older_than(std::uint64_t cutoff_us) {
+  std::vector<RtpPacket> out;
+  // Each skip_gap() unblocks at least one held packet, so this terminates.
+  while (!held_.empty()) {
+    const auto oldest = oldest_held_us();
+    if (!oldest || *oldest >= cutoff_us) break;
+    auto flushed = skip_gap();
+    out.insert(out.end(), std::make_move_iterator(flushed.begin()),
+               std::make_move_iterator(flushed.end()));
+  }
   return out;
 }
 
@@ -56,7 +77,7 @@ std::vector<RtpPacket> ReorderBuffer::flush_all() {
   ++gaps_skipped_;
   const std::uint16_t last_offset = held_.rbegin()->first;
   next_seq_ = static_cast<std::uint16_t>(next_seq_ + last_offset + 1);
-  for (auto& [off, p] : held_) out.push_back(std::move(p));
+  for (auto& [off, h] : held_) out.push_back(std::move(h.pkt));
   held_.clear();
   return out;
 }
@@ -73,9 +94,9 @@ std::vector<RtpPacket> ReorderBuffer::skip_gap() {
   // Jump the cursor to the first held packet.
   const std::uint16_t jump = held_.begin()->first;
   next_seq_ = static_cast<std::uint16_t>(next_seq_ + jump);
-  std::map<std::uint16_t, RtpPacket> rekeyed;
-  for (auto& [off, p] : held_) {
-    rekeyed.emplace(static_cast<std::uint16_t>(off - jump), std::move(p));
+  std::map<std::uint16_t, Held> rekeyed;
+  for (auto& [off, h] : held_) {
+    rekeyed.emplace(static_cast<std::uint16_t>(off - jump), std::move(h));
   }
   held_ = std::move(rekeyed);
   return drain();

@@ -1,0 +1,215 @@
+// FaultSchedule unit tests at the channel level: each fault class does what
+// it says on the wire, episodes clear on schedule, and a given seed replays
+// bit-identically.
+#include "chaos/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ads {
+namespace {
+
+using chaos::FaultClass;
+using chaos::FaultSchedule;
+using chaos::GilbertElliott;
+using chaos::RandomScheduleOptions;
+
+Bytes payload(std::size_t n, std::uint8_t fill = 0x5A) { return Bytes(n, fill); }
+
+/// Pump one datagram onto `ch` every `interval_us` until `until_us`,
+/// recording each delivery's send-time tag.
+void pump(EventLoop& loop, UdpChannel& ch, SimTime interval_us, SimTime until_us) {
+  for (SimTime t = interval_us; t <= until_us; t += interval_us) {
+    loop.at(t, [&ch] { ch.send(payload(64)); });
+  }
+}
+
+TEST(FaultSchedule, BlackoutLosesEverythingInsideTheWindow) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.delay_us = 0;
+  UdpChannel ch(loop, opts);
+  std::vector<SimTime> arrivals;
+  ch.set_receiver([&](Bytes) { arrivals.push_back(loop.now()); });
+
+  FaultSchedule faults(loop, /*seed=*/42);
+  faults.blackout(ch, sim_ms(100), sim_ms(200));
+  pump(loop, ch, sim_ms(10), sim_ms(500));
+  loop.run();
+
+  for (SimTime t : arrivals) {
+    EXPECT_TRUE(t < sim_ms(100) || t >= sim_ms(300)) << "delivered at " << t;
+  }
+  // 10 packets before, 20 packets fall in the window, 20 after + the one
+  // exactly at 300ms (restore runs before same-tick sends).
+  EXPECT_EQ(ch.stats().lost, 20u);
+  EXPECT_EQ(faults.episodes_started(), 1u);
+  EXPECT_EQ(faults.episodes_cleared(), 1u);
+  EXPECT_EQ(faults.active_episodes(), 0u);
+  EXPECT_EQ(faults.all_clear_at(), sim_ms(300));
+}
+
+TEST(FaultSchedule, BurstLossIsPartialAndClears) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  UdpChannel ch(loop, opts);
+  std::uint64_t in_window = 0;
+  ch.set_receiver([&](Bytes) {
+    if (loop.now() >= sim_ms(100) && loop.now() < sim_ms(900)) ++in_window;
+  });
+
+  FaultSchedule faults(loop, 7);
+  GilbertElliott ge;
+  ge.loss_bad = 1.0;
+  ge.mean_good_us = 40'000;
+  ge.mean_bad_us = 40'000;
+  faults.burst_loss(ch, sim_ms(100), sim_ms(800), ge);
+  pump(loop, ch, sim_ms(2), sim_ms(1200));
+  loop.run();
+
+  // Roughly half the window is in the bad state: some but not all of the
+  // 400 in-window packets survive.
+  EXPECT_GT(in_window, 50u);
+  EXPECT_LT(in_window, 380u);
+  EXPECT_GT(ch.stats().lost, 0u);
+  // After the episode the link is clean again.
+  EXPECT_DOUBLE_EQ(ch.loss(), 0.0);
+  EXPECT_EQ(faults.episodes_cleared(), 1u);
+}
+
+TEST(FaultSchedule, BandwidthCollapseRestoresTheOldRate) {
+  EventLoop loop;
+  UdpChannelOptions opts;
+  opts.bandwidth_bps = 10'000'000;
+  UdpChannel ch(loop, opts);
+  ch.set_receiver([](Bytes) {});
+
+  FaultSchedule faults(loop, 3);
+  faults.bandwidth_collapse(ch, sim_ms(50), sim_ms(100), /*collapsed=*/100'000,
+                            /*restore=*/10'000'000);
+  loop.at(sim_ms(60), [&] { EXPECT_EQ(ch.bandwidth_bps(), 100'000u); });
+  loop.at(sim_ms(200), [&] { EXPECT_EQ(ch.bandwidth_bps(), 10'000'000u); });
+  loop.run();
+  EXPECT_EQ(faults.episodes_cleared(), 1u);
+}
+
+TEST(FaultSchedule, TcpStallAcceptsNothingThenResumes) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 80'000'000;
+  TcpChannel ch(loop, opts);
+  ch.set_receiver([](Bytes) {});
+
+  FaultSchedule faults(loop, 5);
+  faults.stall(ch, sim_ms(10), sim_ms(50));
+  std::size_t during = 999;
+  std::size_t after = 0;
+  loop.at(sim_ms(20), [&] { during = ch.send(payload(100)); });
+  loop.at(sim_ms(100), [&] { after = ch.send(payload(100)); });
+  loop.run();
+  EXPECT_EQ(during, 0u);
+  EXPECT_EQ(after, 100u);
+  EXPECT_FALSE(ch.stalled());
+  EXPECT_EQ(faults.episodes_cleared(), 1u);
+}
+
+TEST(FaultSchedule, TcpDropIsPermanentAndNeverClears) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  TcpChannel ch(loop, opts);
+  std::uint64_t delivered = 0;
+  ch.set_receiver([&](Bytes d) { delivered += d.size(); });
+
+  FaultSchedule faults(loop, 5);
+  faults.drop(ch, sim_ms(10));
+  loop.at(sim_ms(5), [&] { ch.send(payload(200)); });   // in flight at drop
+  loop.at(sim_ms(20), [&] { EXPECT_EQ(ch.send(payload(100)), 0u); });
+  loop.run();
+
+  EXPECT_TRUE(ch.down());
+  EXPECT_EQ(delivered, 0u);  // in-flight data died with the connection
+  EXPECT_GT(ch.stats().bytes_lost_on_drop, 0u);
+  EXPECT_EQ(faults.episodes_started(), 1u);
+  EXPECT_EQ(faults.episodes_cleared(), 0u);
+  // all_clear_at ignores drops (they clear only via reconnect).
+  EXPECT_EQ(faults.all_clear_at(), 0u);
+}
+
+TEST(FaultSchedule, RandomScheduleIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    EventLoop loop;
+    UdpChannelOptions opts;
+    opts.seed = 21;
+    opts.bandwidth_bps = 5'000'000;
+    UdpChannel ch(loop, opts);
+    std::uint64_t delivered = 0;
+    ch.set_receiver([&](Bytes) { ++delivered; });
+    FaultSchedule faults(loop, seed);
+    faults.script_random(ch, {});
+    pump(loop, ch, sim_ms(5), sim_ms(4500));
+    loop.run();
+    return std::make_tuple(faults.episodes().size(), delivered, ch.stats().lost,
+                           faults.all_clear_at());
+  };
+
+  const auto a = run(1001);
+  const auto b = run(1001);
+  EXPECT_EQ(a, b);  // bit-identical replay
+  const auto c = run(1002);
+  EXPECT_NE(std::get<1>(a), std::get<1>(c));  // different seed, different run
+}
+
+TEST(FaultSchedule, RandomScheduleEpisodesAreSequentialAndBounded) {
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    EventLoop loop;
+    UdpChannelOptions opts;
+    opts.bandwidth_bps = 5'000'000;
+    UdpChannel ch(loop, opts);
+    ch.set_receiver([](Bytes) {});
+    FaultSchedule faults(loop, seed);
+    RandomScheduleOptions ro;
+    faults.script_random(ch, ro);
+
+    ASSERT_FALSE(faults.episodes().empty());
+    SimTime prev_end = ro.start_us;
+    for (const auto& ep : faults.episodes()) {
+      EXPECT_GE(ep.start_us, prev_end);
+      EXPECT_GT(ep.end_us, ep.start_us);
+      EXPECT_LE(ep.end_us, ro.horizon_us);
+      prev_end = ep.end_us;
+    }
+    loop.run();
+    EXPECT_EQ(faults.episodes_cleared(), faults.episodes().size());
+  }
+}
+
+TEST(FaultSchedule, PublishesChaosTelemetry) {
+  EventLoop loop;
+  telemetry::Telemetry tel;
+  UdpChannelOptions opts;
+  UdpChannel ch(loop, opts);
+  ch.set_receiver([](Bytes) {});
+
+  FaultSchedule faults(loop, 9, &tel);
+  faults.blackout(ch, sim_ms(10), sim_ms(20));
+  faults.blackout(ch, sim_ms(50), sim_ms(20));
+  loop.run_until(sim_ms(40));
+  {
+    auto snap = tel.metrics.snapshot();
+    EXPECT_EQ(snap.counter("chaos.episodes_started"), 1u);
+    EXPECT_EQ(snap.counter("chaos.blackout_episodes"), 1u);
+    EXPECT_EQ(snap.counter("chaos.episodes_cleared"), 1u);
+    EXPECT_EQ(snap.gauge("chaos.active_episodes"), 0);
+  }
+  loop.at(sim_ms(60), [&] {
+    EXPECT_EQ(tel.metrics.snapshot().gauge("chaos.active_episodes"), 1);
+  });
+  loop.run();
+  auto snap = tel.metrics.snapshot();
+  EXPECT_EQ(snap.counter("chaos.episodes_started"), 2u);
+  EXPECT_EQ(snap.counter("chaos.episodes_cleared"), 2u);
+}
+
+}  // namespace
+}  // namespace ads

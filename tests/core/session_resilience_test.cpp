@@ -1,0 +1,247 @@
+// Session-level fault recovery: hard TCP drops, reconnect + resync through
+// the late-join path, mid-frame disconnect safety for the RFC 4571 parsers,
+// and liveness eviction working together with reconnection.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "image/metrics.hpp"
+
+namespace ads {
+namespace {
+
+AppHostOptions small_host() {
+  AppHostOptions opts;
+  opts.screen_width = 320;
+  opts.screen_height = 240;
+  opts.frame_interval_us = sim_ms(100);
+  return opts;
+}
+
+TcpLinkConfig fast_tcp() {
+  TcpLinkConfig link;
+  link.down.bandwidth_bps = 50'000'000;
+  link.down.send_buffer_bytes = 1024 * 1024;
+  link.up.bandwidth_bps = 10'000'000;
+  return link;
+}
+
+void expect_converged(SharingSession& session,
+                      const SharingSession::Connection& conn) {
+  const Image& truth = session.host().capturer().last_frame();
+  const Image replica =
+      conn.participant->screen().crop({0, 0, truth.width(), truth.height()});
+  EXPECT_EQ(diff_pixel_count(truth, replica), 0);
+}
+
+TEST(SessionResilience, TcpDropThenReconnectResyncsViaLateJoinPath) {
+  SharingSession session(small_host());
+  const WindowId w = session.host().wm().create({0, 0, 160, 120}, 1);
+  session.host().capturer().attach(w, std::make_unique<TerminalApp>(160, 120, 5));
+
+  auto& conn = session.add_tcp_participant({}, fast_tcp());
+  const ParticipantId original_id = conn.id;
+  session.host().start();
+  session.run_for(sim_sec(1));
+  const std::uint64_t updates_before = conn.participant->stats().region_updates;
+  EXPECT_GT(updates_before, 0u);
+
+  // Hard drop: both directions die, in-flight data is lost.
+  session.drop_tcp(conn);
+  session.run_for(sim_sec(1));
+  // The link is down; nothing new arrives.
+  EXPECT_TRUE(conn.down_tcp->down());
+
+  session.reconnect_tcp(conn, fast_tcp());
+  EXPECT_EQ(conn.id, original_id);  // identity survives the reconnect
+  session.run_for(sim_sec(2));
+  session.host().stop();
+  session.run_for(sim_sec(1));
+
+  const auto& st = conn.participant->stats();
+  EXPECT_EQ(st.transport_resets, 1u);
+  // §4.4 resync: the fresh registration re-sent WMI + full refresh.
+  EXPECT_GE(st.wmi_received, 2u);
+  expect_converged(session, conn);
+
+  auto snap = session.telemetry().snapshot();
+  EXPECT_EQ(snap.counter("recovery.dropped_links"), 1u);
+  EXPECT_EQ(snap.counter("recovery.reconnects"), 1u);
+  EXPECT_EQ(snap.counter("participant.transport_resets"), 1u);
+  EXPECT_GT(snap.counter("net.tcp.bytes_lost_on_drop"), 0u);
+}
+
+TEST(SessionResilience, MidFrameDisconnectDoesNotDesyncUplinkParser) {
+  // Force the uplink into a state where a partially-written RFC 4571 frame
+  // sits in up_carry (and its prefix in the AH's deframer), then drop and
+  // reconnect. Neither side may misparse the new byte stream.
+  SharingSession session(small_host());
+  const WindowId w = session.host().wm().create({0, 0, 96, 96}, 1);
+  session.host().capturer().attach(w, std::make_unique<SlideshowApp>(96, 96, 3));
+
+  TcpLinkConfig link = fast_tcp();
+  link.up.bandwidth_bps = 200'000;        // slow uplink...
+  link.up.send_buffer_bytes = 512;        // ...with a tiny send buffer
+  auto& conn = session.add_tcp_participant({}, link);
+  session.host().start();
+  session.run_for(sim_ms(500));
+
+  // Burst of HIP traffic: far more than the uplink accepts, so a frame is
+  // guaranteed to be torn at the send-buffer boundary.
+  for (int i = 0; i < 40; ++i) {
+    conn.participant->mouse_move(10 + static_cast<std::uint32_t>(i), 20);
+  }
+  EXPECT_FALSE(conn.up_carry.empty());  // partial frame stuck in the carry
+  session.run_for(sim_ms(50));          // its prefix reaches the AH
+
+  session.drop_tcp(conn);
+  session.run_for(sim_ms(300));
+  session.reconnect_tcp(conn, fast_tcp());
+  EXPECT_TRUE(conn.up_carry.empty());   // the torn frame died with the link
+
+  // Fresh HIP traffic over the new stream must parse cleanly.
+  for (int i = 0; i < 10; ++i) {
+    conn.participant->mouse_move(50 + static_cast<std::uint32_t>(i), 60);
+  }
+  session.run_for(sim_sec(1));
+  session.host().stop();
+  session.run_for(sim_sec(1));
+
+  EXPECT_EQ(session.host().stats().hip_parse_errors, 0u);
+  // The post-reconnect events made it through the floor gate's classifier
+  // (rejected by BFCP, but structurally parsed).
+  EXPECT_GT(session.host().stats().hip_events_rejected_floor, 0u);
+  expect_converged(session, conn);
+}
+
+TEST(SessionResilience, FloorGrantSurvivesReconnect) {
+  SharingSession session(small_host());
+  const WindowId w = session.host().wm().create({0, 0, 96, 96}, 1);
+  session.host().capturer().attach(w, std::make_unique<SlideshowApp>(96, 96, 3));
+
+  auto& conn = session.add_tcp_participant({}, fast_tcp());
+  session.host().start();
+  session.run_for(sim_ms(300));
+  conn.participant->request_floor();
+  session.run_for(sim_ms(300));
+  ASSERT_TRUE(conn.participant->has_floor());
+
+  session.drop_tcp(conn);
+  session.run_for(sim_ms(200));
+  session.reconnect_tcp(conn, fast_tcp());
+  session.run_for(sim_ms(300));
+
+  // Same ParticipantId, so the BFCP floor grant still applies: HIP events
+  // inside the shared window are accepted, not floor-rejected.
+  const std::uint64_t rejected_before =
+      session.host().stats().hip_events_rejected_floor;
+  conn.participant->mouse_move(10, 10);
+  session.run_for(sim_ms(300));
+  session.host().stop();
+  session.run_for(sim_ms(200));
+  EXPECT_GT(session.host().stats().hip_events_accepted, 0u);
+  EXPECT_EQ(session.host().stats().hip_events_rejected_floor, rejected_before);
+}
+
+TEST(SessionResilience, DroppedTcpParticipantIsEvictedThenRevivedByReconnect) {
+  AppHostOptions host_opts = small_host();
+  host_opts.stale_after_us = sim_ms(1500);
+  host_opts.evict_after_us = sim_sec(3);
+  SharingSession session(host_opts);
+  const WindowId w = session.host().wm().create({0, 0, 128, 96}, 1);
+  session.host().capturer().attach(w, std::make_unique<SlideshowApp>(128, 96, 3));
+
+  auto& conn = session.add_tcp_participant({}, fast_tcp());
+  const ParticipantId id = conn.id;
+  session.host().start();
+  session.run_for(sim_sec(1));
+  ASSERT_EQ(session.host().participant_count(), 1u);
+
+  session.drop_tcp(conn);
+  session.run_for(sim_sec(4));  // silence -> stale -> evicted
+  EXPECT_EQ(session.host().participant_count(), 0u);
+  EXPECT_EQ(session.evicted_connections(), 1u);
+  EXPECT_EQ(conn.down_tcp, nullptr);  // session reclaimed the channels
+
+  session.reconnect_tcp(conn, fast_tcp());
+  EXPECT_EQ(conn.id, id);  // the old id was free again
+  session.run_for(sim_sec(2));
+  session.host().stop();
+  session.run_for(sim_sec(1));
+
+  EXPECT_EQ(session.host().participant_count(), 1u);
+  expect_converged(session, conn);
+  auto snap = session.telemetry().snapshot();
+  EXPECT_EQ(snap.counter("liveness.evictions"), 1u);
+  EXPECT_EQ(snap.counter("recovery.reconnects"), 1u);
+}
+
+TEST(SessionResilience, NackRetriesAreBoundedPerSequenceAndEscalateToPli) {
+  // The AH never retransmits, so every NACK is futile: each missing
+  // sequence may be asked for at most max_nack_per_seq times before the
+  // participant climbs the ladder to a PLI full refresh.
+  AppHostOptions host_opts = small_host();
+  host_opts.retransmissions = false;
+  SharingSession session(host_opts);
+  const WindowId w = session.host().wm().create({0, 0, 128, 96}, 1);
+  session.host().capturer().attach(w, std::make_unique<TerminalApp>(128, 96, 5));
+
+  UdpLinkConfig lossy;
+  lossy.down.delay_us = 2000;
+  lossy.down.bandwidth_bps = 50'000'000;
+  lossy.down.loss = 0.15;
+  lossy.down.seed = 41;
+  lossy.up.delay_us = 2000;
+  ParticipantOptions popts;
+  popts.send_nacks = true;
+  popts.max_nack_rounds = 1000;             // only the per-seq cap may trip
+  popts.loss_recovery_delay_us = sim_sec(30);  // keep the fallback timer out
+  popts.max_nack_per_seq = 3;
+  auto& conn = session.add_udp_participant(popts, lossy);
+  conn.participant->join();
+  session.host().start();
+  session.run_for(sim_sec(4));
+
+  const auto& st = conn.participant->stats();
+  EXPECT_GT(st.nacks_sent, 0u);
+  EXPECT_GT(st.nack_escalations, 0u);
+  EXPECT_GT(st.plis_sent, 1u);  // join + at least one escalation refresh
+
+  // Heal the link; the escalation refreshes must converge the replica.
+  conn.down_udp->set_loss(0.0);
+  session.run_for(sim_sec(2));
+  session.host().stop();
+  session.run_for(sim_sec(1));
+  expect_converged(session, conn);
+
+  auto snap = session.telemetry().snapshot();
+  EXPECT_EQ(snap.counter("participant.nack_escalations"), st.nack_escalations);
+}
+
+TEST(SessionResilience, UdpUplinkSilenceMarksStaleWithoutEvictionWhenDisabled) {
+  // stale_after set, evict_after left 0: the AH flags the peer but must not
+  // remove it — and the flag clears when the uplink resumes.
+  AppHostOptions host_opts = small_host();
+  host_opts.stale_after_us = sim_sec(1);
+  SharingSession session(host_opts);
+  const WindowId w = session.host().wm().create({0, 0, 96, 96}, 1);
+  session.host().capturer().attach(w, std::make_unique<SlideshowApp>(96, 96, 3));
+
+  ParticipantOptions popts;
+  popts.rr_interval_us = 0;           // no periodic uplink chatter
+  popts.starvation_timeout_us = 0;    // no watchdog PLIs either
+  auto& conn = session.add_udp_participant(popts, {});
+  conn.participant->join();
+  session.host().start();
+  session.run_for(sim_ms(2500));
+  EXPECT_TRUE(session.host().participant_stale(conn.id));
+  EXPECT_EQ(session.host().participant_count(), 1u);
+
+  conn.participant->request_refresh();  // uplink activity again
+  session.run_for(sim_ms(300));
+  EXPECT_FALSE(session.host().participant_stale(conn.id));
+  session.host().stop();
+  session.run_for(sim_ms(500));
+}
+
+}  // namespace
+}  // namespace ads

@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "telemetry/telemetry.hpp"
+
 namespace ads {
 namespace {
 
@@ -100,6 +102,87 @@ TEST(TcpChannel, ManySmallWritesAllArrive) {
   loop.run();
   EXPECT_EQ(total, sent);
   EXPECT_EQ(sent, 500u * 37u);
+}
+
+TEST(TcpChannel, StallAcceptsNothingButDrainsAcceptedData) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 8000;  // 1000 B/s
+  TcpChannel ch(loop, opts);
+  std::size_t delivered = 0;
+  ch.set_receiver([&](Bytes d) { delivered += d.size(); });
+  EXPECT_EQ(ch.send(Bytes(500, 1)), 500u);
+  ch.set_stalled(true);
+  EXPECT_EQ(ch.send(Bytes(100, 2)), 0u);  // zero-window: nothing accepted
+  EXPECT_GT(ch.stats().partial_writes, 0u);
+  loop.run();
+  EXPECT_EQ(delivered, 500u);  // pre-stall data still clocked out
+  ch.set_stalled(false);
+  EXPECT_EQ(ch.send(Bytes(100, 3)), 100u);
+  loop.run();
+  EXPECT_EQ(delivered, 600u);
+}
+
+TEST(TcpChannel, DropLosesInFlightAndRefusesLaterSends) {
+  EventLoop loop;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 8000;
+  opts.delay_us = 50'000;
+  TcpChannel ch(loop, opts);
+  std::size_t delivered = 0;
+  ch.set_receiver([&](Bytes d) { delivered += d.size(); });
+  ch.send(Bytes(1000, 1));          // needs 1 s to serialise
+  loop.at(100'000, [&] { ch.drop(); });
+  loop.run();
+  EXPECT_TRUE(ch.down());
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(ch.stats().bytes_lost_on_drop, 1000u);
+  EXPECT_EQ(ch.send(Bytes(10, 2)), 0u);
+  EXPECT_EQ(ch.backlog_bytes(), 0u);
+  loop.run();
+  EXPECT_EQ(delivered, 0u);
+}
+
+TEST(TcpChannel, BacklogGaugeClearedOnTeardown) {
+  // The net.tcp.backlog gauge is shared across channels; a dying channel
+  // must withdraw exactly its own published share.
+  EventLoop loop;
+  telemetry::Telemetry tel;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 8000;
+  opts.telemetry = &tel;
+  {
+    TcpChannel keeper(loop, opts);
+    keeper.set_receiver([](Bytes) {});
+    keeper.send(Bytes(300, 1));
+    {
+      TcpChannel doomed(loop, opts);
+      doomed.set_receiver([](Bytes) {});
+      doomed.send(Bytes(800, 2));
+      EXPECT_GT(tel.metrics.snapshot().gauge("net.tcp.backlog"), 0);
+      const std::int64_t with_both = tel.metrics.snapshot().gauge("net.tcp.backlog");
+      EXPECT_GT(with_both, 300);  // both channels' unsent bytes counted
+    }
+    // Only the keeper's share remains.
+    const std::int64_t after = tel.metrics.snapshot().gauge("net.tcp.backlog");
+    EXPECT_GT(after, 0);
+    EXPECT_LE(after, 301);
+  }
+  EXPECT_EQ(tel.metrics.snapshot().gauge("net.tcp.backlog"), 0);
+}
+
+TEST(TcpChannel, BacklogGaugeClearedOnDrop) {
+  EventLoop loop;
+  telemetry::Telemetry tel;
+  TcpChannelOptions opts;
+  opts.bandwidth_bps = 8000;
+  opts.telemetry = &tel;
+  TcpChannel ch(loop, opts);
+  ch.set_receiver([](Bytes) {});
+  ch.send(Bytes(500, 1));
+  EXPECT_GT(tel.metrics.snapshot().gauge("net.tcp.backlog"), 0);
+  ch.drop();
+  EXPECT_EQ(tel.metrics.snapshot().gauge("net.tcp.backlog"), 0);
 }
 
 }  // namespace
