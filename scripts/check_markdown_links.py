@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's doc pages resolve.
+
+Scans every *.md file in the repo root and docs/ for inline links
+[text](target) and fails if a relative target (optionally with a #anchor)
+does not exist on disk. External links (http/https/mailto) are ignored —
+this is an offline check that runs with plain python3, no dependencies.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    pages = sorted(repo.glob("*.md")) + sorted((repo / "docs").glob("*.md"))
+    errors = []
+    for page in pages:
+        text = page.read_text(encoding="utf-8")
+        # Strip fenced code blocks: diagrams routinely contain (parens).
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (page.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{page.relative_to(repo)}: broken link -> {target}")
+    for err in errors:
+        print(err)
+    checked = len(pages)
+    if errors:
+        print(f"FAIL: {len(errors)} broken link(s) across {checked} page(s)")
+        return 1
+    print(f"OK: links resolve across {checked} page(s)")
+    return 0
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,14 @@ class DctCodec final : public ImageCodec {
   void encode_into(const Image& img, Bytes& out, EncodeScratch& scratch) const override {
     dct_encode_into(img, opts_, out, scratch);
   }
+  /// Quality-parameterised entry: params.dct_quality (when non-zero)
+  /// overrides the construction-time quality — the ads::rate ladder's hook.
+  void encode_into(const Image& img, Bytes& out, EncodeScratch& scratch,
+                   const EncodeParams& params) const override {
+    DctOptions opts = opts_;
+    if (params.dct_quality > 0) opts.quality = params.dct_quality;
+    dct_encode_into(img, opts, out, scratch);
+  }
   Result<Image> decode(BytesView data) const override { return dct_decode(data); }
 
  private:

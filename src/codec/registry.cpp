@@ -38,6 +38,15 @@ bool CodecRegistry::encode_into(ContentPt pt, const Image& img, Bytes& out,
   return true;
 }
 
+bool CodecRegistry::encode_into(ContentPt pt, const Image& img, Bytes& out,
+                                EncodeScratch& scratch,
+                                const EncodeParams& params) const {
+  const ImageCodec* codec = find(pt);
+  if (codec == nullptr) return false;
+  codec->encode_into(img, out, scratch, params);
+  return true;
+}
+
 std::vector<ContentPt> CodecRegistry::payload_types() const {
   std::vector<ContentPt> out;
   out.reserve(codecs_.size());

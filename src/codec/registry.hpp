@@ -29,6 +29,11 @@ class CodecRegistry {
   bool encode_into(ContentPt pt, const Image& img, Bytes& out,
                    EncodeScratch& scratch) const;
 
+  /// As encode_into, honouring per-call `params` (the ads::rate quality
+  /// ladder's path into the DCT codec; lossless codecs ignore params).
+  bool encode_into(ContentPt pt, const Image& img, Bytes& out,
+                   EncodeScratch& scratch, const EncodeParams& params) const;
+
   std::vector<ContentPt> payload_types() const;
 
  private:

@@ -44,12 +44,28 @@ enum class ContentPt : std::uint8_t {
   kDct = 102,  ///< lossy 8x8 DCT codec (the "JPEG-like" alternative)
 };
 
+/// Per-call encode parameters. Lossless codecs ignore them; the DCT codec
+/// maps `dct_quality` onto its quantisation tables, which is how the
+/// ads::rate quality ladder steers one shared codec instance to different
+/// operating points per participant.
+struct EncodeParams {
+  /// 1..100 selects an explicit DCT quality; 0 keeps the codec's default.
+  int dct_quality = 0;
+
+  friend bool operator==(const EncodeParams&, const EncodeParams&) = default;
+};
+
+/// Interface every content codec implements: payload-type identity plus
+/// encode/decode between Image and self-describing bytes.
 class ImageCodec {
  public:
   virtual ~ImageCodec() = default;
 
+  /// RTP payload type this codec serialises as.
   virtual ContentPt payload_type() const = 0;
+  /// Short human-readable codec name ("png", "dct", ...).
   virtual std::string_view name() const = 0;
+  /// True when decode(encode(img)) reproduces img bit-exactly.
   virtual bool lossless() const = 0;
 
   /// Serialise `img` (dimensions included in the payload).
@@ -61,6 +77,15 @@ class ImageCodec {
   virtual void encode_into(const Image& img, Bytes& out, EncodeScratch& scratch) const {
     (void)scratch;
     out = encode(img);
+  }
+
+  /// As encode_into, honouring per-call `params`. The default ignores the
+  /// parameters (correct for every lossless codec); parameterisable codecs
+  /// override this.
+  virtual void encode_into(const Image& img, Bytes& out, EncodeScratch& scratch,
+                           const EncodeParams& params) const {
+    (void)params;
+    encode_into(img, out, scratch);
   }
 
   /// Parse a payload previously produced by encode() (or, for PNG, any

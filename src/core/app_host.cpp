@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "image/damage.hpp"
 #include "image/scroll_detect.hpp"
@@ -19,17 +21,44 @@ std::int64_t area_of(const std::vector<Rect>& rects) {
 
 }  // namespace
 
+AppHostOptions AppHost::validated(AppHostOptions opts) {
+  if (opts.frame_interval_us == 0) {
+    throw std::invalid_argument("AppHostOptions: frame_interval_us must be > 0");
+  }
+  if (opts.screen_width <= 0 || opts.screen_height <= 0) {
+    throw std::invalid_argument("AppHostOptions: screen dimensions must be > 0");
+  }
+  if (opts.mtu_payload == 0) {
+    throw std::invalid_argument("AppHostOptions: mtu_payload must be > 0");
+  }
+  // Clamp merely-nonsensical combinations to the nearest workable value.
+  if (opts.damage_tile <= 0) opts.damage_tile = 32;
+  if (opts.region_band_rows < 0) opts.region_band_rows = 0;
+  // A rate-controlled UDP participant whose burst cannot cover one MTU
+  // would never pass the §4.3 gate and stall forever.
+  if ((opts.udp_rate_bps > 0 || opts.adaptation.enabled) &&
+      opts.udp_burst_bytes < opts.mtu_payload) {
+    opts.udp_burst_bytes = opts.mtu_payload;
+  }
+  auto& a = opts.adaptation;
+  if (a.min_rate_bps > a.max_rate_bps) std::swap(a.min_rate_bps, a.max_rate_bps);
+  a.initial_rate_bps = std::clamp(a.initial_rate_bps, a.min_rate_bps, a.max_rate_bps);
+  if (a.max_fps_divisor < 1) a.max_fps_divisor = 1;
+  if (a.backlog_window < 1) a.backlog_window = 1;
+  return opts;
+}
+
 AppHost::AppHost(EventLoop& loop, AppHostOptions opts)
     : loop_(loop),
-      opts_(opts),
-      owned_tel_(opts.telemetry != nullptr
+      opts_(validated(std::move(opts))),
+      owned_tel_(opts_.telemetry != nullptr
                      ? nullptr
                      : std::make_unique<telemetry::Telemetry>()),
-      tel_(opts.telemetry != nullptr ? opts.telemetry : owned_tel_.get()),
-      capturer_(wm_, opts.screen_width, opts.screen_height, opts.damage_tile),
+      tel_(opts_.telemetry != nullptr ? opts_.telemetry : owned_tel_.get()),
+      capturer_(wm_, opts_.screen_width, opts_.screen_height, opts_.damage_tile),
       codecs_(CodecRegistry::with_defaults()),
-      encoder_(codecs_, {.threads = opts.encode_threads,
-                         .cache_bytes = opts.encoded_cache_bytes}),
+      encoder_(codecs_, {.threads = opts_.encode_threads,
+                         .cache_bytes = opts_.encoded_cache_bytes}),
       floor_(FloorControlOptions{.conference_id = 1, .floor_id = 0}),
       pointer_icon_(8, 12, Pixel{255, 255, 255, 255}) {
   // All per-participant senders share one seed, hence one timestamp base —
@@ -57,6 +86,7 @@ void AppHost::publish_metrics() {
   m.counter("ah.bytes_sent").set(stats_.bytes_sent);
   m.counter("ah.frames_skipped_backlog").set(stats_.frames_skipped_backlog);
   m.counter("ah.frames_skipped_rate").set(stats_.frames_skipped_rate);
+  m.counter("ah.frames_skipped_fps").set(stats_.frames_skipped_fps);
   m.counter("ah.srs_sent").set(stats_.srs_sent);
   m.counter("ah.rrs_received").set(stats_.rrs_received);
   m.counter("ah.retransmissions_sent").set(stats_.retransmissions_sent);
@@ -98,6 +128,27 @@ void AppHost::publish_metrics() {
   m.counter("rtx.evictions").set(rtx_evictions);
   m.gauge("rtx.cached_packets").set(static_cast<std::int64_t>(rtx_cached));
 
+  if (opts_.adaptation.enabled) {
+    std::uint64_t increases = 0, decreases = 0, q_changes = 0, fps_changes = 0;
+    for (const auto& [id, p] : participants_) {
+      const rate::ControllerStats& rs = p.rate_ctrl.stats();
+      increases += rs.increases;
+      decreases += rs.decreases;
+      q_changes += rs.quality_changes;
+      fps_changes += rs.fps_changes;
+      const rate::OperatingPoint& op = p.rate_ctrl.current();
+      const std::string prefix = "rate.p" + std::to_string(id) + ".";
+      m.gauge(prefix + "budget_bps")
+          .set(static_cast<std::int64_t>(op.rate_bps));
+      m.gauge(prefix + "quality_step").set(op.quality_step);
+      m.gauge(prefix + "fps_divisor").set(op.fps_divisor);
+    }
+    m.counter("rate.increases").set(increases);
+    m.counter("rate.decreases").set(decreases);
+    m.counter("rate.quality_changes").set(q_changes);
+    m.counter("rate.fps_changes").set(fps_changes);
+  }
+
   std::int64_t stale_now = 0;
   for (const auto& [id, p] : participants_) {
     if (p.stale) ++stale_now;
@@ -112,10 +163,17 @@ ParticipantId AppHost::add_participant(HostEndpoint endpoint,
   const bool reuse =
       reuse_id != 0 && participants_.find(reuse_id) == participants_.end();
   const ParticipantId id = reuse ? reuse_id : next_participant_id_++;
+  const bool udp = endpoint.kind == HostEndpoint::Kind::kUdp;
+  // With adaptation on, the controller's initial budget seeds the bucket;
+  // the static udp_rate_bps only applies to the non-adaptive path.
+  const std::uint64_t rate_bps =
+      !udp ? 0
+           : (opts_.adaptation.enabled ? opts_.adaptation.initial_rate_bps
+                                       : opts_.udp_rate_bps);
   auto [it, inserted] = participants_.try_emplace(
       id, kRemotingPayloadType, opts_.seed, opts_.retransmission_cache,
-      endpoint.kind == HostEndpoint::Kind::kUdp ? opts_.udp_rate_bps : 0,
-      opts_.udp_burst_bytes);
+      rate_bps, opts_.udp_burst_bytes,
+      udp ? rate::Transport::kUdp : rate::Transport::kTcp, opts_.adaptation);
   it->second.endpoint = std::move(endpoint);
   if (it->second.endpoint.kind == HostEndpoint::Kind::kTcp) {
     // §4.4: "The AH prepares and transmits the windows' state information
@@ -180,6 +238,13 @@ const ReportBlock* AppHost::last_receiver_report(ParticipantId id) const {
   auto it = participants_.find(key);
   if (it == participants_.end() || !it->second.last_rr) return nullptr;
   return &*it->second.last_rr;
+}
+
+const rate::OperatingPoint* AppHost::participant_operating_point(
+    ParticipantId id) const {
+  auto it = participants_.find(id);
+  if (it == participants_.end()) return nullptr;
+  return &it->second.rate_ctrl.current();
 }
 
 void AppHost::start() {
@@ -313,11 +378,17 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
 
   // Encode every band up front — cache lookups first, then misses fanned
   // out across the worker pool (drained in sequence order, so the payloads
-  // below are byte-identical to encoding serially in the send loop).
+  // below are byte-identical to encoding serially in the send loop). The
+  // ads::rate quality rung rides in as an encode parameter (and cache key)
+  // for lossy codecs.
   const ContentPt pt = codec_for(p);
+  EncodeParams params;
+  if (opts_.adaptation.enabled && pt == ContentPt::kDct) {
+    params.dct_quality = p.rate_ctrl.current().dct_quality;
+  }
   std::vector<Bytes> payloads = [&] {
     telemetry::ScopedSpan span(tel_->trace, "ah.encode");
-    return encoder_.encode_regions(capturer_.last_frame(), queue, pt);
+    return encoder_.encode_regions(capturer_.last_frame(), queue, pt, params);
   }();
 
   telemetry::ScopedSpan packetise_span(tel_->trace, "ah.packetise");
@@ -360,6 +431,7 @@ void AppHost::send_full_refresh(ParticipantState& p) {
 
 void AppHost::tick() {
   telemetry::ScopedSpan tick_span(tel_->trace, "ah.tick");
+  ++tick_count_;
   sweep_liveness();
   const CaptureResult capture = [this] {
     telemetry::ScopedSpan span(tel_->trace, "ah.capture");
@@ -433,6 +505,36 @@ void AppHost::tick() {
 
     // Accumulate this tick's damage for everyone.
     for (const Rect& r : damage) p.pending.add(r);
+
+    // ads::rate control interval: feed this tick's backlog observation
+    // (TCP), run the AIMD update, and re-target the token bucket (UDP).
+    // With adaptation disabled update() is a no-op returning the static
+    // operating point.
+    if (opts_.adaptation.enabled) {
+      if (p.endpoint.kind == HostEndpoint::Kind::kTcp) {
+        const std::size_t backlog =
+            (p.endpoint.backlog ? p.endpoint.backlog() : 0) + p.stream_carry.size();
+        p.rate_ctrl.on_backlog_sample(backlog, loop_.now());
+      }
+      const rate::OperatingPoint& op = p.rate_ctrl.update(loop_.now());
+      if (p.endpoint.kind == HostEndpoint::Kind::kUdp) {
+        p.bucket.set_rate(op.rate_bps, loop_.now());
+      }
+      // Frame-interval scaling: send this participant's frame only every
+      // Nth capture tick. Damage (and scrolled areas, which cannot be
+      // replayed later) keeps accumulating as pending.
+      if (op.fps_divisor > 1 &&
+          tick_count_ % static_cast<std::uint64_t>(op.fps_divisor) != 0) {
+        ++stats_.frames_skipped_fps;
+        for (const MoveRectangle& mr : scrolls) {
+          p.pending.add(Rect{static_cast<std::int64_t>(mr.dest_left),
+                             static_cast<std::int64_t>(mr.dest_top),
+                             static_cast<std::int64_t>(mr.width),
+                             static_cast<std::int64_t>(mr.height)});
+        }
+        continue;
+      }
+    }
 
     // §7 backlog policy: if this TCP participant still has unsent bytes,
     // skip its frame — pending damage keeps accumulating and the latest
@@ -589,7 +691,14 @@ void AppHost::handle_rtcp(ParticipantId from, BytesView packet) {
   if (std::holds_alternative<ReceiverReport>(*msg)) {
     const auto& rr = std::get<ReceiverReport>(*msg);
     ++stats_.rrs_received;
-    if (!rr.blocks.empty()) it->second.last_rr = rr.blocks.front();
+    if (!rr.blocks.empty()) {
+      const ReportBlock& block = rr.blocks.front();
+      it->second.last_rr = block;
+      if (opts_.adaptation.enabled) {
+        it->second.rate_ctrl.on_receiver_report(block.fraction_lost,
+                                                block.jitter, loop_.now());
+      }
+    }
     return;
   }
   if (!std::holds_alternative<GenericNack>(*msg)) return;

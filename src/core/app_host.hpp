@@ -26,6 +26,7 @@
 #include "hip/messages.hpp"
 #include "net/event_loop.hpp"
 #include "net/rate_limiter.hpp"
+#include "rate/rate_controller.hpp"
 #include "remoting/message.hpp"
 #include "rtp/framing.hpp"
 #include "rtp/retransmission_cache.hpp"
@@ -38,6 +39,9 @@ namespace ads {
 
 using ParticipantId = std::uint16_t;
 
+/// Every knob of the Application Host: screen geometry, codec choice,
+/// transport policies (§4.3 rate control, §7 backlog), the encode
+/// pipeline, liveness, adaptation and observability.
 struct AppHostOptions {
   std::int64_t screen_width = 1280;
   std::int64_t screen_height = 1024;
@@ -64,6 +68,13 @@ struct AppHostOptions {
   /// while the bucket cannot cover one MTU.
   std::uint64_t udp_rate_bps = 0;
   std::size_t udp_burst_bytes = 64 * 1024;
+  /// Closed-loop per-participant adaptation (ads::rate): when enabled, an
+  /// AIMD controller per participant consumes RTCP RR loss/jitter (UDP) or
+  /// send-buffer backlog trend (TCP) and re-targets that participant's
+  /// token-bucket rate, DCT quality rung and frame-interval divisor every
+  /// tick — the static udp_rate_bps above becomes merely the pre-adaptation
+  /// seed. Fully deterministic under the virtual clock.
+  rate::AdaptationOptions adaptation;
   /// Tall damage rectangles are split into horizontal bands of at most this
   /// many rows before encoding, bounding the size of a single RegionUpdate
   /// so rate control and interface queues see smooth bursts. 0 disables.
@@ -102,6 +113,7 @@ struct AppHostOptions {
 /// AH-side transport handle for one participant. The callbacks abstract the
 /// simulated network (or any other transport).
 struct HostEndpoint {
+  /// Transport family of this endpoint.
   enum class Kind { kUdp, kTcp };
   Kind kind = Kind::kUdp;
   /// UDP: transmit one datagram. Return false if dropped before the wire
@@ -113,14 +125,29 @@ struct HostEndpoint {
   std::function<std::size_t()> backlog;
 };
 
+/// The Application Host: owns capture, encode, fan-out, feedback handling
+/// and per-participant adaptation for one sharing session.
 class AppHost {
  public:
+  /// Constructs the AH on `loop`. `opts` are validated first — see
+  /// validated(); invalid combinations throw std::invalid_argument.
   AppHost(EventLoop& loop, AppHostOptions opts = {});
   ~AppHost();
 
+  /// Validate and normalise options: rejects impossible settings
+  /// (frame_interval_us == 0, non-positive screen dimensions, zero MTU)
+  /// with std::invalid_argument, and clamps merely nonsensical ones (a UDP
+  /// burst smaller than one MTU with rate control on, negative band rows,
+  /// inverted adaptation rate bounds) to the nearest workable value.
+  static AppHostOptions validated(AppHostOptions opts);
+
+  /// The window manager whose shared windows this AH exports.
   WindowManager& wm() { return wm_; }
+  /// The capture stage (attach scripted apps, read the last frame).
   ScreenCapturer& capturer() { return capturer_; }
+  /// The BFCP floor-control server gating HIP input.
   FloorControlServer& floor() { return floor_; }
+  /// The validated options this AH runs with.
   const AppHostOptions& options() const { return opts_; }
 
   /// Register a participant. For TCP endpoints the AH immediately queues
@@ -131,13 +158,16 @@ class AppHost {
   /// (RTP stream, caches, uplink deframer). Falls back to a new id if the
   /// requested one is still occupied.
   ParticipantId add_participant(HostEndpoint endpoint, ParticipantId reuse_id = 0);
+  /// Deregister a participant and reclaim all its per-participant state.
   void remove_participant(ParticipantId id);
+  /// Number of currently registered participants.
   std::size_t participant_count() const { return participants_.size(); }
 
   /// Called with the id of every participant evicted by the liveness sweep,
   /// after its state is gone — the session layer's hook to tear down the
   /// matching channels.
   using EvictionHandler = std::function<void(ParticipantId)>;
+  /// Install (or replace) the eviction callback.
   void set_eviction_handler(EvictionHandler handler) {
     eviction_handler_ = std::move(handler);
   }
@@ -155,6 +185,10 @@ class AppHost {
   /// before the first RR) — the AH-side link quality view.
   const ReportBlock* last_receiver_report(ParticipantId id) const;
 
+  /// Current ads::rate operating point for a participant (nullptr for
+  /// unknown ids). Meaningful only when options().adaptation.enabled.
+  const rate::OperatingPoint* participant_operating_point(ParticipantId id) const;
+
   /// Per-participant codec override — the outcome of §5.2.2 media-type
   /// negotiation ("they should negotiate supported media types during the
   /// session establishment"). Returns false for unknown ids or payload
@@ -163,6 +197,7 @@ class AppHost {
 
   /// Begin the periodic capture/transmit loop on the event loop.
   void start();
+  /// Stop the capture loop after the current tick; start() resumes it.
   void stop() { running_ = false; }
 
   /// Run one capture+transmit cycle immediately (benchmarks drive this
@@ -178,6 +213,7 @@ class AppHost {
   /// Sink for validated, floor-approved HIP events — the "regenerate at the
   /// OS" hook. Receives the event and the originating participant.
   using InputSink = std::function<void(ParticipantId, const HipMessage&)>;
+  /// Install (or replace) the HIP input sink.
   void set_input_sink(InputSink sink) { input_sink_ = std::move(sink); }
 
   /// Move the AH-user pointer (drives MousePointerInfo, §5.2.4).
@@ -190,6 +226,7 @@ class AppHost {
   /// sim time (measurement hook for latency benchmarks).
   SimTime remoting_timestamp_to_us(std::uint32_t rtp_ts) const;
 
+  /// Lifetime totals for everything the AH sends, skips and receives.
   struct Stats {
     std::uint64_t frames_captured = 0;
     std::uint64_t region_updates_sent = 0;
@@ -200,6 +237,7 @@ class AppHost {
     std::uint64_t bytes_sent = 0;
     std::uint64_t frames_skipped_backlog = 0;  ///< §7 policy skips
     std::uint64_t frames_skipped_rate = 0;     ///< §4.3 rate-control skips
+    std::uint64_t frames_skipped_fps = 0;      ///< ads::rate fps-divisor skips
     std::uint64_t srs_sent = 0;
     std::uint64_t rrs_received = 0;
     std::uint64_t retransmissions_sent = 0;
@@ -212,6 +250,7 @@ class AppHost {
     std::uint64_t participants_evicted = 0;   ///< liveness-timeout removals
     std::uint64_t stale_transitions = 0;      ///< fresh→stale edges observed
   };
+  /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
 
   /// The band-encode stage (pool size, cache hit/miss counters) — the perf
@@ -231,6 +270,7 @@ class AppHost {
     RtpSender sender;          ///< per-participant remoting RTP stream
     RetransmissionCache cache;
     TokenBucket bucket;        ///< §4.3 UDP rate control
+    rate::RateController rate_ctrl;  ///< ads::rate closed-loop adaptation
     bool needs_full_refresh = false;
     bool needs_wmi = false;
     Region pending;            ///< damage not yet delivered (backlog skips)
@@ -243,8 +283,10 @@ class AppHost {
     bool stale = false;              ///< silent past stale_after_us
 
     ParticipantState(std::uint8_t pt, std::uint64_t seed, std::size_t cache_size,
-                     std::uint64_t rate_bps, std::size_t burst)
-        : sender(pt, seed), cache(cache_size), bucket(rate_bps, burst) {}
+                     std::uint64_t rate_bps, std::size_t burst,
+                     rate::Transport transport, const rate::AdaptationOptions& adapt)
+        : sender(pt, seed), cache(cache_size), bucket(rate_bps, burst),
+          rate_ctrl(transport, adapt) {}
   };
 
   void schedule_tick();
@@ -281,6 +323,7 @@ class AppHost {
   std::map<ParticipantId, ParticipantId> member_alias_;  ///< member -> group
   ParticipantId next_participant_id_ = 1;
   SimTime last_sr_at_ = 0;
+  std::uint64_t tick_count_ = 0;  ///< drives the ads::rate fps divisor
   InputSink input_sink_;
   EvictionHandler eviction_handler_;
   bool running_ = false;

@@ -12,8 +12,10 @@
 
 namespace ads {
 
+/// The packet family a first byte announces.
 enum class PacketKind { kRtp, kRtcp, kBfcp, kUnknown };
 
+/// Classify one uplink packet by its first byte (RFC 5761 demux rule).
 PacketKind classify_packet(BytesView data);
 
 }  // namespace ads

@@ -18,7 +18,8 @@ ParallelEncoder::ParallelEncoder(const CodecRegistry& registry,
 
 std::vector<Bytes> ParallelEncoder::encode_regions(const Image& frame,
                                                    const std::vector<Rect>& rects,
-                                                   ContentPt pt) {
+                                                   ContentPt pt,
+                                                   const EncodeParams& params) {
   std::vector<Bytes> results(rects.size());
   const bool use_cache = cache_.max_bytes() > 0;
   ++stats_.encode_calls;
@@ -35,6 +36,8 @@ std::vector<Bytes> ParallelEncoder::encode_regions(const Image& frame,
     if (use_cache) {
       keys[i] = EncodedRegionKey{hash_rect(frame, rects[i]),
                                  static_cast<std::uint8_t>(pt),
+                                 static_cast<std::uint8_t>(
+                                     std::clamp(params.dct_quality, 0, 100)),
                                  static_cast<std::uint32_t>(rects[i].width),
                                  static_cast<std::uint32_t>(rects[i].height)};
       if (const Bytes* hit = cache_.find(keys[i])) {
@@ -53,16 +56,16 @@ std::vector<Bytes> ParallelEncoder::encode_regions(const Image& frame,
   // slots; wait_idle() publishes the writes back to this thread.
   if (pool_ && pending.size() > 1) {
     for (const std::size_t i : pending) {
-      pool_->submit([this, &frame, &rects, &results, pt, i](std::size_t worker) {
+      pool_->submit([this, &frame, &rects, &results, pt, params, i](std::size_t worker) {
         frame.crop_into(rects[i], crop_[worker]);
-        registry_.encode_into(pt, crop_[worker], results[i], scratch_[worker]);
+        registry_.encode_into(pt, crop_[worker], results[i], scratch_[worker], params);
       });
     }
     pool_->wait_idle();
   } else {
     for (const std::size_t i : pending) {
       frame.crop_into(rects[i], crop_.back());
-      registry_.encode_into(pt, crop_.back(), results[i], scratch_.back());
+      registry_.encode_into(pt, crop_.back(), results[i], scratch_.back(), params);
     }
   }
   stats_.bands_encoded += pending.size();

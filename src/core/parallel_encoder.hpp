@@ -29,6 +29,7 @@
 
 namespace ads {
 
+/// Sizing for the band-encode stage: pool width and cache budget.
 struct ParallelEncoderOptions {
   /// Worker threads for band encoding; 0 = encode inline on the caller.
   std::size_t threads = 0;
@@ -36,21 +37,28 @@ struct ParallelEncoderOptions {
   std::size_t cache_bytes = 0;
 };
 
+/// Encodes damage bands on a worker pool with deterministic output order
+/// and an encoded-region cache in front of the codecs.
 class ParallelEncoder {
  public:
   /// `registry` must outlive the encoder; its codecs are shared by all
   /// workers (they are stateless — per-call state lives in the scratches).
   ParallelEncoder(const CodecRegistry& registry, ParallelEncoderOptions opts);
 
-  /// Encode frame.crop(r) for every rect with codec `pt`. Results are in
-  /// input order and byte-identical to encoding each band serially.
-  /// Unknown payload types yield empty payloads.
+  /// Encode frame.crop(r) for every rect with codec `pt` under per-call
+  /// `params` (the ads::rate quality step rides in here; the cache key
+  /// includes it). Results are in input order and byte-identical to
+  /// encoding each band serially. Unknown payload types yield empty
+  /// payloads.
   std::vector<Bytes> encode_regions(const Image& frame, const std::vector<Rect>& rects,
-                                    ContentPt pt);
+                                    ContentPt pt, const EncodeParams& params = {});
 
+  /// Worker-pool width (0 = serial mode).
   std::size_t threads() const { return pool_ ? pool_->size() : 0; }
+  /// The encoded-region cache in front of the codecs.
   EncodedRegionCache& cache() { return cache_; }
 
+  /// Stage totals: band counts, cache effectiveness, queue depth.
   struct Stats {
     std::uint64_t bands_requested = 0;  ///< bands passed to encode_regions
     std::uint64_t bands_encoded = 0;    ///< bands that ran a codec
@@ -60,6 +68,7 @@ class ParallelEncoder {
     std::uint64_t encode_calls = 0;     ///< encode_regions invocations
     std::uint64_t peak_queue_depth = 0; ///< most bands queued in one call
   };
+  /// Stage totals (see Stats).
   const Stats& stats() const { return stats_; }
 
  private:

@@ -27,7 +27,10 @@
 
 namespace ads {
 
+/// Every knob of a participant: replica geometry, loss-recovery ladder,
+/// feedback cadences and BFCP identity.
 struct ParticipantOptions {
+  /// Transport family of the downlink this participant receives on.
   enum class Transport { kUdp, kTcp };
   Transport transport = Transport::kUdp;
   std::int64_t screen_width = 1280;   ///< replica buffer dimensions
@@ -74,6 +77,8 @@ struct ParticipantOptions {
   std::uint64_t seed = 7;
 };
 
+/// A sharing participant: replicates the AH screen from the remoting
+/// stream and originates HIP input and BFCP floor requests.
 class Participant {
  public:
   Participant(EventLoop& loop, ParticipantOptions opts = {});
@@ -102,32 +107,48 @@ class Participant {
   void on_transport_reset();
 
   // ---- floor control ----
+  /// Queue a BFCP FloorRequest for the input floor.
   void request_floor();
+  /// Release a held (or pending) floor.
   void release_floor();
+  /// True while the AH has granted this participant the floor.
   bool has_floor() const { return has_floor_; }
+  /// True while a floor request is queued but not yet granted.
   bool floor_pending() const { return floor_pending_; }
+  /// Last HID status received from the floor server (Figure 20).
   HidStatus hid_status() const { return hid_status_; }
 
   // ---- HIP event sources ----
+  /// Send a MouseMoved HIP event at absolute coordinates.
   void mouse_move(std::uint32_t x, std::uint32_t y);
+  /// Send a MousePressed HIP event.
   void mouse_press(std::uint32_t x, std::uint32_t y, MouseButton b);
+  /// Send a MouseReleased HIP event.
   void mouse_release(std::uint32_t x, std::uint32_t y, MouseButton b);
+  /// Send a MouseWheelMoved HIP event (two's-complement distance, §6.5).
   void mouse_wheel(std::uint32_t x, std::uint32_t y, std::int32_t distance);
+  /// Send a KeyPressed HIP event.
   void key_press(vk::KeyCode code);
+  /// Send a KeyReleased HIP event.
   void key_release(vk::KeyCode code);
   /// Splits into multiple KeyTyped messages when needed (§6.8).
   void key_type(const std::string& utf8);
 
   // ---- replicated state ----
+  /// The replica framebuffer this participant has reconstructed.
   const Image& screen() const { return replica_; }
+  /// Window records from the last WindowManagerInfo, by window id.
   const std::map<std::uint16_t, WindowRecord>& windows() const { return windows_; }
+  /// Last pointer position received via MousePointerInfo.
   Point pointer() const { return pointer_; }
+  /// Last pointer icon received (empty when the AH never sent one).
   const Image& pointer_icon() const { return pointer_icon_; }
 
   /// Window that currently has "focus" for HIP WindowID stamping: topmost
   /// record containing the last mouse position (0 when none).
   std::uint16_t focus_window() const { return focus_window_; }
 
+  /// One completed RegionUpdate delivery (for latency measurements).
   struct DeliveryRecord {
     SimTime arrived_us = 0;
     std::uint32_t rtp_timestamp = 0;
@@ -135,6 +156,7 @@ class Participant {
     Rect region;
   };
 
+  /// Lifetime totals for everything received, repaired and sent.
   struct Stats {
     std::uint64_t rtp_packets = 0;
     std::uint64_t bytes_received = 0;
@@ -154,6 +176,7 @@ class Participant {
     std::uint64_t reorder_expired = 0;    ///< packets flushed by the age bound
     std::uint64_t transport_resets = 0;   ///< reconnects survived
   };
+  /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
 
   /// Completed RegionUpdate deliveries since the last drain (for latency

@@ -20,8 +20,10 @@
 
 namespace ads {
 
+/// The four participant-side placement policies (Figures 3-5 + scaling).
 enum class LayoutPolicy { kOriginal, kShift, kRefit, kScaleToFit };
 
+/// One window record with its local placement decision.
 struct PlacedWindow {
   std::uint16_t window_id = 0;
   std::uint8_t group_id = 0;

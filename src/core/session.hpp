@@ -17,28 +17,35 @@
 
 namespace ads {
 
+/// The two simulated UDP channels of one participant link.
 struct UdpLinkConfig {
   UdpChannelOptions down;  ///< AH → participant (remoting)
   UdpChannelOptions up;    ///< participant → AH (RTCP, HIP, BFCP)
 };
 
+/// The two simulated TCP channels of one participant link.
 struct TcpLinkConfig {
-  TcpChannelOptions down;
-  TcpChannelOptions up;
+  TcpChannelOptions down;  ///< AH → participant (remoting)
+  TcpChannelOptions up;    ///< participant → AH (RTCP, HIP, BFCP)
 };
 
+/// Owns one AH, its participants and the simulated channels between them.
 class SharingSession {
  public:
+  /// Construct the session: one event loop, one AH, no participants yet.
   explicit SharingSession(AppHostOptions host_opts = {});
   ~SharingSession();
 
+  /// The virtual clock everything in this session runs on.
   EventLoop& loop() { return loop_; }
+  /// The Application Host this session wires participants to.
   AppHost& host() { return host_; }
   /// The session-wide telemetry sink (the AH's, shared by every channel the
   /// session creates). `telemetry().snapshot()` sees metrics from all
   /// layers: ah.*, encoder.*, cache.*, rtx.*, net.*, participant.*.
   telemetry::Telemetry& telemetry() { return host_.telemetry(); }
 
+  /// One participant plus the channels wiring it to the AH.
   struct Connection {
     ParticipantId id = 0;
     std::unique_ptr<Participant> participant;
@@ -55,6 +62,8 @@ class SharingSession {
   /// add_udp_participant_joined).
   Connection& add_udp_participant(ParticipantOptions opts = {},
                                   UdpLinkConfig link = {});
+  /// Create a TCP participant wired through RFC 4571-framed channels;
+  /// the AH pushes the §4.4 late-join state immediately.
   Connection& add_tcp_participant(ParticipantOptions opts = {},
                                   TcpLinkConfig link = {});
 
@@ -70,10 +79,14 @@ class SharingSession {
   /// on_transport_reset(). Counted in recovery.reconnects.
   void reconnect_tcp(Connection& c, TcpLinkConfig link = {});
 
+  /// Successful reconnect_tcp() calls so far.
   std::uint64_t reconnects() const { return reconnects_; }
+  /// Links severed by drop_tcp() or eviction so far.
   std::uint64_t dropped_links() const { return dropped_links_; }
+  /// Connections torn down by the AH liveness sweep so far.
   std::uint64_t evicted_connections() const { return evicted_connections_; }
 
+  /// Every connection created, in creation order (including dropped ones).
   const std::vector<std::unique_ptr<Connection>>& connections() const {
     return connections_;
   }
@@ -85,6 +98,7 @@ class SharingSession {
     std::unique_ptr<Participant> participant;
     std::unique_ptr<UdpChannel> up;
   };
+  /// One multicast group: a shared stream identity plus its members.
   struct MulticastSession {
     ParticipantId group_id = 0;  ///< the AH-side stream identity
     std::unique_ptr<MulticastGroup> group;
@@ -101,6 +115,7 @@ class SharingSession {
                                         UdpChannelOptions down = {},
                                         UdpChannelOptions up = {});
 
+  /// Every multicast session created, in creation order.
   const std::vector<std::unique_ptr<MulticastSession>>& multicast_sessions() const {
     return multicast_;
   }

@@ -16,10 +16,13 @@ using SimTime = std::uint64_t;
 constexpr SimTime sim_ms(std::uint64_t ms) { return ms * 1000; }
 constexpr SimTime sim_sec(std::uint64_t s) { return s * 1000000; }
 
+/// The discrete-event scheduler: a priority queue of timed callbacks with
+/// deterministic FIFO tie-breaking.
 class EventLoop {
  public:
   using Callback = std::function<void()>;
 
+  /// Current virtual time.
   SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time `when` (clamped to now).
@@ -39,6 +42,7 @@ class EventLoop {
   /// Execute a single event; returns false if the queue is empty.
   bool step();
 
+  /// Number of events still queued.
   std::size_t pending() const { return queue_.size(); }
 
  private:
@@ -48,6 +52,7 @@ class EventLoop {
     Callback fn;
   };
   struct Later {
+    /// Min-heap order: earliest time first, insertion order breaking ties.
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.id > b.id;

@@ -15,8 +15,10 @@
 
 namespace ads {
 
+/// One send fanned out over per-member channels with independent loss.
 class MulticastGroup {
  public:
+  /// Construct an empty group on the session's event loop.
   explicit MulticastGroup(EventLoop& loop) : loop_(loop) {}
 
   /// Add a member with its own last-hop characteristics; returns the
@@ -35,9 +37,12 @@ class MulticastGroup {
     return any;
   }
 
+  /// Number of member channels.
   std::size_t member_count() const { return members_.size(); }
+  /// Datagrams the AH has sent to the group (once each, pre-replication).
   std::uint64_t datagrams_sent() const { return datagrams_sent_; }
 
+  /// The i-th member's last-hop channel (creation order).
   UdpChannel& member(std::size_t i) { return *members_[i]; }
 
  private:

@@ -12,6 +12,10 @@
 
 namespace ads {
 
+/// Per-participant token bucket: `consume()` spends bytes, `available()`
+/// refills lazily from the virtual clock. The frame-level gate never tears
+/// a message mid-send — consume() may drive the balance negative and the
+/// next available() check absorbs the deficit.
 class TokenBucket {
  public:
   /// `rate_bps` refill rate; `burst_bytes` bucket capacity (also the
@@ -21,7 +25,23 @@ class TokenBucket {
         burst_(static_cast<double>(burst_bytes)),
         tokens_(static_cast<double>(burst_bytes)) {}
 
+  /// True when no rate is configured (every consume succeeds).
   bool unlimited() const { return rate_bps_ == 0; }
+
+  /// The configured refill rate in bits/s (0 = unlimited).
+  std::uint64_t rate_bps() const { return rate_bps_; }
+
+  /// Re-target the refill rate mid-session (the ads::rate controller's
+  /// actuator). Tokens accrued under the old rate are settled up to `now`
+  /// first, so a rate change never retroactively re-prices elapsed time.
+  /// Moving from unlimited to limited starts from a full bucket.
+  void set_rate(std::uint64_t rate_bps, SimTime now) {
+    if (rate_bps == rate_bps_) return;
+    refill(now);
+    if (unlimited()) tokens_ = burst_;  // was unlimited: start full
+    rate_bps_ = rate_bps;
+    last_ = now;
+  }
 
   /// Tokens (bytes) available at `now`.
   double available(SimTime now) {

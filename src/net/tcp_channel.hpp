@@ -27,6 +27,7 @@
 
 namespace ads {
 
+/// Link characteristics of one simulated TCP stream.
 struct TcpChannelOptions {
   std::uint64_t bandwidth_bps = 10'000'000;
   SimTime delay_us = 20000;            ///< one-way propagation delay
@@ -40,13 +41,16 @@ struct TcpChannelOptions {
   telemetry::Telemetry* telemetry = nullptr;
 };
 
+/// One reliable, in-order, finite-send-buffer byte stream.
 class TcpChannel {
  public:
   using Receiver = std::function<void(Bytes)>;
 
+  /// Construct the channel on the session's event loop.
   TcpChannel(EventLoop& loop, TcpChannelOptions opts);
   ~TcpChannel();
 
+  /// Install (or replace) the delivery callback.
   void set_receiver(Receiver r) { receiver_ = std::move(r); }
 
   /// Write bytes to the stream. Accepts up to the free send-buffer space
@@ -60,8 +64,10 @@ class TcpChannel {
   /// immediately (unless the channel is stalled or down).
   std::size_t backlog_bytes() const;
 
+  /// Send-buffer bytes a write could take right now.
   std::size_t free_space() const { return opts_.send_buffer_bytes - backlog_bytes(); }
 
+  /// Current link rate.
   std::uint64_t bandwidth_bps() const { return opts_.bandwidth_bps; }
   /// Change the link rate mid-run (fault injection). Applies to subsequent
   /// sends; segments already serialising keep their delivery times.
@@ -70,14 +76,17 @@ class TcpChannel {
   /// Close (true) or reopen (false) the send window: while stalled, send()
   /// accepts zero bytes. Data already accepted keeps draining.
   void set_stalled(bool stalled) { stalled_ = stalled; }
+  /// True while the send window is closed.
   bool stalled() const { return stalled_; }
 
   /// Hard connection drop: in-flight segments are lost, the backlog gauge
   /// contribution is withdrawn, and every later send() is refused. There is
   /// no undo — reconnection means a fresh channel.
   void drop();
+  /// True once drop() has been called.
   bool down() const { return down_; }
 
+  /// Lifetime byte totals, by fate.
   struct Stats {
     std::uint64_t bytes_offered = 0;
     std::uint64_t bytes_accepted = 0;
@@ -85,6 +94,7 @@ class TcpChannel {
     std::uint64_t partial_writes = 0;  ///< sends that could not take all bytes
     std::uint64_t bytes_lost_on_drop = 0;  ///< in flight when drop() hit
   };
+  /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
 
  private:

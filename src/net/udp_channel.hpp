@@ -17,6 +17,7 @@
 
 namespace ads {
 
+/// Link characteristics of one simulated UDP path.
 struct UdpChannelOptions {
   double loss = 0.0;               ///< independent datagram loss probability
   double duplicate = 0.0;          ///< duplication probability
@@ -31,19 +32,24 @@ struct UdpChannelOptions {
   telemetry::Telemetry* telemetry = nullptr;
 };
 
+/// One unreliable, rate-limited, finite-queue datagram path.
 class UdpChannel {
  public:
   using Receiver = std::function<void(Bytes)>;
 
+  /// Construct the channel on the session's event loop.
   UdpChannel(EventLoop& loop, UdpChannelOptions opts);
 
+  /// Install (or replace) the delivery callback.
   void set_receiver(Receiver r) { receiver_ = std::move(r); }
 
   /// Enqueue one datagram. Returns false if the interface queue tail-dropped
   /// it (the datagram is gone; UDP gives no signal beyond this return).
   bool send(BytesView datagram);
 
+  /// Current random-loss probability.
   double loss() const { return opts_.loss; }
+  /// Current link rate (0 = unlimited).
   std::uint64_t bandwidth_bps() const { return opts_.bandwidth_bps; }
 
   /// Change the link rate mid-run (fault injection: bandwidth collapse and
@@ -64,6 +70,7 @@ class UdpChannel {
   /// earlier phase's traffic volume changes.
   void set_loss(double loss);
 
+  /// Lifetime datagram totals, by fate.
   struct Stats {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
@@ -72,6 +79,7 @@ class UdpChannel {
     std::uint64_t duplicated = 0;
     std::uint64_t bytes_delivered = 0;
   };
+  /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
   /// Zero the stats — multi-phase benchmarks measure each loss episode
   /// separately. Does not touch the PRNG or the link state.

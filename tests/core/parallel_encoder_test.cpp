@@ -87,40 +87,58 @@ TEST(ParallelEncoder, CacheDistinguishesCodecs) {
   EXPECT_EQ(enc.encode_regions(frame, bands, ContentPt::kRle), rle);
 }
 
+TEST(ParallelEncoder, CacheDistinguishesQualityRungs) {
+  const Image frame = workload_frame("video", 128, 64);
+  const auto bands = band_split(frame.bounds(), 64);
+  const CodecRegistry registry = CodecRegistry::with_defaults();
+  ParallelEncoder enc(registry, {.threads = 0, .cache_bytes = 1 << 20});
+  const auto q90 = enc.encode_regions(frame, bands, ContentPt::kDct,
+                                      EncodeParams{.dct_quality = 90});
+  const auto q10 = enc.encode_regions(frame, bands, ContentPt::kDct,
+                                      EncodeParams{.dct_quality = 10});
+  EXPECT_NE(q90, q10);  // same pixels, different rung: must not alias
+  EXPECT_EQ(enc.stats().cache_hits, 0u);  // second rung was a fresh encode
+  // Re-requesting either rung is a cache hit with that rung's bytes.
+  EXPECT_EQ(enc.encode_regions(frame, bands, ContentPt::kDct,
+                               EncodeParams{.dct_quality = 90}),
+            q90);
+  EXPECT_EQ(enc.stats().cache_hits, bands.size());
+}
+
 TEST(EncodedRegionCache, LruEvictionHonoursByteBudget) {
   EncodedRegionCache cache(1000);
   for (std::uint64_t i = 0; i < 10; ++i) {
-    cache.insert({i, 98, 16, 16}, Bytes(300));
+    cache.insert({i, 98, 0, 16, 16}, Bytes(300));
   }
   EXPECT_LE(cache.bytes(), 1000u);
   EXPECT_EQ(cache.entries(), 3u);
   EXPECT_GT(cache.evictions(), 0u);
   // Oldest keys are gone, newest survive.
-  EXPECT_EQ(cache.find({0, 98, 16, 16}), nullptr);
-  EXPECT_NE(cache.find({9, 98, 16, 16}), nullptr);
+  EXPECT_EQ(cache.find({0, 98, 0, 16, 16}), nullptr);
+  EXPECT_NE(cache.find({9, 98, 0, 16, 16}), nullptr);
 }
 
 TEST(EncodedRegionCache, FindPromotesToMostRecentlyUsed) {
   EncodedRegionCache cache(900);
-  cache.insert({1, 98, 16, 16}, Bytes(300));
-  cache.insert({2, 98, 16, 16}, Bytes(300));
-  cache.insert({3, 98, 16, 16}, Bytes(300));
-  ASSERT_NE(cache.find({1, 98, 16, 16}), nullptr);  // touch 1: now MRU
-  cache.insert({4, 98, 16, 16}, Bytes(300));        // evicts LRU = 2
-  EXPECT_NE(cache.find({1, 98, 16, 16}), nullptr);
-  EXPECT_EQ(cache.find({2, 98, 16, 16}), nullptr);
+  cache.insert({1, 98, 0, 16, 16}, Bytes(300));
+  cache.insert({2, 98, 0, 16, 16}, Bytes(300));
+  cache.insert({3, 98, 0, 16, 16}, Bytes(300));
+  ASSERT_NE(cache.find({1, 98, 0, 16, 16}), nullptr);  // touch 1: now MRU
+  cache.insert({4, 98, 0, 16, 16}, Bytes(300));        // evicts LRU = 2
+  EXPECT_NE(cache.find({1, 98, 0, 16, 16}), nullptr);
+  EXPECT_EQ(cache.find({2, 98, 0, 16, 16}), nullptr);
 }
 
 TEST(EncodedRegionCache, OversizedPayloadIsNotCached) {
   EncodedRegionCache cache(100);
-  cache.insert({1, 98, 16, 16}, Bytes(101));
+  cache.insert({1, 98, 0, 16, 16}, Bytes(101));
   EXPECT_EQ(cache.entries(), 0u);
-  EXPECT_EQ(cache.find({1, 98, 16, 16}), nullptr);
+  EXPECT_EQ(cache.find({1, 98, 0, 16, 16}), nullptr);
 }
 
 TEST(EncodedRegionCache, ZeroBudgetDisables) {
   EncodedRegionCache cache(0);
-  cache.insert({1, 98, 16, 16}, Bytes{1, 2, 3});
+  cache.insert({1, 98, 0, 16, 16}, Bytes{1, 2, 3});
   EXPECT_EQ(cache.entries(), 0u);
 }
 

@@ -46,6 +46,65 @@ TEST(TokenBucket, ConsumeMayGoNegative) {
   EXPECT_TRUE(bucket.try_consume(1, 600'000));  // -500 + 600 refilled
 }
 
+TEST(TokenBucket, ZeroRateIsUnlimitedRegardlessOfBurst) {
+  TokenBucket bucket(0, 1000);
+  EXPECT_TRUE(bucket.unlimited());
+  EXPECT_EQ(bucket.rate_bps(), 0u);
+  // consume() is a no-op and try_consume always succeeds, even far beyond
+  // the nominal burst.
+  bucket.consume(1'000'000, 0);
+  EXPECT_TRUE(bucket.try_consume(1'000'000'000, 0));
+  EXPECT_DOUBLE_EQ(bucket.available(0), 1000.0);
+}
+
+TEST(TokenBucket, BurstExhaustionRefillBoundary) {
+  TokenBucket bucket(8000, 1000);  // 1000 bytes/s
+  ASSERT_TRUE(bucket.try_consume(1000, 0));
+  EXPECT_DOUBLE_EQ(bucket.available(0), 0.0);
+  // One microsecond refills 0.001 bytes: not yet enough for a 1-byte send.
+  EXPECT_FALSE(bucket.try_consume(1, 1));
+  // Exactly 1 ms refills exactly 1 byte.
+  EXPECT_TRUE(bucket.try_consume(1, 1000));
+  EXPECT_FALSE(bucket.try_consume(1, 1000));
+}
+
+TEST(TokenBucket, ClockJumpBackwardsDoesNotMintTokens) {
+  TokenBucket bucket(8000, 1000);
+  ASSERT_TRUE(bucket.try_consume(1000, 1'000'000));
+  // A clock observed earlier than the last refill must not change the
+  // balance (refill only acts on forward progress).
+  EXPECT_DOUBLE_EQ(bucket.available(500'000), 0.0);
+  EXPECT_FALSE(bucket.try_consume(1, 0));
+  // Forward progress past the high-water mark refills normally.
+  EXPECT_NEAR(bucket.available(1'100'000), 100.0, 1.0);
+}
+
+TEST(TokenBucket, SetRateSettlesElapsedTimeAtOldRate) {
+  TokenBucket bucket(8000, 1000);  // 1000 bytes/s
+  ASSERT_TRUE(bucket.try_consume(1000, 0));
+  // 100 ms at the old rate accrues 100 bytes, then the rate doubles; the
+  // next 100 ms accrues 200 bytes. A retroactive re-price would give 400.
+  bucket.set_rate(16'000, 100'000);
+  EXPECT_EQ(bucket.rate_bps(), 16'000u);
+  EXPECT_NEAR(bucket.available(200'000), 300.0, 1.0);
+}
+
+TEST(TokenBucket, SetRateFromUnlimitedStartsFull) {
+  TokenBucket bucket(0, 1000);
+  bucket.consume(500, 0);  // no-op while unlimited
+  bucket.set_rate(8000, 1'000'000);
+  EXPECT_FALSE(bucket.unlimited());
+  EXPECT_DOUBLE_EQ(bucket.available(1'000'000), 1000.0);
+}
+
+TEST(TokenBucket, SetRateToSameValueIsIdempotent) {
+  TokenBucket bucket(8000, 1000);
+  ASSERT_TRUE(bucket.try_consume(600, 0));
+  const double before = bucket.available(0);
+  bucket.set_rate(8000, 0);
+  EXPECT_DOUBLE_EQ(bucket.available(0), before);
+}
+
 TEST(TokenBucket, LongRunRateBounded) {
   // Greedy sender: consume whenever possible; average rate must not exceed
   // the configured rate by more than the burst.

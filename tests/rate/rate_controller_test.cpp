@@ -1,0 +1,298 @@
+// ads::rate unit tests: AIMD increase/decrease behaviour on RR loss and
+// jitter, the decrease holdoff, budget clamps, the TCP backlog-trend signal,
+// the quality/fps degradation schedule, and bit-determinism of the loop.
+#include "rate/rate_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads::rate {
+namespace {
+
+AdaptationOptions enabled_opts() {
+  AdaptationOptions o;
+  o.enabled = true;
+  return o;
+}
+
+TEST(RateController, StartsAtInitialBudgetAndMatchingRung) {
+  RateController c(Transport::kUdp, enabled_opts());
+  EXPECT_EQ(c.budget_bps(), 2'000'000u);
+  // 2.0 Mbit/s fits the q50 rung exactly at full frame rate.
+  EXPECT_EQ(c.current().quality_step, 2);
+  EXPECT_EQ(c.current().dct_quality, 50);
+  EXPECT_EQ(c.current().fps_divisor, 1);
+  // Construction is not an adaptation event.
+  EXPECT_EQ(c.stats().increases, 0u);
+  EXPECT_EQ(c.stats().quality_changes, 0u);
+}
+
+TEST(RateController, CleanReportIncreasesAdditively) {
+  RateController c(Transport::kUdp, enabled_opts());
+  c.on_receiver_report(0, 0, 1'000'000);
+  c.update(1'000'000);
+  EXPECT_EQ(c.budget_bps(), 2'100'000u);
+  EXPECT_EQ(c.stats().increases, 1u);
+  // No new report: the budget holds between feedback intervals.
+  c.update(2'000'000);
+  EXPECT_EQ(c.budget_bps(), 2'100'000u);
+  EXPECT_EQ(c.stats().increases, 1u);
+}
+
+TEST(RateController, LossyReportDecreasesMultiplicatively) {
+  RateController c(Transport::kUdp, enabled_opts());
+  c.on_receiver_report(50, 0, 1'000'000);  // ~20% loss
+  c.update(1'000'000);
+  EXPECT_EQ(c.budget_bps(), 1'400'000u);  // 2.0M * 0.7
+  EXPECT_EQ(c.stats().decreases, 1u);
+}
+
+TEST(RateController, JitterAloneTriggersDecrease) {
+  RateController c(Transport::kUdp, enabled_opts());
+  c.on_receiver_report(0, 5'000, 1'000'000);  // > 2700-tick threshold
+  c.update(1'000'000);
+  EXPECT_EQ(c.stats().decreases, 1u);
+  EXPECT_EQ(c.budget_bps(), 1'400'000u);
+}
+
+TEST(RateController, DecayingJitterDoesNotHoldBudgetDown) {
+  // After a queueing episode the RFC 3550 jitter EWMA stays above the
+  // threshold for seconds while strictly decaying; those reports must read
+  // as recovery (increase), not congestion.
+  RateController c(Transport::kUdp, enabled_opts());
+  c.on_receiver_report(0, 50'000, 1'000'000);  // rising: congested
+  c.update(1'000'000);
+  EXPECT_EQ(c.stats().decreases, 1u);
+  c.on_receiver_report(0, 40'000, 2'000'000);  // decaying + clean loss
+  c.update(2'000'000);
+  c.on_receiver_report(0, 30'000, 3'000'000);
+  c.update(3'000'000);
+  EXPECT_EQ(c.stats().decreases, 1u);
+  EXPECT_EQ(c.stats().increases, 2u);
+}
+
+TEST(RateController, MidbandLossHoldsBudget) {
+  RateController c(Transport::kUdp, enabled_opts());
+  c.on_receiver_report(8, 0, 1'000'000);  // between clean (3) and lossy (13)
+  c.update(1'000'000);
+  EXPECT_EQ(c.budget_bps(), 2'000'000u);
+  EXPECT_EQ(c.stats().increases, 0u);
+  EXPECT_EQ(c.stats().decreases, 0u);
+}
+
+TEST(RateController, DecreaseHoldoffPunishesOncePerWindow) {
+  RateController c(Transport::kUdp, enabled_opts());
+  c.on_receiver_report(100, 0, 1'000'000);
+  c.update(1'000'000);
+  ASSERT_EQ(c.stats().decreases, 1u);
+  // A second lossy report 100 ms later (inside the 500 ms holdoff) is the
+  // same congestion episode: no further cut.
+  c.on_receiver_report(100, 0, 1'100'000);
+  c.update(1'100'000);
+  EXPECT_EQ(c.stats().decreases, 1u);
+  EXPECT_EQ(c.budget_bps(), 1'400'000u);
+  // Past the holdoff the loop may cut again.
+  c.on_receiver_report(100, 0, 1'700'000);
+  c.update(1'700'000);
+  EXPECT_EQ(c.stats().decreases, 2u);
+  EXPECT_NEAR(static_cast<double>(c.budget_bps()), 980'000.0, 1.0);
+}
+
+TEST(RateController, BudgetClampsToConfiguredBounds) {
+  AdaptationOptions o = enabled_opts();
+  o.min_rate_bps = 500'000;
+  o.max_rate_bps = 2'200'000;
+  RateController c(Transport::kUdp, o);
+  // Hammer with loss far past the holdoff each time: floor at min.
+  for (int i = 0; i < 20; ++i) {
+    const SimTime t = 1'000'000 + static_cast<SimTime>(i) * 1'000'000;
+    c.on_receiver_report(200, 0, t);
+    c.update(t);
+  }
+  EXPECT_EQ(c.budget_bps(), 500'000u);
+  // Clean reports forever: ceiling at max.
+  for (int i = 0; i < 40; ++i) {
+    const SimTime t = 100'000'000 + static_cast<SimTime>(i) * 1'000'000;
+    c.on_receiver_report(0, 0, t);
+    c.update(t);
+  }
+  EXPECT_EQ(c.budget_bps(), 2'200'000u);
+}
+
+TEST(RateController, InvertedBoundsAreSwapped) {
+  AdaptationOptions o = enabled_opts();
+  o.min_rate_bps = 8'000'000;
+  o.max_rate_bps = 1'000'000;
+  o.initial_rate_bps = 500'000;
+  RateController c(Transport::kUdp, o);
+  EXPECT_EQ(c.budget_bps(), 1'000'000u);  // clamped into [1M, 8M]
+}
+
+TEST(RateController, TcpHighBacklogDecreases) {
+  RateController c(Transport::kTcp, enabled_opts());
+  c.on_backlog_sample(64 * 1024, 1'000'000);  // over the 32 KiB high mark
+  c.update(1'000'000);
+  EXPECT_EQ(c.stats().decreases, 1u);
+  EXPECT_EQ(c.budget_bps(), 1'400'000u);
+}
+
+TEST(RateController, TcpGrowingBacklogDecreasesEarly) {
+  RateController c(Transport::kTcp, enabled_opts());
+  // Rising through half the high mark: cut before the queue fills.
+  const std::size_t samples[] = {0, 4'096, 8'192, 20'000};
+  SimTime t = 1'000'000;
+  for (std::size_t b : samples) {
+    c.on_backlog_sample(b, t);
+    c.update(t);
+    t += 100'000;
+  }
+  EXPECT_EQ(c.stats().decreases, 1u);
+}
+
+TEST(RateController, TcpDrainedBacklogIncreases) {
+  RateController c(Transport::kTcp, enabled_opts());
+  SimTime t = 1'000'000;
+  for (int i = 0; i < 4; ++i) {
+    c.on_backlog_sample(0, t);
+    c.update(t);
+    t += 100'000;
+  }
+  EXPECT_EQ(c.stats().increases, 4u);
+  EXPECT_EQ(c.budget_bps(), 2'400'000u);
+}
+
+TEST(RateController, TransportSelectsSignalPath) {
+  RateController udp(Transport::kUdp, enabled_opts());
+  udp.on_backlog_sample(1 << 20, 1'000'000);  // wrong signal: ignored
+  udp.update(1'000'000);
+  EXPECT_EQ(udp.stats().backlog_samples, 0u);
+  EXPECT_EQ(udp.stats().decreases, 0u);
+
+  RateController tcp(Transport::kTcp, enabled_opts());
+  tcp.on_receiver_report(255, 90'000, 1'000'000);  // wrong signal: ignored
+  tcp.update(1'000'000);
+  EXPECT_EQ(tcp.stats().rr_consumed, 0u);
+  EXPECT_EQ(tcp.stats().decreases, 0u);
+}
+
+TEST(RateController, DisabledControllerIsInert) {
+  AdaptationOptions o;  // enabled = false
+  RateController c(Transport::kUdp, o);
+  const OperatingPoint before = c.current();
+  c.on_receiver_report(255, 90'000, 1'000'000);
+  c.update(1'000'000);
+  EXPECT_EQ(c.current(), before);
+  EXPECT_EQ(c.stats().rr_consumed, 0u);
+  EXPECT_EQ(c.stats().decreases, 0u);
+}
+
+TEST(RateController, LadderIsMonotone) {
+  const auto& ladder = RateController::default_ladder();
+  ASSERT_GE(ladder.size(), 2u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_LT(ladder[i].dct_quality, ladder[i - 1].dct_quality);
+    EXPECT_LT(ladder[i].ref_bps, ladder[i - 1].ref_bps);
+  }
+}
+
+// Walk the budget down and assert the degradation schedule's promise:
+// quality degrades first, fps only halves once the mid rungs are exhausted,
+// and the bottom quality rung is never occupied at full frame rate.
+TEST(RateController, DegradationOrdersQualityBeforeFpsCollapse) {
+  AdaptationOptions o = enabled_opts();
+  o.min_rate_bps = 50'000;
+  o.initial_rate_bps = 20'000'000;
+  RateController c(Transport::kUdp, o);
+  int last_quality_step = c.current().quality_step;
+  int last_fps_divisor = c.current().fps_divisor;
+  EXPECT_EQ(last_quality_step, 0);  // 20 Mbit/s affords the top rung
+
+  SimTime t = 1'000'000;
+  while (c.budget_bps() > o.min_rate_bps) {
+    c.on_receiver_report(200, 0, t);
+    c.update(t);
+    t += 1'000'000;  // past the holdoff every time
+    const OperatingPoint& op = c.current();
+    // Monotone degradation: neither axis ever improves on a falling budget.
+    EXPECT_GE(op.quality_step, last_quality_step);
+    EXPECT_GE(op.fps_divisor, last_fps_divisor);
+    // Frame-rate sacrifice must not start before the q50 rung is reached.
+    if (op.fps_divisor > 1) EXPECT_GE(op.quality_step, 2);
+    // The bottom rung is only occupied once fps has been quartered.
+    if (op.quality_step == 4) EXPECT_GE(op.fps_divisor, 4);
+    last_quality_step = op.quality_step;
+    last_fps_divisor = op.fps_divisor;
+  }
+  EXPECT_EQ(c.current().quality_step, 4);
+  EXPECT_EQ(c.current().fps_divisor, 8);
+}
+
+TEST(RateController, MaxFpsDivisorOneDisablesFrameScaling) {
+  AdaptationOptions o = enabled_opts();
+  o.max_fps_divisor = 1;
+  o.min_rate_bps = 50'000;
+  o.initial_rate_bps = 50'000;  // far below every rung
+  RateController c(Transport::kUdp, o);
+  EXPECT_EQ(c.current().fps_divisor, 1);
+  EXPECT_EQ(c.current().quality_step, 2);  // deepest divisor-1 candidate
+}
+
+TEST(RateController, PixelRateScaleShiftsTheLadder) {
+  // A quarter-size view demands a quarter of the reference rate, so the
+  // same budget affords a better rung.
+  AdaptationOptions small = enabled_opts();
+  small.initial_rate_bps = 1'600'000;
+  small.pixel_rate_scale = 0.25;
+  AdaptationOptions full = small;
+  full.pixel_rate_scale = 1.0;
+  RateController c_small(Transport::kUdp, small);
+  RateController c_full(Transport::kUdp, full);
+  EXPECT_LT(c_small.current().quality_step, c_full.current().quality_step);
+  EXPECT_EQ(c_small.current().quality_step, 0);  // 6.3M * 0.25 <= 1.6M
+}
+
+TEST(RateController, IdenticalSignalSequencesAreBitDeterministic) {
+  RateController a(Transport::kUdp, enabled_opts());
+  RateController b(Transport::kUdp, enabled_opts());
+  const struct {
+    std::uint8_t lost;
+    std::uint32_t jitter;
+  } feed[] = {{0, 0}, {40, 0}, {0, 3'000}, {0, 0}, {8, 100},
+              {0, 0}, {90, 0}, {0, 0},     {0, 0}, {0, 0}};
+  SimTime t = 1'000'000;
+  for (const auto& f : feed) {
+    a.on_receiver_report(f.lost, f.jitter, t);
+    b.on_receiver_report(f.lost, f.jitter, t);
+    EXPECT_EQ(a.update(t), b.update(t));
+    t += 700'000;
+  }
+  EXPECT_EQ(a.budget_bps(), b.budget_bps());
+  EXPECT_EQ(a.stats().increases, b.stats().increases);
+  EXPECT_EQ(a.stats().decreases, b.stats().decreases);
+  EXPECT_EQ(a.stats().quality_changes, b.stats().quality_changes);
+  EXPECT_EQ(a.stats().fps_changes, b.stats().fps_changes);
+}
+
+TEST(RateController, RecoversAfterCongestionClears) {
+  RateController c(Transport::kUdp, enabled_opts());
+  SimTime t = 1'000'000;
+  for (int i = 0; i < 5; ++i) {  // collapse
+    c.on_receiver_report(200, 0, t);
+    c.update(t);
+    t += 1'000'000;
+  }
+  const std::uint64_t floor_budget = c.budget_bps();
+  ASSERT_LT(floor_budget, 1'000'000u);
+  const int degraded_step = c.current().quality_step;
+  ASSERT_GT(degraded_step, 2);
+  for (int i = 0; i < 30; ++i) {  // clean air: probe back up
+    c.on_receiver_report(0, 0, t);
+    c.update(t);
+    t += 1'000'000;
+  }
+  EXPECT_GT(c.budget_bps(), 2'000'000u);
+  EXPECT_LT(c.current().quality_step, degraded_step);
+  EXPECT_EQ(c.current().fps_divisor, 1);
+}
+
+}  // namespace
+}  // namespace ads::rate
