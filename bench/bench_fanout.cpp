@@ -10,7 +10,9 @@
 // while encode work stays constant.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/session.hpp"
@@ -87,6 +89,125 @@ BENCHMARK(fanout)
     ->Arg(8)
     ->Arg(16)
     ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// E17 — shared-encode broadcast fan-out.
+//
+// One AH, N UDP endpoints, full-frame damage every tick (VideoApp): the
+// encode stage dominates, so this isolates what the cohort fan-out buys.
+// Grid: participants x {per-participant, shared} x {uniform operating
+// point, 4-rung spread}. Encoding is serial (encode_threads = 0) so the
+// per-tick wall time reads as encode CPU, and the encoded-region cache is
+// off so the per-participant arm pays its true per-endpoint encode cost
+// rather than hiding it behind content-hash hits.
+//
+// The 4-rung spread drives the real closed loop: adaptation is enabled and
+// groups k = 1..3 receive lossy receiver reports for 3k warmup ticks, so
+// their AIMD budgets land on different quality rungs and the cohorts
+// split. Everything runs on the virtual clock with fixed seeds, so every
+// grid point is reproducible.
+void broadcast(benchmark::State& state) {
+  const int participants = static_cast<int>(state.range(0));
+  const bool shared = state.range(1) != 0;
+  const bool spread = state.range(2) != 0;
+  constexpr int kMeasuredTicks = 8;
+  const int warmup_ticks = spread ? 12 : 2;
+
+  AppHost::Stats before;
+  AppHost::Stats after;
+  double measured_ms = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EventLoop loop;
+    AppHostOptions opts;
+    opts.screen_width = 320;
+    opts.screen_height = 240;
+    opts.region_band_rows = 64;  // full-frame damage -> 4 bands per tick
+    opts.frame_interval_us = sim_ms(100);
+    opts.shared_fanout = shared;
+    opts.encode_threads = 0;
+    opts.encoded_cache_bytes = 0;
+    if (spread) {
+      opts.codec = ContentPt::kDct;
+      opts.adaptation.enabled = true;
+      opts.adaptation.decrease_holdoff_us = sim_ms(100);
+    }
+    AppHost host(loop, opts);
+    const WindowId w = host.wm().create({0, 0, 320, 240}, 1);
+    host.capturer().attach(w, std::make_unique<VideoApp>(320, 240, 5));
+
+    std::uint64_t datagrams = 0;
+    std::vector<ParticipantId> ids;
+    for (int i = 0; i < participants; ++i) {
+      HostEndpoint ep;
+      ep.kind = HostEndpoint::Kind::kUdp;
+      ep.send_datagram = [&datagrams](BytesView) {
+        ++datagrams;
+        return true;
+      };
+      ids.push_back(host.add_participant(std::move(ep)));
+      PictureLossIndication pli;  // UDP joiners request their first frame
+      host.on_uplink_packet(ids.back(), pli.serialize());
+    }
+
+    for (int t = 0; t < warmup_ticks; ++t) {
+      if (spread) {
+        for (int i = 0; i < participants; ++i) {
+          const int rung_group = i % 4;
+          if (rung_group > 0 && t < 3 * rung_group) {
+            ReceiverReport rr;
+            ReportBlock block;
+            block.fraction_lost = 40;  // above the decrease threshold
+            rr.blocks.push_back(block);
+            host.on_uplink_packet(ids[static_cast<std::size_t>(i)],
+                                  rr.serialize());
+          }
+        }
+      }
+      host.tick();
+      loop.run_until(loop.now() + opts.frame_interval_us);
+    }
+
+    before = host.stats();
+    const auto start = std::chrono::steady_clock::now();
+    state.ResumeTiming();
+    for (int t = 0; t < kMeasuredTicks; ++t) {
+      host.tick();
+      loop.run_until(loop.now() + opts.frame_interval_us);
+    }
+    state.PauseTiming();
+    measured_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    after = host.stats();
+    state.ResumeTiming();
+  }
+
+  const double ticks = kMeasuredTicks;
+  const auto delta = [&](std::uint64_t AppHost::Stats::*m) {
+    return static_cast<double>(after.*m - before.*m);
+  };
+  state.counters["participants"] = participants;
+  state.counters["per_tick_ms"] = measured_ms / ticks;
+  state.counters["cohorts_per_tick"] = delta(&AppHost::Stats::fanout_cohorts) / ticks;
+  state.counters["encodes_unique_per_tick"] =
+      delta(&AppHost::Stats::fanout_encodes_unique) / ticks;
+  state.counters["encodes_shared_per_tick"] =
+      delta(&AppHost::Stats::fanout_encodes_shared) / ticks;
+  state.counters["region_updates_per_tick"] =
+      delta(&AppHost::Stats::region_updates_sent) / ticks;
+  state.counters["bands_per_frame"] = 4;
+  bench::record_counters(
+      "fanout",
+      std::string("E17/broadcast/") + (shared ? "shared" : "per_participant") +
+          (spread ? "/rung_spread/" : "/uniform/") + std::to_string(participants),
+      state.counters);
+}
+
+BENCHMARK(broadcast)
+    ->Name("E17/broadcast")
+    ->ArgsProduct({{1, 4, 16, 64, 256, 512}, {0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

@@ -1,6 +1,7 @@
 #include "core/app_host.hpp"
 
 #include <algorithm>
+#include <array>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -13,11 +14,24 @@
 namespace ads {
 namespace {
 
-std::int64_t area_of(const std::vector<Rect>& rects) {
-  std::int64_t total = 0;
-  for (const Rect& r : rects) total += r.area();
-  return total;
+/// Destination rectangle of a scroll — the area a participant that cannot
+/// replay the move must receive as ordinary damage.
+Rect dest_rect(const MoveRectangle& mr) {
+  return Rect{static_cast<std::int64_t>(mr.dest_left),
+              static_cast<std::int64_t>(mr.dest_top),
+              static_cast<std::int64_t>(mr.width),
+              static_cast<std::int64_t>(mr.height)};
 }
+
+/// Shared-encode cohort identity — the effective operating point.
+/// Participants agreeing on all three fields can share encoded band
+/// payloads byte-for-byte.
+struct CohortKey {
+  std::uint8_t content_pt = 0;
+  std::uint8_t quality = 0;  ///< ads::rate quality rung (cache-key value)
+  std::size_t mtu_payload = 0;
+  friend auto operator<=>(const CohortKey&, const CohortKey&) = default;
+};
 
 }  // namespace
 
@@ -97,6 +111,9 @@ void AppHost::publish_metrics() {
   m.counter("ah.hip_events_rejected_floor").set(stats_.hip_events_rejected_floor);
   m.counter("ah.hip_parse_errors").set(stats_.hip_parse_errors);
   m.gauge("ah.participants").set(static_cast<std::int64_t>(participants_.size()));
+  m.counter("fanout.cohorts").set(stats_.fanout_cohorts);
+  m.counter("fanout.encodes_unique").set(stats_.fanout_encodes_unique);
+  m.counter("fanout.encodes_shared").set(stats_.fanout_encodes_shared);
 
   const ParallelEncoder::Stats& es = encoder_.stats();
   m.counter("encoder.bands_requested").set(es.bands_requested);
@@ -275,14 +292,21 @@ SessionDescription AppHost::sdp_offer() const {
 }
 
 void AppHost::set_pointer(Point p, const Image* icon) {
+  bool moved = false;
   if (p != pointer_) {
     pointer_ = p;
-    pointer_dirty_ = true;
+    moved = true;
   }
-  if (icon != nullptr) {
-    pointer_icon_ = *icon;
-    pointer_icon_dirty_ = true;
-    pointer_dirty_ = true;
+  const bool icon_changed = icon != nullptr;
+  if (icon_changed) pointer_icon_ = *icon;
+  if (!moved && !icon_changed) return;
+  // Dirtiness is per participant so a tick skipped by the fps divisor, the
+  // §7 backlog gate or the §4.3 bucket still delivers the update when that
+  // participant next sends. Late joiners get the pointer via the §5.2.4
+  // full-refresh path instead.
+  for (auto& [id, ps] : participants_) {
+    ps.pointer_dirty = true;
+    if (icon_changed) ps.pointer_icon_dirty = true;
   }
 }
 
@@ -357,12 +381,10 @@ void AppHost::send_pointer(ParticipantState& p, bool include_icon) {
   ++stats_.pointer_msgs_sent;
 }
 
-std::vector<Rect> AppHost::send_regions(ParticipantState& p,
-                                        const std::vector<Rect>& rects) {
-  const SimTime now = loop_.now();
-
+std::vector<Rect> AppHost::band_split(const std::vector<Rect>& rects) const {
   // Band-split tall rectangles so each RegionUpdate stays modest; this lets
-  // rate control stop between bands instead of mid-message.
+  // rate control stop between bands instead of mid-message, and gives the
+  // shared fan-out its deduplication granularity.
   std::vector<Rect> queue;
   for (const Rect& r : rects) {
     if (r.empty()) continue;
@@ -375,23 +397,14 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
                            std::min(opts_.region_band_rows, r.bottom() - top)});
     }
   }
+  return queue;
+}
 
-  // Encode every band up front — cache lookups first, then misses fanned
-  // out across the worker pool (drained in sequence order, so the payloads
-  // below are byte-identical to encoding serially in the send loop). The
-  // ads::rate quality rung rides in as an encode parameter (and cache key)
-  // for lossy codecs.
+std::vector<Rect> AppHost::packetize_regions(ParticipantState& p,
+                                             const std::vector<Rect>& queue,
+                                             std::vector<Bytes> payloads) {
+  const SimTime now = loop_.now();
   const ContentPt pt = codec_for(p);
-  EncodeParams params;
-  if (opts_.adaptation.enabled && pt == ContentPt::kDct) {
-    params.dct_quality = p.rate_ctrl.current().dct_quality;
-  }
-  std::vector<Bytes> payloads = [&] {
-    telemetry::ScopedSpan span(tel_->trace, "ah.encode");
-    return encoder_.encode_regions(capturer_.last_frame(), queue, pt, params);
-  }();
-
-  telemetry::ScopedSpan packetise_span(tel_->trace, "ah.packetise");
   const bool rate_limited =
       p.endpoint.kind == HostEndpoint::Kind::kUdp && !p.bucket.unlimited();
   std::vector<Rect> leftover;
@@ -419,6 +432,29 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
   return leftover;
 }
 
+std::vector<Rect> AppHost::send_regions(ParticipantState& p,
+                                        const std::vector<Rect>& rects) {
+  std::vector<Rect> queue = band_split(rects);
+
+  // Encode every band up front — cache lookups first, then misses fanned
+  // out across the worker pool (drained in sequence order, so the payloads
+  // below are byte-identical to encoding serially in the send loop). The
+  // ads::rate quality rung rides in as an encode parameter (and cache key)
+  // for lossy codecs.
+  const ContentPt pt = codec_for(p);
+  EncodeParams params;
+  if (opts_.adaptation.enabled && pt == ContentPt::kDct) {
+    params.dct_quality = p.rate_ctrl.current().dct_quality;
+  }
+  std::vector<Bytes> payloads = [&] {
+    telemetry::ScopedSpan span(tel_->trace, "ah.encode");
+    return encoder_.encode_regions(capturer_.last_frame(), queue, pt, params);
+  }();
+
+  telemetry::ScopedSpan packetise_span(tel_->trace, "ah.packetise");
+  return packetize_regions(p, queue, std::move(payloads));
+}
+
 void AppHost::send_full_refresh(ParticipantState& p) {
   // "image of the whole shared region" (§4.3): RegionUpdates covering the
   // desktop-sized shared view (band-split; any rate-limited remainder stays
@@ -427,6 +463,247 @@ void AppHost::send_full_refresh(ParticipantState& p) {
   auto leftover = send_regions(p, {capturer_.last_frame().bounds()});
   for (const Rect& r : leftover) p.pending.add(r);
   p.needs_full_refresh = false;
+}
+
+bool AppHost::pre_send(ParticipantState& p,
+                       const std::vector<MoveRectangle>& scrolls,
+                       const std::vector<Rect>& damage, bool& was_current) {
+  // Flush any carried-over TCP bytes first.
+  if (p.endpoint.kind == HostEndpoint::Kind::kTcp && !p.stream_carry.empty() &&
+      p.endpoint.write_stream) {
+    const std::size_t wrote = p.endpoint.write_stream(p.stream_carry);
+    p.stream_carry.erase(p.stream_carry.begin(),
+                         p.stream_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+  }
+
+  // §5.2.2 MoveRectangle eligibility is decided on the state the
+  // participant was in *before* this tick's damage lands: only a replica
+  // with nothing pending is guaranteed current over every scroll source.
+  // (Comparing pending area against this tick's damage area misclassifies
+  // a lagging participant whose stale region gets re-damaged this tick —
+  // it would replay the move from stale source pixels and diverge.)
+  was_current = p.pending.empty();
+
+  // Accumulate this tick's damage for everyone.
+  for (const Rect& r : damage) p.pending.add(r);
+
+  // ads::rate control interval: feed this tick's backlog observation
+  // (TCP), run the AIMD update, and re-target the token bucket (UDP).
+  // With adaptation disabled update() is a no-op returning the static
+  // operating point.
+  if (opts_.adaptation.enabled) {
+    if (p.endpoint.kind == HostEndpoint::Kind::kTcp) {
+      const std::size_t backlog =
+          (p.endpoint.backlog ? p.endpoint.backlog() : 0) + p.stream_carry.size();
+      p.rate_ctrl.on_backlog_sample(backlog, loop_.now());
+    }
+    const rate::OperatingPoint& op = p.rate_ctrl.update(loop_.now());
+    if (p.endpoint.kind == HostEndpoint::Kind::kUdp) {
+      p.bucket.set_rate(op.rate_bps, loop_.now());
+    }
+    // Frame-interval scaling: send this participant's frame only every
+    // Nth capture tick. Damage (and scrolled areas, which cannot be
+    // replayed later) keeps accumulating as pending.
+    if (op.fps_divisor > 1 &&
+        tick_count_ % static_cast<std::uint64_t>(op.fps_divisor) != 0) {
+      ++stats_.frames_skipped_fps;
+      for (const MoveRectangle& mr : scrolls) p.pending.add(dest_rect(mr));
+      return false;
+    }
+  }
+
+  // §7 backlog policy: if this TCP participant still has unsent bytes,
+  // skip its frame — pending damage keeps accumulating and the latest
+  // state is sent when the pipe drains ("a viewer usually only needs to
+  // see the final state of the image"). The §4.3 UDP rate-control bucket
+  // applies the same policy to UDP participants.
+  bool skip = false;
+  if (p.endpoint.kind == HostEndpoint::Kind::kTcp &&
+      opts_.tcp_backlog_limit > 0) {
+    const std::size_t backlog =
+        (p.endpoint.backlog ? p.endpoint.backlog() : 0) + p.stream_carry.size();
+    if (backlog > opts_.tcp_backlog_limit) {
+      skip = true;
+      ++stats_.frames_skipped_backlog;
+    }
+  }
+  if (p.endpoint.kind == HostEndpoint::Kind::kUdp && !p.bucket.unlimited() &&
+      p.bucket.available(loop_.now()) < static_cast<double>(opts_.mtu_payload)) {
+    skip = true;
+    ++stats_.frames_skipped_rate;
+  }
+  if (skip) {
+    // Scrolled areas cannot be replayed later (the participant missed
+    // the base); convert them to pending damage.
+    for (const MoveRectangle& mr : scrolls) p.pending.add(dest_rect(mr));
+    return false;
+  }
+  return true;
+}
+
+void AppHost::distribute_legacy(const std::vector<MoveRectangle>& scrolls,
+                                const std::vector<Rect>& damage) {
+  for (auto& [id, p] : participants_) {
+    bool was_current = false;
+    if (!pre_send(p, scrolls, damage, was_current)) continue;
+
+    if (p.needs_wmi) send_wmi(p);
+    if (p.needs_full_refresh) {
+      send_full_refresh(p);
+      // §5.2.4: "If the AH uses MousePointerInfo messages, it MUST inform
+      // the late joiners about the current position and image of mouse
+      // pointer."
+      if (opts_.pointer_messages) send_pointer(p, /*include_icon=*/true);
+      p.pointer_dirty = false;
+      p.pointer_icon_dirty = false;
+      ++p.frames_sent;
+      continue;
+    }
+
+    // MoveRectangle only helps a participant whose view was current before
+    // this tick; lagging participants get the moved area as ordinary
+    // damage.
+    const bool caught_up = p.frames_sent > 0 && was_current;
+    if (caught_up) {
+      for (const MoveRectangle& mr : scrolls) send_move_rectangle(p, mr);
+    } else {
+      for (const MoveRectangle& mr : scrolls) p.pending.add(dest_rect(mr));
+    }
+
+    p.pending.simplify();
+    auto leftover = send_regions(p, p.pending.rects());
+    p.pending.clear();
+    for (const Rect& r : leftover) p.pending.add(r);
+    if (p.pointer_dirty && opts_.pointer_messages) {
+      send_pointer(p, p.pointer_icon_dirty);
+      p.pointer_dirty = false;
+      p.pointer_icon_dirty = false;
+    }
+    ++p.frames_sent;
+  }
+}
+
+void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
+                                const std::vector<Rect>& damage) {
+  const Image& frame = capturer_.last_frame();
+
+  struct SendPlan {
+    ParticipantState* p = nullptr;
+    bool full_refresh = false;
+    bool send_mrs = false;
+    ContentPt pt = ContentPt::kRaw;
+    EncodeParams params;
+    CohortKey key;
+    std::vector<Rect> bands;          ///< this participant's send queue
+    std::vector<std::uint32_t> slots; ///< band → index into cohort payloads
+  };
+
+  // Phase 1 — per-participant policy and banding. Decisions here depend
+  // only on that participant's own state (bucket, backlog, fps divisor,
+  // pending region), so running them before any send keeps the wire
+  // byte-identical to the per-participant path.
+  std::vector<SendPlan> plan;
+  plan.reserve(participants_.size());
+  for (auto& [id, p] : participants_) {
+    bool was_current = false;
+    if (!pre_send(p, scrolls, damage, was_current)) continue;
+
+    SendPlan sp;
+    sp.p = &p;
+    sp.pt = codec_for(p);
+    if (opts_.adaptation.enabled && sp.pt == ContentPt::kDct) {
+      sp.params.dct_quality = p.rate_ctrl.current().dct_quality;
+    }
+    sp.key = CohortKey{static_cast<std::uint8_t>(sp.pt),
+                       p.rate_ctrl.current().quality_key(
+                           opts_.adaptation.enabled && sp.pt == ContentPt::kDct),
+                       opts_.mtu_payload};
+    if (p.needs_full_refresh) {
+      // "image of the whole shared region" (§4.3), band-split like any
+      // damage; a rate-limited remainder stays pending (phase 3).
+      sp.full_refresh = true;
+      p.pending.clear();
+      sp.bands = band_split({frame.bounds()});
+    } else {
+      sp.send_mrs = p.frames_sent > 0 && was_current;
+      if (!sp.send_mrs) {
+        for (const MoveRectangle& mr : scrolls) p.pending.add(dest_rect(mr));
+      }
+      p.pending.simplify();
+      sp.bands = band_split(p.pending.rects());
+    }
+    plan.push_back(std::move(sp));
+  }
+
+  // Phase 2 — group band lists into operating-point cohorts and encode
+  // each distinct band once per cohort. Band payloads are pure functions
+  // of (pixels, codec, quality), so cohort-mates receive identical bytes.
+  struct Cohort {
+    std::vector<Rect> bands;  ///< distinct bands, first-seen order
+    std::map<std::array<std::int64_t, 4>, std::uint32_t> slot;
+    std::vector<Bytes> payloads;
+    ContentPt pt = ContentPt::kRaw;
+    EncodeParams params;
+    std::uint64_t requested = 0;  ///< band sends across the cohort
+  };
+  std::map<CohortKey, Cohort> cohorts;
+  for (SendPlan& sp : plan) {
+    if (sp.bands.empty()) continue;
+    Cohort& c = cohorts[sp.key];
+    c.pt = sp.pt;
+    c.params = sp.params;
+    sp.slots.reserve(sp.bands.size());
+    for (const Rect& b : sp.bands) {
+      auto [it, inserted] = c.slot.try_emplace(
+          std::array<std::int64_t, 4>{b.left, b.top, b.width, b.height},
+          static_cast<std::uint32_t>(c.bands.size()));
+      if (inserted) c.bands.push_back(b);
+      sp.slots.push_back(it->second);
+    }
+    c.requested += sp.bands.size();
+  }
+  {
+    telemetry::ScopedSpan span(tel_->trace, "ah.encode");
+    for (auto& [key, c] : cohorts) {
+      c.payloads = encoder_.encode_regions(frame, c.bands, c.pt, c.params);
+      stats_.fanout_encodes_unique += c.bands.size();
+      stats_.fanout_encodes_shared += c.requested - c.bands.size();
+    }
+    stats_.fanout_cohorts += cohorts.size();
+  }
+
+  // Phase 3 — per-endpoint transmission, in participant order, preserving
+  // the per-participant message sequence of the legacy path (WMI →
+  // MoveRectangles → RegionUpdates → pointer).
+  telemetry::ScopedSpan packetise_span(tel_->trace, "ah.packetise");
+  for (SendPlan& sp : plan) {
+    ParticipantState& p = *sp.p;
+    if (p.needs_wmi) send_wmi(p);
+    if (sp.send_mrs) {
+      for (const MoveRectangle& mr : scrolls) send_move_rectangle(p, mr);
+    }
+    std::vector<Bytes> payloads;
+    payloads.reserve(sp.bands.size());
+    if (!sp.bands.empty()) {
+      const Cohort& c = cohorts[sp.key];
+      for (const std::uint32_t s : sp.slots) payloads.push_back(c.payloads[s]);
+    }
+    auto leftover = packetize_regions(p, sp.bands, std::move(payloads));
+    p.pending.clear();
+    for (const Rect& r : leftover) p.pending.add(r);
+    if (sp.full_refresh) {
+      p.needs_full_refresh = false;
+      // §5.2.4: late joiners get the current pointer position and image.
+      if (opts_.pointer_messages) send_pointer(p, /*include_icon=*/true);
+      p.pointer_dirty = false;
+      p.pointer_icon_dirty = false;
+    } else if (p.pointer_dirty && opts_.pointer_messages) {
+      send_pointer(p, p.pointer_icon_dirty);
+      p.pointer_dirty = false;
+      p.pointer_icon_dirty = false;
+    }
+    ++p.frames_sent;
+  }
 }
 
 void AppHost::tick() {
@@ -494,121 +771,12 @@ void AppHost::tick() {
   // the RTCP block below rather than at end of scope.)
   std::optional<telemetry::ScopedSpan> distribute_span;
   distribute_span.emplace(tel_->trace, "ah.distribute");
-  for (auto& [id, p] : participants_) {
-    // Flush any carried-over TCP bytes first.
-    if (p.endpoint.kind == HostEndpoint::Kind::kTcp && !p.stream_carry.empty() &&
-        p.endpoint.write_stream) {
-      const std::size_t wrote = p.endpoint.write_stream(p.stream_carry);
-      p.stream_carry.erase(p.stream_carry.begin(),
-                           p.stream_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
-    }
-
-    // Accumulate this tick's damage for everyone.
-    for (const Rect& r : damage) p.pending.add(r);
-
-    // ads::rate control interval: feed this tick's backlog observation
-    // (TCP), run the AIMD update, and re-target the token bucket (UDP).
-    // With adaptation disabled update() is a no-op returning the static
-    // operating point.
-    if (opts_.adaptation.enabled) {
-      if (p.endpoint.kind == HostEndpoint::Kind::kTcp) {
-        const std::size_t backlog =
-            (p.endpoint.backlog ? p.endpoint.backlog() : 0) + p.stream_carry.size();
-        p.rate_ctrl.on_backlog_sample(backlog, loop_.now());
-      }
-      const rate::OperatingPoint& op = p.rate_ctrl.update(loop_.now());
-      if (p.endpoint.kind == HostEndpoint::Kind::kUdp) {
-        p.bucket.set_rate(op.rate_bps, loop_.now());
-      }
-      // Frame-interval scaling: send this participant's frame only every
-      // Nth capture tick. Damage (and scrolled areas, which cannot be
-      // replayed later) keeps accumulating as pending.
-      if (op.fps_divisor > 1 &&
-          tick_count_ % static_cast<std::uint64_t>(op.fps_divisor) != 0) {
-        ++stats_.frames_skipped_fps;
-        for (const MoveRectangle& mr : scrolls) {
-          p.pending.add(Rect{static_cast<std::int64_t>(mr.dest_left),
-                             static_cast<std::int64_t>(mr.dest_top),
-                             static_cast<std::int64_t>(mr.width),
-                             static_cast<std::int64_t>(mr.height)});
-        }
-        continue;
-      }
-    }
-
-    // §7 backlog policy: if this TCP participant still has unsent bytes,
-    // skip its frame — pending damage keeps accumulating and the latest
-    // state is sent when the pipe drains ("a viewer usually only needs to
-    // see the final state of the image"). The §4.3 UDP rate-control bucket
-    // applies the same policy to UDP participants.
-    bool skip = false;
-    if (p.endpoint.kind == HostEndpoint::Kind::kTcp &&
-        opts_.tcp_backlog_limit > 0) {
-      const std::size_t backlog =
-          (p.endpoint.backlog ? p.endpoint.backlog() : 0) + p.stream_carry.size();
-      if (backlog > opts_.tcp_backlog_limit) {
-        skip = true;
-        ++stats_.frames_skipped_backlog;
-      }
-    }
-    if (p.endpoint.kind == HostEndpoint::Kind::kUdp && !p.bucket.unlimited() &&
-        p.bucket.available(loop_.now()) <
-            static_cast<double>(opts_.mtu_payload)) {
-      skip = true;
-      ++stats_.frames_skipped_rate;
-    }
-    if (skip) {
-      // Scrolled areas cannot be replayed later (the participant missed
-      // the base); convert them to pending damage.
-      for (const MoveRectangle& mr : scrolls) {
-        p.pending.add(Rect{static_cast<std::int64_t>(mr.dest_left),
-                           static_cast<std::int64_t>(mr.dest_top),
-                           static_cast<std::int64_t>(mr.width),
-                           static_cast<std::int64_t>(mr.height)});
-      }
-      continue;
-    }
-
-    if (p.needs_wmi) send_wmi(p);
-    if (p.needs_full_refresh) {
-      send_full_refresh(p);
-      // §5.2.4: "If the AH uses MousePointerInfo messages, it MUST inform
-      // the late joiners about the current position and image of mouse
-      // pointer."
-      if (opts_.pointer_messages) send_pointer(p, /*include_icon=*/true);
-      ++p.frames_sent;
-      continue;
-    }
-
-    // MoveRectangle only helps a participant whose view was current before
-    // this tick (pending == this tick's damage); lagging participants get
-    // the moved area as ordinary damage.
-    const bool caught_up = p.frames_sent > 0 && p.pending.area() <= area_of(damage);
-    if (caught_up) {
-      for (const MoveRectangle& mr : scrolls) send_move_rectangle(p, mr);
-    } else {
-      for (const MoveRectangle& mr : scrolls) {
-        p.pending.add(Rect{static_cast<std::int64_t>(mr.dest_left),
-                           static_cast<std::int64_t>(mr.dest_top),
-                           static_cast<std::int64_t>(mr.width),
-                           static_cast<std::int64_t>(mr.height)});
-      }
-    }
-
-    p.pending.simplify();
-    auto leftover = send_regions(p, p.pending.rects());
-    p.pending.clear();
-    for (const Rect& r : leftover) p.pending.add(r);
-    if (pointer_dirty_ && opts_.pointer_messages) {
-      send_pointer(p, pointer_icon_dirty_);
-    }
-    ++p.frames_sent;
+  if (opts_.shared_fanout) {
+    distribute_shared(scrolls, damage);
+  } else {
+    distribute_legacy(scrolls, damage);
   }
-
   distribute_span.reset();
-
-  pointer_dirty_ = false;
-  pointer_icon_dirty_ = false;
 
   // Periodic RTCP Sender Reports (RFC 3550 §6.4.1) so participants can
   // compute RTT and map RTP timestamps to wallclock.

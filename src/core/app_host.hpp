@@ -3,8 +3,14 @@
 // interface events received from participants" (§1).
 //
 // Pipeline per frame tick:
-//   capture → (scroll detection → MoveRectangle) → encode damage →
-//   RegionUpdate (fragmented to MTU) → per-participant transmission.
+//   capture → (scroll detection → MoveRectangle) → cohort grouping →
+//   encode damage once per cohort → RegionUpdate (fragmented to MTU) →
+//   per-participant transmission.
+// The distribute stage is a shared-encode broadcast fan-out: participants
+// are grouped into cohorts by effective operating point (content payload
+// type, quality rung, MTU) and each damage band is encoded once per cohort
+// per tick, then packetized per endpoint — fan-out cost is per operating
+// point, not per receiver.
 // Plus: WindowManagerInfo whenever the window manager state changes
 // (§5.2.1), MousePointerInfo for the AH pointer (§5.2.4), PLI-triggered
 // full refreshes (§5.3.1), NACK-driven retransmissions (§5.3.2), §7
@@ -87,6 +93,13 @@ struct AppHostOptions {
   /// a band (serves PLI full refreshes, late joiners, and repeating content
   /// from memory). 0 disables the cache.
   std::size_t encoded_cache_bytes = 8 * 1024 * 1024;
+  /// Shared-encode broadcast fan-out: group participants into cohorts by
+  /// effective operating point (content payload type, quality rung, MTU)
+  /// and encode each pending band once per cohort per tick, then packetize
+  /// the shared payload per endpoint. Wire bytes are identical to the
+  /// per-participant path (false), which survives as the golden reference
+  /// and the E17 baseline.
+  bool shared_fanout = true;
   SimTime frame_interval_us = 100'000;  ///< 10 fps capture clock
   /// RTCP Sender Report cadence (0 = no SRs).
   SimTime sr_interval_us = 1'000'000;
@@ -249,6 +262,10 @@ class AppHost {
     std::uint64_t hip_parse_errors = 0;
     std::uint64_t participants_evicted = 0;   ///< liveness-timeout removals
     std::uint64_t stale_transitions = 0;      ///< fresh→stale edges observed
+    // Shared fan-out accounting (zero on the per-participant path).
+    std::uint64_t fanout_cohorts = 0;         ///< operating-point cohorts formed
+    std::uint64_t fanout_encodes_unique = 0;  ///< bands encoded once per cohort
+    std::uint64_t fanout_encodes_shared = 0;  ///< band encodes saved by sharing
   };
   /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
@@ -281,6 +298,12 @@ class AppHost {
     std::optional<ContentPt> codec;  ///< negotiated override (else AH default)
     SimTime last_uplink_us = 0;      ///< liveness: any uplink traffic
     bool stale = false;              ///< silent past stale_after_us
+    // §5.2.4 pointer dirtiness is per participant: set for everyone when
+    // the AH pointer moves, cleared only when *this* participant is sent
+    // the update — a tick skipped by the fps divisor, the §7 backlog gate
+    // or the §4.3 bucket keeps the flag armed.
+    bool pointer_dirty = false;
+    bool pointer_icon_dirty = false;
 
     ParticipantState(std::uint8_t pt, std::uint64_t seed, std::size_t cache_size,
                      std::uint64_t rate_bps, std::size_t burst,
@@ -296,6 +319,33 @@ class AppHost {
   /// Sends as much as the participant's rate budget allows; returns the
   /// rectangles that must stay pending for the next tick.
   std::vector<Rect> send_regions(ParticipantState& p, const std::vector<Rect>& rects);
+  /// Split rectangles into ≤ region_band_rows-row bands (the encode/cohort
+  /// granularity). Empty rects are dropped.
+  std::vector<Rect> band_split(const std::vector<Rect>& rects) const;
+  /// Per-participant pre-send policy shared by both distribute paths:
+  /// flushes TCP carry, records whether the participant was current before
+  /// this tick's damage landed (`was_current` — the §5.2.2 MoveRectangle
+  /// eligibility), accumulates damage, runs the ads::rate update and the
+  /// fps-divisor / §7 backlog / §4.3 bucket gates. Returns false when the
+  /// participant is skipped this tick (scrolled areas are folded into its
+  /// pending damage).
+  bool pre_send(ParticipantState& p, const std::vector<MoveRectangle>& scrolls,
+                const std::vector<Rect>& damage, bool& was_current);
+  /// Fragment + transmit already-encoded band payloads (parallel to
+  /// `queue`) within the participant's rate budget; returns the bands that
+  /// must stay pending for the next tick.
+  std::vector<Rect> packetize_regions(ParticipantState& p,
+                                      const std::vector<Rect>& queue,
+                                      std::vector<Bytes> payloads);
+  /// Per-participant distribute (encode once per participant): the golden
+  /// reference path, kept for A/B tests and the E17 baseline.
+  void distribute_legacy(const std::vector<MoveRectangle>& scrolls,
+                         const std::vector<Rect>& damage);
+  /// Shared-encode broadcast fan-out: plan per participant, group into
+  /// operating-point cohorts, encode each band once per cohort, then
+  /// packetize per endpoint in participant order.
+  void distribute_shared(const std::vector<MoveRectangle>& scrolls,
+                         const std::vector<Rect>& damage);
   void send_move_rectangle(ParticipantState& p, const MoveRectangle& mr);
   void send_pointer(ParticipantState& p, bool include_icon);
   void handle_rtcp(ParticipantId from, BytesView packet);
@@ -328,11 +378,9 @@ class AppHost {
   EvictionHandler eviction_handler_;
   bool running_ = false;
 
-  // Pointer model state.
+  // Pointer model state (dirtiness lives per participant).
   Point pointer_{0, 0};
   Image pointer_icon_;
-  bool pointer_dirty_ = false;
-  bool pointer_icon_dirty_ = false;
 
   // Scroll detection needs the previous exported frame.
   Image previous_frame_;

@@ -9,8 +9,16 @@ const Bytes* EncodedRegionCache::find(const EncodedRegionKey& key) {
   return &it->second->payload;
 }
 
+bool EncodedRegionCache::find_copy(const EncodedRegionKey& key, Bytes& out) {
+  const Bytes* hit = find(key);
+  if (hit == nullptr) return false;
+  out = *hit;
+  return true;
+}
+
 void EncodedRegionCache::insert(const EncodedRegionKey& key, Bytes payload) {
   if (payload.size() > max_bytes_) return;
+  ++generation_;
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->payload.size();
@@ -36,6 +44,7 @@ void EncodedRegionCache::evict_to_budget() {
 }
 
 void EncodedRegionCache::clear() {
+  if (!lru_.empty()) ++generation_;
   lru_.clear();
   index_.clear();
   bytes_ = 0;

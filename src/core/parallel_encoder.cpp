@@ -40,10 +40,12 @@ std::vector<Bytes> ParallelEncoder::encode_regions(const Image& frame,
                                      std::clamp(params.dct_quality, 0, 100)),
                                  static_cast<std::uint32_t>(rects[i].width),
                                  static_cast<std::uint32_t>(rects[i].height)};
-      if (const Bytes* hit = cache_.find(keys[i])) {
-        results[i] = *hit;
+      // Copy-out lookup: a raw find() pointer would be invalidated by the
+      // pass-3 inserts (and by any interleaved caller), so hits never
+      // escape the cache as references.
+      if (cache_.find_copy(keys[i], results[i])) {
         ++stats_.cache_hits;
-        stats_.cache_hit_bytes += hit->size();
+        stats_.cache_hit_bytes += results[i].size();
         continue;
       }
       ++stats_.cache_misses;

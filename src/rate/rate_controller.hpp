@@ -105,6 +105,16 @@ struct OperatingPoint {
   int dct_quality = 90;        ///< DctOptions::quality for photographic content
   int fps_divisor = 1;         ///< send frames every Nth capture tick
 
+  /// The quality rung as it appears in encode-cache keys and shared-encode
+  /// cohort keys: the clamped DCT quality for lossy codecs, 0 (= codec
+  /// default) for lossless ones. Two participants whose quality_key (and
+  /// codec and MTU) coincide can share one encode per band per tick.
+  std::uint8_t quality_key(bool lossy_codec) const {
+    if (!lossy_codec) return 0;
+    const int q = dct_quality < 0 ? 0 : (dct_quality > 100 ? 100 : dct_quality);
+    return static_cast<std::uint8_t>(q);
+  }
+
   friend bool operator==(const OperatingPoint&, const OperatingPoint&) = default;
 };
 

@@ -87,22 +87,51 @@ bool RtpReceiver::on_packet(const RtpPacket& pkt) {
     return false;
   }
 
-  if (seq_less(highest_seq_, pkt.sequence)) {
-    // Every skipped number between highest+1 and the new packet is missing.
+  // RFC 3550 A.1-style validation on the unsigned modular delta.
+  const std::uint16_t udelta =
+      static_cast<std::uint16_t>(pkt.sequence - highest_seq_);
+  if (udelta > 0 && udelta < kMaxDropout) {
+    // In order, possibly with a plausible gap: every skipped number between
+    // highest+1 and the new packet is missing.
     for (std::uint16_t s = static_cast<std::uint16_t>(highest_seq_ + 1);
          s != pkt.sequence; ++s) {
       missing_.insert(s);
     }
     if (pkt.sequence < highest_seq_) ++cycles_;  // 16-bit wrap
     highest_seq_ = pkt.sequence;
+    bad_seq_valid_ = false;
+  } else if (udelta <= 0x8000) {
+    // Suspect zone: either a genuine restart after a very large burst, or
+    // an ancient straggler from more than half a window back. Advancing on
+    // the straggler would inflate the extended sequence by a whole cycle
+    // and regress highest_seq_, so require two consecutive packets before
+    // accepting the new position.
+    if (bad_seq_valid_ && pkt.sequence == bad_seq_) {
+      if (pkt.sequence < highest_seq_) ++cycles_;  // restart crossed a wrap
+      highest_seq_ = pkt.sequence;
+      bad_seq_valid_ = false;
+      // A gap this wide is beyond NACK repair; the escalation ladder (PLI
+      // full refresh) owns recovery, so do not enumerate it as missing.
+      missing_.clear();
+    } else {
+      bad_seq_ = static_cast<std::uint16_t>(pkt.sequence + 1);
+      bad_seq_valid_ = true;
+    }
   } else {
-    // A late packet fills (or re-fills) a gap.
+    // Behind by at most half a window: a late packet fills (or re-fills) a
+    // gap. Never a wrap.
     missing_.erase(pkt.sequence);
   }
 
   seen_window_.insert(pkt.sequence);
-  // Bound duplicate-detection memory: keep roughly one wrap of history.
-  while (seen_window_.size() > 4096) seen_window_.erase(seen_window_.begin());
+  // Bound duplicate-detection memory: keep roughly one wrap of history,
+  // evicting the modularly oldest entry — after a wrap that is the smallest
+  // sequence *above* the current highest, not *begin().
+  while (seen_window_.size() > 4096) {
+    auto oldest = seen_window_.upper_bound(highest_seq_);
+    if (oldest == seen_window_.end()) oldest = seen_window_.begin();
+    seen_window_.erase(oldest);
+  }
   ++received_;
   return true;
 }

@@ -55,8 +55,22 @@ class RtpSender {
 
 /// Inbound RTP stream bookkeeping: highest-seen sequence, duplicate
 /// detection, and the set of missing sequence numbers (for NACK).
+///
+/// Sequence-number validation follows RFC 3550 A.1: a forward jump of less
+/// than kMaxDropout advances the extended highest sequence (wrapping
+/// through zero increments the cycle count), a jump into the suspect zone
+/// between kMaxDropout and half the sequence space is ignored until two
+/// consecutive packets confirm the new position, and anything numerically
+/// behind by up to half the space is treated as a reordered straggler. The
+/// half-window rule matters: before it, an ancient straggler (more than
+/// kMaxDropout behind) looked like a forward wrap, inflating the extended
+/// sequence by 65536 and pinning the next Receiver Report's loss fields.
 class RtpReceiver {
  public:
+  /// Largest plausible loss burst (RFC 3550 suggests order-of-3000): a
+  /// forward jump beyond this is quarantined until a consecutive packet
+  /// confirms the stream really restarted there.
+  static constexpr std::uint16_t kMaxDropout = 3000;
   /// Record an arriving packet. Returns false for duplicates (already seen
   /// or already delivered). When `arrival_us` is supplied, interarrival
   /// jitter is maintained per RFC 3550 §6.4.1/A.8.
@@ -102,6 +116,10 @@ class RtpReceiver {
   std::uint32_t cycles_ = 0;
   std::set<std::uint16_t> missing_;
   std::set<std::uint16_t> seen_window_;  ///< recent seqs for dup detection
+  // RFC 3550 A.1 probation for suspect forward jumps: the sequence that
+  // would confirm the jump (previous suspect + 1), armed while valid.
+  std::uint16_t bad_seq_ = 0;
+  bool bad_seq_valid_ = false;
   std::uint64_t received_ = 0;
   std::uint64_t duplicates_ = 0;
   // Jitter state (RFC 3550 A.8).

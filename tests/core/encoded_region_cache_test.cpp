@@ -1,0 +1,93 @@
+// EncodedRegionCache pointer-invalidation contract: find() hands out a
+// pointer that dies at the next insert()/clear(). The shared fan-out's
+// cohort loop interleaves lookups with inserts, so it must use the
+// copy-returning accessor (find_copy) — these tests pin the contract with
+// the generation counter and exercise the copy path under ASan.
+#include "core/encoded_region_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ads {
+namespace {
+
+EncodedRegionKey key(std::uint64_t hash, std::uint32_t w = 16,
+                     std::uint32_t h = 16) {
+  return EncodedRegionKey{hash, 1, 0, w, h};
+}
+
+Bytes payload_of(std::size_t n, std::uint8_t fill) { return Bytes(n, fill); }
+
+TEST(EncodedRegionCache, GenerationTracksEveryInvalidation) {
+  EncodedRegionCache cache(1024);
+  const std::uint64_t g0 = cache.generation();
+
+  cache.insert(key(1), payload_of(8, 0xAA));
+  const std::uint64_t g1 = cache.generation();
+  EXPECT_GT(g1, g0);
+
+  // Lookups promote but never invalidate.
+  EXPECT_NE(cache.find(key(1)), nullptr);
+  Bytes copy;
+  EXPECT_TRUE(cache.find_copy(key(1), copy));
+  EXPECT_EQ(cache.generation(), g1);
+
+  // Replacing an existing entry invalidates outstanding pointers.
+  cache.insert(key(1), payload_of(8, 0xBB));
+  const std::uint64_t g2 = cache.generation();
+  EXPECT_GT(g2, g1);
+
+  cache.clear();
+  EXPECT_GT(cache.generation(), g2);
+  // Clearing an already-empty cache invalidates nothing.
+  const std::uint64_t g3 = cache.generation();
+  cache.clear();
+  EXPECT_EQ(cache.generation(), g3);
+}
+
+TEST(EncodedRegionCache, FindPointerDiesAtNextInsertButCopySurvives) {
+  EncodedRegionCache cache(32);  // tiny budget: inserts evict aggressively
+  const Bytes original = payload_of(24, 0x11);
+  cache.insert(key(1), original);
+
+  const Bytes* hit = cache.find(key(1));
+  ASSERT_NE(hit, nullptr);
+  const std::uint64_t gen_at_hit = cache.generation();
+  Bytes safe;
+  ASSERT_TRUE(cache.find_copy(key(1), safe));
+
+  // This insert evicts key(1) to honour the 32-byte budget — the `hit`
+  // pointer is now dangling and must not be dereferenced (ASan would
+  // fire); the generation counter records exactly that invalidation.
+  cache.insert(key(2), payload_of(24, 0x22));
+  EXPECT_NE(cache.generation(), gen_at_hit);
+  EXPECT_EQ(cache.find(key(1)), nullptr);  // evicted
+  EXPECT_GE(cache.evictions(), 1u);
+
+  // The copy taken through find_copy is untouched by the eviction.
+  EXPECT_EQ(safe, original);
+}
+
+TEST(EncodedRegionCache, CohortLoopPatternInterleavesLookupsAndInserts) {
+  // The shared fan-out's access shape: per cohort, look bands up and
+  // insert fresh encodes while earlier hits are still in use. With copies
+  // the results stay valid across every eviction; under ASan any internal
+  // aliasing of evicted storage would be caught here.
+  EncodedRegionCache cache(64);  // holds at most four 16-byte payloads
+  std::vector<Bytes> held;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    cache.insert(key(i), payload_of(16, static_cast<std::uint8_t>(i)));
+    Bytes out;
+    ASSERT_TRUE(cache.find_copy(key(i), out));
+    held.push_back(std::move(out));
+  }
+  for (std::uint64_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i], payload_of(16, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_LE(cache.bytes(), 64u);
+  EXPECT_GE(cache.evictions(), 28u);
+}
+
+}  // namespace
+}  // namespace ads

@@ -104,6 +104,44 @@ TEST(PointerFlow, DisabledPointerModelSendsNothing) {
   EXPECT_EQ(host.stats().pointer_msgs_sent, 0u);
 }
 
+TEST(PointerFlow, BacklogSkippedParticipantStillGetsPointerUpdate) {
+  // Regression: pointer dirtiness used to be session-global and cleared
+  // after one distribute pass, so a participant held back by the §7
+  // backlog gate during the pointer move never received it.
+  EventLoop loop;
+  AppHost host(loop, host_opts());
+  const WindowId w = host.wm().create({0, 0, 200, 150}, 1);
+  host.capturer().attach(w, std::make_unique<SlideshowApp>(200, 150, 3));
+
+  ParticipantOptions popts;
+  popts.transport = ParticipantOptions::Transport::kTcp;
+  Participant part(loop, popts);
+
+  std::size_t scripted_backlog = 0;
+  HostEndpoint ep;
+  ep.kind = HostEndpoint::Kind::kTcp;
+  ep.write_stream = [&part](BytesView data) {
+    part.on_stream_bytes(data);
+    return data.size();
+  };
+  ep.backlog = [&scripted_backlog] { return scripted_backlog; };
+  host.add_participant(std::move(ep));
+
+  host.tick();  // late-join WMI + full refresh + initial pointer
+
+  // The §7 gate holds the participant back while the pointer moves.
+  scripted_backlog = host.options().tcp_backlog_limit + 1;
+  host.set_pointer({55, 66});
+  host.tick();
+  host.tick();
+  ASSERT_NE(part.pointer(), (Point{55, 66}));  // still skipped
+
+  // Backlog drains: the catch-up frame must deliver the pointer update.
+  scripted_backlog = 0;
+  host.tick();
+  EXPECT_EQ(part.pointer(), (Point{55, 66}));
+}
+
 TEST(PointerFlow, PointerMovesDoNotDisturbScreenConvergence) {
   SharingSession session(host_opts());
   AppHost& host = session.host();

@@ -116,5 +116,68 @@ TEST(RtpReceiver, MissingListCapped) {
   EXPECT_EQ(rx.missing(10).size(), 10u);
 }
 
+TEST(RtpReceiver, ReorderedPacketDoesNotInflateCycles) {
+  // {4, 5, 3, 6}: an ordinary late packet must not look like a 16-bit wrap.
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(4));
+  rx.on_packet(packet_with_seq(5));
+  rx.on_packet(packet_with_seq(3));
+  rx.on_packet(packet_with_seq(6));
+  EXPECT_EQ(rx.extended_highest_sequence(), 6u);  // cycles stayed 0
+  EXPECT_EQ(rx.highest_sequence(), 6);
+  EXPECT_TRUE(rx.missing().empty());
+
+  const ReportBlock rr = rx.snapshot(0x1234);
+  EXPECT_EQ(rr.fraction_lost, 0);
+  EXPECT_EQ(rr.cumulative_lost, 0u);
+}
+
+TEST(RtpReceiver, AncientStragglerDoesNotAdvanceStream) {
+  // A straggler from more than half a window back (here 32774 behind the
+  // highest) used to be misread as a forward wrap: cycles_ jumped, the
+  // extended sequence inflated by 65536, highest_seq_ regressed, ~32k fake
+  // missing entries appeared and the next RR pinned fraction_lost at 255 —
+  // spuriously tripping the ads::rate multiplicative decrease.
+  RtpReceiver rx;
+  for (std::uint32_t s = 0; s <= 36865; ++s) {
+    rx.on_packet(packet_with_seq(static_cast<std::uint16_t>(s)));
+  }
+  (void)rx.snapshot(0x1234);  // close the interval: loss-free so far
+
+  rx.on_packet(packet_with_seq(4091));  // 36865 - 4091 = 32774 behind
+
+  EXPECT_EQ(rx.highest_sequence(), 36865);
+  EXPECT_EQ(rx.extended_highest_sequence(), 36865u);
+  EXPECT_TRUE(rx.missing().empty());
+  const ReportBlock rr = rx.snapshot(0x1234);
+  EXPECT_EQ(rr.fraction_lost, 0);
+  EXPECT_EQ(rr.cumulative_lost, 0u);
+}
+
+TEST(RtpReceiver, BlackoutRestartConfirmedByConsecutivePackets) {
+  // A forward jump beyond kMaxDropout is quarantined until two consecutive
+  // packets prove the stream really continues there (RFC 3550 A.1).
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(100));
+  rx.on_packet(packet_with_seq(5000));
+  EXPECT_EQ(rx.highest_sequence(), 100);  // suspect: not yet accepted
+  rx.on_packet(packet_with_seq(5001));
+  EXPECT_EQ(rx.highest_sequence(), 5001);
+  EXPECT_EQ(rx.extended_highest_sequence(), 5001u);  // no cycle counted
+  // The blackout gap is not enumerated for NACK — PLI escalation owns it.
+  EXPECT_TRUE(rx.missing().empty());
+}
+
+TEST(RtpReceiver, RestartAcrossWrapCountsOneCycle) {
+  // A confirmed restart whose new position is numerically below the old
+  // highest really did cross the 16-bit wrap: exactly one cycle.
+  RtpReceiver rx;
+  rx.on_packet(packet_with_seq(0xFF00));
+  rx.on_packet(packet_with_seq(0x2000));
+  rx.on_packet(packet_with_seq(0x2001));
+  EXPECT_EQ(rx.highest_sequence(), 0x2001);
+  EXPECT_EQ(rx.extended_highest_sequence(), (1u << 16) | 0x2001);
+}
+
 }  // namespace
 }  // namespace ads
