@@ -1,0 +1,57 @@
+#include "buf/buf.hpp"
+
+namespace ads::buf {
+
+void BufRef::release() {
+  if (!b_) return;
+  PayloadBuf* b = b_;
+  b_ = nullptr;
+  if (--b->refs > 0) return;
+  BufPool* pool = b->pool ? *b->pool : nullptr;
+  if (pool) {
+    pool->recycle(b);
+  } else {
+    delete b;
+  }
+}
+
+BufPool::BufPool(std::size_t max_free)
+    : max_free_(max_free), self_(std::make_shared<BufPool*>(this)) {}
+
+BufPool::~BufPool() {
+  // Detach buffers still referenced elsewhere (e.g. retransmission caches
+  // outliving the pool): their last BufRef will self-delete them.
+  *self_ = nullptr;
+}
+
+BufRef BufPool::acquire(std::size_t reserve) {
+  ++stats_.acquires;
+  ++stats_.outstanding;
+  PayloadBuf* b = nullptr;
+  if (!free_.empty()) {
+    ++stats_.pool_hits;
+    b = free_.back().release();
+    free_.pop_back();
+  } else {
+    ++stats_.allocations;
+    b = new PayloadBuf;
+    b->pool = self_;
+  }
+  b->data.clear();
+  b->data.reserve(reserve);
+  b->refs = 1;
+  return BufRef(b);
+}
+
+void BufPool::recycle(PayloadBuf* b) {
+  if (stats_.outstanding > 0) --stats_.outstanding;
+  if (free_.size() < max_free_) {
+    ++stats_.recycles;
+    free_.emplace_back(b);
+  } else {
+    ++stats_.frees;
+    delete b;
+  }
+}
+
+}  // namespace ads::buf

@@ -1,0 +1,143 @@
+// Reference-counted, pool-recycled payload buffers for the zero-copy
+// datapath (ROADMAP item 2, DPDK-style mbuf pooling).
+//
+// A PayloadBuf is filled once — by the cohort packetise stage serialising a
+// band's fragment stream — and then shared read-only by every PacketView
+// that points into it: one buffer feeds N cohort members' packets plus their
+// retransmission-cache entries. The last BufRef to drop returns the buffer
+// (allocation intact) to its pool's free list.
+//
+// Threading contract: buffers and pool are confined to the event-loop/tick
+// thread, so the refcount is a plain integer, not an atomic. The parallel
+// encoder hands its results over *before* packetise touches a pool.
+//
+// Ownership rules (see docs/DATAPATH.md):
+//   * BufRef is the only handle; copying it bumps the refcount.
+//   * The fill stage must finish before the first PacketView is built; after
+//     that the contents are immutable by convention.
+//   * A pool may be destroyed while buffers are still referenced (e.g. a
+//     session tearing down with packets in a retransmission cache): such
+//     buffers detach and self-delete on their last release.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ads::buf {
+
+class BufPool;
+
+/// Pool-owned byte buffer plus its (single-threaded) refcount. Users never
+/// touch this directly — BufRef mediates every access.
+struct PayloadBuf {
+  /// The payload bytes. Capacity survives recycling.
+  Bytes data;
+  /// Outstanding BufRef handles.
+  std::uint32_t refs = 0;
+  /// Shared cell pointing at the owning pool; the pool's destructor nulls
+  /// the cell, detaching still-referenced buffers.
+  std::shared_ptr<BufPool*> pool;
+};
+
+/// Counting-semantics view of pool activity, published into telemetry by the
+/// owning component (datapath.pool.* in the AppHost).
+struct BufPoolStats {
+  std::uint64_t acquires = 0;     ///< total acquire() calls
+  std::uint64_t pool_hits = 0;    ///< acquires served from the free list
+  std::uint64_t allocations = 0;  ///< acquires that built a new buffer
+  std::uint64_t recycles = 0;     ///< releases that returned to the free list
+  std::uint64_t frees = 0;        ///< releases that deleted (list full/detached)
+  std::uint64_t outstanding = 0;  ///< buffers currently checked out
+};
+
+/// RAII handle to a PayloadBuf. Copyable (shares the buffer), movable.
+class BufRef {
+ public:
+  BufRef() = default;
+  /// Shares `o`'s buffer (refcount + 1).
+  BufRef(const BufRef& o) : b_(o.b_) {
+    if (b_) ++b_->refs;
+  }
+  /// Steals `o`'s reference.
+  BufRef(BufRef&& o) noexcept : b_(o.b_) { o.b_ = nullptr; }
+  /// Copy-assign: releases the current buffer, shares `o`'s.
+  BufRef& operator=(const BufRef& o) {
+    if (this != &o) {
+      release();
+      b_ = o.b_;
+      if (b_) ++b_->refs;
+    }
+    return *this;
+  }
+  /// Move-assign: releases the current buffer, steals `o`'s.
+  BufRef& operator=(BufRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      b_ = o.b_;
+      o.b_ = nullptr;
+    }
+    return *this;
+  }
+  ~BufRef() { release(); }
+
+  /// True when a buffer is attached.
+  explicit operator bool() const { return b_ != nullptr; }
+
+  /// Mutable bytes for the fill stage. Must not be resized once PacketViews
+  /// hold spans into the buffer.
+  Bytes& bytes() { return b_->data; }
+  /// Read-only view of the whole buffer (empty for an empty handle).
+  BytesView view() const { return b_ ? BytesView(b_->data) : BytesView(); }
+  /// Read-only view of `[offset, offset + len)`.
+  BytesView slice(std::size_t offset, std::size_t len) const {
+    return view().subspan(offset, len);
+  }
+  /// Current refcount (0 for an empty handle); exposed for tests/telemetry.
+  std::uint32_t refcount() const { return b_ ? b_->refs : 0; }
+
+  /// Drop this handle's reference; on the last drop the buffer recycles to
+  /// its pool (or deletes itself if the pool is gone / list is full).
+  void release();
+
+ private:
+  friend class BufPool;
+  explicit BufRef(PayloadBuf* b) : b_(b) {}
+
+  PayloadBuf* b_ = nullptr;
+};
+
+/// Free-list allocator for PayloadBufs. Not thread-safe by design (see file
+/// comment); one pool per AppHost.
+class BufPool {
+ public:
+  /// `max_free`: free-list cap — releases beyond it delete the buffer.
+  explicit BufPool(std::size_t max_free = 64);
+  ~BufPool();
+
+  BufPool(const BufPool&) = delete;
+  BufPool& operator=(const BufPool&) = delete;
+
+  /// Check out a buffer with at least `reserve` bytes of capacity, cleared.
+  BufRef acquire(std::size_t reserve);
+
+  /// Activity counters (mutated by acquire/release on the owning thread).
+  const BufPoolStats& stats() const { return stats_; }
+  /// Buffers currently parked on the free list.
+  std::size_t free_count() const { return free_.size(); }
+
+ private:
+  friend class BufRef;
+  /// Return `b` to the free list (or delete it when the list is at cap).
+  void recycle(PayloadBuf* b);
+
+  std::size_t max_free_;
+  std::vector<std::unique_ptr<PayloadBuf>> free_;
+  std::shared_ptr<BufPool*> self_;
+  BufPoolStats stats_;
+};
+
+}  // namespace ads::buf

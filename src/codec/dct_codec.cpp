@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "codec/zlib.hpp"
+#include "util/simd.hpp"
 
 namespace ads {
 namespace {
@@ -42,13 +43,19 @@ std::array<int, 64> scale_table(const std::array<int, 64>& base, int quality) {
 }
 
 struct DctBasis {
-  // cos((2x+1) u pi / 16) * c(u) precomputed.
+  // cos((2x+1) u pi / 16) * c(u) precomputed, plus flat row-major and
+  // transposed copies for the simd kernel (which broadcasts inputs and walks
+  // the transpose so per-output addition order matches the scalar loops).
   double t[8][8];
+  double flat[64];
+  double flat_t[64];
   DctBasis() {
     for (int u = 0; u < 8; ++u) {
       const double cu = u == 0 ? std::sqrt(0.5) : 1.0;
       for (int x = 0; x < 8; ++x) {
         t[u][x] = 0.5 * cu * std::cos((2 * x + 1) * u * M_PI / 16.0);
+        flat[u * 8 + x] = t[u][x];
+        flat_t[x * 8 + u] = t[u][x];
       }
     }
   }
@@ -61,23 +68,7 @@ const DctBasis& basis() {
 
 void fdct8x8(const double in[64], double out[64]) {
   const auto& b = basis();
-  double tmp[64];
-  // rows
-  for (int y = 0; y < 8; ++y) {
-    for (int u = 0; u < 8; ++u) {
-      double s = 0;
-      for (int x = 0; x < 8; ++x) s += in[y * 8 + x] * b.t[u][x];
-      tmp[y * 8 + u] = s;
-    }
-  }
-  // columns
-  for (int u = 0; u < 8; ++u) {
-    for (int v = 0; v < 8; ++v) {
-      double s = 0;
-      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + u] * b.t[v][y];
-      out[v * 8 + u] = s;
-    }
-  }
+  simd::fdct8x8(in, out, b.flat, b.flat_t);
 }
 
 void idct8x8(const double in[64], double out[64]) {
@@ -188,12 +179,7 @@ void dct_encode_into(const Image& img, const DctOptions& opts, Bytes& dest,
         double freq[64];
         fdct8x8(block, freq);
         int quant[64];
-        for (int i = 0; i < 64; ++i) {
-          const double v = freq[kZigzag[static_cast<std::size_t>(i)]] /
-                           q[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(i)])];
-          quant[i] = static_cast<int>(std::lround(v));
-          quant[i] = std::clamp(quant[i], -32768, 32767);
-        }
+        simd::dct_quantise(freq, q.data(), kZigzag.data(), quant);
         // DC delta within the channel improves the entropy stage.
         const int dc = quant[0];
         quant[0] = dc - prev_dc;

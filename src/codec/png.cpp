@@ -6,6 +6,7 @@
 
 #include "codec/zlib.hpp"
 #include "util/checksum.hpp"
+#include "util/simd.hpp"
 
 namespace ads {
 namespace {
@@ -33,28 +34,6 @@ std::uint8_t paeth(std::uint8_t a, std::uint8_t b, std::uint8_t c) {
   return c;
 }
 
-/// Apply filter `type` to `row` (length n, pixel stride bpp) given the
-/// previous scanline `prior` (may be null for the first row); writes into
-/// `out`.
-void filter_row(int type, const std::uint8_t* row, const std::uint8_t* prior,
-                std::size_t n, std::size_t bpp, std::uint8_t* out) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t x = row[i];
-    const std::uint8_t a = i >= bpp ? row[i - bpp] : 0;
-    const std::uint8_t b = prior ? prior[i] : 0;
-    const std::uint8_t c = (prior && i >= bpp) ? prior[i - bpp] : 0;
-    std::uint8_t v = 0;
-    switch (type) {
-      case 0: v = x; break;
-      case 1: v = static_cast<std::uint8_t>(x - a); break;
-      case 2: v = static_cast<std::uint8_t>(x - b); break;
-      case 3: v = static_cast<std::uint8_t>(x - (a + b) / 2); break;
-      case 4: v = static_cast<std::uint8_t>(x - paeth(a, b, c)); break;
-    }
-    out[i] = v;
-  }
-}
-
 void unfilter_row(int type, std::uint8_t* row, const std::uint8_t* prior, std::size_t n,
                   std::size_t bpp) {
   for (std::size_t i = 0; i < n; ++i) {
@@ -69,16 +48,6 @@ void unfilter_row(int type, std::uint8_t* row, const std::uint8_t* prior, std::s
       case 4: row[i] = static_cast<std::uint8_t>(row[i] + paeth(a, b, c)); break;
     }
   }
-}
-
-std::uint64_t abs_sum(const std::uint8_t* data, std::size_t n) {
-  // Sum of |signed interpretation|: the standard PNG filter heuristic.
-  std::uint64_t s = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto v = static_cast<std::int8_t>(data[i]);
-    s += static_cast<std::uint64_t>(v < 0 ? -v : v);
-  }
-  return s;
 }
 
 }  // namespace
@@ -128,15 +97,15 @@ void png_encode_into(const Image& img, const PngOptions& opts, Bytes& dest,
     int best_type = 0;
     std::uint64_t best_score = ~0ull;
     for (int type = 0; type < 5; ++type) {
-      filter_row(type, row, prior, stride, bpp, trial.data());
-      const std::uint64_t score = abs_sum(trial.data(), stride);
+      simd::png_filter_row(type, row, prior, stride, bpp, trial.data());
+      const std::uint64_t score = simd::png_abs_sum(trial.data(), stride);
       if (score < best_score) {
         best_score = score;
         best_type = type;
       }
     }
     dst[0] = static_cast<std::uint8_t>(best_type);
-    filter_row(best_type, row, prior, stride, bpp, dst + 1);
+    simd::png_filter_row(best_type, row, prior, stride, bpp, dst + 1);
   }
 
   ByteWriter out(std::move(dest));

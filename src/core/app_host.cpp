@@ -114,6 +114,17 @@ void AppHost::publish_metrics() {
   m.counter("fanout.cohorts").set(stats_.fanout_cohorts);
   m.counter("fanout.encodes_unique").set(stats_.fanout_encodes_unique);
   m.counter("fanout.encodes_shared").set(stats_.fanout_encodes_shared);
+  m.counter("datapath.packets_built").set(stats_.packets_built);
+  m.counter("datapath.payload_bytes_copied").set(stats_.payload_bytes_copied);
+  m.counter("datapath.band_streams_built").set(stats_.band_streams_built);
+  const buf::BufPoolStats& bp = pool_.stats();
+  m.counter("datapath.pool.acquires").set(bp.acquires);
+  m.counter("datapath.pool.hits").set(bp.pool_hits);
+  m.counter("datapath.pool.allocations").set(bp.allocations);
+  m.counter("datapath.pool.recycles").set(bp.recycles);
+  m.counter("datapath.pool.frees").set(bp.frees);
+  m.gauge("datapath.pool.outstanding")
+      .set(static_cast<std::int64_t>(bp.outstanding));
 
   const ParallelEncoder::Stats& es = encoder_.stats();
   m.counter("encoder.bands_requested").set(es.bands_requested);
@@ -322,33 +333,97 @@ ContentPt AppHost::codec_for(const ParticipantState& p) const {
   return p.codec.value_or(opts_.codec);
 }
 
-void AppHost::send_payload(ParticipantState& p, Bytes payload, bool marker,
-                           SimTime now) {
-  RtpPacket pkt = p.sender.make_packet(std::move(payload), marker, now);
-  const Bytes wire = pkt.serialize();
+void AppHost::transmit_view(ParticipantState& p, const PacketView& v, SimTime now) {
   ++stats_.rtp_packets_sent;
-  stats_.bytes_sent += wire.size();
+  ++stats_.packets_built;
+  stats_.bytes_sent += v.wire_size();
 
   if (p.endpoint.kind == HostEndpoint::Kind::kUdp) {
-    p.cache.put(pkt);
-    p.bucket.consume(wire.size(), now);
-    if (p.endpoint.send_datagram) p.endpoint.send_datagram(wire);
+    p.cache.put(v);  // shares the payload buffer: 16 header bytes + a ref
+    p.bucket.consume(v.wire_size(), now);
+    if (p.batching) {
+      p.tx_batch.push_back(v);
+      return;
+    }
+    if (p.endpoint.send_packet) {
+      p.endpoint.send_packet(v);
+      return;
+    }
+    if (p.endpoint.send_datagram) {
+      // View-unaware endpoint: materialise here and count the copy.
+      const Bytes wire = v.serialize();
+      stats_.payload_bytes_copied += wire.size();
+      p.endpoint.send_datagram(wire);
+    }
     return;
   }
 
   // TCP: RFC 4571 framing; a partial write carries over so frames are never
   // torn mid-stream.
-  auto framed = frame_packet(wire);
-  if (!framed.ok()) {
-    ADS_LOG(kWarn) << "RTP packet too large for RFC4571 framing: " << wire.size();
+  if (v.wire_size() > 0xFFFF) {
+    ADS_LOG(kWarn) << "RTP packet too large for RFC4571 framing: " << v.wire_size();
     return;
   }
-  p.stream_carry.insert(p.stream_carry.end(), framed->begin(), framed->end());
+  if (p.endpoint.write_gather) {
+    // Gather path: carry + length prefix + RTP header + shared payload go to
+    // the transport as one logical write — the same bytes, in the same
+    // single offer, as the staged fallback below, so segmentation and stats
+    // match byte-for-byte. Only the unaccepted suffix is re-staged.
+    std::array<BytesView, 3> parts;
+    std::size_t n = 0;
+    if (!p.stream_carry.empty()) parts[n++] = BytesView(p.stream_carry);
+    parts[n++] = v.framed_header();
+    parts[n++] = v.payload();
+    const std::span<const BytesView> offer(parts.data(), n);
+    std::size_t wrote = p.endpoint.write_gather(offer);
+    Bytes carry;
+    for (const BytesView& part : offer) {
+      const std::size_t taken = std::min(wrote, part.size());
+      wrote -= taken;
+      if (taken < part.size()) {
+        carry.insert(carry.end(), part.begin() + static_cast<std::ptrdiff_t>(taken),
+                     part.end());
+      }
+    }
+    stats_.payload_bytes_copied += carry.size();  // bytes physically re-staged
+    p.stream_carry = std::move(carry);
+    return;
+  }
+  // Staged fallback for endpoints without a gather callback.
+  const BytesView fh = v.framed_header();
+  const BytesView pl = v.payload();
+  stats_.payload_bytes_copied += v.framed_size();
+  p.stream_carry.insert(p.stream_carry.end(), fh.begin(), fh.end());
+  p.stream_carry.insert(p.stream_carry.end(), pl.begin(), pl.end());
   if (p.endpoint.write_stream) {
     const std::size_t wrote = p.endpoint.write_stream(p.stream_carry);
     p.stream_carry.erase(p.stream_carry.begin(),
                          p.stream_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
   }
+}
+
+void AppHost::begin_tx_batch(ParticipantState& p) {
+  p.batching = p.endpoint.kind == HostEndpoint::Kind::kUdp &&
+               p.endpoint.send_packet_batch != nullptr;
+}
+
+void AppHost::flush_tx(ParticipantState& p) {
+  if (!p.batching) return;
+  p.batching = false;
+  if (p.tx_batch.empty()) return;
+  p.endpoint.send_packet_batch(std::span<const PacketView>(p.tx_batch));
+  p.tx_batch.clear();
+}
+
+void AppHost::send_payload(ParticipantState& p, Bytes payload, bool marker,
+                           SimTime now) {
+  // Control-plane messages (WMI, MoveRectangle, pointer fragments) move
+  // their bytes into a pooled buffer — ownership transfer, not a copy.
+  const std::size_t length = payload.size();
+  buf::BufRef buf = pool_.acquire(0);
+  buf.bytes() = std::move(payload);
+  const PacketView v = p.sender.make_view(marker, now, std::move(buf), 0, length);
+  transmit_view(p, v, now);
 }
 
 void AppHost::send_wmi(ParticipantState& p) {
@@ -400,11 +475,29 @@ std::vector<Rect> AppHost::band_split(const std::vector<Rect>& rects) const {
   return queue;
 }
 
-std::vector<Rect> AppHost::packetize_regions(ParticipantState& p,
-                                             const std::vector<Rect>& queue,
-                                             std::vector<Bytes> payloads) {
+AppHost::BandStream AppHost::make_band_stream(const Rect& r, ContentPt pt,
+                                              Bytes content) {
+  RegionUpdate msg;
+  const Point centre{r.left + r.width / 2, r.top + r.height / 2};
+  msg.window_id = wm_.shared_window_at(centre).value_or(0);
+  msg.content_pt = static_cast<std::uint8_t>(pt);
+  msg.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.left));
+  msg.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.top));
+  msg.content = std::move(content);
+
+  BandStream bs;
+  bs.buf = pool_.acquire(msg.content.size() + 64);
+  bs.frags = fragment_region_update_into(msg, opts_.mtu_payload, bs.buf.bytes());
+  // The one staging copy of the datapath: content + fragment headers
+  // serialised into the pooled stream buffer.
+  stats_.payload_bytes_copied += bs.buf.bytes().size();
+  return bs;
+}
+
+std::vector<Rect> AppHost::packetize_regions(
+    ParticipantState& p, const std::vector<Rect>& queue,
+    const std::function<const BandStream&(std::size_t)>& stream_for) {
   const SimTime now = loop_.now();
-  const ContentPt pt = codec_for(p);
   const bool rate_limited =
       p.endpoint.kind == HostEndpoint::Kind::kUdp && !p.bucket.unlimited();
   std::vector<Rect> leftover;
@@ -415,17 +508,11 @@ std::vector<Rect> AppHost::packetize_regions(ParticipantState& p,
                       queue.end());
       break;
     }
-    const Rect& r = queue[i];
-    RegionUpdate msg;
-    const Point centre{r.left + r.width / 2, r.top + r.height / 2};
-    msg.window_id = wm_.shared_window_at(centre).value_or(0);
-    msg.content_pt = static_cast<std::uint8_t>(pt);
-    msg.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.left));
-    msg.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.top));
-    msg.content = std::move(payloads[i]);
-    auto frags = fragment_region_update(msg, opts_.mtu_payload);
-    for (auto& frag : frags) {
-      send_payload(p, std::move(frag.payload), frag.marker, now);
+    const BandStream& bs = stream_for(i);
+    for (const FragmentSpan& fs : bs.frags) {
+      const PacketView v =
+          p.sender.make_view(fs.marker, now, bs.buf, fs.offset, fs.length);
+      transmit_view(p, v, now);
     }
     ++stats_.region_updates_sent;
   }
@@ -452,7 +539,16 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
   }();
 
   telemetry::ScopedSpan packetise_span(tel_->trace, "ah.packetise");
-  return packetize_regions(p, queue, std::move(payloads));
+  // Per-participant streams, built lazily past the rate gate. Not counted
+  // as band_streams_built — that counter is the shared path's
+  // once-per-cohort serialisation signal.
+  std::vector<BandStream> streams(queue.size());
+  auto stream_for = [&](std::size_t i) -> const BandStream& {
+    BandStream& bs = streams[i];
+    if (!bs.buf) bs = make_band_stream(queue[i], pt, std::move(payloads[i]));
+    return bs;
+  };
+  return packetize_regions(p, queue, stream_for);
 }
 
 void AppHost::send_full_refresh(ParticipantState& p) {
@@ -547,6 +643,9 @@ void AppHost::distribute_legacy(const std::vector<MoveRectangle>& scrolls,
     bool was_current = false;
     if (!pre_send(p, scrolls, damage, was_current)) continue;
 
+    // One TX batch per participant turn: everything queued below goes to
+    // the transport in a single drain at the end of the turn.
+    begin_tx_batch(p);
     if (p.needs_wmi) send_wmi(p);
     if (p.needs_full_refresh) {
       send_full_refresh(p);
@@ -557,6 +656,7 @@ void AppHost::distribute_legacy(const std::vector<MoveRectangle>& scrolls,
       p.pointer_dirty = false;
       p.pointer_icon_dirty = false;
       ++p.frames_sent;
+      flush_tx(p);
       continue;
     }
 
@@ -580,6 +680,7 @@ void AppHost::distribute_legacy(const std::vector<MoveRectangle>& scrolls,
       p.pointer_icon_dirty = false;
     }
     ++p.frames_sent;
+    flush_tx(p);
   }
 }
 
@@ -642,6 +743,10 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     std::vector<Rect> bands;  ///< distinct bands, first-seen order
     std::map<std::array<std::int64_t, 4>, std::uint32_t> slot;
     std::vector<Bytes> payloads;
+    /// Per-band fragment streams, serialised lazily on first member use
+    /// (band_streams_built); every cohort member's packets are views into
+    /// these shared buffers.
+    std::vector<BandStream> streams;
     ContentPt pt = ContentPt::kRaw;
     EncodeParams params;
     std::uint64_t requested = 0;  ///< band sends across the cohort
@@ -666,6 +771,7 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     telemetry::ScopedSpan span(tel_->trace, "ah.encode");
     for (auto& [key, c] : cohorts) {
       c.payloads = encoder_.encode_regions(frame, c.bands, c.pt, c.params);
+      c.streams.resize(c.bands.size());
       stats_.fanout_encodes_unique += c.bands.size();
       stats_.fanout_encodes_shared += c.requested - c.bands.size();
     }
@@ -678,17 +784,26 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
   telemetry::ScopedSpan packetise_span(tel_->trace, "ah.packetise");
   for (SendPlan& sp : plan) {
     ParticipantState& p = *sp.p;
+    begin_tx_batch(p);
     if (p.needs_wmi) send_wmi(p);
     if (sp.send_mrs) {
       for (const MoveRectangle& mr : scrolls) send_move_rectangle(p, mr);
     }
-    std::vector<Bytes> payloads;
-    payloads.reserve(sp.bands.size());
-    if (!sp.bands.empty()) {
-      const Cohort& c = cohorts[sp.key];
-      for (const std::uint32_t s : sp.slots) payloads.push_back(c.payloads[s]);
-    }
-    auto leftover = packetize_regions(p, sp.bands, std::move(payloads));
+    // Cohort-mates cut their packets from the same lazily-serialised band
+    // streams: the fragment stream is payload-identical for every member
+    // (window id, origin, codec and content are operating-point facts), so
+    // one buffer fill fans out to the whole cohort.
+    Cohort* c = sp.bands.empty() ? nullptr : &cohorts[sp.key];
+    auto stream_for = [&](std::size_t i) -> const BandStream& {
+      const std::uint32_t s = sp.slots[i];
+      BandStream& bs = c->streams[s];
+      if (!bs.buf) {
+        bs = make_band_stream(c->bands[s], c->pt, std::move(c->payloads[s]));
+        ++stats_.band_streams_built;
+      }
+      return bs;
+    };
+    auto leftover = packetize_regions(p, sp.bands, stream_for);
     p.pending.clear();
     for (const Rect& r : leftover) p.pending.add(r);
     if (sp.full_refresh) {
@@ -703,6 +818,7 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
       p.pointer_icon_dirty = false;
     }
     ++p.frames_sent;
+    flush_tx(p);
   }
 }
 
@@ -880,16 +996,21 @@ void AppHost::handle_rtcp(ParticipantId from, BytesView packet) {
         it->second.bucket.available(loop_.now()) <= 0) {
       break;
     }
-    auto cached = it->second.cache.get(seq);
-    if (!cached) continue;
+    const PacketView* cached = it->second.cache.get(seq);
+    if (cached == nullptr) continue;
     // For a multicast group the repair goes to the whole group, healing
     // every member that lost the packet on its own last hop.
-    const Bytes wire = cached->serialize();
     ++stats_.retransmissions_sent;
-    stats_.bytes_sent += wire.size();
-    it->second.bucket.consume(wire.size(), loop_.now());
+    stats_.bytes_sent += cached->wire_size();
+    it->second.bucket.consume(cached->wire_size(), loop_.now());
     if (it->second.endpoint.kind == HostEndpoint::Kind::kUdp) {
-      if (it->second.endpoint.send_datagram) it->second.endpoint.send_datagram(wire);
+      if (it->second.endpoint.send_packet) {
+        it->second.endpoint.send_packet(*cached);
+      } else if (it->second.endpoint.send_datagram) {
+        const Bytes wire = cached->serialize();
+        stats_.payload_bytes_copied += wire.size();
+        it->second.endpoint.send_datagram(wire);
+      }
     }
   }
 }

@@ -22,9 +22,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <thread>
 
 #include "bfcp/floor_control.hpp"
+#include "buf/buf.hpp"
 #include "capture/screen_capturer.hpp"
 #include "codec/registry.hpp"
 #include "core/packet_classify.hpp"
@@ -34,7 +36,9 @@
 #include "net/rate_limiter.hpp"
 #include "rate/rate_controller.hpp"
 #include "remoting/message.hpp"
+#include "remoting/region_update.hpp"
 #include "rtp/framing.hpp"
+#include "rtp/packet_view.hpp"
 #include "rtp/retransmission_cache.hpp"
 #include "rtp/rtp_session.hpp"
 #include "sdp/sharing_session.hpp"
@@ -136,6 +140,20 @@ struct HostEndpoint {
   std::function<std::size_t(BytesView)> write_stream;
   /// TCP: current send-buffer backlog in bytes (the §7 select() signal).
   std::function<std::size_t()> backlog;
+  /// UDP, optional zero-copy path: transmit one header-plus-view packet
+  /// without materialising it up front. When unset the AH serialises into
+  /// send_datagram instead (and counts the copy).
+  std::function<bool(const PacketView&)> send_packet;
+  /// UDP, optional: drain one participant's per-tick TX batch in a single
+  /// call (packets in order); returns how many the transport accepted.
+  /// When unset packets go out one by one through send_packet/send_datagram.
+  std::function<std::size_t(std::span<const PacketView>)> send_packet_batch;
+  /// TCP, optional: gather-write — offer the concatenation of `parts` as
+  /// one stream write and return bytes accepted. Lets the AH hand carry +
+  /// RFC 4571 length prefix + RTP header + shared payload to the transport
+  /// without first concatenating them. When unset the AH stages framed
+  /// bytes through its carry buffer and uses write_stream.
+  std::function<std::size_t(std::span<const BytesView>)> write_gather;
 };
 
 /// The Application Host: owns capture, encode, fan-out, feedback handling
@@ -266,6 +284,15 @@ class AppHost {
     std::uint64_t fanout_cohorts = 0;         ///< operating-point cohorts formed
     std::uint64_t fanout_encodes_unique = 0;  ///< bands encoded once per cohort
     std::uint64_t fanout_encodes_shared = 0;  ///< band encodes saved by sharing
+    // Zero-copy datapath accounting (docs/DATAPATH.md). payload_bytes_copied
+    // counts sender-side staging copies only: band-stream serialisation, TCP
+    // carry staging, and fallback per-packet serialisation for endpoints
+    // without the view callbacks. Transport-level materialisation of a
+    // delivered datagram is the wire (the NIC-DMA analogue), not a copy.
+    std::uint64_t packets_built = 0;          ///< header-plus-view packets assembled
+    std::uint64_t payload_bytes_copied = 0;   ///< staging copies, in bytes
+    std::uint64_t band_streams_built = 0;     ///< fragment streams serialised once
+                                              ///< per cohort band (shared path)
   };
   /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
@@ -304,6 +331,12 @@ class AppHost {
     // or the §4.3 bucket keeps the flag armed.
     bool pointer_dirty = false;
     bool pointer_icon_dirty = false;
+    // Zero-copy TX batching: while `batching` is set (one participant's
+    // distribute turn, UDP endpoints with a send_packet_batch callback),
+    // transmit_view() queues packets here; flush_tx() drains them in one
+    // transport call at the end of the turn.
+    std::vector<PacketView> tx_batch;
+    bool batching = false;
 
     ParticipantState(std::uint8_t pt, std::uint64_t seed, std::size_t cache_size,
                      std::uint64_t rate_bps, std::size_t burst,
@@ -312,7 +345,28 @@ class AppHost {
           rate_ctrl(transport, adapt) {}
   };
 
+  /// One band's serialised fragment stream: a pooled buffer holding the
+  /// concatenated fragment payloads plus the per-fragment windows. Built
+  /// once, then shared by every PacketView cut from it.
+  struct BandStream {
+    buf::BufRef buf;
+    std::vector<FragmentSpan> frags;
+  };
+
   void schedule_tick();
+  /// Serialise one band's RegionUpdate fragment stream into a pooled buffer
+  /// (the single staging copy of the zero-copy datapath; counted in
+  /// payload_bytes_copied). `content` is consumed.
+  BandStream make_band_stream(const Rect& r, ContentPt pt, Bytes content);
+  /// Account for and hand one packet to the participant's transport: UDP →
+  /// retransmission cache + §4.3 bucket + batch/packet/datagram callback
+  /// (first available); TCP → RFC 4571 gather-write with carry, or the
+  /// staged carry + write_stream fallback.
+  void transmit_view(ParticipantState& p, const PacketView& v, SimTime now);
+  /// Arm per-turn TX batching for `p` when its endpoint can drain batches.
+  void begin_tx_batch(ParticipantState& p);
+  /// Drain `p`'s TX batch in one send_packet_batch call and disarm batching.
+  void flush_tx(ParticipantState& p);
   void send_payload(ParticipantState& p, Bytes payload, bool marker, SimTime now);
   void send_wmi(ParticipantState& p);
   void send_full_refresh(ParticipantState& p);
@@ -331,12 +385,16 @@ class AppHost {
   /// pending damage).
   bool pre_send(ParticipantState& p, const std::vector<MoveRectangle>& scrolls,
                 const std::vector<Rect>& damage, bool& was_current);
-  /// Fragment + transmit already-encoded band payloads (parallel to
-  /// `queue`) within the participant's rate budget; returns the bands that
+  /// Transmit already-encoded bands (parallel to `queue`) within the
+  /// participant's rate budget, cutting header-plus-view packets from each
+  /// band's fragment stream. `stream_for(i)` yields band i's stream, built
+  /// lazily so bands past the rate cut-off cost nothing; the shared path
+  /// passes cohort-owned streams (one serialisation feeds the whole
+  /// cohort), the legacy path per-participant ones. Returns the bands that
   /// must stay pending for the next tick.
-  std::vector<Rect> packetize_regions(ParticipantState& p,
-                                      const std::vector<Rect>& queue,
-                                      std::vector<Bytes> payloads);
+  std::vector<Rect> packetize_regions(
+      ParticipantState& p, const std::vector<Rect>& queue,
+      const std::function<const BandStream&(std::size_t)>& stream_for);
   /// Per-participant distribute (encode once per participant): the golden
   /// reference path, kept for A/B tests and the E17 baseline.
   void distribute_legacy(const std::vector<MoveRectangle>& scrolls,
@@ -368,6 +426,10 @@ class AppHost {
   ScreenCapturer capturer_;
   CodecRegistry codecs_;
   ParallelEncoder encoder_;
+  /// Payload-buffer pool for the zero-copy datapath. Declared before
+  /// participants_ (whose retransmission caches hold BufRefs) so teardown
+  /// order exercises the detach path only when the AH itself dies mid-hold.
+  buf::BufPool pool_;
   FloorControlServer floor_;
   std::map<ParticipantId, ParticipantState> participants_;
   std::map<ParticipantId, ParticipantId> member_alias_;  ///< member -> group

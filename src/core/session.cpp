@@ -1,6 +1,40 @@
 #include "core/session.hpp"
 
+#include <array>
+
 namespace ads {
+namespace {
+
+/// RFC 4571 gather-framed stream write: offer {carry, 2-byte length prefix,
+/// packet} to the channel as one send and re-stage the unaccepted suffix
+/// into `carry` — the same bytes, in the same single offer, as appending
+/// the framed packet to `carry` and writing that, without rebuilding the
+/// concatenation. Oversized packets are dropped, matching frame_packet().
+void gather_framed_write(TcpChannel& ch, Bytes& carry, BytesView packet) {
+  if (packet.size() > 0xFFFF) return;
+  const std::array<std::uint8_t, 2> prefix{
+      static_cast<std::uint8_t>(packet.size() >> 8),
+      static_cast<std::uint8_t>(packet.size() & 0xFF)};
+  std::array<BytesView, 3> parts;
+  std::size_t n = 0;
+  if (!carry.empty()) parts[n++] = BytesView(carry);
+  parts[n++] = BytesView(prefix.data(), prefix.size());
+  parts[n++] = packet;
+  const std::span<const BytesView> offer(parts.data(), n);
+  std::size_t wrote = ch.send_gather(offer);
+  Bytes rest;
+  for (const BytesView& part : offer) {
+    const std::size_t taken = std::min(wrote, part.size());
+    wrote -= taken;
+    if (taken < part.size()) {
+      rest.insert(rest.end(), part.begin() + static_cast<std::ptrdiff_t>(taken),
+                  part.end());
+    }
+  }
+  carry = std::move(rest);
+}
+
+}  // namespace
 
 SharingSession::SharingSession(AppHostOptions host_opts)
     : host_(loop_, host_opts) {
@@ -178,6 +212,10 @@ void SharingSession::reconnect_tcp(Connection& c, TcpLinkConfig link) {
   endpoint.write_stream = [down = c.down_tcp.get()](BytesView d) {
     return down->send(d);
   };
+  endpoint.write_gather =
+      [down = c.down_tcp.get()](std::span<const BytesView> parts) {
+        return down->send_gather(parts);
+      };
   endpoint.backlog = [down = c.down_tcp.get()] { return down->backlog_bytes(); };
   // Same id: BFCP floor state and HIP identity survive; re-registering as a
   // TCP endpoint queues the §4.4 late-join resync (WMI + full refresh), and
@@ -213,6 +251,13 @@ SharingSession::Connection& SharingSession::add_udp_participant(
   endpoint.send_datagram = [down = c->down_udp.get()](BytesView d) {
     return down->send(d);
   };
+  endpoint.send_packet = [down = c->down_udp.get()](const PacketView& pkt) {
+    return down->send_packet(pkt);
+  };
+  endpoint.send_packet_batch =
+      [down = c->down_udp.get()](std::span<const PacketView> pkts) {
+        return down->send_batch(pkts);
+      };
   c->id = host_.add_participant(std::move(endpoint));
   opts.user_id = c->id;
 
@@ -250,6 +295,10 @@ SharingSession::Connection& SharingSession::add_tcp_participant(
   endpoint.write_stream = [down = c->down_tcp.get()](BytesView d) {
     return down->send(d);
   };
+  endpoint.write_gather =
+      [down = c->down_tcp.get()](std::span<const BytesView> parts) {
+        return down->send_gather(parts);
+      };
   endpoint.backlog = [down = c->down_tcp.get()] { return down->backlog_bytes(); };
   c->id = host_.add_participant(std::move(endpoint));
   opts.user_id = c->id;
@@ -260,18 +309,14 @@ SharingSession::Connection& SharingSession::add_tcp_participant(
   c->up_tcp->set_receiver([this, id = c->id](Bytes data) {
     host_.on_uplink_stream(id, data);
   });
-  // Participant emits packets; the session adds RFC 4571 framing and
-  // carries over partial writes. Routed through the Connection (not a raw
-  // channel pointer) so the closure survives eviction teardown and keeps
-  // working against the fresh channel after reconnect_tcp().
+  // Participant emits packets; the session adds RFC 4571 framing via a
+  // gather-write (length prefix and packet go to the channel as-is, only
+  // the unaccepted suffix is re-staged). Routed through the Connection (not
+  // a raw channel pointer) so the closure survives eviction teardown and
+  // keeps working against the fresh channel after reconnect_tcp().
   c->participant->set_uplink([c](BytesView packet) {
     if (!c->up_tcp) return;
-    auto framed = frame_packet(packet);
-    if (!framed.ok()) return;
-    c->up_carry.insert(c->up_carry.end(), framed->begin(), framed->end());
-    const std::size_t wrote = c->up_tcp->send(c->up_carry);
-    c->up_carry.erase(c->up_carry.begin(),
-                      c->up_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+    gather_framed_write(*c->up_tcp, c->up_carry, packet);
   });
 
   connections_.push_back(std::move(conn));
@@ -287,6 +332,13 @@ SharingSession::MulticastSession& SharingSession::add_multicast_session() {
   endpoint.send_datagram = [group = mc->group.get()](BytesView d) {
     return group->send(d);
   };
+  endpoint.send_packet = [group = mc->group.get()](const PacketView& pkt) {
+    return group->send_packet(pkt);
+  };
+  endpoint.send_packet_batch =
+      [group = mc->group.get()](std::span<const PacketView> pkts) {
+        return group->send_batch(pkts);
+      };
   mc->group_id = host_.add_participant(std::move(endpoint));
 
   multicast_.push_back(std::move(mc));

@@ -1,21 +1,27 @@
 #include "image/damage.hpp"
 
+#include "util/simd.hpp"
+
 namespace ads {
 
 std::uint64_t hash_rect(const Image& img, const Rect& r) {
+  constexpr std::uint64_t kOffset = 0xCBF29CE484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001B3ull;
   const Rect c = intersect(r, img.bounds());
-  std::uint64_t h = 0xCBF29CE484222325ull;
+  // Lane phase restarts at each row (i & 3 within the row), so the kernel
+  // always consumes aligned groups of four from the row start.
+  std::uint64_t lanes[4] = {kOffset ^ 1, kOffset ^ 2, kOffset ^ 3, kOffset ^ 4};
+  std::uint64_t pixels = 0;
   for (std::int64_t y = c.top; y < c.bottom(); ++y) {
     auto row = img.row(y).subspan(static_cast<std::size_t>(c.left),
                                   static_cast<std::size_t>(c.width));
-    for (const Pixel& p : row) {
-      const std::uint32_t v = static_cast<std::uint32_t>(p.r) << 24 |
-                              static_cast<std::uint32_t>(p.g) << 16 |
-                              static_cast<std::uint32_t>(p.b) << 8 | p.a;
-      h = (h ^ v) * 0x100000001B3ull;
-    }
+    simd::fnv4_absorb(lanes, reinterpret_cast<const std::uint8_t*>(row.data()),
+                      row.size());
+    pixels += row.size();
   }
-  return h;
+  std::uint64_t h = kOffset;
+  for (const std::uint64_t lane : lanes) h = (h ^ lane) * kPrime;
+  return (h ^ pixels) * kPrime;
 }
 
 std::vector<Rect> diff_rects(const Image& before, const Image& after,

@@ -12,7 +12,10 @@
 
 namespace ads {
 
-/// 64-bit FNV-1a hash of a pixel rectangle.
+/// 64-bit hash of a pixel rectangle: four interleaved FNV-1a lanes (pixel i
+/// updates lane i&3 within its row) folded together with the pixel count.
+/// The stripe makes the multiply chains independent so the kernel
+/// vectorises; only hash *equality* is meaningful to callers.
 std::uint64_t hash_rect(const Image& img, const Rect& r);
 
 /// Stateless tile diff of two equally-sized images: the areas where they

@@ -37,6 +37,26 @@ class MulticastGroup {
     return any;
   }
 
+  /// Replicate one header-plus-view packet to every member. Admission and
+  /// loss behaviour match send() on the serialised bytes; each member
+  /// channel materialises only the datagrams it actually delivers.
+  bool send_packet(const PacketView& pkt) {
+    ++datagrams_sent_;
+    bool any = false;
+    for (auto& member : members_) any |= member->send_packet(pkt);
+    return any;
+  }
+
+  /// Drain a TX batch to the whole group, in order. Returns how many
+  /// packets at least one member's queue accepted.
+  std::size_t send_batch(std::span<const PacketView> pkts) {
+    std::size_t accepted = 0;
+    for (const PacketView& pkt : pkts) {
+      if (send_packet(pkt)) ++accepted;
+    }
+    return accepted;
+  }
+
   /// Number of member channels.
   std::size_t member_count() const { return members_.size(); }
   /// Datagrams the AH has sent to the group (once each, pre-replication).

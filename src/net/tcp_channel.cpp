@@ -61,12 +61,20 @@ void TcpChannel::drop() {
 }
 
 std::size_t TcpChannel::send(BytesView data) {
-  stats_.bytes_offered += data.size();
+  const BytesView parts[] = {data};
+  return send_gather(parts);
+}
+
+std::size_t TcpChannel::send_gather(std::span<const BytesView> parts) {
+  std::size_t total = 0;
+  for (const BytesView& p : parts) total += p.size();
+
+  stats_.bytes_offered += total;
   if (down_) return 0;
   if (backlog_hist_ != nullptr) backlog_hist_->observe(backlog_bytes());
   if (stalled_) {
     // Zero-window peer: nothing accepted, wire keeps draining.
-    if (!data.empty()) ++stats_.partial_writes;
+    if (total != 0) ++stats_.partial_writes;
     publish_backlog_gauge();
     return 0;
   }
@@ -78,8 +86,8 @@ std::size_t TcpChannel::send(BytesView data) {
   }
 
   const std::size_t space = free_space();
-  const std::size_t take = std::min(space, data.size());
-  if (take < data.size()) ++stats_.partial_writes;
+  const std::size_t take = std::min(space, total);
+  if (take < total) ++stats_.partial_writes;
   if (take == 0) {
     publish_backlog_gauge();
     return 0;
@@ -90,7 +98,14 @@ std::size_t TcpChannel::send(BytesView data) {
   link_free_at_ = start + serialize_us;
 
   Segment seg;
-  seg.data.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(take));
+  seg.data.reserve(take);
+  std::size_t remaining = take;
+  for (const BytesView& p : parts) {
+    if (remaining == 0) break;
+    const std::size_t n = std::min(remaining, p.size());
+    seg.data.insert(seg.data.end(), p.begin(), p.begin() + static_cast<std::ptrdiff_t>(n));
+    remaining -= n;
+  }
   seg.fully_serialised_at = link_free_at_;
   const SimTime arrive = link_free_at_ + opts_.delay_us;
   in_flight_.push_back(seg);

@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "net/event_loop.hpp"
 #include "telemetry/telemetry.hpp"
@@ -58,6 +59,14 @@ class TcpChannel {
   /// non-blocking socket). Never blocks. Accepts nothing while stalled or
   /// after drop().
   std::size_t send(BytesView data);
+
+  /// Gather-write: offer the concatenation of `parts` as one send() without
+  /// the caller having to build that concatenation. Acceptance, segmentation
+  /// and stats are byte-for-byte identical to send() on the joined bytes;
+  /// only the accepted prefix is copied (once, into the wire segment). The
+  /// accepted prefix may end mid-part — the caller re-offers the remainder
+  /// later, exactly as with a partial send().
+  std::size_t send_gather(std::span<const BytesView> parts);
 
   /// Bytes accepted but not yet serialised onto the wire — the §7 backlog
   /// signal. Zero means a write of at least one byte would succeed

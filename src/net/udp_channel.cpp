@@ -21,26 +21,31 @@ void UdpChannel::set_loss(double loss) {
   rng_ = Prng(opts_.seed + 0x9E3779B97F4A7C15ull * loss_episode_);
 }
 
-bool UdpChannel::send(BytesView datagram) {
+bool UdpChannel::admit(std::size_t size, SimTime& depart) {
   ++stats_.sent;
 
-  SimTime depart = loop_.now();
+  depart = loop_.now();
   if (opts_.bandwidth_bps > 0) {
     // Bytes already queued ahead of this datagram.
     const SimTime backlog_us =
         link_free_at_ > loop_.now() ? link_free_at_ - loop_.now() : 0;
     const std::uint64_t backlog_bytes = backlog_us * opts_.bandwidth_bps / 8 / 1000000;
-    if (backlog_bytes + datagram.size() > opts_.queue_bytes) {
+    if (backlog_bytes + size > opts_.queue_bytes) {
       ++stats_.queue_dropped;
       return false;
     }
-    const SimTime serialize_us =
-        datagram.size() * 8ull * 1000000ull / opts_.bandwidth_bps;
+    const SimTime serialize_us = size * 8ull * 1000000ull / opts_.bandwidth_bps;
     const SimTime start = std::max(link_free_at_, loop_.now());
     link_free_at_ = start + serialize_us;
     depart = link_free_at_;
   }
   if (queue_delay_us_ != nullptr) queue_delay_us_->observe(depart - loop_.now());
+  return true;
+}
+
+bool UdpChannel::send(BytesView datagram) {
+  SimTime depart = 0;
+  if (!admit(datagram.size(), depart)) return false;
 
   if (rng_.chance(opts_.loss)) {
     ++stats_.lost;
@@ -56,6 +61,32 @@ bool UdpChannel::send(BytesView datagram) {
     schedule_delivery(std::move(dup), depart);
   }
   return true;
+}
+
+bool UdpChannel::send_packet(const PacketView& pkt) {
+  SimTime depart = 0;
+  if (!admit(pkt.wire_size(), depart)) return false;
+
+  if (rng_.chance(opts_.loss)) {
+    ++stats_.lost;
+    return true;  // lost before materialisation: zero copies
+  }
+
+  schedule_delivery(pkt.serialize(), depart);
+
+  if (rng_.chance(opts_.duplicate)) {
+    ++stats_.duplicated;
+    schedule_delivery(pkt.serialize(), depart);
+  }
+  return true;
+}
+
+std::size_t UdpChannel::send_batch(std::span<const PacketView> pkts) {
+  std::size_t accepted = 0;
+  for (const PacketView& pkt : pkts) {
+    if (send_packet(pkt)) ++accepted;
+  }
+  return accepted;
 }
 
 void UdpChannel::schedule_delivery(Bytes datagram, SimTime depart) {

@@ -9,8 +9,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "net/event_loop.hpp"
+#include "rtp/packet_view.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
 #include "util/prng.hpp"
@@ -46,6 +48,19 @@ class UdpChannel {
   /// Enqueue one datagram. Returns false if the interface queue tail-dropped
   /// it (the datagram is gone; UDP gives no signal beyond this return).
   bool send(BytesView datagram);
+
+  /// Enqueue one header-plus-view packet. Identical admission, loss and
+  /// timing behaviour to send() on the serialised bytes, but the datagram is
+  /// only materialised (header + shared payload gathered into one buffer)
+  /// when it is actually scheduled for delivery — a tail-dropped or lost
+  /// packet costs zero payload copies.
+  bool send_packet(const PacketView& pkt);
+
+  /// Drain a per-tick TX batch in one call. Packets are admitted in order
+  /// and every one is attempted — a tail drop does not stop the batch,
+  /// matching back-to-back send_packet() calls exactly. Returns how many
+  /// the interface queue accepted.
+  std::size_t send_batch(std::span<const PacketView> pkts);
 
   /// Current random-loss probability.
   double loss() const { return opts_.loss; }
@@ -86,6 +101,12 @@ class UdpChannel {
   void reset_stats() { stats_ = {}; }
 
  private:
+  /// Run the shared admission path (sent counter, bandwidth backlog, queue
+  /// tail-drop, queue-delay telemetry) for a datagram of `size` bytes.
+  /// Returns false on tail drop; otherwise `depart` is the serialisation
+  /// completion time.
+  bool admit(std::size_t size, SimTime& depart);
+
   void schedule_delivery(Bytes datagram, SimTime depart);
 
   EventLoop& loop_;

@@ -61,6 +61,49 @@ std::vector<RegionUpdateFragment> fragment_region_update(const RegionUpdate& msg
   return out;
 }
 
+std::vector<FragmentSpan> fragment_region_update_into(const RegionUpdate& msg,
+                                                      std::size_t max_payload,
+                                                      Bytes& dest,
+                                                      RemotingType type) {
+  assert(max_payload > kFirstHeader);
+  std::vector<FragmentSpan> out;
+  // ByteWriter's adopting constructor clears: stash any existing content and
+  // re-write it first. The hot path (a cleared pooled buffer) has an empty
+  // prefix, so it pays nothing and keeps the recycled allocation.
+  const Bytes prefix(dest);
+  ByteWriter w(std::move(dest));
+  w.bytes(prefix);
+
+  const std::size_t first_room = max_payload - kFirstHeader;
+  const std::size_t cont_room = max_payload - CommonHeader::kSize;
+
+  std::size_t offset = std::min(msg.content.size(), first_room);
+  {
+    FragmentSpan span;
+    span.offset = static_cast<std::uint32_t>(w.size());
+    write_common(w, type, msg, /*first=*/true);
+    w.u32(msg.left);
+    w.u32(msg.top);
+    w.bytes(BytesView(msg.content).first(offset));
+    span.length = static_cast<std::uint32_t>(w.size() - span.offset);
+    span.marker = offset == msg.content.size();
+    out.push_back(span);
+  }
+  while (offset < msg.content.size()) {
+    const std::size_t take = std::min(cont_room, msg.content.size() - offset);
+    FragmentSpan span;
+    span.offset = static_cast<std::uint32_t>(w.size());
+    write_common(w, type, msg, /*first=*/false);
+    w.bytes(BytesView(msg.content).subspan(offset, take));
+    span.length = static_cast<std::uint32_t>(w.size() - span.offset);
+    offset += take;
+    span.marker = offset == msg.content.size();
+    out.push_back(span);
+  }
+  dest = w.take();
+  return out;
+}
+
 Result<std::optional<RegionUpdate>> RegionUpdateReassembler::feed(BytesView payload,
                                                                   bool marker) {
   ByteReader in(payload);

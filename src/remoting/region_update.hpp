@@ -46,6 +46,26 @@ std::vector<RegionUpdateFragment> fragment_region_update(
     const RegionUpdate& msg, std::size_t max_payload,
     RemotingType type = RemotingType::kRegionUpdate);
 
+/// One fragment's window into a serialised fragment stream (see
+/// fragment_region_update_into) plus the RTP marker bit it must carry.
+struct FragmentSpan {
+  std::uint32_t offset = 0;  ///< byte offset into the stream buffer
+  std::uint32_t length = 0;  ///< fragment payload length
+  bool marker = false;       ///< closes the message (last fragment)
+};
+
+/// Zero-copy variant of fragment_region_update: appends the concatenated
+/// fragment payloads to `dest` (one contiguous stream, written once) and
+/// returns the per-fragment windows. Each window's bytes are identical to
+/// the corresponding fragment_region_update(...)[i].payload, so packets can
+/// be built as header-plus-view (ads::PacketView) into a shared buffer —
+/// every field serialised here (window id, content payload type, origin,
+/// content) is participant-independent, which is what lets one stream feed
+/// a whole fan-out cohort.
+std::vector<FragmentSpan> fragment_region_update_into(
+    const RegionUpdate& msg, std::size_t max_payload, Bytes& dest,
+    RemotingType type = RemotingType::kRegionUpdate);
+
 /// Reassembles RegionUpdate (and MousePointerInfo, which shares the
 /// format) messages from in-order fragments.
 class RegionUpdateReassembler {

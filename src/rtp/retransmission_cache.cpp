@@ -2,12 +2,13 @@
 
 namespace ads {
 
-void RetransmissionCache::put(const RtpPacket& pkt) {
+void RetransmissionCache::put(PacketView pkt) {
   if (capacity_ == 0) return;
-  auto [it, inserted] = by_seq_.insert_or_assign(pkt.sequence, pkt);
+  const std::uint16_t seq = pkt.sequence();
+  auto [it, inserted] = by_seq_.insert_or_assign(seq, std::move(pkt));
   (void)it;
   if (inserted) {
-    order_.push_back(pkt.sequence);
+    order_.push_back(seq);
     while (order_.size() > capacity_) {
       by_seq_.erase(order_.front());
       order_.pop_front();
@@ -16,14 +17,14 @@ void RetransmissionCache::put(const RtpPacket& pkt) {
   }
 }
 
-std::optional<RtpPacket> RetransmissionCache::get(std::uint16_t sequence) const {
+const PacketView* RetransmissionCache::get(std::uint16_t sequence) const {
   auto it = by_seq_.find(sequence);
   if (it == by_seq_.end()) {
     ++misses_;
-    return std::nullopt;
+    return nullptr;
   }
   ++hits_;
-  return it->second;
+  return &it->second;
 }
 
 }  // namespace ads

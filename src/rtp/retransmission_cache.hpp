@@ -2,14 +2,18 @@
 // "retransmissions=yes" (§9.3.1), the AH answers Generic NACKs by resending
 // cached packets. The cache holds the most recent `capacity` packets keyed
 // by sequence number.
+//
+// Entries are PacketViews: a cached packet holds a reference into the shared
+// payload buffer it was originally sent from (ads::buf), not a copy — so N
+// cohort members caching the same band pin one buffer, and putting a packet
+// costs 16 bytes of header storage plus a refcount bump.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <optional>
 #include <unordered_map>
 
-#include "rtp/rtp_packet.hpp"
+#include "rtp/packet_view.hpp"
 
 namespace ads {
 
@@ -17,10 +21,12 @@ class RetransmissionCache {
  public:
   explicit RetransmissionCache(std::size_t capacity = 1024) : capacity_(capacity) {}
 
-  void put(const RtpPacket& pkt);
+  /// Retain `pkt` (sharing its payload buffer) under its sequence number.
+  void put(PacketView pkt);
 
-  /// The cached packet for `sequence`, if still retained.
-  std::optional<RtpPacket> get(std::uint16_t sequence) const;
+  /// The cached packet for `sequence`, or nullptr if no longer retained.
+  /// The pointer is valid until the next put().
+  const PacketView* get(std::uint16_t sequence) const;
 
   std::size_t size() const { return order_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -33,7 +39,7 @@ class RetransmissionCache {
   std::size_t capacity_;
   std::uint64_t evictions_ = 0;
   std::deque<std::uint16_t> order_;
-  std::unordered_map<std::uint16_t, RtpPacket> by_seq_;
+  std::unordered_map<std::uint16_t, PacketView> by_seq_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
 };

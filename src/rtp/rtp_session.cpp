@@ -27,6 +27,17 @@ RtpPacket RtpSender::make_packet(Bytes payload, bool marker, std::uint64_t now_u
   return pkt;
 }
 
+PacketView RtpSender::make_view(bool marker, std::uint64_t now_us,
+                                buf::BufRef buf, std::size_t offset,
+                                std::size_t length) {
+  PacketView v = PacketView::build(marker, payload_type_, next_seq_++,
+                                   timestamp_at(now_us), ssrc_, std::move(buf),
+                                   offset, length);
+  ++packets_sent_;
+  bytes_sent_ += v.wire_size();
+  return v;
+}
+
 bool RtpReceiver::on_packet(const RtpPacket& pkt, SimTimeUs arrival_us) {
   // RFC 3550 A.8 interarrival jitter, in 90 kHz ticks.
   const std::int64_t arrival_ticks =

@@ -8,6 +8,8 @@
 #include <set>
 #include <vector>
 
+#include "buf/buf.hpp"
+#include "rtp/packet_view.hpp"
 #include "rtp/rtcp.hpp"
 #include "rtp/rtp_packet.hpp"
 #include "util/prng.hpp"
@@ -36,6 +38,13 @@ class RtpSender {
   /// Build (and account) the next packet. `now_us` is the sender clock;
   /// the RTP timestamp is initial_ts + 90 kHz ticks since stream start.
   RtpPacket make_packet(Bytes payload, bool marker, std::uint64_t now_us);
+
+  /// Zero-copy variant of make_packet: stamps the same header fields onto a
+  /// PacketView whose payload is `buf[offset, offset + length)`. Sequence,
+  /// timestamp and the packets/bytes accounting advance exactly as for
+  /// make_packet, so the two forms are interchangeable on one stream.
+  PacketView make_view(bool marker, std::uint64_t now_us, buf::BufRef buf,
+                       std::size_t offset, std::size_t length);
 
   /// Timestamp that make_packet would use at `now_us` — needed because all
   /// fragments of one RegionUpdate must share one timestamp (§5.1.1).

@@ -1,33 +1,13 @@
 #include "util/checksum.hpp"
 
-#include <array>
+#include "util/simd.hpp"
 
 namespace ads {
-namespace {
 
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t n = 0; n < 256; ++n) {
-    std::uint32_t c = n;
-    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-    table[n] = c;
-  }
-  return table;
-}
-
-constexpr auto kCrcTable = make_crc_table();
-
-// Largest run of bytes Adler-32 can absorb before the 32-bit sums must be
-// reduced modulo 65521 (the standard zlib NMAX constant).
-constexpr std::size_t kAdlerNmax = 5552;
-constexpr std::uint32_t kAdlerMod = 65521;
-
-}  // namespace
-
-void Crc32::update(std::uint8_t byte) { crc_ = kCrcTable[(crc_ ^ byte) & 0xFF] ^ (crc_ >> 8); }
+void Crc32::update(std::uint8_t byte) { crc_ = simd::crc32_absorb_scalar(crc_, &byte, 1); }
 
 void Crc32::update(BytesView data) {
-  for (std::uint8_t b : data) update(b);
+  crc_ = simd::crc32_absorb(crc_, data.data(), data.size());
 }
 
 std::uint32_t crc32(BytesView data) {
@@ -37,17 +17,7 @@ std::uint32_t crc32(BytesView data) {
 }
 
 void Adler32::update(BytesView data) {
-  std::size_t i = 0;
-  while (i < data.size()) {
-    std::size_t chunk = std::min(kAdlerNmax, data.size() - i);
-    for (std::size_t j = 0; j < chunk; ++j) {
-      s1_ += data[i + j];
-      s2_ += s1_;
-    }
-    s1_ %= kAdlerMod;
-    s2_ %= kAdlerMod;
-    i += chunk;
-  }
+  simd::adler32_absorb(s1_, s2_, data.data(), data.size());
 }
 
 std::uint32_t adler32(BytesView data) {

@@ -1,0 +1,606 @@
+#include "util/simd.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(ADS_SIMD_ENABLED) && defined(__x86_64__)
+#define ADS_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define ADS_SIMD_X86 0
+#endif
+
+namespace ads::simd {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+constexpr std::size_t kAdlerNmax = 5552;
+constexpr std::uint32_t kAdlerMod = 65521;
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+std::uint8_t paeth_byte(std::uint8_t a, std::uint8_t b, std::uint8_t c) {
+  const int p = static_cast<int>(a) + b - c;
+  const int pa = std::abs(p - a);
+  const int pb = std::abs(p - b);
+  const int pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) return a;
+  if (pb <= pc) return b;
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalar references. These are the pre-SIMD implementations, byte for byte;
+// the dispatched entry points must match them exactly on every input.
+// ---------------------------------------------------------------------------
+
+void adler32_absorb_scalar(std::uint32_t& s1, std::uint32_t& s2,
+                           const std::uint8_t* data, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t chunk = std::min(kAdlerNmax, n - i);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      s1 += data[i + j];
+      s2 += s1;
+    }
+    s1 %= kAdlerMod;
+    s2 %= kAdlerMod;
+    i += chunk;
+  }
+}
+
+std::uint32_t crc32_absorb_scalar(std::uint32_t crc, const std::uint8_t* data,
+                                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    crc = kCrcTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  return crc;
+}
+
+void fnv4_absorb_scalar(std::uint64_t lanes[4], const std::uint8_t* rgba,
+                        std::size_t n_pixels) {
+  for (std::size_t i = 0; i < n_pixels; ++i) {
+    const std::uint8_t* q = rgba + i * 4;
+    const std::uint32_t v = static_cast<std::uint32_t>(q[0]) << 24 |
+                            static_cast<std::uint32_t>(q[1]) << 16 |
+                            static_cast<std::uint32_t>(q[2]) << 8 | q[3];
+    lanes[i & 3] = (lanes[i & 3] ^ v) * kFnvPrime;
+  }
+}
+
+namespace {
+
+// Scalar filter over the index range [begin, end) with whole-row semantics
+// (a/c reach back across `begin`); shared by the reference path and the
+// vector path's head/tail handling.
+void png_filter_range(int type, const std::uint8_t* row, const std::uint8_t* prior,
+                      std::size_t begin, std::size_t end, std::size_t bpp,
+                      std::uint8_t* out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint8_t x = row[i];
+    const std::uint8_t a = i >= bpp ? row[i - bpp] : 0;
+    const std::uint8_t b = prior ? prior[i] : 0;
+    const std::uint8_t c = (prior && i >= bpp) ? prior[i - bpp] : 0;
+    std::uint8_t v = 0;
+    switch (type) {
+      case 0: v = x; break;
+      case 1: v = static_cast<std::uint8_t>(x - a); break;
+      case 2: v = static_cast<std::uint8_t>(x - b); break;
+      case 3: v = static_cast<std::uint8_t>(x - (a + b) / 2); break;
+      case 4: v = static_cast<std::uint8_t>(x - paeth_byte(a, b, c)); break;
+    }
+    out[i] = v;
+  }
+}
+
+}  // namespace
+
+void png_filter_row_scalar(int type, const std::uint8_t* row,
+                           const std::uint8_t* prior, std::size_t n, std::size_t bpp,
+                           std::uint8_t* out) {
+  png_filter_range(type, row, prior, 0, n, bpp, out);
+}
+
+std::uint64_t png_abs_sum_scalar(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::int8_t>(data[i]);
+    s += static_cast<std::uint64_t>(v < 0 ? -v : v);
+  }
+  return s;
+}
+
+void fdct8x8_scalar(const double in[64], double out[64], const double basis[64],
+                    const double basis_t[64]) {
+  (void)basis_t;
+  double tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double s = 0;
+      for (int x = 0; x < 8; ++x) s += in[y * 8 + x] * basis[u * 8 + x];
+      tmp[y * 8 + u] = s;
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double s = 0;
+      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + u] * basis[v * 8 + y];
+      out[v * 8 + u] = s;
+    }
+  }
+}
+
+void dct_quantise_scalar(const double freq[64], const int q[64],
+                         const int zigzag[64], int out[64]) {
+  for (int i = 0; i < 64; ++i) {
+    const int z = zigzag[i];
+    const double v = freq[z] / q[z];
+    out[i] = std::clamp(static_cast<int>(std::lround(v)), -32768, 32767);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vector implementations.
+// ---------------------------------------------------------------------------
+
+#if ADS_SIMD_X86
+
+#define ADS_TARGET_AVX2 __attribute__((target("avx2")))
+#define ADS_TARGET_CLMUL __attribute__((target("pclmul,sse4.1")))
+
+namespace {
+
+ADS_TARGET_AVX2
+void adler32_absorb_avx2(std::uint32_t& s1r, std::uint32_t& s2r,
+                         const std::uint8_t* data, std::size_t n) {
+  std::uint32_t s1 = s1r;
+  std::uint32_t s2 = s2r;
+  const __m256i zero = _mm256_setzero_si256();
+  // Byte j of a 32-byte block contributes (32 - j)·d_j to s2 within the
+  // block, plus 32·s1_before_block handled via the vs1s accumulator.
+  const __m256i weights = _mm256_setr_epi8(
+      32, 31, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 19, 18, 17, 16, 15, 14,
+      13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1);
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t chunk = std::min(kAdlerNmax, n - i);
+    const std::size_t blocks = chunk / 32;
+    std::size_t j = 0;
+    if (blocks > 0) {
+      // NMAX chunking guarantees the true (unreduced) sums fit in 32 bits,
+      // and every vector lane's partial is a subset of the true sum, so
+      // 32-bit lane arithmetic never wraps.
+      __m256i vs1 = _mm256_set_epi32(0, 0, 0, 0, 0, 0, 0, static_cast<int>(s1));
+      __m256i vs2 = _mm256_set_epi32(0, 0, 0, 0, 0, 0, 0, static_cast<int>(s2));
+      __m256i vs1s = zero;
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const __m256i d =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i + b * 32));
+        vs1s = _mm256_add_epi32(vs1s, vs1);
+        vs1 = _mm256_add_epi32(vs1, _mm256_sad_epu8(d, zero));
+        const __m256i w = _mm256_maddubs_epi16(d, weights);
+        vs2 = _mm256_add_epi32(vs2, _mm256_madd_epi16(w, ones16));
+      }
+      vs2 = _mm256_add_epi32(vs2, _mm256_slli_epi32(vs1s, 5));
+      alignas(32) std::uint32_t l1[8];
+      alignas(32) std::uint32_t l2[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(l1), vs1);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(l2), vs2);
+      s1 = 0;
+      s2 = 0;
+      for (int k = 0; k < 8; ++k) {
+        s1 += l1[k];
+        s2 += l2[k];
+      }
+      j = blocks * 32;
+    }
+    for (; j < chunk; ++j) {
+      s1 += data[i + j];
+      s2 += s1;
+    }
+    s1 %= kAdlerMod;
+    s2 %= kAdlerMod;
+    i += chunk;
+  }
+  s1r = s1;
+  s2r = s2;
+}
+
+// Fold a 128-bit CRC state forward over `K`'s stride: the probe-validated
+// reflected-domain identity creg(x ++ 0^N) == creg(fold(x, K_N)).
+ADS_TARGET_CLMUL
+inline __m128i crc_fold(__m128i x, __m128i k) {
+  return _mm_xor_si128(_mm_clmulepi64_si128(x, k, 0x00),
+                       _mm_clmulepi64_si128(x, k, 0x11));
+}
+
+ADS_TARGET_CLMUL
+std::uint32_t crc32_absorb_clmul(std::uint32_t crc, const std::uint8_t* data,
+                                 std::size_t n) {
+  if (n < 80) return crc32_absorb_scalar(crc, data, n);
+  // Reflected CRC-32 fold constants (x^{N·8±32} mod P for strides 64/16 B).
+  const __m128i k64 = _mm_set_epi64x(0x1c6e41596ll, 0x154442bd4ll);
+  const __m128i k16 = _mm_set_epi64x(0x0ccaa009ell, 0x1751997d0ll);
+  // The running register xors into the first 4 message bytes (init-injection
+  // identity of the reflected bytewise CRC).
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+  data += 64;
+  n -= 64;
+  while (n >= 64) {
+    x1 = _mm_xor_si128(crc_fold(x1, k64),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(data)));
+    x2 = _mm_xor_si128(crc_fold(x2, k64),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)));
+    x3 = _mm_xor_si128(crc_fold(x3, k64),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)));
+    x4 = _mm_xor_si128(crc_fold(x4, k64),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)));
+    data += 64;
+    n -= 64;
+  }
+  x2 = _mm_xor_si128(x2, crc_fold(x1, k16));
+  x3 = _mm_xor_si128(x3, crc_fold(x2, k16));
+  x4 = _mm_xor_si128(x4, crc_fold(x3, k16));
+  __m128i x = x4;
+  while (n >= 16) {
+    x = _mm_xor_si128(crc_fold(x, k16),
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(data)));
+    data += 16;
+    n -= 16;
+  }
+  // Finish by streaming the 16 folded state bytes (then the tail) through
+  // the bytewise table — sidesteps the Barrett-reduction constants entirely.
+  alignas(16) std::uint8_t state[16];
+  _mm_store_si128(reinterpret_cast<__m128i*>(state), x);
+  crc = crc32_absorb_scalar(0, state, 16);
+  return crc32_absorb_scalar(crc, data, n);
+}
+
+// 4-lane 64-bit multiply by the FNV prime (AVX2 has no mullo_epi64):
+// a·p = lo(a)·lo(p) + ((lo(a)·hi(p) + hi(a)·lo(p)) << 32)  (mod 2^64).
+ADS_TARGET_AVX2
+inline __m256i fnv_mul64(__m256i a) {
+  const __m256i prime_lo = _mm256_set1_epi64x(0x1B3);
+  const __m256i prime_hi = _mm256_set1_epi64x(0x100);
+  const __m256i t1 = _mm256_mul_epu32(a, prime_lo);
+  const __m256i t2 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), prime_lo);
+  const __m256i t3 = _mm256_mul_epu32(a, prime_hi);
+  return _mm256_add_epi64(t1, _mm256_slli_epi64(_mm256_add_epi64(t2, t3), 32));
+}
+
+ADS_TARGET_AVX2
+void fnv4_absorb_avx2(std::uint64_t lanes[4], const std::uint8_t* rgba,
+                      std::size_t n_pixels) {
+  const std::size_t n4 = n_pixels & ~std::size_t{3};
+  if (n4 > 0) {
+    __m256i l = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes));
+    // Byte-swap each 32-bit word: memory order r,g,b,a → r<<24|g<<16|b<<8|a.
+    const __m128i bswap =
+        _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+    for (std::size_t i = 0; i < n4; i += 4) {
+      __m128i px =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(rgba + i * 4));
+      px = _mm_shuffle_epi8(px, bswap);
+      l = _mm256_xor_si256(l, _mm256_cvtepu32_epi64(px));
+      l = fnv_mul64(l);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), l);
+  }
+  if (n4 < n_pixels)
+    fnv4_absorb_scalar(lanes, rgba + n4 * 4, n_pixels - n4);
+}
+
+// Widen 32 unsigned bytes to two 16-lane u16 vectors (in-lane unpack; the
+// matching packus in png_pack16 restores the original byte order).
+ADS_TARGET_AVX2
+inline void png_widen(__m256i v, __m256i& lo, __m256i& hi) {
+  const __m256i zero = _mm256_setzero_si256();
+  lo = _mm256_unpacklo_epi8(v, zero);
+  hi = _mm256_unpackhi_epi8(v, zero);
+}
+
+ADS_TARGET_AVX2
+inline __m256i png_pack16(__m256i lo, __m256i hi) {
+  return _mm256_packus_epi16(lo, hi);
+}
+
+// Paeth predictor over 16-bit lanes holding widened bytes: |b-c|, |a-c| and
+// |a+b-2c| are the classic pa/pb/pc; the nested blends mirror the scalar
+// tie-break order (a, then b, then c).
+ADS_TARGET_AVX2
+inline __m256i png_paeth16(__m256i a, __m256i b, __m256i c) {
+  const __m256i pa = _mm256_abs_epi16(_mm256_sub_epi16(b, c));
+  const __m256i pb = _mm256_abs_epi16(_mm256_sub_epi16(a, c));
+  const __m256i pc = _mm256_abs_epi16(
+      _mm256_sub_epi16(_mm256_add_epi16(a, b), _mm256_add_epi16(c, c)));
+  const __m256i a_gt_b = _mm256_cmpgt_epi16(pa, pb);
+  const __m256i a_gt_c = _mm256_cmpgt_epi16(pa, pc);
+  const __m256i b_gt_c = _mm256_cmpgt_epi16(pb, pc);
+  const __m256i take_a = _mm256_andnot_si256(_mm256_or_si256(a_gt_b, a_gt_c),
+                                             _mm256_set1_epi8(-1));
+  const __m256i bc = _mm256_blendv_epi8(b, c, b_gt_c);
+  return _mm256_blendv_epi8(bc, a, take_a);
+}
+
+ADS_TARGET_AVX2
+void png_filter_row_avx2(int type, const std::uint8_t* row,
+                         const std::uint8_t* prior, std::size_t n, std::size_t bpp,
+                         std::uint8_t* out) {
+  if (type == 0 || (type == 2 && !prior)) {
+    std::memcpy(out, row, n);
+    return;
+  }
+  // Head bytes where a/c are zero follow the scalar path; the vector loop
+  // covers i ∈ [bpp, n) (or [0, n) for type 2) in 32-byte strides.
+  const std::size_t start = type == 2 ? 0 : bpp;
+  png_filter_range(type, row, prior, 0, std::min(start, n), bpp, out);
+  std::size_t i = start;
+  const __m256i zero = _mm256_setzero_si256();
+  while (i + 32 <= n) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    __m256i v;
+    switch (type) {
+      case 1: {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i - bpp));
+        v = _mm256_sub_epi8(x, a);
+        break;
+      }
+      case 2: {
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prior + i));
+        v = _mm256_sub_epi8(x, b);
+        break;
+      }
+      case 3: {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i - bpp));
+        const __m256i b =
+            prior ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prior + i))
+                  : zero;
+        __m256i alo;
+        __m256i ahi;
+        __m256i blo;
+        __m256i bhi;
+        png_widen(a, alo, ahi);
+        png_widen(b, blo, bhi);
+        const __m256i mlo = _mm256_srli_epi16(_mm256_add_epi16(alo, blo), 1);
+        const __m256i mhi = _mm256_srli_epi16(_mm256_add_epi16(ahi, bhi), 1);
+        v = _mm256_sub_epi8(x, png_pack16(mlo, mhi));
+        break;
+      }
+      default: {  // type 4: Paeth predictor in 16-bit lanes
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i - bpp));
+        const __m256i b =
+            prior ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prior + i))
+                  : zero;
+        const __m256i c =
+            prior
+                ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prior + i - bpp))
+                : zero;
+        const __m256i pred_lo =
+            png_paeth16(_mm256_unpacklo_epi8(a, zero), _mm256_unpacklo_epi8(b, zero),
+                        _mm256_unpacklo_epi8(c, zero));
+        const __m256i pred_hi =
+            png_paeth16(_mm256_unpackhi_epi8(a, zero), _mm256_unpackhi_epi8(b, zero),
+                        _mm256_unpackhi_epi8(c, zero));
+        v = _mm256_sub_epi8(x, png_pack16(pred_lo, pred_hi));
+        break;
+      }
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    i += 32;
+  }
+  if (i < n) png_filter_range(type, row, prior, i, n, bpp, out);
+}
+
+ADS_TARGET_AVX2
+std::uint64_t png_abs_sum_avx2(const std::uint8_t* data, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(_mm256_abs_epi8(d), zero));
+  }
+  alignas(32) std::uint64_t l[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(l), acc);
+  return l[0] + l[1] + l[2] + l[3] + png_abs_sum_scalar(data + i, n - i);
+}
+
+ADS_TARGET_AVX2
+void fdct8x8_avx2(const double in[64], double out[64], const double basis[64],
+                  const double basis_t[64]) {
+  // Lanes are the four outputs u (or u+4); each lane accumulates mul/add in
+  // the same x (then y) order as the scalar loop, and the avx2-only target
+  // cannot fuse the separate mul and add, so results are bit-identical.
+  double tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (int x = 0; x < 8; ++x) {
+      const __m256d s = _mm256_set1_pd(in[y * 8 + x]);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(s, _mm256_loadu_pd(basis_t + x * 8)));
+      acc1 =
+          _mm256_add_pd(acc1, _mm256_mul_pd(s, _mm256_loadu_pd(basis_t + x * 8 + 4)));
+    }
+    _mm256_storeu_pd(tmp + y * 8, acc0);
+    _mm256_storeu_pd(tmp + y * 8 + 4, acc1);
+  }
+  for (int v = 0; v < 8; ++v) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (int y = 0; y < 8; ++y) {
+      const __m256d s = _mm256_set1_pd(basis[v * 8 + y]);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(s, _mm256_loadu_pd(tmp + y * 8)));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(s, _mm256_loadu_pd(tmp + y * 8 + 4)));
+    }
+    _mm256_storeu_pd(out + v * 8, acc0);
+    _mm256_storeu_pd(out + v * 8 + 4, acc1);
+  }
+}
+
+ADS_TARGET_AVX2
+void dct_quantise_avx2(const double freq[64], const int q[64], const int zigzag[64],
+                       int out[64]) {
+  // Elementwise IEEE divisions in natural order (order is irrelevant for
+  // per-element results); the zigzag gather + lround stay scalar.
+  alignas(32) double t[64];
+  for (int j = 0; j < 64; j += 4) {
+    const __m256d fq = _mm256_loadu_pd(freq + j);
+    const __m256d dq =
+        _mm256_cvtepi32_pd(_mm_loadu_si128(reinterpret_cast<const __m128i*>(q + j)));
+    _mm256_store_pd(t + j, _mm256_div_pd(fq, dq));
+  }
+  for (int i = 0; i < 64; ++i) {
+    out[i] =
+        std::clamp(static_cast<int>(std::lround(t[zigzag[i]])), -32768, 32767);
+  }
+}
+
+}  // namespace
+
+#endif  // ADS_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Level detect_level() {
+#if ADS_SIMD_X86
+  Level detected = Level::kScalar;
+  if (__builtin_cpu_supports("avx2"))
+    detected = Level::kAvx2;
+  else if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("pclmul"))
+    detected = Level::kSse42;
+  if (const char* env = std::getenv("ADS_SIMD")) {
+    const std::string_view want(env);
+    Level cap = detected;
+    if (want == "scalar" || want == "off")
+      cap = Level::kScalar;
+    else if (want == "sse42")
+      cap = Level::kSse42;
+    else if (want == "avx2")
+      cap = Level::kAvx2;
+    if (static_cast<int>(cap) < static_cast<int>(detected)) detected = cap;
+  }
+  return detected;
+#else
+  return Level::kScalar;
+#endif
+}
+
+/// Function-pointer table bound once, on first use, from the active level.
+struct Kernels {
+  void (*adler)(std::uint32_t&, std::uint32_t&, const std::uint8_t*, std::size_t) =
+      &adler32_absorb_scalar;
+  std::uint32_t (*crc)(std::uint32_t, const std::uint8_t*, std::size_t) =
+      &crc32_absorb_scalar;
+  void (*fnv4)(std::uint64_t[4], const std::uint8_t*, std::size_t) =
+      &fnv4_absorb_scalar;
+  void (*filter)(int, const std::uint8_t*, const std::uint8_t*, std::size_t,
+                 std::size_t, std::uint8_t*) = &png_filter_row_scalar;
+  std::uint64_t (*abs_sum)(const std::uint8_t*, std::size_t) = &png_abs_sum_scalar;
+  void (*fdct)(const double[64], double[64], const double[64], const double[64]) =
+      &fdct8x8_scalar;
+  void (*quantise)(const double[64], const int[64], const int[64], int[64]) =
+      &dct_quantise_scalar;
+
+  Kernels() {
+#if ADS_SIMD_X86
+    const Level l = active_level();
+    if (l >= Level::kSse42) crc = &crc32_absorb_clmul;
+    if (l >= Level::kAvx2) {
+      adler = &adler32_absorb_avx2;
+      fnv4 = &fnv4_absorb_avx2;
+      filter = &png_filter_row_avx2;
+      abs_sum = &png_abs_sum_avx2;
+      fdct = &fdct8x8_avx2;
+      quantise = &dct_quantise_avx2;
+    }
+#endif
+  }
+};
+
+const Kernels& kernels() {
+  static const Kernels k;
+  return k;
+}
+
+}  // namespace
+
+Level active_level() {
+  static const Level l = detect_level();
+  return l;
+}
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kSse42: return "sse42";
+    case Level::kAvx2: return "avx2";
+    case Level::kScalar: break;
+  }
+  return "scalar";
+}
+
+bool compiled_with_simd() { return ADS_SIMD_X86 != 0; }
+
+void adler32_absorb(std::uint32_t& s1, std::uint32_t& s2, const std::uint8_t* data,
+                    std::size_t n) {
+  kernels().adler(s1, s2, data, n);
+}
+
+std::uint32_t crc32_absorb(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t n) {
+  return kernels().crc(crc, data, n);
+}
+
+void fnv4_absorb(std::uint64_t lanes[4], const std::uint8_t* rgba,
+                 std::size_t n_pixels) {
+  kernels().fnv4(lanes, rgba, n_pixels);
+}
+
+void png_filter_row(int type, const std::uint8_t* row, const std::uint8_t* prior,
+                    std::size_t n, std::size_t bpp, std::uint8_t* out) {
+  kernels().filter(type, row, prior, n, bpp, out);
+}
+
+std::uint64_t png_abs_sum(const std::uint8_t* data, std::size_t n) {
+  return kernels().abs_sum(data, n);
+}
+
+void fdct8x8(const double in[64], double out[64], const double basis[64],
+             const double basis_t[64]) {
+  kernels().fdct(in, out, basis, basis_t);
+}
+
+void dct_quantise(const double freq[64], const int q[64], const int zigzag[64],
+                  int out[64]) {
+  kernels().quantise(freq, q, zigzag, out);
+}
+
+}  // namespace ads::simd

@@ -151,6 +151,21 @@ TEST(FanoutGolden, SharedFanoutIsByteIdenticalPerParticipant) {
   EXPECT_GT(shared.stats.fanout_cohorts, 0u);
   EXPECT_GT(shared.stats.fanout_encodes_shared, 0u);
   EXPECT_EQ(legacy.stats.fanout_cohorts, 0u);
+
+  // Zero-copy invariant: the shared path serialises each cohort band's
+  // fragment stream at most once — every member's packets are views into
+  // that one buffer — while the legacy reference builds a stream per
+  // participant (and never touches the cohort counter). Streams are built
+  // lazily, so a band encoded for a cohort whose members all ran out of
+  // §4.3 tokens before reaching it is never serialised at all — hence <=
+  // rather than ==.
+  EXPECT_GT(shared.stats.band_streams_built, 0u);
+  EXPECT_LE(shared.stats.band_streams_built, shared.stats.fanout_encodes_unique);
+  EXPECT_EQ(legacy.stats.band_streams_built, 0u);
+  EXPECT_GT(legacy.stats.payload_bytes_copied, shared.stats.payload_bytes_copied);
+  // Every data packet was assembled as a header-plus-view on both paths.
+  EXPECT_EQ(shared.stats.packets_built, shared.stats.rtp_packets_sent);
+  EXPECT_EQ(legacy.stats.packets_built, legacy.stats.rtp_packets_sent);
 }
 
 }  // namespace

@@ -199,5 +199,69 @@ TEST_P(MtuSweep, RoundTripAtEveryMtu) {
 INSTANTIATE_TEST_SUITE_P(Mtus, MtuSweep,
                          ::testing::Values(13, 64, 576, 1200, 1460, 9000, 65000));
 
+TEST(FragmentInto, StreamWindowsMatchPerFragmentSerialisation) {
+  // The zero-copy stream writer must produce, fragment by fragment, exactly
+  // the bytes of the allocating fragmenter — offsets/lengths window a single
+  // buffer instead of owning per-fragment vectors.
+  for (const std::size_t content : {std::size_t{0}, std::size_t{5},
+                                    std::size_t{1188}, std::size_t{1189},
+                                    std::size_t{20'000}}) {
+    for (const std::size_t mtu : {std::size_t{13}, std::size_t{64},
+                                  std::size_t{1200}, std::size_t{65000}}) {
+      const RegionUpdate msg = sample(content);
+      auto frags = fragment_region_update(msg, mtu);
+      Bytes stream;
+      auto spans = fragment_region_update_into(msg, mtu, stream);
+      ASSERT_EQ(spans.size(), frags.size()) << content << "/" << mtu;
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].marker, frags[i].marker) << i;
+        EXPECT_EQ(spans[i].offset, total) << i;  // contiguous, in order
+        const BytesView window(stream.data() + spans[i].offset, spans[i].length);
+        EXPECT_TRUE(std::equal(window.begin(), window.end(),
+                               frags[i].payload.begin(), frags[i].payload.end()))
+            << "fragment " << i << " bytes diverged at " << content << "/" << mtu;
+        total += spans[i].length;
+      }
+      EXPECT_EQ(total, stream.size());
+    }
+  }
+}
+
+TEST(FragmentInto, AppendsToExistingStream) {
+  // dest is append-only: a caller can pack several messages into one buffer.
+  const RegionUpdate a = sample(300);
+  const RegionUpdate b = sample(40);
+  Bytes stream = {0xEE, 0xFF};  // pre-existing bytes survive
+  auto sa = fragment_region_update_into(a, 128, stream);
+  const std::size_t after_a = stream.size();
+  auto sb = fragment_region_update_into(b, 128, stream,
+                                        RemotingType::kMousePointerInfo);
+  EXPECT_EQ(stream[0], 0xEE);
+  EXPECT_EQ(stream[1], 0xFF);
+  ASSERT_FALSE(sa.empty());
+  ASSERT_FALSE(sb.empty());
+  EXPECT_EQ(sa.front().offset, 2u);
+  EXPECT_EQ(sb.front().offset, after_a);
+  // The second message really carries the requested type byte.
+  EXPECT_EQ(stream[sb.front().offset],
+            static_cast<std::uint8_t>(RemotingType::kMousePointerInfo));
+}
+
+TEST(FragmentInto, StreamReassemblesIdentically) {
+  const RegionUpdate msg = sample(5000);
+  Bytes stream;
+  auto spans = fragment_region_update_into(msg, 500, stream);
+  RegionUpdateReassembler reasm;
+  std::optional<RegionUpdate> done;
+  for (const FragmentSpan& s : spans) {
+    auto r = reasm.feed(BytesView(stream.data() + s.offset, s.length), s.marker);
+    ASSERT_TRUE(r.ok());
+    if (r->has_value()) done = **r;
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, msg);
+}
+
 }  // namespace
 }  // namespace ads
