@@ -962,54 +962,59 @@ void AppHost::handle_rtcp(ParticipantId from, BytesView packet) {
   auto it = participants_.find(stream_id);
   if (it == participants_.end()) return;
 
-  auto msg = parse_rtcp(packet);
-  if (!msg.ok()) return;
+  // A relay leg ships its aggregated feedback as one RFC 3550 compound
+  // datagram (RR + pending NACK); a lone PLI/RR/NACK parses as a compound
+  // of one, so both arrivals share this loop.
+  auto msgs = parse_rtcp_compound(packet);
+  if (!msgs.ok()) return;
+  for (const RtcpMessage& msg : *msgs) handle_rtcp_message(it->second, msg);
+}
 
-  if (std::holds_alternative<PictureLossIndication>(*msg)) {
+void AppHost::handle_rtcp_message(ParticipantState& p, const RtcpMessage& msg) {
+  if (std::holds_alternative<PictureLossIndication>(msg)) {
     // §5.3.1: full refresh preceded by WindowManagerInfo.
     ++stats_.plis_received;
-    it->second.needs_wmi = true;
-    it->second.needs_full_refresh = true;
+    p.needs_wmi = true;
+    p.needs_full_refresh = true;
     return;
   }
-  if (std::holds_alternative<ReceiverReport>(*msg)) {
-    const auto& rr = std::get<ReceiverReport>(*msg);
+  if (std::holds_alternative<ReceiverReport>(msg)) {
+    const auto& rr = std::get<ReceiverReport>(msg);
     ++stats_.rrs_received;
     if (!rr.blocks.empty()) {
       const ReportBlock& block = rr.blocks.front();
-      it->second.last_rr = block;
+      p.last_rr = block;
       if (opts_.adaptation.enabled) {
-        it->second.rate_ctrl.on_receiver_report(block.fraction_lost,
-                                                block.jitter, loop_.now());
+        p.rate_ctrl.on_receiver_report(block.fraction_lost, block.jitter,
+                                       loop_.now());
       }
     }
     return;
   }
-  if (!std::holds_alternative<GenericNack>(*msg)) return;
+  if (!std::holds_alternative<GenericNack>(msg)) return;
 
   ++stats_.nacks_received;
   if (!opts_.retransmissions) return;
-  for (std::uint16_t seq : std::get<GenericNack>(*msg).requested_sequences()) {
+  for (std::uint16_t seq : std::get<GenericNack>(msg).requested_sequences()) {
     // Retransmissions count against the §4.3 rate budget too; a depleted
     // bucket defers the repair (the participant re-NACKs).
-    if (!it->second.bucket.unlimited() &&
-        it->second.bucket.available(loop_.now()) <= 0) {
+    if (!p.bucket.unlimited() && p.bucket.available(loop_.now()) <= 0) {
       break;
     }
-    const PacketView* cached = it->second.cache.get(seq);
+    const PacketView* cached = p.cache.get(seq);
     if (cached == nullptr) continue;
     // For a multicast group the repair goes to the whole group, healing
     // every member that lost the packet on its own last hop.
     ++stats_.retransmissions_sent;
     stats_.bytes_sent += cached->wire_size();
-    it->second.bucket.consume(cached->wire_size(), loop_.now());
-    if (it->second.endpoint.kind == HostEndpoint::Kind::kUdp) {
-      if (it->second.endpoint.send_packet) {
-        it->second.endpoint.send_packet(*cached);
-      } else if (it->second.endpoint.send_datagram) {
+    p.bucket.consume(cached->wire_size(), loop_.now());
+    if (p.endpoint.kind == HostEndpoint::Kind::kUdp) {
+      if (p.endpoint.send_packet) {
+        p.endpoint.send_packet(*cached);
+      } else if (p.endpoint.send_datagram) {
         const Bytes wire = cached->serialize();
         stats_.payload_bytes_copied += wire.size();
-        it->second.endpoint.send_datagram(wire);
+        p.endpoint.send_datagram(wire);
       }
     }
   }

@@ -29,7 +29,7 @@
 #include "buf/buf.hpp"
 #include "capture/screen_capturer.hpp"
 #include "codec/registry.hpp"
-#include "core/packet_classify.hpp"
+#include "rtp/packet_classify.hpp"
 #include "core/parallel_encoder.hpp"
 #include "hip/messages.hpp"
 #include "net/event_loop.hpp"
@@ -407,6 +407,8 @@ class AppHost {
   void send_move_rectangle(ParticipantState& p, const MoveRectangle& mr);
   void send_pointer(ParticipantState& p, bool include_icon);
   void handle_rtcp(ParticipantId from, BytesView packet);
+  /// Apply one sub-packet of a (possibly compound) RTCP datagram to `p`.
+  void handle_rtcp_message(ParticipantState& p, const RtcpMessage& msg);
   void handle_hip(ParticipantId from, BytesView payload);
   void handle_bfcp(ParticipantId from, BytesView packet);
   /// Record uplink activity for liveness (aliases credit their group).

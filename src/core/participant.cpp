@@ -139,13 +139,18 @@ void Participant::handle_packet(BytesView packet) {
 }
 
 void Participant::handle_rtcp_downlink(BytesView packet) {
-  auto msg = parse_rtcp(packet);
-  if (!msg.ok()) return;
-  if (std::holds_alternative<SenderReport>(*msg)) {
-    const auto& sr = std::get<SenderReport>(*msg);
-    ++stats_.srs_received;
-    last_sr_mid_ntp_ = static_cast<std::uint32_t>(sr.ntp_timestamp >> 16);
-    last_sr_arrival_us_ = loop_.now();
+  // Behind a relay the downlink may carry compound RTCP (the relay forwards
+  // upstream control traffic verbatim); a plain SR parses as a compound of
+  // one, so both shapes share this loop.
+  auto msgs = parse_rtcp_compound(packet);
+  if (!msgs.ok()) return;
+  for (const RtcpMessage& msg : *msgs) {
+    if (std::holds_alternative<SenderReport>(msg)) {
+      const auto& sr = std::get<SenderReport>(msg);
+      ++stats_.srs_received;
+      last_sr_mid_ntp_ = static_cast<std::uint32_t>(sr.ntp_timestamp >> 16);
+      last_sr_arrival_us_ = loop_.now();
+    }
   }
 }
 

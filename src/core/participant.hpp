@@ -15,7 +15,7 @@
 
 #include "bfcp/bfcp_message.hpp"
 #include "codec/registry.hpp"
-#include "core/packet_classify.hpp"
+#include "rtp/packet_classify.hpp"
 #include "hip/messages.hpp"
 #include "image/image.hpp"
 #include "net/event_loop.hpp"

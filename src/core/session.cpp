@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include <array>
+#include <stdexcept>
 
 namespace ads {
 namespace {
@@ -116,6 +117,15 @@ void SharingSession::publish_net_metrics() {
       add_udp(m->up.get());
       add_part(m->participant.get());
     }
+  }
+  for (const auto& r : relays_) {
+    add_udp(r->down.get());
+    add_udp(r->up.get());
+  }
+  for (const auto& v : relay_viewers_) {
+    add_udp(v->down.get());
+    add_udp(v->up.get());
+    add_part(v->participant.get());
   }
 
   auto& met = host_.telemetry().metrics;
@@ -321,6 +331,157 @@ SharingSession::Connection& SharingSession::add_tcp_participant(
 
   connections_.push_back(std::move(conn));
   return *connections_.back();
+}
+
+SharingSession::RelayHandle& SharingSession::add_relay(
+    relay::RelayOptions opts, UdpLinkConfig link) {
+  auto handle = std::make_unique<RelayHandle>();
+  RelayHandle* r = handle.get();
+
+  if (link.down.seed == 1) link.down.seed = ++link_seed_;
+  if (link.up.seed == 1) link.up.seed = ++link_seed_;
+  link.down.telemetry = &host_.telemetry();
+  link.up.telemetry = &host_.telemetry();
+  // Distinct per-node identity and metrics namespace within one session.
+  opts.telemetry = &host_.telemetry();
+  opts.metrics_prefix = "relay.r" + std::to_string(relays_.size() + 1) + ".";
+  opts.seed ^= (relays_.size() + 1) << 20;
+
+  r->down = std::make_unique<UdpChannel>(loop_, link.down);
+  r->up = std::make_unique<UdpChannel>(loop_, link.up);
+  r->node = std::make_unique<relay::RelayNode>(loop_, std::move(opts));
+
+  // The AH sees the relay as one more UDP participant: it gets the full
+  // encode fan-out (joining the shared-encode cohort) and its uplink is the
+  // aggregated feedback for the entire subtree.
+  HostEndpoint endpoint;
+  endpoint.kind = HostEndpoint::Kind::kUdp;
+  endpoint.send_datagram = [down = r->down.get()](BytesView d) {
+    return down->send(d);
+  };
+  endpoint.send_packet = [down = r->down.get()](const PacketView& pkt) {
+    return down->send_packet(pkt);
+  };
+  endpoint.send_packet_batch =
+      [down = r->down.get()](std::span<const PacketView> pkts) {
+        return down->send_batch(pkts);
+      };
+  r->upstream_id = host_.add_participant(std::move(endpoint));
+
+  r->down->set_receiver([node = r->node.get()](Bytes data) {
+    node->on_upstream_datagram(std::move(data));
+  });
+  r->up->set_receiver([this, id = r->upstream_id](Bytes data) {
+    host_.on_uplink_packet(id, data);
+  });
+  // Routed through the handle so the closure stays safe if the channel is
+  // torn down before the relay's pending timers drain.
+  r->node->set_upstream([r](BytesView packet) {
+    return r->up ? r->up->send(packet) : false;
+  });
+  r->node->start();
+
+  relays_.push_back(std::move(handle));
+  return *relays_.back();
+}
+
+SharingSession::RelayHandle& SharingSession::add_relay_child(
+    RelayHandle& parent, relay::RelayOptions opts, UdpLinkConfig link,
+    relay::LegConfig leg) {
+  if (parent.depth + 1 > kMaxRelayDepth) {
+    throw std::invalid_argument("SharingSession: relay cascade too deep");
+  }
+  auto handle = std::make_unique<RelayHandle>();
+  RelayHandle* r = handle.get();
+  r->parent = &parent;
+  r->depth = parent.depth + 1;
+
+  if (link.down.seed == 1) link.down.seed = ++link_seed_;
+  if (link.up.seed == 1) link.up.seed = ++link_seed_;
+  link.down.telemetry = &host_.telemetry();
+  link.up.telemetry = &host_.telemetry();
+  opts.telemetry = &host_.telemetry();
+  opts.metrics_prefix = "relay.r" + std::to_string(relays_.size() + 1) + ".";
+  opts.seed ^= (relays_.size() + 1) << 20;
+
+  r->down = std::make_unique<UdpChannel>(loop_, link.down);
+  r->up = std::make_unique<UdpChannel>(loop_, link.up);
+  r->node = std::make_unique<relay::RelayNode>(loop_, std::move(opts));
+
+  // One parent leg feeds this child's whole subtree.
+  relay::LegEndpoint endpoint;
+  endpoint.kind = relay::LegEndpoint::Kind::kUdp;
+  endpoint.send_datagram = [down = r->down.get()](BytesView d) {
+    return down->send(d);
+  };
+  endpoint.send_packet = [down = r->down.get()](const PacketView& pkt) {
+    return down->send_packet(pkt);
+  };
+  endpoint.send_packet_batch =
+      [down = r->down.get()](std::span<const PacketView> pkts) {
+        return down->send_batch(pkts);
+      };
+  r->leg = parent.node->add_leg(std::move(endpoint), leg);
+
+  r->down->set_receiver([node = r->node.get()](Bytes data) {
+    node->on_upstream_datagram(std::move(data));
+  });
+  r->up->set_receiver(
+      [parent_node = parent.node.get(), leg_id = r->leg](Bytes data) {
+        parent_node->on_leg_packet(leg_id, data);
+      });
+  r->node->set_upstream([r](BytesView packet) {
+    return r->up ? r->up->send(packet) : false;
+  });
+  r->node->start();
+
+  relays_.push_back(std::move(handle));
+  return *relays_.back();
+}
+
+SharingSession::RelayViewer& SharingSession::add_relay_viewer(
+    RelayHandle& relay, ParticipantOptions opts, UdpLinkConfig link,
+    relay::LegConfig leg) {
+  auto viewer = std::make_unique<RelayViewer>();
+  RelayViewer* v = viewer.get();
+  v->relay = &relay;
+
+  opts.transport = ParticipantOptions::Transport::kUdp;
+  if (link.down.seed == 1) link.down.seed = ++link_seed_;
+  if (link.up.seed == 1) link.up.seed = ++link_seed_;
+  link.down.telemetry = &host_.telemetry();
+  link.up.telemetry = &host_.telemetry();
+
+  v->down = std::make_unique<UdpChannel>(loop_, link.down);
+  v->up = std::make_unique<UdpChannel>(loop_, link.up);
+
+  relay::LegEndpoint endpoint;
+  endpoint.kind = relay::LegEndpoint::Kind::kUdp;
+  endpoint.send_datagram = [down = v->down.get()](BytesView d) {
+    return down->send(d);
+  };
+  endpoint.send_packet = [down = v->down.get()](const PacketView& pkt) {
+    return down->send_packet(pkt);
+  };
+  endpoint.send_packet_batch =
+      [down = v->down.get()](std::span<const PacketView> pkts) {
+        return down->send_batch(pkts);
+      };
+  v->leg = relay.node->add_leg(std::move(endpoint), leg);
+
+  v->participant = std::make_unique<Participant>(loop_, opts);
+  v->down->set_receiver(
+      [p = v->participant.get()](Bytes data) { p->on_datagram(data); });
+  v->up->set_receiver(
+      [node = relay.node.get(), leg_id = v->leg](Bytes data) {
+        node->on_leg_packet(leg_id, data);
+      });
+  v->participant->set_uplink([v](BytesView packet) {
+    if (v->up) v->up->send(packet);
+  });
+
+  relay_viewers_.push_back(std::move(viewer));
+  return *relay_viewers_.back();
 }
 
 SharingSession::MulticastSession& SharingSession::add_multicast_session() {

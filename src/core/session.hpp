@@ -14,6 +14,7 @@
 #include "net/multicast.hpp"
 #include "net/tcp_channel.hpp"
 #include "net/udp_channel.hpp"
+#include "relay/relay.hpp"
 
 namespace ads {
 
@@ -120,6 +121,55 @@ class SharingSession {
     return multicast_;
   }
 
+  /// Deepest relay cascade the session will wire (sanity bound; the paper's
+  /// deployment shapes never need more than a few levels).
+  static constexpr int kMaxRelayDepth = 8;
+
+  /// One relay node in the cascade plus the channels of its upstream link.
+  struct RelayHandle {
+    std::unique_ptr<relay::RelayNode> node;
+    std::unique_ptr<UdpChannel> down;  ///< upstream → relay (media + SRs)
+    std::unique_ptr<UdpChannel> up;    ///< relay → upstream (RTCP/HIP/BFCP)
+    ParticipantId upstream_id = 0;     ///< AH-side id (root relays only)
+    RelayHandle* parent = nullptr;     ///< null for a root relay
+    relay::LegId leg = 0;              ///< this relay's leg on its parent
+    int depth = 1;                     ///< 1 = directly below the AH
+  };
+
+  /// One viewer hanging off a relay leg (receives the relay's forwarded
+  /// stream; its feedback terminates at that relay).
+  struct RelayViewer {
+    relay::LegId leg = 0;
+    RelayHandle* relay = nullptr;
+    std::unique_ptr<Participant> participant;
+    std::unique_ptr<UdpChannel> down;  ///< relay → viewer
+    std::unique_ptr<UdpChannel> up;    ///< viewer → relay
+  };
+
+  /// Create a root relay fed by the AH: the AH sees one more UDP
+  /// participant; the relay re-fans that stream to its own legs.
+  RelayHandle& add_relay(relay::RelayOptions opts = {}, UdpLinkConfig link = {});
+  /// Cascade a child relay below `parent` (one parent leg feeds the whole
+  /// child subtree). Throws std::invalid_argument past kMaxRelayDepth.
+  RelayHandle& add_relay_child(RelayHandle& parent,
+                               relay::RelayOptions opts = {},
+                               UdpLinkConfig link = {},
+                               relay::LegConfig leg = {});
+  /// Attach a viewer to one of `relay`'s legs.
+  RelayViewer& add_relay_viewer(RelayHandle& relay,
+                                ParticipantOptions opts = {},
+                                UdpLinkConfig link = {},
+                                relay::LegConfig leg = {});
+
+  /// Every relay created, in creation order (roots and children).
+  const std::vector<std::unique_ptr<RelayHandle>>& relays() const {
+    return relays_;
+  }
+  /// Every relay viewer created, in creation order.
+  const std::vector<std::unique_ptr<RelayViewer>>& relay_viewers() const {
+    return relay_viewers_;
+  }
+
   /// Advance simulated time.
   void run_for(SimTime duration) { loop_.run_until(loop_.now() + duration); }
 
@@ -139,6 +189,8 @@ class SharingSession {
   AppHost host_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<MulticastSession>> multicast_;
+  std::vector<std::unique_ptr<RelayHandle>> relays_;
+  std::vector<std::unique_ptr<RelayViewer>> relay_viewers_;
   std::uint64_t link_seed_ = 0x11CE;
   UdpChannel::Stats retired_udp_;
   TcpChannel::Stats retired_tcp_;

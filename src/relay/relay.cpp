@@ -1,0 +1,640 @@
+#include "relay/relay.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "rtp/rtp_packet.hpp"
+#include "util/prng.hpp"
+
+namespace ads::relay {
+
+RelayOptions RelayNode::validated(RelayOptions opts) {
+  if (opts.max_legs == 0) {
+    throw std::invalid_argument("RelayOptions::max_legs must be >= 1");
+  }
+  if (opts.report_interval_us == 0) {
+    throw std::invalid_argument("RelayOptions::report_interval_us must be > 0");
+  }
+  if (opts.nack_flush_us == 0) opts.nack_flush_us = 1;
+  opts.nack_holdoff_us = std::max(opts.nack_holdoff_us, opts.nack_flush_us);
+  if (opts.retransmission_cache < 16) opts.retransmission_cache = 16;
+  if (opts.leg_rate_bps != 0 && opts.leg_burst_bytes < 1500) {
+    opts.leg_burst_bytes = 1500;
+  }
+  if (opts.adaptation.min_rate_bps > opts.adaptation.max_rate_bps) {
+    std::swap(opts.adaptation.min_rate_bps, opts.adaptation.max_rate_bps);
+  }
+  return opts;
+}
+
+RelayNode::RelayNode(EventLoop& loop, RelayOptions opts)
+    : loop_(loop),
+      opts_(validated(std::move(opts))),
+      owned_tel_(opts_.telemetry ? nullptr : std::make_unique<telemetry::Telemetry>()),
+      tel_(opts_.telemetry ? opts_.telemetry : owned_tel_.get()),
+      cache_(opts_.retransmission_cache),
+      ssrc_(Prng(opts_.seed).next_u32()) {
+  tel_->metrics.add_collector(this, [this] { publish_metrics(); });
+}
+
+RelayNode::~RelayNode() { tel_->metrics.remove_collectors(this); }
+
+// ----- downstream legs ------------------------------------------------
+
+LegId RelayNode::add_leg(LegEndpoint endpoint, LegConfig cfg) {
+  if (legs_.size() >= opts_.max_legs) {
+    throw std::invalid_argument("RelayNode: leg count would exceed max_legs");
+  }
+  const LegId id = next_leg_id_++;
+  const bool udp = endpoint.kind == LegEndpoint::Kind::kUdp;
+  // With adaptation on, the controller's initial budget seeds the bucket
+  // (mirrors AppHost::add_participant); the static leg_rate_bps applies to
+  // the non-adaptive path.
+  const std::uint64_t rate_bps =
+      !udp ? 0
+           : cfg.rate_bps.value_or(opts_.adaptation.enabled
+                                       ? opts_.adaptation.initial_rate_bps
+                                       : opts_.leg_rate_bps);
+  auto [it, inserted] = legs_.try_emplace(
+      id, rate_bps, cfg.burst_bytes.value_or(opts_.leg_burst_bytes),
+      udp ? rate::Transport::kUdp : rate::Transport::kTcp, opts_.adaptation);
+  it->second.ep = std::move(endpoint);
+  return id;
+}
+
+void RelayNode::remove_leg(LegId id) {
+  legs_.erase(id);
+  for (auto* table : {&pending_nack_, &requested_upstream_}) {
+    for (auto& [seq, pending] : *table) pending.waiters.erase(id);
+  }
+}
+
+const ReportBlock* RelayNode::leg_last_rr(LegId id) const {
+  auto it = legs_.find(id);
+  if (it == legs_.end() || !it->second.last_rr) return nullptr;
+  return &*it->second.last_rr;
+}
+
+const rate::OperatingPoint* RelayNode::leg_operating_point(LegId id) const {
+  auto it = legs_.find(id);
+  return it == legs_.end() ? nullptr : &it->second.rate_ctrl.current();
+}
+
+// ----- upstream ingest ------------------------------------------------
+
+void RelayNode::on_upstream_datagram(Bytes datagram) {
+  switch (classify_packet(datagram)) {
+    case PacketKind::kRtp: {
+      if (datagram.size() < RtpPacket::kHeaderSize) {
+        ++stats_.decode_errors;
+        return;
+      }
+      // Zero-copy forward requires the canonical fixed header the AH emits
+      // (V=2, no padding/extension/CSRC) — anything else is not ours.
+      if (datagram[0] != 0x80) {
+        ++stats_.decode_errors;
+        return;
+      }
+      const bool marker = (datagram[1] & 0x80) != 0;
+      const std::uint8_t pt = datagram[1] & 0x7F;
+      const std::uint16_t seq =
+          static_cast<std::uint16_t>(datagram[2] << 8 | datagram[3]);
+      const std::uint32_t ts = static_cast<std::uint32_t>(datagram[4]) << 24 |
+                               static_cast<std::uint32_t>(datagram[5]) << 16 |
+                               static_cast<std::uint32_t>(datagram[6]) << 8 |
+                               datagram[7];
+      const std::uint32_t ssrc = static_cast<std::uint32_t>(datagram[8]) << 24 |
+                                 static_cast<std::uint32_t>(datagram[9]) << 16 |
+                                 static_cast<std::uint32_t>(datagram[10]) << 8 |
+                                 datagram[11];
+      const std::size_t payload_len = datagram.size() - RtpPacket::kHeaderSize;
+      // Ownership transfer, not a copy: the received datagram becomes the
+      // pooled buffer every leg's PacketView (and the cache entry) shares.
+      buf::BufRef buf = pool_.acquire(0);
+      buf.bytes() = std::move(datagram);
+      ingest_media(PacketView::build(marker, pt, seq, ts, ssrc, std::move(buf),
+                                     RtpPacket::kHeaderSize, payload_len));
+      return;
+    }
+    case PacketKind::kRtcp:
+      handle_upstream_rtcp(datagram);
+      forward_control(datagram);
+      return;
+    case PacketKind::kBfcp:
+      forward_control(datagram);
+      return;
+    case PacketKind::kUnknown:
+      ++stats_.decode_errors;
+      return;
+  }
+}
+
+void RelayNode::on_upstream_packet(const PacketView& pkt) { ingest_media(pkt); }
+
+std::size_t RelayNode::on_upstream_batch(std::span<const PacketView> pkts) {
+  for (const PacketView& pkt : pkts) ingest_media(pkt);
+  return pkts.size();
+}
+
+void RelayNode::on_upstream_stream(BytesView data) {
+  upstream_deframer_.feed(data);
+  while (auto packet = upstream_deframer_.next()) {
+    dispatch_upstream(std::move(*packet));
+  }
+}
+
+void RelayNode::dispatch_upstream(Bytes datagram) {
+  on_upstream_datagram(std::move(datagram));
+}
+
+void RelayNode::ingest_media(const PacketView& v) {
+  if (!have_upstream_ssrc_) {
+    upstream_ssrc_ = v.ssrc();
+    have_upstream_ssrc_ = true;
+  }
+  ++stats_.upstream_packets;
+  stats_.upstream_bytes += v.wire_size();
+
+  // Header-only bookkeeping packet: the receiver reads header fields and
+  // arrival time, never the payload.
+  RtpPacket hdr;
+  hdr.marker = v.marker();
+  hdr.payload_type = v.payload_type();
+  hdr.sequence = v.sequence();
+  hdr.timestamp = v.timestamp();
+  hdr.ssrc = v.ssrc();
+  const bool fresh = receiver_.on_packet(hdr, loop_.now());
+
+  cache_.put(v);  // refcount bump: the subtree's repair store shares the buffer
+
+  if (!fresh) {
+    // Network duplicate (or probation) — the subtree saw this one already.
+    ++stats_.upstream_duplicates;
+    return;
+  }
+
+  // A repair we requested upstream goes only to the legs that asked for it;
+  // relay-detected gaps (all_legs) were never forwarded, so everyone gets
+  // those.
+  auto wait = requested_upstream_.find(v.sequence());
+  if (wait != requested_upstream_.end() && !wait->second.all_legs) {
+    ++stats_.repairs_forwarded;
+    for (LegId id : wait->second.waiters) {
+      auto leg = legs_.find(id);
+      if (leg != legs_.end()) forward_to_leg(id, leg->second, v);
+    }
+    for (LegId id : wait->second.waiters) {
+      auto leg = legs_.find(id);
+      if (leg != legs_.end()) flush_leg(leg->second);
+    }
+    requested_upstream_.erase(wait);
+    queue_gap_nacks();
+    return;
+  }
+  if (wait != requested_upstream_.end()) {
+    ++stats_.repairs_forwarded;
+    requested_upstream_.erase(wait);
+  }
+
+  for (auto& [id, leg] : legs_) forward_to_leg(id, leg, v);
+  for (auto& [id, leg] : legs_) flush_leg(leg);
+
+  // The relay NACKs upstream for its own reception gaps too — a loss on the
+  // upstream link would otherwise starve the whole subtree.
+  queue_gap_nacks();
+}
+
+// ----- per-leg forwarding --------------------------------------------
+
+void RelayNode::forward_to_leg(LegId id, LegState& leg, const PacketView& v) {
+  (void)id;
+  const SimTime now = loop_.now();
+  if (leg.ep.kind == LegEndpoint::Kind::kTcp) {
+    // §7 backlog gate, per packet: a slow leaf sheds its own traffic. The
+    // viewer's NACK→PLI ladder recovers the gap from the relay's cache.
+    if (opts_.leg_backlog_limit != 0 && leg.ep.backlog &&
+        leg.ep.backlog() + leg.stream_carry.size() > opts_.leg_backlog_limit) {
+      ++leg.drops_backlog;
+      ++stats_.leg_drops_backlog;
+      return;
+    }
+    if (v.wire_size() > 0xFFFF) return;  // unframeable; cannot happen for MTU payloads
+    ++leg.forwarded;
+    ++stats_.forwarded_packets;
+    stats_.forwarded_bytes += v.framed_size();
+    if (leg.ep.write_gather) {
+      // Same gather discipline as AppHost::transmit_view: carry + RFC 4571
+      // prefix + RTP header + shared payload in one offer, only the
+      // unaccepted suffix is re-staged (and counted as a copy).
+      std::array<BytesView, 3> parts;
+      std::size_t n = 0;
+      if (!leg.stream_carry.empty()) parts[n++] = BytesView(leg.stream_carry);
+      parts[n++] = v.framed_header();
+      parts[n++] = v.payload();
+      const std::span<const BytesView> offer(parts.data(), n);
+      std::size_t wrote = leg.ep.write_gather ? leg.ep.write_gather(offer) : 0;
+      Bytes carry;
+      for (const BytesView& part : offer) {
+        const std::size_t taken = std::min(wrote, part.size());
+        wrote -= taken;
+        if (taken < part.size()) {
+          carry.insert(carry.end(),
+                       part.begin() + static_cast<std::ptrdiff_t>(taken),
+                       part.end());
+        }
+      }
+      stats_.payload_bytes_copied += carry.size();
+      leg.stream_carry = std::move(carry);
+      return;
+    }
+    // Staged fallback for gather-unaware endpoints.
+    const BytesView fh = v.framed_header();
+    const BytesView pl = v.payload();
+    stats_.payload_bytes_copied += v.framed_size();
+    leg.stream_carry.insert(leg.stream_carry.end(), fh.begin(), fh.end());
+    leg.stream_carry.insert(leg.stream_carry.end(), pl.begin(), pl.end());
+    if (leg.ep.write_stream) {
+      const std::size_t wrote = leg.ep.write_stream(leg.stream_carry);
+      leg.stream_carry.erase(
+          leg.stream_carry.begin(),
+          leg.stream_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+    }
+    return;
+  }
+
+  // UDP leg: §4.3 token bucket, per packet.
+  if (!leg.bucket.unlimited() &&
+      leg.bucket.available(now) < static_cast<double>(v.wire_size())) {
+    ++leg.drops_rate;
+    ++stats_.leg_drops_rate;
+    return;
+  }
+  leg.bucket.consume(v.wire_size(), now);
+  ++leg.forwarded;
+  ++stats_.forwarded_packets;
+  stats_.forwarded_bytes += v.wire_size();
+  leg.tx_batch.push_back(v);  // refcount bump; drained by flush_leg()
+}
+
+void RelayNode::flush_leg(LegState& leg) {
+  if (leg.tx_batch.empty()) return;
+  if (leg.ep.send_packet_batch) {
+    leg.ep.send_packet_batch(leg.tx_batch);
+  } else if (leg.ep.send_packet) {
+    for (const PacketView& v : leg.tx_batch) leg.ep.send_packet(v);
+  } else if (leg.ep.send_datagram) {
+    // View-unaware endpoint: materialise here and count the copies.
+    for (const PacketView& v : leg.tx_batch) {
+      const Bytes wire = v.serialize();
+      stats_.payload_bytes_copied += wire.size();
+      leg.ep.send_datagram(wire);
+    }
+  }
+  leg.tx_batch.clear();
+}
+
+void RelayNode::forward_control(BytesView packet) {
+  ++stats_.control_forwarded;
+  for (auto& [id, leg] : legs_) {
+    if (leg.ep.kind == LegEndpoint::Kind::kUdp) {
+      if (leg.ep.send_datagram) leg.ep.send_datagram(packet);
+      continue;
+    }
+    // TCP leg: frame into the carry (control packets are tiny, and the
+    // §7 gate is for media — feedback must keep flowing).
+    if (packet.size() > 0xFFFF) continue;
+    Bytes& carry = leg.stream_carry;
+    carry.push_back(static_cast<std::uint8_t>(packet.size() >> 8));
+    carry.push_back(static_cast<std::uint8_t>(packet.size()));
+    carry.insert(carry.end(), packet.begin(), packet.end());
+    stats_.payload_bytes_copied += packet.size() + 2;
+    if (leg.ep.write_stream) {
+      const std::size_t wrote = leg.ep.write_stream(carry);
+      carry.erase(carry.begin(), carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+    } else if (leg.ep.write_gather) {
+      std::array<BytesView, 1> parts{BytesView(carry)};
+      const std::size_t wrote =
+          leg.ep.write_gather(std::span<const BytesView>(parts));
+      carry.erase(carry.begin(), carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+    }
+  }
+}
+
+// ----- upstream control -----------------------------------------------
+
+void RelayNode::handle_upstream_rtcp(BytesView packet) {
+  auto msgs = parse_rtcp_compound(packet);
+  if (!msgs.ok()) return;
+  for (const RtcpMessage& msg : *msgs) {
+    if (std::holds_alternative<SenderReport>(msg)) {
+      const auto& sr = std::get<SenderReport>(msg);
+      last_sr_mid_ntp_ = static_cast<std::uint32_t>(sr.ntp_timestamp >> 16);
+      last_sr_arrival_us_ = loop_.now();
+    }
+  }
+}
+
+// ----- leg uplink ------------------------------------------------------
+
+void RelayNode::on_leg_packet(LegId from, BytesView packet) {
+  auto it = legs_.find(from);
+  if (it == legs_.end()) return;
+  switch (classify_packet(packet)) {
+    case PacketKind::kRtcp:
+      handle_leg_rtcp(from, it->second, packet);
+      return;
+    case PacketKind::kRtp:
+      // HIP events ride their own RTP payload type; the relay is not the
+      // input authority — pass them to the AH unchanged.
+      ++stats_.hip_upstream;
+      if (send_upstream_) send_upstream_(packet);
+      return;
+    case PacketKind::kBfcp:
+      ++stats_.bfcp_upstream;
+      if (send_upstream_) send_upstream_(packet);
+      return;
+    case PacketKind::kUnknown:
+      ++stats_.decode_errors;
+      return;
+  }
+}
+
+void RelayNode::on_leg_stream(LegId from, BytesView data) {
+  auto it = legs_.find(from);
+  if (it == legs_.end()) return;
+  it->second.uplink_deframer.feed(data);
+  while (auto packet = it->second.uplink_deframer.next()) {
+    on_leg_packet(from, *packet);
+  }
+}
+
+void RelayNode::handle_leg_rtcp(LegId from, LegState& leg, BytesView packet) {
+  auto msgs = parse_rtcp_compound(packet);
+  if (!msgs.ok()) return;
+  for (const RtcpMessage& msg : *msgs) {
+    if (std::holds_alternative<ReceiverReport>(msg)) {
+      const auto& rr = std::get<ReceiverReport>(msg);
+      ++stats_.rrs_received;
+      if (!rr.blocks.empty()) {
+        leg.last_rr = rr.blocks.front();
+        if (opts_.adaptation.enabled) {
+          leg.rate_ctrl.on_receiver_report(leg.last_rr->fraction_lost,
+                                           leg.last_rr->jitter, loop_.now());
+        }
+      }
+    } else if (std::holds_alternative<PictureLossIndication>(msg)) {
+      ++stats_.plis_received;
+      handle_leg_pli();
+    } else if (std::holds_alternative<GenericNack>(msg)) {
+      ++stats_.nacks_received;
+      for (std::uint16_t seq :
+           std::get<GenericNack>(msg).requested_sequences()) {
+        ++stats_.nack_seqs_received;
+        handle_leg_nack_seq(from, leg, seq);
+      }
+      flush_leg(leg);  // repairs served from the cache go out as one batch
+    }
+  }
+}
+
+void RelayNode::handle_leg_nack_seq(LegId from, LegState& leg,
+                                    std::uint16_t seq) {
+  // First line of defence: the local retransmission store. A sibling's loss
+  // is healed here and the AH never hears about it.
+  const PacketView* cached = cache_.get(seq);
+  if (cached != nullptr) {
+    ++stats_.rtx_served;
+    stats_.rtx_bytes += cached->wire_size();
+    forward_to_leg(from, leg, *cached);
+    return;
+  }
+  // Second: a request already in flight (or queued) upstream — absorb this
+  // leg into its waiter set instead of asking again.
+  auto inflight = requested_upstream_.find(seq);
+  if (inflight != requested_upstream_.end()) {
+    if (!inflight->second.all_legs) inflight->second.waiters.insert(from);
+    ++stats_.nacks_absorbed;
+    return;
+  }
+  auto queued = pending_nack_.find(seq);
+  if (queued != pending_nack_.end()) {
+    if (!queued->second.all_legs) queued->second.waiters.insert(from);
+    ++stats_.nacks_absorbed;
+    return;
+  }
+  // Genuinely new: queue it for the next deduplicated upstream NACK.
+  pending_nack_[seq].waiters.insert(from);
+  arm_nack_flush();
+}
+
+void RelayNode::queue_gap_nacks() {
+  if (!send_upstream_) return;
+  bool queued_any = false;
+  for (std::uint16_t seq : receiver_.missing(64)) {
+    if (requested_upstream_.count(seq) != 0 || pending_nack_.count(seq) != 0) {
+      continue;
+    }
+    pending_nack_[seq].all_legs = true;
+    ++stats_.gap_nacks;
+    queued_any = true;
+  }
+  if (queued_any) arm_nack_flush();
+}
+
+void RelayNode::arm_nack_flush() {
+  if (nack_flush_armed_ || pending_nack_.empty()) return;
+  nack_flush_armed_ = true;
+  loop_.after(opts_.nack_flush_us,
+              [this, alive = std::weak_ptr<int>(alive_)] {
+                if (alive.expired()) return;
+                nack_flush_armed_ = false;
+                flush_nacks();
+              });
+}
+
+void RelayNode::collect_pending_nack(std::vector<RtcpMessage>& msgs) {
+  if (pending_nack_.empty()) return;
+  std::vector<std::uint16_t> seqs;
+  seqs.reserve(pending_nack_.size());
+  const SimTime now = loop_.now();
+  for (auto& [seq, pending] : pending_nack_) {
+    seqs.push_back(seq);
+    pending.requested_at = now;
+    requested_upstream_[seq] = std::move(pending);
+  }
+  pending_nack_.clear();
+  ++stats_.nacks_upstream;
+  stats_.nack_seqs_upstream += seqs.size();
+  msgs.push_back(GenericNack::for_sequences(ssrc_, upstream_ssrc_, std::move(seqs)));
+}
+
+void RelayNode::flush_nacks() {
+  if (pending_nack_.empty() || !send_upstream_) return;
+  std::vector<RtcpMessage> msgs;
+  collect_pending_nack(msgs);
+  send_upstream_(serialize_rtcp_compound(msgs));
+}
+
+void RelayNode::handle_leg_pli() {
+  const SimTime now = loop_.now();
+  if (pli_sent_ever_ && opts_.pli_coalesce_us != 0 &&
+      now < last_pli_up_us_ + opts_.pli_coalesce_us) {
+    // Absorbed: the refresh already on its way serves this leg too.
+    ++stats_.plis_coalesced;
+    return;
+  }
+  pli_sent_ever_ = true;
+  last_pli_up_us_ = now;
+  ++stats_.plis_upstream;
+  // The coming full refresh supersedes outstanding loss recovery.
+  receiver_.reset_losses();
+  pending_nack_.clear();
+  requested_upstream_.clear();
+  if (send_upstream_) {
+    PictureLossIndication pli;
+    pli.sender_ssrc = ssrc_;
+    pli.media_ssrc = upstream_ssrc_;
+    send_upstream_(pli.serialize());
+  }
+}
+
+// ----- periodic aggregation -------------------------------------------
+
+void RelayNode::start() {
+  if (started_) return;
+  started_ = true;
+  loop_.after(opts_.report_interval_us,
+              [this, alive = std::weak_ptr<int>(alive_)] {
+                if (alive.expired()) return;
+                report_tick();
+              });
+}
+
+void RelayNode::report_tick() {
+  if (!started_) return;
+  const SimTime now = loop_.now();
+
+  // Expire in-flight upstream requests whose repair never came: the next
+  // media arrival re-queues still-missing sequences via queue_gap_nacks(),
+  // so a lost NACK (or a lost repair) retries once per holdoff window.
+  for (auto it = requested_upstream_.begin(); it != requested_upstream_.end();) {
+    if (now >= it->second.requested_at + opts_.nack_holdoff_us) {
+      it = requested_upstream_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Per-leg closed loop: the §7 backlog sample (TCP) or the accumulated RR
+  // signal (UDP) retargets that leg's bucket. Quality/fps outputs are
+  // meaningless without an encoder and stay unused.
+  if (opts_.adaptation.enabled) {
+    for (auto& [id, leg] : legs_) {
+      if (leg.ep.kind == LegEndpoint::Kind::kTcp && leg.ep.backlog) {
+        leg.rate_ctrl.on_backlog_sample(leg.ep.backlog(), now);
+      }
+      const rate::OperatingPoint& op = leg.rate_ctrl.update(now);
+      if (leg.ep.kind == LegEndpoint::Kind::kUdp) {
+        leg.bucket.set_rate(op.rate_bps, now);
+      }
+    }
+  }
+
+  // Worst-case RR summary upstream, with any pending NACK riding along in
+  // the same compound datagram.
+  if (send_upstream_ && have_upstream_ssrc_ && receiver_.started()) {
+    ReceiverReport rr;
+    rr.ssrc = ssrc_;
+    rr.blocks.push_back(aggregate_report());
+    std::vector<RtcpMessage> msgs;
+    msgs.emplace_back(std::move(rr));
+    collect_pending_nack(msgs);
+    ++stats_.rrs_aggregated;
+    send_upstream_(serialize_rtcp_compound(msgs));
+  }
+
+  if (started_) {
+    loop_.after(opts_.report_interval_us,
+                [this, alive = std::weak_ptr<int>(alive_)] {
+                  if (alive.expired()) return;
+                  report_tick();
+                });
+  }
+}
+
+ReportBlock RelayNode::aggregate_report() {
+  // Base: the relay's own reception over the interval.
+  ReportBlock agg = receiver_.snapshot(upstream_ssrc_);
+  agg.last_sr = last_sr_mid_ntp_;
+  agg.delay_since_last_sr =
+      last_sr_arrival_us_ == 0
+          ? 0
+          : static_cast<std::uint32_t>((loop_.now() - last_sr_arrival_us_) *
+                                       65536 / 1'000'000);
+  // Fold every leg's last report in, worst case per field: the AH sizes its
+  // response to the weakest path through this subtree. Legs report on the
+  // same forwarded stream (same SSRC/sequence space), so min over extended
+  // highest sequence is meaningful.
+  for (const auto& [id, leg] : legs_) {
+    if (!leg.last_rr) continue;
+    const ReportBlock& b = *leg.last_rr;
+    agg.fraction_lost = std::max(agg.fraction_lost, b.fraction_lost);
+    agg.cumulative_lost = std::max(agg.cumulative_lost, b.cumulative_lost);
+    agg.jitter = std::max(agg.jitter, b.jitter);
+    if (b.ext_highest_seq != 0) {
+      agg.ext_highest_seq = std::min(agg.ext_highest_seq, b.ext_highest_seq);
+    }
+  }
+  return agg;
+}
+
+// ----- telemetry -------------------------------------------------------
+
+void RelayNode::publish_metrics() {
+  auto& m = tel_->metrics;
+  const std::string& p = opts_.metrics_prefix;
+  m.counter(p + "upstream_packets").set(stats_.upstream_packets);
+  m.counter(p + "upstream_bytes").set(stats_.upstream_bytes);
+  m.counter(p + "upstream_duplicates").set(stats_.upstream_duplicates);
+  m.counter(p + "forwarded_packets").set(stats_.forwarded_packets);
+  m.counter(p + "forwarded_bytes").set(stats_.forwarded_bytes);
+  m.counter(p + "control_forwarded").set(stats_.control_forwarded);
+  m.counter(p + "repairs_forwarded").set(stats_.repairs_forwarded);
+  m.counter(p + "payload_bytes_copied").set(stats_.payload_bytes_copied);
+  m.counter(p + "leg_drops_backlog").set(stats_.leg_drops_backlog);
+  m.counter(p + "leg_drops_rate").set(stats_.leg_drops_rate);
+  m.counter(p + "nacks_received").set(stats_.nacks_received);
+  m.counter(p + "nack_seqs_received").set(stats_.nack_seqs_received);
+  m.counter(p + "rtx_served").set(stats_.rtx_served);
+  m.counter(p + "rtx_bytes").set(stats_.rtx_bytes);
+  m.counter(p + "nacks_absorbed").set(stats_.nacks_absorbed);
+  m.counter(p + "nacks_upstream").set(stats_.nacks_upstream);
+  m.counter(p + "nack_seqs_upstream").set(stats_.nack_seqs_upstream);
+  m.counter(p + "gap_nacks").set(stats_.gap_nacks);
+  m.counter(p + "plis_received").set(stats_.plis_received);
+  m.counter(p + "plis_coalesced").set(stats_.plis_coalesced);
+  m.counter(p + "plis_upstream").set(stats_.plis_upstream);
+  m.counter(p + "rrs_received").set(stats_.rrs_received);
+  m.counter(p + "rrs_aggregated").set(stats_.rrs_aggregated);
+  m.counter(p + "hip_upstream").set(stats_.hip_upstream);
+  m.counter(p + "bfcp_upstream").set(stats_.bfcp_upstream);
+  m.counter(p + "decode_errors").set(stats_.decode_errors);
+  m.counter(p + "rtx.hits").set(cache_.hits());
+  m.counter(p + "rtx.misses").set(cache_.misses());
+  m.counter(p + "rtx.evictions").set(cache_.evictions());
+  m.gauge(p + "legs").set(static_cast<std::int64_t>(legs_.size()));
+  for (const auto& [id, leg] : legs_) {
+    const std::string lp = p + "leg" + std::to_string(id) + ".";
+    if (leg.ep.kind == LegEndpoint::Kind::kTcp && leg.ep.backlog) {
+      m.gauge(lp + "backlog")
+          .set(static_cast<std::int64_t>(leg.ep.backlog() +
+                                         leg.stream_carry.size()));
+    }
+    m.counter(lp + "forwarded").set(leg.forwarded);
+    m.counter(lp + "drops_backlog").set(leg.drops_backlog);
+    m.counter(lp + "drops_rate").set(leg.drops_rate);
+  }
+}
+
+}  // namespace ads::relay

@@ -1,0 +1,351 @@
+// Cascaded relay tier (SFU-style scale-out, ROADMAP item 1).
+//
+// A RelayNode terminates one upstream remoting stream — from the AH or from
+// another relay — and re-fans it to N downstream legs *without re-encoding
+// or re-serialising*: each arriving packet becomes (or already is) a
+// PacketView into a shared refcounted buffer, and forwarding to a leg costs
+// one refcount bump plus a `send_batch`/`send_gather` transport call. A
+// depth-D tree of degree-K relays therefore serves K^D × viewers-per-leaf
+// receivers while the AH encodes exactly once (see docs/RELAY.md and the
+// byte-identity golden in tests/relay).
+//
+// Control plane: downstream legs' RTCP terminates at the relay and is
+// aggregated upward —
+//   * NACK: served first from a local RetransmissionCache (a sibling's loss
+//     never reaches the AH); cache misses are deduplicated, batched for
+//     nack_flush_us, and requested upstream once per holdoff window. The
+//     repair is forwarded only to the legs that asked.
+//   * PLI: at most one forwarded upstream per pli_coalesce_us — one AH full
+//     refresh heals the whole subtree.
+//   * RR: one worst-case summary per report_interval_us (max loss/jitter,
+//     min extended highest sequence over the relay's own reception and
+//     every leg's last report), sent upstream as one compound datagram.
+// Upstream control traffic (SRs) is forwarded verbatim to every leg; HIP
+// and BFCP uplink packets pass through upward unchanged.
+//
+// Data plane policy is per leg, so a slow leaf degrades its own leg and
+// never the tree: the §7 backlog gate for TCP legs, a §4.3 token bucket
+// (optionally retargeted by a per-leg ads::rate controller) for UDP legs.
+// A relay has no encoder, so the controller's quality/fps outputs are
+// ignored; only its rate output actuates the bucket.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "buf/buf.hpp"
+#include "net/event_loop.hpp"
+#include "net/rate_limiter.hpp"
+#include "rate/rate_controller.hpp"
+#include "rtp/framing.hpp"
+#include "rtp/packet_classify.hpp"
+#include "rtp/packet_view.hpp"
+#include "rtp/retransmission_cache.hpp"
+#include "rtp/rtp_session.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ads::relay {
+
+/// Identifies one downstream leg within its RelayNode (never reused).
+using LegId = std::uint16_t;
+
+/// Every knob of one relay node. Validated like AppHostOptions: impossible
+/// settings throw, merely nonsensical ones are clamped — see validated().
+struct RelayOptions {
+  /// Maximum downstream fan-out degree; add_leg() past it throws. Must be
+  /// at least 1 (a relay that can never have a leg is a configuration
+  /// error, not a topology).
+  std::size_t max_legs = 64;
+  /// Cadence of the aggregated upstream Receiver Report (and of the per-leg
+  /// rate-adaptation interval). Must be > 0.
+  SimTime report_interval_us = 500'000;
+  /// How long leg NACKs accumulate before one deduplicated upstream NACK is
+  /// flushed (0 is clamped to 1 — flush on the next event-loop turn).
+  SimTime nack_flush_us = 5'000;
+  /// A sequence already requested upstream is not re-requested within this
+  /// window; late joiner legs asking for it are absorbed into the pending
+  /// repair instead. Clamped up to nack_flush_us.
+  SimTime nack_holdoff_us = 100'000;
+  /// At most one PLI is forwarded upstream per window; the rest of the
+  /// subtree's PLIs are coalesced into that one refresh. 0 forwards every
+  /// PLI (no coalescing).
+  SimTime pli_coalesce_us = 500'000;
+  /// Local retransmission store serving subtree NACKs without an upstream
+  /// round trip. Packets, not bytes; clamped to at least 16.
+  std::size_t retransmission_cache = 4096;
+  /// §7 backlog gate for TCP legs: drop a packet for a leg whose send
+  /// backlog exceeds this many bytes (0 disables — the behaviour §7 warns
+  /// against).
+  std::size_t leg_backlog_limit = 64 * 1024;
+  /// §4.3 token bucket seed for UDP legs, bits/s (0 = unlimited). Per-leg
+  /// overrides via LegConfig.
+  std::uint64_t leg_rate_bps = 0;
+  /// Bucket depth for UDP legs; clamped to at least one MTU-ish packet
+  /// (1500 bytes) when a rate is set.
+  std::size_t leg_burst_bytes = 64 * 1024;
+  /// Closed-loop per-leg adaptation (ads::rate). Only the rate output is
+  /// actuated — a relay cannot re-encode, so quality/fps are ignored.
+  rate::AdaptationOptions adaptation;
+  /// Shared observability sink; null = the node owns a private Telemetry.
+  telemetry::Telemetry* telemetry = nullptr;
+  /// Prefix for this node's metrics (multi-relay sessions give each node a
+  /// distinct prefix, e.g. "relay.r3.").
+  std::string metrics_prefix = "relay.";
+  /// Derives the relay's RTCP reporting SSRC deterministically.
+  std::uint64_t seed = 0xBE1A;
+};
+
+/// Per-leg policy overrides supplied at add_leg() time.
+struct LegConfig {
+  /// Token-bucket rate for this leg (bits/s); unset = RelayOptions default.
+  std::optional<std::uint64_t> rate_bps;
+  /// Bucket depth for this leg (bytes); unset = RelayOptions default.
+  std::optional<std::size_t> burst_bytes;
+};
+
+/// Relay-side transport handle for one downstream leg — the same callback
+/// shape as the AH's HostEndpoint, so session wiring builds both from one
+/// channel idiom.
+struct LegEndpoint {
+  /// Transport family of this leg.
+  enum class Kind { kUdp, kTcp };
+  Kind kind = Kind::kUdp;
+  /// UDP: transmit one datagram (control traffic and view-unaware media
+  /// fallback). Return false if dropped before the wire.
+  std::function<bool(BytesView)> send_datagram;
+  /// UDP, zero-copy: transmit one header-plus-view packet.
+  std::function<bool(const PacketView&)> send_packet;
+  /// UDP, zero-copy: drain one forward turn's packets in a single call
+  /// (in order); returns how many the transport accepted.
+  std::function<std::size_t(std::span<const PacketView>)> send_packet_batch;
+  /// TCP: non-blocking stream write; returns bytes accepted.
+  std::function<std::size_t(BytesView)> write_stream;
+  /// TCP, zero-copy: gather-write carry + RFC 4571 prefix + header +
+  /// shared payload as one offer; returns bytes accepted.
+  std::function<std::size_t(std::span<const BytesView>)> write_gather;
+  /// TCP: current send-buffer backlog in bytes (the §7 signal).
+  std::function<std::size_t()> backlog;
+};
+
+/// One relay node: upstream RTP/RTCP termination, zero-copy downstream
+/// fan-out, upward feedback aggregation. Single-threaded on the event loop,
+/// like everything else in the simulator.
+class RelayNode {
+ public:
+  /// Constructs the node on `loop`. `opts` are validated first; impossible
+  /// combinations throw std::invalid_argument.
+  RelayNode(EventLoop& loop, RelayOptions opts = {});
+  ~RelayNode();
+
+  /// Validate and normalise options: rejects impossible settings (zero
+  /// max_legs, zero report interval) with std::invalid_argument and clamps
+  /// nonsensical ones (zero nack flush, holdoff below flush, a rate-limited
+  /// leg burst below one packet, a zero retransmission cache).
+  static RelayOptions validated(RelayOptions opts);
+
+  /// The validated options this node runs with.
+  const RelayOptions& options() const { return opts_; }
+
+  // ----- upstream side ------------------------------------------------
+
+  /// Install the upstream feedback path (aggregated RTCP, pass-through HIP
+  /// and BFCP). The callee owns framing when the upstream link is a stream.
+  void set_upstream(std::function<bool(BytesView)> send) {
+    send_upstream_ = std::move(send);
+  }
+
+  /// One upstream datagram (UDP upstream link). Takes ownership: an RTP
+  /// media packet's bytes are moved into a pooled buffer and become the
+  /// shared payload every leg's PacketView points into — no copy.
+  void on_upstream_datagram(Bytes datagram);
+  /// Zero-copy in-process ingest: the upstream AH/relay hands its own
+  /// PacketView over and the buffer is shared across the whole subtree.
+  void on_upstream_packet(const PacketView& pkt);
+  /// Batch variant of on_upstream_packet; returns packets accepted (all).
+  std::size_t on_upstream_batch(std::span<const PacketView> pkts);
+  /// TCP upstream link: raw RFC 4571-framed stream bytes.
+  void on_upstream_stream(BytesView data);
+
+  // ----- downstream side ----------------------------------------------
+
+  /// Register a downstream leg (a viewer's link or a child relay's
+  /// upstream). Throws std::invalid_argument past options().max_legs.
+  LegId add_leg(LegEndpoint endpoint, LegConfig cfg = {});
+  /// Deregister a leg and reclaim its state.
+  void remove_leg(LegId id);
+  /// Number of registered legs.
+  std::size_t leg_count() const { return legs_.size(); }
+
+  /// Uplink packet from a leg: RTCP terminates here (NACK/PLI/RR
+  /// aggregation); RTP (HIP) and BFCP pass through upward verbatim.
+  void on_leg_packet(LegId from, BytesView packet);
+  /// TCP leg uplink variant: raw RFC 4571-framed stream bytes.
+  void on_leg_stream(LegId from, BytesView data);
+
+  /// Begin the periodic aggregation/adaptation interval on the event loop.
+  void start();
+  /// Stop the periodic interval after the current one fires.
+  void stop() { started_ = false; }
+
+  // ----- introspection -------------------------------------------------
+
+  /// Last Receiver Report block a leg sent (nullptr before the first).
+  const ReportBlock* leg_last_rr(LegId id) const;
+  /// The leg's ads::rate operating point (meaningful when adaptation is
+  /// enabled; nullptr for unknown legs).
+  const rate::OperatingPoint* leg_operating_point(LegId id) const;
+  /// The SSRC this relay reports with (RTCP sender identity).
+  std::uint32_t ssrc() const { return ssrc_; }
+  /// Upstream media SSRC once learned (0 before the first media packet).
+  std::uint32_t upstream_ssrc() const { return upstream_ssrc_; }
+  /// Upstream reception bookkeeping (loss/jitter the aggregated RR reports).
+  const RtpReceiver& receiver() const { return receiver_; }
+  /// The local retransmission store (hit/miss counters feed telemetry).
+  const RetransmissionCache& cache() const { return cache_; }
+
+  /// Lifetime totals for everything the node forwards, serves and absorbs.
+  struct Stats {
+    // Data plane.
+    std::uint64_t upstream_packets = 0;   ///< media packets ingested
+    std::uint64_t upstream_bytes = 0;     ///< media bytes ingested
+    std::uint64_t upstream_duplicates = 0;///< dropped as already-forwarded
+    std::uint64_t forwarded_packets = 0;  ///< per-leg media forwards
+    std::uint64_t forwarded_bytes = 0;    ///< per-leg media bytes
+    std::uint64_t control_forwarded = 0;  ///< SR/BFCP datagrams fanned down
+    std::uint64_t repairs_forwarded = 0;  ///< upstream repairs routed to waiters
+    std::uint64_t payload_bytes_copied = 0;  ///< staging copies (0 on view legs)
+    std::uint64_t leg_drops_backlog = 0;  ///< §7 gate drops across legs
+    std::uint64_t leg_drops_rate = 0;     ///< §4.3 bucket drops across legs
+    // NACK aggregation.
+    std::uint64_t nacks_received = 0;     ///< NACK messages from legs
+    std::uint64_t nack_seqs_received = 0; ///< sequences those asked for
+    std::uint64_t rtx_served = 0;         ///< repairs served from the local cache
+    std::uint64_t rtx_bytes = 0;          ///< bytes of those repairs
+    std::uint64_t nacks_absorbed = 0;     ///< seqs deduplicated into a pending
+                                          ///< or in-flight upstream request
+    std::uint64_t nacks_upstream = 0;     ///< NACK messages sent upstream
+    std::uint64_t nack_seqs_upstream = 0; ///< sequences requested upstream
+    std::uint64_t gap_nacks = 0;          ///< relay-detected upstream losses queued
+    // PLI coalescing.
+    std::uint64_t plis_received = 0;      ///< PLIs from legs
+    std::uint64_t plis_coalesced = 0;     ///< absorbed by the window
+    std::uint64_t plis_upstream = 0;      ///< forwarded upstream
+    // RR aggregation.
+    std::uint64_t rrs_received = 0;       ///< RRs from legs
+    std::uint64_t rrs_aggregated = 0;     ///< worst-case summaries sent upstream
+    // Pass-through uplink.
+    std::uint64_t hip_upstream = 0;       ///< HIP packets relayed upward
+    std::uint64_t bfcp_upstream = 0;      ///< BFCP packets relayed upward
+    std::uint64_t decode_errors = 0;      ///< unparseable/unsupported ingest
+  };
+  /// Lifetime counters (see Stats).
+  const Stats& stats() const { return stats_; }
+
+  /// The node's observability sink (owned or injected).
+  telemetry::Telemetry& telemetry() { return *tel_; }
+
+ private:
+  struct LegState {
+    LegEndpoint ep;
+    TokenBucket bucket;
+    rate::RateController rate_ctrl;
+    std::optional<ReportBlock> last_rr;
+    Bytes stream_carry;              ///< unwritten tail of a partial TCP write
+    StreamDeframer uplink_deframer;  ///< TCP leg uplink reassembly
+    std::vector<PacketView> tx_batch;  ///< one forward turn's packets
+    std::uint64_t forwarded = 0;
+    std::uint64_t drops_backlog = 0;
+    std::uint64_t drops_rate = 0;
+
+    LegState(std::uint64_t rate_bps, std::size_t burst,
+             rate::Transport transport, const rate::AdaptationOptions& adapt)
+        : bucket(rate_bps, burst), rate_ctrl(transport, adapt) {}
+  };
+
+  /// A sequence the subtree is missing: which legs asked (or everyone, for
+  /// relay-detected upstream gaps), and when it went (or will go) upstream.
+  struct PendingRepair {
+    bool all_legs = false;
+    std::set<LegId> waiters;
+    SimTime requested_at = 0;
+  };
+
+  /// Dispatch one upstream packet that arrived as owned bytes.
+  void dispatch_upstream(Bytes datagram);
+  /// Bookkeeping + cache + fan-out for one ingested media view.
+  void ingest_media(const PacketView& v);
+  /// Queue one media packet onto a leg, honouring that leg's §7/§4.3 gates.
+  void forward_to_leg(LegId id, LegState& leg, const PacketView& v);
+  /// Drain a leg's queued packets in one batch transport call.
+  void flush_leg(LegState& leg);
+  /// Fan one upstream control datagram (SR, BFCP) to every leg verbatim.
+  void forward_control(BytesView packet);
+  /// Consume upstream RTCP (SR → LSR/DLSR state) before fanning it down.
+  void handle_upstream_rtcp(BytesView packet);
+  /// Terminate one leg's RTCP: NACK dedup/serve, PLI coalesce, RR record.
+  void handle_leg_rtcp(LegId from, LegState& leg, BytesView packet);
+  /// Serve one NACKed sequence for a leg (cache, pending merge, or queue).
+  void handle_leg_nack_seq(LegId from, LegState& leg, std::uint16_t seq);
+  /// Queue relay-detected upstream gaps for the next NACK flush.
+  void queue_gap_nacks();
+  /// Arm the nack_flush_us timer if pending requests exist and it is idle.
+  void arm_nack_flush();
+  /// Send one deduplicated upstream NACK for everything pending.
+  void flush_nacks();
+  /// Append the pending NACK (if any) to `msgs`, moving entries to
+  /// in-flight state; used by both the flush timer and the report tick.
+  void collect_pending_nack(std::vector<RtcpMessage>& msgs);
+  /// Forward one PLI upstream, or absorb it into the coalesce window.
+  void handle_leg_pli();
+  /// The periodic interval: per-leg adaptation + aggregated upstream RR.
+  void report_tick();
+  /// Worst-case fold of the relay's own reception and every leg's last RR.
+  ReportBlock aggregate_report();
+  /// Snapshot-time collector publishing Stats under the metrics prefix.
+  void publish_metrics();
+
+  EventLoop& loop_;
+  RelayOptions opts_;
+  std::unique_ptr<telemetry::Telemetry> owned_tel_;  ///< null when injected
+  telemetry::Telemetry* tel_;
+  buf::BufPool pool_;  ///< wraps upstream datagrams into shared buffers
+  RetransmissionCache cache_;
+  RtpReceiver receiver_;  ///< upstream media reception bookkeeping
+  StreamDeframer upstream_deframer_;  ///< TCP upstream reassembly
+  std::function<bool(BytesView)> send_upstream_;
+
+  std::map<LegId, LegState> legs_;
+  LegId next_leg_id_ = 1;
+
+  std::uint32_t ssrc_;
+  std::uint32_t upstream_ssrc_ = 0;
+  bool have_upstream_ssrc_ = false;
+
+  // NACK aggregation state: sequences waiting for the next upstream flush,
+  // and sequences already requested upstream awaiting their repair.
+  std::map<std::uint16_t, PendingRepair> pending_nack_;
+  std::map<std::uint16_t, PendingRepair> requested_upstream_;
+  bool nack_flush_armed_ = false;
+
+  SimTime last_pli_up_us_ = 0;
+  bool pli_sent_ever_ = false;
+
+  // LSR/DLSR state from the upstream SR stream.
+  std::uint32_t last_sr_mid_ntp_ = 0;
+  SimTime last_sr_arrival_us_ = 0;
+
+  bool started_ = false;
+  Stats stats_;
+  /// Pending event-loop callbacks hold a weak reference; destruction
+  /// silently cancels them (same idiom as UdpChannel).
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+}  // namespace ads::relay

@@ -1,4 +1,4 @@
-#include "core/packet_classify.hpp"
+#include "rtp/packet_classify.hpp"
 
 namespace ads {
 

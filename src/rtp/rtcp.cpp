@@ -200,6 +200,42 @@ Result<RtcpMessage> parse_rtcp(BytesView data) {
   }
 }
 
+Bytes serialize_rtcp(const RtcpMessage& msg) {
+  return std::visit([](const auto& m) { return m.serialize(); }, msg);
+}
+
+Bytes serialize_rtcp_compound(const std::vector<RtcpMessage>& msgs) {
+  Bytes out;
+  for (const RtcpMessage& msg : msgs) {
+    const Bytes part = serialize_rtcp(msg);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+Result<std::vector<RtcpMessage>> parse_rtcp_compound(BytesView data) {
+  std::vector<RtcpMessage> out;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const BytesView rest = data.subspan(offset);
+    if (rest.size() < 4) return ParseError::kTruncated;
+    if ((rest[0] >> 6) != 2) return ParseError::kBadValue;
+    const std::size_t declared_bytes =
+        ((static_cast<std::size_t>(rest[2]) << 8 | rest[3]) + 1) * 4;
+    if (declared_bytes > rest.size()) return ParseError::kTruncated;
+    // Hand the parser exactly this sub-packet so its own trailing-bytes
+    // tolerance cannot swallow the next one.
+    auto msg = parse_rtcp(rest.subspan(0, declared_bytes));
+    if (msg.ok()) {
+      out.push_back(std::move(*msg));
+    } else if (msg.error() != ParseError::kUnsupported) {
+      return msg.error();
+    }
+    offset += declared_bytes;
+  }
+  return out;
+}
+
 Result<RtcpFeedback> RtcpFeedback::parse(BytesView data) {
   ByteReader in(data);
   auto b0 = in.u8();

@@ -103,4 +103,20 @@ using RtcpMessage =
 
 Result<RtcpMessage> parse_rtcp(BytesView data);
 
+/// Concatenate several RTCP packets into one RFC 3550 §6.1 compound
+/// datagram (each sub-packet keeps its own header; the relay tier ships its
+/// aggregated RR together with any pending NACK this way, so one upstream
+/// datagram carries a subtree's whole feedback interval).
+Bytes serialize_rtcp_compound(const std::vector<RtcpMessage>& msgs);
+
+/// Serialise one RtcpMessage variant (dispatches to the member serialize()).
+Bytes serialize_rtcp(const RtcpMessage& msg);
+
+/// Parse every sub-packet of a (possibly compound) RTCP datagram. Walks the
+/// 32-bit-word length chain; packet types this implementation does not
+/// understand are skipped (RFC 3550 §6.1 says a receiver "should simply
+/// ignore" them), while a malformed header or truncated sub-packet fails
+/// the whole datagram. A non-compound datagram parses as a vector of one.
+Result<std::vector<RtcpMessage>> parse_rtcp_compound(BytesView data);
+
 }  // namespace ads

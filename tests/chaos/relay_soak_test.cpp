@@ -1,0 +1,125 @@
+// Relay-tree chaos soak: a 3-level cascade (AH → r1 → r2 → r3) with real
+// viewers hanging off every level, seeded loss and bandwidth faults on the
+// *interior* links, then a heal-and-settle phase. Run under TSan in CI.
+//
+// The assertions pin the tier's recovery story: interior loss surfaces as
+// relay gap-NACKs served from the parent's cache (never re-encoded, and —
+// when the parent holds the packet — never reaching the AH), leaf viewers
+// keep receiving after the faults clear, and every relay's telemetry is
+// visible in the session-wide registry under its own prefix.
+#include <gtest/gtest.h>
+
+#include "capture/apps.hpp"
+#include "core/session.hpp"
+#include "rtp/rtcp.hpp"
+
+namespace ads {
+namespace {
+
+constexpr int kChaosTicks = 30;
+constexpr int kSettleTicks = 20;
+
+TEST(RelaySoak, ThreeLevelTreeRecoversFromInteriorFaults) {
+  AppHostOptions opts;
+  opts.screen_width = 320;
+  opts.screen_height = 240;
+  opts.frame_interval_us = sim_ms(100);
+  SharingSession session(opts);
+  AppHost& host = session.host();
+
+  const WindowId w = host.wm().create({0, 0, 320, 240}, 1);
+  host.capturer().attach(w, std::make_unique<TerminalApp>(320, 240, 5));
+
+  // The cascade: r1 under the AH, r2 under r1, r3 under r2. Short report
+  // intervals keep feedback flowing at soak timescales.
+  relay::RelayOptions ropts;
+  ropts.report_interval_us = sim_ms(200);
+  ropts.nack_flush_us = sim_ms(5);
+  ropts.nack_holdoff_us = sim_ms(300);
+  auto& r1 = session.add_relay(ropts);
+  auto& r2 = session.add_relay_child(r1, ropts);
+  auto& r3 = session.add_relay_child(r2, ropts);
+
+  // Two viewers per level; their last hops are mildly lossy throughout, so
+  // leg NACKs exercise each relay's local cache the whole run.
+  ParticipantOptions popts;
+  popts.screen_width = 320;
+  popts.screen_height = 240;
+  UdpLinkConfig viewer_link;
+  viewer_link.down.loss = 0.02;
+  std::vector<SharingSession::RelayViewer*> viewers;
+  for (auto* relay_handle : {&r1, &r2, &r3}) {
+    for (int i = 0; i < 2; ++i) {
+      viewers.push_back(
+          &session.add_relay_viewer(*relay_handle, popts, viewer_link));
+    }
+  }
+
+  // Late-join the tree: one leaf PLI refreshes every level at once.
+  PictureLossIndication pli;
+  host.on_uplink_packet(r1.upstream_id, pli.serialize());
+
+  int tick = 0;
+  auto run_ticks = [&](int n) {
+    for (int i = 0; i < n; ++i, ++tick) {
+      if (tick == 5) {
+        // Fault window opens: the r1→r2 interior link loses a quarter of
+        // its datagrams and the r2→r3 link is bandwidth-starved.
+        r2.down->set_loss(0.25);
+        r3.down->set_bandwidth(400'000);
+      }
+      if (tick == kChaosTicks) {
+        // Heal.
+        r2.down->set_loss(0.0);
+        r3.down->set_bandwidth(0);
+      }
+      host.tick();
+      session.run_for(opts.frame_interval_us);
+    }
+  };
+
+  run_ticks(kChaosTicks);
+  const std::uint64_t mid_chaos_leaf_packets =
+      viewers.back()->participant->stats().rtp_packets;
+  run_ticks(kSettleTicks);
+  session.run_for(sim_ms(500));  // drain repairs and reports in flight
+
+  // Interior loss was detected by r2 itself and requested upstream…
+  EXPECT_GT(r2.node->stats().gap_nacks, 0u);
+  EXPECT_GT(r2.node->stats().nacks_upstream, 0u);
+  // …and r1 answered from its cache at least part of the time.
+  EXPECT_GT(r1.node->stats().rtx_served, 0u);
+  // Viewer last-hop losses were healed at the owning relay.
+  EXPECT_GT(r1.node->stats().nacks_received + r2.node->stats().nacks_received +
+                r3.node->stats().nacks_received,
+            0u);
+  // Relays forwarded real traffic with zero payload staging (all legs are
+  // view-capable channels).
+  for (const auto* r : {&r1, &r2, &r3}) {
+    EXPECT_GT(r->node->stats().forwarded_packets, 0u);
+    EXPECT_EQ(r->node->stats().payload_bytes_copied, 0u);
+  }
+
+  // Every viewer — including the depth-3 leaves — received media, and the
+  // leaves kept receiving after the heal.
+  for (const auto* v : viewers) {
+    EXPECT_GT(v->participant->stats().rtp_packets, 0u);
+  }
+  EXPECT_GT(viewers.back()->participant->stats().rtp_packets,
+            mid_chaos_leaf_packets);
+
+  // Aggregated feedback flowed the whole way up: the AH holds a last RR
+  // for the relay root, fed by r1's worst-case summaries.
+  EXPECT_GT(r1.node->stats().rrs_aggregated, 0u);
+  EXPECT_GT(r1.node->stats().rrs_received, 0u);
+
+  // Per-node telemetry is in the shared registry under distinct prefixes.
+  const auto snap = session.telemetry().snapshot();
+  EXPECT_GT(snap.counter("relay.r1.forwarded_packets"), 0u);
+  EXPECT_GT(snap.counter("relay.r2.forwarded_packets"), 0u);
+  EXPECT_GT(snap.counter("relay.r3.forwarded_packets"), 0u);
+  EXPECT_EQ(snap.gauge("relay.r1.legs"), 3);  // r2 + two viewers
+}
+
+}  // namespace
+}  // namespace ads

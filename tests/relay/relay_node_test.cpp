@@ -1,0 +1,438 @@
+// RelayNode behaviour: zero-copy media fan-out, local NACK service with
+// upstream deduplication, PLI coalescing, worst-case RR aggregation, and
+// the per-leg §7 backlog / §4.3 token-bucket gates.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "relay/relay.hpp"
+#include "rtp/rtcp.hpp"
+#include "rtp/rtp_packet.hpp"
+
+namespace ads::relay {
+namespace {
+
+constexpr std::uint32_t kMediaSsrc = 0xCAFE0001;
+
+Bytes media_datagram(std::uint16_t seq, std::size_t payload_len = 64,
+                     std::uint8_t fill = 0xAB) {
+  RtpPacket pkt;
+  pkt.marker = true;
+  pkt.payload_type = kRemotingPayloadType;
+  pkt.sequence = seq;
+  pkt.timestamp = 9000u * seq;
+  pkt.ssrc = kMediaSsrc;
+  pkt.payload.assign(payload_len, fill);
+  return pkt.serialize();
+}
+
+/// One capturing UDP leg: records every media packet (serialised) and every
+/// control datagram the relay hands it.
+struct UdpLegProbe {
+  std::vector<Bytes> media;
+  std::vector<Bytes> control;
+
+  LegEndpoint endpoint() {
+    LegEndpoint ep;
+    ep.kind = LegEndpoint::Kind::kUdp;
+    ep.send_packet = [this](const PacketView& v) {
+      media.push_back(v.serialize());
+      return true;
+    };
+    ep.send_packet_batch = [this](std::span<const PacketView> pkts) {
+      for (const PacketView& v : pkts) media.push_back(v.serialize());
+      return pkts.size();
+    };
+    ep.send_datagram = [this](BytesView d) {
+      control.emplace_back(d.begin(), d.end());
+      return true;
+    };
+    return ep;
+  }
+};
+
+struct Fixture {
+  EventLoop loop;
+  RelayNode node;
+  std::vector<Bytes> upstream;  ///< packets the relay sent upward
+
+  explicit Fixture(RelayOptions opts = {}) : node(loop, opts) {
+    node.set_upstream([this](BytesView p) {
+      upstream.emplace_back(p.begin(), p.end());
+      return true;
+    });
+  }
+
+  void feed_media(std::uint16_t seq) {
+    node.on_upstream_datagram(media_datagram(seq));
+  }
+
+  /// All upstream GenericNack sequences seen so far (across compounds).
+  std::vector<std::uint16_t> upstream_nack_seqs() const {
+    std::vector<std::uint16_t> out;
+    for (const Bytes& dgram : upstream) {
+      auto msgs = parse_rtcp_compound(dgram);
+      if (!msgs.ok()) continue;
+      for (const RtcpMessage& m : *msgs) {
+        if (const auto* nack = std::get_if<GenericNack>(&m)) {
+          for (std::uint16_t s : nack->requested_sequences()) out.push_back(s);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::size_t upstream_pli_count() const {
+    std::size_t n = 0;
+    for (const Bytes& dgram : upstream) {
+      auto msgs = parse_rtcp_compound(dgram);
+      if (!msgs.ok()) continue;
+      for (const RtcpMessage& m : *msgs) {
+        if (std::holds_alternative<PictureLossIndication>(m)) ++n;
+      }
+    }
+    return n;
+  }
+};
+
+TEST(RelayNode, FansMediaToEveryLegByteIdentically) {
+  Fixture f;
+  UdpLegProbe a, b;
+  f.node.add_leg(a.endpoint());
+  f.node.add_leg(b.endpoint());
+
+  const Bytes wire0 = media_datagram(100);
+  const Bytes wire1 = media_datagram(101);
+  f.feed_media(100);
+  f.feed_media(101);
+
+  ASSERT_EQ(a.media.size(), 2u);
+  ASSERT_EQ(b.media.size(), 2u);
+  EXPECT_EQ(a.media[0], wire0);
+  EXPECT_EQ(a.media[1], wire1);
+  EXPECT_EQ(b.media[0], wire0);
+  EXPECT_EQ(b.media[1], wire1);
+  EXPECT_EQ(f.node.stats().upstream_packets, 2u);
+  EXPECT_EQ(f.node.stats().forwarded_packets, 4u);
+  // The send_packet leg path never stages payload bytes.
+  EXPECT_EQ(f.node.stats().payload_bytes_copied, 0u);
+  EXPECT_EQ(f.node.upstream_ssrc(), kMediaSsrc);
+}
+
+TEST(RelayNode, DropsNetworkDuplicates) {
+  Fixture f;
+  UdpLegProbe a;
+  f.node.add_leg(a.endpoint());
+  f.feed_media(7);
+  f.feed_media(7);
+  EXPECT_EQ(a.media.size(), 1u);
+  EXPECT_EQ(f.node.stats().upstream_duplicates, 1u);
+}
+
+TEST(RelayNode, ServesNackFromLocalCacheWithoutUpstreamRequest) {
+  Fixture f;
+  UdpLegProbe a, b;
+  const LegId leg_a = f.node.add_leg(a.endpoint());
+  f.node.add_leg(b.endpoint());
+  for (std::uint16_t s = 0; s < 5; ++s) f.feed_media(s);
+  a.media.clear();
+
+  // Leg A lost 2 and 3 on its last hop and NACKs; the relay's cache covers
+  // both, so nothing goes upstream and leg B sees no retransmission.
+  const GenericNack nack =
+      GenericNack::for_sequences(0x77, kMediaSsrc, {2, 3});
+  f.node.on_leg_packet(leg_a, nack.serialize());
+
+  ASSERT_EQ(a.media.size(), 2u);
+  EXPECT_EQ(a.media[0], media_datagram(2));
+  EXPECT_EQ(a.media[1], media_datagram(3));
+  EXPECT_EQ(b.media.size(), 5u);  // no duplicate fan-out
+  EXPECT_EQ(f.node.stats().rtx_served, 2u);
+  EXPECT_EQ(f.node.stats().nacks_upstream, 0u);
+  f.loop.run_until(f.loop.now() + sim_ms(100));
+  EXPECT_TRUE(f.upstream_nack_seqs().empty());
+}
+
+TEST(RelayNode, CacheMissGoesUpstreamOnceAndRepairReachesOnlyWaiters) {
+  Fixture f;
+  UdpLegProbe a, b;
+  const LegId leg_a = f.node.add_leg(a.endpoint());
+  const LegId leg_b = f.node.add_leg(b.endpoint());
+  f.feed_media(0);  // learn the SSRC, seed the receiver
+
+  // Sequence 9 never reached the relay: both legs ask for it; one upstream
+  // request must result, with the second leg absorbed as a waiter.
+  f.node.on_leg_packet(
+      leg_a, GenericNack::for_sequences(0x77, kMediaSsrc, {9}).serialize());
+  f.node.on_leg_packet(
+      leg_b, GenericNack::for_sequences(0x78, kMediaSsrc, {9}).serialize());
+  f.loop.run_until(f.loop.now() + sim_ms(50));
+
+  const auto seqs = f.upstream_nack_seqs();
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0], 9);
+  EXPECT_EQ(f.node.stats().nacks_upstream, 1u);
+  EXPECT_EQ(f.node.stats().nacks_absorbed, 1u);
+
+  // The repair arrives from upstream: both waiters get it exactly once, and
+  // it is not re-fanned as fresh media on later packets.
+  a.media.clear();
+  b.media.clear();
+  f.node.on_upstream_datagram(media_datagram(9));
+  ASSERT_EQ(a.media.size(), 1u);
+  ASSERT_EQ(b.media.size(), 1u);
+  EXPECT_EQ(a.media[0], media_datagram(9));
+  EXPECT_EQ(f.node.stats().repairs_forwarded, 1u);
+}
+
+TEST(RelayNode, RelayDetectedGapIsNackedUpstreamAndRepairFansToAll) {
+  Fixture f;
+  UdpLegProbe a, b;
+  f.node.add_leg(a.endpoint());
+  f.node.add_leg(b.endpoint());
+  f.feed_media(0);
+  f.feed_media(1);
+  f.feed_media(3);  // gap: 2 lost on the upstream link
+  f.loop.run_until(f.loop.now() + sim_ms(50));
+
+  const auto seqs = f.upstream_nack_seqs();
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0], 2);
+  EXPECT_EQ(f.node.stats().gap_nacks, 1u);
+
+  // A relay-detected gap was never forwarded anywhere, so the repair goes
+  // to every leg.
+  a.media.clear();
+  b.media.clear();
+  f.node.on_upstream_datagram(media_datagram(2));
+  ASSERT_EQ(a.media.size(), 1u);
+  ASSERT_EQ(b.media.size(), 1u);
+  EXPECT_EQ(a.media[0], media_datagram(2));
+}
+
+TEST(RelayNode, CoalescesSubtreePlisIntoOneUpstreamRefresh) {
+  Fixture f;
+  UdpLegProbe a, b;
+  const LegId leg_a = f.node.add_leg(a.endpoint());
+  const LegId leg_b = f.node.add_leg(b.endpoint());
+  f.feed_media(0);
+
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0x77;
+  pli.media_ssrc = kMediaSsrc;
+  f.node.on_leg_packet(leg_a, pli.serialize());
+  f.node.on_leg_packet(leg_b, pli.serialize());
+  EXPECT_EQ(f.upstream_pli_count(), 1u);
+  EXPECT_EQ(f.node.stats().plis_upstream, 1u);
+  EXPECT_EQ(f.node.stats().plis_coalesced, 1u);
+
+  // Outside the window the next PLI is forwarded again.
+  f.loop.run_until(f.loop.now() + f.node.options().pli_coalesce_us + 1);
+  f.node.on_leg_packet(leg_a, pli.serialize());
+  EXPECT_EQ(f.upstream_pli_count(), 2u);
+}
+
+TEST(RelayNode, AggregatesWorstCaseReceiverReportUpstream) {
+  RelayOptions opts;
+  opts.report_interval_us = sim_ms(100);
+  Fixture f(opts);
+  UdpLegProbe a, b;
+  const LegId leg_a = f.node.add_leg(a.endpoint());
+  const LegId leg_b = f.node.add_leg(b.endpoint());
+  f.node.start();
+  f.feed_media(0);
+  f.feed_media(1);
+
+  // Leg A reports heavy loss, leg B is clean but further behind.
+  ReportBlock block_a;
+  block_a.ssrc = kMediaSsrc;
+  block_a.fraction_lost = 64;
+  block_a.cumulative_lost = 10;
+  block_a.ext_highest_seq = 1;
+  block_a.jitter = 500;
+  ReceiverReport rr_a;
+  rr_a.ssrc = 0x77;
+  rr_a.blocks.push_back(block_a);
+  f.node.on_leg_packet(leg_a, rr_a.serialize());
+
+  ReportBlock block_b = block_a;
+  block_b.fraction_lost = 0;
+  block_b.cumulative_lost = 0;
+  block_b.ext_highest_seq = 0;  // ignored: a leg that never saw media
+  block_b.jitter = 900;
+  ReceiverReport rr_b;
+  rr_b.ssrc = 0x78;
+  rr_b.blocks.push_back(block_b);
+  f.node.on_leg_packet(leg_b, rr_b.serialize());
+
+  f.loop.run_until(f.loop.now() + sim_ms(150));
+
+  const ReceiverReport* up = nullptr;
+  std::vector<ReceiverReport> found;
+  for (const Bytes& dgram : f.upstream) {
+    auto msgs = parse_rtcp_compound(dgram);
+    if (!msgs.ok()) continue;
+    for (const RtcpMessage& m : *msgs) {
+      if (const auto* rr = std::get_if<ReceiverReport>(&m)) found.push_back(*rr);
+    }
+  }
+  ASSERT_FALSE(found.empty());
+  up = &found.back();
+  ASSERT_EQ(up->blocks.size(), 1u);
+  EXPECT_EQ(up->ssrc, f.node.ssrc());
+  EXPECT_EQ(up->blocks[0].ssrc, kMediaSsrc);
+  // Worst case across the relay's own (clean) reception and both legs.
+  EXPECT_EQ(up->blocks[0].fraction_lost, 64);
+  EXPECT_EQ(up->blocks[0].cumulative_lost, 10u);
+  EXPECT_GE(up->blocks[0].jitter, 900u);
+  EXPECT_EQ(up->blocks[0].ext_highest_seq, 1u);
+  EXPECT_EQ(f.node.stats().rrs_received, 2u);
+  EXPECT_GE(f.node.stats().rrs_aggregated, 1u);
+  ASSERT_NE(f.node.leg_last_rr(leg_a), nullptr);
+  EXPECT_EQ(f.node.leg_last_rr(leg_a)->fraction_lost, 64);
+}
+
+TEST(RelayNode, BacklogGateShedsOnlyTheSlowTcpLeg) {
+  Fixture f;
+  UdpLegProbe healthy;
+  f.node.add_leg(healthy.endpoint());
+
+  std::size_t backlog = 0;
+  Bytes slow_bytes;
+  LegEndpoint slow;
+  slow.kind = LegEndpoint::Kind::kTcp;
+  slow.write_gather = [&slow_bytes](std::span<const BytesView> parts) {
+    std::size_t total = 0;
+    for (const BytesView& p : parts) {
+      slow_bytes.insert(slow_bytes.end(), p.begin(), p.end());
+      total += p.size();
+    }
+    return total;
+  };
+  slow.backlog = [&backlog] { return backlog; };
+  f.node.add_leg(std::move(slow));
+
+  f.feed_media(0);
+  backlog = f.node.options().leg_backlog_limit + 1;  // §7 spike
+  f.feed_media(1);
+  f.feed_media(2);
+  backlog = 0;
+  f.feed_media(3);
+
+  EXPECT_EQ(healthy.media.size(), 4u);  // untouched by the sibling's spike
+  EXPECT_EQ(f.node.stats().leg_drops_backlog, 2u);
+  // The TCP leg received frames 0 and 3 as RFC 4571 frames.
+  Bytes expected;
+  for (std::uint16_t s : {0, 3}) {
+    const Bytes wire = media_datagram(s);
+    expected.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+    expected.push_back(static_cast<std::uint8_t>(wire.size()));
+    expected.insert(expected.end(), wire.begin(), wire.end());
+  }
+  EXPECT_EQ(slow_bytes, expected);
+  // Full gather acceptance: nothing was re-staged.
+  EXPECT_EQ(f.node.stats().payload_bytes_copied, 0u);
+}
+
+TEST(RelayNode, TokenBucketShedsOnlyTheStarvedUdpLeg) {
+  Fixture f;
+  UdpLegProbe healthy, starved;
+  f.node.add_leg(healthy.endpoint());
+  LegConfig cfg;
+  cfg.rate_bps = 8;  // ~1 byte/s: the first burst is all it ever gets
+  cfg.burst_bytes = media_datagram(0).size();
+  f.node.add_leg(starved.endpoint(), cfg);
+
+  for (std::uint16_t s = 0; s < 4; ++s) f.feed_media(s);
+
+  EXPECT_EQ(healthy.media.size(), 4u);
+  EXPECT_EQ(starved.media.size(), 1u);  // burst covered exactly one packet
+  EXPECT_EQ(f.node.stats().leg_drops_rate, 3u);
+}
+
+TEST(RelayNode, ForwardsUpstreamControlVerbatimToEveryLeg) {
+  Fixture f;
+  UdpLegProbe a, b;
+  f.node.add_leg(a.endpoint());
+  f.node.add_leg(b.endpoint());
+
+  SenderReport sr;
+  sr.ssrc = kMediaSsrc;
+  sr.ntp_timestamp = 0x0123456789ABCDEFull;
+  sr.rtp_timestamp = 90'000;
+  sr.packet_count = 10;
+  sr.octet_count = 1000;
+  const Bytes wire = sr.serialize();
+  f.node.on_upstream_datagram(wire);
+
+  ASSERT_EQ(a.control.size(), 1u);
+  ASSERT_EQ(b.control.size(), 1u);
+  EXPECT_EQ(a.control[0], wire);
+  EXPECT_EQ(b.control[0], wire);
+  EXPECT_EQ(f.node.stats().control_forwarded, 1u);
+  EXPECT_TRUE(a.media.empty());
+}
+
+TEST(RelayNode, PassesHipAndBfcpUplinkThroughUnchanged) {
+  Fixture f;
+  UdpLegProbe a;
+  const LegId leg = f.node.add_leg(a.endpoint());
+
+  RtpPacket hip;
+  hip.payload_type = kHipPayloadType;
+  hip.sequence = 42;
+  hip.ssrc = 0x5151;
+  hip.payload = {1, 2, 3};
+  const Bytes hip_wire = hip.serialize();
+  f.node.on_leg_packet(leg, hip_wire);
+
+  const Bytes bfcp_wire = {0x20, 0x01, 0x00, 0x00};  // BFCP ver-1 header
+  f.node.on_leg_packet(leg, bfcp_wire);
+
+  ASSERT_EQ(f.upstream.size(), 2u);
+  EXPECT_EQ(f.upstream[0], hip_wire);
+  EXPECT_EQ(f.upstream[1], bfcp_wire);
+  EXPECT_EQ(f.node.stats().hip_upstream, 1u);
+  EXPECT_EQ(f.node.stats().bfcp_upstream, 1u);
+}
+
+TEST(RelayNode, StreamUpstreamIngestMatchesDatagramIngest) {
+  Fixture f;
+  UdpLegProbe a;
+  f.node.add_leg(a.endpoint());
+
+  // The same two packets, RFC 4571-framed and fed in awkward split chunks.
+  Bytes stream;
+  for (std::uint16_t s : {5, 6}) {
+    const Bytes wire = media_datagram(s);
+    stream.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+    stream.push_back(static_cast<std::uint8_t>(wire.size()));
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  f.node.on_upstream_stream(BytesView(stream.data(), 3));
+  f.node.on_upstream_stream(
+      BytesView(stream.data() + 3, stream.size() - 3));
+
+  ASSERT_EQ(a.media.size(), 2u);
+  EXPECT_EQ(a.media[0], media_datagram(5));
+  EXPECT_EQ(a.media[1], media_datagram(6));
+}
+
+TEST(RelayNode, PublishesTelemetryUnderItsPrefix) {
+  RelayOptions opts;
+  opts.metrics_prefix = "relay.r9.";
+  EventLoop loop;
+  RelayNode node(loop, opts);
+  UdpLegProbe a;
+  node.add_leg(a.endpoint());
+  node.on_upstream_datagram(media_datagram(0));
+
+  const auto snap = node.telemetry().snapshot();
+  EXPECT_TRUE(snap.has_counter("relay.r9.upstream_packets"));
+  EXPECT_EQ(snap.counter("relay.r9.upstream_packets"), 1u);
+  EXPECT_EQ(snap.counter("relay.r9.forwarded_packets"), 1u);
+  EXPECT_EQ(snap.gauge("relay.r9.legs"), 1);
+}
+
+}  // namespace
+}  // namespace ads::relay

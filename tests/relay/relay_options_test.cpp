@@ -1,0 +1,111 @@
+// RelayOptions validation (same contract as AppHostOptions::validated):
+// impossible settings throw std::invalid_argument, merely nonsensical ones
+// are clamped into a working configuration — a misconfigured relay must
+// never silently wedge a whole subtree.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/session.hpp"
+#include "relay/relay.hpp"
+
+namespace ads::relay {
+namespace {
+
+TEST(RelayOptions, ZeroMaxLegsThrows) {
+  RelayOptions opts;
+  opts.max_legs = 0;
+  EXPECT_THROW(RelayNode::validated(opts), std::invalid_argument);
+  EventLoop loop;
+  EXPECT_THROW(RelayNode(loop, opts), std::invalid_argument);
+}
+
+TEST(RelayOptions, ZeroReportIntervalThrows) {
+  RelayOptions opts;
+  opts.report_interval_us = 0;
+  EXPECT_THROW(RelayNode::validated(opts), std::invalid_argument);
+}
+
+TEST(RelayOptions, ZeroNackFlushClampedToNextTurn) {
+  RelayOptions opts;
+  opts.nack_flush_us = 0;
+  EXPECT_EQ(RelayNode::validated(opts).nack_flush_us, 1u);
+}
+
+TEST(RelayOptions, HoldoffClampedUpToFlushInterval) {
+  RelayOptions opts;
+  opts.nack_flush_us = 50'000;
+  opts.nack_holdoff_us = 10'000;  // re-request before the flush even fires
+  EXPECT_EQ(RelayNode::validated(opts).nack_holdoff_us, 50'000u);
+}
+
+TEST(RelayOptions, TinyRetransmissionCacheClamped) {
+  RelayOptions opts;
+  opts.retransmission_cache = 0;
+  EXPECT_EQ(RelayNode::validated(opts).retransmission_cache, 16u);
+}
+
+TEST(RelayOptions, RateLimitedBurstClampedToOnePacket) {
+  RelayOptions opts;
+  opts.leg_rate_bps = 1'000'000;
+  opts.leg_burst_bytes = 100;  // below one MTU: nothing could ever send
+  EXPECT_EQ(RelayNode::validated(opts).leg_burst_bytes, 1500u);
+  // Unlimited legs keep whatever burst was configured.
+  opts.leg_rate_bps = 0;
+  opts.leg_burst_bytes = 100;
+  EXPECT_EQ(RelayNode::validated(opts).leg_burst_bytes, 100u);
+}
+
+TEST(RelayOptions, SwappedAdaptationClampIsReordered) {
+  RelayOptions opts;
+  opts.adaptation.min_rate_bps = 5'000'000;
+  opts.adaptation.max_rate_bps = 1'000'000;
+  const RelayOptions v = RelayNode::validated(opts);
+  EXPECT_LE(v.adaptation.min_rate_bps, v.adaptation.max_rate_bps);
+}
+
+TEST(RelayOptions, DefaultsAreAlreadyValid) {
+  const RelayOptions defaults;
+  const RelayOptions v = RelayNode::validated(defaults);
+  EXPECT_EQ(v.max_legs, defaults.max_legs);
+  EXPECT_EQ(v.report_interval_us, defaults.report_interval_us);
+  EXPECT_EQ(v.nack_flush_us, defaults.nack_flush_us);
+  EXPECT_EQ(v.nack_holdoff_us, defaults.nack_holdoff_us);
+  EXPECT_EQ(v.retransmission_cache, defaults.retransmission_cache);
+}
+
+TEST(RelayOptions, AddLegBeyondMaxLegsThrows) {
+  EventLoop loop;
+  RelayOptions opts;
+  opts.max_legs = 2;
+  RelayNode node(loop, opts);
+  LegEndpoint a, b, c;
+  node.add_leg(std::move(a));
+  node.add_leg(std::move(b));
+  EXPECT_THROW(node.add_leg(std::move(c)), std::invalid_argument);
+  EXPECT_EQ(node.leg_count(), 2u);
+}
+
+TEST(RelayOptions, RemoveLegFreesASlot) {
+  EventLoop loop;
+  RelayOptions opts;
+  opts.max_legs = 1;
+  RelayNode node(loop, opts);
+  const LegId id = node.add_leg(LegEndpoint{});
+  node.remove_leg(id);
+  EXPECT_EQ(node.leg_count(), 0u);
+  EXPECT_NO_THROW(node.add_leg(LegEndpoint{}));
+}
+
+TEST(RelaySession, CascadeDepthIsBounded) {
+  SharingSession session;
+  SharingSession::RelayHandle* relay = &session.add_relay();
+  for (int depth = 2; depth <= SharingSession::kMaxRelayDepth; ++depth) {
+    relay = &session.add_relay_child(*relay);
+    EXPECT_EQ(relay->depth, depth);
+  }
+  EXPECT_THROW(session.add_relay_child(*relay), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ads::relay

@@ -1,0 +1,167 @@
+// Compound RTCP wire round-trips (RFC 3550 §6.1): serialise a message list,
+// parse it back, re-serialise — byte-equal. Plus the walker's failure and
+// tolerance modes: unknown packet types are skipped (not fatal), truncation
+// and bad versions reject the whole datagram.
+#include <gtest/gtest.h>
+
+#include <variant>
+#include <vector>
+
+#include "rtp/rtcp.hpp"
+
+namespace ads {
+namespace {
+
+ReportBlock sample_block(std::uint32_t ssrc, std::uint8_t lost) {
+  ReportBlock b;
+  b.ssrc = ssrc;
+  b.fraction_lost = lost;
+  b.cumulative_lost = 123;
+  b.ext_highest_seq = 0x00010042;
+  b.jitter = 777;
+  b.last_sr = 0xAABBCCDD;
+  b.delay_since_last_sr = 65536;
+  return b;
+}
+
+std::vector<RtcpMessage> sample_compound() {
+  SenderReport sr;
+  sr.ssrc = 0x1111;
+  sr.ntp_timestamp = 0x0123456789ABCDEFull;
+  sr.rtp_timestamp = 90'000;
+  sr.packet_count = 10;
+  sr.octet_count = 4096;
+  sr.blocks.push_back(sample_block(0x2222, 5));
+  sr.blocks.push_back(sample_block(0x3333, 0));
+
+  ReceiverReport rr;
+  rr.ssrc = 0x4444;
+  rr.blocks.push_back(sample_block(0x2222, 130));
+
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0x4444;
+  pli.media_ssrc = 0x2222;
+
+  const GenericNack nack =
+      GenericNack::for_sequences(0x4444, 0x2222, {100, 101, 103, 200});
+
+  return {RtcpMessage(sr), RtcpMessage(rr), RtcpMessage(pli),
+          RtcpMessage(nack)};
+}
+
+TEST(RtcpCompound, SerialiseParseReserialiseIsByteEqual) {
+  const std::vector<RtcpMessage> msgs = sample_compound();
+  const Bytes wire = serialize_rtcp_compound(msgs);
+
+  auto parsed = parse_rtcp_compound(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), msgs.size());
+
+  const Bytes rewire = serialize_rtcp_compound(*parsed);
+  EXPECT_EQ(rewire, wire);
+
+  // And the fields made the trip intact.
+  const auto& sr = std::get<SenderReport>((*parsed)[0]);
+  EXPECT_EQ(sr.ntp_timestamp, 0x0123456789ABCDEFull);
+  ASSERT_EQ(sr.blocks.size(), 2u);
+  EXPECT_EQ(sr.blocks[1].ssrc, 0x3333u);
+  const auto& rr = std::get<ReceiverReport>((*parsed)[1]);
+  EXPECT_EQ(rr.blocks[0].fraction_lost, 130);
+  EXPECT_EQ(rr.blocks[0].delay_since_last_sr, 65536u);
+  const auto& nack = std::get<GenericNack>((*parsed)[3]);
+  const auto seqs = nack.requested_sequences();
+  EXPECT_EQ(seqs, (std::vector<std::uint16_t>{100, 101, 103, 200}));
+}
+
+TEST(RtcpCompound, SingleMessageCompoundMatchesPlainParse) {
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0xAA;
+  pli.media_ssrc = 0xBB;
+  const Bytes wire = pli.serialize();
+
+  auto compound = parse_rtcp_compound(wire);
+  ASSERT_TRUE(compound.ok());
+  ASSERT_EQ(compound->size(), 1u);
+  auto single = parse_rtcp(wire);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(serialize_rtcp((*compound)[0]), serialize_rtcp(*single));
+}
+
+TEST(RtcpCompound, UnknownPacketTypesAreSkippedNotFatal) {
+  // PLI + SDES (pt 202, unsupported) + RR: the walker must step over the
+  // middle packet by its declared length and still return both neighbours.
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0xAA;
+  pli.media_ssrc = 0xBB;
+  Bytes wire = pli.serialize();
+
+  const Bytes sdes = {0x81, 202, 0x00, 0x01, 0xDE, 0xAD, 0xBE, 0xEF};
+  wire.insert(wire.end(), sdes.begin(), sdes.end());
+
+  ReceiverReport rr;
+  rr.ssrc = 0xCC;
+  const Bytes rr_wire = rr.serialize();
+  wire.insert(wire.end(), rr_wire.begin(), rr_wire.end());
+
+  auto parsed = parse_rtcp_compound(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<PictureLossIndication>((*parsed)[0]));
+  EXPECT_TRUE(std::holds_alternative<ReceiverReport>((*parsed)[1]));
+}
+
+TEST(RtcpCompound, EmptyDatagramParsesToNoMessages) {
+  auto parsed = parse_rtcp_compound(BytesView());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(RtcpCompound, TruncatedChainRejectsWholeDatagram) {
+  const Bytes wire = serialize_rtcp_compound(sample_compound());
+  // Any cut inside the chain — mid-header or mid-body — must reject.
+  for (const std::size_t cut : {wire.size() - 1, wire.size() - 5, std::size_t{3}}) {
+    auto parsed = parse_rtcp_compound(BytesView(wire.data(), cut));
+    ASSERT_FALSE(parsed.ok()) << "cut at " << cut;
+    EXPECT_EQ(parsed.error(), ParseError::kTruncated);
+  }
+}
+
+TEST(RtcpCompound, DeclaredLengthBeyondBufferIsTruncation) {
+  PictureLossIndication pli;
+  Bytes wire = pli.serialize();
+  wire[3] = 40;  // claims 164 bytes; only 12 present
+  auto parsed = parse_rtcp_compound(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kTruncated);
+}
+
+TEST(RtcpCompound, BadVersionInAnySubPacketRejects) {
+  PictureLossIndication pli;
+  Bytes wire = pli.serialize();
+  const Bytes second = pli.serialize();
+  wire.insert(wire.end(), second.begin(), second.end());
+  wire[12] = 0x41;  // second sub-packet claims RTP version 1
+  auto parsed = parse_rtcp_compound(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kBadValue);
+}
+
+TEST(RtcpCompound, RelayStyleRrPlusNackCompound) {
+  // The shape the relay emits every report interval: one aggregated RR and
+  // one deduplicated NACK in a single datagram.
+  ReceiverReport rr;
+  rr.ssrc = 0x5555;
+  rr.blocks.push_back(sample_block(0x2222, 12));
+  std::vector<RtcpMessage> msgs{RtcpMessage(rr)};
+  msgs.push_back(
+      RtcpMessage(GenericNack::for_sequences(0x5555, 0x2222, {7, 8, 9})));
+
+  const Bytes wire = serialize_rtcp_compound(msgs);
+  auto parsed = parse_rtcp_compound(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(serialize_rtcp_compound(*parsed), wire);
+}
+
+}  // namespace
+}  // namespace ads
