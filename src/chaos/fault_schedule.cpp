@@ -31,6 +31,8 @@ const char* fault_class_name(FaultClass c) {
     case FaultClass::kBandwidthCollapse: return "bandwidth_collapse";
     case FaultClass::kStall: return "stall";
     case FaultClass::kDrop: return "drop";
+    case FaultClass::kRelayCrash: return "relay_crash";
+    case FaultClass::kRelayStall: return "relay_stall";
   }
   return "unknown";
 }
@@ -72,6 +74,9 @@ SimTime FaultSchedule::all_clear_at() const {
   SimTime latest = 0;
   for (const FaultEpisode& e : episodes_) {
     if (e.kind == FaultClass::kDrop) continue;  // never clears by itself
+    if (e.kind == FaultClass::kRelayCrash && e.end_us == e.start_us) {
+      continue;  // permanent crash: recovery is out of band
+    }
     latest = std::max(latest, e.end_us);
   }
   return latest;
@@ -165,6 +170,39 @@ void FaultSchedule::drop(TcpChannel& link, SimTime at) {
   loop_.at(at, [this, &link] {
     begin_episode(FaultClass::kDrop);
     link.drop();
+  });
+}
+
+void FaultSchedule::relay_crash(SimTime at, SimTime down_for,
+                                std::function<void()> kill,
+                                std::function<void()> restart) {
+  // Without a restart the node never comes back: end == start marks the
+  // episode permanent (all_clear_at() skips it, like kDrop).
+  const bool permanent = restart == nullptr;
+  add_episode(FaultClass::kRelayCrash, at, permanent ? at : at + down_for);
+  loop_.at(at, [this, kill = std::move(kill)] {
+    begin_episode(FaultClass::kRelayCrash);
+    kill();
+  });
+  if (!permanent) {
+    loop_.at(at + down_for, [this, restart = std::move(restart)] {
+      restart();
+      end_episode();
+    });
+  }
+}
+
+void FaultSchedule::relay_stall(SimTime start, SimTime duration,
+                                std::function<void(bool)> set_stalled) {
+  add_episode(FaultClass::kRelayStall, start, start + duration);
+  auto shared = std::make_shared<std::function<void(bool)>>(std::move(set_stalled));
+  loop_.at(start, [this, shared] {
+    begin_episode(FaultClass::kRelayStall);
+    (*shared)(true);
+  });
+  loop_.at(start + duration, [this, shared] {
+    (*shared)(false);
+    end_episode();
   });
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -39,12 +40,15 @@ enum class FaultClass : std::uint8_t {
   kBandwidthCollapse,  ///< link rate collapses, then restores (UDP or TCP)
   kStall,              ///< send window closes: zero bytes accepted (TCP)
   kDrop,               ///< hard connection drop — permanent until reconnect
+  kRelayCrash,         ///< relay node killed cold mid-tree (optional restart)
+  kRelayStall,         ///< relay node wedged: forwards and reports nothing
 };
 
 const char* fault_class_name(FaultClass c);
 
 /// One scheduled episode, for introspection and convergence deadlines.
-/// For kDrop, end_us == start_us: the fault never clears by itself.
+/// For kDrop (and a kRelayCrash scheduled without a restart),
+/// end_us == start_us: the fault never clears by itself.
 struct FaultEpisode {
   FaultClass kind = FaultClass::kBlackout;
   SimTime start_us = 0;
@@ -98,6 +102,21 @@ class FaultSchedule {
   /// is out of band (SharingSession::reconnect_tcp) — the episode never
   /// counts as cleared.
   void drop(TcpChannel& link, SimTime at);
+
+  /// Kill a relay node cold at `at` and (when `restart` is set) bring it
+  /// back `down_for` later. Callback-scripted — `kill` is typically
+  /// SharingSession::crash_relay and `restart` restart_relay — so the
+  /// chaos layer stays free of relay-tier dependencies. With no restart
+  /// the crash is permanent and, like kDrop, never counts as cleared.
+  void relay_crash(SimTime at, SimTime down_for, std::function<void()> kill,
+                   std::function<void()> restart = nullptr);
+
+  /// Wedge a relay node during [start, start+duration): `set_stalled(true)`
+  /// at start and `(false)` at the end — typically bound to
+  /// RelayNode::set_stalled. A stalled node drops ingest, forwards nothing
+  /// and emits no feedback, so its subtree sees pure upstream silence.
+  void relay_stall(SimTime start, SimTime duration,
+                   std::function<void(bool)> set_stalled);
 
   // ---- seeded random schedules (the chaos-soak matrix entry point) ----
   /// Script a random sequence of blackout / burst / collapse episodes onto

@@ -35,6 +35,41 @@ void gather_framed_write(TcpChannel& ch, Bytes& carry, BytesView packet) {
   carry = std::move(rest);
 }
 
+/// Leg endpoint feeding a child relay's subtree, routed through the child's
+/// stable handle: a crash nulls the channel and sends fail cleanly instead
+/// of dereferencing a dead UdpChannel.
+relay::LegEndpoint child_leg_endpoint(SharingSession::RelayHandle* r) {
+  relay::LegEndpoint ep;
+  ep.kind = relay::LegEndpoint::Kind::kUdp;
+  ep.send_datagram = [r](BytesView d) {
+    return r->down ? r->down->send(d) : false;
+  };
+  ep.send_packet = [r](const PacketView& pkt) {
+    return r->down ? r->down->send_packet(pkt) : false;
+  };
+  ep.send_packet_batch = [r](std::span<const PacketView> pkts) {
+    return r->down ? r->down->send_batch(pkts) : std::size_t{0};
+  };
+  return ep;
+}
+
+/// Leg endpoint feeding one relay viewer, routed through the viewer handle
+/// for the same lifetime-safety reason.
+relay::LegEndpoint viewer_leg_endpoint(SharingSession::RelayViewer* v) {
+  relay::LegEndpoint ep;
+  ep.kind = relay::LegEndpoint::Kind::kUdp;
+  ep.send_datagram = [v](BytesView d) {
+    return v->down ? v->down->send(d) : false;
+  };
+  ep.send_packet = [v](const PacketView& pkt) {
+    return v->down ? v->down->send_packet(pkt) : false;
+  };
+  ep.send_packet_batch = [v](std::span<const PacketView> pkts) {
+    return v->down ? v->down->send_batch(pkts) : std::size_t{0};
+  };
+  return ep;
+}
+
 }  // namespace
 
 SharingSession::SharingSession(AppHostOptions host_opts)
@@ -160,19 +195,24 @@ void SharingSession::publish_net_metrics() {
   met.counter("recovery.dropped_links").set(dropped_links_);
   met.counter("recovery.reconnects").set(reconnects_);
   met.counter("recovery.evicted_connections").set(evicted_connections_);
+  met.counter("recovery.relay_crashes").set(relay_crashes_);
+  met.counter("recovery.relay_restarts").set(relay_restarts_);
+  met.counter("recovery.relay_failovers").set(relay_failovers_);
+}
+
+void SharingSession::retire_udp(const UdpChannel* ch) {
+  if (ch == nullptr) return;
+  const UdpChannel::Stats& s = ch->stats();
+  retired_udp_.sent += s.sent;
+  retired_udp_.delivered += s.delivered;
+  retired_udp_.lost += s.lost;
+  retired_udp_.queue_dropped += s.queue_dropped;
+  retired_udp_.duplicated += s.duplicated;
+  retired_udp_.bytes_delivered += s.bytes_delivered;
 }
 
 void SharingSession::retire_stats(Connection& c) {
-  const auto fold_udp = [this](const UdpChannel* ch) {
-    if (ch == nullptr) return;
-    const UdpChannel::Stats& s = ch->stats();
-    retired_udp_.sent += s.sent;
-    retired_udp_.delivered += s.delivered;
-    retired_udp_.lost += s.lost;
-    retired_udp_.queue_dropped += s.queue_dropped;
-    retired_udp_.duplicated += s.duplicated;
-    retired_udp_.bytes_delivered += s.bytes_delivered;
-  };
+  const auto fold_udp = [this](const UdpChannel* ch) { retire_udp(ch); };
   const auto fold_tcp = [this](const TcpChannel* ch) {
     if (ch == nullptr) return;
     const TcpChannel::Stats& s = ch->stats();
@@ -333,6 +373,71 @@ SharingSession::Connection& SharingSession::add_tcp_participant(
   return *connections_.back();
 }
 
+void SharingSession::wire_relay(RelayHandle* r) {
+  // Every closure reads the handle at delivery time: re-parenting changes
+  // r->parent / r->leg without re-wiring a channel, and a crash that nulls
+  // node/channels turns deliveries into clean no-ops.
+  r->down->set_receiver([r](Bytes data) {
+    if (r->node) r->node->on_upstream_datagram(std::move(data));
+  });
+  r->up->set_receiver([this, r](Bytes data) {
+    if (r->parent == nullptr) {
+      host_.on_uplink_packet(r->upstream_id, data);
+    } else if (r->parent->alive && r->parent->node) {
+      r->parent->node->on_leg_packet(r->leg, data);
+    }
+  });
+  r->node->set_upstream([r](BytesView packet) {
+    return r->up ? r->up->send(packet) : false;
+  });
+  r->node->set_upstream_lost([this, r] { failover_relay(*r); });
+}
+
+void SharingSession::attach_relay_upstream(RelayHandle& r) {
+  RelayHandle* rp = &r;
+  if (r.parent == nullptr) {
+    // The AH sees the relay as one more UDP participant: it gets the full
+    // encode fan-out (joining the shared-encode cohort) and its uplink is
+    // the aggregated feedback for the entire subtree. Re-attaching with a
+    // known id (failover / restart) resyncs via the §4.4 late-join path.
+    HostEndpoint endpoint;
+    endpoint.kind = HostEndpoint::Kind::kUdp;
+    endpoint.send_datagram = [rp](BytesView d) {
+      return rp->down ? rp->down->send(d) : false;
+    };
+    endpoint.send_packet = [rp](const PacketView& pkt) {
+      return rp->down ? rp->down->send_packet(pkt) : false;
+    };
+    endpoint.send_packet_batch = [rp](std::span<const PacketView> pkts) {
+      return rp->down ? rp->down->send_batch(pkts) : std::size_t{0};
+    };
+    r.upstream_id = host_.add_participant(std::move(endpoint), r.upstream_id);
+    r.leg = 0;
+    r.depth = 1;
+  } else {
+    // One parent leg feeds this child's whole subtree.
+    r.leg = r.parent->node->add_leg(child_leg_endpoint(rp), r.leg_cfg);
+    r.depth = r.parent->depth + 1;
+  }
+}
+
+void SharingSession::refresh_relay_depths(RelayHandle& r) {
+  for (auto& c : relays_) {
+    if (c->parent == &r) {
+      c->depth = r.depth + 1;
+      refresh_relay_depths(*c);
+    }
+  }
+}
+
+bool SharingSession::relay_in_subtree(const RelayHandle& candidate,
+                                      const RelayHandle& root) {
+  for (const RelayHandle* p = &candidate; p != nullptr; p = p->parent) {
+    if (p == &root) return true;
+  }
+  return false;
+}
+
 SharingSession::RelayHandle& SharingSession::add_relay(
     relay::RelayOptions opts, UdpLinkConfig link) {
   auto handle = std::make_unique<RelayHandle>();
@@ -346,39 +451,17 @@ SharingSession::RelayHandle& SharingSession::add_relay(
   opts.telemetry = &host_.telemetry();
   opts.metrics_prefix = "relay.r" + std::to_string(relays_.size() + 1) + ".";
   opts.seed ^= (relays_.size() + 1) << 20;
+  // The resolved configs survive in the handle so a cold restart rebuilds
+  // the same deterministic node and channels.
+  r->opts = opts;
+  r->link = link;
 
   r->down = std::make_unique<UdpChannel>(loop_, link.down);
   r->up = std::make_unique<UdpChannel>(loop_, link.up);
   r->node = std::make_unique<relay::RelayNode>(loop_, std::move(opts));
 
-  // The AH sees the relay as one more UDP participant: it gets the full
-  // encode fan-out (joining the shared-encode cohort) and its uplink is the
-  // aggregated feedback for the entire subtree.
-  HostEndpoint endpoint;
-  endpoint.kind = HostEndpoint::Kind::kUdp;
-  endpoint.send_datagram = [down = r->down.get()](BytesView d) {
-    return down->send(d);
-  };
-  endpoint.send_packet = [down = r->down.get()](const PacketView& pkt) {
-    return down->send_packet(pkt);
-  };
-  endpoint.send_packet_batch =
-      [down = r->down.get()](std::span<const PacketView> pkts) {
-        return down->send_batch(pkts);
-      };
-  r->upstream_id = host_.add_participant(std::move(endpoint));
-
-  r->down->set_receiver([node = r->node.get()](Bytes data) {
-    node->on_upstream_datagram(std::move(data));
-  });
-  r->up->set_receiver([this, id = r->upstream_id](Bytes data) {
-    host_.on_uplink_packet(id, data);
-  });
-  // Routed through the handle so the closure stays safe if the channel is
-  // torn down before the relay's pending timers drain.
-  r->node->set_upstream([r](BytesView packet) {
-    return r->up ? r->up->send(packet) : false;
-  });
+  attach_relay_upstream(*r);
+  wire_relay(r);
   r->node->start();
 
   relays_.push_back(std::move(handle));
@@ -394,7 +477,6 @@ SharingSession::RelayHandle& SharingSession::add_relay_child(
   auto handle = std::make_unique<RelayHandle>();
   RelayHandle* r = handle.get();
   r->parent = &parent;
-  r->depth = parent.depth + 1;
 
   if (link.down.seed == 1) link.down.seed = ++link_seed_;
   if (link.up.seed == 1) link.up.seed = ++link_seed_;
@@ -403,36 +485,16 @@ SharingSession::RelayHandle& SharingSession::add_relay_child(
   opts.telemetry = &host_.telemetry();
   opts.metrics_prefix = "relay.r" + std::to_string(relays_.size() + 1) + ".";
   opts.seed ^= (relays_.size() + 1) << 20;
+  r->opts = opts;
+  r->link = link;
+  r->leg_cfg = leg;
 
   r->down = std::make_unique<UdpChannel>(loop_, link.down);
   r->up = std::make_unique<UdpChannel>(loop_, link.up);
   r->node = std::make_unique<relay::RelayNode>(loop_, std::move(opts));
 
-  // One parent leg feeds this child's whole subtree.
-  relay::LegEndpoint endpoint;
-  endpoint.kind = relay::LegEndpoint::Kind::kUdp;
-  endpoint.send_datagram = [down = r->down.get()](BytesView d) {
-    return down->send(d);
-  };
-  endpoint.send_packet = [down = r->down.get()](const PacketView& pkt) {
-    return down->send_packet(pkt);
-  };
-  endpoint.send_packet_batch =
-      [down = r->down.get()](std::span<const PacketView> pkts) {
-        return down->send_batch(pkts);
-      };
-  r->leg = parent.node->add_leg(std::move(endpoint), leg);
-
-  r->down->set_receiver([node = r->node.get()](Bytes data) {
-    node->on_upstream_datagram(std::move(data));
-  });
-  r->up->set_receiver(
-      [parent_node = parent.node.get(), leg_id = r->leg](Bytes data) {
-        parent_node->on_leg_packet(leg_id, data);
-      });
-  r->node->set_upstream([r](BytesView packet) {
-    return r->up ? r->up->send(packet) : false;
-  });
+  attach_relay_upstream(*r);
+  wire_relay(r);
   r->node->start();
 
   relays_.push_back(std::move(handle));
@@ -451,37 +513,143 @@ SharingSession::RelayViewer& SharingSession::add_relay_viewer(
   if (link.up.seed == 1) link.up.seed = ++link_seed_;
   link.down.telemetry = &host_.telemetry();
   link.up.telemetry = &host_.telemetry();
+  v->leg_cfg = leg;
 
   v->down = std::make_unique<UdpChannel>(loop_, link.down);
   v->up = std::make_unique<UdpChannel>(loop_, link.up);
 
-  relay::LegEndpoint endpoint;
-  endpoint.kind = relay::LegEndpoint::Kind::kUdp;
-  endpoint.send_datagram = [down = v->down.get()](BytesView d) {
-    return down->send(d);
-  };
-  endpoint.send_packet = [down = v->down.get()](const PacketView& pkt) {
-    return down->send_packet(pkt);
-  };
-  endpoint.send_packet_batch =
-      [down = v->down.get()](std::span<const PacketView> pkts) {
-        return down->send_batch(pkts);
-      };
-  v->leg = relay.node->add_leg(std::move(endpoint), leg);
+  v->leg = relay.node->add_leg(viewer_leg_endpoint(v), leg);
 
   v->participant = std::make_unique<Participant>(loop_, opts);
   v->down->set_receiver(
       [p = v->participant.get()](Bytes data) { p->on_datagram(data); });
-  v->up->set_receiver(
-      [node = relay.node.get(), leg_id = v->leg](Bytes data) {
-        node->on_leg_packet(leg_id, data);
-      });
+  // Handle-routed: v->leg is refreshed when a restarted relay re-adds the
+  // leg, and a dead relay simply drops the viewer's feedback.
+  v->up->set_receiver([v](Bytes data) {
+    if (v->relay->alive && v->relay->node) {
+      v->relay->node->on_leg_packet(v->leg, data);
+    }
+  });
   v->participant->set_uplink([v](BytesView packet) {
     if (v->up) v->up->send(packet);
   });
 
   relay_viewers_.push_back(std::move(viewer));
   return *relay_viewers_.back();
+}
+
+void SharingSession::reparent_relay(RelayHandle& r, RelayHandle* new_parent) {
+  if (!r.alive || r.node == nullptr) return;
+  if (new_parent != nullptr) {
+    if (!new_parent->alive || new_parent->node == nullptr) {
+      throw std::invalid_argument("SharingSession: new relay parent is dead");
+    }
+    if (new_parent == &r || relay_in_subtree(*new_parent, r)) {
+      throw std::invalid_argument("SharingSession: relay re-parent would cycle");
+    }
+    if (new_parent->depth + 1 > kMaxRelayDepth) {
+      throw std::invalid_argument("SharingSession: relay cascade too deep");
+    }
+  }
+  // Withdraw from the old upstream (a dead parent already forgot the leg).
+  if (r.parent != nullptr) {
+    if (r.parent->alive && r.parent->node) r.parent->node->remove_leg(r.leg);
+  } else if (r.upstream_id != 0 && new_parent != nullptr) {
+    // Root moving under a relay: release the AH slot. A later re-parent
+    // back to the AH registers afresh (the subtree resyncs either way).
+    host_.remove_participant(r.upstream_id);
+    r.upstream_id = 0;
+  }
+  r.parent = new_parent;
+  attach_relay_upstream(r);
+  refresh_relay_depths(r);
+  // §4.4 resync into the new upstream epoch: fresh receiver / cache /
+  // holdoff state, then a PLI so the new parent's stream keys in cleanly.
+  r.node->adopt_upstream();
+}
+
+void SharingSession::failover_relay(RelayHandle& r) {
+  ++relay_failovers_;
+  // Ladder: configured backup, else nearest live ancestor ABOVE the dead
+  // parent (the parent itself was just declared dead), else the AH.
+  RelayHandle* target = nullptr;
+  if (r.backup != nullptr && r.backup != &r && r.backup->alive &&
+      r.backup->node != nullptr && !relay_in_subtree(*r.backup, r)) {
+    target = r.backup;
+  }
+  if (target == nullptr && r.parent != nullptr) {
+    for (RelayHandle* a = r.parent->parent; a != nullptr; a = a->parent) {
+      if (a->alive && a->node != nullptr && !relay_in_subtree(*a, r)) {
+        target = a;
+        break;
+      }
+    }
+  }
+  reparent_relay(r, target);
+}
+
+void SharingSession::crash_relay(RelayHandle& r) {
+  if (!r.alive || r.node == nullptr) return;
+  // Snapshot lifetime counters so a restart folds them back in and the
+  // relay.rN.* namespace stays monotone across incarnations.
+  r.retired = r.node->stats();
+  r.retired_rtx_hits = r.node->rtx_hits_total();
+  r.retired_rtx_misses = r.node->rtx_misses_total();
+  r.retired_rtx_evictions = r.node->rtx_evictions_total();
+  // Withdraw the upstream leg so a live parent stops feeding a dead link.
+  // A root relay's AH slot is kept registered: the AH keeps encoding into
+  // send closures that now fail cleanly, and a restart reuses the id
+  // (mirroring reconnect_tcp's same-id resync).
+  if (r.parent != nullptr && r.parent->alive && r.parent->node) {
+    r.parent->node->remove_leg(r.leg);
+  }
+  retire_udp(r.down.get());
+  retire_udp(r.up.get());
+  // Destroying the node runs RelayNode::stop(): holdoff windows quiesce,
+  // the cache drops, per-leg gauges withdraw. Channel destructors cancel
+  // in-flight deliveries via their weak-ptr tokens.
+  r.node.reset();
+  r.down.reset();
+  r.up.reset();
+  r.alive = false;
+  ++relay_crashes_;
+}
+
+void SharingSession::restart_relay(RelayHandle& r) {
+  if (r.alive) return;
+  // Same resolved configs (and therefore the same deterministic seeds) as
+  // the first incarnation.
+  r.down = std::make_unique<UdpChannel>(loop_, r.link.down);
+  r.up = std::make_unique<UdpChannel>(loop_, r.link.up);
+  r.node = std::make_unique<relay::RelayNode>(loop_, r.opts);
+  r.node->fold_stats(r.retired, r.retired_rtx_hits, r.retired_rtx_misses,
+                     r.retired_rtx_evictions);
+  r.alive = true;
+  // If the old parent died while this node was down, climb to the nearest
+  // live ancestor (nullptr = the AH adopts it).
+  if (r.parent != nullptr && !r.parent->alive) {
+    RelayHandle* a = r.parent->parent;
+    while (a != nullptr && !a->alive) a = a->parent;
+    r.parent = a;
+  }
+  wire_relay(&r);
+  attach_relay_upstream(r);
+  refresh_relay_depths(r);
+  // Children and viewers still parented here get fresh legs on the new
+  // node; their handle-routed receivers pick up the new leg ids at the
+  // next delivery. Orphaned children re-home through their own watchdogs.
+  for (auto& c : relays_) {
+    if (c->parent == &r && c->alive && c->node) {
+      c->leg = r.node->add_leg(child_leg_endpoint(c.get()), c->leg_cfg);
+    }
+  }
+  for (auto& v : relay_viewers_) {
+    if (v->relay == &r) {
+      v->leg = r.node->add_leg(viewer_leg_endpoint(v.get()), v->leg_cfg);
+    }
+  }
+  r.node->start();
+  ++relay_restarts_;
 }
 
 SharingSession::MulticastSession& SharingSession::add_multicast_session() {

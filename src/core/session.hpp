@@ -126,6 +126,10 @@ class SharingSession {
   static constexpr int kMaxRelayDepth = 8;
 
   /// One relay node in the cascade plus the channels of its upstream link.
+  /// The handle's address is stable for the session's lifetime and every
+  /// closure routes through it (never through raw node/channel pointers),
+  /// so a crash_relay() that destroys the node mid-flight leaves no
+  /// dangling capture behind.
   struct RelayHandle {
     std::unique_ptr<relay::RelayNode> node;
     std::unique_ptr<UdpChannel> down;  ///< upstream → relay (media + SRs)
@@ -134,6 +138,15 @@ class SharingSession {
     RelayHandle* parent = nullptr;     ///< null for a root relay
     relay::LegId leg = 0;              ///< this relay's leg on its parent
     int depth = 1;                     ///< 1 = directly below the AH
+    RelayHandle* backup = nullptr;     ///< preferred adopter on failover
+    bool alive = true;                 ///< false between crash and restart
+    relay::RelayOptions opts;          ///< resolved options (cold restart)
+    UdpLinkConfig link;                ///< resolved link config (cold restart)
+    relay::LegConfig leg_cfg;          ///< leg policy on the parent
+    relay::RelayNode::Stats retired;   ///< crash-time counters (restart fold)
+    std::uint64_t retired_rtx_hits = 0;
+    std::uint64_t retired_rtx_misses = 0;
+    std::uint64_t retired_rtx_evictions = 0;
   };
 
   /// One viewer hanging off a relay leg (receives the relay's forwarded
@@ -144,6 +157,7 @@ class SharingSession {
     std::unique_ptr<Participant> participant;
     std::unique_ptr<UdpChannel> down;  ///< relay → viewer
     std::unique_ptr<UdpChannel> up;    ///< viewer → relay
+    relay::LegConfig leg_cfg;          ///< leg policy (restart re-attach)
   };
 
   /// Create a root relay fed by the AH: the AH sees one more UDP
@@ -170,6 +184,42 @@ class SharingSession {
     return relay_viewers_;
   }
 
+  // ----- relay self-healing (crash, failover, restart) -----------------
+
+  /// Configure `r`'s failover target. When its node declares the upstream
+  /// dead the session re-parents it under `backup`; with no backup (or a
+  /// dead one) the nearest live ancestor above the dead parent adopts the
+  /// subtree, falling back to the AH itself.
+  void set_relay_backup(RelayHandle& r, RelayHandle* backup) {
+    r.backup = backup;
+  }
+
+  /// Re-parent `r` (and implicitly its whole subtree) under `new_parent`
+  /// (nullptr = directly under the AH) and resync it via the §4.4 path
+  /// (RelayNode::adopt_upstream). The old parent's leg is withdrawn when
+  /// that parent is still alive. Counted in recovery.relay_failovers when
+  /// reached through the automatic path.
+  void reparent_relay(RelayHandle& r, RelayHandle* new_parent);
+
+  /// Kill a relay cold: node and channels destroyed, cache and in-flight
+  /// traffic lost, its leg (or AH participant slot) withdrawn upstream.
+  /// Children notice only through their own liveness watchdogs.
+  void crash_relay(RelayHandle& r);
+
+  /// Cold-restart a crashed relay: fresh channels (same deterministic
+  /// seeds), a fresh node with an empty cache, re-attached under its
+  /// current parent (or the nearest live ancestor / the AH), and fresh
+  /// legs for every child and viewer still parented to it. Lifetime
+  /// counters fold so relay.rN.* telemetry stays monotone.
+  void restart_relay(RelayHandle& r);
+
+  /// Relays crashed via crash_relay() so far.
+  std::uint64_t relay_crashes() const { return relay_crashes_; }
+  /// Cold restarts via restart_relay() so far.
+  std::uint64_t relay_restarts() const { return relay_restarts_; }
+  /// Automatic subtree failovers (watchdog-triggered re-parenting) so far.
+  std::uint64_t relay_failovers() const { return relay_failovers_; }
+
   /// Advance simulated time.
   void run_for(SimTime duration) { loop_.run_until(loop_.now() + duration); }
 
@@ -181,9 +231,26 @@ class SharingSession {
   /// channel is destroyed (eviction/reconnect), so net.* counters never run
   /// backwards when a link dies.
   void retire_stats(Connection& c);
+  /// Fold one UDP channel's stats into the retired totals (relay crash).
+  void retire_udp(const UdpChannel* ch);
   /// Tear down a connection's channels (both transports); the Participant
   /// object survives with its replica and stats.
   void teardown_links(Connection& c);
+  /// Install `r`'s channel receivers and node callbacks. Receivers read
+  /// r->parent / r->leg / r->upstream_id at delivery time, so re-parenting
+  /// never re-wires a channel.
+  void wire_relay(RelayHandle* r);
+  /// Register `r` on its upstream: a leg on r->parent, or an AH participant
+  /// (reusing r->upstream_id when set). Sets r->leg and r->depth.
+  void attach_relay_upstream(RelayHandle& r);
+  /// Recompute descendant depths after a re-parent.
+  void refresh_relay_depths(RelayHandle& r);
+  /// Watchdog-triggered failover: pick backup / nearest live ancestor / AH
+  /// and re-parent the orphan there.
+  void failover_relay(RelayHandle& r);
+  /// True when `candidate` sits inside `root`'s subtree (cycle guard).
+  static bool relay_in_subtree(const RelayHandle& candidate,
+                               const RelayHandle& root);
 
   EventLoop loop_;
   AppHost host_;
@@ -197,6 +264,9 @@ class SharingSession {
   std::uint64_t dropped_links_ = 0;
   std::uint64_t reconnects_ = 0;
   std::uint64_t evicted_connections_ = 0;
+  std::uint64_t relay_crashes_ = 0;
+  std::uint64_t relay_restarts_ = 0;
+  std::uint64_t relay_failovers_ = 0;
 };
 
 }  // namespace ads

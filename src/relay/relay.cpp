@@ -25,6 +25,9 @@ RelayOptions RelayNode::validated(RelayOptions opts) {
   if (opts.adaptation.min_rate_bps > opts.adaptation.max_rate_bps) {
     std::swap(opts.adaptation.min_rate_bps, opts.adaptation.max_rate_bps);
   }
+  if (opts.probe_interval_us == 0) opts.probe_interval_us = 1;
+  if (opts.probe_count < 1) opts.probe_count = 1;
+  if (opts.watchdog_jitter < 0.0) opts.watchdog_jitter = 0.0;
   return opts;
 }
 
@@ -34,8 +37,18 @@ RelayNode::RelayNode(EventLoop& loop, RelayOptions opts)
       owned_tel_(opts_.telemetry ? nullptr : std::make_unique<telemetry::Telemetry>()),
       tel_(opts_.telemetry ? opts_.telemetry : owned_tel_.get()),
       cache_(opts_.retransmission_cache),
-      ssrc_(Prng(opts_.seed).next_u32()) {
+      ssrc_(Prng(opts_.seed).next_u32()),
+      wd_rng_(opts_.seed ^ 0xFA11FA11ull) {
   tel_->metrics.add_collector(this, [this] { publish_metrics(); });
+}
+
+void RelayNode::fold_stats(const Stats& prior, std::uint64_t rtx_hits,
+                           std::uint64_t rtx_misses,
+                           std::uint64_t rtx_evictions) {
+  stats_ = prior;
+  rtx_hits_base_ += rtx_hits;
+  rtx_misses_base_ += rtx_misses;
+  rtx_evictions_base_ += rtx_evictions;
 }
 
 RelayNode::~RelayNode() { tel_->metrics.remove_collectors(this); }
@@ -118,10 +131,12 @@ void RelayNode::on_upstream_datagram(Bytes datagram) {
       return;
     }
     case PacketKind::kRtcp:
+      if (frozen()) return;  // nothing flows down while orphaned/stalled
       handle_upstream_rtcp(datagram);
       forward_control(datagram);
       return;
     case PacketKind::kBfcp:
+      if (frozen()) return;
       forward_control(datagram);
       return;
     case PacketKind::kUnknown:
@@ -149,9 +164,40 @@ void RelayNode::dispatch_upstream(Bytes datagram) {
 }
 
 void RelayNode::ingest_media(const PacketView& v) {
+  if (frozen()) {
+    // §(c) graceful degradation: an orphaned (or stalled) node freezes
+    // forwarding — late packets from a dead upstream must not leak into the
+    // subtree mid-failover, and they must not count as liveness.
+    ++stats_.frozen_drops;
+    return;
+  }
+  if (have_upstream_ssrc_ && v.ssrc() != upstream_ssrc_) {
+    // A different SSRC is a new upstream epoch (a re-parented link or a
+    // restarted source), not a storm of duplicates/decode errors: reset
+    // ext-seq tracking, the duplicate filter and the repair state, then
+    // learn the new identity below.
+    ++stats_.ssrc_epochs;
+    begin_upstream_epoch();
+  }
   if (!have_upstream_ssrc_) {
     upstream_ssrc_ = v.ssrc();
     have_upstream_ssrc_ = true;
+    if (had_prev_epoch_seq_ && v.ssrc() == prev_epoch_ssrc_) {
+      // Same stream under a new parent: the 16-bit gap between the last
+      // packet of the old epoch and the first of this one is the media
+      // lost across the failover blackout. A first packet *behind* the old
+      // high-water mark is reordering, not loss.
+      const auto gap = static_cast<std::uint16_t>(
+          static_cast<std::uint16_t>(v.sequence() - prev_epoch_highest_) - 1);
+      if (gap < 0x8000) stats_.failover_lost_packets += gap;
+    }
+    had_prev_epoch_seq_ = false;
+  }
+  on_upstream_activity();
+  if (awaiting_resync_) {
+    // First media of the adopted epoch: the §4.4 resync is under way.
+    awaiting_resync_ = false;
+    resync_duration_us_ = loop_.now() - adopt_at_us_;
   }
   ++stats_.upstream_packets;
   stats_.upstream_bytes += v.wire_size();
@@ -331,6 +377,8 @@ void RelayNode::handle_upstream_rtcp(BytesView packet) {
       const auto& sr = std::get<SenderReport>(msg);
       last_sr_mid_ntp_ = static_cast<std::uint32_t>(sr.ntp_timestamp >> 16);
       last_sr_arrival_us_ = loop_.now();
+      // An SR proves the upstream is alive even on an idle broadcast.
+      on_upstream_activity();
     }
   }
 }
@@ -338,6 +386,7 @@ void RelayNode::handle_upstream_rtcp(BytesView packet) {
 // ----- leg uplink ------------------------------------------------------
 
 void RelayNode::on_leg_packet(LegId from, BytesView packet) {
+  if (stalled_) return;  // a wedged node reads nothing off its legs
   auto it = legs_.find(from);
   if (it == legs_.end()) return;
   switch (classify_packet(packet)) {
@@ -409,6 +458,12 @@ void RelayNode::handle_leg_nack_seq(LegId from, LegState& leg,
     forward_to_leg(from, leg, *cached);
     return;
   }
+  if (orphaned_) {
+    // §(c): while orphaned the cache keeps serving, but a miss has nowhere
+    // to go — the parent is dead. The adoption PLI will refresh everyone.
+    ++stats_.nacks_absorbed;
+    return;
+  }
   // Second: a request already in flight (or queued) upstream — absorb this
   // leg into its waiter set instead of asking again.
   auto inflight = requested_upstream_.find(seq);
@@ -470,6 +525,7 @@ void RelayNode::collect_pending_nack(std::vector<RtcpMessage>& msgs) {
 }
 
 void RelayNode::flush_nacks() {
+  if (frozen() || stopped_) return;  // quiesced: no repairs cross an epoch
   if (pending_nack_.empty() || !send_upstream_) return;
   std::vector<RtcpMessage> msgs;
   collect_pending_nack(msgs);
@@ -477,6 +533,12 @@ void RelayNode::flush_nacks() {
 }
 
 void RelayNode::handle_leg_pli() {
+  if (orphaned_) {
+    // Absorbed: adopt_upstream() opens the new epoch with its own PLI, and
+    // that one refresh serves the whole subtree.
+    ++stats_.plis_coalesced;
+    return;
+  }
   const SimTime now = loop_.now();
   if (pli_sent_ever_ && opts_.pli_coalesce_us != 0 &&
       now < last_pli_up_us_ + opts_.pli_coalesce_us) {
@@ -504,6 +566,7 @@ void RelayNode::handle_leg_pli() {
 void RelayNode::start() {
   if (started_) return;
   started_ = true;
+  stopped_ = false;
   loop_.after(opts_.report_interval_us,
               [this, alive = std::weak_ptr<int>(alive_)] {
                 if (alive.expired()) return;
@@ -511,8 +574,35 @@ void RelayNode::start() {
               });
 }
 
+void RelayNode::stop() {
+  started_ = false;
+  stopped_ = true;
+  // Quiesce every deferred repair: pending NACK batches, their holdoff
+  // windows and the PLI coalesce window die here, and dropping the cache
+  // guarantees a stopped node can never answer a NACK with a stale repair.
+  pending_nack_.clear();
+  requested_upstream_.clear();
+  pli_sent_ever_ = false;
+  last_pli_up_us_ = 0;
+  drop_cache();
+  // The liveness watchdog disarms with the node (any in-flight timer
+  // no-ops via the stopped_ check); per-leg gauges withdraw at the next
+  // snapshot via the same flag.
+  probes_sent_ = 0;
+}
+
 void RelayNode::report_tick() {
   if (!started_) return;
+  if (stalled_) {
+    // Wedged: no adaptation, no reports; keep the interval alive so the
+    // node resumes cleanly when the stall clears.
+    loop_.after(opts_.report_interval_us,
+                [this, alive = std::weak_ptr<int>(alive_)] {
+                  if (alive.expired()) return;
+                  report_tick();
+                });
+    return;
+  }
   const SimTime now = loop_.now();
 
   // Expire in-flight upstream requests whose repair never came: the next
@@ -542,8 +632,10 @@ void RelayNode::report_tick() {
   }
 
   // Worst-case RR summary upstream, with any pending NACK riding along in
-  // the same compound datagram.
-  if (send_upstream_ && have_upstream_ssrc_ && receiver_.started()) {
+  // the same compound datagram. An orphaned node has no parent to report
+  // to; its legs keep adapting above.
+  if (!orphaned_ && send_upstream_ && have_upstream_ssrc_ &&
+      receiver_.started()) {
     ReceiverReport rr;
     rr.ssrc = ssrc_;
     rr.blocks.push_back(aggregate_report());
@@ -589,6 +681,143 @@ ReportBlock RelayNode::aggregate_report() {
   return agg;
 }
 
+// ----- self-healing ----------------------------------------------------
+
+void RelayNode::drop_cache() {
+  rtx_hits_base_ += cache_.hits();
+  rtx_misses_base_ += cache_.misses();
+  rtx_evictions_base_ += cache_.evictions();
+  stats_.cache_dropped += cache_.size();
+  cache_ = RetransmissionCache(opts_.retransmission_cache);
+}
+
+void RelayNode::begin_upstream_epoch() {
+  ++epoch_;
+  drop_cache();
+  receiver_ = RtpReceiver{};
+  upstream_deframer_.reset();
+  pending_nack_.clear();
+  requested_upstream_.clear();
+  pli_sent_ever_ = false;
+  last_pli_up_us_ = 0;
+  last_sr_mid_ntp_ = 0;
+  last_sr_arrival_us_ = 0;
+  have_upstream_ssrc_ = false;
+  upstream_ssrc_ = 0;
+}
+
+void RelayNode::on_upstream_activity() {
+  last_upstream_activity_us_ = loop_.now();
+  probes_sent_ = 0;
+  arm_watchdog(opts_.upstream_timeout_us);
+}
+
+void RelayNode::arm_watchdog(SimTime delay) {
+  if (watchdog_armed_ || stopped_ || opts_.upstream_timeout_us == 0) return;
+  watchdog_armed_ = true;
+  loop_.after(delay, [this, alive = std::weak_ptr<int>(alive_)] {
+    if (alive.expired()) return;
+    watchdog_armed_ = false;
+    watchdog_tick();
+  });
+}
+
+void RelayNode::watchdog_tick() {
+  if (stopped_ || orphaned_ || opts_.upstream_timeout_us == 0) return;
+  if (stalled_) {
+    // The freeze is local (chaos kRelayStall), not the parent's fault —
+    // keep the timer alive without escalating.
+    arm_watchdog(opts_.upstream_timeout_us);
+    return;
+  }
+  const SimTime idle = loop_.now() - last_upstream_activity_us_;
+  if (idle < opts_.upstream_timeout_us) {
+    // Activity arrived since this timer was set: sleep out the remainder.
+    probes_sent_ = 0;
+    arm_watchdog(opts_.upstream_timeout_us - idle);
+    return;
+  }
+  if (probes_sent_ >= opts_.probe_count) {
+    declare_upstream_dead();
+    return;
+  }
+  // Escalate: one liveness probe per interval — the aggregated RR doubles
+  // as the keepalive ping (a live parent's SRs or media would answer it).
+  ++probes_sent_;
+  ++stats_.watchdog_probes;
+  if (send_upstream_ && have_upstream_ssrc_ && receiver_.started()) {
+    ReceiverReport rr;
+    rr.ssrc = ssrc_;
+    rr.blocks.push_back(aggregate_report());
+    std::vector<RtcpMessage> msgs;
+    msgs.emplace_back(std::move(rr));
+    send_upstream_(serialize_rtcp_compound(msgs));
+  }
+  SimTime delay = opts_.probe_interval_us;
+  if (opts_.watchdog_jitter > 0.0) {
+    // Jitter is drawn only on escalation (the participant-watchdog rule):
+    // fault-free runs never touch the Prng and stay bit-identical, while
+    // sibling relays under one dead parent spread their declare-dead
+    // instants instead of re-parenting in lockstep.
+    const auto span = static_cast<std::uint64_t>(
+        static_cast<double>(delay) * opts_.watchdog_jitter);
+    if (span > 0) delay += static_cast<SimTime>(wd_rng_.below(span));
+  }
+  arm_watchdog(delay);
+}
+
+void RelayNode::declare_upstream_dead() {
+  orphaned_ = true;
+  ++stats_.upstream_lost;
+  detect_latency_us_ = loop_.now() - last_upstream_activity_us_;
+  // A dead parent serves no repairs: forget everything queued or in flight
+  // upstream. The local cache stays — it keeps answering subtree NACKs
+  // throughout the blackout (§c).
+  pending_nack_.clear();
+  requested_upstream_.clear();
+  if (on_upstream_lost_) on_upstream_lost_();
+}
+
+void RelayNode::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (!stalled) {
+    // Thawed: restart the upstream grace period — silence accumulated
+    // while *we* were wedged says nothing about the parent.
+    last_upstream_activity_us_ = loop_.now();
+    probes_sent_ = 0;
+  }
+}
+
+void RelayNode::adopt_upstream() {
+  // Remember the dying epoch's high-water mark: if the new parent forwards
+  // the same stream (same SSRC), the seq gap across the blackout is the
+  // failover's media loss.
+  had_prev_epoch_seq_ = receiver_.started();
+  prev_epoch_ssrc_ = upstream_ssrc_;
+  prev_epoch_highest_ = receiver_.highest_sequence();
+  ++stats_.adoptions;
+  begin_upstream_epoch();
+  orphaned_ = false;
+  probes_sent_ = 0;
+  last_upstream_activity_us_ = loop_.now();
+  adopt_at_us_ = loop_.now();
+  awaiting_resync_ = true;
+  arm_watchdog(opts_.upstream_timeout_us);
+  // §4.4 resync: ask the new parent for a full refresh now. Opening the
+  // coalesce window here folds the subtree's own (absorbed) PLIs into this
+  // single upstream refresh.
+  pli_sent_ever_ = true;
+  last_pli_up_us_ = loop_.now();
+  ++stats_.plis_upstream;
+  if (send_upstream_) {
+    PictureLossIndication pli;
+    pli.sender_ssrc = ssrc_;
+    pli.media_ssrc = 0;  // the new upstream SSRC is unknown until media flows
+    send_upstream_(pli.serialize());
+  }
+}
+
 // ----- telemetry -------------------------------------------------------
 
 void RelayNode::publish_metrics() {
@@ -620,16 +849,37 @@ void RelayNode::publish_metrics() {
   m.counter(p + "hip_upstream").set(stats_.hip_upstream);
   m.counter(p + "bfcp_upstream").set(stats_.bfcp_upstream);
   m.counter(p + "decode_errors").set(stats_.decode_errors);
-  m.counter(p + "rtx.hits").set(cache_.hits());
-  m.counter(p + "rtx.misses").set(cache_.misses());
-  m.counter(p + "rtx.evictions").set(cache_.evictions());
+  m.counter(p + "rtx.hits").set(rtx_hits_total());
+  m.counter(p + "rtx.misses").set(rtx_misses_total());
+  m.counter(p + "rtx.evictions").set(rtx_evictions_total());
+  // Self-healing: detection, failover epoch and degradation telemetry.
+  const std::string f = p + "failover.";
+  m.counter(f + "probes").set(stats_.watchdog_probes);
+  m.counter(f + "upstream_lost").set(stats_.upstream_lost);
+  m.counter(f + "adoptions").set(stats_.adoptions);
+  m.counter(f + "ssrc_epochs").set(stats_.ssrc_epochs);
+  m.counter(f + "frozen_drops").set(stats_.frozen_drops);
+  m.counter(f + "cache_dropped").set(stats_.cache_dropped);
+  m.counter(f + "packets_lost").set(stats_.failover_lost_packets);
+  m.gauge(f + "orphaned").set(orphaned_ ? 1 : 0);
+  m.gauge(f + "detect_us").set(static_cast<std::int64_t>(detect_latency_us_));
+  m.gauge(f + "resync_us").set(static_cast<std::int64_t>(resync_duration_us_));
   m.gauge(p + "legs").set(static_cast<std::int64_t>(legs_.size()));
   for (const auto& [id, leg] : legs_) {
     const std::string lp = p + "leg" + std::to_string(id) + ".";
+    // A stopped node withdraws its per-leg gauges (zero, not last-known):
+    // stale backlog/rate readings from a quiesced forwarder would steer
+    // upstream adaptation on fiction.
     if (leg.ep.kind == LegEndpoint::Kind::kTcp && leg.ep.backlog) {
       m.gauge(lp + "backlog")
-          .set(static_cast<std::int64_t>(leg.ep.backlog() +
-                                         leg.stream_carry.size()));
+          .set(stopped_ ? 0
+                        : static_cast<std::int64_t>(leg.ep.backlog() +
+                                                    leg.stream_carry.size()));
+    }
+    if (leg.ep.kind == LegEndpoint::Kind::kUdp && !leg.bucket.unlimited()) {
+      m.gauge(lp + "rate_bps")
+          .set(stopped_ ? 0
+                        : static_cast<std::int64_t>(leg.bucket.rate_bps()));
     }
     m.counter(lp + "forwarded").set(leg.forwarded);
     m.counter(lp + "drops_backlog").set(leg.drops_backlog);

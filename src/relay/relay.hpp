@@ -28,6 +28,16 @@
 // (optionally retargeted by a per-leg ads::rate controller) for UDP legs.
 // A relay has no encoder, so the controller's quality/fps outputs are
 // ignored; only its rate output actuates the bucket.
+//
+// Self-healing: the node watches its upstream for media/SR silence on the
+// virtual clock (same escalation shape as the participant starvation
+// watchdog) — timeout, then probe_count liveness probes, then the upstream
+// is declared dead and the upstream-lost callback fires once. While
+// orphaned the node freezes forwarding but keeps serving subtree NACKs
+// from its local cache; adopt_upstream() re-parents it onto a new upstream
+// and resyncs through the §4.4 late-join path (immediate PLI, fresh
+// receiver/probation state, dropped retransmission cache, cleared NACK/PLI
+// holdoff windows) so no stale repair ever crosses an epoch boundary.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +60,7 @@
 #include "rtp/retransmission_cache.hpp"
 #include "rtp/rtp_session.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/prng.hpp"
 
 namespace ads::relay {
 
@@ -100,6 +111,22 @@ struct RelayOptions {
   std::string metrics_prefix = "relay.";
   /// Derives the relay's RTCP reporting SSRC deterministically.
   std::uint64_t seed = 0xBE1A;
+  /// Upstream liveness watchdog: media/SR silence beyond this starts the
+  /// probe ladder (0 disables detection). Armed by the first upstream
+  /// activity and by adopt_upstream(), like the participant watchdog is
+  /// armed by join().
+  SimTime upstream_timeout_us = 2'000'000;
+  /// Interval between liveness probes once the silence threshold is hit
+  /// (each probe is one aggregated RR doubling as a keepalive). Clamped
+  /// to at least 1.
+  SimTime probe_interval_us = 250'000;
+  /// Silent probes tolerated before the upstream is declared dead. Clamped
+  /// to at least 1.
+  int probe_count = 3;
+  /// Uniform random jitter fraction added to each probe interval, drawn
+  /// from the node's seeded Prng only on escalation — sibling relays spread
+  /// their declare-dead instants without perturbing fault-free replay.
+  double watchdog_jitter = 0.25;
 };
 
 /// Per-leg policy overrides supplied at add_leg() time.
@@ -191,8 +218,60 @@ class RelayNode {
 
   /// Begin the periodic aggregation/adaptation interval on the event loop.
   void start();
-  /// Stop the periodic interval after the current one fires.
-  void stop() { started_ = false; }
+  /// Stop the periodic interval and quiesce all deferred repair state:
+  /// pending NACK batches and their holdoff windows are abandoned, the PLI
+  /// coalesce window closes, the liveness watchdog disarms, and the
+  /// retransmission cache is dropped — a stopped node never serves a stale
+  /// repair. Per-leg backlog/rate gauges are withdrawn (zeroed) at the next
+  /// snapshot. start() re-enables everything (with a cold cache).
+  void stop();
+
+  // ----- self-healing (failure detection and failover) -----------------
+
+  /// Failure-detection hook: invoked exactly once per failure epoch when
+  /// the upstream is declared dead (after the probe ladder drains). The
+  /// session uses it to re-parent the orphaned subtree.
+  void set_upstream_lost(std::function<void()> cb) {
+    on_upstream_lost_ = std::move(cb);
+  }
+  /// True after the upstream was declared dead and before adopt_upstream().
+  bool orphaned() const { return orphaned_; }
+
+  /// Chaos hook (FaultClass::kRelayStall): a stalled node is wedged —
+  /// ingest is dropped, nothing is forwarded or reported, leg uplink is
+  /// ignored. Unstalling resumes normal operation and restarts the
+  /// upstream grace period (the freeze was local, not the parent's fault).
+  void set_stalled(bool stalled);
+  /// True while frozen by set_stalled(true).
+  bool stalled() const { return stalled_; }
+
+  /// Failover resync: call after attaching this node under a new upstream.
+  /// Begins a fresh upstream epoch — RTP ext-seq/probation state, the
+  /// retransmission cache and all pending NACK/PLI holdoff windows reset —
+  /// clears the orphaned state, re-arms the liveness watchdog and requests
+  /// a §4.4 full refresh from the new parent with an immediate PLI.
+  void adopt_upstream();
+
+  /// Upstream epochs begun so far (SSRC changes plus adoptions).
+  std::uint64_t upstream_epoch() const { return epoch_; }
+
+  /// Cache hits across every epoch and fold (monotone; feeds telemetry).
+  std::uint64_t rtx_hits_total() const { return rtx_hits_base_ + cache_.hits(); }
+  /// Cache misses across every epoch and fold.
+  std::uint64_t rtx_misses_total() const {
+    return rtx_misses_base_ + cache_.misses();
+  }
+  /// Cache evictions across every epoch and fold.
+  std::uint64_t rtx_evictions_total() const {
+    return rtx_evictions_base_ + cache_.evictions();
+  }
+
+  /// Detection latency of the most recent declare-dead (silence between the
+  /// last upstream activity and the declaration), 0 before the first.
+  SimTime last_detect_latency_us() const { return detect_latency_us_; }
+  /// Duration of the most recent failover resync (adoption to the first
+  /// media of the new epoch), 0 before the first completed resync.
+  SimTime last_resync_duration_us() const { return resync_duration_us_; }
 
   // ----- introspection -------------------------------------------------
 
@@ -244,9 +323,24 @@ class RelayNode {
     std::uint64_t hip_upstream = 0;       ///< HIP packets relayed upward
     std::uint64_t bfcp_upstream = 0;      ///< BFCP packets relayed upward
     std::uint64_t decode_errors = 0;      ///< unparseable/unsupported ingest
+    // Self-healing (failure detection / failover).
+    std::uint64_t watchdog_probes = 0;    ///< liveness probes sent upstream
+    std::uint64_t upstream_lost = 0;      ///< times the upstream was declared dead
+    std::uint64_t adoptions = 0;          ///< failover epochs (adopt_upstream)
+    std::uint64_t ssrc_epochs = 0;        ///< epochs begun by an upstream SSRC change
+    std::uint64_t frozen_drops = 0;       ///< media dropped while orphaned/stalled
+    std::uint64_t cache_dropped = 0;      ///< cached repairs discarded at epoch resets
+    std::uint64_t failover_lost_packets = 0;  ///< seq-space gap across failover epochs
   };
   /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
+
+  /// Seed lifetime counters from a previous incarnation. The session's
+  /// cold-restart path calls this right after construction so relay.rN.*
+  /// telemetry stays monotone across a crash/restart cycle; the rtx_*
+  /// arguments fold the dead incarnation's cache counters the same way.
+  void fold_stats(const Stats& prior, std::uint64_t rtx_hits,
+                  std::uint64_t rtx_misses, std::uint64_t rtx_evictions);
 
   /// The node's observability sink (owned or injected).
   telemetry::Telemetry& telemetry() { return *tel_; }
@@ -310,6 +404,24 @@ class RelayNode {
   ReportBlock aggregate_report();
   /// Snapshot-time collector publishing Stats under the metrics prefix.
   void publish_metrics();
+  /// Reset every per-epoch upstream structure: receiver/probation state,
+  /// the retransmission cache, pending NACK/PLI holdoff windows, SR state
+  /// and the learned SSRC. Shared by SSRC-change detection, failover
+  /// adoption and stop().
+  void begin_upstream_epoch();
+  /// Drop the cache (counting discarded entries and folding its counters
+  /// into the monotone rtx_* bases).
+  void drop_cache();
+  /// Record upstream liveness (media or SR arrival) and reset the ladder.
+  void on_upstream_activity();
+  /// Arm the liveness timer unless already armed or detection is off.
+  void arm_watchdog(SimTime delay);
+  /// One watchdog expiry: sleep out residual activity, probe, or declare.
+  void watchdog_tick();
+  /// Escalation end: mark the node orphaned and fire the lost callback.
+  void declare_upstream_dead();
+  /// True while the node must not forward media downstream.
+  bool frozen() const { return orphaned_ || stalled_; }
 
   EventLoop& loop_;
   RelayOptions opts_;
@@ -340,6 +452,31 @@ class RelayNode {
   // LSR/DLSR state from the upstream SR stream.
   std::uint32_t last_sr_mid_ntp_ = 0;
   SimTime last_sr_arrival_us_ = 0;
+
+  // Self-healing state. The watchdog arms on the first upstream activity
+  // (and on adoption); stop() disables it until the next start().
+  std::function<void()> on_upstream_lost_;
+  bool orphaned_ = false;
+  bool stalled_ = false;
+  bool stopped_ = false;  ///< stop() was called and no start() since
+  bool watchdog_armed_ = false;
+  SimTime last_upstream_activity_us_ = 0;
+  int probes_sent_ = 0;
+  std::uint64_t epoch_ = 0;
+  SimTime detect_latency_us_ = 0;   ///< last declare-dead silence span
+  SimTime resync_duration_us_ = 0;  ///< last adoption-to-first-media span
+  SimTime adopt_at_us_ = 0;
+  bool awaiting_resync_ = false;
+  // High-water mark of the epoch that ended at the last adoption, for the
+  // lost-across-failover count (meaningful only when the SSRC survives).
+  bool had_prev_epoch_seq_ = false;
+  std::uint32_t prev_epoch_ssrc_ = 0;
+  std::uint16_t prev_epoch_highest_ = 0;
+  Prng wd_rng_;
+  // Monotone cache-counter bases accumulated as epochs drop the cache.
+  std::uint64_t rtx_hits_base_ = 0;
+  std::uint64_t rtx_misses_base_ = 0;
+  std::uint64_t rtx_evictions_base_ = 0;
 
   bool started_ = false;
   Stats stats_;

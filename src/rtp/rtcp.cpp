@@ -223,6 +223,34 @@ Result<std::vector<RtcpMessage>> parse_rtcp_compound(BytesView data) {
     const std::size_t declared_bytes =
         ((static_cast<std::size_t>(rest[2]) << 8 | rest[3]) + 1) * 4;
     if (declared_bytes > rest.size()) return ParseError::kTruncated;
+    if ((rest[0] & 0x20) != 0) {
+      // RFC 3550 §6.4.1: padding belongs to the compound as a whole, so
+      // only the *last* packet may carry the P bit.
+      if (offset + declared_bytes != data.size()) return ParseError::kBadValue;
+      // The trailing count includes itself, must keep the body 32-bit
+      // aligned, and must not swallow the fixed header.
+      const std::uint8_t pad = rest[declared_bytes - 1];
+      if (pad == 0 || pad % 4 != 0 ||
+          static_cast<std::size_t>(pad) + 4 > declared_bytes) {
+        return ParseError::kBadValue;
+      }
+      // Re-frame without the padding (clear P, shrink the length field) so
+      // the per-packet parser sees a self-consistent header and FCI-bearing
+      // payloads keep their exact word count.
+      Bytes trimmed(rest.begin(), rest.begin() + static_cast<std::ptrdiff_t>(
+                                                     declared_bytes - pad));
+      trimmed[0] &= static_cast<std::uint8_t>(~0x20);
+      const std::size_t words = trimmed.size() / 4 - 1;
+      trimmed[2] = static_cast<std::uint8_t>(words >> 8);
+      trimmed[3] = static_cast<std::uint8_t>(words);
+      auto msg = parse_rtcp(trimmed);
+      if (msg.ok()) {
+        out.push_back(std::move(*msg));
+      } else if (msg.error() != ParseError::kUnsupported) {
+        return msg.error();
+      }
+      break;  // by construction this was the final sub-packet
+    }
     // Hand the parser exactly this sub-packet so its own trailing-bytes
     // tolerance cannot swallow the next one.
     auto msg = parse_rtcp(rest.subspan(0, declared_bytes));

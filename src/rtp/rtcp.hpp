@@ -117,6 +117,12 @@ Bytes serialize_rtcp(const RtcpMessage& msg);
 /// understand are skipped (RFC 3550 §6.1 says a receiver "should simply
 /// ignore" them), while a malformed header or truncated sub-packet fails
 /// the whole datagram. A non-compound datagram parses as a vector of one.
+/// Padding (the P bit) is accepted only on the final sub-packet — RFC 3550
+/// §6.4.1 padding applies to the compound as a whole — and is stripped
+/// before the sub-packet body is parsed; a P bit on a non-final sub-packet
+/// or an inconsistent pad count rejects the datagram. An empty datagram
+/// parses as an empty vector (the serialize side mirrors this: an empty
+/// message list serialises to zero bytes).
 Result<std::vector<RtcpMessage>> parse_rtcp_compound(BytesView data);
 
 }  // namespace ads

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 namespace ads {
@@ -182,6 +183,67 @@ TEST(FaultSchedule, RandomScheduleEpisodesAreSequentialAndBounded) {
     loop.run();
     EXPECT_EQ(faults.episodes_cleared(), faults.episodes().size());
   }
+}
+
+TEST(FaultSchedule, RelayCrashRunsKillThenRestartOnSchedule) {
+  EventLoop loop;
+  telemetry::Telemetry tel;
+  FaultSchedule faults(loop, 3, &tel);
+
+  std::vector<SimTime> kills;
+  std::vector<SimTime> restarts;
+  faults.relay_crash(
+      sim_ms(100), sim_ms(250), [&] { kills.push_back(loop.now()); },
+      [&] { restarts.push_back(loop.now()); });
+
+  ASSERT_EQ(faults.episodes().size(), 1u);
+  EXPECT_EQ(faults.episodes()[0].kind, FaultClass::kRelayCrash);
+  EXPECT_EQ(faults.all_clear_at(), sim_ms(350));
+
+  loop.run_until(sim_ms(200));
+  EXPECT_EQ(kills, (std::vector<SimTime>{sim_ms(100)}));
+  EXPECT_TRUE(restarts.empty());
+  EXPECT_EQ(faults.active_episodes(), 1u);
+  loop.run();
+  EXPECT_EQ(restarts, (std::vector<SimTime>{sim_ms(350)}));
+  EXPECT_EQ(faults.episodes_cleared(), 1u);
+  const auto snap = tel.metrics.snapshot();
+  EXPECT_EQ(snap.counter("chaos.relay_crash_episodes"), 1u);
+}
+
+TEST(FaultSchedule, PermanentRelayCrashNeverCountsAsCleared) {
+  EventLoop loop;
+  FaultSchedule faults(loop, 3);
+
+  bool killed = false;
+  faults.relay_crash(sim_ms(50), sim_ms(999), [&] { killed = true; });
+  // Like kDrop: recovery is out of band, so the crash is excluded from the
+  // convergence deadline entirely.
+  EXPECT_EQ(faults.all_clear_at(), 0u);
+  loop.run();
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(faults.episodes_started(), 1u);
+  EXPECT_EQ(faults.episodes_cleared(), 0u);
+  EXPECT_EQ(faults.active_episodes(), 1u);
+}
+
+TEST(FaultSchedule, RelayStallWedgesForExactlyTheWindow) {
+  EventLoop loop;
+  FaultSchedule faults(loop, 3);
+
+  std::vector<std::pair<SimTime, bool>> flips;
+  faults.relay_stall(sim_ms(80), sim_ms(120), [&](bool stalled) {
+    flips.emplace_back(loop.now(), stalled);
+  });
+
+  ASSERT_EQ(faults.episodes().size(), 1u);
+  EXPECT_EQ(faults.episodes()[0].kind, FaultClass::kRelayStall);
+  EXPECT_EQ(faults.all_clear_at(), sim_ms(200));
+  loop.run();
+  ASSERT_EQ(flips.size(), 2u);
+  EXPECT_EQ(flips[0], std::make_pair(sim_ms(80), true));
+  EXPECT_EQ(flips[1], std::make_pair(sim_ms(200), false));
+  EXPECT_EQ(faults.episodes_cleared(), 1u);
 }
 
 TEST(FaultSchedule, PublishesChaosTelemetry) {

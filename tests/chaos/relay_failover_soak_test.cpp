@@ -1,0 +1,146 @@
+// Relay self-healing chaos soak (run under TSan in CI): a depth-3 cascade
+// with viewers at every level rides out a scripted kRelayStall wedge, then a
+// kRelayCrash that kills the middle relay cold for two seconds. The orphaned
+// depth-3 subtree must detect the silence, fail over to the grandparent and
+// resync; the crashed node later cold-restarts and rejoins under the same
+// parent with monotone telemetry. The whole sequence must be deterministic:
+// for each of 5 schedule seeds, two identical runs produce byte-identical
+// telemetry JSON — every relay.rN.* and failover.* counter included.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capture/apps.hpp"
+#include "chaos/fault_schedule.hpp"
+#include "core/session.hpp"
+#include "rtp/rtcp.hpp"
+#include "telemetry/export.hpp"
+
+namespace ads {
+namespace {
+
+using chaos::FaultSchedule;
+
+struct SoakOutcome {
+  std::string telemetry_json;
+  std::uint64_t failovers = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t leaf_packets_at_restart = 0;
+  std::uint64_t leaf_packets_final = 0;
+  bool r3_under_r1 = false;
+  bool r3_orphaned = false;
+  std::size_t episodes_cleared = 0;
+};
+
+SoakOutcome run_soak(std::uint64_t seed) {
+  AppHostOptions hopts;
+  hopts.screen_width = 320;
+  hopts.screen_height = 240;
+  hopts.frame_interval_us = sim_ms(100);
+  SharingSession session(hopts);
+  AppHost& host = session.host();
+  const WindowId w = host.wm().create({0, 0, 320, 240}, 1);
+  host.capturer().attach(w, std::make_unique<TerminalApp>(320, 240, 5));
+
+  relay::RelayOptions ropts;
+  ropts.report_interval_us = sim_ms(200);
+  ropts.nack_flush_us = sim_ms(5);
+  ropts.nack_holdoff_us = sim_ms(300);
+  ropts.upstream_timeout_us = sim_ms(800);
+  ropts.probe_interval_us = sim_ms(200);
+  ropts.probe_count = 2;
+  ropts.seed = 0xBE1A ^ seed;
+  auto& r1 = session.add_relay(ropts);
+  auto& r2 = session.add_relay_child(r1, ropts);
+  auto& r3 = session.add_relay_child(r2, ropts);
+
+  // One viewer per level over mildly lossy last hops, so leg NACKs keep
+  // every relay's cache busy throughout the faults.
+  ParticipantOptions popts;
+  popts.screen_width = 320;
+  popts.screen_height = 240;
+  UdpLinkConfig vlink;
+  vlink.down.loss = 0.03;
+  vlink.down.seed = 1000 + seed;
+  std::vector<SharingSession::RelayViewer*> viewers;
+  for (auto* rh : {&r1, &r2, &r3}) {
+    viewers.push_back(&session.add_relay_viewer(*rh, popts, vlink));
+  }
+  SharingSession::RelayViewer* leaf = viewers.back();
+
+  PictureLossIndication pli;
+  host.on_uplink_packet(r1.upstream_id, pli.serialize());
+
+  // The script: a 400ms wedge on r2 (shorter than r3's grace period — no
+  // failover yet), then a cold 2s crash of r2 (r3 must re-home to r1), then
+  // the restart (r2 rejoins under r1; r3 stays where it failed over to).
+  FaultSchedule faults(session.loop(), seed, &session.telemetry());
+  faults.relay_stall(sim_ms(1000), sim_ms(400),
+                     [&r2](bool stalled) { r2.node->set_stalled(stalled); });
+  faults.relay_crash(
+      sim_ms(3000), sim_ms(2000), [&session, &r2] { session.crash_relay(r2); },
+      [&session, &r2] { session.restart_relay(r2); });
+
+  SoakOutcome out;
+  host.start();
+  session.loop().run_until(sim_ms(5000));  // restart instant
+  out.leaf_packets_at_restart = leaf->participant->stats().rtp_packets;
+  session.loop().run_until(sim_ms(8000));
+  host.stop();
+  session.run_for(sim_sec(1));  // drain repairs and reports in flight
+
+  out.telemetry_json = telemetry::to_json(session.telemetry().snapshot());
+  out.failovers = session.relay_failovers();
+  out.crashes = session.relay_crashes();
+  out.restarts = session.relay_restarts();
+  out.leaf_packets_final = leaf->participant->stats().rtp_packets;
+  out.r3_under_r1 = r3.parent == &r1;
+  out.r3_orphaned = r3.node->orphaned();
+  out.episodes_cleared = faults.episodes_cleared();
+
+  // Invariants that must hold inside every run, any seed.
+  EXPECT_GT(r3.node->stats().upstream_lost, 0u) << "seed " << seed;
+  EXPECT_GT(r3.node->stats().adoptions, 0u) << "seed " << seed;
+  EXPECT_GT(r2.node->stats().forwarded_packets,
+            r2.retired.forwarded_packets)
+      << "restarted node never forwarded, seed " << seed;
+  for (const auto* v : viewers) {
+    EXPECT_GT(v->participant->stats().rtp_packets, 0u) << "seed " << seed;
+  }
+  const auto snap = session.telemetry().snapshot();
+  EXPECT_EQ(snap.counter("chaos.relay_crash_episodes"), 1u);
+  EXPECT_EQ(snap.counter("chaos.relay_stall_episodes"), 1u);
+  EXPECT_EQ(snap.gauge("relay.r3.failover.orphaned"), 0);
+  EXPECT_EQ(snap.counter("recovery.relay_crashes"), 1u);
+  EXPECT_EQ(snap.counter("recovery.relay_restarts"), 1u);
+  return out;
+}
+
+TEST(RelayFailoverSoak, DeterministicSelfHealingAcrossFiveSeeds) {
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    const SoakOutcome a = run_soak(seed);
+    const SoakOutcome b = run_soak(seed);
+
+    // Bit-identical replay: the watchdog jitter, the failover instant and
+    // every repair land on the same virtual-clock microsecond both times.
+    EXPECT_EQ(a.telemetry_json, b.telemetry_json) << "seed " << seed;
+
+    // The healing story itself.
+    EXPECT_EQ(a.failovers, 1u) << "seed " << seed;
+    EXPECT_EQ(a.crashes, 1u) << "seed " << seed;
+    EXPECT_EQ(a.restarts, 1u) << "seed " << seed;
+    EXPECT_TRUE(a.r3_under_r1) << "seed " << seed;
+    EXPECT_FALSE(a.r3_orphaned) << "seed " << seed;
+    // Both scripted episodes cleared (the crash had a restart).
+    EXPECT_EQ(a.episodes_cleared, 2u) << "seed " << seed;
+    // The subtree kept flowing after the restart.
+    EXPECT_GT(a.leaf_packets_final, a.leaf_packets_at_restart)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ads

@@ -434,5 +434,245 @@ TEST(RelayNode, PublishesTelemetryUnderItsPrefix) {
   EXPECT_EQ(snap.gauge("relay.r9.legs"), 1);
 }
 
+// ----- self-healing: watchdog, orphan freeze, adoption, epochs ----------
+
+/// Watchdog knobs small enough to run a full escalation in a short test,
+/// jitter off so expiry instants are exact.
+RelayOptions watchdog_opts() {
+  RelayOptions opts;
+  opts.upstream_timeout_us = sim_ms(200);
+  opts.probe_interval_us = sim_ms(50);
+  opts.probe_count = 2;
+  opts.watchdog_jitter = 0.0;
+  return opts;
+}
+
+Bytes media_datagram_ssrc(std::uint32_t ssrc, std::uint16_t seq) {
+  RtpPacket pkt;
+  pkt.marker = true;
+  pkt.payload_type = kRemotingPayloadType;
+  pkt.sequence = seq;
+  pkt.timestamp = 9000u * seq;
+  pkt.ssrc = ssrc;
+  pkt.payload.assign(64, 0xAB);
+  return pkt.serialize();
+}
+
+TEST(RelayNode, WatchdogProbesThenDeclaresUpstreamDead) {
+  Fixture f(watchdog_opts());
+  f.node.start();
+  bool lost = false;
+  f.node.set_upstream_lost([&lost] { lost = true; });
+  f.feed_media(1);  // first activity arms the watchdog
+
+  // Timeout at 200ms, probes at 200 and 250ms, declaration at 300ms.
+  f.loop.run_until(sim_ms(199));
+  EXPECT_FALSE(f.node.orphaned());
+  EXPECT_EQ(f.node.stats().watchdog_probes, 0u);
+  f.loop.run_until(sim_ms(260));
+  EXPECT_EQ(f.node.stats().watchdog_probes, 2u);
+  EXPECT_FALSE(lost);
+  f.loop.run_until(sim_ms(301));
+  EXPECT_TRUE(lost);
+  EXPECT_TRUE(f.node.orphaned());
+  EXPECT_EQ(f.node.stats().upstream_lost, 1u);
+  EXPECT_EQ(f.node.last_detect_latency_us(), sim_ms(300));
+}
+
+TEST(RelayNode, WatchdogSleepsOutRemainderWhileUpstreamActive) {
+  Fixture f(watchdog_opts());
+  f.node.start();
+  bool lost = false;
+  f.node.set_upstream_lost([&lost] { lost = true; });
+  // Media every 100ms keeps idle under the 200ms threshold throughout.
+  for (int i = 0; i < 10; ++i) {
+    f.node.on_upstream_datagram(media_datagram(static_cast<std::uint16_t>(i)));
+    f.loop.run_until(f.loop.now() + sim_ms(100));
+  }
+  EXPECT_FALSE(lost);
+  EXPECT_FALSE(f.node.orphaned());
+  EXPECT_EQ(f.node.stats().watchdog_probes, 0u);
+}
+
+TEST(RelayNode, OrphanFreezesForwardingButServesSubtreeFromCache) {
+  Fixture f(watchdog_opts());
+  f.node.start();
+  UdpLegProbe a;
+  const LegId leg = f.node.add_leg(a.endpoint());
+  for (std::uint16_t s = 1; s <= 5; ++s) f.feed_media(s);
+  f.loop.run_until(sim_ms(400));  // escalation drains: orphaned
+  ASSERT_TRUE(f.node.orphaned());
+  const std::size_t media_before = a.media.size();
+  const std::size_t upstream_before = f.upstream.size();
+
+  // Media straggling in from the dead parent is frozen out, not forwarded.
+  f.feed_media(6);
+  EXPECT_EQ(a.media.size(), media_before);
+  EXPECT_EQ(f.node.stats().frozen_drops, 1u);
+
+  // A cached sequence is still served to the subtree during the blackout…
+  f.node.on_leg_packet(leg, GenericNack::for_sequences(
+                                0xB0B, f.node.upstream_ssrc(), {3}).serialize());
+  EXPECT_EQ(f.node.stats().rtx_served, 1u);
+  EXPECT_EQ(a.media.size(), media_before + 1);
+
+  // …while a miss is absorbed (no dead-parent request), and so are PLIs.
+  f.node.on_leg_packet(leg, GenericNack::for_sequences(
+                                0xB0B, f.node.upstream_ssrc(), {40}).serialize());
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0xB0B;
+  pli.media_ssrc = f.node.upstream_ssrc();
+  f.node.on_leg_packet(leg, pli.serialize());
+  f.loop.run_until(f.loop.now() + sim_ms(600));
+  EXPECT_EQ(f.upstream.size(), upstream_before);
+  EXPECT_GT(f.node.stats().nacks_absorbed, 0u);
+  EXPECT_GT(f.node.stats().plis_coalesced, 0u);
+}
+
+TEST(RelayNode, AdoptUpstreamResyncsIntoAFreshEpoch) {
+  Fixture f(watchdog_opts());
+  f.node.start();
+  UdpLegProbe a;
+  f.node.add_leg(a.endpoint());
+  for (std::uint16_t s = 1; s <= 5; ++s) f.feed_media(s);
+  f.loop.run_until(sim_ms(400));
+  ASSERT_TRUE(f.node.orphaned());
+
+  f.node.adopt_upstream();
+  EXPECT_FALSE(f.node.orphaned());
+  EXPECT_EQ(f.node.upstream_epoch(), 1u);
+  EXPECT_EQ(f.node.stats().adoptions, 1u);
+  EXPECT_EQ(f.node.stats().cache_dropped, 5u);  // stale repairs discarded
+  EXPECT_EQ(f.node.cache().size(), 0u);
+  ASSERT_FALSE(f.upstream.empty());  // the §4.4 refresh request went out
+  EXPECT_GE(f.upstream_pli_count(), 1u);
+  EXPECT_EQ(f.node.upstream_ssrc(), 0u);  // new epoch: identity re-learned
+
+  // First media of the new epoch completes the resync; a different SSRC is
+  // the new parent's own stream, not a duplicate of the old one.
+  f.loop.run_until(f.loop.now() + sim_ms(40));
+  f.node.on_upstream_datagram(media_datagram_ssrc(0xD00D, 900));
+  EXPECT_EQ(f.node.stats().upstream_duplicates, 0u);
+  EXPECT_EQ(f.node.stats().decode_errors, 0u);
+  EXPECT_EQ(f.node.upstream_ssrc(), 0xD00Du);
+  EXPECT_EQ(f.node.last_resync_duration_us(), sim_ms(40));
+}
+
+TEST(RelayNode, FailoverLossIsCountedWhenTheSsrcSurvives) {
+  Fixture f(watchdog_opts());
+  f.node.start();
+  for (std::uint16_t s = 1; s <= 5; ++s) f.feed_media(s);
+  f.loop.run_until(sim_ms(400));
+  ASSERT_TRUE(f.node.orphaned());
+  f.node.adopt_upstream();
+  // Same stream via the new parent, resuming at 9: seqs 6,7,8 died with
+  // the old parent.
+  f.feed_media(9);
+  EXPECT_EQ(f.node.stats().failover_lost_packets, 3u);
+}
+
+TEST(RelayNode, UpstreamSsrcChangeBeginsANewEpochNotDuplicates) {
+  Fixture f;
+  f.node.start();
+  UdpLegProbe a;
+  f.node.add_leg(a.endpoint());
+  for (std::uint16_t s = 1; s <= 3; ++s) f.feed_media(s);
+  // The upstream restarts with a new SSRC and a colliding sequence space.
+  for (std::uint16_t s = 1; s <= 3; ++s) {
+    f.node.on_upstream_datagram(media_datagram_ssrc(0xFEED, s));
+  }
+  EXPECT_EQ(f.node.stats().ssrc_epochs, 1u);
+  EXPECT_EQ(f.node.upstream_epoch(), 1u);
+  EXPECT_EQ(f.node.stats().upstream_duplicates, 0u);
+  EXPECT_EQ(f.node.stats().decode_errors, 0u);
+  EXPECT_EQ(f.node.stats().upstream_packets, 6u);
+  EXPECT_EQ(a.media.size(), 6u);
+  EXPECT_EQ(f.node.upstream_ssrc(), 0xFEEDu);
+}
+
+TEST(RelayNode, StalledNodeFreezesAndThawRestartsTheGracePeriod) {
+  Fixture f(watchdog_opts());
+  f.node.start();
+  UdpLegProbe a;
+  const LegId leg = f.node.add_leg(a.endpoint());
+  f.feed_media(1);
+  f.node.set_stalled(true);
+  ASSERT_TRUE(f.node.stalled());
+
+  // Ingest, leg uplink and the probe ladder are all frozen while wedged —
+  // far past the timeout, the parent is never declared dead.
+  f.feed_media(2);
+  EXPECT_EQ(f.node.stats().frozen_drops, 1u);
+  f.node.on_leg_packet(leg, GenericNack::for_sequences(
+                                0xB0B, f.node.upstream_ssrc(), {1}).serialize());
+  EXPECT_EQ(f.node.stats().nacks_received, 0u);
+  f.loop.run_until(sim_ms(900));
+  EXPECT_FALSE(f.node.orphaned());
+  EXPECT_EQ(f.node.stats().watchdog_probes, 0u);
+
+  // Thaw: forwarding resumes and the upstream gets a fresh grace period.
+  f.node.set_stalled(false);
+  f.feed_media(3);
+  EXPECT_EQ(a.media.size(), 2u);
+  f.loop.run_until(f.loop.now() + sim_ms(150));
+  EXPECT_FALSE(f.node.orphaned());
+}
+
+TEST(RelayNode, StopQuiescesRepairStateAndWithdrawsLegGauges) {
+  RelayOptions opts = watchdog_opts();
+  opts.metrics_prefix = "relay.r7.";
+  opts.nack_flush_us = sim_ms(5);
+  Fixture f(opts);
+  f.node.start();
+  UdpLegProbe a;
+  LegConfig cfg;
+  cfg.rate_bps = 1'000'000;
+  const LegId leg = f.node.add_leg(a.endpoint(), cfg);
+  for (std::uint16_t s = 1; s <= 4; ++s) f.feed_media(s);
+
+  // A cache miss leaves a pending upstream NACK behind…
+  f.node.on_leg_packet(leg, GenericNack::for_sequences(
+                                0xB0B, f.node.upstream_ssrc(), {90}).serialize());
+  const std::size_t upstream_before = f.upstream.size();
+  f.node.stop();
+  // …which stop() must abandon: no flush fires after the quiesce.
+  f.loop.run_until(f.loop.now() + sim_ms(700));
+  EXPECT_EQ(f.upstream.size(), upstream_before);
+  // The cache is dropped — a stopped node can never serve a stale repair —
+  // and the monotone rtx totals survive the drop.
+  EXPECT_EQ(f.node.cache().size(), 0u);
+  EXPECT_EQ(f.node.stats().cache_dropped, 4u);
+  EXPECT_EQ(f.node.rtx_misses_total(), 1u);
+  // Per-leg gauges are withdrawn (zero, not last-known) at the snapshot.
+  const auto snap = f.node.telemetry().snapshot();
+  EXPECT_EQ(snap.gauge("relay.r7.leg" + std::to_string(leg) + ".rate_bps"), 0);
+
+  // start() re-enables forwarding with a cold cache.
+  f.node.start();
+  f.feed_media(10);
+  EXPECT_EQ(a.media.size(), 5u);
+  const auto snap2 = f.node.telemetry().snapshot();
+  EXPECT_EQ(snap2.gauge("relay.r7.leg" + std::to_string(leg) + ".rate_bps"),
+            1'000'000);
+}
+
+TEST(RelayNode, FoldStatsSeedsLifetimeCountersMonotonically) {
+  EventLoop loop;
+  RelayNode node(loop, {});
+  RelayNode::Stats prior;
+  prior.upstream_packets = 100;
+  prior.forwarded_packets = 250;
+  prior.upstream_lost = 1;
+  node.fold_stats(prior, /*rtx_hits=*/7, /*rtx_misses=*/3, /*rtx_evictions=*/2);
+  EXPECT_EQ(node.stats().upstream_packets, 100u);
+  EXPECT_EQ(node.stats().forwarded_packets, 250u);
+  EXPECT_EQ(node.stats().upstream_lost, 1u);
+  EXPECT_EQ(node.rtx_hits_total(), 7u);
+  EXPECT_EQ(node.rtx_misses_total(), 3u);
+  EXPECT_EQ(node.rtx_evictions_total(), 2u);
+  node.on_upstream_datagram(media_datagram(1));
+  EXPECT_EQ(node.stats().upstream_packets, 101u);
+}
+
 }  // namespace
 }  // namespace ads::relay

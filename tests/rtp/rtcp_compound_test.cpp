@@ -146,6 +146,98 @@ TEST(RtcpCompound, BadVersionInAnySubPacketRejects) {
   EXPECT_EQ(parsed.error(), ParseError::kBadValue);
 }
 
+/// Append RFC 3550 padding to one serialised RTCP packet: `pad` zero bytes
+/// with the count in the last octet, P bit set, length field grown to match.
+Bytes with_padding(Bytes wire, std::uint8_t pad) {
+  wire[0] = static_cast<std::uint8_t>(wire[0] | 0x20);
+  wire.insert(wire.end(), pad, 0x00);
+  if (pad > 0) wire.back() = pad;
+  const std::size_t words = wire.size() / 4 - 1;
+  wire[2] = static_cast<std::uint8_t>(words >> 8);
+  wire[3] = static_cast<std::uint8_t>(words & 0xFF);
+  return wire;
+}
+
+TEST(RtcpCompound, PaddingOnTheFinalSubPacketIsStrippedBeforeParsing) {
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0xAA;
+  pli.media_ssrc = 0xBB;
+  ReceiverReport rr;
+  rr.ssrc = 0xCC;
+  rr.blocks.push_back(sample_block(0x2222, 9));
+
+  // Compound padding lives on the last sub-packet only (§6.4.1).
+  Bytes wire = pli.serialize();
+  const Bytes padded_rr = with_padding(rr.serialize(), 8);
+  wire.insert(wire.end(), padded_rr.begin(), padded_rr.end());
+
+  auto parsed = parse_rtcp_compound(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  const auto& got = std::get<ReceiverReport>((*parsed)[1]);
+  EXPECT_EQ(got.ssrc, 0xCCu);
+  ASSERT_EQ(got.blocks.size(), 1u);
+  EXPECT_EQ(got.blocks[0].fraction_lost, 9);
+  // The strip is invisible downstream: re-serialising yields the unpadded
+  // equivalent of the same messages.
+  EXPECT_EQ(serialize_rtcp((*parsed)[1]), rr.serialize());
+
+  // A padded singleton datagram is its own final sub-packet.
+  auto single = parse_rtcp_compound(with_padding(pli.serialize(), 4));
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(single->size(), 1u);
+  EXPECT_EQ(std::get<PictureLossIndication>((*single)[0]).media_ssrc, 0xBBu);
+}
+
+TEST(RtcpCompound, PaddingOnANonFinalSubPacketRejects) {
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0xAA;
+  Bytes wire = with_padding(pli.serialize(), 4);
+  ReceiverReport rr;
+  rr.ssrc = 0xCC;
+  const Bytes tail = rr.serialize();
+  wire.insert(wire.end(), tail.begin(), tail.end());
+
+  auto parsed = parse_rtcp_compound(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kBadValue);
+}
+
+TEST(RtcpCompound, InconsistentPadCountsReject) {
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0xAA;
+  pli.media_ssrc = 0;  // last payload octet is 0x00
+
+  // P bit set but a zero pad count (the last octet reads 0).
+  Bytes zero_pad = pli.serialize();
+  zero_pad[0] = static_cast<std::uint8_t>(zero_pad[0] | 0x20);
+  auto parsed = parse_rtcp_compound(zero_pad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kBadValue);
+
+  // Pad count not a multiple of the 32-bit word size.
+  Bytes odd_pad = with_padding(pli.serialize(), 4);
+  odd_pad.back() = 2;
+  parsed = parse_rtcp_compound(odd_pad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kBadValue);
+
+  // Pad count that would swallow the sub-packet header itself.
+  Bytes greedy_pad = with_padding(pli.serialize(), 4);
+  greedy_pad.back() = 16;  // declared 16 bytes total, 16 + 4 > 16
+  parsed = parse_rtcp_compound(greedy_pad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error(), ParseError::kBadValue);
+}
+
+TEST(RtcpCompound, EmptyMessageListSerialisesToZeroBytes) {
+  // The zero-length end of the chain contract, both directions.
+  EXPECT_TRUE(serialize_rtcp_compound({}).empty());
+  auto parsed = parse_rtcp_compound(BytesView());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
 TEST(RtcpCompound, RelayStyleRrPlusNackCompound) {
   // The shape the relay emits every report interval: one aggregated RR and
   // one deduplicated NACK in a single datagram.
