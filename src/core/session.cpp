@@ -571,10 +571,17 @@ void SharingSession::reparent_relay(RelayHandle& r, RelayHandle* new_parent) {
 void SharingSession::failover_relay(RelayHandle& r) {
   ++relay_failovers_;
   // Ladder: configured backup, else nearest live ancestor ABOVE the dead
-  // parent (the parent itself was just declared dead), else the AH.
+  // parent (the parent itself was just declared dead), else the AH. A
+  // backup that IS that parent is skipped — re-parenting onto the node
+  // just declared silent would orphan again every watchdog period — and
+  // an over-deep backup is as useless as a dead one: letting
+  // reparent_relay throw on this automatic (event-loop) path would
+  // terminate the run and freeze the orphan.
   RelayHandle* target = nullptr;
-  if (r.backup != nullptr && r.backup != &r && r.backup->alive &&
-      r.backup->node != nullptr && !relay_in_subtree(*r.backup, r)) {
+  if (r.backup != nullptr && r.backup != &r && r.backup != r.parent &&
+      r.backup->alive && r.backup->node != nullptr &&
+      r.backup->depth + 1 <= kMaxRelayDepth &&
+      !relay_in_subtree(*r.backup, r)) {
     target = r.backup;
   }
   if (target == nullptr && r.parent != nullptr) {
@@ -590,24 +597,31 @@ void SharingSession::failover_relay(RelayHandle& r) {
 
 void SharingSession::crash_relay(RelayHandle& r) {
   if (!r.alive || r.node == nullptr) return;
-  // Snapshot lifetime counters so a restart folds them back in and the
-  // relay.rN.* namespace stays monotone across incarnations.
+  // Quiesce first — holdoff windows die, the cache drops — so the crash
+  // snapshot below includes the quiesce accounting and the restart fold
+  // keeps the relay.rN.* namespace monotone across incarnations.
+  r.node->stop();
   r.retired = r.node->stats();
   r.retired_rtx_hits = r.node->rtx_hits_total();
   r.retired_rtx_misses = r.node->rtx_misses_total();
   r.retired_rtx_evictions = r.node->rtx_evictions_total();
-  // Withdraw the upstream leg so a live parent stops feeding a dead link.
-  // A root relay's AH slot is kept registered: the AH keeps encoding into
-  // send closures that now fail cleanly, and a restart reuses the id
-  // (mirroring reconnect_tcp's same-id resync).
-  if (r.parent != nullptr && r.parent->alive && r.parent->node) {
-    r.parent->node->remove_leg(r.leg);
+  // Withdraw the upstream attachment so the upstream stops feeding a dead
+  // link: a live parent forgets the leg; a root relay's AH slot is
+  // deregistered (mirroring reconnect_tcp), keeping r.upstream_id so
+  // restart_relay re-registers the SAME id and resyncs via the §4.4
+  // late-join path. Leaving the slot registered would leak it — a restart
+  // would allocate a second id double-feeding this handle's down channel.
+  if (r.parent != nullptr) {
+    if (r.parent->alive && r.parent->node) r.parent->node->remove_leg(r.leg);
+  } else if (r.upstream_id != 0) {
+    host_.remove_participant(r.upstream_id);
   }
   retire_udp(r.down.get());
   retire_udp(r.up.get());
-  // Destroying the node runs RelayNode::stop(): holdoff windows quiesce,
-  // the cache drops, per-leg gauges withdraw. Channel destructors cancel
-  // in-flight deliveries via their weak-ptr tokens.
+  // Node destruction publishes one final stopped-state snapshot (per-leg
+  // backlog/rate gauges read zero while the node is down) and withdraws
+  // the collector. Channel destructors cancel in-flight deliveries via
+  // their weak-ptr tokens.
   r.node.reset();
   r.down.reset();
   r.up.reset();
@@ -649,6 +663,11 @@ void SharingSession::restart_relay(RelayHandle& r) {
     }
   }
   r.node->start();
+  // The documented same-id resync, made real: a cold restart begins a new
+  // upstream epoch exactly like a failover adoption — the PLI it sends
+  // upward reaches the AH (directly, or relayed through the parent) and
+  // pulls the §4.4 full refresh through the whole re-attached subtree.
+  r.node->adopt_upstream();
   ++relay_restarts_;
 }
 

@@ -187,9 +187,10 @@ class SharingSession {
   // ----- relay self-healing (crash, failover, restart) -----------------
 
   /// Configure `r`'s failover target. When its node declares the upstream
-  /// dead the session re-parents it under `backup`; with no backup (or a
-  /// dead one) the nearest live ancestor above the dead parent adopts the
-  /// subtree, falling back to the AH itself.
+  /// dead the session re-parents it under `backup`; with no usable backup
+  /// (dead, the dead parent itself, inside `r`'s own subtree, or one whose
+  /// adoption would exceed kMaxRelayDepth) the nearest live ancestor above
+  /// the dead parent adopts the subtree, falling back to the AH itself.
   void set_relay_backup(RelayHandle& r, RelayHandle* backup) {
     r.backup = backup;
   }
@@ -208,9 +209,12 @@ class SharingSession {
 
   /// Cold-restart a crashed relay: fresh channels (same deterministic
   /// seeds), a fresh node with an empty cache, re-attached under its
-  /// current parent (or the nearest live ancestor / the AH), and fresh
-  /// legs for every child and viewer still parented to it. Lifetime
-  /// counters fold so relay.rN.* telemetry stays monotone.
+  /// current parent (or the nearest live ancestor / the AH — a root
+  /// re-registers its OLD participant id), and fresh legs for every
+  /// child and viewer still parented to it. The node then resyncs via
+  /// the same adoption epoch as a failover (one upstream PLI pulls the
+  /// §4.4 full refresh through the subtree). Lifetime counters fold so
+  /// relay.rN.* telemetry stays monotone.
   void restart_relay(RelayHandle& r);
 
   /// Relays crashed via crash_relay() so far.

@@ -51,7 +51,16 @@ void RelayNode::fold_stats(const Stats& prior, std::uint64_t rtx_hits,
   rtx_evictions_base_ += rtx_evictions;
 }
 
-RelayNode::~RelayNode() { tel_->metrics.remove_collectors(this); }
+RelayNode::~RelayNode() {
+  // Quiesce (idempotent when the session already called stop()) and push
+  // one final stopped-state snapshot before the collector withdraws: the
+  // per-leg backlog/rate gauges publish zero, so a destroyed node never
+  // leaves last-known readings dangling in the registry to steer upstream
+  // adaptation on fiction.
+  stop();
+  publish_metrics();
+  tel_->metrics.remove_collectors(this);
+}
 
 // ----- downstream legs ------------------------------------------------
 
@@ -576,6 +585,7 @@ void RelayNode::start() {
 
 void RelayNode::stop() {
   started_ = false;
+  if (stopped_) return;  // already quiesced; don't double-count the drop
   stopped_ = true;
   // Quiesce every deferred repair: pending NACK batches, their holdoff
   // windows and the PLI coalesce window die here, and dropping the cache

@@ -202,5 +202,153 @@ TEST(RelayFailover, FastRestartRejoinsBeforeTheChildEscalates) {
   EXPECT_GT(retired.forwarded_packets, 0u);
 }
 
+TEST(RelayFailover, RootRelayCrashRestartReusesTheAhSlot) {
+  SharingSession session(failover_host());
+  AppHost& host = session.host();
+  const WindowId w = host.wm().create({0, 0, 320, 240}, 1);
+  host.capturer().attach(w, std::make_unique<TerminalApp>(320, 240, 5));
+
+  auto& r1 = session.add_relay(failover_relay_opts(11));
+  auto& r2 = session.add_relay_child(r1, failover_relay_opts(11));
+  ParticipantOptions popts;
+  popts.screen_width = 320;
+  popts.screen_height = 240;
+  auto& leaf = session.add_relay_viewer(r2, popts);
+
+  PictureLossIndication pli;
+  host.on_uplink_packet(r1.upstream_id, pli.serialize());
+  host.start();
+  session.loop().run_until(sim_ms(1000));
+
+  const ParticipantId id_before = r1.upstream_id;
+  const std::size_t count_before = host.participant_count();
+
+  // Crash the ROOT: its AH slot must be released, not leaked — a leaked
+  // slot would make the restart allocate a second id whose endpoint feeds
+  // the same down channel (duplicated media, no same-id resync).
+  session.crash_relay(r1);
+  EXPECT_EQ(host.participant_count(), count_before - 1);
+  session.loop().run_until(session.loop().now() + sim_ms(300));
+  session.restart_relay(r1);
+  EXPECT_EQ(r1.upstream_id, id_before);
+  EXPECT_EQ(host.participant_count(), count_before);
+
+  const std::uint64_t leaf_packets_at_restart =
+      leaf.participant->stats().rtp_packets;
+  session.loop().run_until(session.loop().now() + sim_sec(2));
+  host.stop();
+  session.run_for(sim_ms(300));  // drain, staying inside the grace period
+
+  EXPECT_TRUE(r1.alive);
+  EXPECT_FALSE(r2.node->orphaned());
+  EXPECT_EQ(r2.parent, &r1);
+  EXPECT_EQ(session.relay_crashes(), 1u);
+  EXPECT_EQ(session.relay_restarts(), 1u);
+  EXPECT_EQ(session.relay_failovers(), 0u);
+  // Media flows to the leaf again through the restarted root, and the
+  // subtree converges back onto the shared screen.
+  EXPECT_GT(leaf.participant->stats().rtp_packets, leaf_packets_at_restart);
+  expect_matches_truth(session, *leaf.participant, "leaf after root restart",
+                       11);
+}
+
+TEST(RelayFailover, BackupEqualToTheDeadParentIsSkipped) {
+  SharingSession session(failover_host());
+  AppHost& host = session.host();
+  const WindowId w = host.wm().create({0, 0, 160, 120}, 1);
+  host.capturer().attach(w, std::make_unique<TerminalApp>(160, 120, 5));
+
+  auto& r1 = session.add_relay(failover_relay_opts(13));
+  auto& r2 = session.add_relay_child(r1, failover_relay_opts(13));
+  auto& r3 = session.add_relay_child(r2, failover_relay_opts(13));
+  // Misconfigured (or stale) backup: it points at the very parent whose
+  // silence the watchdog is about to declare.
+  session.set_relay_backup(r3, &r2);
+
+  PictureLossIndication pli;
+  host.on_uplink_packet(r1.upstream_id, pli.serialize());
+  host.start();
+  session.loop().run_until(sim_ms(1000));
+
+  // A stall keeps r2 alive (so the backup rung's aliveness check passes)
+  // while its legs starve — exactly the case where re-adopting the same
+  // parent would re-orphan r3 every watchdog period, forever.
+  r2.node->set_stalled(true);
+  session.loop().run_until(session.loop().now() + sim_sec(2));
+  host.stop();
+
+  EXPECT_EQ(r3.parent, &r1);
+  EXPECT_EQ(r3.depth, 2);
+  EXPECT_FALSE(r3.node->orphaned());
+  EXPECT_EQ(session.relay_failovers(), 1u);
+}
+
+TEST(RelayFailover, OverDeepBackupFallsThroughToTheAncestor) {
+  SharingSession session(failover_host());
+  AppHost& host = session.host();
+  const WindowId w = host.wm().create({0, 0, 160, 120}, 1);
+  host.capturer().attach(w, std::make_unique<TerminalApp>(160, 120, 5));
+
+  // A chain down to the depth bound: adopting under `deep` would need
+  // depth kMaxRelayDepth + 1.
+  auto& r1 = session.add_relay(failover_relay_opts(17));
+  SharingSession::RelayHandle* deep = &r1;
+  for (int d = 2; d <= SharingSession::kMaxRelayDepth; ++d) {
+    deep = &session.add_relay_child(*deep, failover_relay_opts(17));
+  }
+  auto& rA = session.add_relay_child(r1, failover_relay_opts(17));
+  auto& rB = session.add_relay_child(rA, failover_relay_opts(17));
+  session.set_relay_backup(rB, deep);
+
+  PictureLossIndication pli;
+  host.on_uplink_packet(r1.upstream_id, pli.serialize());
+  host.start();
+  session.loop().run_until(sim_ms(1000));
+
+  session.crash_relay(rA);
+  // The automatic path must not throw through the watchdog's event-loop
+  // callback: the over-deep backup is treated like a dead one and the
+  // ladder climbs to the live ancestor above the dead parent.
+  session.loop().run_until(session.loop().now() + sim_sec(2));
+  host.stop();
+
+  ASSERT_EQ(deep->depth, SharingSession::kMaxRelayDepth);
+  EXPECT_EQ(rB.parent, &r1);
+  EXPECT_EQ(rB.depth, 2);
+  EXPECT_FALSE(rB.node->orphaned());
+  EXPECT_EQ(session.relay_failovers(), 1u);
+}
+
+TEST(RelayFailover, CrashPublishesZeroedPerLegGauges) {
+  SharingSession session(failover_host());
+  AppHost& host = session.host();
+  const WindowId w = host.wm().create({0, 0, 160, 120}, 1);
+  host.capturer().attach(w, std::make_unique<TerminalApp>(160, 120, 5));
+
+  auto& r1 = session.add_relay(failover_relay_opts(19));
+  ParticipantOptions popts;
+  popts.screen_width = 160;
+  popts.screen_height = 120;
+  relay::LegConfig leg;
+  leg.rate_bps = 2'000'000;  // rate-limited: the leg publishes a rate gauge
+  auto& viewer = session.add_relay_viewer(r1, popts, {}, leg);
+
+  PictureLossIndication pli;
+  host.on_uplink_packet(r1.upstream_id, pli.serialize());
+  host.start();
+  session.loop().run_until(sim_ms(1000));
+
+  const std::string gauge =
+      "relay.r1.leg" + std::to_string(viewer.leg) + ".rate_bps";
+  EXPECT_GT(session.telemetry().snapshot().gauge(gauge), 0);
+
+  session.crash_relay(r1);
+  // The dying node pushed one final stopped-state snapshot: its per-leg
+  // gauges read zero, not the last-known rate of a forwarder that no
+  // longer exists.
+  EXPECT_EQ(session.telemetry().snapshot().gauge(gauge), 0);
+  host.stop();
+}
+
 }  // namespace
 }  // namespace ads
