@@ -33,6 +33,7 @@ const char* fault_class_name(FaultClass c) {
     case FaultClass::kDrop: return "drop";
     case FaultClass::kRelayCrash: return "relay_crash";
     case FaultClass::kRelayStall: return "relay_stall";
+    case FaultClass::kJoinFlood: return "join_flood";
   }
   return "unknown";
 }
@@ -204,6 +205,31 @@ void FaultSchedule::relay_stall(SimTime start, SimTime duration,
     (*shared)(false);
     end_episode();
   });
+}
+
+void FaultSchedule::join_flood(SimTime start, SimTime window, std::size_t count,
+                               std::function<void(std::size_t)> admit) {
+  if (count == 0) return;
+  if (window <= 0) window = 1;
+  const std::size_t idx =
+      add_episode(FaultClass::kJoinFlood, start, start + window);
+  loop_.at(start, [this] { begin_episode(FaultClass::kJoinFlood); });
+  // Even spacing across the window plus a per-joiner seeded jitter of up to
+  // half a slot, so arrivals are bursty-but-aperiodic like a real flash
+  // crowd — and bit-identical for a given schedule seed.
+  Prng rng(episode_seed(seed_, idx));
+  const SimTime slot = std::max<SimTime>(1, window / static_cast<SimTime>(count));
+  auto shared = std::make_shared<std::function<void(std::size_t)>>(std::move(admit));
+  for (std::size_t i = 0; i < count; ++i) {
+    const SimTime jitter =
+        slot > 1 ? static_cast<SimTime>(rng.below(
+                       static_cast<std::uint64_t>(slot / 2 + 1)))
+                 : 0;
+    const SimTime at = std::min<SimTime>(
+        start + window - 1, start + static_cast<SimTime>(i) * slot + jitter);
+    loop_.at(at, [shared, i] { (*shared)(i); });
+  }
+  loop_.at(start + window, [this] { end_episode(); });
 }
 
 void FaultSchedule::script_random(UdpChannel& link,

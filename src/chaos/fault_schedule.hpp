@@ -42,6 +42,7 @@ enum class FaultClass : std::uint8_t {
   kDrop,               ///< hard connection drop — permanent until reconnect
   kRelayCrash,         ///< relay node killed cold mid-tree (optional restart)
   kRelayStall,         ///< relay node wedged: forwards and reports nothing
+  kJoinFlood,          ///< flash crowd: a wave of late joiners in one window
 };
 
 const char* fault_class_name(FaultClass c);
@@ -117,6 +118,16 @@ class FaultSchedule {
   /// and emits no feedback, so its subtree sees pure upstream silence.
   void relay_stall(SimTime start, SimTime duration,
                    std::function<void(bool)> set_stalled);
+
+  /// Flash crowd (the E19 load pattern): `count` late joins scripted across
+  /// [start, start+window). `admit(i)` is invoked once per joiner, in index
+  /// order, at instants spread evenly over the window with a small seeded
+  /// jitter — deterministic for a given schedule seed. Callback-scripted
+  /// like relay_crash, so the chaos layer stays free of session/AH
+  /// dependencies: `admit` typically adds a participant (or viewer leg) and
+  /// sends its join PLI. The episode clears at the end of the window.
+  void join_flood(SimTime start, SimTime window, std::size_t count,
+                  std::function<void(std::size_t)> admit);
 
   // ---- seeded random schedules (the chaos-soak matrix entry point) ----
   /// Script a random sequence of blackout / burst / collapse episodes onto

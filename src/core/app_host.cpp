@@ -59,6 +59,7 @@ AppHostOptions AppHost::validated(AppHostOptions opts) {
   a.initial_rate_bps = std::clamp(a.initial_rate_bps, a.min_rate_bps, a.max_rate_bps);
   if (a.max_fps_divisor < 1) a.max_fps_divisor = 1;
   if (a.backlog_window < 1) a.backlog_window = 1;
+  opts.snapshot = snapshot::SnapshotService::validated(std::move(opts.snapshot));
   return opts;
 }
 
@@ -73,6 +74,7 @@ AppHost::AppHost(EventLoop& loop, AppHostOptions opts)
       codecs_(CodecRegistry::with_defaults()),
       encoder_(codecs_, {.threads = opts_.encode_threads,
                          .cache_bytes = opts_.encoded_cache_bytes}),
+      snapshot_(opts_.snapshot),
       floor_(FloorControlOptions{.conference_id = 1, .floor_id = 0}),
       pointer_icon_(8, 12, Pixel{255, 255, 255, 255}) {
   // All per-participant senders share one seed, hence one timestamp base —
@@ -85,6 +87,18 @@ AppHost::AppHost(EventLoop& loop, AppHostOptions opts)
     tel_->trace.enable(opts_.trace_capacity, [lp = &loop_] { return lp->now(); });
   }
   tel_->metrics.add_collector(this, [this] { publish_metrics(); });
+
+  // Session record/replay substrate: stream checkpoint + updates to disk
+  // whenever a path is configured. A failed open latches the recorder into
+  // a no-op — recording must never take the session down.
+  if (!opts_.snapshot.record_path.empty()) {
+    recorder_ =
+        std::make_unique<snapshot::SessionRecorder>(opts_.snapshot.record_path);
+    if (!recorder_->ok()) {
+      ADS_LOG(kWarn) << "session recorder failed to open "
+                     << opts_.snapshot.record_path;
+    }
+  }
 }
 
 AppHost::~AppHost() { tel_->metrics.remove_collectors(this); }
@@ -184,6 +198,34 @@ void AppHost::publish_metrics() {
   m.gauge("liveness.stale").set(stale_now);
   m.counter("liveness.stale_transitions").set(stats_.stale_transitions);
   m.counter("liveness.evictions").set(stats_.participants_evicted);
+
+  // Flash-crowd late-join families (docs/LATEJOIN.md; names in TELEMETRY.md).
+  const snapshot::SnapshotService::Stats& sn = snapshot_.stats();
+  m.counter("snapshot.windows_opened").set(sn.windows_opened);
+  m.counter("snapshot.windows_closed").set(sn.windows_closed);
+  m.counter("snapshot.bundles_built").set(sn.bundles_built);
+  m.counter("snapshot.bundle_bands").set(sn.bundle_bands);
+  m.counter("snapshot.bundles_served").set(sn.bundles_served);
+  m.counter("snapshot.encodes_saved").set(sn.encodes_saved);
+  m.counter("snapshot.plis_absorbed").set(sn.plis_absorbed);
+  m.counter("snapshot.build_failures").set(sn.build_failures);
+  m.counter("snapshot.budget_rejections").set(sn.budget_rejections);
+  m.counter("snapshot.delta_evictions").set(sn.delta_evictions);
+  m.counter("snapshot.invalidations").set(sn.invalidations);
+  m.counter("snapshot.delta_rects").set(sn.delta_rects);
+  m.gauge("snapshot.live_bundles")
+      .set(static_cast<std::int64_t>(snapshot_.bundle_count()));
+  if (recorder_ != nullptr) {
+    const snapshot::SessionRecorder::Stats& rs = recorder_->stats();
+    m.counter("snapshot.record.checkpoints").set(rs.checkpoints);
+    m.counter("snapshot.record.region_updates").set(rs.region_updates);
+    m.counter("snapshot.record.move_rects").set(rs.move_rects);
+    m.counter("snapshot.record.bytes").set(rs.bytes_written);
+  }
+  m.counter("join.admissions").set(stats_.join_admissions);
+  m.counter("join.shared_refreshes").set(stats_.join_shared_refreshes);
+  m.counter("join.fallback_refreshes").set(stats_.join_fallback_refreshes);
+  m.counter("join.waves").set(sn.windows_opened);
 }
 
 ParticipantId AppHost::add_participant(HostEndpoint endpoint,
@@ -556,6 +598,7 @@ void AppHost::send_full_refresh(ParticipantState& p) {
   // desktop-sized shared view (band-split; any rate-limited remainder stays
   // pending and completes over the following ticks).
   p.pending.clear();
+  ++stats_.join_admissions;
   auto leftover = send_regions(p, {capturer_.last_frame().bounds()});
   for (const Rect& r : leftover) p.pending.add(r);
   p.needs_full_refresh = false;
@@ -697,6 +740,9 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     CohortKey key;
     std::vector<Rect> bands;          ///< this participant's send queue
     std::vector<std::uint32_t> slots; ///< band → index into cohort payloads
+    /// Non-null: a full refresh served from this pre-encoded checkpoint
+    /// bundle instead of the cohort encode (bands stays empty).
+    snapshot::RefreshBundle* bundle = nullptr;
   };
 
   // Phase 1 — per-participant policy and banding. Decisions here depend
@@ -720,11 +766,24 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
                            opts_.adaptation.enabled && sp.pt == ContentPt::kDct),
                        opts_.mtu_payload};
     if (p.needs_full_refresh) {
-      // "image of the whole shared region" (§4.3), band-split like any
-      // damage; a rate-limited remainder stays pending (phase 3).
+      // "image of the whole shared region" (§4.3). With the snapshot
+      // service on, the whole join cohort is served from one pre-encoded
+      // refresh bundle per operating point; otherwise (or on bundle-budget/
+      // build failure) the refresh is band-split like any damage and goes
+      // through the cohort encode. A rate-limited remainder stays pending
+      // either way (phase 3).
       sp.full_refresh = true;
       p.pending.clear();
-      sp.bands = band_split({frame.bounds()});
+      ++stats_.join_admissions;
+      if (snapshot_.enabled()) {
+        sp.bundle = snapshot_admit(sp.pt, sp.key.quality, sp.params);
+      }
+      if (sp.bundle != nullptr) {
+        ++stats_.join_shared_refreshes;
+      } else {
+        if (snapshot_.enabled()) ++stats_.join_fallback_refreshes;
+        sp.bands = band_split({frame.bounds()});
+      }
     } else {
       sp.send_mrs = p.frames_sent > 0 && was_current;
       if (!sp.send_mrs) {
@@ -789,23 +848,38 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     if (sp.send_mrs) {
       for (const MoveRectangle& mr : scrolls) send_move_rectangle(p, mr);
     }
-    // Cohort-mates cut their packets from the same lazily-serialised band
-    // streams: the fragment stream is payload-identical for every member
-    // (window id, origin, codec and content are operating-point facts), so
-    // one buffer fill fans out to the whole cohort.
-    Cohort* c = sp.bands.empty() ? nullptr : &cohorts[sp.key];
-    auto stream_for = [&](std::size_t i) -> const BandStream& {
-      const std::uint32_t s = sp.slots[i];
-      BandStream& bs = c->streams[s];
-      if (!bs.buf) {
-        bs = make_band_stream(c->bands[s], c->pt, std::move(c->payloads[s]));
-        ++stats_.band_streams_built;
-      }
-      return bs;
-    };
-    auto leftover = packetize_regions(p, sp.bands, stream_for);
-    p.pending.clear();
-    for (const Rect& r : leftover) p.pending.add(r);
+    if (sp.bundle != nullptr) {
+      // Bundle-served refresh: cut this joiner's packets straight from the
+      // checkpoint's pre-encoded fragment streams (no per-wave encode),
+      // then inherit the bundle's accumulated delta as pending damage so
+      // the joiner converges to the live frame on the next tick.
+      snapshot::RefreshBundle& b = *sp.bundle;
+      auto stream_for = [&](std::size_t i) -> const BandStream& {
+        return b.streams[i];
+      };
+      auto leftover = packetize_regions(p, b.bands, stream_for);
+      p.pending.clear();
+      for (const Rect& r : leftover) p.pending.add(r);
+      for (const Rect& r : b.delta.rects()) p.pending.add(r);
+    } else {
+      // Cohort-mates cut their packets from the same lazily-serialised band
+      // streams: the fragment stream is payload-identical for every member
+      // (window id, origin, codec and content are operating-point facts), so
+      // one buffer fill fans out to the whole cohort.
+      Cohort* c = sp.bands.empty() ? nullptr : &cohorts[sp.key];
+      auto stream_for = [&](std::size_t i) -> const BandStream& {
+        const std::uint32_t s = sp.slots[i];
+        BandStream& bs = c->streams[s];
+        if (!bs.buf) {
+          bs = make_band_stream(c->bands[s], c->pt, std::move(c->payloads[s]));
+          ++stats_.band_streams_built;
+        }
+        return bs;
+      };
+      auto leftover = packetize_regions(p, sp.bands, stream_for);
+      p.pending.clear();
+      for (const Rect& r : leftover) p.pending.add(r);
+    }
     if (sp.full_refresh) {
       p.needs_full_refresh = false;
       // §5.2.4: late joiners get the current pointer position and image.
@@ -820,6 +894,92 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     ++p.frames_sent;
     flush_tx(p);
   }
+}
+
+void AppHost::snapshot_stage(const std::vector<MoveRectangle>& scrolls,
+                             const std::vector<Rect>& damage) {
+  const Image& frame = capturer_.last_frame();
+  if (snapshot_.enabled()) {
+    // A geometry change makes every checkpoint unservable (bundles cover
+    // the old bounds); drop them all before window maintenance.
+    if (frame.width() != snap_frame_w_ || frame.height() != snap_frame_h_) {
+      if (snap_frame_w_ != 0 || snap_frame_h_ != 0) snapshot_.invalidate();
+      snap_frame_w_ = frame.width();
+      snap_frame_h_ = frame.height();
+    }
+    snapshot_.begin_tick(loop_.now());
+    // This tick's churn lands in the deltas of bundles built on earlier
+    // ticks. A bundle built later this tick starts with an empty delta
+    // because it is encoded from the current frame, which already includes
+    // this churn.
+    for (const MoveRectangle& mr : scrolls) snapshot_.add_delta(dest_rect(mr));
+    for (const Rect& r : damage) snapshot_.add_delta(r);
+  }
+
+  if (recorder_ == nullptr || !recorder_->ok()) return;
+  const SimTime now = loop_.now();
+  const SimTime interval = opts_.snapshot.refresh_interval_us > 0
+                               ? opts_.snapshot.refresh_interval_us
+                               : 1'000'000;
+  if (!recorded_initial_checkpoint_ ||
+      now - last_checkpoint_rec_us_ >= interval) {
+    // Periodic replay anchor; it subsumes this tick's updates, so nothing
+    // else is recorded this tick.
+    recorder_->checkpoint(now, frame, WindowManagerInfo::from(wm_), pointer_);
+    recorded_initial_checkpoint_ = true;
+    last_checkpoint_rec_us_ = now;
+    recorded_wmi_revision_ = wm_.revision();
+    recorded_pointer_ = pointer_;
+    return;
+  }
+  if (wm_.revision() != recorded_wmi_revision_) {
+    recorder_->wmi(now, WindowManagerInfo::from(wm_));
+    recorded_wmi_revision_ = wm_.revision();
+  }
+  // Replay applies moves before damage, mirroring how tick() computes the
+  // residual diff against the post-move previous frame — bit-exact replay.
+  for (const MoveRectangle& mr : scrolls) recorder_->move_rect(now, mr);
+  if (!damage.empty()) {
+    // Damage is recorded losslessly (PNG) whatever the session codec; the
+    // bands flow through the shared encoder and its cache like any send.
+    const std::vector<Rect> bands = band_split(damage);
+    const std::vector<Bytes> payloads =
+        encoder_.encode_regions(frame, bands, ContentPt::kPng, {});
+    for (std::size_t i = 0; i < bands.size(); ++i) {
+      recorder_->region_update(now, bands[i], ContentPt::kPng, payloads[i]);
+    }
+  }
+  if (pointer_ != recorded_pointer_) {
+    recorder_->pointer(now, pointer_);
+    recorded_pointer_ = pointer_;
+  }
+}
+
+snapshot::RefreshBundle* AppHost::snapshot_admit(ContentPt pt,
+                                                 std::uint8_t quality,
+                                                 const EncodeParams& params) {
+  const snapshot::BundleKey key{static_cast<std::uint8_t>(pt), quality,
+                                opts_.mtu_payload};
+  const Image& frame = capturer_.last_frame();
+  return snapshot_.admit(key, loop_.now(), [&](snapshot::RefreshBundle& b) {
+    b.bands = band_split({frame.bounds()});
+    if (b.bands.empty()) return false;
+    // The one checkpoint encode of this operating point's join cohort: the
+    // bands run through the shared encoder (cache first, then the worker
+    // pool) and are serialised once into pooled streams that every
+    // joiner's packets view.
+    std::vector<Bytes> payloads = [&] {
+      telemetry::ScopedSpan span(tel_->trace, "ah.encode");
+      return encoder_.encode_regions(frame, b.bands, pt, params);
+    }();
+    b.streams.reserve(b.bands.size());
+    for (std::size_t i = 0; i < b.bands.size(); ++i) {
+      b.streams.push_back(
+          make_band_stream(b.bands[i], pt, std::move(payloads[i])));
+      ++stats_.band_streams_built;
+    }
+    return true;
+  });
 }
 
 void AppHost::tick() {
@@ -881,6 +1041,15 @@ void AppHost::tick() {
       damage = {frame.bounds()};
     }
     previous_frame_ = frame;
+  }
+
+  // Flash-crowd snapshot + record stage: refresh-window/bundle maintenance
+  // and the on-disk checkpoint + update stream, both fed from this tick's
+  // scrolls and damage. Runs before distribution so admissions below see
+  // up-to-date bundle deltas.
+  {
+    telemetry::ScopedSpan span(tel_->trace, "ah.snapshot");
+    snapshot_stage(scrolls, damage);
   }
 
   // Distribute to participants. (optional<> so the span can close before
@@ -976,6 +1145,12 @@ void AppHost::handle_rtcp_message(ParticipantState& p, const RtcpMessage& msg) {
     ++stats_.plis_received;
     p.needs_wmi = true;
     p.needs_full_refresh = true;
+    // Flash-crowd aggregation: the PLI either opens a refresh window or is
+    // absorbed by the live one. Either way the refresh itself is answered
+    // at the next tick's admission — from a shared bundle when possible —
+    // so a PLI storm (including relay-coalesced waves) costs one window,
+    // not one encode per PLI.
+    if (opts_.shared_fanout) snapshot_.note_demand(loop_.now());
     return;
   }
   if (std::holds_alternative<ReceiverReport>(msg)) {

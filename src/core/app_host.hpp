@@ -42,6 +42,8 @@
 #include "rtp/retransmission_cache.hpp"
 #include "rtp/rtp_session.hpp"
 #include "sdp/sharing_session.hpp"
+#include "snapshot/record.hpp"
+#include "snapshot/snapshot.hpp"
 #include "telemetry/telemetry.hpp"
 #include "wm/window_manager.hpp"
 
@@ -104,6 +106,15 @@ struct AppHostOptions {
   /// per-participant path (false), which survives as the golden reference
   /// and the E17 baseline.
   bool shared_fanout = true;
+  /// Flash-crowd late-join: the checkpoint snapshot service
+  /// (docs/LATEJOIN.md). When enabled (shared fan-out path only), refresh
+  /// demand — PLIs and TCP admissions — is batched into join cohorts per
+  /// refresh window and served from pre-encoded, cohort-keyed refresh
+  /// bundles: one checkpoint encode per operating point per join wave. Off
+  /// by default; the §4.4 per-joiner path is the E19 baseline. The embedded
+  /// record_path additionally streams checkpoint + updates to disk for
+  /// deterministic session replay.
+  snapshot::SnapshotOptions snapshot;
   SimTime frame_interval_us = 100'000;  ///< 10 fps capture clock
   /// RTCP Sender Report cadence (0 = no SRs).
   SimTime sr_interval_us = 1'000'000;
@@ -293,6 +304,13 @@ class AppHost {
     std::uint64_t payload_bytes_copied = 0;   ///< staging copies, in bytes
     std::uint64_t band_streams_built = 0;     ///< fragment streams serialised once
                                               ///< per cohort band (shared path)
+    // Flash-crowd late-join accounting (docs/LATEJOIN.md). join_admissions
+    // counts every full refresh granted on either distribute path; the
+    // shared/fallback split only accrues while the snapshot service is
+    // enabled.
+    std::uint64_t join_admissions = 0;          ///< full refreshes granted
+    std::uint64_t join_shared_refreshes = 0;    ///< served from a refresh bundle
+    std::uint64_t join_fallback_refreshes = 0;  ///< §4.4 path despite snapshot on
   };
   /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
@@ -300,6 +318,15 @@ class AppHost {
   /// The band-encode stage (pool size, cache hit/miss counters) — the perf
   /// observability hook for benches and tests.
   const ParallelEncoder& encoder() const { return encoder_; }
+
+  /// The flash-crowd snapshot service: refresh-window/bundle state and the
+  /// snapshot.* counter source (docs/LATEJOIN.md).
+  const snapshot::SnapshotService& snapshot_service() const { return snapshot_; }
+
+  /// The session recorder (non-null while options().snapshot.record_path is
+  /// set; check ok() — a failed open latches it into a no-op). Call
+  /// finish() before replaying the file within the same process.
+  snapshot::SessionRecorder* recorder() { return recorder_.get(); }
 
   /// The session-wide observability sink (owned or injected — see
   /// AppHostOptions::telemetry). telemetry().snapshot() yields one
@@ -347,11 +374,11 @@ class AppHost {
 
   /// One band's serialised fragment stream: a pooled buffer holding the
   /// concatenated fragment payloads plus the per-fragment windows. Built
-  /// once, then shared by every PacketView cut from it.
-  struct BandStream {
-    buf::BufRef buf;
-    std::vector<FragmentSpan> frags;
-  };
+  /// once, then shared by every PacketView cut from it. The shape is the
+  /// snapshot service's bundle band, so pre-encoded refresh bundles feed
+  /// packetize_regions directly — a joiner's packets are views into the
+  /// checkpoint's streams.
+  using BandStream = snapshot::BundleBand;
 
   void schedule_tick();
   /// Serialise one band's RegionUpdate fragment stream into a pooled buffer
@@ -370,6 +397,18 @@ class AppHost {
   void send_payload(ParticipantState& p, Bytes payload, bool marker, SimTime now);
   void send_wmi(ParticipantState& p);
   void send_full_refresh(ParticipantState& p);
+  /// Per-tick snapshot + record stage, run before distribution: geometry
+  /// invalidation, refresh-window close / delta eviction, this tick's
+  /// damage and scroll destinations folded into live bundle deltas, and the
+  /// checkpoint + update stream appended to the session recorder.
+  void snapshot_stage(const std::vector<MoveRectangle>& scrolls,
+                      const std::vector<Rect>& damage);
+  /// Fetch (building on first demand in the window) the refresh bundle for
+  /// one operating point. nullptr = serve this joiner through the
+  /// per-joiner §4.4 path instead (service disabled, bundle budget
+  /// exhausted, or build failure).
+  snapshot::RefreshBundle* snapshot_admit(ContentPt pt, std::uint8_t quality,
+                                          const EncodeParams& params);
   /// Sends as much as the participant's rate budget allows; returns the
   /// rectangles that must stay pending for the next tick.
   std::vector<Rect> send_regions(ParticipantState& p, const std::vector<Rect>& rects);
@@ -432,6 +471,11 @@ class AppHost {
   /// participants_ (whose retransmission caches hold BufRefs) so teardown
   /// order exercises the detach path only when the AH itself dies mid-hold.
   buf::BufPool pool_;
+  /// Flash-crowd late-join state (docs/LATEJOIN.md). Refresh bundles hold
+  /// pooled stream buffers, so — like participants_ — the service is
+  /// declared after pool_ and releases its BufRefs first on teardown.
+  snapshot::SnapshotService snapshot_;
+  std::unique_ptr<snapshot::SessionRecorder> recorder_;
   FloorControlServer floor_;
   std::map<ParticipantId, ParticipantState> participants_;
   std::map<ParticipantId, ParticipantId> member_alias_;  ///< member -> group
@@ -449,6 +493,15 @@ class AppHost {
   // Scroll detection needs the previous exported frame.
   Image previous_frame_;
   std::uint64_t last_wmi_revision_ = ~0ull;
+
+  // Snapshot geometry watch (invalidate bundles on a resize) and session
+  // recorder bookkeeping: what the on-disk replay state already reflects.
+  std::int64_t snap_frame_w_ = 0;
+  std::int64_t snap_frame_h_ = 0;
+  bool recorded_initial_checkpoint_ = false;
+  SimTime last_checkpoint_rec_us_ = 0;
+  std::uint64_t recorded_wmi_revision_ = ~0ull;
+  Point recorded_pointer_{0, 0};
 
   // One logical remoting timestamp base shared across participants for the
   // latency measurement hook (participants' senders share the seed-derived

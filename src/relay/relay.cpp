@@ -555,6 +555,33 @@ void RelayNode::handle_leg_pli() {
     ++stats_.plis_coalesced;
     return;
   }
+  if (opts_.pli_batch_us > 0) {
+    // Flash-crowd wave batching (the PLI analogue of nack_flush_us): the
+    // first PLI of a wave arms the timer, the rest of the wave folds into
+    // it, and one upstream PLI goes out at expiry — so a join flood's PLI
+    // storm crosses this node as a single refresh demand.
+    if (pli_batch_armed_) {
+      ++stats_.plis_batched;
+      return;
+    }
+    pli_batch_armed_ = true;
+    loop_.after(opts_.pli_batch_us, [this, alive = std::weak_ptr<int>(alive_)] {
+      if (alive.expired()) return;
+      flush_pli_batch();
+    });
+    return;
+  }
+  send_pli_upstream(now);
+}
+
+void RelayNode::flush_pli_batch() {
+  if (!pli_batch_armed_) return;  // quiesced by stop()/epoch reset
+  pli_batch_armed_ = false;
+  if (stopped_ || frozen()) return;
+  send_pli_upstream(loop_.now());
+}
+
+void RelayNode::send_pli_upstream(SimTime now) {
   pli_sent_ever_ = true;
   last_pli_up_us_ = now;
   ++stats_.plis_upstream;
@@ -594,6 +621,7 @@ void RelayNode::stop() {
   requested_upstream_.clear();
   pli_sent_ever_ = false;
   last_pli_up_us_ = 0;
+  pli_batch_armed_ = false;  // an in-flight batch timer no-ops on expiry
   drop_cache();
   // The liveness watchdog disarms with the node (any in-flight timer
   // no-ops via the stopped_ check); per-leg gauges withdraw at the next
@@ -710,6 +738,7 @@ void RelayNode::begin_upstream_epoch() {
   requested_upstream_.clear();
   pli_sent_ever_ = false;
   last_pli_up_us_ = 0;
+  pli_batch_armed_ = false;  // a cross-epoch wave must not demand a refresh
   last_sr_mid_ntp_ = 0;
   last_sr_arrival_us_ = 0;
   have_upstream_ssrc_ = false;
@@ -853,6 +882,7 @@ void RelayNode::publish_metrics() {
   m.counter(p + "gap_nacks").set(stats_.gap_nacks);
   m.counter(p + "plis_received").set(stats_.plis_received);
   m.counter(p + "plis_coalesced").set(stats_.plis_coalesced);
+  m.counter(p + "plis_batched").set(stats_.plis_batched);
   m.counter(p + "plis_upstream").set(stats_.plis_upstream);
   m.counter(p + "rrs_received").set(stats_.rrs_received);
   m.counter(p + "rrs_aggregated").set(stats_.rrs_aggregated);

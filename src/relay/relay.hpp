@@ -88,6 +88,14 @@ struct RelayOptions {
   /// subtree's PLIs are coalesced into that one refresh. 0 forwards every
   /// PLI (no coalescing).
   SimTime pli_coalesce_us = 500'000;
+  /// Flash-crowd PLI wave batching (mirrors nack_flush_us): when > 0 and no
+  /// coalesce window is open, the first leg PLI arms a timer instead of
+  /// going upstream immediately; every PLI landing before expiry joins the
+  /// wave, and exactly one upstream PLI goes out when the timer fires
+  /// (which also opens the coalesce window). A 10k-viewer join flood thus
+  /// costs the AH one refresh demand per relay per wave. 0 forwards the
+  /// first PLI of each window immediately.
+  SimTime pli_batch_us = 0;
   /// Local retransmission store serving subtree NACKs without an upstream
   /// round trip. Packets, not bytes; clamped to at least 16.
   std::size_t retransmission_cache = 4096;
@@ -312,9 +320,10 @@ class RelayNode {
     std::uint64_t nacks_upstream = 0;     ///< NACK messages sent upstream
     std::uint64_t nack_seqs_upstream = 0; ///< sequences requested upstream
     std::uint64_t gap_nacks = 0;          ///< relay-detected upstream losses queued
-    // PLI coalescing.
+    // PLI coalescing / wave batching.
     std::uint64_t plis_received = 0;      ///< PLIs from legs
-    std::uint64_t plis_coalesced = 0;     ///< absorbed by the window
+    std::uint64_t plis_coalesced = 0;     ///< absorbed by the coalesce window
+    std::uint64_t plis_batched = 0;       ///< folded into an armed batch wave
     std::uint64_t plis_upstream = 0;      ///< forwarded upstream
     // RR aggregation.
     std::uint64_t rrs_received = 0;       ///< RRs from legs
@@ -396,8 +405,14 @@ class RelayNode {
   /// Append the pending NACK (if any) to `msgs`, moving entries to
   /// in-flight state; used by both the flush timer and the report tick.
   void collect_pending_nack(std::vector<RtcpMessage>& msgs);
-  /// Forward one PLI upstream, or absorb it into the coalesce window.
+  /// Forward one PLI upstream, absorb it into the coalesce window, or fold
+  /// it into the armed batch wave (pli_batch_us).
   void handle_leg_pli();
+  /// Emit the single upstream PLI of a wave: coalesce-window bookkeeping
+  /// plus the loss-recovery reset the coming full refresh supersedes.
+  void send_pli_upstream(SimTime now);
+  /// pli_batch_us expiry: send the armed wave's one upstream PLI.
+  void flush_pli_batch();
   /// The periodic interval: per-leg adaptation + aggregated upstream RR.
   void report_tick();
   /// Worst-case fold of the relay's own reception and every leg's last RR.
@@ -448,6 +463,7 @@ class RelayNode {
 
   SimTime last_pli_up_us_ = 0;
   bool pli_sent_ever_ = false;
+  bool pli_batch_armed_ = false;  ///< a PLI wave is accumulating
 
   // LSR/DLSR state from the upstream SR stream.
   std::uint32_t last_sr_mid_ntp_ = 0;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -243,6 +244,71 @@ TEST(FaultSchedule, RelayStallWedgesForExactlyTheWindow) {
   ASSERT_EQ(flips.size(), 2u);
   EXPECT_EQ(flips[0], std::make_pair(sim_ms(80), true));
   EXPECT_EQ(flips[1], std::make_pair(sim_ms(200), false));
+  EXPECT_EQ(faults.episodes_cleared(), 1u);
+}
+
+TEST(FaultSchedule, JoinFloodAdmitsTheWholeCohortInsideTheWindow) {
+  EventLoop loop;
+  telemetry::Telemetry tel;
+  FaultSchedule faults(loop, 7, &tel);
+
+  std::vector<std::pair<SimTime, std::size_t>> admits;
+  faults.join_flood(sim_ms(100), sim_ms(500), 32, [&](std::size_t i) {
+    admits.emplace_back(loop.now(), i);
+  });
+  ASSERT_EQ(faults.episodes().size(), 1u);
+  EXPECT_EQ(faults.episodes()[0].kind, FaultClass::kJoinFlood);
+  EXPECT_EQ(faults.all_clear_at(), sim_ms(600));
+
+  loop.run();
+  ASSERT_EQ(admits.size(), 32u);
+  for (std::size_t k = 0; k < admits.size(); ++k) {
+    // Indexes arrive in order (jitter is bounded by half a slot, so
+    // arrivals never cross), every one inside the episode window.
+    EXPECT_EQ(admits[k].second, k);
+    EXPECT_GE(admits[k].first, sim_ms(100));
+    EXPECT_LT(admits[k].first, sim_ms(600));
+  }
+  EXPECT_EQ(faults.episodes_started(), 1u);
+  EXPECT_EQ(faults.episodes_cleared(), 1u);
+  EXPECT_EQ(tel.metrics.snapshot().counter("chaos.join_flood_episodes"), 1u);
+}
+
+TEST(FaultSchedule, JoinFloodIsDeterministicPerSeedAndJittered) {
+  auto arrivals = [](std::uint64_t seed) {
+    EventLoop loop;
+    FaultSchedule faults(loop, seed);
+    std::vector<SimTime> times;
+    faults.join_flood(sim_ms(10), sim_sec(1), 100,
+                      [&](std::size_t) { times.push_back(loop.now()); });
+    loop.run();
+    return times;
+  };
+  const auto a = arrivals(11);
+  EXPECT_EQ(a, arrivals(11));  // bit-identical replay for a fixed seed
+  EXPECT_NE(a, arrivals(12));  // ...and the jitter actually depends on it
+
+  // Bursty-but-aperiodic: the jitter must break the even slot grid.
+  std::vector<SimTime> gaps;
+  for (std::size_t i = 1; i < a.size(); ++i) gaps.push_back(a[i] - a[i - 1]);
+  EXPECT_GT(std::set<SimTime>(gaps.begin(), gaps.end()).size(), 1u);
+}
+
+TEST(FaultSchedule, JoinFloodEdgeCases) {
+  EventLoop loop;
+  FaultSchedule faults(loop, 5);
+
+  // A zero-size cohort schedules nothing at all.
+  faults.join_flood(sim_ms(10), sim_ms(100), 0, [](std::size_t) { FAIL(); });
+  EXPECT_TRUE(faults.episodes().empty());
+
+  // A degenerate window clamps to one microsecond: the whole cohort lands
+  // at the start instant and the episode still opens and clears.
+  std::vector<SimTime> times;
+  faults.join_flood(sim_ms(20), 0, 5,
+                    [&](std::size_t) { times.push_back(loop.now()); });
+  loop.run();
+  EXPECT_EQ(times, std::vector<SimTime>(5, sim_ms(20)));
   EXPECT_EQ(faults.episodes_cleared(), 1u);
 }
 

@@ -139,6 +139,70 @@ TEST(TelemetryFlow, TickPipelineSpansAreRecorded) {
   EXPECT_GE(rtcps, 4u);  // 1 s cadence over a 5 s run
 }
 
+// The snapshot.* / join.* families (docs/TELEMETRY.md): registry totals
+// mirror the SnapshotService and AH structs exactly, and the flash-crowd
+// counters satisfy their cross-layer arithmetic after a join wave.
+TEST(TelemetryFlow, SnapshotAndJoinFamiliesSatisfyInvariants) {
+  AppHostOptions opts = host_options();
+  opts.snapshot.enabled = true;
+  opts.snapshot.refresh_interval_us = sim_ms(300);
+  SharingSession session(opts);
+  AppHost& host = session.host();
+  const WindowId w = host.wm().create({0, 0, 160, 120}, 1);
+  host.capturer().attach(w, std::make_unique<TerminalApp>(160, 120, 3));
+  host.start();
+  session.run_for(sim_ms(500));
+
+  ParticipantOptions popts;
+  popts.starvation_timeout_us = 0;  // scripted wave: no organic re-PLIs
+  std::vector<SharingSession::Connection*> crowd;
+  for (int i = 0; i < 4; ++i) {
+    crowd.push_back(&session.add_udp_participant(popts, UdpLinkConfig{}));
+  }
+  for (auto* c : crowd) c->participant->join();
+  session.run_for(sim_sec(2));
+  host.stop();
+  session.run_for(sim_sec(1));
+
+  const telemetry::Snapshot snap = session.telemetry().snapshot();
+  const auto& sn = host.snapshot_service().stats();
+  const auto& hs = host.stats();
+
+  // Collector pattern: the registry mirrors the structs verbatim.
+  EXPECT_EQ(snap.counter("snapshot.windows_opened"), sn.windows_opened);
+  EXPECT_EQ(snap.counter("snapshot.bundles_built"), sn.bundles_built);
+  EXPECT_EQ(snap.counter("snapshot.bundles_served"), sn.bundles_served);
+  EXPECT_EQ(snap.counter("snapshot.plis_absorbed"), sn.plis_absorbed);
+  EXPECT_EQ(snap.counter("snapshot.encodes_saved"), sn.encodes_saved);
+  EXPECT_EQ(snap.counter("join.admissions"), hs.join_admissions);
+  EXPECT_EQ(snap.counter("join.shared_refreshes"), hs.join_shared_refreshes);
+  EXPECT_EQ(snap.counter("join.fallback_refreshes"),
+            hs.join_fallback_refreshes);
+  EXPECT_EQ(snap.gauge("snapshot.live_bundles"),
+            static_cast<std::int64_t>(host.snapshot_service().bundle_count()));
+
+  // The wave really went through the snapshot path.
+  EXPECT_GT(snap.counter("snapshot.windows_opened"), 0u);
+  EXPECT_GT(snap.counter("snapshot.bundles_built"), 0u);
+  EXPECT_EQ(snap.counter("join.admissions"), 4u);
+
+  // Cross-layer arithmetic: with snapshots on, every admission is served
+  // either from a bundle or through the §4.4 fallback — never both, never
+  // neither. One wave == one window, and every received PLI either opened
+  // a window or was absorbed into one.
+  EXPECT_EQ(snap.counter("join.admissions"),
+            snap.counter("join.shared_refreshes") +
+                snap.counter("join.fallback_refreshes"));
+  EXPECT_EQ(snap.counter("join.waves"), snap.counter("snapshot.windows_opened"));
+  EXPECT_LE(snap.counter("snapshot.windows_closed"),
+            snap.counter("snapshot.windows_opened"));
+  EXPECT_GE(snap.counter("snapshot.bundles_served"),
+            snap.counter("snapshot.bundles_built"));
+  EXPECT_GE(snap.counter("snapshot.windows_opened") +
+                snap.counter("snapshot.plis_absorbed"),
+            snap.counter("ah.plis_received"));
+}
+
 TEST(TelemetryFlow, SnapshotJsonIsBitReproducible) {
   std::string first, second;
   run_session(&first);

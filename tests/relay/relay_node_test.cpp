@@ -232,6 +232,70 @@ TEST(RelayNode, CoalescesSubtreePlisIntoOneUpstreamRefresh) {
   EXPECT_EQ(f.upstream_pli_count(), 2u);
 }
 
+// Flash-crowd wave batching (pli_batch_us): the first leg PLI of a wave
+// arms a timer instead of forwarding immediately, the rest of the wave
+// folds into it, and exactly one upstream PLI goes out at expiry — the PLI
+// analogue of nack_flush_us, and what keeps a kJoinFlood's PLI storm from
+// multiplying across relay tiers (docs/LATEJOIN.md §6).
+TEST(RelayNode, BatchesPliWaveIntoOneDeferredUpstreamRefresh) {
+  RelayOptions opts;
+  opts.pli_batch_us = sim_ms(20);
+  Fixture f(opts);
+  UdpLegProbe a, b, c;
+  const LegId leg_a = f.node.add_leg(a.endpoint());
+  const LegId leg_b = f.node.add_leg(b.endpoint());
+  const LegId leg_c = f.node.add_leg(c.endpoint());
+  f.feed_media(0);
+
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0x77;
+  pli.media_ssrc = kMediaSsrc;
+  f.node.on_leg_packet(leg_a, pli.serialize());  // arms the wave
+  f.node.on_leg_packet(leg_b, pli.serialize());
+  f.node.on_leg_packet(leg_c, pli.serialize());
+  // Nothing upstream yet: the demand is held for the rest of the wave.
+  EXPECT_EQ(f.upstream_pli_count(), 0u);
+  EXPECT_EQ(f.node.stats().plis_batched, 2u);
+
+  f.loop.run_until(f.loop.now() + opts.pli_batch_us + 1);
+  EXPECT_EQ(f.upstream_pli_count(), 1u);
+  EXPECT_EQ(f.node.stats().plis_upstream, 1u);
+
+  // The flush anchors the coalesce window: a straggler inside it is
+  // absorbed by the refresh already on its way, not re-batched.
+  f.node.on_leg_packet(leg_a, pli.serialize());
+  EXPECT_EQ(f.upstream_pli_count(), 1u);
+  EXPECT_EQ(f.node.stats().plis_coalesced, 1u);
+  EXPECT_EQ(f.node.stats().plis_batched, 2u);
+
+  // A second wave past the coalesce window arms and flushes again.
+  f.loop.run_until(f.loop.now() + f.node.options().pli_coalesce_us + 1);
+  f.node.on_leg_packet(leg_b, pli.serialize());
+  EXPECT_EQ(f.upstream_pli_count(), 1u);  // deferred again
+  f.loop.run_until(f.loop.now() + opts.pli_batch_us + 1);
+  EXPECT_EQ(f.upstream_pli_count(), 2u);
+}
+
+// An armed batch dies with the node: stop() quiesces the wave, and the
+// timer's expiry must not demand a refresh on behalf of a dead subtree.
+TEST(RelayNode, StopQuiescesAnArmedPliBatch) {
+  RelayOptions opts;
+  opts.pli_batch_us = sim_ms(20);
+  Fixture f(opts);
+  UdpLegProbe a;
+  const LegId leg_a = f.node.add_leg(a.endpoint());
+  f.feed_media(0);
+
+  PictureLossIndication pli;
+  pli.sender_ssrc = 0x77;
+  pli.media_ssrc = kMediaSsrc;
+  f.node.on_leg_packet(leg_a, pli.serialize());
+  f.node.stop();
+  f.loop.run_until(f.loop.now() + opts.pli_batch_us + 1);
+  EXPECT_EQ(f.upstream_pli_count(), 0u);
+  EXPECT_EQ(f.node.stats().plis_upstream, 0u);
+}
+
 TEST(RelayNode, AggregatesWorstCaseReceiverReportUpstream) {
   RelayOptions opts;
   opts.report_interval_us = sim_ms(100);

@@ -1,0 +1,188 @@
+// Round-trip tests for the ADSREC01 checkpoint + update stream
+// (docs/LATEJOIN.md §5): record a synthetic session, replay it, and require
+// the reconstructed frame/WMI/pointer to match bit-exactly. Also pins the
+// checkpoint-seek (replay starts at the LAST checkpoint) and the framing
+// failure modes.
+#include "snapshot/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "codec/registry.hpp"
+#include "image/metrics.hpp"
+
+namespace ads::snapshot {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "ads_" + name + ".adsrec";
+}
+
+Bytes png_encode(const Image& img) {
+  static const CodecRegistry codecs = CodecRegistry::with_defaults();
+  return codecs.find(ContentPt::kPng)->encode(img);
+}
+
+WindowManagerInfo one_window(std::uint16_t id) {
+  WindowManagerInfo wmi;
+  WindowRecord rec;
+  rec.window_id = id;
+  rec.left = 4;
+  rec.top = 4;
+  rec.width = 16;
+  rec.height = 16;
+  wmi.records.push_back(rec);
+  return wmi;
+}
+
+TEST(RecordReplayTest, RoundTripReconstructsFrameWmiAndPointer) {
+  const std::string path = temp_path("roundtrip");
+  Image truth(64, 48, Pixel{200, 30, 30, 255});
+
+  {
+    SessionRecorder rec(path);
+    ASSERT_TRUE(rec.ok());
+    rec.checkpoint(1'000, truth, one_window(1), Point{1, 2});
+
+    // One damage band...
+    const Rect band{8, 8, 16, 16};
+    truth.fill_rect(band, Pixel{20, 40, 220, 255});
+    rec.region_update(2'000, band, ContentPt::kPng,
+                      png_encode(truth.crop(band)));
+
+    // ...one verified scroll...
+    MoveRectangle mr;
+    mr.source_left = 8;
+    mr.source_top = 8;
+    mr.width = 16;
+    mr.height = 16;
+    mr.dest_left = 40;
+    mr.dest_top = 20;
+    truth.move_rect(Rect{8, 8, 16, 16}, Point{40, 20});
+    rec.move_rect(3'000, mr);
+
+    // ...a WMI change and a pointer move.
+    rec.wmi(3'500, one_window(2));
+    rec.pointer(4'000, Point{7, 9});
+    rec.finish();
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec.stats().checkpoints, 1u);
+    EXPECT_EQ(rec.stats().region_updates, 1u);
+    EXPECT_EQ(rec.stats().move_rects, 1u);
+    EXPECT_EQ(rec.stats().wmi_records, 1u);
+    EXPECT_EQ(rec.stats().pointer_records, 1u);
+    EXPECT_GT(rec.stats().bytes_written, 8u);
+  }
+
+  SessionReplayer rep(path);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_TRUE(rep.replay());
+  EXPECT_EQ(diff_pixel_count(rep.frame(), truth), 0);
+  EXPECT_EQ(rep.windows(), one_window(2));
+  EXPECT_EQ(rep.pointer(), (Point{7, 9}));
+  EXPECT_EQ(rep.last_time_us(), 4'000);
+  EXPECT_EQ(rep.stats().checkpoints_seen, 1u);
+  EXPECT_EQ(rep.stats().records_total, 6u);  // 5 records + kEnd
+  EXPECT_EQ(rep.stats().region_updates_applied, 1u);
+  EXPECT_EQ(rep.stats().move_rects_applied, 1u);
+  EXPECT_EQ(rep.stats().decode_errors, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordReplayTest, ReplaySeeksToLastCheckpoint) {
+  const std::string path = temp_path("seek");
+  const Image red(32, 24, Pixel{255, 0, 0, 255});
+  const Image green(32, 24, Pixel{0, 255, 0, 255});
+
+  {
+    SessionRecorder rec(path);
+    ASSERT_TRUE(rec.ok());
+    rec.checkpoint(1'000, red, {}, Point{0, 0});
+    // Pre-second-checkpoint updates must NOT be applied on replay.
+    rec.region_update(2'000, red.bounds(), ContentPt::kPng,
+                      png_encode(Image(32, 24, Pixel{0, 0, 255, 255})));
+    rec.checkpoint(3'000, green, {}, Point{0, 0});
+    rec.pointer(3'500, Point{3, 4});
+    rec.finish();
+  }
+
+  SessionReplayer rep(path);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_TRUE(rep.replay());
+  EXPECT_EQ(rep.stats().checkpoints_seen, 2u);
+  EXPECT_EQ(rep.stats().region_updates_applied, 0u);
+  EXPECT_EQ(diff_pixel_count(rep.frame(), green), 0);
+  EXPECT_EQ(rep.pointer(), (Point{3, 4}));
+  EXPECT_EQ(rep.last_time_us(), 3'500);
+  std::remove(path.c_str());
+}
+
+TEST(RecordReplayTest, StreamWithoutCheckpointRefusesReplay) {
+  const std::string path = temp_path("nocheckpoint");
+  {
+    SessionRecorder rec(path);
+    ASSERT_TRUE(rec.ok());
+    rec.pointer(1'000, Point{1, 1});
+    rec.finish();
+  }
+  SessionReplayer rep(path);
+  EXPECT_TRUE(rep.ok());  // framing is sound...
+  EXPECT_FALSE(rep.replay());  // ...but there is no anchor to seek to
+  std::remove(path.c_str());
+}
+
+TEST(RecordReplayTest, BadMagicIsRejected) {
+  const std::string path = temp_path("badmagic");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("NOTADSRC", 8);
+    out.write("\x01\x00", 2);
+  }
+  SessionReplayer rep(path);
+  EXPECT_FALSE(rep.ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecordReplayTest, MissingFileIsRejected) {
+  SessionReplayer rep(temp_path("never_written"));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_FALSE(rep.replay());
+}
+
+TEST(RecordReplayTest, TruncatedRecordFailsFraming) {
+  const std::string path = temp_path("truncated");
+  {
+    SessionRecorder rec(path);
+    ASSERT_TRUE(rec.ok());
+    rec.checkpoint(1'000, Image(16, 16), {}, Point{0, 0});
+    rec.finish();
+  }
+  // Chop into the trailing kEnd record's framing header.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(data.size(), 5u);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() - 5));
+  out.close();
+
+  SessionReplayer rep(path);
+  EXPECT_FALSE(rep.ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecordReplayTest, UnwritablePathLatchesNotOkAndWritesNoOp) {
+  SessionRecorder rec("/nonexistent-dir/ads.rec");
+  EXPECT_FALSE(rec.ok());
+  rec.checkpoint(0, Image(8, 8), {}, Point{0, 0});
+  rec.finish();
+  EXPECT_EQ(rec.stats().checkpoints, 0u);
+  EXPECT_EQ(rec.stats().bytes_written, 0u);
+}
+
+}  // namespace
+}  // namespace ads::snapshot
