@@ -238,6 +238,167 @@ void PaintApp::tick(std::uint64_t) {
   }
 }
 
+// ---------------------------------------------------------------- Web page
+
+WebPageApp::WebPageApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+                       int tiles_per_tick, int idle_ticks)
+    : AppPainter(width, height, kPageBg),
+      rng_(seed),
+      tiles_per_tick_(tiles_per_tick),
+      idle_ticks_(idle_ticks) {
+  tile_w_ = std::min<std::int64_t>(tile_w_, std::max<std::int64_t>(1, width));
+  tile_h_ = std::min<std::int64_t>(tile_h_, std::max<std::int64_t>(1, height));
+  cols_ = (width + tile_w_ - 1) / tile_w_;
+  rows_ = (height + tile_h_ - 1) / tile_h_;
+  navigate();
+}
+
+void WebPageApp::navigate() {
+  ++navigations_;
+  theme_ = Pixel{static_cast<std::uint8_t>(rng_.below(96)),
+                 static_cast<std::uint8_t>(rng_.below(96)),
+                 static_cast<std::uint8_t>(96 + rng_.below(159)), 255};
+  // Skeleton: page background, header band, left sidebar, grey placeholder
+  // lines where content tiles will land.
+  content_.fill(kPageBg);
+  content_.fill_rect({0, 0, content_.width(), content_.height() / 10}, theme_);
+  content_.fill_rect({0, content_.height() / 10, content_.width() / 6,
+                      content_.height() - content_.height() / 10},
+                     Pixel{235, 235, 238, 255});
+  for (std::int64_t y = content_.height() / 10 + 8; y < content_.height() - 4;
+       y += 12) {
+    content_.fill_rect({content_.width() / 6 + 8, y,
+                        content_.width() - content_.width() / 6 - 16, 3},
+                       Pixel{210, 210, 210, 255});
+  }
+  next_tile_ = 0;
+  idle_left_ = 0;
+}
+
+void WebPageApp::load_tile(std::int64_t index) {
+  const std::int64_t col = index % cols_;
+  const std::int64_t row = index / cols_;
+  const Rect tile = intersect(
+      {col * tile_w_, row * tile_h_, tile_w_, tile_h_}, content_.bounds());
+  if (tile.empty()) return;
+  if (rng_.chance(0.3)) {
+    // "Image" tile: a two-axis gradient keyed to the page theme.
+    for (std::int64_t y = tile.top; y < tile.bottom(); ++y) {
+      for (std::int64_t x = tile.left; x < tile.right(); ++x) {
+        const auto gx = static_cast<std::uint8_t>(
+            (x - tile.left) * 255 / std::max<std::int64_t>(1, tile.width - 1));
+        const auto gy = static_cast<std::uint8_t>(
+            (y - tile.top) * 255 / std::max<std::int64_t>(1, tile.height - 1));
+        content_.set(x, y, Pixel{static_cast<std::uint8_t>((theme_.r + gx) / 2),
+                                 static_cast<std::uint8_t>((theme_.g + gy) / 2),
+                                 theme_.b, 255});
+      }
+    }
+  } else {
+    // "Text" tile: typeset dark lines over the placeholder skeleton.
+    content_.fill_rect(tile, kPageBg);
+    for (std::int64_t y = tile.top + 4; y + 3 < tile.bottom(); y += 9) {
+      const std::int64_t w =
+          tile.width * static_cast<std::int64_t>(rng_.range(50, 95)) / 100;
+      const auto shade = static_cast<std::uint8_t>(30 + rng_.below(50));
+      content_.fill_rect(intersect({tile.left + 4, y, w - 8, 3}, tile),
+                         Pixel{shade, shade, shade, 255});
+    }
+  }
+}
+
+void WebPageApp::tick(std::uint64_t) {
+  const std::int64_t total = cols_ * rows_;
+  if (next_tile_ >= total) {
+    // Page fully loaded: idle, then navigate to the next page.
+    if (++idle_left_ > idle_ticks_) navigate();
+    return;
+  }
+  for (int i = 0; i < tiles_per_tick_ && next_tile_ < total; ++i) {
+    load_tile(next_tile_++);
+  }
+}
+
+// ----------------------------------------------------------------- Editing
+
+namespace {
+
+/// Presenter accent colours — distinct per strip so a floor handoff is
+/// visible as a border-colour change.
+constexpr Pixel kPresenterColours[] = {
+    {200, 60, 60, 255}, {60, 140, 60, 255}, {60, 80, 200, 255},
+    {180, 140, 40, 255}, {140, 60, 180, 255}, {40, 160, 160, 255},
+};
+
+}  // namespace
+
+EditingApp::EditingApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+                       int presenters, int ticks_per_turn)
+    : AppPainter(width, height, kWhite),
+      rng_(seed),
+      presenters_(std::max(1, presenters)),
+      ticks_per_turn_(std::max(1, ticks_per_turn)) {
+  carets_.resize(static_cast<std::size_t>(presenters_));
+  for (int p = 0; p < presenters_; ++p) {
+    const Rect s = strip(p);
+    carets_[static_cast<std::size_t>(p)] = {s.left + 6, s.top + 6};
+  }
+  mark_active();
+}
+
+Rect EditingApp::strip(int presenter) const {
+  const std::int64_t w = content_.width() / presenters_;
+  const std::int64_t left = presenter * w;
+  // Last strip absorbs the division remainder.
+  const std::int64_t width =
+      presenter + 1 == presenters_ ? content_.width() - left : w;
+  return {left, 0, width, content_.height()};
+}
+
+void EditingApp::mark_active() {
+  // Repaint every strip border; only the active presenter's is coloured.
+  for (int p = 0; p < presenters_; ++p) {
+    const Rect s = strip(p);
+    const Pixel edge =
+        p == active_
+            ? kPresenterColours[static_cast<std::size_t>(p) %
+                                std::size(kPresenterColours)]
+            : Pixel{225, 225, 225, 255};
+    content_.fill_rect({s.left, s.top, s.width, 3}, edge);
+    content_.fill_rect({s.left, s.bottom() - 3, s.width, 3}, edge);
+    content_.fill_rect({s.left, s.top, 3, s.height}, edge);
+    content_.fill_rect({s.right() - 3, s.top, 3, s.height}, edge);
+  }
+}
+
+void EditingApp::tick(std::uint64_t) {
+  if (ticks_seen_ != 0 &&
+      ticks_seen_ % static_cast<std::uint64_t>(ticks_per_turn_) == 0) {
+    active_ = (active_ + 1) % presenters_;
+    ++handoffs_;
+    mark_active();
+  }
+  ++ticks_seen_;
+
+  // The floor holder types a few words at its caret, wrapping inside its
+  // strip and restarting from the top when the strip fills.
+  const Rect s = strip(active_);
+  Point& caret = carets_[static_cast<std::size_t>(active_)];
+  const Pixel ink = kPresenterColours[static_cast<std::size_t>(active_) %
+                                      std::size(kPresenterColours)];
+  for (int i = 0; i < 6; ++i) {
+    const std::int64_t w = static_cast<std::int64_t>(rng_.range(8, 28));
+    if (caret.x + w > s.right() - 6) {
+      caret.x = s.left + 6;
+      caret.y += 8;
+      if (caret.y + 3 > s.bottom() - 6) caret.y = s.top + 6;
+    }
+    content_.fill_rect({caret.x, caret.y, w, 3},
+                       rng_.chance(0.8) ? Pixel{60, 60, 60, 255} : ink);
+    caret.x += w + 4;
+  }
+}
+
 std::unique_ptr<AppPainter> make_app(std::string_view name, std::int64_t width,
                                      std::int64_t height, std::uint64_t seed) {
   if (name == "terminal") return std::make_unique<TerminalApp>(width, height, seed);
@@ -245,6 +406,8 @@ std::unique_ptr<AppPainter> make_app(std::string_view name, std::int64_t width,
   if (name == "document") return std::make_unique<DocumentApp>(width, height, seed);
   if (name == "video") return std::make_unique<VideoApp>(width, height, seed);
   if (name == "paint") return std::make_unique<PaintApp>(width, height, seed);
+  if (name == "webpage") return std::make_unique<WebPageApp>(width, height, seed);
+  if (name == "editing") return std::make_unique<EditingApp>(width, height, seed);
   return nullptr;
 }
 

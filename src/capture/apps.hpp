@@ -6,12 +6,16 @@
 //   * DocumentApp   — text page that scrolls (MoveRectangle workload)
 //   * VideoApp      — photographic, every-pixel-changes content
 //   * PaintApp      — sparse interactive strokes
+//   * WebPageApp    — tiled incremental page loads (bursty, tile-aligned)
+//   * EditingApp    — multi-presenter editing with rotating turns (the
+//                     BFCP floor-handoff workload)
 // Painters are deterministic functions of (seed, tick).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "image/image.hpp"
 #include "util/prng.hpp"
@@ -139,8 +143,78 @@ class PaintApp final : public AppPainter {
   Pixel colour_;
 };
 
+/// Web browser: tiled incremental page loads. A navigation repaints the
+/// window with the new page's skeleton (header band, sidebar, grey text
+/// placeholders); the following ticks pop content tiles in a few at a time
+/// in raster order — image tiles as gradients, text tiles as typeset lines
+/// — until the page is loaded, then the page idles before the next
+/// navigation. Damage is bursty and tile-aligned: many small distinct
+/// rects per tick, the shape that exercises per-band cohort encode and the
+/// E20 downscale rungs (a quarter-res viewer pays ~1/16 of each tile).
+class WebPageApp final : public AppPainter {
+ public:
+  WebPageApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+             int tiles_per_tick = 3, int idle_ticks = 12);
+  void tick(std::uint64_t tick_index) override;
+  std::string_view name() const override { return "webpage"; }
+
+  /// Completed navigations (full skeleton repaints) so far.
+  std::uint64_t navigations() const { return navigations_; }
+
+ private:
+  void navigate();
+  void load_tile(std::int64_t index);
+
+  Prng rng_;
+  int tiles_per_tick_;
+  int idle_ticks_;
+  std::int64_t tile_w_ = 96;
+  std::int64_t tile_h_ = 64;
+  std::int64_t cols_ = 0;
+  std::int64_t rows_ = 0;
+  std::int64_t next_tile_ = 0;  ///< raster-order load cursor
+  int idle_left_ = 0;
+  std::uint64_t navigations_ = 0;
+  Pixel theme_{255, 255, 255, 255};
+};
+
+/// Collaborative editor: `presenters` authors share one canvas, each
+/// owning a vertical strip. Every `ticks_per_turn` ticks the edit turn
+/// rotates to the next presenter — the new owner's strip gets a coloured
+/// focus border and subsequent edits (typeset lines at that presenter's
+/// caret) land only there. Session harnesses mirror each rotation as a
+/// BFCP floor release/grant pair (active_presenter() names who should hold
+/// the floor), so the paper's Appendix A floor-control gate sees a
+/// realistic multi-presenter handoff cadence.
+class EditingApp final : public AppPainter {
+ public:
+  EditingApp(std::int64_t width, std::int64_t height, std::uint64_t seed,
+             int presenters = 3, int ticks_per_turn = 20);
+  void tick(std::uint64_t tick_index) override;
+  std::string_view name() const override { return "editing"; }
+
+  /// Whose turn it is (0-based strip index).
+  int active_presenter() const { return active_; }
+  /// Completed turn rotations — the floor-handoff count a BFCP-driving
+  /// harness should mirror.
+  std::uint64_t handoffs() const { return handoffs_; }
+  int presenters() const { return presenters_; }
+
+ private:
+  Rect strip(int presenter) const;
+  void mark_active();
+
+  Prng rng_;
+  int presenters_;
+  int ticks_per_turn_;
+  int active_ = 0;
+  std::uint64_t ticks_seen_ = 0;
+  std::uint64_t handoffs_ = 0;
+  std::vector<Point> carets_;  ///< per-presenter edit position
+};
+
 /// Factory by workload name ("terminal", "slideshow", "document", "video",
-/// "paint"); nullptr for unknown names.
+/// "paint", "webpage", "editing"); nullptr for unknown names.
 std::unique_ptr<AppPainter> make_app(std::string_view name, std::int64_t width,
                                      std::int64_t height, std::uint64_t seed);
 

@@ -24,6 +24,13 @@ AppPainter* ScreenCapturer::app(WindowId id) {
   return it == apps_.end() ? nullptr : it->second.get();
 }
 
+void ScreenCapturer::set_screen_size(std::int64_t width, std::int64_t height) {
+  if (width <= 0 || height <= 0) return;
+  if (width == desktop_.width() && height == desktop_.height()) return;
+  desktop_ = Image(width, height, Pixel{40, 44, 52, 255});
+  shared_view_ = Image(width, height, kBlack);
+}
+
 void ScreenCapturer::composite() {
   desktop_.fill(Pixel{40, 44, 52, 255});
   for (const Window& w : wm_.stacking_order()) {

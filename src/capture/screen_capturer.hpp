@@ -38,6 +38,12 @@ class ScreenCapturer {
   /// Force the next capture to report full damage (PLI refresh, §5.3.1).
   void force_full_damage() { damage_.reset(); }
 
+  /// Resize the host desktop (display-mode change). Both framebuffers are
+  /// reallocated; the DamageTracker's resize fast path reports the whole new
+  /// frame as damage on the next capture. No-op on a non-positive or
+  /// unchanged size.
+  void set_screen_size(std::int64_t width, std::int64_t height);
+
   const Image& last_frame() const { return shared_view_; }
   const Image& desktop() const { return desktop_; }
   std::int64_t width() const { return desktop_.width(); }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "hip/hip_map.hpp"
 #include "image/damage.hpp"
 #include "image/scroll_detect.hpp"
 #include "rtp/rtcp.hpp"
@@ -23,15 +24,70 @@ Rect dest_rect(const MoveRectangle& mr) {
               static_cast<std::int64_t>(mr.height)};
 }
 
+/// Source rectangle of a scroll (the area the move replays from).
+Rect src_rect(const MoveRectangle& mr) {
+  return Rect{static_cast<std::int64_t>(mr.source_left),
+              static_cast<std::int64_t>(mr.source_top),
+              static_cast<std::int64_t>(mr.width),
+              static_cast<std::int64_t>(mr.height)};
+}
+
 /// Shared-encode cohort identity — the effective operating point.
-/// Participants agreeing on all three fields can share encoded band
-/// payloads byte-for-byte.
+/// Participants agreeing on all five fields can share encoded band
+/// payloads byte-for-byte. The geometry fields (scale rung + resolved
+/// host-space source rect) split device classes into their own cohorts:
+/// a quarter-res tablet and a full-res desktop can never share bytes.
 struct CohortKey {
   std::uint8_t content_pt = 0;
   std::uint8_t quality = 0;  ///< ads::rate quality rung (cache-key value)
   std::size_t mtu_payload = 0;
+  std::uint8_t scale_shift = 0;  ///< output geometry downscale rung
+  std::array<std::int64_t, 4> src{};  ///< resolved source rect {l,t,w,h}
   friend auto operator<=>(const CohortKey&, const CohortKey&) = default;
 };
+
+/// S1 MoveRectangle geometry gate: a scroll is only replayable on a scaled
+/// view when both its source and destination rects land on whole output
+/// pixels — corners offset from the source-rect origin by a multiple of the
+/// scale factor and extent divisible by it. Anything else would replay from
+/// fractionally-covered output pixels whose box-filtered values differ from
+/// a re-encode, and the scaled replica would silently diverge (the
+/// geometry-unsafe MoveRectangle bug this PR fixes). Such scrolls fall back
+/// to ordinary damage for that cohort.
+bool mr_alignable(const transcode::OutputGeometry& g, const Rect& fb,
+                  const MoveRectangle& mr) {
+  const Rect s = transcode::source_rect(g, fb);
+  if (g.scale_shift == 0 && s == fb) return true;  // pixel-identity view
+  const Rect src = src_rect(mr);
+  const Rect dst = dest_rect(mr);
+  if (!s.contains(src) || !s.contains(dst)) return false;
+  const std::int64_t f = g.factor();
+  return (src.left - s.left) % f == 0 && (src.top - s.top) % f == 0 &&
+         (dst.left - s.left) % f == 0 && (dst.top - s.top) % f == 0 &&
+         src.width % f == 0 && src.height % f == 0;
+}
+
+/// Rewrite an alignable scroll into one geometry's output space (subtract
+/// the source-rect origin, divide by the scale factor). Pixel-identity
+/// geometries pass through unchanged.
+MoveRectangle mr_to_output(const transcode::OutputGeometry& g, const Rect& fb,
+                           const MoveRectangle& mr) {
+  const Rect s = transcode::source_rect(g, fb);
+  if (g.scale_shift == 0 && s == fb) return mr;
+  const std::int64_t f = g.factor();
+  MoveRectangle out = mr;
+  out.source_left = static_cast<std::uint32_t>(
+      (static_cast<std::int64_t>(mr.source_left) - s.left) / f);
+  out.source_top = static_cast<std::uint32_t>(
+      (static_cast<std::int64_t>(mr.source_top) - s.top) / f);
+  out.dest_left = static_cast<std::uint32_t>(
+      (static_cast<std::int64_t>(mr.dest_left) - s.left) / f);
+  out.dest_top = static_cast<std::uint32_t>(
+      (static_cast<std::int64_t>(mr.dest_top) - s.top) / f);
+  out.width = static_cast<std::uint32_t>(mr.width / static_cast<std::uint32_t>(f));
+  out.height = static_cast<std::uint32_t>(mr.height / static_cast<std::uint32_t>(f));
+  return out;
+}
 
 }  // namespace
 
@@ -226,6 +282,21 @@ void AppHost::publish_metrics() {
   m.counter("join.shared_refreshes").set(stats_.join_shared_refreshes);
   m.counter("join.fallback_refreshes").set(stats_.join_fallback_refreshes);
   m.counter("join.waves").set(sn.windows_opened);
+
+  // Output-geometry transcode family (docs/TRANSCODE.md; names in
+  // TELEMETRY.md).
+  const transcode::FrameScaler::Stats& ts = scaler_.stats();
+  m.counter("transcode.frames_scaled").set(ts.frames_scaled);
+  m.counter("transcode.pixels_scaled").set(ts.pixels_scaled);
+  m.counter("transcode.cache_hits").set(ts.cache_hits);
+  m.counter("transcode.hip_events_mapped").set(stats_.hip_events_mapped);
+  m.counter("transcode.viewport_moves").set(stats_.viewport_moves);
+  m.counter("transcode.move_rects_blocked")
+      .set(stats_.move_rects_geometry_skipped);
+  m.counter("transcode.bytes_full").set(stats_.bytes_sent_full);
+  m.counter("transcode.bytes_half").set(stats_.bytes_sent_half);
+  m.counter("transcode.bytes_quarter").set(stats_.bytes_sent_quarter);
+  m.counter("transcode.bytes_viewport").set(stats_.bytes_sent_viewport);
 }
 
 ParticipantId AppHost::add_participant(HostEndpoint endpoint,
@@ -375,10 +446,85 @@ ContentPt AppHost::codec_for(const ParticipantState& p) const {
   return p.codec.value_or(opts_.codec);
 }
 
+bool AppHost::set_participant_geometry(ParticipantId id,
+                                       transcode::OutputGeometry geom) {
+  auto it = participants_.find(id);
+  if (it == participants_.end()) return false;
+  if (geom.scale_shift > transcode::kMaxScaleShift) return false;
+  it->second.geometry = geom;
+  // Force re-resolution next tick (an unchanged-looking source rect from a
+  // different geometry must not suppress the refresh), and queue the full
+  // picture at the new geometry — a scaled replica cannot patch itself from
+  // deltas encoded for the old output space.
+  it->second.geometry_src = Rect{};
+  it->second.needs_full_refresh = true;
+  return true;
+}
+
+const transcode::OutputGeometry* AppHost::participant_geometry(
+    ParticipantId id) const {
+  auto it = participants_.find(id);
+  return it == participants_.end() ? nullptr : &it->second.geometry;
+}
+
+void AppHost::set_screen_size(std::int64_t width, std::int64_t height) {
+  capturer_.set_screen_size(width, height);
+  // Keep the validated options in sync with the live framebuffer; the next
+  // tick()'s frame-size watches handle the rest (full damage via the
+  // DamageTracker resize path, snapshot invalidation in snapshot_stage, and
+  // the re-clamped pointer overlay resend).
+  opts_.screen_width = capturer_.width();
+  opts_.screen_height = capturer_.height();
+}
+
+transcode::OutputGeometry AppHost::resolve_geometry(
+    const ParticipantState& p) const {
+  transcode::OutputGeometry g = p.geometry;
+  if (g.follow) {
+    // Viewport-follow streams the focused (topmost shared) window; with no
+    // shared window the viewport clears and the view degrades to the whole
+    // frame at the negotiated scale rung.
+    const std::vector<Window> shared = wm_.shared_windows();
+    g.viewport = shared.empty() ? Rect{} : shared.back().frame;
+  }
+  return g;
+}
+
+std::vector<Rect> AppHost::geometry_bands(
+    const transcode::OutputGeometry& geom,
+    const std::vector<Rect>& host_rects) const {
+  const Rect fb = capturer_.last_frame().bounds();
+  // Pixel-identity views band the host rects directly — bit-for-bit the
+  // pre-geometry behaviour, which keeps the legacy/shared A/B byte-identity
+  // (both paths call this same helper).
+  if (geom.scale_shift == 0 && transcode::source_rect(geom, fb) == fb) {
+    return band_split(host_rects);
+  }
+  Region out;
+  for (const Rect& r : host_rects) {
+    const Rect mapped = transcode::map_rect_to_output(geom, fb, r);
+    if (!mapped.empty()) out.add(mapped);
+  }
+  out.simplify();
+  return band_split(out.rects());
+}
+
 void AppHost::transmit_view(ParticipantState& p, const PacketView& v, SimTime now) {
   ++stats_.rtp_packets_sent;
   ++stats_.packets_built;
   stats_.bytes_sent += v.wire_size();
+  // Per-device-class byte split (declared geometry, not the per-tick
+  // resolved viewport — the class is a property of the receiver).
+  switch (transcode::device_class(p.geometry)) {
+    case transcode::DeviceClass::kFull: stats_.bytes_sent_full += v.wire_size(); break;
+    case transcode::DeviceClass::kHalf: stats_.bytes_sent_half += v.wire_size(); break;
+    case transcode::DeviceClass::kQuarter:
+      stats_.bytes_sent_quarter += v.wire_size();
+      break;
+    case transcode::DeviceClass::kViewport:
+      stats_.bytes_sent_viewport += v.wire_size();
+      break;
+  }
 
   if (p.endpoint.kind == HostEndpoint::Kind::kUdp) {
     p.cache.put(v);  // shares the payload buffer: 16 header bytes + a ref
@@ -481,12 +627,28 @@ void AppHost::send_move_rectangle(ParticipantState& p, const MoveRectangle& mr) 
 }
 
 void AppHost::send_pointer(ParticipantState& p, bool include_icon) {
+  // Clamp the host pointer into the frame *before* the window lookup and
+  // the geometry mapping: a pointer parked on (or past) the right/bottom
+  // edge — including one stranded outside the bounds by a host resize —
+  // must render on the last on-screen pixel, not one past it (§5.2.4).
+  const Rect fb = capturer_.last_frame().bounds();
+  Point host{std::max<std::int64_t>(0, pointer_.x),
+             std::max<std::int64_t>(0, pointer_.y)};
+  if (!fb.empty()) {
+    host.x = std::min(host.x, fb.right() - 1);
+    host.y = std::min(host.y, fb.bottom() - 1);
+  }
+  // Scaled/viewport viewers get the position in their own output space; the
+  // icon stays native-size (cursors render 1:1 on the viewer, like real
+  // remote-desktop stacks).
+  const transcode::OutputGeometry geom = resolve_geometry(p);
+  const Point out =
+      fb.empty() ? host : transcode::map_point_to_output(geom, fb, host);
   RegionUpdate carrier;
-  carrier.window_id =
-      wm_.shared_window_at(pointer_).value_or(0);
+  carrier.window_id = wm_.shared_window_at(host).value_or(0);
   carrier.content_pt = static_cast<std::uint8_t>(codec_for(p));
-  carrier.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, pointer_.x));
-  carrier.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, pointer_.y));
+  carrier.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, out.x));
+  carrier.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, out.y));
   if (include_icon) {
     carrier.content = codecs_.find(codec_for(p))->encode(pointer_icon_);
   }
@@ -518,10 +680,15 @@ std::vector<Rect> AppHost::band_split(const std::vector<Rect>& rects) const {
 }
 
 AppHost::BandStream AppHost::make_band_stream(const Rect& r, ContentPt pt,
-                                              Bytes content) {
+                                              Bytes content,
+                                              const transcode::OutputGeometry& geom) {
   RegionUpdate msg;
+  // Band rects are output-space under a non-identity geometry; the window
+  // ownership lookup lives in host space, so map the centre back first.
   const Point centre{r.left + r.width / 2, r.top + r.height / 2};
-  msg.window_id = wm_.shared_window_at(centre).value_or(0);
+  const Point host_centre =
+      transcode::map_point_to_host(geom, capturer_.last_frame().bounds(), centre);
+  msg.window_id = wm_.shared_window_at(host_centre).value_or(0);
   msg.content_pt = static_cast<std::uint8_t>(pt);
   msg.left = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.left));
   msg.top = static_cast<std::uint32_t>(std::max<std::int64_t>(0, r.top));
@@ -562,14 +729,18 @@ std::vector<Rect> AppHost::packetize_regions(
 }
 
 std::vector<Rect> AppHost::send_regions(ParticipantState& p,
-                                        const std::vector<Rect>& rects) {
-  std::vector<Rect> queue = band_split(rects);
+                                        const std::vector<Rect>& rects,
+                                        const transcode::OutputGeometry& geom) {
+  // Host-space damage → output-space bands through this participant's
+  // geometry (identity passes straight through to band_split).
+  std::vector<Rect> queue = geometry_bands(geom, rects);
 
   // Encode every band up front — cache lookups first, then misses fanned
   // out across the worker pool (drained in sequence order, so the payloads
   // below are byte-identical to encoding serially in the send loop). The
   // ads::rate quality rung rides in as an encode parameter (and cache key)
-  // for lossy codecs.
+  // for lossy codecs. Scaled geometries encode from the per-tick scaler
+  // cache; identity views borrow the live frame without a copy.
   const ContentPt pt = codec_for(p);
   EncodeParams params;
   if (opts_.adaptation.enabled && pt == ContentPt::kDct) {
@@ -577,7 +748,8 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
   }
   std::vector<Bytes> payloads = [&] {
     telemetry::ScopedSpan span(tel_->trace, "ah.encode");
-    return encoder_.encode_regions(capturer_.last_frame(), queue, pt, params);
+    return encoder_.encode_regions(scaler_.view(capturer_.last_frame(), geom),
+                                   queue, pt, params);
   }();
 
   telemetry::ScopedSpan packetise_span(tel_->trace, "ah.packetise");
@@ -587,32 +759,66 @@ std::vector<Rect> AppHost::send_regions(ParticipantState& p,
   std::vector<BandStream> streams(queue.size());
   auto stream_for = [&](std::size_t i) -> const BandStream& {
     BandStream& bs = streams[i];
-    if (!bs.buf) bs = make_band_stream(queue[i], pt, std::move(payloads[i]));
+    if (!bs.buf) bs = make_band_stream(queue[i], pt, std::move(payloads[i]), geom);
     return bs;
   };
-  return packetize_regions(p, queue, stream_for);
+  std::vector<Rect> leftover = packetize_regions(p, queue, stream_for);
+  // Pending damage is host-space: map rate-limited output-space leftovers
+  // back through the geometry before they re-queue.
+  const Rect fb = capturer_.last_frame().bounds();
+  if (geom.scale_shift == 0 && transcode::source_rect(geom, fb) == fb) {
+    return leftover;
+  }
+  std::vector<Rect> host;
+  host.reserve(leftover.size());
+  for (const Rect& r : leftover) {
+    const Rect mapped = transcode::map_rect_to_host(geom, fb, r);
+    if (!mapped.empty()) host.push_back(mapped);
+  }
+  return host;
 }
 
-void AppHost::send_full_refresh(ParticipantState& p) {
+void AppHost::send_full_refresh(ParticipantState& p,
+                                const transcode::OutputGeometry& geom) {
   // "image of the whole shared region" (§4.3): RegionUpdates covering the
-  // desktop-sized shared view (band-split; any rate-limited remainder stays
-  // pending and completes over the following ticks).
+  // participant's output view of the shared frame (band-split; any
+  // rate-limited remainder stays pending and completes over the following
+  // ticks).
   p.pending.clear();
   ++stats_.join_admissions;
-  auto leftover = send_regions(p, {capturer_.last_frame().bounds()});
+  auto leftover = send_regions(p, {capturer_.last_frame().bounds()}, geom);
   for (const Rect& r : leftover) p.pending.add(r);
   p.needs_full_refresh = false;
 }
 
 bool AppHost::pre_send(ParticipantState& p,
                        const std::vector<MoveRectangle>& scrolls,
-                       const std::vector<Rect>& damage, bool& was_current) {
+                       const std::vector<Rect>& damage, bool& was_current,
+                       transcode::OutputGeometry& geom) {
   // Flush any carried-over TCP bytes first.
   if (p.endpoint.kind == HostEndpoint::Kind::kTcp && !p.stream_carry.empty() &&
       p.endpoint.write_stream) {
     const std::size_t wrote = p.endpoint.write_stream(p.stream_carry);
     p.stream_carry.erase(p.stream_carry.begin(),
                          p.stream_carry.begin() + static_cast<std::ptrdiff_t>(wrote));
+  }
+
+  // Resolve this tick's output geometry (follow mode re-anchors to the
+  // topmost shared window). A moved source rect queues the newly-streamed
+  // area as pending damage — and because this runs before the was_current
+  // probe below, the move also disqualifies MoveRectangle replay this tick
+  // (the replica has never seen the pixels the scroll would copy from).
+  geom = resolve_geometry(p);
+  const Rect src =
+      transcode::source_rect(geom, capturer_.last_frame().bounds());
+  if (src != p.geometry_src) {
+    if (!p.geometry_src.empty()) {
+      p.pending.add(src);
+      if (p.geometry.follow || !p.geometry.viewport.empty()) {
+        ++stats_.viewport_moves;
+      }
+    }
+    p.geometry_src = src;
   }
 
   // §5.2.2 MoveRectangle eligibility is decided on the state the
@@ -682,16 +888,18 @@ bool AppHost::pre_send(ParticipantState& p,
 
 void AppHost::distribute_legacy(const std::vector<MoveRectangle>& scrolls,
                                 const std::vector<Rect>& damage) {
+  const Rect fb = capturer_.last_frame().bounds();
   for (auto& [id, p] : participants_) {
     bool was_current = false;
-    if (!pre_send(p, scrolls, damage, was_current)) continue;
+    transcode::OutputGeometry geom;
+    if (!pre_send(p, scrolls, damage, was_current, geom)) continue;
 
     // One TX batch per participant turn: everything queued below goes to
     // the transport in a single drain at the end of the turn.
     begin_tx_batch(p);
     if (p.needs_wmi) send_wmi(p);
     if (p.needs_full_refresh) {
-      send_full_refresh(p);
+      send_full_refresh(p, geom);
       // §5.2.4: "If the AH uses MousePointerInfo messages, it MUST inform
       // the late joiners about the current position and image of mouse
       // pointer."
@@ -705,16 +913,24 @@ void AppHost::distribute_legacy(const std::vector<MoveRectangle>& scrolls,
 
     // MoveRectangle only helps a participant whose view was current before
     // this tick; lagging participants get the moved area as ordinary
-    // damage.
+    // damage. On a scaled/viewport view the scroll additionally has to pass
+    // the S1 alignment gate — a non-replayable move degrades to damage.
     const bool caught_up = p.frames_sent > 0 && was_current;
     if (caught_up) {
-      for (const MoveRectangle& mr : scrolls) send_move_rectangle(p, mr);
+      for (const MoveRectangle& mr : scrolls) {
+        if (mr_alignable(geom, fb, mr)) {
+          send_move_rectangle(p, mr_to_output(geom, fb, mr));
+        } else {
+          p.pending.add(dest_rect(mr));
+          ++stats_.move_rects_geometry_skipped;
+        }
+      }
     } else {
       for (const MoveRectangle& mr : scrolls) p.pending.add(dest_rect(mr));
     }
 
     p.pending.simplify();
-    auto leftover = send_regions(p, p.pending.rects());
+    auto leftover = send_regions(p, p.pending.rects(), geom);
     p.pending.clear();
     for (const Rect& r : leftover) p.pending.add(r);
     if (p.pointer_dirty && opts_.pointer_messages) {
@@ -730,6 +946,7 @@ void AppHost::distribute_legacy(const std::vector<MoveRectangle>& scrolls,
 void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
                                 const std::vector<Rect>& damage) {
   const Image& frame = capturer_.last_frame();
+  const Rect fb = frame.bounds();
 
   struct SendPlan {
     ParticipantState* p = nullptr;
@@ -738,6 +955,8 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     ContentPt pt = ContentPt::kRaw;
     EncodeParams params;
     CohortKey key;
+    transcode::OutputGeometry geom;   ///< resolved output geometry
+    std::vector<MoveRectangle> mrs;   ///< alignment-gated, output-space
     std::vector<Rect> bands;          ///< this participant's send queue
     std::vector<std::uint32_t> slots; ///< band → index into cohort payloads
     /// Non-null: a full refresh served from this pre-encoded checkpoint
@@ -753,18 +972,27 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
   plan.reserve(participants_.size());
   for (auto& [id, p] : participants_) {
     bool was_current = false;
-    if (!pre_send(p, scrolls, damage, was_current)) continue;
+    transcode::OutputGeometry geom;
+    if (!pre_send(p, scrolls, damage, was_current, geom)) continue;
 
     SendPlan sp;
     sp.p = &p;
+    sp.geom = geom;
     sp.pt = codec_for(p);
     if (opts_.adaptation.enabled && sp.pt == ContentPt::kDct) {
       sp.params.dct_quality = p.rate_ctrl.current().dct_quality;
     }
+    // The cohort key extends the operating point with the output geometry:
+    // scale rung plus the resolved host-space source rect (pre_send just
+    // refreshed p.geometry_src = source_rect(geom, fb)). Identity viewers
+    // all resolve to {0, fb}, so they keep sharing one cohort as before.
     sp.key = CohortKey{static_cast<std::uint8_t>(sp.pt),
                        p.rate_ctrl.current().quality_key(
                            opts_.adaptation.enabled && sp.pt == ContentPt::kDct),
-                       opts_.mtu_payload};
+                       opts_.mtu_payload,
+                       geom.scale_shift,
+                       {p.geometry_src.left, p.geometry_src.top,
+                        p.geometry_src.width, p.geometry_src.height}};
     if (p.needs_full_refresh) {
       // "image of the whole shared region" (§4.3). With the snapshot
       // service on, the whole join cohort is served from one pre-encoded
@@ -776,21 +1004,33 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
       p.pending.clear();
       ++stats_.join_admissions;
       if (snapshot_.enabled()) {
-        sp.bundle = snapshot_admit(sp.pt, sp.key.quality, sp.params);
+        sp.bundle = snapshot_admit(sp.pt, sp.key.quality, sp.params, geom);
       }
       if (sp.bundle != nullptr) {
         ++stats_.join_shared_refreshes;
       } else {
         if (snapshot_.enabled()) ++stats_.join_fallback_refreshes;
-        sp.bands = band_split({frame.bounds()});
+        sp.bands = geometry_bands(geom, {fb});
       }
     } else {
       sp.send_mrs = p.frames_sent > 0 && was_current;
-      if (!sp.send_mrs) {
+      if (sp.send_mrs) {
+        // S1 alignment gate, decided here in phase 1 so a blocked scroll's
+        // destination folds into pending *before* banding — same-tick
+        // damage delivery, exactly like the legacy path.
+        for (const MoveRectangle& mr : scrolls) {
+          if (mr_alignable(geom, fb, mr)) {
+            sp.mrs.push_back(mr_to_output(geom, fb, mr));
+          } else {
+            p.pending.add(dest_rect(mr));
+            ++stats_.move_rects_geometry_skipped;
+          }
+        }
+      } else {
         for (const MoveRectangle& mr : scrolls) p.pending.add(dest_rect(mr));
       }
       p.pending.simplify();
-      sp.bands = band_split(p.pending.rects());
+      sp.bands = geometry_bands(geom, p.pending.rects());
     }
     plan.push_back(std::move(sp));
   }
@@ -808,6 +1048,8 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     std::vector<BandStream> streams;
     ContentPt pt = ContentPt::kRaw;
     EncodeParams params;
+    transcode::OutputGeometry geom;  ///< output geometry (key-equivalent
+                                     ///< for every member by construction)
     std::uint64_t requested = 0;  ///< band sends across the cohort
   };
   std::map<CohortKey, Cohort> cohorts;
@@ -816,6 +1058,7 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     Cohort& c = cohorts[sp.key];
     c.pt = sp.pt;
     c.params = sp.params;
+    c.geom = sp.geom;
     sp.slots.reserve(sp.bands.size());
     for (const Rect& b : sp.bands) {
       auto [it, inserted] = c.slot.try_emplace(
@@ -829,7 +1072,12 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
   {
     telemetry::ScopedSpan span(tel_->trace, "ah.encode");
     for (auto& [key, c] : cohorts) {
-      c.payloads = encoder_.encode_regions(frame, c.bands, c.pt, c.params);
+      // Each distinct (geometry × rung) cohort encodes once per tick, from
+      // the scaler's per-tick cached view of that geometry (identity views
+      // borrow the live frame without a copy).
+      c.payloads =
+          encoder_.encode_regions(scaler_.view(frame, c.geom), c.bands, c.pt,
+                                  c.params);
       c.streams.resize(c.bands.size());
       stats_.fanout_encodes_unique += c.bands.size();
       stats_.fanout_encodes_shared += c.requested - c.bands.size();
@@ -846,8 +1094,16 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
     begin_tx_batch(p);
     if (p.needs_wmi) send_wmi(p);
     if (sp.send_mrs) {
-      for (const MoveRectangle& mr : scrolls) send_move_rectangle(p, mr);
+      for (const MoveRectangle& mr : sp.mrs) send_move_rectangle(p, mr);
     }
+    // Pending damage is host-space; rate-limited output-space leftovers map
+    // back through the geometry before they re-queue (identity maps 1:1).
+    auto pend_leftover = [&](const std::vector<Rect>& leftover) {
+      for (const Rect& r : leftover) {
+        const Rect mapped = transcode::map_rect_to_host(sp.geom, fb, r);
+        if (!mapped.empty()) p.pending.add(mapped);
+      }
+    };
     if (sp.bundle != nullptr) {
       // Bundle-served refresh: cut this joiner's packets straight from the
       // checkpoint's pre-encoded fragment streams (no per-wave encode),
@@ -859,7 +1115,7 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
       };
       auto leftover = packetize_regions(p, b.bands, stream_for);
       p.pending.clear();
-      for (const Rect& r : leftover) p.pending.add(r);
+      pend_leftover(leftover);
       for (const Rect& r : b.delta.rects()) p.pending.add(r);
     } else {
       // Cohort-mates cut their packets from the same lazily-serialised band
@@ -871,14 +1127,15 @@ void AppHost::distribute_shared(const std::vector<MoveRectangle>& scrolls,
         const std::uint32_t s = sp.slots[i];
         BandStream& bs = c->streams[s];
         if (!bs.buf) {
-          bs = make_band_stream(c->bands[s], c->pt, std::move(c->payloads[s]));
+          bs = make_band_stream(c->bands[s], c->pt, std::move(c->payloads[s]),
+                                c->geom);
           ++stats_.band_streams_built;
         }
         return bs;
       };
       auto leftover = packetize_regions(p, sp.bands, stream_for);
       p.pending.clear();
-      for (const Rect& r : leftover) p.pending.add(r);
+      pend_leftover(leftover);
     }
     if (sp.full_refresh) {
       p.needs_full_refresh = false;
@@ -955,14 +1212,25 @@ void AppHost::snapshot_stage(const std::vector<MoveRectangle>& scrolls,
   }
 }
 
-snapshot::RefreshBundle* AppHost::snapshot_admit(ContentPt pt,
-                                                 std::uint8_t quality,
-                                                 const EncodeParams& params) {
-  const snapshot::BundleKey key{static_cast<std::uint8_t>(pt), quality,
-                                opts_.mtu_payload};
+snapshot::RefreshBundle* AppHost::snapshot_admit(
+    ContentPt pt, std::uint8_t quality, const EncodeParams& params,
+    const transcode::OutputGeometry& geom) {
   const Image& frame = capturer_.last_frame();
+  const Rect fb = frame.bounds();
+  const Rect src = transcode::source_rect(geom, fb);
+  const bool native = geom.scale_shift == 0 && src == fb;
+  const snapshot::BundleKey key{
+      static_cast<std::uint8_t>(pt), quality, opts_.mtu_payload,
+      geom.scale_shift,
+      native ? std::array<std::int64_t, 4>{}
+             : std::array<std::int64_t, 4>{src.left, src.top, src.width,
+                                           src.height}};
   return snapshot_.admit(key, loop_.now(), [&](snapshot::RefreshBundle& b) {
-    b.bands = band_split({frame.bounds()});
+    // Record the host-space source rect so the delta-fraction eviction
+    // compares host-space delta against host-space area (bands below live
+    // in output space for scaled geometries).
+    b.source = native ? Rect{} : src;
+    b.bands = geometry_bands(geom, {fb});
     if (b.bands.empty()) return false;
     // The one checkpoint encode of this operating point's join cohort: the
     // bands run through the shared encoder (cache first, then the worker
@@ -970,12 +1238,13 @@ snapshot::RefreshBundle* AppHost::snapshot_admit(ContentPt pt,
     // joiner's packets view.
     std::vector<Bytes> payloads = [&] {
       telemetry::ScopedSpan span(tel_->trace, "ah.encode");
-      return encoder_.encode_regions(frame, b.bands, pt, params);
+      return encoder_.encode_regions(scaler_.view(frame, geom), b.bands, pt,
+                                     params);
     }();
     b.streams.reserve(b.bands.size());
     for (std::size_t i = 0; i < b.bands.size(); ++i) {
       b.streams.push_back(
-          make_band_stream(b.bands[i], pt, std::move(payloads[i])));
+          make_band_stream(b.bands[i], pt, std::move(payloads[i]), geom));
       ++stats_.band_streams_built;
     }
     return true;
@@ -992,6 +1261,24 @@ void AppHost::tick() {
   }();
   const Image& frame = *capture.frame;
   ++stats_.frames_captured;
+
+  // New tick, new scaler cache: at most one scaled frame per distinct
+  // output geometry for everything this tick sends.
+  scaler_.begin_tick();
+
+  // Host resize watch: the clamped pointer position moves with the bounds,
+  // so every participant's overlay re-arms — a pointer parked at the old
+  // bottom-right corner must be re-sent re-clamped into the new frame.
+  if (frame.width() != last_frame_w_ || frame.height() != last_frame_h_) {
+    if (last_frame_w_ != 0 || last_frame_h_ != 0) {
+      for (auto& [id, p] : participants_) {
+        p.pointer_dirty = true;
+        p.pointer_icon_dirty = true;
+      }
+    }
+    last_frame_w_ = frame.width();
+    last_frame_h_ = frame.height();
+  }
 
   // WindowManagerInfo trigger: any window-manager change (§5.2.1).
   if (wm_.revision() != last_wmi_revision_) {
@@ -1200,6 +1487,24 @@ void AppHost::handle_hip(ParticipantId from, BytesView payload) {
   if (!msg.ok()) {
     ++stats_.hip_parse_errors;
     return;
+  }
+
+  // Output-geometry inverse mapping: a scaled/viewport viewer reports mouse
+  // coordinates in its own output space. Map them back to host space first,
+  // so the §4.1 legitimacy check and the input sink both operate on real
+  // desktop pixels (a quarter-res click on output (x, y) lands on the
+  // centre of the 2^s × 2^s host block it covers).
+  {
+    auto alias = member_alias_.find(from);
+    const ParticipantId pid =
+        alias == member_alias_.end() ? from : alias->second;
+    auto pit = participants_.find(pid);
+    if (pit != participants_.end()) {
+      const transcode::OutputGeometry geom = resolve_geometry(pit->second);
+      if (hip::map_to_host(*msg, geom, capturer_.last_frame().bounds())) {
+        ++stats_.hip_events_mapped;
+      }
+    }
   }
 
   std::uint32_t left = 0;

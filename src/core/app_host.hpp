@@ -45,6 +45,7 @@
 #include "snapshot/record.hpp"
 #include "snapshot/snapshot.hpp"
 #include "telemetry/telemetry.hpp"
+#include "transcode/transcode.hpp"
 #include "wm/window_manager.hpp"
 
 namespace ads {
@@ -237,6 +238,23 @@ class AppHost {
   /// types absent from the AH's registry.
   bool set_participant_codec(ParticipantId id, ContentPt codec);
 
+  /// Per-participant output geometry (docs/TRANSCODE.md): downscale rung
+  /// and/or crop viewport, the outcome of the SDP `a=geometry:` negotiation.
+  /// Extends the participant's cohort operating point, so cohort-mates with
+  /// the same geometry keep sharing one encode. Queues a full refresh at the
+  /// new geometry. Returns false for unknown ids or a scale_shift > 6.
+  bool set_participant_geometry(ParticipantId id, transcode::OutputGeometry geom);
+
+  /// The participant's negotiated output geometry (nullptr for unknown ids).
+  /// Follow-mode geometries report the declared geometry, not the per-tick
+  /// resolved viewport.
+  const transcode::OutputGeometry* participant_geometry(ParticipantId id) const;
+
+  /// Host display-mode change: resize the desktop framebuffer. The next tick
+  /// reports full damage (DamageTracker resize fast path), invalidates every
+  /// snapshot bundle and re-sends a re-clamped pointer overlay to everyone.
+  void set_screen_size(std::int64_t width, std::int64_t height);
+
   /// Begin the periodic capture/transmit loop on the event loop.
   void start();
   /// Stop the capture loop after the current tick; start() resumes it.
@@ -311,6 +329,16 @@ class AppHost {
     std::uint64_t join_admissions = 0;          ///< full refreshes granted
     std::uint64_t join_shared_refreshes = 0;    ///< served from a refresh bundle
     std::uint64_t join_fallback_refreshes = 0;  ///< §4.4 path despite snapshot on
+    // Output-geometry transcode accounting (docs/TRANSCODE.md). Per-class
+    // byte counters split bytes_sent by the receiver's device class; the
+    // remaining counters track the geometry machinery itself.
+    std::uint64_t hip_events_mapped = 0;     ///< HIP coords mapped output→host
+    std::uint64_t viewport_moves = 0;        ///< follow viewports re-anchored
+    std::uint64_t move_rects_geometry_skipped = 0;  ///< S1 divisibility gate
+    std::uint64_t bytes_sent_full = 0;       ///< media bytes, full-res class
+    std::uint64_t bytes_sent_half = 0;       ///< … half-res rung
+    std::uint64_t bytes_sent_quarter = 0;    ///< … quarter (shift >= 2) rungs
+    std::uint64_t bytes_sent_viewport = 0;   ///< … viewport/follow class
   };
   /// Lifetime counters (see Stats).
   const Stats& stats() const { return stats_; }
@@ -322,6 +350,10 @@ class AppHost {
   /// The flash-crowd snapshot service: refresh-window/bundle state and the
   /// snapshot.* counter source (docs/LATEJOIN.md).
   const snapshot::SnapshotService& snapshot_service() const { return snapshot_; }
+
+  /// The per-tick frame scaler cache: one scaled frame per distinct output
+  /// geometry per tick (the transcode.* counter source, docs/TRANSCODE.md).
+  const transcode::FrameScaler& scaler() const { return scaler_; }
 
   /// The session recorder (non-null while options().snapshot.record_path is
   /// set; check ok() — a failed open latches it into a no-op). Call
@@ -358,6 +390,12 @@ class AppHost {
     // or the §4.3 bucket keeps the flag armed.
     bool pointer_dirty = false;
     bool pointer_icon_dirty = false;
+    // Output geometry (docs/TRANSCODE.md): the negotiated device-class
+    // geometry, and the host-space source rect it resolved to on the last
+    // tick — follow mode re-anchors per tick, and a changed source rect
+    // queues the newly-streamed area as pending damage.
+    transcode::OutputGeometry geometry;
+    Rect geometry_src;
     // Zero-copy TX batching: while `batching` is set (one participant's
     // distribute turn, UDP endpoints with a send_packet_batch callback),
     // transmit_view() queues packets here; flush_tx() drains them in one
@@ -384,7 +422,8 @@ class AppHost {
   /// Serialise one band's RegionUpdate fragment stream into a pooled buffer
   /// (the single staging copy of the zero-copy datapath; counted in
   /// payload_bytes_copied). `content` is consumed.
-  BandStream make_band_stream(const Rect& r, ContentPt pt, Bytes content);
+  BandStream make_band_stream(const Rect& r, ContentPt pt, Bytes content,
+                              const transcode::OutputGeometry& geom);
   /// Account for and hand one packet to the participant's transport: UDP →
   /// retransmission cache + §4.3 bucket + batch/packet/datagram callback
   /// (first available); TCP → RFC 4571 gather-write with carry, or the
@@ -396,7 +435,17 @@ class AppHost {
   void flush_tx(ParticipantState& p);
   void send_payload(ParticipantState& p, Bytes payload, bool marker, SimTime now);
   void send_wmi(ParticipantState& p);
-  void send_full_refresh(ParticipantState& p);
+  void send_full_refresh(ParticipantState& p,
+                         const transcode::OutputGeometry& geom);
+  /// Resolve a participant's declared geometry for this tick: follow mode
+  /// re-anchors the viewport to the topmost shared window's frame; plain
+  /// geometries pass through unchanged.
+  transcode::OutputGeometry resolve_geometry(const ParticipantState& p) const;
+  /// Map host-space rects into one geometry's output space, merge, and
+  /// band-split — the banding step both distribute paths share (the A/B
+  /// byte-identity between them depends on using the same banding).
+  std::vector<Rect> geometry_bands(const transcode::OutputGeometry& geom,
+                                   const std::vector<Rect>& host_rects) const;
   /// Per-tick snapshot + record stage, run before distribution: geometry
   /// invalidation, refresh-window close / delta eviction, this tick's
   /// damage and scroll destinations folded into live bundle deltas, and the
@@ -408,10 +457,13 @@ class AppHost {
   /// per-joiner §4.4 path instead (service disabled, bundle budget
   /// exhausted, or build failure).
   snapshot::RefreshBundle* snapshot_admit(ContentPt pt, std::uint8_t quality,
-                                          const EncodeParams& params);
+                                          const EncodeParams& params,
+                                          const transcode::OutputGeometry& geom);
   /// Sends as much as the participant's rate budget allows; returns the
-  /// rectangles that must stay pending for the next tick.
-  std::vector<Rect> send_regions(ParticipantState& p, const std::vector<Rect>& rects);
+  /// host-space rectangles that must stay pending for the next tick
+  /// (output-space leftovers are mapped back through the geometry).
+  std::vector<Rect> send_regions(ParticipantState& p, const std::vector<Rect>& rects,
+                                 const transcode::OutputGeometry& geom);
   /// Split rectangles into ≤ region_band_rows-row bands (the encode/cohort
   /// granularity). Empty rects are dropped.
   std::vector<Rect> band_split(const std::vector<Rect>& rects) const;
@@ -422,8 +474,13 @@ class AppHost {
   /// fps-divisor / §7 backlog / §4.3 bucket gates. Returns false when the
   /// participant is skipped this tick (scrolled areas are folded into its
   /// pending damage).
+  /// Also resolves the participant's output geometry for this tick (follow
+  /// re-anchoring; a moved source rect queues the newly-exposed area as
+  /// pending damage *before* the was_current probe, so a viewport move
+  /// disables MoveRectangle eligibility for that tick).
   bool pre_send(ParticipantState& p, const std::vector<MoveRectangle>& scrolls,
-                const std::vector<Rect>& damage, bool& was_current);
+                const std::vector<Rect>& damage, bool& was_current,
+                transcode::OutputGeometry& geom);
   /// Transmit already-encoded bands (parallel to `queue`) within the
   /// participant's rate budget, cutting header-plus-view packets from each
   /// band's fragment stream. `stream_for(i)` yields band i's stream, built
@@ -489,6 +546,13 @@ class AppHost {
   // Pointer model state (dirtiness lives per participant).
   Point pointer_{0, 0};
   Image pointer_icon_;
+
+  // Output-geometry transcode stage (docs/TRANSCODE.md): per-tick scaled
+  // frame cache, and the previous frame size so a host resize re-arms every
+  // participant's pointer overlay (the re-clamped position must be re-sent).
+  transcode::FrameScaler scaler_;
+  std::int64_t last_frame_w_ = 0;
+  std::int64_t last_frame_h_ = 0;
 
   // Scroll detection needs the previous exported frame.
   Image previous_frame_;

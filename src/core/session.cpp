@@ -373,6 +373,13 @@ SharingSession::Connection& SharingSession::add_tcp_participant(
   return *connections_.back();
 }
 
+bool SharingSession::apply_answer_geometry(Connection& c,
+                                           const SessionDescription& answer) {
+  const auto geom = answer_geometry(answer);
+  if (!geom) return false;
+  return host_.set_participant_geometry(c.id, *geom);
+}
+
 void SharingSession::wire_relay(RelayHandle* r) {
   // Every closure reads the handle at delivery time: re-parenting changes
   // r->parent / r->leg without re-wiring a channel, and a crash that nulls

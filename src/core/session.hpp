@@ -68,6 +68,14 @@ class SharingSession {
   Connection& add_tcp_participant(ParticipantOptions opts = {},
                                   TcpLinkConfig link = {});
 
+  /// Apply the output geometry a participant requested in its SDP answer
+  /// (the a=geometry token on its accepted remoting m-line,
+  /// docs/TRANSCODE.md) to its AH-side cohort operating point. Identity
+  /// when the answer carries no token. Returns false on a malformed token
+  /// or a geometry the AH rejects; the participant then stays at its
+  /// previous geometry.
+  bool apply_answer_geometry(Connection& c, const SessionDescription& answer);
+
   /// Sever a TCP participant's links (both directions) as a hard connection
   /// drop: in-flight data is lost, later writes are refused. The connection
   /// stays in the session for a later reconnect_tcp().

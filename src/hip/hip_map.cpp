@@ -1,0 +1,47 @@
+#include "hip/hip_map.hpp"
+
+#include <algorithm>
+
+namespace ads::hip {
+namespace {
+
+// Apply the mapped host-space point to whichever alternative carries
+// coordinates.
+struct SetCoords {
+  std::uint32_t left;
+  std::uint32_t top;
+  bool operator()(MousePressed& m) const { return set(m); }
+  bool operator()(MouseReleased& m) const { return set(m); }
+  bool operator()(MouseMoved& m) const { return set(m); }
+  bool operator()(MouseWheelMoved& m) const { return set(m); }
+  bool operator()(KeyPressed&) const { return false; }
+  bool operator()(KeyReleased&) const { return false; }
+  bool operator()(KeyTyped&) const { return false; }
+
+  template <typename M>
+  bool set(M& m) const {
+    m.left = left;
+    m.top = top;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool map_to_host(HipMessage& msg, const transcode::OutputGeometry& geom,
+                 const Rect& frame_bounds) {
+  if (geom.identity() || frame_bounds.empty()) return false;
+  std::uint32_t left = 0;
+  std::uint32_t top = 0;
+  if (!hip_coordinates(msg, left, top)) return false;
+  const Point host = transcode::map_point_to_host(
+      geom, frame_bounds,
+      Point{static_cast<std::int64_t>(left), static_cast<std::int64_t>(top)});
+  const std::uint32_t hx =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(0, host.x));
+  const std::uint32_t hy =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(0, host.y));
+  return std::visit(SetCoords{hx, hy}, msg);
+}
+
+}  // namespace ads::hip

@@ -1,0 +1,24 @@
+// HIP coordinate mapping for scaled / viewport-follow viewers (ROADMAP
+// item 4). A viewer consuming a downscaled or cropped cohort stream reports
+// mouse events in *output space* — the coordinate system of the stream it
+// renders. The AH must map those back to host space (inverse scale +
+// viewport offset, clamped into the streamed source rect) before the §4.1
+// coordinate legitimacy check and before injecting into the input sink,
+// exactly as VirtuMob maps smartphone touches back to host pixels.
+#pragma once
+
+#include "hip/messages.hpp"
+#include "image/geometry.hpp"
+#include "transcode/transcode.hpp"
+
+namespace ads::hip {
+
+/// Rewrite a mouse message's coordinates from the sender's output space to
+/// host space under `geom` (the sender's resolved output geometry) and the
+/// host `frame_bounds`. Key events and identity geometries pass through
+/// unchanged. Returns true when the message carried coordinates that were
+/// remapped.
+bool map_to_host(HipMessage& msg, const transcode::OutputGeometry& geom,
+                 const Rect& frame_bounds);
+
+}  // namespace ads::hip

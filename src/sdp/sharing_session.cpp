@@ -34,6 +34,10 @@ SessionDescription build_sharing_offer(const SharingOffer& offer) {
 
   const std::string remoting_map =
       std::to_string(offer.remoting_pt) + " remoting/90000";
+  // Output-geometry capability: the deepest downscale rung the AH serves
+  // (255 = capability withheld; answers must then request identity).
+  const bool advertise_geometry =
+      offer.geometry_max_shift <= transcode::kMaxScaleShift;
   if (offer.offer_udp) {
     MediaSection udp;
     udp.media = "application";
@@ -44,6 +48,10 @@ SessionDescription build_sharing_offer(const SharingOffer& offer) {
     udp.attributes.emplace_back(
         "fmtp", std::to_string(offer.remoting_pt) + " retransmissions=" +
                     (offer.retransmissions ? "yes" : "no"));
+    if (advertise_geometry) {
+      udp.attributes.emplace_back("geometry-max",
+                                  std::to_string(offer.geometry_max_shift));
+    }
     sd.media.push_back(std::move(udp));
   }
   if (offer.offer_tcp) {
@@ -53,6 +61,10 @@ SessionDescription build_sharing_offer(const SharingOffer& offer) {
     tcp.protocol = "TCP/RTP/AVP";
     tcp.formats = {std::to_string(offer.remoting_pt)};
     tcp.attributes.emplace_back("rtpmap", remoting_map);
+    if (advertise_geometry) {
+      tcp.attributes.emplace_back("geometry-max",
+                                  std::to_string(offer.geometry_max_shift));
+    }
     sd.media.push_back(std::move(tcp));
   }
 
@@ -87,6 +99,12 @@ Result<ParsedSharingOffer> parse_sharing_offer(const SessionDescription& sd) {
       if (map.clock_rate != 90000) continue;
       if (map.encoding == "remoting") {
         out.remoting_pt = map.payload_type;
+        if (auto gmax = m.attribute("geometry-max")) {
+          if (auto v = to_number(*gmax);
+              v && *v <= transcode::kMaxScaleShift) {
+            out.geometry_max_shift = static_cast<std::uint8_t>(*v);
+          }
+        }
         if (m.protocol == "RTP/AVP") {
           out.udp_remoting_port = m.port;
           if (auto params = m.fmtp(map.payload_type)) {
@@ -112,7 +130,9 @@ Result<ParsedSharingOffer> parse_sharing_offer(const SessionDescription& sd) {
 Result<SessionDescription> build_sharing_answer(const SessionDescription& offer,
                                                 const AnswerChoice& choice) {
   const bool want_udp = choice.transport == AnswerChoice::Transport::kUdp;
+  const bool want_geometry = !choice.geometry.identity();
   bool matched_transport = false;
+  bool matched_geometry = !want_geometry;
 
   SessionDescription answer;
   answer.session_name = "application sharing answer";
@@ -122,10 +142,10 @@ Result<SessionDescription> build_sharing_answer(const SessionDescription& offer,
   for (const MediaSection& offered : offer.media) {
     MediaSection m = offered;  // mirror media/proto/formats/attributes
     bool accept = false;
+    bool is_remoting = false;
     if (offered.protocol == "TCP/BFCP") {
       accept = choice.accept_bfcp;
     } else {
-      bool is_remoting = false;
       bool is_hip = false;
       for (const RtpMap& map : offered.rtpmaps()) {
         is_remoting |= map.encoding == "remoting";
@@ -139,11 +159,39 @@ Result<SessionDescription> build_sharing_answer(const SessionDescription& offer,
         accept = true;
       }
     }
+    // A non-identity geometry request rides on the accepted remoting
+    // m-line, and only against an offer that advertised the capability at a
+    // deep-enough rung — asking a geometry-blind AH for a quarter view
+    // would just get full-resolution bytes the viewer cannot afford.
+    if (accept && is_remoting && want_geometry) {
+      if (auto gmax = offered.attribute("geometry-max")) {
+        if (auto v = to_number(*gmax);
+            v && choice.geometry.scale_shift <= *v) {
+          m.attributes.emplace_back("geometry",
+                                    transcode::to_token(choice.geometry));
+          matched_geometry = true;
+        }
+      }
+    }
     m.port = accept ? next_port++ : 0;
     answer.media.push_back(std::move(m));
   }
-  if (!matched_transport) return ParseError::kBadValue;
+  if (!matched_transport || !matched_geometry) return ParseError::kBadValue;
   return answer;
+}
+
+std::optional<transcode::OutputGeometry> answer_geometry(
+    const SessionDescription& answer) {
+  for (const MediaSection& m : answer.media) {
+    if (m.port == 0) continue;
+    for (const RtpMap& map : m.rtpmaps()) {
+      if (map.encoding != "remoting") continue;
+      const auto token = m.attribute("geometry");
+      if (!token) return transcode::OutputGeometry{};
+      return transcode::parse_token(*token);
+    }
+  }
+  return transcode::OutputGeometry{};
 }
 
 }  // namespace ads

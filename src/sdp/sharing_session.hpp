@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "sdp/sdp.hpp"
+#include "transcode/transcode.hpp"
 
 namespace ads {
 
@@ -23,6 +24,11 @@ struct SharingOffer {
   bool retransmissions = true;  ///< mandated fmtp parameter (§9.3.1)
   std::uint16_t floor_id = 0;
   std::uint16_t label = 10;     ///< ties HIP m-line to the BFCP floor (§10.3)
+  /// Output-geometry capability (docs/TRANSCODE.md): the deepest downscale
+  /// rung the AH offers (a=geometry-max on the remoting m-lines). Viewport
+  /// crops and follow mode ride on the same capability. 255 = don't
+  /// advertise geometry at all.
+  std::uint8_t geometry_max_shift = 6;
 };
 
 /// Build the §10.3-shaped session description.
@@ -39,6 +45,8 @@ struct ParsedSharingOffer {
   bool retransmissions = false;
   std::optional<std::uint16_t> floor_id;
   std::optional<std::uint16_t> label;
+  /// Deepest downscale rung the offerer supports (absent = no geometry).
+  std::optional<std::uint8_t> geometry_max_shift;
 };
 
 Result<ParsedSharingOffer> parse_sharing_offer(const SessionDescription& sd);
@@ -49,12 +57,24 @@ struct AnswerChoice {
   Transport transport = Transport::kTcp;
   bool accept_bfcp = true;
   std::uint16_t local_port_base = 7000;  ///< ports the answerer listens on
+  /// Requested output geometry (docs/TRANSCODE.md), emitted as
+  /// a=geometry:<token> on the accepted remoting m-line. Identity = omit
+  /// the attribute (full-resolution view, the default).
+  transcode::OutputGeometry geometry{};
 };
 
 /// Build an RFC 3264-style answer mirroring the offer's m-line order:
 /// accepted streams carry the answerer's ports, rejected ones port 0.
-/// Fails (kBadValue) when the offer lacks the requested transport.
+/// Fails (kBadValue) when the offer lacks the requested transport, or when
+/// a non-identity geometry is requested against an offer that does not
+/// advertise geometry (or asks past its geometry-max rung).
 Result<SessionDescription> build_sharing_answer(const SessionDescription& offer,
                                                 const AnswerChoice& choice);
+
+/// Recover the geometry a participant requested in its answer: the
+/// a=geometry token on the accepted (non-zero-port) remoting m-line.
+/// Identity when the attribute is absent; nullopt on a malformed token.
+std::optional<transcode::OutputGeometry> answer_geometry(
+    const SessionDescription& answer);
 
 }  // namespace ads

@@ -38,11 +38,18 @@ void SnapshotService::begin_tick(SimTime now) {
   // refresh: serving it costs checkpoint + delta. Evict it; the next
   // admission of that operating point rebuilds from the live frame.
   for (auto it = bundles_.begin(); it != bundles_.end();) {
-    const Rect b = it->second.bands.empty() ? Rect{} : [&] {
-      Rect all = it->second.bands.front();
-      for (const Rect& r : it->second.bands) all = bounding_union(all, r);
-      return all;
-    }();
+    // Scaled bundles band-split in output space but accumulate host-space
+    // delta, so the budget base is the host-space source rect when the
+    // builder recorded one; native bundles keep the band-union base.
+    const Rect b = !it->second.source.empty() ? it->second.source
+                   : it->second.bands.empty() ? Rect{}
+                                              : [&] {
+                                                  Rect all = it->second.bands.front();
+                                                  for (const Rect& r :
+                                                       it->second.bands)
+                                                    all = bounding_union(all, r);
+                                                  return all;
+                                                }();
     const double budget =
         static_cast<double>(b.area()) * opts_.max_delta_fraction;
     if (!b.empty() && static_cast<double>(it->second.delta.area()) > budget) {

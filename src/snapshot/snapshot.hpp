@@ -34,6 +34,7 @@
 // tests drive it with synthetic builders.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -72,11 +73,17 @@ struct SnapshotOptions {
 };
 
 /// Identity of one refresh bundle — the operating point whose members can
-/// share encoded refresh bytes. Mirrors the fan-out CohortKey.
+/// share encoded refresh bytes. Mirrors the fan-out CohortKey, including the
+/// output geometry introduced by ROADMAP item 4: bundles for different
+/// device classes (scale rungs or viewport source rects) never mix.
 struct BundleKey {
   std::uint8_t content_pt = 0;   ///< RegionUpdate codec payload type
   std::uint8_t quality = 0;      ///< ads::rate quality rung (cache-key value)
   std::size_t mtu_payload = 0;   ///< fragmentation threshold
+  std::uint8_t scale_shift = 0;  ///< output geometry downscale rung (2^shift)
+  /// Resolved host-space source rect {left, top, width, height} streamed by
+  /// the geometry; all-zero = the whole frame (identity / plain rungs).
+  std::array<std::int64_t, 4> source{};
   friend auto operator<=>(const BundleKey&, const BundleKey&) = default;
 };
 
@@ -95,8 +102,13 @@ struct RefreshBundle {
   BundleKey key;
   SimTime built_at_us = 0;       ///< finalisation instant (window anchor)
   std::uint64_t checkpoint = 0;  ///< monotone id across the session
-  std::vector<Rect> bands;       ///< band-split full shared region
+  std::vector<Rect> bands;       ///< band-split shared region (output space)
   std::vector<BundleBand> streams;  ///< parallel to bands
+  /// Host-space source rect the bundle's bands were scaled from. Bands live
+  /// in output space while the delta accumulates host-space damage, so the
+  /// delta-fraction eviction compares against this rect's area; empty =
+  /// native geometry (fall back to the band union).
+  Rect source;
   Region delta;                  ///< damage accumulated since built_at_us
   std::uint64_t serves = 0;      ///< joiners served from this bundle
 };

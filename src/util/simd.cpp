@@ -154,6 +154,36 @@ void dct_quantise_scalar(const double freq[64], const int q[64],
   }
 }
 
+namespace {
+
+// Scalar box-halve over output pixels [begin, end); shared by the reference
+// path and the vector paths' odd-width tails so every tier computes edge
+// pixels through the same expression.
+void box_halve_range(const std::uint8_t* r0, const std::uint8_t* r1,
+                     std::size_t src_w_px, std::size_t begin, std::size_t end,
+                     std::uint8_t* out) {
+  for (std::size_t j = begin; j < end; ++j) {
+    const std::size_t x0 = 2 * j;
+    const std::size_t x1 = std::min(2 * j + 1, src_w_px - 1);
+    const std::uint8_t* a = r0 + x0 * 4;
+    const std::uint8_t* b = r0 + x1 * 4;
+    const std::uint8_t* c = r1 + x0 * 4;
+    const std::uint8_t* d = r1 + x1 * 4;
+    for (int ch = 0; ch < 4; ++ch) {
+      const std::uint32_t s = static_cast<std::uint32_t>(a[ch]) + b[ch] + c[ch] +
+                              d[ch] + 2u;
+      out[j * 4 + ch] = static_cast<std::uint8_t>(s >> 2);
+    }
+  }
+}
+
+}  // namespace
+
+void box_halve_row_scalar(const std::uint8_t* r0, const std::uint8_t* r1,
+                          std::size_t src_w_px, std::uint8_t* out) {
+  box_halve_range(r0, r1, src_w_px, 0, (src_w_px + 1) / 2, out);
+}
+
 // ---------------------------------------------------------------------------
 // Vector implementations.
 // ---------------------------------------------------------------------------
@@ -462,6 +492,69 @@ void fdct8x8_avx2(const double in[64], double out[64], const double basis[64],
   }
 }
 
+// SSE2 (x86-64 baseline) box halve: 2 output pixels per iteration. The
+// sums fit u16 (max 4·255 + 2), the +2 / >>2 rounding matches the scalar
+// expression lane for lane, and odd-width tails fall through to the shared
+// scalar range so edge replication is identical.
+void box_halve_row_sse(const std::uint8_t* r0, const std::uint8_t* r1,
+                       std::size_t src_w_px, std::uint8_t* out) {
+  const std::size_t out_w = (src_w_px + 1) / 2;
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i two = _mm_set1_epi16(2);
+  std::size_t j = 0;
+  for (; 2 * j + 4 <= src_w_px; j += 2) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0 + 2 * j * 4));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1 + 2 * j * 4));
+    // Row sums widened to u16: lo = source px0,px1; hi = px2,px3.
+    const __m128i lo =
+        _mm_add_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(b, zero));
+    const __m128i hi =
+        _mm_add_epi16(_mm_unpackhi_epi8(a, zero), _mm_unpackhi_epi8(b, zero));
+    // Horizontal pair add folds px1 onto px0 (px3 onto px2) per channel.
+    const __m128i s0 = _mm_add_epi16(lo, _mm_srli_si128(lo, 8));
+    const __m128i s1 = _mm_add_epi16(hi, _mm_srli_si128(hi, 8));
+    __m128i s = _mm_unpacklo_epi64(s0, s1);
+    s = _mm_srli_epi16(_mm_add_epi16(s, two), 2);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + j * 4),
+                     _mm_packus_epi16(s, s));
+  }
+  box_halve_range(r0, r1, src_w_px, j, out_w, out);
+}
+
+ADS_TARGET_AVX2
+void box_halve_row_avx2(const std::uint8_t* r0, const std::uint8_t* r1,
+                        std::size_t src_w_px, std::uint8_t* out) {
+  const std::size_t out_w = (src_w_px + 1) / 2;
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i two = _mm256_set1_epi16(2);
+  std::size_t j = 0;
+  for (; 2 * j + 8 <= src_w_px; j += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r0 + 2 * j * 4));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r1 + 2 * j * 4));
+    // Same shape as the SSE kernel, applied per 128-bit lane: lane 0 holds
+    // source px0..3 → output px0,px1; lane 1 px4..7 → output px2,px3.
+    const __m256i lo = _mm256_add_epi16(_mm256_unpacklo_epi8(a, zero),
+                                        _mm256_unpacklo_epi8(b, zero));
+    const __m256i hi = _mm256_add_epi16(_mm256_unpackhi_epi8(a, zero),
+                                        _mm256_unpackhi_epi8(b, zero));
+    const __m256i s0 = _mm256_add_epi16(lo, _mm256_srli_si256(lo, 8));
+    const __m256i s1 = _mm256_add_epi16(hi, _mm256_srli_si256(hi, 8));
+    __m256i s = _mm256_unpacklo_epi64(s0, s1);
+    s = _mm256_srli_epi16(_mm256_add_epi16(s, two), 2);
+    const __m256i packed = _mm256_packus_epi16(s, s);
+    // Gather each lane's low quadword (output px0,px1 | px2,px3) into the
+    // low 128 bits and store 4 output pixels at once.
+    const __m256i gathered = _mm256_permute4x64_epi64(packed, 0x08);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j * 4),
+                     _mm256_castsi256_si128(gathered));
+  }
+  box_halve_range(r0, r1, src_w_px, j, out_w, out);
+}
+
 ADS_TARGET_AVX2
 void dct_quantise_avx2(const double freq[64], const int q[64], const int zigzag[64],
                        int out[64]) {
@@ -529,11 +622,16 @@ struct Kernels {
       &fdct8x8_scalar;
   void (*quantise)(const double[64], const int[64], const int[64], int[64]) =
       &dct_quantise_scalar;
+  void (*halve)(const std::uint8_t*, const std::uint8_t*, std::size_t,
+                std::uint8_t*) = &box_halve_row_scalar;
 
   Kernels() {
 #if ADS_SIMD_X86
     const Level l = active_level();
-    if (l >= Level::kSse42) crc = &crc32_absorb_clmul;
+    if (l >= Level::kSse42) {
+      crc = &crc32_absorb_clmul;
+      halve = &box_halve_row_sse;
+    }
     if (l >= Level::kAvx2) {
       adler = &adler32_absorb_avx2;
       fnv4 = &fnv4_absorb_avx2;
@@ -541,6 +639,7 @@ struct Kernels {
       abs_sum = &png_abs_sum_avx2;
       fdct = &fdct8x8_avx2;
       quantise = &dct_quantise_avx2;
+      halve = &box_halve_row_avx2;
     }
 #endif
   }
@@ -601,6 +700,27 @@ void fdct8x8(const double in[64], double out[64], const double basis[64],
 void dct_quantise(const double freq[64], const int q[64], const int zigzag[64],
                   int out[64]) {
   kernels().quantise(freq, q, zigzag, out);
+}
+
+void box_halve_row(const std::uint8_t* r0, const std::uint8_t* r1,
+                   std::size_t src_w_px, std::uint8_t* out) {
+  kernels().halve(r0, r1, src_w_px, out);
+}
+
+void box_halve_row_at(Level level, const std::uint8_t* r0, const std::uint8_t* r1,
+                      std::size_t src_w_px, std::uint8_t* out) {
+  if (static_cast<int>(level) > static_cast<int>(active_level()))
+    level = active_level();
+#if ADS_SIMD_X86
+  switch (level) {
+    case Level::kAvx2: box_halve_row_avx2(r0, r1, src_w_px, out); return;
+    case Level::kSse42: box_halve_row_sse(r0, r1, src_w_px, out); return;
+    case Level::kScalar: break;
+  }
+#else
+  (void)level;
+#endif
+  box_halve_row_scalar(r0, r1, src_w_px, out);
 }
 
 }  // namespace ads::simd

@@ -1,6 +1,7 @@
 // Runtime-dispatched SIMD kernels for the measured hot loops: Adler-32 and
 // CRC-32 absorption (util/checksum), tile hashing (image/damage), PNG filter
-// selection/apply (codec/png) and the forward DCT + quantise (codec/dct).
+// selection/apply (codec/png), the forward DCT + quantise (codec/dct) and
+// the box-downscale row average (transcode's FrameScaler).
 //
 // Contract: every dispatched kernel is bit-identical to its `_scalar`
 // reference on all inputs — vector paths keep each output element's
@@ -92,5 +93,22 @@ void dct_quantise(const double freq[64], const int q[64], const int zigzag[64],
 /// Scalar reference for dct_quantise.
 void dct_quantise_scalar(const double freq[64], const int q[64],
                          const int zigzag[64], int out[64]);
+
+/// Box-average one 2×-downscale output row from two source rows of packed
+/// RGBA pixels (the transcode scaler's inner loop). Per channel:
+///   out[j] = (r0[2j] + r0[x1] + r1[2j] + r1[x1] + 2) >> 2,
+/// where x1 = min(2j + 1, src_w_px - 1) replicates the right edge on odd
+/// widths. Writes (src_w_px + 1) / 2 output pixels; for the odd bottom edge
+/// callers pass r1 == r0. `src_w_px` must be >= 1.
+void box_halve_row(const std::uint8_t* r0, const std::uint8_t* r1,
+                   std::size_t src_w_px, std::uint8_t* out);
+/// Scalar reference for box_halve_row.
+void box_halve_row_scalar(const std::uint8_t* r0, const std::uint8_t* r1,
+                          std::size_t src_w_px, std::uint8_t* out);
+/// Test hook: run box_halve_row's tier-`level` implementation (clamped to
+/// active_level()), so the golden byte-identity suite can exercise every
+/// compiled tier in one process regardless of the dispatch pick.
+void box_halve_row_at(Level level, const std::uint8_t* r0, const std::uint8_t* r1,
+                      std::size_t src_w_px, std::uint8_t* out);
 
 }  // namespace ads::simd

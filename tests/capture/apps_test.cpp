@@ -14,7 +14,8 @@ std::int64_t changed_area(const Image& a, const Image& b) {
 }
 
 TEST(Apps, FactoryKnowsAllWorkloads) {
-  for (const char* name : {"terminal", "slideshow", "document", "video", "paint"}) {
+  for (const char* name : {"terminal", "slideshow", "document", "video", "paint",
+                           "webpage", "editing"}) {
     auto app = make_app(name, 64, 64, 1);
     ASSERT_NE(app, nullptr) << name;
     EXPECT_EQ(app->name(), name);
@@ -24,7 +25,8 @@ TEST(Apps, FactoryKnowsAllWorkloads) {
 }
 
 TEST(Apps, DeterministicForSameSeed) {
-  for (const char* name : {"terminal", "slideshow", "document", "video", "paint"}) {
+  for (const char* name : {"terminal", "slideshow", "document", "video", "paint",
+                           "webpage", "editing"}) {
     auto a = make_app(name, 96, 96, 42);
     auto b = make_app(name, 96, 96, 42);
     for (std::uint64_t t = 0; t < 10; ++t) {
@@ -90,6 +92,54 @@ TEST(Apps, PaintDrawsSparseStrokes) {
   const std::int64_t area = changed_area(before, app.content());
   EXPECT_GT(area, 0);
   EXPECT_LT(area, 200 * 200 / 8);
+}
+
+TEST(Apps, WebPageLoadsInTileBursts) {
+  WebPageApp app(320, 240, 7, /*tiles_per_tick=*/2, /*idle_ticks=*/3);
+  // Loading phase: each tick damages a bounded, non-zero area (a couple of
+  // tiles), never the whole page.
+  Image before = app.content();
+  app.tick(0);
+  const std::int64_t area = changed_area(before, app.content());
+  EXPECT_GT(area, 0);
+  EXPECT_LE(area, 2 * 96 * 64 + 320);
+  // Run long enough to load every tile, idle, and navigate again: the
+  // second navigation repaints a large part of the window at once.
+  const std::uint64_t before_navs = app.navigations();
+  for (std::uint64_t t = 1; t < 60; ++t) app.tick(t);
+  EXPECT_GT(app.navigations(), before_navs);
+}
+
+TEST(Apps, EditingRotatesTheFloorBetweenPresenters) {
+  EditingApp app(300, 120, 5, /*presenters=*/3, /*ticks_per_turn=*/4);
+  EXPECT_EQ(app.active_presenter(), 0);
+  EXPECT_EQ(app.presenters(), 3);
+
+  std::uint64_t t = 0;
+  auto run_turn = [&] { for (int i = 0; i < 4; ++i) app.tick(t++); };
+  run_turn();
+  // Crossing the turn boundary hands the floor to the next presenter.
+  app.tick(t++);
+  EXPECT_EQ(app.active_presenter(), 1);
+  EXPECT_EQ(app.handoffs(), 1u);
+
+  // Edits while presenter 1 holds the floor stay inside its strip
+  // (borders aside, the other strips are untouched).
+  const Image before = app.content();
+  app.tick(t++);
+  Region changed;
+  for (const Rect& r : diff_rects(before, app.content(), 8)) changed.add(r);
+  // Presenter 1's strip, inflated by the diff granularity.
+  const Rect strip1{100 - 8, 0, 100 + 16, 120};
+  for (const Rect& r : changed.rects()) {
+    EXPECT_TRUE(strip1.contains(r)) << r.left << "," << r.top;
+  }
+
+  // A full rotation returns to presenter 0.
+  for (int turn = 0; turn < 2; ++turn) { run_turn(); }
+  app.tick(t++);
+  EXPECT_EQ(app.active_presenter(), 0);
+  EXPECT_GE(app.handoffs(), 3u);
 }
 
 TEST(Apps, ResizePreservesExistingContent) {

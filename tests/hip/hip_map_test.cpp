@@ -1,0 +1,66 @@
+// Output→host HIP coordinate mapping (ROADMAP item 4): scaled and
+// viewport-follow viewers report mouse events in the coordinate system of
+// the stream they render; map_to_host must land them on the centre of the
+// source block before the §4.1 legitimacy check sees them.
+#include "hip/hip_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+namespace ads {
+namespace {
+
+const Rect kFrame{0, 0, 320, 240};
+
+TEST(HipMap, IdentityAndKeysPassThrough) {
+  HipMessage move = MouseMoved{0, 60, 60};
+  EXPECT_FALSE(hip::map_to_host(move, {}, kFrame));
+  EXPECT_EQ(std::get<MouseMoved>(move).left, 60u);
+
+  HipMessage key = KeyPressed{0, 0x41};
+  EXPECT_FALSE(hip::map_to_host(key, {2, {}, false}, kFrame));
+  HipMessage typed = KeyTyped{0, "hi"};
+  EXPECT_FALSE(hip::map_to_host(typed, {2, {}, false}, kFrame));
+}
+
+TEST(HipMap, QuarterScaleClickLandsOnBlockCentre) {
+  const transcode::OutputGeometry quarter{2, {}, false};
+  // Output pixel (10, 5) averaged host block [40,44)x[20,24) — centre (42, 22).
+  HipMessage press = MousePressed{0, MouseButton::kLeft, 10, 5};
+  EXPECT_TRUE(hip::map_to_host(press, quarter, kFrame));
+  EXPECT_EQ(std::get<MousePressed>(press).left, 42u);
+  EXPECT_EQ(std::get<MousePressed>(press).top, 22u);
+}
+
+TEST(HipMap, ViewportOffsetIsRestored) {
+  const transcode::OutputGeometry vp{1, {100, 60, 64, 48}, false};
+  HipMessage move = MouseMoved{0, 0, 0};
+  EXPECT_TRUE(hip::map_to_host(move, vp, kFrame));
+  EXPECT_EQ(std::get<MouseMoved>(move).left, 101u);
+  EXPECT_EQ(std::get<MouseMoved>(move).top, 61u);
+
+  HipMessage wheel = MouseWheelMoved{0, 31, 23, -120};
+  EXPECT_TRUE(hip::map_to_host(wheel, vp, kFrame));
+  EXPECT_EQ(std::get<MouseWheelMoved>(wheel).left, 100u + 62u + 1u);
+  EXPECT_EQ(std::get<MouseWheelMoved>(wheel).top, 60u + 46u + 1u);
+  EXPECT_EQ(std::get<MouseWheelMoved>(wheel).distance, -120);
+}
+
+TEST(HipMap, OutOfRangeOutputPointsClampIntoSourceRect) {
+  const transcode::OutputGeometry quarter{2, {}, false};
+  HipMessage move = MouseMoved{0, 5000, 5000};
+  EXPECT_TRUE(hip::map_to_host(move, quarter, kFrame));
+  const auto& m = std::get<MouseMoved>(move);
+  EXPECT_LT(m.left, static_cast<std::uint32_t>(kFrame.width));
+  EXPECT_LT(m.top, static_cast<std::uint32_t>(kFrame.height));
+}
+
+TEST(HipMap, EmptyFrameIsANoOp) {
+  HipMessage move = MouseMoved{0, 10, 10};
+  EXPECT_FALSE(hip::map_to_host(move, {2, {}, false}, Rect{}));
+  EXPECT_EQ(std::get<MouseMoved>(move).left, 10u);
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,139 @@
+// Output-geometry negotiation (docs/TRANSCODE.md): the offer advertises the
+// deepest downscale rung as a=geometry-max on the remoting m-lines; the
+// answer requests a geometry with a=geometry:<token> on the accepted
+// remoting m-line; the AH recovers it with answer_geometry(). Capability
+// mismatches must fail the answer, not silently stream full resolution.
+#include <gtest/gtest.h>
+
+#include "sdp/sharing_session.hpp"
+
+namespace ads {
+namespace {
+
+transcode::OutputGeometry quarter() { return {2, {}, false}; }
+
+TEST(GeometryNegotiation, OfferAdvertisesMaxRungOnRemotingLines) {
+  SharingOffer offer;
+  offer.geometry_max_shift = 3;
+  const SessionDescription sd = build_sharing_offer(offer);
+
+  int remoting_lines = 0;
+  for (const MediaSection& m : sd.media) {
+    const bool remoting = m.protocol == "RTP/AVP" || m.protocol == "TCP/RTP/AVP";
+    const auto gmax = m.attribute("geometry-max");
+    if (remoting && m.port == offer.remoting_port) {
+      ++remoting_lines;
+      ASSERT_TRUE(gmax.has_value()) << m.protocol;
+      EXPECT_EQ(*gmax, "3");
+    }
+  }
+  EXPECT_EQ(remoting_lines, 2);  // UDP + TCP
+  // The HIP m-line and BFCP m-line stay geometry-free.
+  EXPECT_FALSE(sd.media.front().attribute("geometry-max").has_value());
+
+  const auto parsed = parse_sharing_offer(sd);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->geometry_max_shift.has_value());
+  EXPECT_EQ(*parsed->geometry_max_shift, 3);
+}
+
+TEST(GeometryNegotiation, WithheldCapabilityIsAbsentFromOfferAndParse) {
+  SharingOffer offer;
+  offer.geometry_max_shift = 255;  // geometry-blind AH
+  const SessionDescription sd = build_sharing_offer(offer);
+  for (const MediaSection& m : sd.media) {
+    EXPECT_FALSE(m.attribute("geometry-max").has_value());
+  }
+  const auto parsed = parse_sharing_offer(sd);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->geometry_max_shift.has_value());
+}
+
+TEST(GeometryNegotiation, AnswerCarriesTokenOnAcceptedRemotingLine) {
+  const SessionDescription offer_sd = build_sharing_offer(SharingOffer{});
+  AnswerChoice choice;
+  choice.transport = AnswerChoice::Transport::kUdp;
+  choice.geometry = {1, {8, 8, 64, 48}, false};
+  const auto answer = build_sharing_answer(offer_sd, choice);
+  ASSERT_TRUE(answer.ok());
+
+  int tokens = 0;
+  for (const MediaSection& m : answer->media) {
+    if (const auto tok = m.attribute("geometry")) {
+      ++tokens;
+      EXPECT_NE(m.port, 0) << "token must ride the accepted m-line";
+      EXPECT_EQ(*tok, transcode::to_token(choice.geometry));
+    }
+  }
+  EXPECT_EQ(tokens, 1);
+
+  const auto recovered = answer_geometry(*answer);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, choice.geometry);
+}
+
+TEST(GeometryNegotiation, IdentityAnswerOmitsAttribute) {
+  const SessionDescription offer_sd = build_sharing_offer(SharingOffer{});
+  const auto answer = build_sharing_answer(offer_sd, AnswerChoice{});
+  ASSERT_TRUE(answer.ok());
+  for (const MediaSection& m : answer->media) {
+    EXPECT_FALSE(m.attribute("geometry").has_value());
+  }
+  const auto recovered = answer_geometry(*answer);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(recovered->identity());
+}
+
+TEST(GeometryNegotiation, RequestAgainstGeometryBlindOfferFails) {
+  SharingOffer offer;
+  offer.geometry_max_shift = 255;
+  AnswerChoice choice;
+  choice.geometry = quarter();
+  const auto answer = build_sharing_answer(build_sharing_offer(offer), choice);
+  EXPECT_FALSE(answer.ok());
+}
+
+TEST(GeometryNegotiation, RequestPastMaxRungFails) {
+  SharingOffer offer;
+  offer.geometry_max_shift = 1;
+  AnswerChoice choice;
+  choice.geometry = quarter();  // shift 2 > max 1
+  EXPECT_FALSE(build_sharing_answer(build_sharing_offer(offer), choice).ok());
+
+  choice.geometry = {1, {}, false};  // at the rung: fine
+  EXPECT_TRUE(build_sharing_answer(build_sharing_offer(offer), choice).ok());
+}
+
+TEST(GeometryNegotiation, ViewportAndFollowRideTheCapability) {
+  // Crop/follow at shift 0 still requires the capability (the AH must
+  // understand output geometry to honour them)…
+  SharingOffer blind;
+  blind.geometry_max_shift = 255;
+  AnswerChoice choice;
+  choice.geometry = {0, {10, 10, 100, 80}, true};
+  EXPECT_FALSE(build_sharing_answer(build_sharing_offer(blind), choice).ok());
+  // …and any advertised rung covers them.
+  SharingOffer shallow;
+  shallow.geometry_max_shift = 0;
+  const auto answer = build_sharing_answer(build_sharing_offer(shallow), choice);
+  ASSERT_TRUE(answer.ok());
+  const auto recovered = answer_geometry(*answer);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, choice.geometry);
+}
+
+TEST(GeometryNegotiation, MalformedAnswerTokenIsRejected) {
+  const SessionDescription offer_sd = build_sharing_offer(SharingOffer{});
+  auto answer = build_sharing_answer(offer_sd, AnswerChoice{});
+  ASSERT_TRUE(answer.ok());
+  for (MediaSection& m : answer->media) {
+    if (m.port != 0 && m.protocol == "TCP/RTP/AVP" &&
+        !m.rtpmaps().empty() && m.rtpmaps().front().encoding == "remoting") {
+      m.attributes.emplace_back("geometry", "bogus");
+    }
+  }
+  EXPECT_FALSE(answer_geometry(*answer).has_value());
+}
+
+}  // namespace
+}  // namespace ads

@@ -1,0 +1,131 @@
+// Golden byte-identity for the downscale kernels (E20 acceptance): every
+// compiled SIMD tier of box_halve_row must match the scalar reference
+// bit-for-bit — odd widths, width 1, and a full-screen row included — and
+// the image-level box_halve/scale_frame pipeline must match a naive
+// per-pixel reference so cohort encodes are deterministic across hosts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "transcode/transcode.hpp"
+#include "util/prng.hpp"
+#include "util/simd.hpp"
+
+namespace ads {
+namespace {
+
+std::vector<std::uint8_t> random_row(Prng& rng, std::int64_t pixels) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(pixels) * 4);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.range(0, 255));
+  return out;
+}
+
+Image random_image(Prng& rng, std::int64_t w, std::int64_t h) {
+  Image img(w, h, kBlack);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      img.set(x, y, Pixel{static_cast<std::uint8_t>(rng.below(256)),
+                          static_cast<std::uint8_t>(rng.below(256)),
+                          static_cast<std::uint8_t>(rng.below(256)), 255});
+    }
+  }
+  return img;
+}
+
+/// Naive reference: out(x, y) averages the up-to-2x2 source block with
+/// edge replication and the kernel's +2 rounding.
+Image reference_halve(const Image& src) {
+  const std::int64_t ow = (src.width() + 1) / 2;
+  const std::int64_t oh = (src.height() + 1) / 2;
+  Image out(ow, oh, kBlack);
+  auto at = [&src](std::int64_t x, std::int64_t y) {
+    return src.at(std::min(x, src.width() - 1), std::min(y, src.height() - 1));
+  };
+  for (std::int64_t y = 0; y < oh; ++y) {
+    for (std::int64_t x = 0; x < ow; ++x) {
+      const Pixel p00 = at(2 * x, 2 * y), p10 = at(2 * x + 1, 2 * y);
+      const Pixel p01 = at(2 * x, 2 * y + 1), p11 = at(2 * x + 1, 2 * y + 1);
+      auto avg = [](int a, int b, int c, int d) {
+        return static_cast<std::uint8_t>((a + b + c + d + 2) >> 2);
+      };
+      out.set(x, y, Pixel{avg(p00.r, p10.r, p01.r, p11.r),
+                          avg(p00.g, p10.g, p01.g, p11.g),
+                          avg(p00.b, p10.b, p01.b, p11.b),
+                          avg(p00.a, p10.a, p01.a, p11.a)});
+    }
+  }
+  return out;
+}
+
+TEST(ScalerGolden, EveryTierMatchesScalarRowKernel) {
+  Prng rng(0xB0C5);
+  // Widths chosen for the failure modes: 1 (degenerate), odd (edge
+  // replication), vector-width straddles, and a full-screen 1920 row.
+  const std::int64_t widths[] = {1, 2, 3, 5, 7, 8, 15, 16, 17,
+                                 31, 33, 63, 64, 65, 639, 1920};
+  for (const std::int64_t w : widths) {
+    const auto r0 = random_row(rng, w);
+    const auto r1 = random_row(rng, w);
+    std::vector<std::uint8_t> want(static_cast<std::size_t>((w + 1) / 2) * 4);
+    auto got = want;
+    simd::box_halve_row_scalar(r0.data(), r1.data(),
+                               static_cast<std::size_t>(w), want.data());
+    for (const simd::Level level :
+         {simd::Level::kScalar, simd::Level::kSse42, simd::Level::kAvx2}) {
+      std::fill(got.begin(), got.end(), 0);
+      simd::box_halve_row_at(level, r0.data(), r1.data(),
+                             static_cast<std::size_t>(w), got.data());
+      ASSERT_EQ(got, want) << "w=" << w << " level="
+                           << simd::level_name(level);
+    }
+    // Odd bottom edge: callers pass r1 == r0; tiers must agree there too.
+    simd::box_halve_row_scalar(r0.data(), r0.data(),
+                               static_cast<std::size_t>(w), want.data());
+    for (const simd::Level level :
+         {simd::Level::kScalar, simd::Level::kSse42, simd::Level::kAvx2}) {
+      std::fill(got.begin(), got.end(), 0);
+      simd::box_halve_row_at(level, r0.data(), r0.data(),
+                             static_cast<std::size_t>(w), got.data());
+      ASSERT_EQ(got, want) << "w=" << w << " level="
+                           << simd::level_name(level) << " (bottom edge)";
+    }
+  }
+}
+
+TEST(ScalerGolden, BoxHalveMatchesNaiveReference) {
+  Prng rng(0x5CA1);
+  // Odd and even extents, 1x1, and a full-screen frame.
+  const std::pair<std::int64_t, std::int64_t> sizes[] = {
+      {1, 1}, {1, 7}, {7, 1}, {2, 2}, {3, 3}, {17, 9},
+      {64, 48}, {101, 75}, {1920, 1080}};
+  for (const auto& [w, h] : sizes) {
+    const Image src = random_image(rng, w, h);
+    const Image got = transcode::box_halve(src);
+    const Image want = reference_halve(src);
+    ASSERT_EQ(got, want) << w << "x" << h;
+  }
+}
+
+TEST(ScalerGolden, ScaleFrameIteratesRungsAndCrops) {
+  Prng rng(0xD0D0);
+  const Image frame = random_image(rng, 101, 75);
+
+  // Rung 2 = two iterated halvings of the whole frame.
+  const transcode::OutputGeometry quarter{2, {}, false};
+  EXPECT_EQ(transcode::scale_frame(frame, quarter),
+            reference_halve(reference_halve(frame)));
+
+  // Viewport: crop first, then halve — including odd crop extents.
+  const transcode::OutputGeometry vp{1, {10, 5, 33, 21}, false};
+  EXPECT_EQ(transcode::scale_frame(frame, vp),
+            reference_halve(frame.crop({10, 5, 33, 21})));
+
+  // Identity returns the pixels untouched.
+  EXPECT_EQ(transcode::scale_frame(frame, {}), frame);
+}
+
+}  // namespace
+}  // namespace ads

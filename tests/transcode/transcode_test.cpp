@@ -1,0 +1,156 @@
+// Unit coverage for the output-geometry transcode stage: SDP token
+// round-trips, source-rect resolution, host<->output rect/point mapping
+// (cover semantics one way, block-centre the other), and the per-tick
+// FrameScaler cache contract.
+#include "transcode/transcode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ads {
+namespace {
+
+using transcode::OutputGeometry;
+
+TEST(GeometryToken, RoundTripsEveryShape) {
+  const OutputGeometry shapes[] = {
+      {},                                   // identity
+      {2, {}, false},                       // quarter rung
+      {1, {8, 8, 64, 48}, false},           // half rung + viewport
+      {0, {}, true},                        // follow, native
+      {3, {100, 50, 320, 240}, true},       // follow with resolved viewport
+  };
+  for (const OutputGeometry& g : shapes) {
+    const auto parsed = transcode::parse_token(transcode::to_token(g));
+    ASSERT_TRUE(parsed.has_value()) << transcode::to_token(g);
+    EXPECT_EQ(*parsed, g) << transcode::to_token(g);
+  }
+}
+
+TEST(GeometryToken, RejectsMalformedAndOutOfRange) {
+  for (const char* bad :
+       {"", "s", "x2", "s2;vx", "s2;v1,2,3", "s1;v1,2,3,4;q", "s99", "s-1"}) {
+    EXPECT_FALSE(transcode::parse_token(bad).has_value()) << bad;
+  }
+  // The deepest advertised rung parses; one past it does not.
+  const std::string max = "s" + std::to_string(transcode::kMaxScaleShift);
+  EXPECT_TRUE(transcode::parse_token(max).has_value());
+  const std::string over = "s" + std::to_string(transcode::kMaxScaleShift + 1);
+  EXPECT_FALSE(transcode::parse_token(over).has_value());
+}
+
+TEST(Geometry, SourceRectResolvesViewportAgainstFrame) {
+  const Rect frame{0, 0, 320, 240};
+  EXPECT_EQ(transcode::source_rect({}, frame), frame);
+  // Viewport clipped to the frame.
+  EXPECT_EQ(transcode::source_rect({0, {300, 220, 100, 100}, false}, frame),
+            (Rect{300, 220, 20, 20}));
+  // Disjoint / empty viewports degrade to the whole frame, never to nothing.
+  EXPECT_EQ(transcode::source_rect({0, {400, 400, 50, 50}, false}, frame), frame);
+  EXPECT_EQ(transcode::source_rect({0, {10, 10, 0, 0}, false}, frame), frame);
+}
+
+TEST(Geometry, OutputBoundsCeilOddExtents) {
+  const Rect frame{0, 0, 101, 75};
+  EXPECT_EQ(transcode::output_bounds({1, {}, false}, frame), (Rect{0, 0, 51, 38}));
+  EXPECT_EQ(transcode::output_bounds({2, {}, false}, frame), (Rect{0, 0, 26, 19}));
+  // Viewport origin moves to (0,0) in output space.
+  EXPECT_EQ(transcode::output_bounds({1, {11, 21, 30, 30}, false}, frame),
+            (Rect{0, 0, 15, 15}));
+}
+
+TEST(Geometry, RectMappingUsesCoverSemantics) {
+  const Rect frame{0, 0, 320, 240};
+  const OutputGeometry quarter{2, {}, false};
+  // A 1-pixel damage rect covers its whole 4x4 block's output pixel...
+  EXPECT_EQ(transcode::map_rect_to_output(quarter, frame, {5, 9, 1, 1}),
+            (Rect{1, 2, 1, 1}));
+  // ...and mapping back returns every source pixel feeding that block.
+  EXPECT_EQ(transcode::map_rect_to_host(quarter, frame, {1, 2, 1, 1}),
+            (Rect{4, 8, 4, 4}));
+  // Straddling a block boundary covers both blocks.
+  EXPECT_EQ(transcode::map_rect_to_output(quarter, frame, {3, 0, 2, 1}),
+            (Rect{0, 0, 2, 1}));
+  // Damage outside a viewport maps to nothing.
+  const OutputGeometry vp{0, {100, 100, 50, 50}, false};
+  EXPECT_TRUE(transcode::map_rect_to_output(vp, frame, {0, 0, 10, 10}).empty());
+}
+
+TEST(Geometry, RoundTripCoversOriginalRect) {
+  const Rect frame{0, 0, 317, 201};  // odd extents on purpose
+  const OutputGeometry shapes[] = {
+      {1, {}, false}, {3, {}, false}, {2, {13, 7, 100, 90}, false}};
+  for (const OutputGeometry& g : shapes) {
+    const Rect damage{15, 11, 37, 23};
+    const Rect out = transcode::map_rect_to_output(g, frame, damage);
+    const Rect back = transcode::map_rect_to_host(g, frame, out);
+    const Rect clipped = intersect(damage, transcode::source_rect(g, frame));
+    EXPECT_TRUE(back.contains(clipped)) << transcode::to_token(g);
+  }
+}
+
+TEST(Geometry, PointMappingReturnsBlockCentre) {
+  const Rect frame{0, 0, 320, 240};
+  const OutputGeometry quarter{2, {}, false};
+  // Output pixel (3, 5) came from host block [12,16)x[20,24): centre (14, 22).
+  EXPECT_EQ(transcode::map_point_to_host(quarter, frame, {3, 5}),
+            (Point{14, 22}));
+  // With a viewport the offset is added back.
+  const OutputGeometry vp{1, {100, 60, 64, 48}, false};
+  EXPECT_EQ(transcode::map_point_to_host(vp, frame, {0, 0}), (Point{101, 61}));
+  // Out-of-range output points clamp into the source rect.
+  const Point clamped = transcode::map_point_to_host(quarter, frame, {1000, 1000});
+  EXPECT_TRUE(frame.contains(clamped));
+  // Identity is exact.
+  EXPECT_EQ(transcode::map_point_to_host({}, frame, {42, 17}), (Point{42, 17}));
+  EXPECT_EQ(transcode::map_point_to_output({}, frame, {42, 17}), (Point{42, 17}));
+}
+
+TEST(Geometry, DeviceClassing) {
+  using transcode::DeviceClass;
+  EXPECT_EQ(transcode::device_class({}), DeviceClass::kFull);
+  EXPECT_EQ(transcode::device_class({1, {}, false}), DeviceClass::kHalf);
+  EXPECT_EQ(transcode::device_class({2, {}, false}), DeviceClass::kQuarter);
+  EXPECT_EQ(transcode::device_class({4, {}, false}), DeviceClass::kQuarter);
+  EXPECT_EQ(transcode::device_class({0, {1, 1, 5, 5}, false}),
+            DeviceClass::kViewport);
+  EXPECT_EQ(transcode::device_class({2, {}, true}), DeviceClass::kViewport);
+  EXPECT_EQ(transcode::device_class_name(DeviceClass::kViewport), "viewport");
+}
+
+TEST(FrameScaler, MaterialisesEachGeometryOncePerTick) {
+  transcode::FrameScaler scaler;
+  const Image frame(64, 48, Pixel{120, 60, 30, 255});
+  const OutputGeometry half{1, {}, false};
+
+  scaler.begin_tick();
+  const Image& a = scaler.view(frame, half);
+  const Image& b = scaler.view(frame, half);
+  EXPECT_EQ(&a, &b);  // same cached entry, reference-stable
+  EXPECT_EQ(a.width(), 32);
+  EXPECT_EQ(a.height(), 24);
+  EXPECT_EQ(scaler.stats().frames_scaled, 1u);
+  EXPECT_EQ(scaler.stats().cache_hits, 1u);
+
+  // A second distinct geometry is its own entry; the first stays valid.
+  const OutputGeometry quarter{2, {}, false};
+  const Image& c = scaler.view(frame, quarter);
+  EXPECT_EQ(c.width(), 16);
+  EXPECT_EQ(&scaler.view(frame, half), &a);
+  EXPECT_EQ(scaler.stats().frames_scaled, 2u);
+
+  // New tick invalidates: the same geometry is rebuilt.
+  scaler.begin_tick();
+  (void)scaler.view(frame, half);
+  EXPECT_EQ(scaler.stats().frames_scaled, 3u);
+}
+
+TEST(FrameScaler, IdentityPassesTheLiveFrameThrough) {
+  transcode::FrameScaler scaler;
+  const Image frame(32, 32, Pixel{1, 2, 3, 255});
+  scaler.begin_tick();
+  EXPECT_EQ(&scaler.view(frame, {}), &frame);
+  EXPECT_EQ(scaler.stats().frames_scaled, 0u);
+}
+
+}  // namespace
+}  // namespace ads
